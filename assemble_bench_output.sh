@@ -1,0 +1,23 @@
+#!/bin/sh
+# Assemble bench_output.txt from per-bench logs in canonical order.
+# Equivalent to: for b in build/bench/bench_*; do $b; done 2>&1 | tee bench_output.txt
+cd /root/repo
+: > bench_output.txt
+for name in bench_fig04_decimal_accuracy bench_table1_op_ablation \
+            bench_table2_fusion_sweep bench_fig06_activation_distribution \
+            bench_fig07_approx_curves bench_table3_threshold_sweep \
+            bench_table4_approx_softmax bench_fig08_exp_hw \
+            bench_fig09_recip_hw bench_table5_seq2seq_wer \
+            bench_table6_lm_perplexity bench_fig10_tensor_distributions \
+            bench_table7_lora_finetune bench_fig12_mac_hw \
+            bench_fig13_accelerator_hw bench_table8_vector_unit \
+            bench_fig14_finetune_memory bench_baseline_int8 \
+            bench_ablation_rounding bench_ablation_scaling \
+            bench_ext_energy_per_token bench_kernels; do
+  if [ -s "bench_logs/$name.txt" ]; then
+    cat "bench_logs/$name.txt" >> bench_output.txt
+    echo >> bench_output.txt
+  else
+    echo "[$name: not completed in this run]" >> bench_output.txt
+  fi
+done

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation (section 3.4): the paper's sub-minpos round-to-even policy
+ * vs the posit-standard "never underflow to zero" rule, during 8-bit
+ * training *without* per-tensor scaling. Standard posit rounds tiny
+ * gradients up to minpos = 2^-12, inflating gradient noise; the paper
+ * reports this can cause divergence.
+ */
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace qt8;
+using namespace qt8::bench;
+
+namespace {
+
+double
+runTraining(SubMinposPolicy policy, double *final_loss)
+{
+    const PairTask task(PairTask::Kind::kSst2, 64, 25);
+    ModelConfig cfg;
+    cfg.name = "ablation";
+    cfg.d_model = 32;
+    cfg.d_ff = 64;
+    cfg.n_heads = 2;
+    cfg.n_layers = 2;
+    EncoderClassifier model(cfg, task.numClasses(), 7801);
+
+    const PositSpec spec(8, 1, policy);
+    QuantConfig qcfg = QuantConfig::eightBit(
+        policy == SubMinposPolicy::kPaperRoundToEven
+            ? "posit8-paper-rounding"
+            : "posit8-standard-rounding",
+        Quantizer::posit(spec), Quantizer::posit(spec));
+    qcfg.per_tensor_scaled_grads = false; // isolate the rounding rule
+
+    QuantSession qs(qcfg);
+    TrainOptions opts;
+    opts.steps = budget(300);
+    opts.batch = 16;
+    opts.lr = 2e-3;
+    const TrainResult r = trainCls(model, qs, task, opts);
+    *final_loss = r.final_loss;
+    QuantSession eval_qs(qcfg);
+    return evalClsAccuracy(model, eval_qs, task, kEvalSeed, 4, 32);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: sub-minpos rounding policy (section 3.4), "
+           "no per-tensor scaling");
+
+    double loss_paper = 0.0, loss_std = 0.0;
+    const double acc_paper =
+        runTraining(SubMinposPolicy::kPaperRoundToEven, &loss_paper);
+    const double acc_std =
+        runTraining(SubMinposPolicy::kPositStandard, &loss_std);
+
+    std::printf("%-28s %12s %12s\n", "policy", "final loss", "accuracy");
+    std::printf("%-28s %12.4f %12.2f\n",
+                "paper round-to-even (<2^-13 -> 0)", loss_paper,
+                acc_paper);
+    std::printf("%-28s %12.4f %12.2f\n",
+                "posit standard (round up to minpos)", loss_std,
+                acc_std);
+    std::printf("\nPaper claim: rounding all tiny gradients up to "
+                "2^-12 'could easily lead to divergence'; the custom "
+                "rule trains stably.\n");
+    return 0;
+}

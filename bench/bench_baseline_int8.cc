@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Baseline comparison (paper section 1 motivation): int8 post-training
+ * quantization needs dynamic scaling factors — and usually per-channel
+ * weight scaling — to stay accurate, whereas Posit8 and FP8 reach
+ * BF16-level accuracy through operation fusion alone, with no scaling
+ * factors at all.
+ */
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace qt8;
+using namespace qt8::bench;
+
+int
+main()
+{
+    banner("Baseline: int8 (per-tensor / per-channel) vs Posit8 / FP8 "
+           "PTQ (span F1)");
+
+    const std::vector<std::pair<ModelConfig, int>> models = {
+        {ModelConfig::mobileBertLike(), budget(600)},
+        {ModelConfig::bertBaseLike(), budget(450)},
+    };
+
+    const SpanTask task(64, 24);
+    std::vector<std::unique_ptr<EncoderSpanQA>> trained;
+    for (size_t i = 0; i < models.size(); ++i) {
+        auto m = std::make_unique<EncoderSpanQA>(models[i].first,
+                                                 9900 + i);
+        trainSpanBaseline(*m, task, models[i].second);
+        trained.push_back(std::move(m));
+    }
+
+    std::printf("%-26s %16s %16s\n", "config",
+                models[0].first.name.c_str(),
+                models[1].first.name.c_str());
+    auto row = [&](const char *label, const QuantConfig &cfg) {
+        std::printf("%-26s", label);
+        for (auto &m : trained) {
+            QuantSession qs(cfg);
+            std::printf(" %16.1f",
+                        evalSpanF1(*m, qs, task, kEvalSeed, 2, 32));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    };
+
+    row("BF16", QuantConfig::bf16());
+    row("int8 per-tensor", QuantConfig::int8PerTensor());
+    row("int8 per-channel W",
+        QuantConfig::int8PerChannel());
+    row("posit8 (full fusion)",
+        QuantConfig::posit8().withFusion(FusionLevel::kResidual));
+    row("e4m3 (full fusion)",
+        QuantConfig::fp8().withFusion(FusionLevel::kResidual));
+    row("posit8 (no fusion)", QuantConfig::posit8());
+    row("e4m3 (no fusion)", QuantConfig::fp8());
+
+    std::printf("\nPaper motivation: int8 requires scaling machinery "
+                "(per-channel for weights) while the 8-bit float "
+                "formats need none.\n");
+    return 0;
+}

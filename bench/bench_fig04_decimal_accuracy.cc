@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 4: decimal accuracy of FP8 (E5M2, E4M3) vs Posit8 across the
+ * representable magnitude range. Posit8 peaks around |x| = 1 (tapered
+ * precision) while FP8 is flat across its normal range; E5M2 trades
+ * accuracy for range versus E4M3.
+ */
+#include <cstdio>
+
+#include "harness.h"
+#include "numerics/decimal_accuracy.h"
+
+using namespace qt8;
+
+int
+main()
+{
+    bench::banner("Figure 4: decimal accuracy vs magnitude");
+
+    const Quantizer p8 = Quantizer::byName("posit8");
+    const Quantizer e4 = Quantizer::byName("e4m3");
+    const Quantizer e5 = Quantizer::byName("e5m2");
+
+    std::printf("%8s %10s %10s %10s\n", "log2(x)", "posit8", "e4m3",
+                "e5m2");
+    const auto sp = decimalAccuracySweep(p8, -18, 18, 1.0);
+    const auto s4 = decimalAccuracySweep(e4, -18, 18, 1.0);
+    const auto s5 = decimalAccuracySweep(e5, -18, 18, 1.0);
+    double peak_p8 = 0, peak_at = 0;
+    for (size_t i = 0; i < sp.size(); ++i) {
+        std::printf("%8.1f %10.3f %10.3f %10.3f\n", sp[i].log2_x,
+                    sp[i].accuracy, s4[i].accuracy, s5[i].accuracy);
+        if (sp[i].accuracy > peak_p8) {
+            peak_p8 = sp[i].accuracy;
+            peak_at = sp[i].log2_x;
+        }
+    }
+    std::printf("\nposit8 peak accuracy %.3f decimals at log2|x| ~ %.0f "
+                "(tapered precision, Figure 4)\n",
+                peak_p8, peak_at);
+    return 0;
+}

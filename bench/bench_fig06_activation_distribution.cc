@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 6: per-layer activation distributions of the MobileBERT-like
+ * model during span inference, against the value bands where Posit8
+ * keeps 4, 3, 2 and 1 fraction bits. The stacked-FFN architecture
+ * pushes activations into the low-precision bands, explaining its
+ * quantization sensitivity (Table 1/2).
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace qt8;
+using namespace qt8::bench;
+
+namespace {
+
+struct LayerStats
+{
+    std::vector<float> values;
+
+    double
+    percentileAbs(double p) const
+    {
+        std::vector<float> abs_vals;
+        abs_vals.reserve(values.size());
+        for (float v : values)
+            abs_vals.push_back(std::fabs(v));
+        std::sort(abs_vals.begin(), abs_vals.end());
+        const size_t idx = static_cast<size_t>(
+            p * static_cast<double>(abs_vals.size() - 1));
+        return abs_vals[idx];
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 6: per-layer activation distribution vs Posit8 "
+           "precision bands");
+
+    // Posit(8,1) keeps 4 fraction bits for |x| in [1/4, 4), 3 bits in
+    // [1/16, 1/4) u [4, 16), 2 bits in [1/64, 1/16) u [16, 64), etc.
+    std::printf("Posit8 fraction-bit bands: 4b |x| in [0.25,4), "
+                "3b in [0.0625,16), 2b in [0.015625,64), 1b beyond.\n\n");
+
+    const ModelConfig cfg = ModelConfig::mobileBertLike();
+    const SpanTask task(64, 24);
+    EncoderSpanQA model(cfg, 9000);
+    trainSpanBaseline(model, task, budget(700));
+
+    // Capture each block's output during evaluation.
+    QuantSession qs(QuantConfig::bf16());
+    Rng rng(kEvalSeed);
+    const SpanBatch batch = task.sample(rng, 32);
+
+    std::vector<LayerStats> stats(
+        static_cast<size_t>(cfg.n_layers) + 1);
+
+    Tensor x = model.encoder.embed.forward(qs, batch.ids, batch.batch,
+                                           batch.seq);
+    x = model.encoder.embed_ln->forward(qs, x);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        stats[0].values.push_back(x.at(i));
+    for (size_t l = 0; l < model.encoder.blocks.size(); ++l) {
+        x = model.encoder.blocks[l]->forward(qs, x, batch.batch,
+                                             batch.seq,
+                                             batch.pad.data(), false);
+        for (int64_t i = 0; i < x.numel(); ++i)
+            stats[l + 1].values.push_back(x.at(i));
+    }
+
+    std::printf("%-10s %10s %10s %10s %10s %14s\n", "layer", "p50|x|",
+                "p90|x|", "p99|x|", "max|x|", "frac bits @p99");
+    for (size_t l = 0; l < stats.size(); ++l) {
+        const double p99 = stats[l].percentileAbs(0.99);
+        int bits = 4;
+        if (p99 >= 64 || p99 < 0.015625)
+            bits = 1;
+        else if (p99 >= 16 || p99 < 0.0625)
+            bits = 2;
+        else if (p99 >= 4 || p99 < 0.25)
+            bits = 3;
+        std::printf("%-10s %10.3f %10.3f %10.3f %10.3f %14d\n",
+                    l == 0 ? "embed" :
+                             ("block" + std::to_string(l - 1)).c_str(),
+                    stats[l].percentileAbs(0.50),
+                    stats[l].percentileAbs(0.90), p99,
+                    stats[l].percentileAbs(1.0), bits);
+    }
+
+    // Also report the widest tensor in the attention path: the
+    // unscaled Q.K^T scores that make attention-scaling quantization
+    // the most damaging op class.
+    QuantSession qs2(QuantConfig::bf16());
+    model.forward(qs2, batch.ids, batch.batch, batch.seq,
+                  batch.pad.data());
+    double worst = 0.0;
+    for (auto &block : model.encoder.blocks)
+        worst = std::max(worst, block->attn.lastUnscaledAmax());
+    std::printf("\nmax |unscaled attention| across layers: %.1f "
+                "(posit8 keeps %s fraction bits there)\n",
+                worst,
+                worst >= 64 ? "<=1" : (worst >= 16 ? "2" : ">=3"));
+    return 0;
+}

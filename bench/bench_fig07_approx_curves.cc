@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 7: (left) the posit bitwise reciprocal as a piece-wise linear
+ * function connecting powers of two; (right) the approximate
+ * exponential raw / thresholded / thresholded+shifted against exp(x).
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+#include "numerics/posit_ops.h"
+
+using namespace qt8;
+
+int
+main()
+{
+    bench::banner("Figure 7 (left): posit reciprocal vs exact 1/x");
+    const PositSpec &p = posit8_1();
+    std::printf("%8s %12s %12s\n", "x", "posit 1/x", "exact 1/x");
+    for (double x = 0.25; x <= 8.0; x *= std::pow(2.0, 0.25)) {
+        std::printf("%8.4f %12.6f %12.6f\n", p.quantize(x),
+                    approxReciprocal(p, x), 1.0 / p.quantize(x));
+    }
+
+    bench::banner(
+        "Figure 7 (right): approximate exponential variants vs exp(x)");
+    ApproxExpConfig raw;
+    raw.theta = -1e9;
+    raw.shift = false;
+    ApproxExpConfig thresholded;
+    thresholded.theta = -4.0;
+    thresholded.shift = false;
+    ApproxExpConfig shifted; // theta=-4, eps=1.125
+
+    std::printf("%7s %10s %12s %12s %10s\n", "x", "raw", "thresholded",
+                "shifted", "exp(x)");
+    for (double x = -8.0; x <= 0.01; x += 0.5) {
+        std::printf("%7.2f %10.5f %12.5f %12.5f %10.5f\n", x,
+                    approxExp(p, x, raw), approxExp(p, x, thresholded),
+                    approxExp(p, x, shifted), std::exp(x));
+    }
+    std::printf("\nThe raw curve fails to converge to 0 (attention-mask "
+                "leakage); thresholding pins the tail; the epsilon shift "
+                "hugs exp(x) above the threshold.\n");
+    return 0;
+}

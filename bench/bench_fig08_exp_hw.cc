@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 8: exponential unit area and post-synthesis power at 0.9 V
+ * across target frequencies, for FP32 / BF16 HLS units vs the posit
+ * approximate exponential (posit16 and posit8).
+ */
+#include <cstdio>
+
+#include "harness.h"
+#include "hw/units.h"
+
+using namespace qt8;
+using namespace qt8::hw;
+
+int
+main()
+{
+    bench::banner("Figure 8: exponential unit area/power vs frequency");
+    std::printf("%8s | %10s %10s | %10s %10s | %10s %10s | %10s %10s\n",
+                "MHz", "fp32 um2", "mW", "bf16 um2", "mW", "posit16 um2",
+                "mW", "posit8 um2", "mW");
+    for (double f : {100.0, 200.0, 400.0, 600.0, 800.0}) {
+        const auto e32 = synthesize(floatExpUnit(kFp32), f);
+        const auto e16 = synthesize(floatExpUnit(kBf16), f);
+        const auto p16 = synthesize(positExpUnit(16, 1), f);
+        const auto p8 = synthesize(positExpUnit(8, 1), f);
+        std::printf("%8.0f | %10.0f %10.3f | %10.0f %10.3f | %10.0f "
+                    "%10.3f | %10.0f %10.3f\n",
+                    f, e32.area_um2, e32.powerMw(), e16.area_um2,
+                    e16.powerMw(), p16.area_um2, p16.powerMw(),
+                    p8.area_um2, p8.powerMw());
+    }
+    const auto e16 = synthesize(floatExpUnit(kBf16), 200.0);
+    const auto p16 = synthesize(positExpUnit(16, 1), 200.0);
+    std::printf("\nAt 200 MHz: posit16 exp is %.0f%% smaller and uses "
+                "%.0f%% less power than BF16 (paper: 62%% / 44%%).\n",
+                100.0 * (1.0 - p16.area_um2 / e16.area_um2),
+                100.0 * (1.0 - p16.powerMw() / e16.powerMw()));
+    return 0;
+}

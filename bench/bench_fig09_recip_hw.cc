@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 9: reciprocal unit area and post-synthesis power at 0.9 V
+ * across frequencies — HLS Newton-Raphson float units vs the posit
+ * NOT-gate reciprocal.
+ */
+#include <cstdio>
+
+#include "harness.h"
+#include "hw/units.h"
+
+using namespace qt8;
+using namespace qt8::hw;
+
+int
+main()
+{
+    bench::banner("Figure 9: reciprocal unit area/power vs frequency");
+    std::printf("%8s | %10s %10s | %10s %10s | %10s %10s | %10s %10s\n",
+                "MHz", "fp32 um2", "mW", "bf16 um2", "mW", "posit16 um2",
+                "mW", "posit8 um2", "mW");
+    for (double f : {100.0, 200.0, 400.0, 600.0, 800.0}) {
+        const auto r32 = synthesize(floatRecipUnit(kFp32), f);
+        const auto r16 = synthesize(floatRecipUnit(kBf16), f);
+        const auto p16 = synthesize(positRecipUnit(16), f);
+        const auto p8 = synthesize(positRecipUnit(8), f);
+        std::printf("%8.0f | %10.0f %10.3f | %10.0f %10.3f | %10.0f "
+                    "%10.3f | %10.0f %10.3f\n",
+                    f, r32.area_um2, r32.powerMw(), r16.area_um2,
+                    r16.powerMw(), p16.area_um2, p16.powerMw(),
+                    p8.area_um2, p8.powerMw());
+    }
+    const auto r16 = synthesize(floatRecipUnit(kBf16), 200.0);
+    const auto p16 = synthesize(positRecipUnit(16), 200.0);
+    std::printf("\nAt 200 MHz: posit16 reciprocal is %.0f%% smaller and "
+                "uses %.0f%% less power than BF16 (paper: 85%% / 75%%).\n",
+                100.0 * (1.0 - p16.area_um2 / r16.area_um2),
+                100.0 * (1.0 - p16.powerMw() / r16.powerMw()));
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 12: MAC unit area/power per data format (without codec logic)
+ * plus the Posit8 encoder/decoder costs, across frequencies.
+ */
+#include <cstdio>
+
+#include "harness.h"
+#include "hw/accelerator.h"
+
+using namespace qt8;
+using namespace qt8::hw;
+
+int
+main()
+{
+    bench::banner("Figure 12 (top): MAC area/power per format");
+    std::printf("%8s", "MHz");
+    for (const char *d : {"fp32", "bf16", "posit8", "fp8", "e4m3",
+                          "e5m2"})
+        std::printf(" | %9s um2/mW", d);
+    std::printf("\n");
+
+    for (double f : {100.0, 200.0, 400.0, 600.0, 800.0}) {
+        std::printf("%8.0f", f);
+        const auto fp32 = synthesize(macUnit(kFp32, kFp32), f);
+        std::printf(" | %8.0f/%6.3f", fp32.area_um2, fp32.powerMw());
+        for (const char *d : {"bf16", "posit8", "fp8", "e4m3", "e5m2"}) {
+            const auto m =
+                synthesize(macUnit(macInputFormat(d), accumFormat(d)), f);
+            std::printf(" | %8.0f/%6.3f", m.area_um2, m.powerMw());
+        }
+        std::printf("\n");
+    }
+
+    bench::banner("Figure 12 (bottom): Posit8 encoder/decoder");
+    std::printf("%8s | %12s %8s | %12s %8s\n", "MHz", "decoder um2",
+                "mW", "encoder um2", "mW");
+    for (double f : {100.0, 200.0, 400.0, 600.0, 800.0}) {
+        const auto dec = synthesize(positDecoder(8, 1), f);
+        const auto enc = synthesize(positEncoder(8, 1), f);
+        std::printf("%8.0f | %12.0f %8.3f | %12.0f %8.3f\n", f,
+                    dec.area_um2, dec.powerMw(), enc.area_um2,
+                    enc.powerMw());
+    }
+
+    const auto p8 = synthesize(macUnit(kE5M4, kBf16), 200.0);
+    const auto f8 = synthesize(macUnit(kE5M3, kBf16), 200.0);
+    const auto b16 = synthesize(macUnit(kBf16, kFp32), 200.0);
+    std::printf("\nPosit8 MAC is %.0f%% larger than hybrid FP8 (extra "
+                "fraction bit); both are %.0f%%+ smaller than BF16.\n",
+                100.0 * (p8.area_um2 / f8.area_um2 - 1.0),
+                100.0 * (1.0 - p8.area_um2 / b16.area_um2));
+    return 0;
+}

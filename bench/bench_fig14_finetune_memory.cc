@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 14: MobileBERT_tiny fine-tuning memory (sequence length 128,
+ * batch 16, AdamW) for full 16-bit fine-tuning, LoRA in 16-bit, and
+ * LoRA + 8-bit quantization. "Error" is the live activation gradient.
+ */
+#include <cstdio>
+
+#include "harness.h"
+#include "hw/memory_model.h"
+
+using namespace qt8;
+using namespace qt8::hw;
+
+int
+main()
+{
+    bench::banner("Figure 14: fine-tuning memory breakdown (MB)");
+
+    const TransformerDims dims = TransformerDims::mobileBertTiny();
+    std::printf("model: %.1fM parameters, seq 128, batch 16, AdamW\n\n",
+                dims.totalParams() / 1e6);
+
+    MemorySetup full;
+    MemorySetup lora16;
+    lora16.lora = true;
+    MemorySetup lora8 = lora16;
+    lora8.weight_bits = 8;
+    lora8.act_bits = 8;
+    lora8.error_bits = 8;
+
+    std::printf("%-18s %9s %9s %9s %9s %9s %10s\n", "setup", "params",
+                "w-grad", "optim", "activ", "error", "total");
+    const MemoryBreakdown m_full = finetuneMemory(dims, full);
+    const MemoryBreakdown m_l16 = finetuneMemory(dims, lora16);
+    const MemoryBreakdown m_l8 = finetuneMemory(dims, lora8);
+    for (const auto &[name, m] :
+         {std::pair<const char *, const MemoryBreakdown &>{
+              "full FT (16b)", m_full},
+          {"LoRA (16b)", m_l16},
+          {"LoRA + 8-bit", m_l8}}) {
+        std::printf("%-18s %9.1f %9.1f %9.1f %9.1f %9.1f %10.1f\n",
+                    name, m.params_mb, m.weight_grad_mb,
+                    m.optimizer_mb, m.activations_mb, m.error_mb,
+                    m.totalMb());
+    }
+    std::printf("\nTotal reduction full -> LoRA+8bit: %.2fx "
+                "(paper: approximately 3x).\n",
+                m_full.totalMb() / m_l8.totalMb());
+    return 0;
+}

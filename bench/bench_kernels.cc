@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's hot kernels:
+ * fake-quantization throughput per format, GEMM, exact vs approximate
+ * posit softmax, and the posit codec.
+ */
+#include <benchmark/benchmark.h>
+
+#include "numerics/posit_ops.h"
+#include "numerics/quantizer.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace qt8 {
+namespace {
+
+void
+BM_QuantizeTensor(benchmark::State &state, const char *format)
+{
+    const Quantizer q = Quantizer::byName(format);
+    Rng rng(1);
+    std::vector<float> data(16384);
+    for (auto &v : data)
+        v = static_cast<float>(rng.normal() * 4.0);
+    for (auto _ : state) {
+        std::vector<float> copy = data;
+        q.quantizeInPlace(copy.data(), copy.size());
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK_CAPTURE(BM_QuantizeTensor, posit8, "posit8");
+BENCHMARK_CAPTURE(BM_QuantizeTensor, posit16, "posit16");
+BENCHMARK_CAPTURE(BM_QuantizeTensor, e4m3, "e4m3");
+BENCHMARK_CAPTURE(BM_QuantizeTensor, e5m2, "e5m2");
+BENCHMARK_CAPTURE(BM_QuantizeTensor, bf16, "bf16");
+
+void
+BM_PositEncodeDecode(benchmark::State &state)
+{
+    const PositSpec &spec = posit8_1();
+    Rng rng(2);
+    std::vector<double> values(4096);
+    for (auto &v : values)
+        v = rng.normal() * 8.0;
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (double v : values)
+            acc += spec.decode(spec.encode(v));
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_PositEncodeDecode);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Tensor a({n, n}), b({n, n}), c({n, n});
+    rng.fillNormal(a);
+    rng.fillNormal(b);
+    for (auto _ : state) {
+        gemm(a, false, b, false, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_Softmax(benchmark::State &state, bool approx)
+{
+    const int k = 64;
+    const PositSpec &spec = posit8_1();
+    ApproxPositSoftmax sm(spec, ApproxExpConfig{}, approx, approx);
+    Rng rng(4);
+    std::vector<float> z(k), out(k), e(k);
+    for (auto &v : z)
+        v = static_cast<float>(rng.normal() * 2.0);
+    double sum = 0.0;
+    for (auto _ : state) {
+        sm.forward(z.data(), out.data(), k, e.data(), &sum);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            k);
+}
+BENCHMARK_CAPTURE(BM_Softmax, exact_quantized, false);
+BENCHMARK_CAPTURE(BM_Softmax, posit_approx, true);
+
+} // namespace
+} // namespace qt8
+
+BENCHMARK_MAIN();

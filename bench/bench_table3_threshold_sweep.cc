@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 3: the approximate-exponential threshold (theta) and shift
+ * (epsilon) sweep on the MobileBERT-like span model. "Accuracy 1" uses
+ * thresholding only; "Accuracy 2" additionally shifts the curve down by
+ * epsilon = (approximate value at the threshold), aligning it with the
+ * true exponential.
+ */
+#include <cstdio>
+
+#include "harness.h"
+#include "numerics/posit_ops.h"
+
+using namespace qt8;
+using namespace qt8::bench;
+
+int
+main()
+{
+    banner("Table 3: approximate exponential theta/epsilon sweep "
+           "(span F1, MobileBERT-like)");
+
+    const SpanTask task(64, 24);
+    EncoderSpanQA model(ModelConfig::mobileBertLike(), 9000);
+    trainSpanBaseline(model, task, budget(700));
+
+    QuantSession bf(QuantConfig::bf16());
+    const double baseline = evalSpanF1(model, bf, task, kEvalSeed, 2, 32);
+
+    // Quantized-but-exact-softmax reference (posit8, full fusion as the
+    // Table 2 bold configuration for MobileBERT).
+    QuantSession p8(QuantConfig::posit8().withFusion(
+        FusionLevel::kResidual));
+    const double p8_exact =
+        evalSpanF1(model, p8, task, kEvalSeed, 2, 32);
+
+    std::printf("%-10s %12s %12s %12s\n", "theta", "epsilon",
+                "accuracy 1", "accuracy 2");
+    for (double theta : {-5.0, -4.0, -3.0, -2.0}) {
+        // Epsilon aligns the curve to zero at the threshold:
+        // eps = 1/S(-theta) under the bit tricks.
+        const PositSpec &spec = posit8_1();
+        const double eps = spec.decode(approxReciprocalCode(
+            spec,
+            approxSigmoidCode(spec, spec.encode(-theta))));
+
+        QuantConfig thresh_only = QuantConfig::posit8().withFusion(
+            FusionLevel::kResidual);
+        thresh_only.softmax = SoftmaxMode::kApproxExp;
+        thresh_only.approx_exp.theta = theta;
+        thresh_only.approx_exp.shift = false;
+
+        QuantConfig shifted = thresh_only;
+        shifted.approx_exp.shift = true;
+        shifted.approx_exp.epsilon = eps;
+
+        QuantSession qs1(thresh_only);
+        QuantSession qs2(shifted);
+        std::printf("%-10.1f %12.4f %12.1f %12.1f\n", theta, eps,
+                    evalSpanF1(model, qs1, task, kEvalSeed, 2, 32),
+                    evalSpanF1(model, qs2, task, kEvalSeed, 2, 32));
+        std::fflush(stdout);
+    }
+    std::printf("%-10s %12s %12.1f (BF16) / %.1f (posit8 exact "
+                "softmax)\n",
+                "baseline", "-", baseline, p8_exact);
+    std::printf("\nPaper shape: accuracy 1 peaks at an intermediate "
+                "theta; the epsilon shift recovers to within ~0.5%% of "
+                "the quantized exact-softmax baseline.\n");
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Table 7: LoRA fine-tuning accuracy across data types. Backbones are
+ * pre-trained in FP32 (the stand-in for hub checkpoints); each task is
+ * then fine-tuned with LoRA under BF16, Posit8, Posit8 with the full
+ * approximate softmax, and FP8 (E4M3 fwd / E5M2 bwd), plus a full
+ * FP32 fine-tuning reference. MobileBERT-like models put LoRA on every
+ * dense layer; RoBERTa-like models adapt q/v only with rank 8
+ * (section 6.1). Per-tensor scaling is on everywhere.
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.h"
+
+using namespace qt8;
+using namespace qt8::bench;
+
+namespace {
+
+struct TaskSpec
+{
+    const char *name;
+    PairTask::Kind kind;
+};
+
+double
+finetuneCls(const ModelConfig &cfg, TransformerEncoder &backbone,
+            PairTask::Kind kind, const QuantConfig &qcfg, bool lora,
+            bool all_dense, uint64_t seed)
+{
+    const PairTask task(kind, cfg.vocab, 25);
+    EncoderClassifier model(cfg, task.numClasses(), seed);
+    ParamList dst, src;
+    model.encoder.collectParams(dst);
+    backbone.collectParams(src);
+    copyParamValues(dst, src);
+    if (lora)
+        model.enableLora(8, 2.0f, all_dense);
+
+    QuantSession qs(qcfg);
+    TrainOptions opts;
+    opts.steps = budget(200);
+    opts.batch = 16;
+    opts.lr = lora ? 5e-3 : 2e-3;
+    opts.data_seed = seed + 7;
+    trainCls(model, qs, task, opts);
+    QuantSession eval_qs(qcfg);
+    return evalClsAccuracy(model, eval_qs, task, kEvalSeed, 3, 32);
+}
+
+double
+finetuneSpan(const ModelConfig &cfg, TransformerEncoder &backbone,
+             const QuantConfig &qcfg, bool lora, bool all_dense,
+             uint64_t seed)
+{
+    const SpanTask task(cfg.vocab, 24);
+    EncoderSpanQA model(cfg, seed);
+    ParamList dst, src;
+    model.encoder.collectParams(dst);
+    backbone.collectParams(src);
+    copyParamValues(dst, src);
+    if (lora)
+        model.enableLora(8, 2.0f, all_dense);
+
+    QuantSession qs(qcfg);
+    TrainOptions opts;
+    opts.steps = budget(200);
+    opts.batch = 16;
+    opts.lr = lora ? 5e-3 : 2e-3;
+    opts.data_seed = seed + 7;
+    trainSpan(model, qs, task, opts);
+    QuantSession eval_qs(qcfg);
+    return evalSpanF1(model, eval_qs, task, kEvalSeed, 3, 32);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 7: LoRA fine-tuning accuracy per data type");
+
+    struct ModelRow
+    {
+        ModelConfig cfg;
+        bool lora_all_dense; ///< MobileBERT recipe vs RoBERTa q/v-only.
+    };
+    std::vector<ModelRow> model_rows = {
+        {ModelConfig::mobileBertTinyLike(), true},
+    };
+    // QT8_FULL=1 runs the paper's full four-model ladder.
+    if (std::getenv("QT8_FULL") != nullptr) {
+        model_rows.push_back({ModelConfig::mobileBertLike(), true});
+        model_rows.push_back(
+            {ModelConfig::bertBaseLike(), false}); // roberta-base-like
+        model_rows.push_back(
+            {ModelConfig::bertLargeLike(), false}); // roberta-large-like
+    }
+    const std::vector<TaskSpec> tasks = {
+        {"mnli", PairTask::Kind::kMnli},
+        {"qnli", PairTask::Kind::kQnli},
+        {"mrpc", PairTask::Kind::kMrpc},
+        {"sst2", PairTask::Kind::kSst2},
+    };
+
+    struct Method
+    {
+        const char *name;
+        QuantConfig cfg;
+        bool lora;
+    };
+    const std::vector<Method> methods = {
+        {"Full Training FP32", QuantConfig::fp32(), false},
+        {"LoRA BF16", QuantConfig::bf16(), true},
+        {"LoRA Posit8", QuantConfig::posit8(), true},
+        {"LoRA Posit8 Approx", QuantConfig::posit8Approx(), true},
+        {"LoRA FP8", QuantConfig::fp8(), true},
+    };
+
+    for (size_t mi = 0; mi < model_rows.size(); ++mi) {
+        const auto &row = model_rows[mi];
+        std::printf("\n%s (LoRA on %s)\n", row.cfg.name.c_str(),
+                    row.lora_all_dense ? "every dense layer"
+                                       : "q/v projections, r=8");
+
+        TransformerEncoder backbone(row.cfg, 8100 + mi);
+        pretrainBackbone(backbone, row.cfg, 8200 + mi, budget(550),
+                         budget(200));
+
+        std::printf("  %-20s", "method");
+        for (const auto &t : tasks)
+            std::printf(" %7s", t.name);
+        std::printf(" %7s\n", "squad");
+
+        for (const auto &method : methods) {
+            std::printf("  %-20s", method.name);
+            for (const auto &t : tasks) {
+                const double acc = finetuneCls(
+                    row.cfg, backbone, t.kind, method.cfg, method.lora,
+                    row.lora_all_dense, 8300 + mi * 100);
+                std::printf(" %7.1f", acc);
+                std::fflush(stdout);
+            }
+            const double f1 =
+                finetuneSpan(row.cfg, backbone, method.cfg, method.lora,
+                             row.lora_all_dense, 8350 + mi * 100);
+            std::printf(" %7.1f\n", f1);
+        }
+    }
+
+    std::printf("\nPaper shape: Posit8 / Posit8-approx / FP8 LoRA all "
+                "land within ~1%% of BF16 LoRA, using identical "
+                "hyperparameters; approximation does not hurt "
+                "training.\n");
+    return 0;
+}

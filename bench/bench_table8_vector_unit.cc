@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 8: vector unit area and power, Posit8 vs FP8 accelerators, at
+ * 8/16/32 lanes (200 MHz, 0.9 V). The posit vector unit replaces the
+ * HLS exponential and reciprocal with the bit-trick units.
+ */
+#include <cstdio>
+
+#include "harness.h"
+#include "hw/accelerator.h"
+
+using namespace qt8;
+using namespace qt8::hw;
+
+int
+main()
+{
+    bench::banner("Table 8: vector unit, Posit8 vs FP8");
+    std::printf("%8s | %10s %10s %7s | %10s %10s %7s\n", "lanes",
+                "posit8 mm2", "fp8 mm2", "area v", "posit8 mW",
+                "fp8 mW", "power v");
+    double sum_area = 0.0, sum_power = 0.0;
+    for (int lanes : {8, 16, 32}) {
+        const auto vp = vectorUnitReport("posit8", lanes, 200.0);
+        const auto vf = vectorUnitReport("fp8", lanes, 200.0);
+        const double da = 100.0 * (1.0 - vp.area_um2 / vf.area_um2);
+        const double dp = 100.0 * (1.0 - vp.powerMw() / vf.powerMw());
+        sum_area += da;
+        sum_power += dp;
+        std::printf("%8d | %10.4f %10.4f -%5.1f%% | %10.2f %10.2f "
+                    "-%5.1f%%\n",
+                    lanes, vp.areaMm2(), vf.areaMm2(), da, vp.powerMw(),
+                    vf.powerMw(), dp);
+    }
+    std::printf("%8s | %21s -%5.1f%% | %21s -%5.1f%%\n", "average", "",
+                sum_area / 3.0, "", sum_power / 3.0);
+    std::printf("\nPaper: average -33%% area, -35%% power.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qt8::bench {
+
+bool
+quickMode()
+{
+    const char *env = std::getenv("QT8_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+int
+budget(int full_steps)
+{
+    return quickMode() ? std::max(20, full_steps / 8) : full_steps;
+}
+
+const std::vector<FusionLevel> &
+fusionLevels()
+{
+    static const std::vector<FusionLevel> levels = {
+        FusionLevel::kNone, FusionLevel::kAttnScaling,
+        FusionLevel::kActivation, FusionLevel::kLayerNorm,
+        FusionLevel::kResidual};
+    return levels;
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void
+trainSpanBaseline(EncoderSpanQA &model, const SpanTask &task, int steps,
+                  uint64_t data_seed)
+{
+    QuantSession qs(QuantConfig::fp32());
+    TrainOptions opts;
+    opts.steps = steps;
+    opts.batch = 16;
+    opts.lr = 2e-3;
+    opts.data_seed = data_seed;
+    trainSpan(model, qs, task, opts);
+}
+
+void
+pretrainBackbone(TransformerEncoder &dst, const ModelConfig &cfg,
+                 uint64_t seed, int span_steps, int qnli_steps)
+{
+    QuantSession qs(QuantConfig::fp32());
+
+    const SpanTask span_task(cfg.vocab, 24);
+    EncoderSpanQA span_model(cfg, seed);
+    TrainOptions sopts;
+    sopts.steps = span_steps;
+    sopts.batch = 16;
+    sopts.lr = 2e-3;
+    sopts.data_seed = seed + 17;
+    trainSpan(span_model, qs, span_task, sopts);
+
+    const PairTask qnli(PairTask::Kind::kQnli, cfg.vocab, 25);
+    EncoderClassifier qnli_model(cfg, qnli.numClasses(), seed + 1);
+    ParamList se, qe;
+    span_model.encoder.collectParams(se);
+    qnli_model.encoder.collectParams(qe);
+    copyParamValues(qe, se);
+    TrainOptions qopts;
+    qopts.steps = qnli_steps;
+    qopts.batch = 16;
+    qopts.lr = 1e-3;
+    qopts.data_seed = seed + 31;
+    trainCls(qnli_model, qs, qnli, qopts);
+
+    ParamList dst_params, src_params;
+    dst.collectParams(dst_params);
+    qnli_model.encoder.collectParams(src_params);
+    copyParamValues(dst_params, src_params);
+}
+
+} // namespace qt8::bench

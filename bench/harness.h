@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction benches: the data-type
+ * configurations, fusion schedule, backbone pre-training helpers and
+ * table printing. Every bench prints the table/figure it regenerates
+ * with the same rows/series the paper reports (see EXPERIMENTS.md).
+ *
+ * Set QT8_QUICK=1 in the environment to shrink training budgets for a
+ * fast smoke run of all benches.
+ */
+#ifndef QT8_BENCH_HARNESS_H
+#define QT8_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/eval.h"
+#include "nn/model.h"
+#include "quant/config.h"
+
+namespace qt8::bench {
+
+/// True when QT8_QUICK=1 (shrunken training budgets).
+bool quickMode();
+
+/// steps in full mode, a reduced count in quick mode.
+int budget(int full_steps);
+
+/// The incremental fusion schedule, in table-column order.
+const std::vector<FusionLevel> &fusionLevels();
+
+/// Print a horizontal rule and a table title.
+void banner(const std::string &title);
+
+/**
+ * Train a span-extraction baseline in FP32 (the stand-in for a
+ * fine-tuned checkpoint downloaded from the hub).
+ */
+void trainSpanBaseline(EncoderSpanQA &model, const SpanTask &task,
+                       int steps, uint64_t data_seed = 1234);
+
+/**
+ * Produce a pre-trained encoder backbone: span pre-training teaches
+ * content matching; a QNLI-like phase teaches CLS aggregation. The
+ * trained weights are copied into @p dst (which must share the config).
+ */
+void pretrainBackbone(TransformerEncoder &dst, const ModelConfig &cfg,
+                      uint64_t seed, int span_steps, int qnli_steps);
+
+/// The evaluation seed used by every bench (fixed for determinism).
+inline constexpr uint64_t kEvalSeed = 20240427;
+
+} // namespace qt8::bench
+
+#endif // QT8_BENCH_HARNESS_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Accelerator design-space report (paper section 7): area and power of
+ * the systolic-array + vector-unit accelerator for each data type, with
+ * the component breakdown and the fine-tuning memory model.
+ */
+#include <cstdio>
+
+#include "hw/accelerator.h"
+#include "hw/memory_model.h"
+
+using namespace qt8::hw;
+
+int
+main()
+{
+    AcceleratorConfig cfg;
+    cfg.array_n = 16;
+    cfg.freq_mhz = 200.0;
+
+    for (const char *dtype : {"bf16", "posit8", "fp8"}) {
+        cfg.dtype = dtype;
+        const AcceleratorReport rep = buildAccelerator(cfg);
+        std::printf("\n%s accelerator (%dx%d @ %.0f MHz):\n", dtype,
+                    cfg.array_n, cfg.array_n, cfg.freq_mhz);
+        for (const auto &c : rep.components) {
+            std::printf("  %-16s %10.4f mm2 %10.3f mW\n",
+                        c.name.c_str(), c.area_um2 * 1e-6, c.power_mw);
+        }
+        std::printf("  %-16s %10.4f mm2 %10.3f mW\n", "TOTAL",
+                    rep.totalAreaMm2(), rep.totalPowerMw());
+    }
+
+    std::printf("\nFine-tuning memory (MobileBERT_tiny-scale, "
+                "batch 16 x seq 128):\n");
+    const TransformerDims dims = TransformerDims::mobileBertTiny();
+    MemorySetup lora8;
+    lora8.lora = true;
+    lora8.weight_bits = 8;
+    lora8.act_bits = 8;
+    lora8.error_bits = 8;
+    const MemoryBreakdown m = finetuneMemory(dims, lora8);
+    std::printf("  LoRA + 8-bit: %.1f MB total (params %.1f, "
+                "activations %.1f)\n",
+                m.totalMb(), m.params_mb, m.activations_mb);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Post-training quantization workflow (paper section 4): train a span
+ * extraction model in FP32, then evaluate it under Posit8 and FP8 with
+ * each operation-fusion level, reproducing the Table 2 methodology on
+ * one model.
+ */
+#include <cstdio>
+
+#include "data/eval.h"
+
+using namespace qt8;
+
+int
+main()
+{
+    const ModelConfig cfg = ModelConfig::distilBertLike();
+    const SpanTask task(cfg.vocab, 24);
+    EncoderSpanQA model(cfg, 123);
+
+    std::printf("training %s on the span task (FP32)...\n",
+                cfg.name.c_str());
+    QuantSession fp32(QuantConfig::fp32());
+    TrainOptions opts;
+    opts.steps = 800;
+    opts.batch = 16;
+    opts.lr = 2e-3;
+    trainSpan(model, fp32, task, opts);
+
+    QuantSession bf(QuantConfig::bf16());
+    std::printf("BF16 F1: %.1f\n\n",
+                evalSpanF1(model, bf, task, 2024, 3, 32));
+
+    std::printf("%-16s %10s %10s\n", "fusion level", "posit8", "e4m3");
+    for (FusionLevel lvl :
+         {FusionLevel::kNone, FusionLevel::kAttnScaling,
+          FusionLevel::kActivation, FusionLevel::kLayerNorm,
+          FusionLevel::kResidual}) {
+        QuantSession p8(QuantConfig::posit8().withFusion(lvl));
+        QuantSession f8(QuantConfig::fp8().withFusion(lvl));
+        std::printf("%-16s %10.1f %10.1f\n", toString(lvl),
+                    evalSpanF1(model, p8, task, 2024, 3, 32),
+                    evalSpanF1(model, f8, task, 2024, 3, 32));
+    }
+    return 0;
+}

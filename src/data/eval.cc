@@ -1,0 +1,350 @@
+#include "data/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "data/metrics.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace qt8 {
+namespace {
+
+constexpr float kNegInf = -1e9f;
+
+/// Split [B*S, 2] span logits into per-batch start/end rows with padded
+/// positions masked out.
+void
+splitSpanLogits(const Tensor &logits, const SpanBatch &batch,
+                Tensor &start_logits, Tensor &end_logits)
+{
+    const int64_t b = batch.batch;
+    const int64_t s = batch.seq;
+    start_logits = Tensor({b, s});
+    end_logits = Tensor({b, s});
+    for (int64_t i = 0; i < b; ++i) {
+        for (int64_t j = 0; j < s; ++j) {
+            const bool pad =
+                batch.pad[static_cast<size_t>(i * s + j)] != 0;
+            start_logits.at(i, j) =
+                pad ? kNegInf : logits.at(i * s + j, 0);
+            end_logits.at(i, j) =
+                pad ? kNegInf : logits.at(i * s + j, 1);
+        }
+    }
+}
+
+} // namespace
+
+SpanLossResult
+spanLoss(const Tensor &logits, const SpanBatch &batch)
+{
+    Tensor start_logits, end_logits;
+    splitSpanLogits(logits, batch, start_logits, end_logits);
+
+    const CEResult ls = softmaxCrossEntropy(start_logits, batch.start);
+    const CEResult le = softmaxCrossEntropy(end_logits, batch.end);
+
+    SpanLossResult res;
+    res.loss = 0.5 * (ls.loss + le.loss);
+    res.dlogits = Tensor({batch.batch * batch.seq, 2});
+    for (int64_t i = 0; i < batch.batch; ++i) {
+        for (int64_t j = 0; j < batch.seq; ++j) {
+            res.dlogits.at(i * batch.seq + j, 0) =
+                0.5f * ls.dlogits.at(i, j);
+            res.dlogits.at(i * batch.seq + j, 1) =
+                0.5f * le.dlogits.at(i, j);
+        }
+    }
+    return res;
+}
+
+double
+spanF1Percent(const Tensor &logits, const SpanBatch &batch)
+{
+    Tensor start_logits, end_logits;
+    splitSpanLogits(logits, batch, start_logits, end_logits);
+
+    double total = 0.0;
+    for (int64_t b = 0; b < batch.batch; ++b) {
+        const int64_t ps = rowArgmax(start_logits, b);
+        // End constrained to a short window after the start (answers
+        // are at most 3 tokens in the synthetic task).
+        int64_t pe = ps;
+        float best = kNegInf;
+        for (int64_t j = ps; j < std::min(batch.seq, ps + 4); ++j) {
+            if (end_logits.at(b, j) > best) {
+                best = end_logits.at(b, j);
+                pe = j;
+            }
+        }
+        total += spanOverlapF1(ps, pe,
+                               batch.start[static_cast<size_t>(b)],
+                               batch.end[static_cast<size_t>(b)]);
+    }
+    return 100.0 * total / static_cast<double>(batch.batch);
+}
+
+double
+evalSpanF1(EncoderSpanQA &model, QuantSession &qs, const SpanTask &task,
+           uint64_t seed, int n_batches, int64_t batch)
+{
+    Rng rng(seed);
+    double total = 0.0;
+    for (int i = 0; i < n_batches; ++i) {
+        const SpanBatch b = task.sample(rng, batch);
+        const Tensor logits =
+            model.forward(qs, b.ids, b.batch, b.seq, b.pad.data());
+        total += spanF1Percent(logits, b);
+    }
+    return total / n_batches;
+}
+
+double
+evalClsAccuracy(EncoderClassifier &model, QuantSession &qs,
+                const PairTask &task, uint64_t seed, int n_batches,
+                int64_t batch)
+{
+    Rng rng(seed);
+    int64_t correct = 0;
+    int64_t total = 0;
+    for (int i = 0; i < n_batches; ++i) {
+        const ClsBatch b = task.sample(rng, batch);
+        const Tensor logits =
+            model.forward(qs, b.ids, b.batch, b.seq, b.pad.data());
+        for (int64_t k = 0; k < b.batch; ++k) {
+            correct += rowArgmax(logits, k) ==
+                       b.label[static_cast<size_t>(k)];
+            ++total;
+        }
+    }
+    return 100.0 * static_cast<double>(correct) /
+           static_cast<double>(total);
+}
+
+double
+evalWer(Seq2Seq &model, QuantSession &qs, const Seq2SeqTask &task,
+        uint64_t seed, int n_batches, int64_t batch)
+{
+    Rng rng(seed);
+    std::vector<std::vector<int32_t>> hyps, refs;
+    for (int i = 0; i < n_batches; ++i) {
+        const Seq2SeqBatch b = task.sample(rng, batch);
+        auto decoded =
+            model.greedyDecode(qs, b.src, b.batch, b.seq_src,
+                               b.src_pad.data(), b.seq_tgt, Vocab::kBos,
+                               Vocab::kEos);
+        for (int64_t k = 0; k < b.batch; ++k) {
+            hyps.push_back(std::move(decoded[static_cast<size_t>(k)]));
+            refs.push_back(b.refs[static_cast<size_t>(k)]);
+        }
+    }
+    return 100.0 * wordErrorRate(hyps, refs);
+}
+
+double
+evalPerplexity(CausalLM &model, QuantSession &qs, const LmTask &task,
+               uint64_t seed, int64_t n_tokens, int64_t seq,
+               int64_t stride)
+{
+    Rng rng(seed);
+    const std::vector<int32_t> stream = task.stream(rng, n_tokens);
+
+    double total_nll = 0.0;
+    int64_t counted = 0;
+    for (int64_t w = 0; w + seq + 1 <= n_tokens; w += stride) {
+        std::vector<int32_t> ids(stream.begin() + w,
+                                 stream.begin() + w + seq);
+        std::vector<int32_t> targets(seq);
+        for (int64_t i = 0; i < seq; ++i) {
+            // Only the final `stride` positions are scored for
+            // non-initial windows (sliding-window evaluation).
+            const bool score = (w == 0) || (i >= seq - stride);
+            targets[static_cast<size_t>(i)] =
+                score ? stream[static_cast<size_t>(w + i + 1)]
+                      : kIgnoreIndex;
+        }
+        const Tensor logits = model.forward(qs, ids, 1, seq);
+        const CEResult ce = softmaxCrossEntropy(logits, targets);
+        total_nll += ce.loss * static_cast<double>(ce.count);
+        counted += ce.count;
+    }
+    return perplexity(total_nll, counted);
+}
+
+namespace {
+
+/// Shared optimizer/step plumbing for the four training drivers.
+class StepRunner
+{
+  public:
+    StepRunner(ParamList params, const TrainOptions &opts)
+        : params_(std::move(params)), opts_(opts),
+          scaler_(opts.loss_scale, opts.loss_scale != 1.0)
+    {
+        if (opts.opt == TrainOptions::Opt::kAdamW) {
+            adamw_ = std::make_unique<AdamW>(opts.lr, 0.9, 0.999, 1e-8,
+                                             opts.weight_decay);
+        } else {
+            sgd_ = std::make_unique<Sgd>(opts.lr, opts.momentum);
+        }
+    }
+
+    double lossScale() const { return scaler_.scale(); }
+
+    /// Returns true if the step was applied.
+    bool
+    step()
+    {
+        bool ok = scaler_.unscaleAndCheck(params_);
+        if (ok) {
+            if (opts_.clip_norm > 0)
+                clipGradNorm(params_, opts_.clip_norm);
+            if (adamw_)
+                adamw_->step(params_);
+            else
+                sgd_->step(params_);
+        }
+        zeroGrads(params_);
+        return ok;
+    }
+
+    const ParamList &params() const { return params_; }
+
+  private:
+    ParamList params_;
+    TrainOptions opts_;
+    LossScaler scaler_;
+    std::unique_ptr<AdamW> adamw_;
+    std::unique_ptr<Sgd> sgd_;
+};
+
+TrainResult
+finishTraining(const std::vector<double> &losses, int skipped)
+{
+    TrainResult res;
+    res.skipped_steps = skipped;
+    const size_t tail =
+        std::max<size_t>(1, losses.size() / 10);
+    double acc = 0.0;
+    for (size_t i = losses.size() - tail; i < losses.size(); ++i)
+        acc += losses[i];
+    res.final_loss = acc / static_cast<double>(tail);
+    res.diverged = !std::isfinite(res.final_loss) ||
+                   skipped > static_cast<int>(losses.size()) / 3;
+    return res;
+}
+
+} // namespace
+
+TrainResult
+trainSpan(EncoderSpanQA &model, QuantSession &qs, const SpanTask &task,
+          const TrainOptions &opts)
+{
+    ParamList params;
+    model.collectParams(params);
+    StepRunner runner(params, opts);
+    Rng rng(opts.data_seed);
+    std::vector<double> losses;
+    int skipped = 0;
+
+    for (int step = 0; step < opts.steps; ++step) {
+        const SpanBatch b = task.sample(rng, opts.batch);
+        const Tensor logits =
+            model.forward(qs, b.ids, b.batch, b.seq, b.pad.data());
+        SpanLossResult l = spanLoss(logits, b);
+        losses.push_back(l.loss);
+        scaleInPlace(l.dlogits, static_cast<float>(runner.lossScale()));
+        model.backward(qs, l.dlogits);
+        if (!runner.step())
+            ++skipped;
+        if (opts.log_every > 0 && step % opts.log_every == 0)
+            std::printf("  step %4d loss %.4f\n", step, l.loss);
+    }
+    return finishTraining(losses, skipped);
+}
+
+TrainResult
+trainCls(EncoderClassifier &model, QuantSession &qs, const PairTask &task,
+         const TrainOptions &opts)
+{
+    ParamList params;
+    model.collectParams(params);
+    StepRunner runner(params, opts);
+    Rng rng(opts.data_seed);
+    std::vector<double> losses;
+    int skipped = 0;
+
+    for (int step = 0; step < opts.steps; ++step) {
+        const ClsBatch b = task.sample(rng, opts.batch);
+        const Tensor logits =
+            model.forward(qs, b.ids, b.batch, b.seq, b.pad.data());
+        CEResult ce = softmaxCrossEntropy(logits, b.label);
+        losses.push_back(ce.loss);
+        scaleInPlace(ce.dlogits, static_cast<float>(runner.lossScale()));
+        model.backward(qs, ce.dlogits);
+        if (!runner.step())
+            ++skipped;
+        if (opts.log_every > 0 && step % opts.log_every == 0)
+            std::printf("  step %4d loss %.4f\n", step, ce.loss);
+    }
+    return finishTraining(losses, skipped);
+}
+
+TrainResult
+trainSeq2Seq(Seq2Seq &model, QuantSession &qs, const Seq2SeqTask &task,
+             const TrainOptions &opts)
+{
+    ParamList params;
+    model.collectParams(params);
+    StepRunner runner(params, opts);
+    Rng rng(opts.data_seed);
+    std::vector<double> losses;
+    int skipped = 0;
+
+    for (int step = 0; step < opts.steps; ++step) {
+        const Seq2SeqBatch b = task.sample(rng, opts.batch);
+        const Tensor logits =
+            model.forward(qs, b.src, b.batch, b.seq_src,
+                          b.src_pad.data(), b.tgt_in, b.seq_tgt);
+        CEResult ce = softmaxCrossEntropy(logits, b.tgt_out);
+        losses.push_back(ce.loss);
+        scaleInPlace(ce.dlogits, static_cast<float>(runner.lossScale()));
+        model.backward(qs, ce.dlogits);
+        if (!runner.step())
+            ++skipped;
+        if (opts.log_every > 0 && step % opts.log_every == 0)
+            std::printf("  step %4d loss %.4f\n", step, ce.loss);
+    }
+    return finishTraining(losses, skipped);
+}
+
+TrainResult
+trainLm(CausalLM &model, QuantSession &qs, const LmTask &task, int64_t seq,
+        const TrainOptions &opts)
+{
+    ParamList params;
+    model.collectParams(params);
+    StepRunner runner(params, opts);
+    Rng rng(opts.data_seed);
+    std::vector<double> losses;
+    int skipped = 0;
+
+    for (int step = 0; step < opts.steps; ++step) {
+        const LmBatch b = task.sample(rng, opts.batch, seq);
+        const Tensor logits = model.forward(qs, b.ids, b.batch, b.seq);
+        CEResult ce = softmaxCrossEntropy(logits, b.targets);
+        losses.push_back(ce.loss);
+        scaleInPlace(ce.dlogits, static_cast<float>(runner.lossScale()));
+        model.backward(qs, ce.dlogits);
+        if (!runner.step())
+            ++skipped;
+        if (opts.log_every > 0 && step % opts.log_every == 0)
+            std::printf("  step %4d loss %.4f\n", step, ce.loss);
+    }
+    return finishTraining(losses, skipped);
+}
+
+} // namespace qt8

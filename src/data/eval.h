@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Training and evaluation drivers shared by the tests, examples and
+ * benchmark harnesses: span-extraction F1 (SQuAD-like), pair
+ * classification accuracy (GLUE-like), seq2seq WER (LibriSpeech-like)
+ * and LM perplexity (WikiText-like, sliding-window evaluation).
+ */
+#ifndef QT8_DATA_EVAL_H
+#define QT8_DATA_EVAL_H
+
+#include "data/tasks.h"
+#include "nn/model.h"
+#include "nn/optim.h"
+
+namespace qt8 {
+
+/// Span loss: mean of start and end cross-entropies over positions.
+struct SpanLossResult
+{
+    double loss = 0.0;
+    Tensor dlogits; ///< [B*S, 2]
+};
+
+SpanLossResult spanLoss(const Tensor &logits, const SpanBatch &batch);
+
+/// Mean SQuAD-style token-overlap F1 (in percent) of the argmax spans.
+double spanF1Percent(const Tensor &logits, const SpanBatch &batch);
+
+/// Evaluate span F1 over n_batches fresh batches (deterministic seed).
+double evalSpanF1(EncoderSpanQA &model, QuantSession &qs,
+                  const SpanTask &task, uint64_t seed, int n_batches,
+                  int64_t batch);
+
+/// Evaluate classification accuracy (percent).
+double evalClsAccuracy(EncoderClassifier &model, QuantSession &qs,
+                       const PairTask &task, uint64_t seed, int n_batches,
+                       int64_t batch);
+
+/// Evaluate WER (percent) with greedy decoding.
+double evalWer(Seq2Seq &model, QuantSession &qs, const Seq2SeqTask &task,
+               uint64_t seed, int n_batches, int64_t batch);
+
+/// Sliding-window LM perplexity over a held-out stream of n_tokens,
+/// window seq, given stride (the paper uses seq 1024 / stride 512).
+double evalPerplexity(CausalLM &model, QuantSession &qs,
+                      const LmTask &task, uint64_t seed, int64_t n_tokens,
+                      int64_t seq, int64_t stride);
+
+/// Options for the training drivers.
+struct TrainOptions
+{
+    enum class Opt { kAdamW, kSgd };
+
+    int steps = 300;
+    int64_t batch = 16;
+    double lr = 1e-3;
+    Opt opt = Opt::kAdamW;
+    double momentum = 0.9;
+    double weight_decay = 0.01;
+    double clip_norm = 1.0;
+    double loss_scale = 1.0;   ///< 1.0 = no loss scaling.
+    uint64_t data_seed = 1234;
+    int log_every = 0;         ///< 0 = silent.
+};
+
+struct TrainResult
+{
+    double final_loss = 0.0;   ///< Mean loss over the last 10% of steps.
+    int skipped_steps = 0;     ///< Steps skipped due to non-finite grads.
+    bool diverged = false;
+};
+
+TrainResult trainSpan(EncoderSpanQA &model, QuantSession &qs,
+                      const SpanTask &task, const TrainOptions &opts);
+TrainResult trainCls(EncoderClassifier &model, QuantSession &qs,
+                     const PairTask &task, const TrainOptions &opts);
+TrainResult trainSeq2Seq(Seq2Seq &model, QuantSession &qs,
+                         const Seq2SeqTask &task, const TrainOptions &opts);
+TrainResult trainLm(CausalLM &model, QuantSession &qs, const LmTask &task,
+                    int64_t seq, const TrainOptions &opts);
+
+} // namespace qt8
+
+#endif // QT8_DATA_EVAL_H

@@ -1,0 +1,64 @@
+#include "data/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qt8 {
+
+int64_t
+editDistance(const std::vector<int32_t> &a, const std::vector<int32_t> &b)
+{
+    const size_t n = a.size();
+    const size_t m = b.size();
+    std::vector<int64_t> prev(m + 1), cur(m + 1);
+    for (size_t j = 0; j <= m; ++j)
+        prev[j] = static_cast<int64_t>(j);
+    for (size_t i = 1; i <= n; ++i) {
+        cur[0] = static_cast<int64_t>(i);
+        for (size_t j = 1; j <= m; ++j) {
+            const int64_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+double
+wordErrorRate(const std::vector<std::vector<int32_t>> &hyps,
+              const std::vector<std::vector<int32_t>> &refs)
+{
+    int64_t errors = 0;
+    int64_t total = 0;
+    for (size_t i = 0; i < refs.size(); ++i) {
+        errors += editDistance(hyps[i], refs[i]);
+        total += static_cast<int64_t>(refs[i].size());
+    }
+    return total > 0 ? static_cast<double>(errors) / total : 0.0;
+}
+
+double
+spanOverlapF1(int64_t ps, int64_t pe, int64_t gs, int64_t ge)
+{
+    const int64_t lo = std::max(ps, gs);
+    const int64_t hi = std::min(pe, ge);
+    const int64_t overlap = std::max<int64_t>(0, hi - lo + 1);
+    if (overlap == 0)
+        return 0.0;
+    const double prec =
+        static_cast<double>(overlap) / static_cast<double>(pe - ps + 1);
+    const double rec =
+        static_cast<double>(overlap) / static_cast<double>(ge - gs + 1);
+    return 2.0 * prec * rec / (prec + rec);
+}
+
+double
+perplexity(double total_nll, int64_t n_tokens)
+{
+    if (n_tokens <= 0)
+        return 0.0;
+    return std::exp(total_nll / static_cast<double>(n_tokens));
+}
+
+} // namespace qt8

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Evaluation metrics matching the paper's tasks: SQuAD-style span F1,
+ * classification accuracy, word error rate (Levenshtein), perplexity.
+ */
+#ifndef QT8_DATA_METRICS_H
+#define QT8_DATA_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace qt8 {
+
+/// Levenshtein edit distance between two token sequences.
+int64_t editDistance(const std::vector<int32_t> &a,
+                     const std::vector<int32_t> &b);
+
+/// Word error rate: edit distance / reference length (can exceed 1).
+double wordErrorRate(const std::vector<std::vector<int32_t>> &hyps,
+                     const std::vector<std::vector<int32_t>> &refs);
+
+/// SQuAD-style token-overlap F1 between two position spans
+/// [ps, pe] and [gs, ge] (inclusive), in [0, 1].
+double spanOverlapF1(int64_t ps, int64_t pe, int64_t gs, int64_t ge);
+
+/// Perplexity from a total negative log likelihood over n tokens.
+double perplexity(double total_nll, int64_t n_tokens);
+
+} // namespace qt8
+
+#endif // QT8_DATA_METRICS_H

@@ -1,0 +1,369 @@
+#include "data/tasks.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/loss.h"
+
+namespace qt8 {
+namespace {
+
+/// Random content token in [kFirstContent, vocab).
+int32_t
+randomContent(Rng &rng, int64_t vocab)
+{
+    return static_cast<int32_t>(
+        Vocab::kFirstContent +
+        rng.randint(vocab - Vocab::kFirstContent));
+}
+
+} // namespace
+
+SpanBatch
+SpanTask::sample(Rng &rng, int64_t batch) const
+{
+    SpanBatch out;
+    out.batch = batch;
+    out.seq = seq_;
+    out.ids.assign(static_cast<size_t>(batch * seq_), Vocab::kPad);
+    out.pad.assign(static_cast<size_t>(batch * seq_), 1);
+    out.start.resize(static_cast<size_t>(batch));
+    out.end.resize(static_cast<size_t>(batch));
+
+    for (int64_t b = 0; b < batch; ++b) {
+        int32_t *ids = out.ids.data() + b * seq_;
+        uint8_t *pad = out.pad.data() + b * seq_;
+
+        const int32_t q = randomContent(rng, vocab_);
+        const int len = 1 + static_cast<int>(rng.randint(3));
+        // Context length varies so the padding mask is exercised.
+        const int64_t ctx =
+            seq_ / 2 - 4 + rng.randint(seq_ - 4 - (seq_ / 2 - 4) + 1);
+
+        ids[0] = Vocab::kCls;
+        ids[1] = q;
+        ids[2] = Vocab::kFirstLen + (len - 1);
+        ids[3] = Vocab::kSep;
+        for (int64_t i = 0; i < 4 + ctx; ++i)
+            pad[i] = 0;
+        for (int64_t i = 4; i < 4 + ctx; ++i) {
+            int32_t t = randomContent(rng, vocab_);
+            while (t == q)
+                t = randomContent(rng, vocab_);
+            ids[i] = t;
+        }
+        // The answer is the run of `len` copies of the query token; the
+        // start/end classifiers must locate it by content matching
+        // against position 1 plus run-boundary detection.
+        const int64_t pmax = 4 + ctx - len;
+        const int64_t p = 4 + rng.randint(pmax - 4 + 1);
+        for (int k = 0; k < len; ++k)
+            ids[p + k] = q;
+        out.start[static_cast<size_t>(b)] = static_cast<int32_t>(p);
+        out.end[static_cast<size_t>(b)] = static_cast<int32_t>(p + len - 1);
+    }
+    return out;
+}
+
+const char *
+PairTask::name(Kind kind)
+{
+    switch (kind) {
+      case Kind::kMnli:
+        return "mnli";
+      case Kind::kQnli:
+        return "qnli";
+      case Kind::kMrpc:
+        return "mrpc";
+      case Kind::kSst2:
+        return "sst2";
+    }
+    return "?";
+}
+
+ClsBatch
+PairTask::sample(Rng &rng, int64_t batch) const
+{
+    ClsBatch out;
+    out.batch = batch;
+    out.seq = seq_;
+    out.ids.assign(static_cast<size_t>(batch * seq_), Vocab::kPad);
+    out.pad.assign(static_cast<size_t>(batch * seq_), 1);
+    out.label.resize(static_cast<size_t>(batch));
+
+    const int64_t la = segLen();
+    const int64_t lb = segLen();
+
+    for (int64_t b = 0; b < batch; ++b) {
+        int32_t *ids = out.ids.data() + b * seq_;
+        uint8_t *pad = out.pad.data() + b * seq_;
+        std::vector<int32_t> a(static_cast<size_t>(la));
+        std::vector<int32_t> bb(static_cast<size_t>(lb));
+        int32_t label = 0;
+
+        switch (kind_) {
+          case Kind::kMnli: {
+            label = static_cast<int32_t>(rng.randint(3));
+            for (auto &t : a)
+                t = randomContent(rng, vocab_);
+            for (size_t i = 0; i < bb.size(); ++i) {
+                const bool from_a =
+                    label == 0 || (label == 2 && i % 2 == 0);
+                if (from_a) {
+                    bb[i] = a[static_cast<size_t>(
+                        rng.randint(static_cast<int64_t>(a.size())))];
+                } else {
+                    int32_t t = randomContent(rng, vocab_);
+                    while (std::find(a.begin(), a.end(), t) != a.end())
+                        t = randomContent(rng, vocab_);
+                    bb[i] = t;
+                }
+            }
+            break;
+          }
+          case Kind::kQnli: {
+            // Question-first layout ([CLS] q [SEP] passage [SEP]) so the
+            // query sits where span-pretrained matching circuits look.
+            label = static_cast<int32_t>(rng.randint(2));
+            const int32_t q = randomContent(rng, vocab_);
+            a.assign(a.size(), Vocab::kPad);
+            a[0] = q;
+            for (auto &t : bb) {
+                t = randomContent(rng, vocab_);
+                while (t == q)
+                    t = randomContent(rng, vocab_);
+            }
+            if (label == 1) {
+                // "Answerable": the query occurs several times in the
+                // passage (repeated entity mentions).
+                const int64_t occurrences =
+                    2 + rng.randint(static_cast<int64_t>(bb.size()) / 3);
+                for (int64_t k = 0; k < occurrences; ++k) {
+                    bb[static_cast<size_t>(rng.randint(
+                        static_cast<int64_t>(bb.size())))] = q;
+                }
+            }
+            break;
+          }
+          case Kind::kMrpc: {
+            for (auto &t : a)
+                t = randomContent(rng, vocab_);
+            bb = a;
+            // Shuffle B (paraphrase = permutation).
+            for (size_t i = bb.size(); i > 1; --i) {
+                std::swap(bb[i - 1], bb[static_cast<size_t>(
+                                         rng.randint(
+                                             static_cast<int64_t>(i)))]);
+            }
+            label = static_cast<int32_t>(rng.randint(2));
+            if (label == 0) {
+                // Not a paraphrase: replace ~40% of B's tokens.
+                for (auto &t : bb) {
+                    if (rng.uniform() < 0.4) {
+                        int32_t r = randomContent(rng, vocab_);
+                        while (std::find(a.begin(), a.end(), r) != a.end())
+                            r = randomContent(rng, vocab_);
+                        t = r;
+                    }
+                }
+            }
+            break;
+          }
+          case Kind::kSst2: {
+            // Single segment: polarity = majority token pool.
+            const int64_t mid =
+                Vocab::kFirstContent +
+                (vocab_ - Vocab::kFirstContent) / 2;
+            label = static_cast<int32_t>(rng.randint(2));
+            // Pick counts with a clear majority.
+            const int64_t total = la + lb;
+            const int64_t majority =
+                total / 2 + 1 + rng.randint(total / 2 - 1);
+            std::vector<int32_t> seg(static_cast<size_t>(total));
+            for (int64_t i = 0; i < total; ++i) {
+                const bool in_major = i < majority;
+                const bool positive = (label == 1) == in_major;
+                if (positive) {
+                    seg[static_cast<size_t>(i)] = static_cast<int32_t>(
+                        Vocab::kFirstContent +
+                        rng.randint(mid - Vocab::kFirstContent));
+                } else {
+                    seg[static_cast<size_t>(i)] = static_cast<int32_t>(
+                        mid + rng.randint(vocab_ - mid));
+                }
+            }
+            // Shuffle so position carries no signal.
+            for (size_t i = seg.size(); i > 1; --i) {
+                std::swap(seg[i - 1], seg[static_cast<size_t>(
+                                          rng.randint(
+                                              static_cast<int64_t>(i)))]);
+            }
+            std::copy(seg.begin(),
+                      seg.begin() + static_cast<int64_t>(a.size()),
+                      a.begin());
+            std::copy(seg.begin() + static_cast<int64_t>(a.size()),
+                      seg.end(), bb.begin());
+            break;
+          }
+        }
+
+        ids[0] = Vocab::kCls;
+        int64_t p = 1;
+        for (int32_t t : a)
+            ids[p++] = t;
+        ids[p++] = Vocab::kSep;
+        for (int32_t t : bb)
+            ids[p++] = t;
+        ids[p++] = Vocab::kSep;
+        for (int64_t i = 0; i < p; ++i)
+            pad[i] = 0;
+        out.label[static_cast<size_t>(b)] = label;
+    }
+    return out;
+}
+
+Seq2SeqBatch
+Seq2SeqTask::sample(Rng &rng, int64_t batch) const
+{
+    Seq2SeqBatch out;
+    out.batch = batch;
+    out.seq_src = seq_src_;
+    out.seq_tgt = seq_tgt_;
+    out.src.assign(static_cast<size_t>(batch * seq_src_), Vocab::kPad);
+    out.src_pad.assign(static_cast<size_t>(batch * seq_src_), 1);
+    out.tgt_in.assign(static_cast<size_t>(batch * seq_tgt_), Vocab::kPad);
+    out.tgt_out.assign(static_cast<size_t>(batch * seq_tgt_),
+                       kIgnoreIndex);
+    out.refs.resize(static_cast<size_t>(batch));
+
+    const int32_t noise = Vocab::kFirstLen; // reserved noise marker
+
+    for (int64_t b = 0; b < batch; ++b) {
+        const int64_t lt =
+            seq_tgt_ / 2 + rng.randint(seq_tgt_ - 2 - seq_tgt_ / 2);
+        std::vector<int32_t> y(static_cast<size_t>(lt));
+        int32_t prev = -1;
+        for (auto &t : y) {
+            // Consecutive duplicates would be ambiguous to deduplicate.
+            int32_t v = randomContent(rng, vocab_);
+            while (v == prev)
+                v = randomContent(rng, vocab_);
+            t = v;
+            prev = v;
+        }
+        out.refs[static_cast<size_t>(b)] = y;
+
+        // Source: each token repeated 1..3 times, occasional noise.
+        std::vector<int32_t> src;
+        for (int32_t t : y) {
+            const int64_t reps = 1 + rng.randint(3);
+            for (int64_t r = 0; r < reps; ++r)
+                src.push_back(t);
+            if (rng.uniform() < 0.15)
+                src.push_back(noise);
+        }
+        if (static_cast<int64_t>(src.size()) > seq_src_)
+            src.resize(static_cast<size_t>(seq_src_));
+        for (size_t i = 0; i < src.size(); ++i) {
+            out.src[static_cast<size_t>(b * seq_src_) + i] = src[i];
+            out.src_pad[static_cast<size_t>(b * seq_src_) + i] = 0;
+        }
+
+        // Decoder teacher forcing: in = BOS + y, out = y + EOS.
+        out.tgt_in[static_cast<size_t>(b * seq_tgt_)] = Vocab::kBos;
+        for (int64_t i = 0; i < lt && i + 1 < seq_tgt_; ++i) {
+            out.tgt_in[static_cast<size_t>(b * seq_tgt_ + i + 1)] =
+                y[static_cast<size_t>(i)];
+        }
+        for (int64_t i = 0; i < lt; ++i) {
+            out.tgt_out[static_cast<size_t>(b * seq_tgt_ + i)] =
+                y[static_cast<size_t>(i)];
+        }
+        if (lt < seq_tgt_)
+            out.tgt_out[static_cast<size_t>(b * seq_tgt_ + lt)] =
+                Vocab::kEos;
+    }
+    return out;
+}
+
+LmTask::LmTask(int64_t vocab, uint64_t structure_seed) : vocab_(vocab)
+{
+    Rng rng(structure_seed);
+    transitions_.resize(static_cast<size_t>(vocab));
+    for (int64_t t = 0; t < vocab; ++t) {
+        auto &succ = transitions_[static_cast<size_t>(t)];
+        for (int i = 0; i < 4; ++i)
+            succ.push_back(randomContent(rng, vocab_));
+    }
+    for (int p = 0; p < 8; ++p) {
+        std::vector<int32_t> phrase(4 + static_cast<size_t>(rng.randint(3)));
+        for (auto &t : phrase)
+            t = randomContent(rng, vocab_);
+        phrases_.push_back(std::move(phrase));
+    }
+}
+
+int32_t
+LmTask::next(Rng &rng, int32_t prev) const
+{
+    if (rng.uniform() < 0.85) {
+        const auto &succ = transitions_[static_cast<size_t>(prev)];
+        // Skewed choice over the 4 successors: 0.5 / 0.25 / 0.15 / 0.1.
+        const double u = rng.uniform();
+        size_t idx = 3;
+        if (u < 0.5)
+            idx = 0;
+        else if (u < 0.75)
+            idx = 1;
+        else if (u < 0.9)
+            idx = 2;
+        return succ[idx];
+    }
+    return randomContent(rng, vocab_);
+}
+
+std::vector<int32_t>
+LmTask::stream(Rng &rng, int64_t n) const
+{
+    std::vector<int32_t> out;
+    out.reserve(static_cast<size_t>(n));
+    int32_t prev = randomContent(rng, vocab_);
+    out.push_back(prev);
+    while (static_cast<int64_t>(out.size()) < n) {
+        if (rng.uniform() < 0.05) {
+            const auto &phrase = phrases_[static_cast<size_t>(
+                rng.randint(static_cast<int64_t>(phrases_.size())))];
+            for (int32_t t : phrase) {
+                out.push_back(t);
+                prev = t;
+            }
+        } else {
+            prev = next(rng, prev);
+            out.push_back(prev);
+        }
+    }
+    out.resize(static_cast<size_t>(n));
+    return out;
+}
+
+LmBatch
+LmTask::sample(Rng &rng, int64_t batch, int64_t seq) const
+{
+    LmBatch out;
+    out.batch = batch;
+    out.seq = seq;
+    out.ids.resize(static_cast<size_t>(batch * seq));
+    out.targets.resize(static_cast<size_t>(batch * seq));
+    for (int64_t b = 0; b < batch; ++b) {
+        const auto s = stream(rng, seq + 1);
+        for (int64_t i = 0; i < seq; ++i) {
+            out.ids[static_cast<size_t>(b * seq + i)] =
+                s[static_cast<size_t>(i)];
+            out.targets[static_cast<size_t>(b * seq + i)] =
+                s[static_cast<size_t>(i + 1)];
+        }
+    }
+    return out;
+}
+
+} // namespace qt8

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic synthetic task generators standing in for the paper's
+ * datasets (see DESIGN.md section 2 for the substitution rationale):
+ *
+ *  - SpanTask        ~ SQuAD v1.1 span extraction (F1 metric). A query
+ *    token appears once in the context; the answer span starts after it
+ *    with a length encoded by a length token. Requires content-based
+ *    attention, so it is sensitive to attention-score quantization.
+ *  - PairTask        ~ GLUE sentence-pair tasks (accuracy): MNLI-like
+ *    (3-way subset/disjoint/overlap), QNLI-like (does the query token
+ *    occur), MRPC-like (is B a permutation of A), SST2-like (which
+ *    token polarity class dominates).
+ *  - Seq2SeqTask     ~ LibriSpeech ASR (WER): the source is the target
+ *    with tokens repeated a variable number of times plus inserted
+ *    noise; the model must emit the deduplicated clean sequence.
+ *  - LmTask          ~ WikiText-103 language modelling (perplexity): a
+ *    seeded sparse bigram chain with Zipfian marginals and recurring
+ *    multi-token phrases.
+ */
+#ifndef QT8_DATA_TASKS_H
+#define QT8_DATA_TASKS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace qt8 {
+
+/// Shared special token ids (all tasks).
+struct Vocab
+{
+    static constexpr int32_t kPad = 0;
+    static constexpr int32_t kCls = 1;
+    static constexpr int32_t kSep = 2;
+    static constexpr int32_t kBos = 3;
+    static constexpr int32_t kEos = 4;
+    static constexpr int32_t kFirstLen = 5; ///< Length tokens 5..7.
+    static constexpr int32_t kFirstContent = 8;
+};
+
+/// A batch for the span-extraction task.
+struct SpanBatch
+{
+    std::vector<int32_t> ids;   ///< B*S token ids.
+    std::vector<uint8_t> pad;   ///< B*S padding mask (1 = pad).
+    std::vector<int32_t> start; ///< B gold start positions.
+    std::vector<int32_t> end;   ///< B gold end positions.
+    int64_t batch = 0;
+    int64_t seq = 0;
+};
+
+class SpanTask
+{
+  public:
+    SpanTask(int64_t vocab, int64_t seq) : vocab_(vocab), seq_(seq) {}
+
+    SpanBatch sample(Rng &rng, int64_t batch) const;
+
+    int64_t vocabSize() const { return vocab_; }
+    int64_t seqLen() const { return seq_; }
+
+  private:
+    int64_t vocab_;
+    int64_t seq_;
+};
+
+/// A batch for sentence-pair classification.
+struct ClsBatch
+{
+    std::vector<int32_t> ids;
+    std::vector<uint8_t> pad;
+    std::vector<int32_t> label; ///< B labels.
+    int64_t batch = 0;
+    int64_t seq = 0;
+};
+
+class PairTask
+{
+  public:
+    enum class Kind { kMnli, kQnli, kMrpc, kSst2 };
+
+    PairTask(Kind kind, int64_t vocab, int64_t seq)
+        : kind_(kind), vocab_(vocab), seq_(seq)
+    {}
+
+    ClsBatch sample(Rng &rng, int64_t batch) const;
+
+    int numClasses() const { return kind_ == Kind::kMnli ? 3 : 2; }
+    Kind kind() const { return kind_; }
+    static const char *name(Kind kind);
+
+  private:
+    int64_t segLen() const { return (seq_ - 3) / 2; }
+
+    Kind kind_;
+    int64_t vocab_;
+    int64_t seq_;
+};
+
+/// A batch for the seq2seq transduction task.
+struct Seq2SeqBatch
+{
+    std::vector<int32_t> src;     ///< B*S source ids.
+    std::vector<uint8_t> src_pad; ///< B*S padding mask.
+    std::vector<int32_t> tgt_in;  ///< B*T decoder inputs (BOS-prefixed).
+    std::vector<int32_t> tgt_out; ///< B*T shifted targets (EOS-suffixed,
+                                  ///< kIgnoreIndex-padded).
+    std::vector<std::vector<int32_t>> refs; ///< Clean targets, per item.
+    int64_t batch = 0;
+    int64_t seq_src = 0;
+    int64_t seq_tgt = 0;
+};
+
+class Seq2SeqTask
+{
+  public:
+    Seq2SeqTask(int64_t vocab, int64_t seq_src, int64_t seq_tgt)
+        : vocab_(vocab), seq_src_(seq_src), seq_tgt_(seq_tgt)
+    {}
+
+    Seq2SeqBatch sample(Rng &rng, int64_t batch) const;
+
+    int64_t seqSrc() const { return seq_src_; }
+    int64_t seqTgt() const { return seq_tgt_; }
+
+  private:
+    int64_t vocab_;
+    int64_t seq_src_;
+    int64_t seq_tgt_;
+};
+
+/// A batch of contiguous LM token windows with shifted targets.
+struct LmBatch
+{
+    std::vector<int32_t> ids;     ///< B*S inputs.
+    std::vector<int32_t> targets; ///< B*S next-token targets.
+    int64_t batch = 0;
+    int64_t seq = 0;
+};
+
+class LmTask
+{
+  public:
+    /// The transition structure is fixed by @p structure_seed so train
+    /// and held-out streams share the same "language".
+    LmTask(int64_t vocab, uint64_t structure_seed);
+
+    /// Sample B windows of length S from a fresh stream.
+    LmBatch sample(Rng &rng, int64_t batch, int64_t seq) const;
+
+    /// Generate one contiguous evaluation stream of n tokens.
+    std::vector<int32_t> stream(Rng &rng, int64_t n) const;
+
+    int64_t vocabSize() const { return vocab_; }
+
+  private:
+    int32_t next(Rng &rng, int32_t prev) const;
+
+    int64_t vocab_;
+    /// transitions_[prev] = candidate successor tokens (sparse bigram).
+    std::vector<std::vector<int32_t>> transitions_;
+    /// Recurring phrases injected with small probability.
+    std::vector<std::vector<int32_t>> phrases_;
+};
+
+} // namespace qt8
+
+#endif // QT8_DATA_TASKS_H

@@ -1,0 +1,183 @@
+#include "hw/accelerator.h"
+
+#include <stdexcept>
+
+namespace qt8::hw {
+
+double
+AcceleratorReport::totalAreaMm2() const
+{
+    double a = 0.0;
+    for (const auto &c : components)
+        a += c.area_um2;
+    return a * 1e-6;
+}
+
+double
+AcceleratorReport::totalPowerMw() const
+{
+    double p = 0.0;
+    for (const auto &c : components)
+        p += c.power_mw;
+    return p;
+}
+
+const Component &
+AcceleratorReport::find(const std::string &name) const
+{
+    for (const auto &c : components)
+        if (c.name == name)
+            return c;
+    throw std::invalid_argument("no component " + name);
+}
+
+int
+storageBits(const std::string &dtype)
+{
+    if (dtype == "bf16")
+        return 16;
+    return 8;
+}
+
+const FloatFmt &
+macInputFormat(const std::string &dtype)
+{
+    if (dtype == "bf16") {
+        static constexpr FloatFmt f = kBf16;
+        return f;
+    }
+    if (dtype == "posit8") {
+        // Decoded Posit8 operands fit in E5M4 (section 7.1).
+        static constexpr FloatFmt f = kE5M4;
+        return f;
+    }
+    if (dtype == "fp8") {
+        static constexpr FloatFmt f = kE5M3; // hybrid container
+        return f;
+    }
+    if (dtype == "e4m3") {
+        static constexpr FloatFmt f = kE4M3;
+        return f;
+    }
+    if (dtype == "e5m2") {
+        static constexpr FloatFmt f = kE5M2;
+        return f;
+    }
+    throw std::invalid_argument("unknown accelerator dtype " + dtype);
+}
+
+const FloatFmt &
+accumFormat(const std::string &dtype)
+{
+    if (dtype == "bf16") {
+        static constexpr FloatFmt f = kFp32;
+        return f;
+    }
+    static constexpr FloatFmt f = kBf16;
+    return f;
+}
+
+namespace {
+
+/// SRAM macro area/power for a given bit capacity.
+Component
+sramMacro(const std::string &name, double bits, double freq_mhz,
+          double access_fraction)
+{
+    Component c;
+    c.name = name;
+    c.area_um2 = bits * Tech::kSramUm2PerBit;
+    // Per cycle, a row of `access_width` bits is accessed with some
+    // duty cycle; model energy as fraction * width * per-bit energy.
+    const double access_bits_per_cycle = access_fraction * 128.0;
+    c.power_mw =
+        access_bits_per_cycle * Tech::kSramAccessFjPerBit * freq_mhz *
+            1e-6 +
+        bits * Tech::kSramLeakNwPerBit * 1e-6;
+    return c;
+}
+
+} // namespace
+
+AcceleratorReport
+buildAccelerator(const AcceleratorConfig &cfg)
+{
+    AcceleratorReport rep;
+    rep.config = cfg;
+    const int n = cfg.array_n;
+    const FloatFmt &in_fmt = macInputFormat(cfg.dtype);
+    const FloatFmt &acc_fmt = accumFormat(cfg.dtype);
+    const int store_bits = storageBits(cfg.dtype);
+
+    // Systolic array: N*N PEs.
+    const UnitModel pe = processingElement(in_fmt, acc_fmt);
+    SynthReport pe_synth = synthesize(pe, cfg.freq_mhz);
+    rep.components.push_back({"systolic_array",
+                              pe_synth.area_um2 * n * n,
+                              pe_synth.powerMw() * n * n});
+
+    // Posit codecs at the array boundary: decoders on both operand
+    // streams (2N) and encoders on the output stream (N).
+    if (cfg.dtype == "posit8") {
+        const SynthReport dec =
+            synthesize(positDecoder(8, 1), cfg.freq_mhz);
+        const SynthReport enc =
+            synthesize(positEncoder(8, 1), cfg.freq_mhz);
+        rep.components.push_back(
+            {"posit_codecs",
+             dec.area_um2 * 2 * n + enc.area_um2 * n,
+             dec.powerMw() * 2 * n + enc.powerMw() * n});
+    }
+
+    // Vector unit: N lanes.
+    const SynthReport vu = vectorUnitReport(cfg.dtype, n, cfg.freq_mhz);
+    rep.components.push_back({"vector_unit", vu.area_um2, vu.powerMw()});
+
+    // SRAM buffers: activation and weight buffers store the packed
+    // data type; the accumulator buffer stores the accumulation type.
+    rep.components.push_back(sramMacro(
+        "act_sram",
+        static_cast<double>(cfg.act_buffer_elems) * store_bits,
+        cfg.freq_mhz, 0.9));
+    rep.components.push_back(sramMacro(
+        "weight_sram",
+        static_cast<double>(cfg.weight_buffer_elems) * store_bits,
+        cfg.freq_mhz, 0.4));
+    rep.components.push_back(sramMacro(
+        "accum_sram",
+        static_cast<double>(cfg.accum_buffer_elems) * acc_fmt.width(),
+        cfg.freq_mhz, 0.5));
+
+    // Data-type-independent infrastructure: instruction/configuration
+    // memory, DMA staging buffers, host interface and global control.
+    // Sized to scale with the array (larger arrays need deeper staging)
+    // but not with the compute data type.
+    const double fixed_sram_bits =
+        (128.0 + 1.25 * n * n) * 1024.0 * 8.0;
+    Component ctrl_sram = sramMacro("ctrl_dma_sram", fixed_sram_bits,
+                                    cfg.freq_mhz, 0.3);
+    rep.components.push_back(ctrl_sram);
+    const double ctrl_ge = 150000.0 + 3500.0 * n;
+    rep.components.push_back(
+        {"control_logic", ctrl_ge * Tech::kUm2PerGe,
+         ctrl_ge * (Tech::kSwitchEnergyFj * 0.08 * cfg.freq_mhz * 1e-6 +
+                    Tech::kLeakNwPerGe * 1e-6)});
+
+    return rep;
+}
+
+SynthReport
+vectorUnitReport(const std::string &dtype, int lanes, double freq_mhz)
+{
+    const UnitModel lane = vectorLane(dtype);
+    SynthReport one = synthesize(lane, freq_mhz);
+    SynthReport all = one;
+    all.name = "vector_unit_" + dtype;
+    all.total_ge *= lanes;
+    all.area_um2 *= lanes;
+    all.dyn_power_mw *= lanes;
+    all.leak_power_mw *= lanes;
+    return all;
+}
+
+} // namespace qt8::hw

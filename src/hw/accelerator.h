@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Full accelerator model (paper Figure 11): an N x N weight-stationary
+ * systolic array of MAC processing elements, an N-lane vector unit for
+ * element-wise operations and softmax, posit encoders/decoders at the
+ * array boundary (posit accelerators only), and SRAM buffers for
+ * activations, weights and accumulators. Reports standard-cell plus
+ * SRAM-macro area and post-synthesis power (section 7.3, Figure 13 and
+ * Table 8).
+ */
+#ifndef QT8_HW_ACCELERATOR_H
+#define QT8_HW_ACCELERATOR_H
+
+#include <string>
+#include <vector>
+
+#include "hw/units.h"
+
+namespace qt8::hw {
+
+/// Accelerator data-type variants evaluated in Figure 13.
+/// One of: "bf16", "posit8", "fp8" (hybrid E5M3), "e4m3", "e5m2".
+struct AcceleratorConfig
+{
+    std::string dtype = "bf16";
+    int array_n = 16;        ///< Systolic array is N x N; N vector lanes.
+    double freq_mhz = 200.0; ///< Nominal frequency at 0.9 V.
+
+    /// SRAM capacities in *elements* (scaled by the storage width).
+    int64_t act_buffer_elems = 32768;
+    int64_t weight_buffer_elems = 32768;
+    int64_t accum_buffer_elems = 8192;
+};
+
+/// One named area/power component.
+struct Component
+{
+    std::string name;
+    double area_um2 = 0.0;
+    double power_mw = 0.0;
+};
+
+struct AcceleratorReport
+{
+    AcceleratorConfig config;
+    std::vector<Component> components;
+
+    double totalAreaMm2() const;
+    double totalPowerMw() const;
+    const Component &find(const std::string &name) const;
+};
+
+/// Storage width (bits) of the activation/weight data type.
+int storageBits(const std::string &dtype);
+
+/// MAC input format of an accelerator data type (section 7.1: Posit8
+/// decodes to E5M4; hybrid FP8 uses E5M3).
+const FloatFmt &macInputFormat(const std::string &dtype);
+
+/// Accumulator format (FP32 for bf16 accelerators, BF16 for 8-bit).
+const FloatFmt &accumFormat(const std::string &dtype);
+
+/// Build the full accelerator report.
+AcceleratorReport buildAccelerator(const AcceleratorConfig &cfg);
+
+/// Vector unit (N lanes) only — Table 8.
+SynthReport vectorUnitReport(const std::string &dtype, int lanes,
+                             double freq_mhz);
+
+} // namespace qt8::hw
+
+#endif // QT8_HW_ACCELERATOR_H

@@ -1,0 +1,96 @@
+#include "hw/arith.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qt8::hw {
+namespace {
+
+double
+log2ceil(int n)
+{
+    return std::ceil(std::log2(std::max(2, n)));
+}
+
+} // namespace
+
+GateCost
+adder(int n)
+{
+    // Prefix adder: ~6 GE/bit plus log-depth prefix tree.
+    return {6.0 * n + 2.0 * n * log2ceil(n) * 0.5,
+            2.0 * log2ceil(n) + 3.0};
+}
+
+GateCost
+multiplier(int n, int m)
+{
+    // Partial products (AND array) + Wallace reduction (FAs) + final
+    // carry-propagate adder.
+    const double pp = 1.2 * n * m;
+    const double reduce = 5.0 * n * m;
+    const GateCost final_add = adder(n + m);
+    return {pp + reduce + final_add.ge,
+            1.0 + 2.0 * log2ceil(std::min(n, m)) + final_add.depth};
+}
+
+GateCost
+leadingZeroCount(int n)
+{
+    return {1.8 * n, 1.5 * log2ceil(n)};
+}
+
+GateCost
+barrelShifter(int n)
+{
+    const double stages = log2ceil(n);
+    return {2.5 * n * stages, stages};
+}
+
+GateCost
+comparator(int n)
+{
+    return {2.2 * n, log2ceil(n) + 1.0};
+}
+
+GateCost
+mux(int ways, int width)
+{
+    const double stages = log2ceil(ways);
+    return {2.5 * width * (ways - 1), stages};
+}
+
+GateCost
+inverter(int n)
+{
+    return {0.7 * n, 1.0};
+}
+
+GateCost
+xorBank(int n)
+{
+    return {2.2 * n, 1.0};
+}
+
+GateCost
+negate(int n)
+{
+    const GateCost inc = adder(n);
+    return {0.7 * n + inc.ge, 1.0 + inc.depth};
+}
+
+GateCost
+lut(int entries, int width)
+{
+    // Synthesized ROM: roughly 0.35 GE per bit plus decode.
+    return {0.35 * entries * width + 1.5 * entries / 4.0,
+            2.0 + log2ceil(entries)};
+}
+
+double
+regGe(double bits)
+{
+    return 5.5 * bits;
+}
+
+} // namespace qt8::hw

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Gate-count and logic-depth estimates for standard arithmetic
+ * components, in NAND2 equivalents (GE). Numbers follow textbook
+ * synthesis-oriented estimates (full adder ~ 5-6 GE, 2:1 mux ~ 2.5 GE,
+ * DFF ~ 5.5 GE) with log-depth carry/prefix structures.
+ */
+#ifndef QT8_HW_ARITH_H
+#define QT8_HW_ARITH_H
+
+namespace qt8::hw {
+
+/// Combinational block cost: gate count plus critical-path depth in
+/// gate delays.
+struct GateCost
+{
+    double ge = 0.0;
+    double depth = 0.0;
+
+    GateCost operator+(const GateCost &o) const
+    {
+        // Serial composition: depths add.
+        return {ge + o.ge, depth + o.depth};
+    }
+
+    /// Parallel composition: areas add, depth is the max.
+    GateCost parallelWith(const GateCost &o) const
+    {
+        return {ge + o.ge, depth > o.depth ? depth : o.depth};
+    }
+
+    GateCost scaled(double k) const { return {ge * k, depth}; }
+};
+
+/// n-bit carry-lookahead/prefix adder.
+GateCost adder(int n);
+
+/// n x m array multiplier with a Wallace-style reduction.
+GateCost multiplier(int n, int m);
+
+/// n-bit leading-zero (or leading-one) counter.
+GateCost leadingZeroCount(int n);
+
+/// n-bit barrel shifter (log stages of 2:1 muxes).
+GateCost barrelShifter(int n);
+
+/// n-bit magnitude comparator.
+GateCost comparator(int n);
+
+/// w-bit wide s-way multiplexer.
+GateCost mux(int ways, int width);
+
+/// Bitwise inverter bank (NOT gates).
+GateCost inverter(int n);
+
+/// Bitwise XOR bank.
+GateCost xorBank(int n);
+
+/// Two's-complement negate (invert + increment).
+GateCost negate(int n);
+
+/// Lookup table with the given entry count and output width.
+GateCost lut(int entries, int width);
+
+/// Register bits (DFFs); depth contribution is zero (sequential).
+double regGe(double bits);
+
+} // namespace qt8::hw
+
+#endif // QT8_HW_ARITH_H

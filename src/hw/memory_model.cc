@@ -1,0 +1,111 @@
+#include "hw/memory_model.h"
+
+namespace qt8::hw {
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+double
+bitsToMb(double count, int bits)
+{
+    return count * bits / 8.0 / kMb;
+}
+
+} // namespace
+
+TransformerDims
+TransformerDims::mobileBertTiny()
+{
+    return TransformerDims{};
+}
+
+int64_t
+TransformerDims::embeddingParams() const
+{
+    return vocab * d_model + max_seq * d_model;
+}
+
+int64_t
+TransformerDims::perLayerParams() const
+{
+    const int64_t attn = 4 * d_model * d_model + 4 * d_model;
+    const int64_t ffn = n_ffn * (2 * d_model * d_ff + d_ff + d_model);
+    const int64_t ln = 2 * 2 * d_model;
+    return attn + ffn + ln;
+}
+
+int64_t
+TransformerDims::totalParams() const
+{
+    return embeddingParams() + n_layers * perLayerParams();
+}
+
+int64_t
+TransformerDims::loraParams(int rank, bool all_dense) const
+{
+    // Each adapted weight W[out, in] adds rank*(in + out) parameters.
+    const int64_t attn = 4 * rank * (2 * d_model); // q, k, v, o
+    const int64_t qv_only = 2 * rank * (2 * d_model);
+    const int64_t ffn = n_ffn * 2 * rank * (d_model + d_ff);
+    const int64_t per_layer = all_dense ? (attn + ffn) : qv_only;
+    return n_layers * per_layer;
+}
+
+MemoryBreakdown
+finetuneMemory(const TransformerDims &dims, const MemorySetup &setup)
+{
+    MemoryBreakdown m;
+    const double base_params = static_cast<double>(dims.totalParams());
+    const double lora_params =
+        setup.lora ? static_cast<double>(dims.loraParams(
+                         setup.lora_rank, setup.lora_all_dense))
+                   : 0.0;
+    const double trainable =
+        setup.lora ? lora_params : base_params;
+
+    // Parameters: the base model in weight_bits; LoRA factors in their
+    // own (16-bit) precision on top. Full mixed-precision fine-tuning
+    // additionally holds an FP32 master copy of the trainable weights.
+    m.params_mb = bitsToMb(base_params, setup.weight_bits) +
+                  bitsToMb(lora_params, setup.lora_factor_bits);
+    if (!setup.lora && setup.master_weights)
+        m.params_mb += bitsToMb(base_params, 32);
+
+    // Gradient accumulators exist only for trainable parameters.
+    m.weight_grad_mb = bitsToMb(trainable, setup.weight_grad_bits);
+
+    // AdamW: two FP32 moments per trainable parameter.
+    m.optimizer_mb = setup.adamw ? bitsToMb(2.0 * trainable, 32) : 0.0;
+
+    // Saved activations per layer (what backward() actually caches):
+    //  attention: 5 tensors of B*S*d (xq + quantized q/k/v + out-proj
+    //  input) and 2 of B*H*S*S (probs + quantized probs);
+    //  each FFN: B*S*d input + 2 * B*S*d_ff intermediates;
+    //  LayerNorms: B*S*d normalized cache each.
+    const double bs = static_cast<double>(setup.batch) * setup.seq;
+    const double attn_acts =
+        5.0 * bs * dims.d_model +
+        static_cast<double>(setup.batch) * dims.n_heads * setup.seq *
+            setup.seq;
+    const double ffn_acts =
+        static_cast<double>(dims.n_ffn) *
+        (bs * dims.d_model + 2.0 * bs * dims.d_ff);
+    const double ln_count = 1.0 + static_cast<double>(dims.n_ffn);
+    const double ln_acts = ln_count * bs * dims.d_model;
+    const double acts_per_layer = attn_acts + ffn_acts + ln_acts;
+    const double embed_acts = bs * dims.d_model;
+    m.activations_mb = bitsToMb(
+        embed_acts + dims.n_layers * acts_per_layer, setup.act_bits);
+
+    // Live activation-gradient buffers ("error"): the backward pass
+    // keeps a handful of B*S-sized tensors alive at once.
+    const double error_elems =
+        2.0 * bs * dims.d_model + 2.0 * bs * dims.d_ff +
+        2.0 * static_cast<double>(setup.batch) * dims.n_heads *
+            setup.seq * setup.seq;
+    m.error_mb = bitsToMb(error_elems, setup.error_bits);
+
+    return m;
+}
+
+} // namespace qt8::hw

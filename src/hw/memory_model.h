@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fine-tuning memory model (paper section 7.4 / Figure 14): accounts
+ * for parameters, weight gradients, optimizer states, saved
+ * activations, and live activation gradients ("error") for full
+ * fine-tuning vs. LoRA vs. LoRA + 8-bit quantization. The accounting
+ * matches what this library's backward pass actually caches per layer.
+ */
+#ifndef QT8_HW_MEMORY_MODEL_H
+#define QT8_HW_MEMORY_MODEL_H
+
+#include <cstdint>
+
+namespace qt8::hw {
+
+/// Transformer dimensions for the memory accounting.
+struct TransformerDims
+{
+    int64_t vocab = 30522;
+    int64_t max_seq = 512;
+    int64_t d_model = 160;
+    int64_t d_ff = 640;
+    int64_t n_heads = 4;
+    int64_t n_layers = 21;
+    int64_t n_ffn = 2; ///< Stacked FFNs per block (MobileBERT).
+
+    /// MobileBERT_tiny-scale dims (~15-16M parameters), used by the
+    /// Figure 14 experiment.
+    static TransformerDims mobileBertTiny();
+
+    int64_t embeddingParams() const;
+    int64_t perLayerParams() const;
+    int64_t totalParams() const;
+
+    /// Trainable parameters under LoRA with the given rank on every
+    /// dense layer (the MobileBERT recipe) or on q/v only.
+    int64_t loraParams(int rank, bool all_dense) const;
+};
+
+/// Precision/optimizer setup for one Figure 14 bar.
+struct MemorySetup
+{
+    int64_t batch = 16;
+    int64_t seq = 128;
+    bool lora = false;
+    int lora_rank = 8;
+    bool lora_all_dense = true;
+    int weight_bits = 16;      ///< Stored parameters.
+    int act_bits = 16;         ///< Saved activations.
+    int error_bits = 16;       ///< Activation gradients.
+    int weight_grad_bits = 16; ///< Gradient accumulators.
+    int lora_factor_bits = 16; ///< LoRA A/B storage.
+    bool adamw = true;         ///< Two FP32 states per trainable param.
+    /// Full (non-LoRA) mixed-precision fine-tuning keeps an FP32
+    /// master copy of every trainable weight.
+    bool master_weights = true;
+};
+
+/// Per-category bytes (reported in MB).
+struct MemoryBreakdown
+{
+    double params_mb = 0.0;
+    double weight_grad_mb = 0.0;
+    double optimizer_mb = 0.0;
+    double activations_mb = 0.0;
+    double error_mb = 0.0;
+
+    double
+    totalMb() const
+    {
+        return params_mb + weight_grad_mb + optimizer_mb +
+               activations_mb + error_mb;
+    }
+};
+
+/// Compute the Figure 14 breakdown.
+MemoryBreakdown finetuneMemory(const TransformerDims &dims,
+                               const MemorySetup &setup);
+
+} // namespace qt8::hw
+
+#endif // QT8_HW_MEMORY_MODEL_H

@@ -1,0 +1,122 @@
+#include "hw/rtl.h"
+
+#include <cassert>
+
+#include "numerics/float_bits.h"
+
+namespace qt8::hw {
+
+DecodedPosit
+positDecodeRtl(uint32_t code, int nbits, int es)
+{
+    const uint32_t mask =
+        nbits >= 32 ? 0xFFFFFFFFu : ((1u << nbits) - 1);
+    code &= mask;
+
+    DecodedPosit d;
+    if (code == 0) {
+        d.zero = true;
+        return d;
+    }
+    if (code == (1u << (nbits - 1))) {
+        d.nar = true;
+        return d;
+    }
+
+    d.sign = (code >> (nbits - 1)) & 1;
+    const uint32_t body = d.sign ? ((~code + 1) & mask) : code;
+
+    // Leading-run count on the regime field.
+    int i = nbits - 2;
+    const int r0 = (body >> i) & 1;
+    int run = 0;
+    while (i >= 0 && static_cast<int>((body >> i) & 1) == r0) {
+        ++run;
+        --i;
+    }
+    const int k = r0 ? run - 1 : -run;
+    if (i >= 0)
+        --i; // regime terminator
+
+    int e = 0;
+    int ebits = 0;
+    while (ebits < es && i >= 0) {
+        e = (e << 1) | ((body >> i) & 1);
+        ++ebits;
+        --i;
+    }
+    e <<= (es - ebits);
+
+    d.scale = (k << es) + e;
+    d.frac_bits = i + 1;
+    d.frac = d.frac_bits > 0 ? (body & ((1u << d.frac_bits) - 1)) : 0;
+    return d;
+}
+
+uint32_t
+positEncodeRtl(bool sign, int scale, uint64_t frac, int frac_bits,
+               int nbits, int es)
+{
+    const uint32_t mask =
+        nbits >= 32 ? 0xFFFFFFFFu : ((1u << nbits) - 1);
+    const uint32_t maxpos_code = (1u << (nbits - 1)) - 1;
+    const int min_scale = -((nbits - 2) << es);
+    const int max_scale = (nbits - 2) << es;
+
+    uint32_t body;
+    if (scale >= max_scale) {
+        body = maxpos_code; // saturate
+    } else if (scale < min_scale) {
+        // Sub-minpos handling (paper section 3.4 round-to-even): a
+        // value in [minpos/2, minpos) rounds up to minpos except the
+        // exact tie at minpos/2, which rounds to the even code (zero).
+        if (scale == min_scale - 1 && frac != 0)
+            body = 1;
+        else
+            return 0;
+    } else {
+        const int k = scale >> es; // arithmetic shift = floor division
+        const int e = scale - (k << es);
+
+        unsigned __int128 acc = 0;
+        int pos = 0;
+        auto put = [&acc, &pos](uint64_t bits, int width) {
+            acc |= static_cast<unsigned __int128>(bits)
+                   << (128 - pos - width);
+            pos += width;
+        };
+        if (k >= 0) {
+            put((1ull << (k + 1)) - 1, k + 1);
+            put(0, 1);
+        } else {
+            put(0, -k);
+            put(1, 1);
+        }
+        if (es > 0)
+            put(static_cast<uint64_t>(e), es);
+        if (frac_bits > 0)
+            put(frac, frac_bits);
+
+        const int body_bits = nbits - 1;
+        body = static_cast<uint32_t>(acc >> (128 - body_bits));
+        const int guard =
+            static_cast<int>((acc >> (128 - body_bits - 1)) & 1);
+        const bool sticky = (acc << (body_bits + 1)) != 0;
+        if (guard && (sticky || (body & 1)))
+            ++body;
+        if (body > maxpos_code)
+            body = maxpos_code;
+    }
+
+    return sign ? ((~body + 1) & mask) : body;
+}
+
+void
+MacBf16Rtl::accumulate(float a, float b)
+{
+    // Wide product, BF16 round after the accumulate (the accumulator
+    // register is BF16).
+    acc_ = Bfloat16::quantize(acc_ + a * b);
+}
+
+} // namespace qt8::hw

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-accurate functional models of the posit datapath blocks, written
+ * the way the hardware computes them (two's complement, leading-run
+ * count, shifts, field packing) rather than via double-precision math.
+ * Verified against the numerics reference codec in the tests; these
+ * are the functional counterparts of the area/power models in units.h.
+ */
+#ifndef QT8_HW_RTL_H
+#define QT8_HW_RTL_H
+
+#include <cstdint>
+
+namespace qt8::hw {
+
+/// Decoded posit fields as they leave the hardware decoder.
+struct DecodedPosit
+{
+    bool nar = false;   ///< Not-a-real.
+    bool zero = false;
+    bool sign = false;
+    int scale = 0;      ///< Power-of-two scale (k*2^es + e).
+    uint32_t frac = 0;  ///< Fraction bits, left-aligned in frac_bits.
+    int frac_bits = 0;  ///< Number of valid fraction bits.
+};
+
+/**
+ * Hardware posit decoder: two's complement of negatives, leading-run
+ * count on the regime, shift, exponent/fraction extraction.
+ */
+DecodedPosit positDecodeRtl(uint32_t code, int nbits, int es);
+
+/**
+ * Hardware posit encoder: regime/exponent assembly from the scale,
+ * fraction placement, round-to-nearest-even on the dropped bits,
+ * saturation at maxpos, two's complement for negatives.
+ *
+ * @param frac Fraction field (without hidden bit), left-aligned in
+ *   frac_bits bits of precision.
+ */
+uint32_t positEncodeRtl(bool sign, int scale, uint64_t frac,
+                        int frac_bits, int nbits, int es);
+
+/**
+ * Functional model of the accelerator MAC with a BF16 accumulator:
+ * the product of two (exactly decoded) 8-bit operands is added into a
+ * BF16 register, with BF16 round-to-nearest-even after every
+ * accumulation — the behavior of the E5M4/E5M3 MAC of section 7.1.
+ */
+class MacBf16Rtl
+{
+  public:
+    void reset() { acc_ = 0.0f; }
+
+    /// Accumulate a*b (both values already decoded to float).
+    void accumulate(float a, float b);
+
+    float value() const { return acc_; }
+
+  private:
+    float acc_ = 0.0f; // always holds a BF16-representable value
+};
+
+} // namespace qt8::hw
+
+#endif // QT8_HW_RTL_H

@@ -1,0 +1,175 @@
+#include "hw/sim.h"
+
+#include <cassert>
+
+#include "hw/rtl.h"
+#include "hw/units.h"
+#include "numerics/float_bits.h"
+#include "numerics/quantizer.h"
+
+namespace qt8::hw {
+namespace {
+
+/// Storage-format quantizer for an accelerator data type.
+const Quantizer &
+storageQuantizer(const std::string &dtype)
+{
+    static const Quantizer bf16 = Quantizer::bf16();
+    static const Quantizer p8 = Quantizer::byName("posit8");
+    static const Quantizer e4m3 = Quantizer::byName("e4m3");
+    static const Quantizer e5m2 = Quantizer::byName("e5m2");
+    if (dtype == "bf16")
+        return bf16;
+    if (dtype == "posit8")
+        return p8;
+    if (dtype == "e5m2")
+        return e5m2;
+    return e4m3; // fp8 hybrid defaults to the E4M3 forward format
+}
+
+} // namespace
+
+SystolicGemmSim::SystolicGemmSim(const AcceleratorConfig &cfg)
+    : cfg_(cfg), acc_is_bf16_(cfg.dtype != "bf16")
+{
+    // Energy per MAC from the synthesized unit at the configured
+    // frequency: dynamic power / frequency = energy per cycle.
+    const SynthReport mac = synthesize(
+        macUnit(macInputFormat(cfg.dtype), accumFormat(cfg.dtype)),
+        cfg.freq_mhz);
+    mac_energy_pj_ = mac.dyn_power_mw / cfg.freq_mhz * 1e3; // mW/MHz->pJ
+    if (cfg.dtype == "posit8") {
+        const SynthReport dec =
+            synthesize(positDecoder(8, 1), cfg.freq_mhz);
+        codec_energy_pj_ = dec.dyn_power_mw / cfg.freq_mhz * 1e3;
+    } else {
+        codec_energy_pj_ = 0.0;
+    }
+}
+
+SimStats
+SystolicGemmSim::cost(int64_t m, int64_t k, int64_t n) const
+{
+    SimStats s;
+    const int64_t pe = cfg_.array_n;
+    const int64_t k_tiles = (k + pe - 1) / pe;
+    const int64_t n_tiles = (n + pe - 1) / pe;
+
+    // Weight-stationary: for each (k_tile, n_tile), load PE weights
+    // (pe cycles), stream all M rows (m cycles), plus array drain.
+    const int64_t cycles_per_tile = pe + m + 2 * pe;
+    s.cycles = k_tiles * n_tiles * cycles_per_tile;
+    s.macs = m * k * n;
+
+    const int store_bits = storageBits(cfg_.dtype);
+    const int acc_bits = accumFormat(cfg_.dtype).width();
+    // Each A element is read once per n_tile; B once; C written (and
+    // re-read for accumulation across k_tiles).
+    s.sram_read_bits = (m * k * n_tiles + k * n) * store_bits +
+                       m * n * (k_tiles - 1) * acc_bits;
+    s.sram_write_bits = m * n * k_tiles * acc_bits;
+
+    const double sram_energy_nj =
+        static_cast<double>(s.sram_read_bits + s.sram_write_bits) *
+        Tech::kSramAccessFjPerBit * 1e-6;
+    const double mac_energy_nj =
+        static_cast<double>(s.macs) * mac_energy_pj_ * 1e-3;
+    const double codec_energy_nj =
+        codec_energy_pj_ > 0.0
+            ? static_cast<double>(m * k * n_tiles + k * n) *
+                  codec_energy_pj_ * 1e-3
+            : 0.0;
+    s.energy_nj = sram_energy_nj + mac_energy_nj + codec_energy_nj;
+    return s;
+}
+
+SimStats
+SystolicGemmSim::run(const Tensor &a, const Tensor &b, Tensor &c) const
+{
+    assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+    const int64_t m = a.dim(0);
+    const int64_t k = a.dim(1);
+    const int64_t n = b.dim(1);
+    assert(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+
+    // Round operands to the storage format at the buffer boundary.
+    const Quantizer &q = storageQuantizer(cfg_.dtype);
+    Tensor aq = a;
+    q.quantizeInPlace(aq.data(), static_cast<size_t>(aq.numel()));
+    Tensor bq = b;
+    q.quantizeInPlace(bq.data(), static_cast<size_t>(bq.numel()));
+
+    const int64_t pe = cfg_.array_n;
+    const int64_t k_tiles = (k + pe - 1) / pe;
+
+    // Functional execution with per-accumulate rounding in the
+    // accumulator format (BF16 for 8-bit accelerators).
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int64_t kt = 0; kt < k_tiles; ++kt) {
+                MacBf16Rtl mac;
+                const int64_t k0 = kt * pe;
+                const int64_t k1 = std::min(k, k0 + pe);
+                if (acc_is_bf16_) {
+                    mac.reset();
+                    for (int64_t t = k0; t < k1; ++t)
+                        mac.accumulate(aq.at(i, t), bq.at(t, j));
+                    // Partial sums merge through the BF16 accumulator
+                    // buffer.
+                    acc = Bfloat16::quantize(acc + mac.value());
+                } else {
+                    double wide = acc;
+                    for (int64_t t = k0; t < k1; ++t)
+                        wide += static_cast<double>(aq.at(i, t)) *
+                                bq.at(t, j);
+                    acc = static_cast<float>(wide);
+                }
+            }
+            c.at(i, j) = acc;
+        }
+    }
+    return cost(m, k, n);
+}
+
+InferenceCost
+transformerForwardCost(const AcceleratorConfig &accel, int64_t d_model,
+                       int64_t d_ff, int n_layers, int n_ffn,
+                       int64_t seq, int64_t vocab)
+{
+    const SystolicGemmSim sim(accel);
+    InferenceCost cost;
+
+    for (int l = 0; l < n_layers; ++l) {
+        // QKV + output projections.
+        for (int p = 0; p < 4; ++p)
+            cost.gemm += sim.cost(seq, d_model, d_model);
+        // Q.K^T and P.V.
+        cost.gemm += sim.cost(seq, d_model, seq);
+        cost.gemm += sim.cost(seq, seq, d_model);
+        // FFN stack.
+        for (int f = 0; f < n_ffn; ++f) {
+            cost.gemm += sim.cost(seq, d_model, d_ff);
+            cost.gemm += sim.cost(seq, d_ff, d_model);
+        }
+    }
+    // LM/task head.
+    cost.gemm += sim.cost(seq, d_model, vocab);
+
+    // Vector unit energy: softmax (exp+recip per attention element)
+    // and the element-wise traffic, from the synthesized lane power.
+    const SynthReport lane = synthesize(vectorLane(accel.dtype),
+                                        accel.freq_mhz);
+    const double lane_pj = lane.dyn_power_mw / accel.freq_mhz * 1e3;
+    const double elementwise_ops =
+        static_cast<double>(n_layers) *
+        (static_cast<double>(seq) * seq      // softmax elements
+         + 6.0 * static_cast<double>(seq) * d_model
+         + 2.0 * static_cast<double>(n_ffn) * seq * d_ff);
+    cost.vector_energy_nj =
+        elementwise_ops / accel.array_n * lane_pj * 1e-3 *
+        static_cast<double>(accel.array_n);
+    return cost;
+}
+
+} // namespace qt8::hw

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Functional + cycle/energy simulator for the accelerator's systolic
+ * GEMM (Figure 11). Complements the static area/power model: it
+ * executes a quantized GEMM the way the array does — weight-stationary
+ * tiling, operands rounded to the storage format at the buffer
+ * boundary, and BF16 accumulation via the bit-accurate MAC datapath —
+ * and reports cycles, MAC counts and energy.
+ *
+ * This enables end-to-end "energy per inference" estimates per data
+ * type (an extension beyond the paper's tables; see
+ * bench_ext_energy_per_token).
+ */
+#ifndef QT8_HW_SIM_H
+#define QT8_HW_SIM_H
+
+#include <cstdint>
+
+#include "hw/accelerator.h"
+#include "tensor/tensor.h"
+
+namespace qt8::hw {
+
+/// Execution statistics of one simulated operation.
+struct SimStats
+{
+    int64_t cycles = 0;
+    int64_t macs = 0;
+    int64_t sram_read_bits = 0;
+    int64_t sram_write_bits = 0;
+    double energy_nj = 0.0;
+
+    SimStats &
+    operator+=(const SimStats &o)
+    {
+        cycles += o.cycles;
+        macs += o.macs;
+        sram_read_bits += o.sram_read_bits;
+        sram_write_bits += o.sram_write_bits;
+        energy_nj += o.energy_nj;
+        return *this;
+    }
+};
+
+/**
+ * Weight-stationary systolic GEMM simulator.
+ *
+ * Functional semantics: C = A . B with both operands rounded to the
+ * accelerator's storage format on load and partial sums accumulated in
+ * BF16 (8-bit accelerators) or FP32 (BF16 accelerator), rounding after
+ * every accumulate — exactly what the MAC datapath of section 7.1
+ * produces.
+ */
+class SystolicGemmSim
+{
+  public:
+    explicit SystolicGemmSim(const AcceleratorConfig &cfg);
+
+    /**
+     * Run C = A . B. A is [M, K], B is [K, N]; C must be [M, N].
+     * Returns the cycle/energy statistics of the tiled execution.
+     */
+    SimStats run(const Tensor &a, const Tensor &b, Tensor &c) const;
+
+    /// Cycle count alone (no functional execution) for a GEMM shape.
+    SimStats cost(int64_t m, int64_t k, int64_t n) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+  private:
+    AcceleratorConfig cfg_;
+    bool acc_is_bf16_;
+    double mac_energy_pj_;   ///< Energy per MAC operation.
+    double codec_energy_pj_; ///< Posit decode energy per operand.
+};
+
+/// Rough per-token inference cost of a Transformer configuration on
+/// the accelerator: sums the cycle/energy cost of every GEMM in one
+/// forward pass (attention projections, attention matmuls, FFNs, head).
+struct InferenceCost
+{
+    SimStats gemm;
+    double vector_energy_nj = 0.0; ///< Element-wise ops (softmax etc).
+    double total_nj() const { return gemm.energy_nj + vector_energy_nj; }
+};
+
+InferenceCost transformerForwardCost(const AcceleratorConfig &accel,
+                                     int64_t d_model, int64_t d_ff,
+                                     int n_layers, int n_ffn,
+                                     int64_t seq, int64_t vocab);
+
+} // namespace qt8::hw
+
+#endif // QT8_HW_SIM_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * 40 nm technology constants for the structural area/power model
+ * (paper section 7: units are synthesized with Design Compiler in a
+ * 40 nm technology at 0.9 V; we substitute a gate-level cost model —
+ * see DESIGN.md section 2).
+ *
+ * All area is expressed in NAND2-gate equivalents (GE) and converted
+ * with a per-GE area constant; dynamic power is per-GE switching energy
+ * times frequency and activity; leakage is per-GE. Absolute values are
+ * representative of a 40 nm LP process; the experiments target the
+ * *ratios between data-type variants*, which depend only on the gate
+ * decomposition.
+ */
+#ifndef QT8_HW_TECH_H
+#define QT8_HW_TECH_H
+
+namespace qt8::hw {
+
+struct Tech
+{
+    /// Area of one gate equivalent (NAND2) in um^2.
+    static constexpr double kUm2PerGe = 0.71;
+    /// Dynamic energy per GE per clock at 0.9 V, in fJ (at activity 1).
+    static constexpr double kSwitchEnergyFj = 1.1;
+    /// Leakage power per GE in nW.
+    static constexpr double kLeakNwPerGe = 1.5;
+    /// Default switching activity factor of datapath logic.
+    static constexpr double kActivity = 0.18;
+    /// DFF cost in GE per bit.
+    static constexpr double kGePerFlop = 5.5;
+    /// Flops toggle with activity ~ clock; effective activity factor.
+    static constexpr double kFlopActivity = 0.35;
+    /// Single gate delay (FO4-loaded) in ps, used for pipelining depth.
+    static constexpr double kGateDelayPs = 28.0;
+    /// SRAM macro density, um^2 per bit.
+    static constexpr double kSramUm2PerBit = 0.32;
+    /// SRAM access energy per bit, fJ.
+    static constexpr double kSramAccessFjPerBit = 0.5;
+    /// SRAM leakage per bit, nW.
+    static constexpr double kSramLeakNwPerBit = 0.012;
+};
+
+} // namespace qt8::hw
+
+#endif // QT8_HW_TECH_H

@@ -1,0 +1,290 @@
+#include "hw/units.h"
+
+#include <cmath>
+
+namespace qt8::hw {
+
+SynthReport
+synthesize(const UnitModel &unit, double freq_mhz)
+{
+    SynthReport r;
+    r.name = unit.name;
+    r.freq_mhz = freq_mhz;
+
+    const double period_ps = 1e6 / freq_mhz;
+    const double path_ps = unit.depth * Tech::kGateDelayPs;
+    r.stages = std::max(1, static_cast<int>(std::ceil(path_ps /
+                                                      period_ps)));
+
+    const double pipe_bits =
+        static_cast<double>(r.stages - 1) * unit.pipe_width_bits;
+    const double reg_bits = unit.arch_reg_bits + pipe_bits;
+    r.total_ge = unit.logic_ge + regGe(reg_bits);
+    r.area_um2 = r.total_ge * Tech::kUm2PerGe;
+
+    // Dynamic power: logic switches with the datapath activity, flops
+    // with the clock-derived activity.
+    const double logic_fj =
+        unit.logic_ge * Tech::kSwitchEnergyFj * unit.activity;
+    const double flop_fj =
+        regGe(reg_bits) * Tech::kSwitchEnergyFj * Tech::kFlopActivity;
+    r.dyn_power_mw = (logic_fj + flop_fj) * freq_mhz * 1e-6;
+    r.leak_power_mw = r.total_ge * Tech::kLeakNwPerGe * 1e-6;
+    return r;
+}
+
+UnitModel
+floatAdder(const FloatFmt &fmt)
+{
+    UnitModel u;
+    u.name = std::string(fmt.name) + "_add";
+    u.pipe_width_bits = fmt.width() + 8;
+    const int mw = fmt.m + 4; // mantissa + guard/round/sticky + hidden
+    u += comparator(fmt.e);
+    u += barrelShifter(mw);          // alignment
+    u += adder(mw);                  // significand add
+    u += leadingZeroCount(mw);       // renormalization
+    u += barrelShifter(mw);          // normalize shift
+    u += adder(fmt.e);               // exponent adjust
+    u += adder(mw).scaled(0.4);      // rounding increment
+    u.logic_ge += 30;                // sign/exception logic
+    return u;
+}
+
+UnitModel
+floatMultiplier(const FloatFmt &fmt)
+{
+    UnitModel u;
+    u.name = std::string(fmt.name) + "_mul";
+    u.pipe_width_bits = fmt.width() + 8;
+    u += multiplier(fmt.m + 1, fmt.m + 1);
+    u += adder(fmt.e + 1);           // exponent add
+    u += adder(fmt.m + 2).scaled(0.4); // rounding
+    u.logic_ge += 25;
+    return u;
+}
+
+UnitModel
+macUnit(const FloatFmt &in, const FloatFmt &acc)
+{
+    UnitModel u;
+    u.name = std::string(in.name) + "_mac_" + acc.name;
+    u.pipe_width_bits = acc.width() + 8;
+    // Multiply in the input format (exact product, 2(m+1) bits).
+    u += multiplier(in.m + 1, in.m + 1);
+    u += adder(in.e + 1); // exponent add
+    // Align the product to the accumulator and add.
+    const int aw = acc.m + 6;
+    u += barrelShifter(aw);
+    u += adder(aw);
+    // Renormalize + round into the accumulator format.
+    u += leadingZeroCount(aw);
+    u += barrelShifter(aw);
+    u += adder(aw).scaled(0.3);
+    u.logic_ge += 35; // sign/exception/control
+    u.arch_reg_bits = acc.width(); // accumulator register
+    return u;
+}
+
+UnitModel
+floatExpUnit(const FloatFmt &fmt)
+{
+    // HLS-library exponential: range reduction, 2^frac via table +
+    // polynomial, exponent insertion. HLS math libraries evaluate in a
+    // widened internal precision to guarantee the output ulp bound, so
+    // the datapath width is bounded below even for narrow formats.
+    UnitModel u;
+    u.name = std::string(fmt.name) + "_exp";
+    const int mw = std::max(fmt.m + 4, 14); // internal precision
+    u.pipe_width_bits = mw + fmt.e + 2;
+    u += multiplier(mw, mw);                    // x * log2(e)
+    u += adder(mw);                             // int/frac split
+    u += lut(64, mw);                           // 2^frac seed table
+    u += multiplier(mw, mw);                    // polynomial term 1
+    u += multiplier(mw, mw);                    // polynomial term 2
+    u += adder(mw);
+    u += adder(mw);
+    u += barrelShifter(mw);                     // exponent insertion
+    u.logic_ge += 120;                          // range/special cases
+    u.arch_reg_bits += 2.0 * fmt.width();       // IO registers
+    return u;
+}
+
+UnitModel
+floatRecipUnit(const FloatFmt &fmt)
+{
+    // Seed table + Newton-Raphson, again in widened HLS-internal
+    // precision.
+    UnitModel u;
+    u.name = std::string(fmt.name) + "_recip";
+    const int mw = std::max(fmt.m + 3, 12);
+    u.pipe_width_bits = mw + fmt.e + 2;
+    const int iters = fmt.m > 8 ? 2 : 1;
+    u += lut(64, mw);
+    for (int i = 0; i < iters; ++i) {
+        u += multiplier(mw, mw); // d * x
+        u += adder(mw);          // 2 - d*x
+        u += multiplier(mw, mw); // x * (2 - d*x)
+    }
+    u += adder(fmt.e); // exponent negate/adjust
+    u.logic_ge += 80;
+    u.arch_reg_bits += 2.0 * fmt.width(); // IO registers
+    return u;
+}
+
+UnitModel
+positDecoder(int nbits, int es)
+{
+    UnitModel u;
+    u.name = "posit" + std::to_string(nbits) + "_decoder";
+    u.pipe_width_bits = nbits + 6;
+    u += negate(nbits);             // two's complement for negatives
+    u += leadingZeroCount(nbits);   // regime run length
+    u += barrelShifter(nbits);      // strip regime, align exp/frac
+    u += adder(es + 4);             // scale = k*2^es + e
+    u.logic_ge += 12;
+    return u;
+}
+
+UnitModel
+positEncoder(int nbits, int es)
+{
+    UnitModel u;
+    u.name = "posit" + std::to_string(nbits) + "_encoder";
+    u.pipe_width_bits = nbits + 6;
+    u += adder(es + 4);             // split scale into regime/exponent
+    u += barrelShifter(2 * nbits);  // regime/exp/frac assembly
+    u += adder(nbits).scaled(0.5);  // round-to-even increment
+    u += negate(nbits);             // sign application
+    u.logic_ge += 15;               // saturation/special cases
+    return u;
+}
+
+UnitModel
+positSigmoidUnit(int nbits, int es)
+{
+    UnitModel u;
+    u.name = "posit" + std::to_string(nbits) + "_sigmoid";
+    u.pipe_width_bits = nbits;
+    if (es != 0) {
+        // Convert posit(N,es) -> posit(N,0) and back (section 3.3).
+        // The conversion is a regime re-pack: run-length decode, scale
+        // adjust, re-shift — cheaper than a full decode + encode pair.
+        const UnitModel dec = positDecoder(nbits, es);
+        u.logic_ge += dec.logic_ge;
+        u.depth += dec.depth;
+        u += barrelShifter(nbits);     // regime re-pack
+        u += adder(es + 4).scaled(0.5);
+    }
+    u += inverter(1); // MSB flip; the >>2 shift is wiring
+    return u;
+}
+
+UnitModel
+positRecipUnit(int nbits)
+{
+    UnitModel u;
+    u.name = "posit" + std::to_string(nbits) + "_recip";
+    u.pipe_width_bits = nbits;
+    u += inverter(nbits - 1);            // NOT everything but the sign
+    u.logic_ge += comparator(nbits).ge;  // NaR / zero special cases
+    u.logic_ge += 60;                    // valid/handshake control
+    u.arch_reg_bits += 2.0 * nbits;      // IO registers
+    return u;
+}
+
+UnitModel
+positExpUnit(int nbits, int es)
+{
+    // Eq. 3: f(x) = 1/S(-x) - eps for x >= theta else 0.
+    UnitModel u;
+    u.name = "posit" + std::to_string(nbits) + "_exp";
+    u.pipe_width_bits = nbits + 4;
+    u += negate(nbits); // -x
+
+    const UnitModel sig = positSigmoidUnit(nbits, es);
+    u.logic_ge += sig.logic_ge;
+    u.depth += sig.depth;
+
+    u += inverter(nbits - 1); // bitwise reciprocal
+
+    // Posit subtraction of epsilon: decode both operands, small float
+    // add, encode (the epsilon operand's decode constant-folds away).
+    const UnitModel dec = positDecoder(nbits, es);
+    const UnitModel enc = positEncoder(nbits, es);
+    u.logic_ge += dec.logic_ge + enc.logic_ge;
+    u.depth += dec.depth + enc.depth;
+    u += adder(nbits + 2);
+
+    u += comparator(nbits); // threshold test against theta
+    u.logic_ge += 0.7 * nbits; // zero-mask AND gates
+    u.arch_reg_bits += 2.0 * nbits; // IO registers
+    return u;
+}
+
+UnitModel
+processingElement(const FloatFmt &in, const FloatFmt &acc)
+{
+    UnitModel u = macUnit(in, acc);
+    u.name = std::string("pe_") + in.name;
+    // Operand forwarding registers (activation + weight in, activation
+    // out) as in a weight-stationary systolic array.
+    u.arch_reg_bits += 3.0 * in.width();
+    return u;
+}
+
+UnitModel
+vectorLane(const std::string &accel_dtype)
+{
+    UnitModel u;
+    u.name = "vlane_" + accel_dtype;
+
+    auto addUnit = [&u](const UnitModel &m) {
+        u.logic_ge += m.logic_ge;
+        u.arch_reg_bits += m.arch_reg_bits;
+        if (m.depth > u.depth)
+            u.depth = m.depth;
+    };
+
+    if (accel_dtype == "bf16") {
+        // FP32 vector data type (section 7.3).
+        addUnit(floatAdder(kFp32));
+        addUnit(floatMultiplier(kFp32));
+        addUnit(floatExpUnit(kFp32));
+        addUnit(floatRecipUnit(kFp32));
+        u.arch_reg_bits += 4 * 32; // small vector register file
+        u.pipe_width_bits = 40;
+    } else if (accel_dtype == "posit8") {
+        // BF16 ALU + posit approximate special functions + codecs.
+        addUnit(floatAdder(kBf16));
+        addUnit(floatMultiplier(kBf16));
+        addUnit(positExpUnit(8, 1));
+        addUnit(positRecipUnit(8));
+        addUnit(positDecoder(8, 1));
+        addUnit(positEncoder(8, 1));
+        u.arch_reg_bits += 4 * 16;
+        u.pipe_width_bits = 24;
+    } else {
+        // fp8 / e4m3 / e5m2: BF16 ALU + BF16 special functions.
+        addUnit(floatAdder(kBf16));
+        addUnit(floatMultiplier(kBf16));
+        addUnit(floatExpUnit(kBf16));
+        addUnit(floatRecipUnit(kBf16));
+        u.arch_reg_bits += 4 * 16;
+        u.pipe_width_bits = 24;
+    }
+    // Data-type-independent lane infrastructure: a 32-entry vector
+    // register file, the max-reduction comparator and second adder the
+    // softmax/LayerNorm sequences need, operand muxing and the lane's
+    // share of instruction decode/control.
+    const int w = accel_dtype == "bf16" ? 32 : 16;
+    u.arch_reg_bits += 32.0 * w;        // vector register file
+    u.logic_ge += comparator(w).ge;     // max reduction
+    u.logic_ge += adder(w).ge;          // second ALU op
+    u.logic_ge += barrelShifter(w).ge;  // shift/pack ops
+    u.logic_ge += mux(8, w).ge * 2.0;   // operand routing
+    u.logic_ge += 5200;                 // sequencer/decode share
+    return u;
+}
+
+} // namespace qt8::hw

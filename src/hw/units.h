@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Structural models of the paper's hardware units (section 7): MAC
+ * units per data format, posit encoders/decoders, exponential and
+ * reciprocal function units (float HLS-style vs. posit bit-trick), and
+ * the vector-unit lane variants. Each unit is a gate-count + depth
+ * description; synthesize() inserts pipeline registers for a target
+ * frequency and reports area and power at 0.9 V.
+ */
+#ifndef QT8_HW_UNITS_H
+#define QT8_HW_UNITS_H
+
+#include <string>
+
+#include "hw/arith.h"
+#include "hw/tech.h"
+
+namespace qt8::hw {
+
+/// Floating-point format geometry (exponent/mantissa field widths).
+struct FloatFmt
+{
+    const char *name;
+    int e;
+    int m;
+
+    int width() const { return 1 + e + m; }
+};
+
+inline constexpr FloatFmt kFp32{"fp32", 8, 23};
+inline constexpr FloatFmt kBf16{"bf16", 8, 7};
+inline constexpr FloatFmt kE4M3{"e4m3", 4, 3};
+inline constexpr FloatFmt kE5M2{"e5m2", 5, 2};
+/// Hybrid FP8 container (supports both E4M3 and E5M2 operands).
+inline constexpr FloatFmt kE5M3{"e5m3", 5, 3};
+/// Decoded Posit8: at most 4 fraction bits, exponent in [-12, 12].
+inline constexpr FloatFmt kE5M4{"e5m4", 5, 4};
+
+/// A hardware block: combinational gates, unpipelined depth, plus
+/// architectural registers and the datapath width used when inserting
+/// pipeline registers.
+struct UnitModel
+{
+    std::string name;
+    double logic_ge = 0.0;
+    double depth = 0.0;
+    double arch_reg_bits = 0.0;
+    double pipe_width_bits = 16.0;
+    double activity = Tech::kActivity;
+
+    UnitModel &operator+=(const GateCost &c)
+    {
+        logic_ge += c.ge;
+        depth += c.depth;
+        return *this;
+    }
+
+    /// Add a block that operates in parallel with the current critical
+    /// path (area adds, depth maxes).
+    void
+    addParallel(const GateCost &c)
+    {
+        logic_ge += c.ge;
+        if (c.depth > depth)
+            depth = c.depth;
+    }
+};
+
+/// Post-"synthesis" report at a target frequency.
+struct SynthReport
+{
+    std::string name;
+    double freq_mhz = 0.0;
+    int stages = 1;
+    double total_ge = 0.0;
+    double area_um2 = 0.0;
+    double dyn_power_mw = 0.0;
+    double leak_power_mw = 0.0;
+
+    double powerMw() const { return dyn_power_mw + leak_power_mw; }
+    double areaMm2() const { return area_um2 * 1e-6; }
+};
+
+/// Insert pipeline registers to meet the frequency and report area and
+/// power.
+SynthReport synthesize(const UnitModel &unit, double freq_mhz);
+
+// --- Arithmetic units ---------------------------------------------------
+
+/// Floating-point adder in the given format.
+UnitModel floatAdder(const FloatFmt &fmt);
+
+/// Floating-point multiplier in the given format.
+UnitModel floatMultiplier(const FloatFmt &fmt);
+
+/// Fused MAC: multiply in `in` format, accumulate in `acc` format
+/// (section 7.1: Posit8 -> E5M4 inputs with BF16 accumulation; hybrid
+/// FP8 -> E5M3; BF16/FP32 accumulate in FP32).
+UnitModel macUnit(const FloatFmt &in, const FloatFmt &acc);
+
+/// HLS-library-style exponential: range reduction, table, polynomial.
+UnitModel floatExpUnit(const FloatFmt &fmt);
+
+/// HLS-library-style reciprocal: table seed + Newton-Raphson.
+UnitModel floatRecipUnit(const FloatFmt &fmt);
+
+// --- Posit-specific units ------------------------------------------------
+
+/// Posit decoder: two's complement, leading-run count, field extract.
+UnitModel positDecoder(int nbits, int es);
+
+/// Posit encoder: regime/exponent assembly, shift, round-to-even.
+UnitModel positEncoder(int nbits, int es);
+
+/// Approximate sigmoid on posit(N,es): conversion to posit(N,0),
+/// MSB invert + shift (section 3.3).
+UnitModel positSigmoidUnit(int nbits, int es);
+
+/// Approximate reciprocal: NOT gates on the non-sign bits.
+UnitModel positRecipUnit(int nbits);
+
+/// Approximate exponential built per Eq. 3: negate, sigmoid trick,
+/// bitwise reciprocal, posit subtract (epsilon), threshold mask.
+UnitModel positExpUnit(int nbits, int es);
+
+// --- Composite units ------------------------------------------------------
+
+/// Processing element: MAC + operand/weight/result registers.
+UnitModel processingElement(const FloatFmt &in, const FloatFmt &acc);
+
+/// One vector-unit lane. The lane always carries an ALU (add/mul) in
+/// the vector data type plus the softmax special-function units:
+///   - "bf16" accelerator: FP32 ALU, FP32 exp + recip (HLS).
+///   - "fp8" accelerators: BF16 ALU, BF16 exp + recip (HLS).
+///   - "posit8" accelerator: BF16 ALU, posit approximate exp + recip,
+///     plus posit8 decode/encode at the lane boundary.
+UnitModel vectorLane(const std::string &accel_dtype);
+
+} // namespace qt8::hw
+
+#endif // QT8_HW_UNITS_H

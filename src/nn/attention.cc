@@ -1,0 +1,316 @@
+#include "nn/attention.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace qt8 {
+namespace {
+
+constexpr float kMaskValue = -1e9f;
+
+/// Copy one head's slice of a flat [B*rows, d_model] tensor into
+/// dst [rows, d_head].
+void
+extractHead(const Tensor &src, int64_t b, int64_t rows, int64_t d_head,
+            int h, Tensor &dst)
+{
+    const int64_t d_model = src.dim(1);
+    const float *ps = src.data() + b * rows * d_model + h * d_head;
+    float *pd = dst.data();
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t j = 0; j < d_head; ++j)
+            pd[r * d_head + j] = ps[r * d_model + j];
+}
+
+/// Accumulate a [rows, d_head] head tensor back into the flat layout.
+void
+scatterHeadAdd(Tensor &dst, int64_t b, int64_t rows, int64_t d_head, int h,
+               const Tensor &src)
+{
+    const int64_t d_model = dst.dim(1);
+    float *pd = dst.data() + b * rows * d_model + h * d_head;
+    const float *ps = src.data();
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t j = 0; j < d_head; ++j)
+            pd[r * d_model + j] += ps[r * d_head + j];
+}
+
+} // namespace
+
+MultiHeadAttention::MultiHeadAttention(int64_t d_model, int n_heads,
+                                       BuildCtx &ctx,
+                                       const std::string &name)
+    : q_proj(d_model, d_model, ctx.rng, name + ".q", ctx.slot()),
+      k_proj(d_model, d_model, ctx.rng, name + ".k", ctx.slot()),
+      v_proj(d_model, d_model, ctx.rng, name + ".v", ctx.slot()),
+      out_proj(d_model, d_model, ctx.rng, name + ".o", ctx.slot()),
+      d_model_(d_model), n_heads_(n_heads), d_head_(d_model / n_heads),
+      scale_(1.0f / std::sqrt(static_cast<float>(d_model / n_heads))),
+      slot_ctx_(ctx.slot()), slot_act_(ctx.slot()), slot_scale_(ctx.slot())
+{
+    assert(d_model % n_heads == 0);
+}
+
+Tensor
+MultiHeadAttention::forward(QuantSession &qs, const Tensor &x,
+                            int64_t batch, int64_t seq_q,
+                            const Tensor *memory, int64_t seq_kv,
+                            const uint8_t *key_pad_mask, bool causal)
+{
+    b_ = batch;
+    sq_ = seq_q;
+    self_attn_ = (memory == nullptr);
+    skv_ = self_attn_ ? seq_q : seq_kv;
+    const Tensor &kv_in = self_attn_ ? x : *memory;
+
+    Tensor q = q_proj.forward(qs, x);
+    Tensor k = k_proj.forward(qs, kv_in);
+    Tensor v = v_proj.forward(qs, kv_in);
+
+    // Q.K^T and P.V are GEMMs: quantize their inputs.
+    qq_ = std::move(q);
+    qs.quantFwd(OpClass::kGemm, qq_);
+    kq_ = std::move(k);
+    qs.quantFwd(OpClass::kGemm, kq_);
+    vq_ = std::move(v);
+    qs.quantFwd(OpClass::kGemm, vq_);
+
+    const SoftmaxMode mode = qs.config().softmax;
+    const bool use_approx = mode != SoftmaxMode::kExact;
+    const int64_t prob_rows = batch * n_heads_ * seq_q;
+    probs_ = Tensor({prob_rows, skv_});
+    probs_q_ = Tensor({prob_rows, skv_});
+    if (use_approx) {
+        e_cache_ = Tensor({prob_rows, skv_});
+        sums_.assign(static_cast<size_t>(prob_rows), 0.0);
+    }
+
+    const ApproxPositSoftmax approx_sm(
+        *qs.config().softmax_spec, qs.config().approx_exp,
+        mode == SoftmaxMode::kApproxExp || mode == SoftmaxMode::kApproxBoth,
+        mode == SoftmaxMode::kApproxRecip ||
+            mode == SoftmaxMode::kApproxBoth);
+
+    Tensor ctx_flat({batch * seq_q, d_model_});
+    Tensor qh({seq_q, d_head_});
+    Tensor kh({skv_, d_head_});
+    Tensor vh({skv_, d_head_});
+    Tensor scores({seq_q, skv_});
+    Tensor ctx_h({seq_q, d_head_});
+    last_unscaled_amax_ = 0.0;
+
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int h = 0; h < n_heads_; ++h) {
+            extractHead(qq_, b, seq_q, d_head_, h, qh);
+            extractHead(kq_, b, skv_, d_head_, h, kh);
+            extractHead(vq_, b, skv_, d_head_, h, vh);
+
+            gemm(qh, false, kh, true, scores);
+            last_unscaled_amax_ =
+                std::max(last_unscaled_amax_, amax(scores));
+
+            // Attention-scaling quant point: the *unscaled* Q.K^T
+            // output is quantized unless fused with the GEMM.
+            qs.quantFwd(OpClass::kAttnScaling, scores);
+            scaleInPlace(scores, scale_);
+            qs.carrier(scores);
+
+            // Masking (before the softmax-input quantization so the
+            // mask saturates to the format's most-negative value).
+            if (causal || key_pad_mask != nullptr) {
+                for (int64_t i = 0; i < seq_q; ++i) {
+                    for (int64_t j = 0; j < skv_; ++j) {
+                        const bool pad =
+                            key_pad_mask != nullptr &&
+                            key_pad_mask[b * skv_ + j] != 0;
+                        const bool causal_blocked =
+                            causal && self_attn_ && j > i;
+                        if (pad || causal_blocked)
+                            scores.at(i, j) = kMaskValue;
+                    }
+                }
+            }
+
+            // Activation quant point: softmax input.
+            qs.quantFwd(OpClass::kActivation, scores);
+
+            const int64_t row0 = (b * n_heads_ + h) * seq_q;
+            if (!use_approx) {
+                Tensor sm = scores;
+                softmaxRowsInPlace(sm);
+                qs.carrier(sm);
+                for (int64_t i = 0; i < seq_q; ++i)
+                    for (int64_t j = 0; j < skv_; ++j)
+                        probs_.at(row0 + i, j) = sm.at(i, j);
+            } else {
+                for (int64_t i = 0; i < seq_q; ++i) {
+                    approx_sm.forward(
+                        scores.data() + i * skv_,
+                        probs_.data() + (row0 + i) * skv_,
+                        static_cast<int>(skv_),
+                        e_cache_.data() + (row0 + i) * skv_,
+                        &sums_[static_cast<size_t>(row0 + i)]);
+                }
+            }
+
+            // P.V GEMM: quantize P.
+            Tensor ph({seq_q, skv_});
+            for (int64_t i = 0; i < seq_q; ++i)
+                for (int64_t j = 0; j < skv_; ++j)
+                    ph.at(i, j) = probs_.at(row0 + i, j);
+            qs.quantFwd(OpClass::kGemm, ph);
+            for (int64_t i = 0; i < seq_q; ++i)
+                for (int64_t j = 0; j < skv_; ++j)
+                    probs_q_.at(row0 + i, j) = ph.at(i, j);
+
+            gemm(ph, false, vh, false, ctx_h);
+            scatterHeadAdd(ctx_flat, b, seq_q, d_head_, h, ctx_h);
+        }
+    }
+
+    qs.carrier(ctx_flat);
+    return out_proj.forward(qs, ctx_flat);
+}
+
+Tensor
+MultiHeadAttention::backward(QuantSession &qs, const Tensor &gy,
+                             Tensor *gmemory)
+{
+    const SoftmaxMode mode = qs.config().softmax;
+    const bool use_approx = mode != SoftmaxMode::kExact;
+    const ApproxPositSoftmax approx_sm(
+        *qs.config().softmax_spec, qs.config().approx_exp,
+        mode == SoftmaxMode::kApproxExp || mode == SoftmaxMode::kApproxBoth,
+        mode == SoftmaxMode::kApproxRecip ||
+            mode == SoftmaxMode::kApproxBoth);
+
+    Tensor gctx = out_proj.backward(qs, gy);
+    qs.quantBwd(OpClass::kGemm, gctx, slot_ctx_);
+
+    const int64_t prob_rows = b_ * n_heads_ * sq_;
+    Tensor dprobs({prob_rows, skv_});
+    Tensor gv_flat({b_ * skv_, d_model_});
+
+    Tensor gctx_h({sq_, d_head_});
+    Tensor vh({skv_, d_head_});
+    Tensor ph({sq_, skv_});
+    Tensor dph({sq_, skv_});
+    Tensor dvh({skv_, d_head_});
+
+    // Phase 1: dP = gCtx . V^T and dV = P^T . gCtx per head.
+    for (int64_t b = 0; b < b_; ++b) {
+        for (int h = 0; h < n_heads_; ++h) {
+            extractHead(gctx, b, sq_, d_head_, h, gctx_h);
+            extractHead(vq_, b, skv_, d_head_, h, vh);
+            const int64_t row0 = (b * n_heads_ + h) * sq_;
+            for (int64_t i = 0; i < sq_; ++i)
+                for (int64_t j = 0; j < skv_; ++j)
+                    ph.at(i, j) = probs_q_.at(row0 + i, j);
+
+            gemm(gctx_h, false, vh, true, dph);
+            for (int64_t i = 0; i < sq_; ++i)
+                for (int64_t j = 0; j < skv_; ++j)
+                    dprobs.at(row0 + i, j) = dph.at(i, j);
+
+            gemm(ph, true, gctx_h, false, dvh);
+            scatterHeadAdd(gv_flat, b, skv_, d_head_, h, dvh);
+        }
+    }
+
+    // Phase 2: softmax backward over every row, then the activation and
+    // attention-scaling backward quant points on the whole tensors.
+    Tensor dscaled({prob_rows, skv_});
+    for (int64_t r = 0; r < prob_rows; ++r) {
+        if (!use_approx) {
+            double dot = 0.0;
+            for (int64_t j = 0; j < skv_; ++j)
+                dot += static_cast<double>(dprobs.at(r, j)) *
+                       probs_.at(r, j);
+            for (int64_t j = 0; j < skv_; ++j) {
+                dscaled.at(r, j) = static_cast<float>(
+                    probs_.at(r, j) *
+                    (static_cast<double>(dprobs.at(r, j)) - dot));
+            }
+        } else {
+            approx_sm.backward(dprobs.data() + r * skv_,
+                               probs_.data() + r * skv_,
+                               e_cache_.data() + r * skv_,
+                               sums_[static_cast<size_t>(r)],
+                               dscaled.data() + r * skv_,
+                               static_cast<int>(skv_));
+        }
+    }
+    qs.quantBwd(OpClass::kActivation, dscaled, slot_act_);
+
+    scaleInPlace(dscaled, scale_);
+    qs.quantBwd(OpClass::kAttnScaling, dscaled, slot_scale_);
+
+    // Phase 3: dQ = dS . K, dK = dS^T . Q per head.
+    Tensor gq_flat({b_ * sq_, d_model_});
+    Tensor gk_flat({b_ * skv_, d_model_});
+    Tensor qh({sq_, d_head_});
+    Tensor kh({skv_, d_head_});
+    Tensor ds({sq_, skv_});
+    Tensor dqh({sq_, d_head_});
+    Tensor dkh({skv_, d_head_});
+    for (int64_t b = 0; b < b_; ++b) {
+        for (int h = 0; h < n_heads_; ++h) {
+            extractHead(qq_, b, sq_, d_head_, h, qh);
+            extractHead(kq_, b, skv_, d_head_, h, kh);
+            const int64_t row0 = (b * n_heads_ + h) * sq_;
+            for (int64_t i = 0; i < sq_; ++i)
+                for (int64_t j = 0; j < skv_; ++j)
+                    ds.at(i, j) = dscaled.at(row0 + i, j);
+            gemm(ds, false, kh, false, dqh);
+            gemm(ds, true, qh, false, dkh);
+            scatterHeadAdd(gq_flat, b, sq_, d_head_, h, dqh);
+            scatterHeadAdd(gk_flat, b, skv_, d_head_, h, dkh);
+        }
+    }
+
+    Tensor gx = q_proj.backward(qs, gq_flat);
+    const Tensor gk_in = k_proj.backward(qs, gk_flat);
+    const Tensor gv_in = v_proj.backward(qs, gv_flat);
+    if (self_attn_) {
+        addInPlace(gx, gk_in);
+        addInPlace(gx, gv_in);
+        qs.carrier(gx);
+        return gx;
+    }
+    assert(gmemory != nullptr);
+    addInPlace(*gmemory, gk_in);
+    addInPlace(*gmemory, gv_in);
+    qs.carrier(gx);
+    return gx;
+}
+
+void
+MultiHeadAttention::collectParams(ParamList &out)
+{
+    q_proj.collectParams(out);
+    k_proj.collectParams(out);
+    v_proj.collectParams(out);
+    out_proj.collectParams(out);
+}
+
+void
+MultiHeadAttention::enableLora(int rank, float alpha, Rng &rng,
+                               bool all_proj)
+{
+    q_proj.enableLora(rank, alpha, rng);
+    v_proj.enableLora(rank, alpha, rng);
+    if (all_proj) {
+        k_proj.enableLora(rank, alpha, rng);
+        out_proj.enableLora(rank, alpha, rng);
+    } else {
+        // Frozen non-LoRA layers still must not train.
+        k_proj.weight.trainable = false;
+        k_proj.bias.trainable = false;
+        out_proj.weight.trainable = false;
+        out_proj.bias.trainable = false;
+    }
+}
+
+} // namespace qt8

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Multi-head attention with every quantization point of the paper's
+ * Figure 5 made explicit:
+ *
+ *   QKV projections  -> GEMM quant (inputs + weights)
+ *   Q.K^T            -> GEMM quant
+ *   unscaled scores  -> attention-scaling quant point  <- most sensitive
+ *   scaled scores    -> activation quant point (softmax input)
+ *   softmax          -> exact or posit-approximate (section 4.1/5.2)
+ *   P.V              -> GEMM quant
+ *   output proj      -> GEMM quant
+ *
+ * Backward mirrors the schedule, including the re-derived softmax
+ * gradient for the posit piece-wise-linear reciprocal (Eq. 4/5) and
+ * per-tensor scaled gradient quantization.
+ */
+#ifndef QT8_NN_ATTENTION_H
+#define QT8_NN_ATTENTION_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "quant/config.h"
+
+namespace qt8 {
+
+/// Build-time context shared by module constructors: the weight-init
+/// RNG stream and the allocator for backward-scaling slot ids.
+struct BuildCtx
+{
+    explicit BuildCtx(uint64_t seed) : rng(seed) {}
+
+    Rng rng;
+    int slots = 0;
+
+    int slot() { return slots++; }
+};
+
+/// Multi-head attention (self- or cross-).
+class MultiHeadAttention
+{
+  public:
+    MultiHeadAttention(int64_t d_model, int n_heads, BuildCtx &ctx,
+                       const std::string &name);
+
+    /**
+     * @param x Query-side input, [B*S, d].
+     * @param batch B.
+     * @param seq_q S.
+     * @param memory Key/value-side input for cross-attention
+     *   ([B*T, d]); nullptr for self-attention (keys = x, T = S).
+     * @param seq_kv T (ignored for self-attention).
+     * @param key_pad_mask Optional B*T bytes, 1 = key is padding.
+     * @param causal Apply causal (autoregressive) masking.
+     * @return [B*S, d].
+     */
+    Tensor forward(QuantSession &qs, const Tensor &x, int64_t batch,
+                   int64_t seq_q, const Tensor *memory = nullptr,
+                   int64_t seq_kv = 0,
+                   const uint8_t *key_pad_mask = nullptr,
+                   bool causal = false);
+
+    /**
+     * @param gy Gradient of the output, [B*S, d].
+     * @param gmemory For cross-attention: receives (accumulates) the
+     *   gradient w.r.t. the memory input; must be preallocated [B*T, d].
+     * @return Gradient w.r.t. x.
+     */
+    Tensor backward(QuantSession &qs, const Tensor &gy,
+                    Tensor *gmemory = nullptr);
+
+    void collectParams(ParamList &out);
+
+    /// Enable LoRA on the query and value projections (the RoBERTa
+    /// recipe) or on all four projections (the MobileBERT recipe).
+    void enableLora(int rank, float alpha, Rng &rng, bool all_proj);
+
+    /// Mean absolute unscaled-attention magnitude from the last forward
+    /// (used by the distribution benches).
+    double lastUnscaledAmax() const { return last_unscaled_amax_; }
+
+    Linear q_proj;
+    Linear k_proj;
+    Linear v_proj;
+    Linear out_proj;
+
+  private:
+    int64_t d_model_;
+    int n_heads_;
+    int64_t d_head_;
+    float scale_;
+    int slot_ctx_, slot_act_, slot_scale_;
+
+    // Forward cache.
+    int64_t b_ = 0, sq_ = 0, skv_ = 0;
+    bool self_attn_ = true;
+    Tensor qq_, kq_, vq_;   ///< GEMM-quantized projection outputs.
+    Tensor probs_;          ///< Softmax outputs [B*H*S, T].
+    Tensor probs_q_;        ///< GEMM-quantized probs.
+    Tensor e_cache_;        ///< Approx-softmax exponentials.
+    std::vector<double> sums_; ///< Approx-softmax row sums.
+    double last_unscaled_amax_ = 0.0;
+};
+
+} // namespace qt8
+
+#endif // QT8_NN_ATTENTION_H

@@ -1,0 +1,252 @@
+#include "nn/block.h"
+
+#include "tensor/ops.h"
+
+namespace qt8 {
+
+Tensor
+residualAdd(QuantSession &qs, const Tensor &skip, const Tensor &branch)
+{
+    Tensor a = skip;
+    qs.quantFwd(OpClass::kResidual, a);
+    Tensor b = branch;
+    qs.quantFwd(OpClass::kResidual, b);
+    addInPlace(a, b);
+    qs.carrier(a);
+    return a;
+}
+
+void
+residualBackward(QuantSession &qs, Tensor &g, int slot)
+{
+    qs.quantBwd(OpClass::kResidual, g, slot);
+}
+
+FeedForward::FeedForward(int64_t d_model, int64_t d_ff, BuildCtx &ctx,
+                         const std::string &name)
+    : fc1(d_model, d_ff, ctx.rng, name + ".fc1", ctx.slot()),
+      fc2(d_ff, d_model, ctx.rng, name + ".fc2", ctx.slot()),
+      slot_act_(ctx.slot())
+{
+}
+
+Tensor
+FeedForward::forward(QuantSession &qs, const Tensor &x)
+{
+    Tensor h = fc1.forward(qs, x);
+    qs.quantFwd(OpClass::kActivation, h); // GeLU input quant point
+    hq_ = h;
+    geluInPlace(h);
+    qs.carrier(h);
+    return fc2.forward(qs, h);
+}
+
+Tensor
+FeedForward::backward(QuantSession &qs, const Tensor &gy)
+{
+    Tensor gh = fc2.backward(qs, gy);
+    qs.quantBwd(OpClass::kActivation, gh, slot_act_);
+    float *pg = gh.data();
+    const float *ph = hq_.data();
+    for (int64_t i = 0; i < gh.numel(); ++i)
+        pg[i] *= geluGradScalar(ph[i]);
+    qs.carrier(gh);
+    return fc1.backward(qs, gh);
+}
+
+void
+FeedForward::collectParams(ParamList &out)
+{
+    fc1.collectParams(out);
+    fc2.collectParams(out);
+}
+
+void
+FeedForward::enableLora(int rank, float alpha, Rng &rng)
+{
+    fc1.enableLora(rank, alpha, rng);
+    fc2.enableLora(rank, alpha, rng);
+}
+
+void
+FeedForward::freeze()
+{
+    fc1.weight.trainable = false;
+    fc1.bias.trainable = false;
+    fc2.weight.trainable = false;
+    fc2.bias.trainable = false;
+}
+
+EncoderBlock::EncoderBlock(int64_t d_model, int n_heads, int64_t d_ff,
+                           int n_ffn, bool ln_inner, BuildCtx &ctx,
+                           const std::string &name)
+    : attn(d_model, n_heads, ctx, name + ".attn"),
+      ln_attn(d_model, name + ".ln_attn", ctx.slot()), ln_inner_(ln_inner),
+      slot_res_attn_(ctx.slot())
+{
+    for (int f = 0; f < n_ffn; ++f) {
+        ffns.push_back(std::make_unique<FeedForward>(
+            d_model, d_ff, ctx, name + ".ffn" + std::to_string(f)));
+        slot_res_ffn_.push_back(ctx.slot());
+        if (ln_inner || f == n_ffn - 1) {
+            ffn_lns.push_back(std::make_unique<LayerNorm>(
+                d_model, name + ".ln_ffn" + std::to_string(f), ctx.slot()));
+        } else {
+            ffn_lns.push_back(nullptr);
+        }
+    }
+}
+
+Tensor
+EncoderBlock::forward(QuantSession &qs, const Tensor &x, int64_t batch,
+                      int64_t seq, const uint8_t *key_pad_mask, bool causal)
+{
+    const Tensor a =
+        attn.forward(qs, x, batch, seq, nullptr, 0, key_pad_mask, causal);
+    Tensor cur = ln_attn.forward(qs, residualAdd(qs, x, a));
+    for (size_t f = 0; f < ffns.size(); ++f) {
+        const Tensor h = ffns[f]->forward(qs, cur);
+        cur = residualAdd(qs, cur, h);
+        if (ffn_lns[f])
+            cur = ffn_lns[f]->forward(qs, cur);
+    }
+    return cur;
+}
+
+Tensor
+EncoderBlock::backward(QuantSession &qs, const Tensor &gy)
+{
+    Tensor g = gy;
+    for (int f = static_cast<int>(ffns.size()) - 1; f >= 0; --f) {
+        if (ffn_lns[static_cast<size_t>(f)])
+            g = ffn_lns[static_cast<size_t>(f)]->backward(qs, g);
+        residualBackward(qs, g, slot_res_ffn_[static_cast<size_t>(f)]);
+        const Tensor gh = ffns[static_cast<size_t>(f)]->backward(qs, g);
+        addInPlace(g, gh); // skip path + branch path
+        qs.carrier(g);
+    }
+    g = ln_attn.backward(qs, g);
+    residualBackward(qs, g, slot_res_attn_);
+    const Tensor ga = attn.backward(qs, g);
+    addInPlace(g, ga);
+    qs.carrier(g);
+    return g;
+}
+
+void
+EncoderBlock::collectParams(ParamList &out)
+{
+    attn.collectParams(out);
+    ln_attn.collectParams(out);
+    for (size_t f = 0; f < ffns.size(); ++f) {
+        ffns[f]->collectParams(out);
+        if (ffn_lns[f])
+            ffn_lns[f]->collectParams(out);
+    }
+}
+
+void
+EncoderBlock::enableLora(int rank, float alpha, Rng &rng, bool all_dense)
+{
+    attn.enableLora(rank, alpha, rng, all_dense);
+    for (auto &ffn : ffns) {
+        if (all_dense)
+            ffn->enableLora(rank, alpha, rng);
+        else
+            ffn->freeze();
+    }
+    // LayerNorm affine parameters are frozen in LoRA mode.
+    ln_attn.gamma.trainable = false;
+    ln_attn.beta.trainable = false;
+    for (auto &ln : ffn_lns) {
+        if (ln) {
+            ln->gamma.trainable = false;
+            ln->beta.trainable = false;
+        }
+    }
+}
+
+void
+EncoderBlock::freeze()
+{
+    ParamList params;
+    collectParams(params);
+    for (Param *p : params)
+        p->trainable = false;
+}
+
+DecoderBlock::DecoderBlock(int64_t d_model, int n_heads, int64_t d_ff,
+                           BuildCtx &ctx, const std::string &name)
+    : self_attn(d_model, n_heads, ctx, name + ".self"),
+      ln_self(d_model, name + ".ln_self", ctx.slot()),
+      cross_attn(d_model, n_heads, ctx, name + ".cross"),
+      ln_cross(d_model, name + ".ln_cross", ctx.slot()),
+      ffn(d_model, d_ff, ctx, name + ".ffn"),
+      ln_ffn(d_model, name + ".ln_ffn", ctx.slot()),
+      slot_res_self_(ctx.slot()), slot_res_cross_(ctx.slot()),
+      slot_res_ffn_(ctx.slot())
+{
+}
+
+Tensor
+DecoderBlock::forward(QuantSession &qs, const Tensor &x, int64_t batch,
+                      int64_t seq_tgt, const Tensor &memory,
+                      int64_t seq_src, const uint8_t *mem_pad_mask)
+{
+    const Tensor a = self_attn.forward(qs, x, batch, seq_tgt, nullptr, 0,
+                                       nullptr, /*causal=*/true);
+    Tensor cur = ln_self.forward(qs, residualAdd(qs, x, a));
+
+    const Tensor c = cross_attn.forward(qs, cur, batch, seq_tgt, &memory,
+                                        seq_src, mem_pad_mask, false);
+    cur = ln_cross.forward(qs, residualAdd(qs, cur, c));
+
+    const Tensor h = ffn.forward(qs, cur);
+    cur = ln_ffn.forward(qs, residualAdd(qs, cur, h));
+    return cur;
+}
+
+Tensor
+DecoderBlock::backward(QuantSession &qs, const Tensor &gy, Tensor &gmemory)
+{
+    Tensor g = ln_ffn.backward(qs, gy);
+    residualBackward(qs, g, slot_res_ffn_);
+    const Tensor gh = ffn.backward(qs, g);
+    addInPlace(g, gh);
+    qs.carrier(g);
+
+    g = ln_cross.backward(qs, g);
+    residualBackward(qs, g, slot_res_cross_);
+    const Tensor gc = cross_attn.backward(qs, g, &gmemory);
+    addInPlace(g, gc);
+    qs.carrier(g);
+
+    g = ln_self.backward(qs, g);
+    residualBackward(qs, g, slot_res_self_);
+    const Tensor ga = self_attn.backward(qs, g);
+    addInPlace(g, ga);
+    qs.carrier(g);
+    return g;
+}
+
+void
+DecoderBlock::collectParams(ParamList &out)
+{
+    self_attn.collectParams(out);
+    ln_self.collectParams(out);
+    cross_attn.collectParams(out);
+    ln_cross.collectParams(out);
+    ffn.collectParams(out);
+    ln_ffn.collectParams(out);
+}
+
+void
+DecoderBlock::freeze()
+{
+    ParamList params;
+    collectParams(params);
+    for (Param *p : params)
+        p->trainable = false;
+}
+
+} // namespace qt8

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Transformer blocks: feed-forward network, encoder block (with the
+ * MobileBERT-style *stacked FFN* option whose wider activation
+ * distributions drive the paper's Table 1/2 sensitivity results), and
+ * decoder block (causal self-attention + cross-attention) for the
+ * seq2seq experiments.
+ */
+#ifndef QT8_NN_BLOCK_H
+#define QT8_NN_BLOCK_H
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "quant/config.h"
+
+namespace qt8 {
+
+/// Residual addition with its quant point (both inputs quantized when
+/// the residual op class is active).
+Tensor residualAdd(QuantSession &qs, const Tensor &skip,
+                   const Tensor &branch);
+
+/// Backward of the residual quant point (applied once to the incoming
+/// gradient, which then flows to both branches).
+void residualBackward(QuantSession &qs, Tensor &g, int slot);
+
+/// Linear -> GeLU -> Linear with the activation quant point on the
+/// GeLU input.
+class FeedForward
+{
+  public:
+    FeedForward(int64_t d_model, int64_t d_ff, BuildCtx &ctx,
+                const std::string &name);
+
+    Tensor forward(QuantSession &qs, const Tensor &x);
+    Tensor backward(QuantSession &qs, const Tensor &gy);
+    void collectParams(ParamList &out);
+    void enableLora(int rank, float alpha, Rng &rng);
+    void freeze();
+
+    Linear fc1;
+    Linear fc2;
+
+  private:
+    int slot_act_;
+    Tensor hq_; ///< Cached (quantized) GeLU input.
+};
+
+/// Encoder block: self-attention + residual + LN, then n_ffn stacked
+/// FFN sublayers. With ln_inner=false (MobileBERT-like) the FFN stack
+/// uses residual-only connections and a single LayerNorm at the end,
+/// letting magnitudes grow through the stack.
+class EncoderBlock
+{
+  public:
+    EncoderBlock(int64_t d_model, int n_heads, int64_t d_ff, int n_ffn,
+                 bool ln_inner, BuildCtx &ctx, const std::string &name);
+
+    /// @param causal Apply causal masking (decoder-only LM usage).
+    Tensor forward(QuantSession &qs, const Tensor &x, int64_t batch,
+                   int64_t seq, const uint8_t *key_pad_mask,
+                   bool causal = false);
+    Tensor backward(QuantSession &qs, const Tensor &gy);
+    void collectParams(ParamList &out);
+    void enableLora(int rank, float alpha, Rng &rng, bool all_dense);
+    void freeze();
+
+    MultiHeadAttention attn;
+    LayerNorm ln_attn;
+    std::vector<std::unique_ptr<FeedForward>> ffns;
+    std::vector<std::unique_ptr<LayerNorm>> ffn_lns;
+
+  private:
+    bool ln_inner_;
+    int slot_res_attn_;
+    std::vector<int> slot_res_ffn_;
+};
+
+/// Decoder block: causal self-attention, cross-attention over encoder
+/// memory, FFN; post-LN arrangement matching the encoder block.
+class DecoderBlock
+{
+  public:
+    DecoderBlock(int64_t d_model, int n_heads, int64_t d_ff, BuildCtx &ctx,
+                 const std::string &name);
+
+    /**
+     * @param x Decoder-side input [B*T, d].
+     * @param memory Encoder output [B*S, d].
+     * @param mem_pad_mask Padding mask over encoder positions (B*S).
+     */
+    Tensor forward(QuantSession &qs, const Tensor &x, int64_t batch,
+                   int64_t seq_tgt, const Tensor &memory, int64_t seq_src,
+                   const uint8_t *mem_pad_mask);
+
+    /// @param gmemory Accumulates the gradient w.r.t. the encoder
+    /// memory ([B*S, d], preallocated).
+    Tensor backward(QuantSession &qs, const Tensor &gy, Tensor &gmemory);
+
+    void collectParams(ParamList &out);
+    void freeze();
+
+    MultiHeadAttention self_attn;
+    LayerNorm ln_self;
+    MultiHeadAttention cross_attn;
+    LayerNorm ln_cross;
+    FeedForward ffn;
+    LayerNorm ln_ffn;
+
+  private:
+    int slot_res_self_, slot_res_cross_, slot_res_ffn_;
+};
+
+} // namespace qt8
+
+#endif // QT8_NN_BLOCK_H

@@ -1,0 +1,120 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace qt8 {
+namespace {
+
+constexpr char kMagic[8] = {'Q', 'T', '8', 'C', 'K', 'P', 'T', '1'};
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+writeU64(std::FILE *f, uint64_t v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readU64(std::FILE *f, uint64_t *v)
+{
+    return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+} // namespace
+
+bool
+saveCheckpoint(const std::string &path, const ParamList &params)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1)
+        return false;
+    if (!writeU64(f.get(), params.size()))
+        return false;
+    for (const Param *p : params) {
+        if (!writeU64(f.get(), p->name.size()))
+            return false;
+        if (!p->name.empty() &&
+            std::fwrite(p->name.data(), 1, p->name.size(), f.get()) !=
+                p->name.size())
+            return false;
+        const auto &shape = p->value.shape();
+        if (!writeU64(f.get(), shape.size()))
+            return false;
+        for (int64_t d : shape)
+            if (!writeU64(f.get(), static_cast<uint64_t>(d)))
+                return false;
+        const size_t n = static_cast<size_t>(p->value.numel());
+        if (n > 0 && std::fwrite(p->value.data(), sizeof(float), n,
+                                 f.get()) != n)
+            return false;
+    }
+    return true;
+}
+
+bool
+loadCheckpoint(const std::string &path, const ParamList &params)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    char magic[8];
+    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    uint64_t count = 0;
+    if (!readU64(f.get(), &count) || count != params.size())
+        return false;
+
+    // Stage everything first so params stay untouched on failure.
+    std::vector<Tensor> staged;
+    staged.reserve(params.size());
+    for (const Param *p : params) {
+        uint64_t name_len = 0;
+        if (!readU64(f.get(), &name_len) || name_len > 4096)
+            return false;
+        std::string name(name_len, '\0');
+        if (name_len > 0 &&
+            std::fread(name.data(), 1, name_len, f.get()) != name_len)
+            return false;
+        if (name != p->name)
+            return false;
+        uint64_t rank = 0;
+        if (!readU64(f.get(), &rank) || rank > 8)
+            return false;
+        std::vector<int64_t> shape(rank);
+        for (auto &d : shape) {
+            uint64_t v = 0;
+            if (!readU64(f.get(), &v))
+                return false;
+            d = static_cast<int64_t>(v);
+        }
+        if (shape != p->value.shape())
+            return false;
+        Tensor t(shape);
+        const size_t n = static_cast<size_t>(t.numel());
+        if (n > 0 &&
+            std::fread(t.data(), sizeof(float), n, f.get()) != n)
+            return false;
+        staged.push_back(std::move(t));
+    }
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i]->value = std::move(staged[i]);
+    return true;
+}
+
+} // namespace qt8

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Binary checkpointing of parameter lists, so pre-trained backbones
+ * (the stand-ins for hub checkpoints) can be saved once and reused by
+ * examples and experiments.
+ *
+ * Format: "QT8CKPT1" magic, parameter count, then per parameter the
+ * name, shape and raw float32 data, in collectParams order.
+ */
+#ifndef QT8_NN_CHECKPOINT_H
+#define QT8_NN_CHECKPOINT_H
+
+#include <string>
+
+#include "nn/param.h"
+
+namespace qt8 {
+
+/// Write all parameter values to @p path. Returns false on IO error.
+bool saveCheckpoint(const std::string &path, const ParamList &params);
+
+/**
+ * Load parameter values from @p path into @p params. Names and shapes
+ * must match exactly (same architecture and traversal order).
+ * Returns false on IO error or mismatch; params are untouched on
+ * failure.
+ */
+bool loadCheckpoint(const std::string &path, const ParamList &params);
+
+} // namespace qt8
+
+#endif // QT8_NN_CHECKPOINT_H

@@ -1,0 +1,78 @@
+#include "nn/embedding.h"
+
+#include <cassert>
+
+namespace qt8 {
+
+Embedding::Embedding(int64_t vocab, int64_t max_seq, int64_t dim, Rng &rng,
+                     const std::string &name)
+    : dim_(dim)
+{
+    // Unit-scale token embeddings with weaker positional ones; the
+    // encoder applies an embedding LayerNorm (as BERT does) right after.
+    Tensor t({vocab, dim});
+    rng.fillNormal(t, 1.0);
+    tok.init(name + ".tok", std::move(t));
+    Tensor p({max_seq, dim});
+    rng.fillNormal(p, 0.5);
+    pos.init(name + ".pos", std::move(p));
+}
+
+Tensor
+Embedding::forward(QuantSession &qs, const std::vector<int32_t> &ids,
+                   int64_t batch, int64_t seq)
+{
+    assert(static_cast<int64_t>(ids.size()) == batch * seq);
+    cached_ids_ = ids;
+    cached_seq_ = seq;
+
+    Tensor out({batch * seq, dim_});
+    const float *pt = tok.value.data();
+    const float *pp = pos.value.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < batch * seq; ++i) {
+        const int64_t id = ids[static_cast<size_t>(i)];
+        const int64_t s = i % seq;
+        assert(id >= 0 && id < tok.value.dim(0));
+        for (int64_t j = 0; j < dim_; ++j)
+            po[i * dim_ + j] = pt[id * dim_ + j] + pp[s * dim_ + j];
+    }
+    qs.carrier(out);
+    return out;
+}
+
+void
+Embedding::backward(QuantSession &qs, const Tensor &gy)
+{
+    (void)qs;
+    if (!tok.trainable)
+        return;
+    const float *pg = gy.data();
+    float *gt = tok.grad.data();
+    float *gp = pos.grad.data();
+    const int64_t n = gy.dim(0);
+    for (int64_t i = 0; i < n; ++i) {
+        const int64_t id = cached_ids_[static_cast<size_t>(i)];
+        const int64_t s = i % cached_seq_;
+        for (int64_t j = 0; j < dim_; ++j) {
+            gt[id * dim_ + j] += pg[i * dim_ + j];
+            gp[s * dim_ + j] += pg[i * dim_ + j];
+        }
+    }
+}
+
+void
+Embedding::collectParams(ParamList &out)
+{
+    out.push_back(&tok);
+    out.push_back(&pos);
+}
+
+void
+Embedding::freeze()
+{
+    tok.trainable = false;
+    pos.trainable = false;
+}
+
+} // namespace qt8

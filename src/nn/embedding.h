@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Token + learned positional embedding.
+ */
+#ifndef QT8_NN_EMBEDDING_H
+#define QT8_NN_EMBEDDING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/param.h"
+#include "quant/config.h"
+#include "tensor/random.h"
+
+namespace qt8 {
+
+/// x[b,s,:] = tok[id[b,s],:] + pos[s,:], flattened to [B*S, d].
+class Embedding
+{
+  public:
+    Embedding() = default;
+
+    Embedding(int64_t vocab, int64_t max_seq, int64_t dim, Rng &rng,
+              const std::string &name);
+
+    /// ids has B*S entries; returns [B*S, dim].
+    Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
+                   int64_t batch, int64_t seq);
+
+    /// Accumulates gradients into the embedding tables.
+    void backward(QuantSession &qs, const Tensor &gy);
+
+    void collectParams(ParamList &out);
+
+    /// Freeze both tables (LoRA fine-tuning trains adapters only).
+    void freeze();
+
+    Param tok; ///< [vocab, dim]
+    Param pos; ///< [max_seq, dim]
+
+  private:
+    int64_t dim_ = 0;
+    std::vector<int32_t> cached_ids_;
+    int64_t cached_seq_ = 0;
+};
+
+} // namespace qt8
+
+#endif // QT8_NN_EMBEDDING_H

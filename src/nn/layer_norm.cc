@@ -1,0 +1,109 @@
+#include "nn/layer_norm.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace qt8 {
+
+LayerNorm::LayerNorm(int64_t dim, const std::string &name, int slot)
+    : dim_(dim), slot_(slot)
+{
+    gamma.init(name + ".gamma", Tensor::full({dim}, 1.0f));
+    beta.init(name + ".beta", Tensor({dim}));
+}
+
+Tensor
+LayerNorm::forward(QuantSession &qs, const Tensor &x)
+{
+    Tensor xq = x;
+    qs.quantFwd(OpClass::kLayerNorm, xq);
+
+    const int64_t m = xq.dim(0);
+    norm_ = Tensor({m, dim_});
+    invstd_ = Tensor({m});
+    Tensor y({m, dim_});
+
+    const float *px = xq.data();
+    float *pn = norm_.data();
+    float *py = y.data();
+    const float *pg = gamma.value.data();
+    const float *pb = beta.value.data();
+
+    for (int64_t i = 0; i < m; ++i) {
+        const float *row = px + i * dim_;
+        double mu = 0.0;
+        for (int64_t j = 0; j < dim_; ++j)
+            mu += row[j];
+        mu /= static_cast<double>(dim_);
+        double var = 0.0;
+        for (int64_t j = 0; j < dim_; ++j) {
+            const double d = row[j] - mu;
+            var += d * d;
+        }
+        var /= static_cast<double>(dim_);
+        const float is = static_cast<float>(1.0 / std::sqrt(var + eps_));
+        invstd_.at(i) = is;
+        for (int64_t j = 0; j < dim_; ++j) {
+            const float n =
+                (row[j] - static_cast<float>(mu)) * is;
+            pn[i * dim_ + j] = n;
+            py[i * dim_ + j] = pg[j] * n + pb[j];
+        }
+    }
+    qs.carrier(y);
+    return y;
+}
+
+Tensor
+LayerNorm::backward(QuantSession &qs, const Tensor &gy)
+{
+    Tensor gyq = gy;
+    qs.quantBwd(OpClass::kLayerNorm, gyq, slot_);
+
+    const int64_t m = gyq.dim(0);
+    Tensor gx({m, dim_});
+    const float *pg = gamma.value.data();
+    const float *pgy = gyq.data();
+    const float *pn = norm_.data();
+    float *pgx = gx.data();
+    float *pgg = gamma.grad.data();
+    float *pgb = beta.grad.data();
+
+    for (int64_t i = 0; i < m; ++i) {
+        const float is = invstd_.at(i);
+        // dnorm = gy * gamma; gx = (dnorm - mean(dnorm)
+        //         - norm * mean(dnorm * norm)) * invstd
+        double sum_dn = 0.0;
+        double sum_dn_n = 0.0;
+        for (int64_t j = 0; j < dim_; ++j) {
+            const float dn = pgy[i * dim_ + j] * pg[j];
+            sum_dn += dn;
+            sum_dn_n += static_cast<double>(dn) * pn[i * dim_ + j];
+        }
+        const double mean_dn = sum_dn / static_cast<double>(dim_);
+        const double mean_dn_n = sum_dn_n / static_cast<double>(dim_);
+        for (int64_t j = 0; j < dim_; ++j) {
+            const float dn = pgy[i * dim_ + j] * pg[j];
+            pgx[i * dim_ + j] = static_cast<float>(
+                (dn - mean_dn - pn[i * dim_ + j] * mean_dn_n) * is);
+        }
+        if (gamma.trainable) {
+            for (int64_t j = 0; j < dim_; ++j) {
+                pgg[j] += pgy[i * dim_ + j] * pn[i * dim_ + j];
+                pgb[j] += pgy[i * dim_ + j];
+            }
+        }
+    }
+    qs.carrier(gx);
+    return gx;
+}
+
+void
+LayerNorm::collectParams(ParamList &out)
+{
+    out.push_back(&gamma);
+    out.push_back(&beta);
+}
+
+} // namespace qt8

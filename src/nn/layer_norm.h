@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Layer normalization over the feature dimension with quantization of
+ * its inputs as an op class (paper Figure 5 / Table 1: "LayerNorm").
+ */
+#ifndef QT8_NN_LAYER_NORM_H
+#define QT8_NN_LAYER_NORM_H
+
+#include "nn/param.h"
+#include "quant/config.h"
+#include "tensor/tensor.h"
+
+namespace qt8 {
+
+/// y = gamma * (x - mean) / sqrt(var + eps) + beta, row-wise.
+class LayerNorm
+{
+  public:
+    LayerNorm(int64_t dim, const std::string &name, int slot);
+
+    /// x: [m, dim] -> [m, dim]. Caches normalized values for backward.
+    Tensor forward(QuantSession &qs, const Tensor &x);
+
+    /// gy: [m, dim] -> dL/dx. Accumulates gamma/beta gradients.
+    Tensor backward(QuantSession &qs, const Tensor &gy);
+
+    void collectParams(ParamList &out);
+
+    Param gamma;
+    Param beta;
+
+  private:
+    int64_t dim_;
+    int slot_;
+    float eps_ = 1e-5f;
+
+    Tensor norm_;   ///< Cached normalized activations.
+    Tensor invstd_; ///< Cached per-row 1/sqrt(var+eps).
+};
+
+} // namespace qt8
+
+#endif // QT8_NN_LAYER_NORM_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dense layer with quantization hooks and optional LoRA (paper
+ * section 5.3). In LoRA mode the base weight W0 is frozen and stored in
+ * the 8-bit forward format, the low-rank factors A and B are carried in
+ * 16-bit, and the effective weight follows Eq. 7:
+ *
+ *     W = quant( W0_8 + alpha * quant(B_16) * quant(A_16) )
+ *
+ * so that the GEMM runs on a single 8-bit data type, unlike int8 LoRA
+ * which must upconvert and merge in high precision.
+ */
+#ifndef QT8_NN_LINEAR_H
+#define QT8_NN_LINEAR_H
+
+#include "nn/param.h"
+#include "quant/config.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace qt8 {
+
+/// y = x . W^T + b, with explicit backward.
+class Linear
+{
+  public:
+    /**
+     * @param in Input features.
+     * @param out Output features.
+     * @param rng Initializer stream (Gaussian, std 0.02-like scaled).
+     * @param name Parameter name prefix.
+     * @param slot Backward-scaling slot id (unique per instance).
+     */
+    Linear(int64_t in, int64_t out, Rng &rng, const std::string &name,
+           int slot);
+
+    /**
+     * Enable LoRA with the given rank and scaling alpha: freezes the
+     * base weight and bias, initializes A ~ N(0, 0.02), B = 0.
+     */
+    void enableLora(int rank, float alpha, Rng &rng);
+
+    /// Forward: x is [m, in]; returns [m, out]. Caches activations.
+    Tensor forward(QuantSession &qs, const Tensor &x);
+
+    /// Backward: gy is [m, out]; accumulates parameter gradients and
+    /// returns dL/dx [m, in].
+    Tensor backward(QuantSession &qs, const Tensor &gy);
+
+    void collectParams(ParamList &out);
+
+    /// Mark as the model's task head: when QuantConfig::fuse_head is
+    /// set, this layer's inputs/weights skip 8-bit quantization (the
+    /// artifact's "--op_fusion classifier" training-stability option).
+    void markAsHead() { is_head_ = true; }
+
+    int64_t inFeatures() const { return in_; }
+    int64_t outFeatures() const { return out_; }
+    bool loraEnabled() const { return lora_rank_ > 0; }
+
+    Param weight; ///< [out, in]
+    Param bias;   ///< [out]
+    Param lora_a; ///< [r, in]
+    Param lora_b; ///< [out, r]
+
+  private:
+    /// Effective (quantized) weight for this forward pass.
+    Tensor effectiveWeight(QuantSession &qs);
+
+    int64_t in_;
+    int64_t out_;
+    int slot_;
+    int lora_rank_ = 0;
+    float lora_alpha_ = 1.0f;
+    bool is_head_ = false;
+
+    // Forward cache.
+    Tensor xq_;      ///< Quantized input.
+    Tensor wq_;      ///< Quantized effective weight.
+    Tensor aq_, bq_; ///< Quantized LoRA factors (LoRA mode).
+};
+
+} // namespace qt8
+
+#endif // QT8_NN_LINEAR_H

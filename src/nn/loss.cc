@@ -1,0 +1,56 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qt8 {
+
+CEResult
+softmaxCrossEntropy(const Tensor &logits,
+                    const std::vector<int32_t> &targets)
+{
+    assert(logits.rank() == 2);
+    const int64_t n = logits.dim(0);
+    const int64_t c = logits.dim(1);
+    assert(static_cast<int64_t>(targets.size()) == n);
+
+    CEResult res;
+    res.dlogits = Tensor({n, c});
+
+    double total = 0.0;
+    int64_t count = 0;
+    const float *pl = logits.data();
+    float *pd = res.dlogits.data();
+
+    for (int64_t i = 0; i < n; ++i) {
+        const int32_t t = targets[static_cast<size_t>(i)];
+        if (t == kIgnoreIndex)
+            continue;
+        assert(t >= 0 && t < c);
+        const float *row = pl + i * c;
+        double m = row[0];
+        for (int64_t j = 1; j < c; ++j)
+            m = std::max(m, static_cast<double>(row[j]));
+        double sum = 0.0;
+        for (int64_t j = 0; j < c; ++j)
+            sum += std::exp(row[j] - m);
+        const double logz = m + std::log(sum);
+        total += logz - row[t];
+        ++count;
+        for (int64_t j = 0; j < c; ++j) {
+            const double p = std::exp(row[j] - logz);
+            pd[i * c + j] = static_cast<float>(p - (j == t ? 1.0 : 0.0));
+        }
+    }
+
+    res.count = count;
+    if (count > 0) {
+        res.loss = total / static_cast<double>(count);
+        const float inv = 1.0f / static_cast<float>(count);
+        for (int64_t i = 0; i < n * c; ++i)
+            pd[i] *= inv;
+    }
+    return res;
+}
+
+} // namespace qt8

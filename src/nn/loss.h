@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Softmax cross-entropy loss over logits with an ignore index, returning
+ * both the mean loss and the logits gradient.
+ */
+#ifndef QT8_NN_LOSS_H
+#define QT8_NN_LOSS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qt8 {
+
+/// Targets equal to kIgnoreIndex contribute neither loss nor gradient.
+constexpr int32_t kIgnoreIndex = -100;
+
+struct CEResult
+{
+    double loss = 0.0;  ///< Mean loss over counted targets.
+    Tensor dlogits;     ///< d(mean loss)/d(logits).
+    int64_t count = 0;  ///< Number of counted targets.
+};
+
+/**
+ * Numerically stable softmax cross-entropy.
+ *
+ * @param logits [N, C].
+ * @param targets N class indices (or kIgnoreIndex).
+ */
+CEResult softmaxCrossEntropy(const Tensor &logits,
+                             const std::vector<int32_t> &targets);
+
+} // namespace qt8
+
+#endif // QT8_NN_LOSS_H

@@ -1,0 +1,437 @@
+#include "nn/model.h"
+
+#include <cassert>
+
+#include "tensor/ops.h"
+
+namespace qt8 {
+
+ModelConfig
+ModelConfig::mobileBertTinyLike()
+{
+    ModelConfig c;
+    c.name = "mobilebert-tiny-like";
+    c.d_model = 48;
+    c.d_ff = 96;
+    c.n_heads = 4;
+    c.n_layers = 3;
+    c.n_ffn = 2; // two fewer stacked FFNs than mobilebert-like
+    c.ln_inner = false;
+    return c;
+}
+
+ModelConfig
+ModelConfig::mobileBertLike()
+{
+    ModelConfig c;
+    c.name = "mobilebert-like";
+    c.d_model = 48;
+    c.d_ff = 96;
+    c.n_heads = 4;
+    c.n_layers = 3;
+    c.n_ffn = 4; // stacked FFNs -> wide activation distributions
+    c.ln_inner = false;
+    return c;
+}
+
+ModelConfig
+ModelConfig::distilBertLike()
+{
+    ModelConfig c;
+    c.name = "distilbert-like";
+    c.d_model = 64;
+    c.d_ff = 128;
+    c.n_heads = 4;
+    c.n_layers = 3;
+    return c;
+}
+
+ModelConfig
+ModelConfig::bertBaseLike()
+{
+    ModelConfig c;
+    c.name = "bert-base-like";
+    c.d_model = 80;
+    c.d_ff = 160;
+    c.n_heads = 4;
+    c.n_layers = 3;
+    return c;
+}
+
+ModelConfig
+ModelConfig::bertLargeLike()
+{
+    ModelConfig c;
+    c.name = "bert-large-like";
+    c.d_model = 96;
+    c.d_ff = 192;
+    c.n_heads = 4;
+    c.n_layers = 4;
+    return c;
+}
+
+ModelConfig
+ModelConfig::whisperTinyLike()
+{
+    ModelConfig c;
+    c.name = "whisper-tiny-like";
+    c.d_model = 32;
+    c.d_ff = 64;
+    c.n_heads = 2;
+    c.n_layers = 2;
+    c.n_dec_layers = 2;
+    return c;
+}
+
+ModelConfig
+ModelConfig::whisperSmallLike()
+{
+    ModelConfig c;
+    c.name = "whisper-small-like";
+    c.d_model = 64;
+    c.d_ff = 128;
+    c.n_heads = 4;
+    c.n_layers = 3;
+    c.n_dec_layers = 3;
+    return c;
+}
+
+ModelConfig
+ModelConfig::whisperLargeLike()
+{
+    ModelConfig c;
+    c.name = "whisper-large-like";
+    c.d_model = 80;
+    c.d_ff = 160;
+    c.n_heads = 4;
+    c.n_layers = 3;
+    c.n_dec_layers = 3;
+    return c;
+}
+
+ModelConfig
+ModelConfig::gpt2LargeLike()
+{
+    ModelConfig c;
+    c.name = "gpt2-large-like";
+    c.vocab = 96;
+    c.d_model = 64;
+    c.d_ff = 128;
+    c.n_heads = 4;
+    c.n_layers = 3;
+    return c;
+}
+
+ModelConfig
+ModelConfig::gpt2XlLike()
+{
+    ModelConfig c;
+    c.name = "gpt2-xl-like";
+    c.vocab = 96;
+    c.d_model = 80;
+    c.d_ff = 160;
+    c.n_heads = 4;
+    c.n_layers = 4;
+    return c;
+}
+
+ModelConfig
+ModelConfig::llamaLike()
+{
+    ModelConfig c;
+    c.name = "llama-like";
+    c.vocab = 96;
+    c.d_model = 96;
+    c.d_ff = 192;
+    c.n_heads = 4;
+    c.n_layers = 4;
+    return c;
+}
+
+TransformerEncoder::TransformerEncoder(const ModelConfig &cfg,
+                                       uint64_t seed)
+    : cfg_(cfg), ctx_(seed)
+{
+    embed = Embedding(cfg.vocab, cfg.max_seq, cfg.d_model, ctx_.rng,
+                      cfg.name + ".embed");
+    embed_ln = std::make_unique<LayerNorm>(
+        cfg.d_model, cfg.name + ".embed_ln", ctx_.slot());
+    for (int l = 0; l < cfg.n_layers; ++l) {
+        blocks.push_back(std::make_unique<EncoderBlock>(
+            cfg.d_model, cfg.n_heads, cfg.d_ff, cfg.n_ffn, cfg.ln_inner,
+            ctx_, cfg.name + ".block" + std::to_string(l)));
+    }
+}
+
+Tensor
+TransformerEncoder::forward(QuantSession &qs,
+                            const std::vector<int32_t> &ids, int64_t batch,
+                            int64_t seq, const uint8_t *pad_mask,
+                            bool causal)
+{
+    b_ = batch;
+    s_ = seq;
+    pad_ = pad_mask;
+    causal_ = causal;
+    Tensor x = embed.forward(qs, ids, batch, seq);
+    x = embed_ln->forward(qs, x);
+    for (auto &block : blocks)
+        x = block->forward(qs, x, batch, seq, pad_mask, causal);
+    return x;
+}
+
+Tensor
+TransformerEncoder::backward(QuantSession &qs, const Tensor &gy)
+{
+    Tensor g = gy;
+    for (auto it = blocks.rbegin(); it != blocks.rend(); ++it)
+        g = (*it)->backward(qs, g);
+    g = embed_ln->backward(qs, g);
+    embed.backward(qs, g);
+    return g;
+}
+
+void
+TransformerEncoder::collectParams(ParamList &out)
+{
+    embed.collectParams(out);
+    embed_ln->collectParams(out);
+    for (auto &block : blocks)
+        block->collectParams(out);
+}
+
+void
+TransformerEncoder::enableLora(int rank, float alpha, bool all_dense)
+{
+    embed.freeze();
+    embed_ln->gamma.trainable = false;
+    embed_ln->beta.trainable = false;
+    for (auto &block : blocks)
+        block->enableLora(rank, alpha, ctx_.rng, all_dense);
+}
+
+EncoderSpanQA::EncoderSpanQA(const ModelConfig &cfg, uint64_t seed)
+    : encoder(cfg, seed),
+      head(cfg.d_model, 2, encoder.buildCtx().rng, cfg.name + ".qa_head",
+           encoder.buildCtx().slot())
+{
+    head.markAsHead();
+}
+
+Tensor
+EncoderSpanQA::forward(QuantSession &qs, const std::vector<int32_t> &ids,
+                       int64_t batch, int64_t seq, const uint8_t *pad_mask)
+{
+    const Tensor x = encoder.forward(qs, ids, batch, seq, pad_mask);
+    return head.forward(qs, x);
+}
+
+void
+EncoderSpanQA::backward(QuantSession &qs, const Tensor &dlogits)
+{
+    const Tensor gx = head.backward(qs, dlogits);
+    encoder.backward(qs, gx);
+}
+
+void
+EncoderSpanQA::collectParams(ParamList &out)
+{
+    encoder.collectParams(out);
+    head.collectParams(out);
+}
+
+void
+EncoderSpanQA::enableLora(int rank, float alpha, bool all_dense)
+{
+    encoder.enableLora(rank, alpha, all_dense);
+    // The task head stays trainable (it is new for the downstream task).
+}
+
+EncoderClassifier::EncoderClassifier(const ModelConfig &cfg, int n_classes,
+                                     uint64_t seed)
+    : encoder(cfg, seed),
+      head(cfg.d_model, n_classes, encoder.buildCtx().rng,
+           cfg.name + ".classifier", encoder.buildCtx().slot())
+{
+    head.markAsHead();
+}
+
+Tensor
+EncoderClassifier::forward(QuantSession &qs,
+                           const std::vector<int32_t> &ids, int64_t batch,
+                           int64_t seq, const uint8_t *pad_mask)
+{
+    b_ = batch;
+    s_ = seq;
+    const Tensor x = encoder.forward(qs, ids, batch, seq, pad_mask);
+    // Pool the first token of each sequence ([CLS]-style).
+    Tensor pooled({batch, encoder.config().d_model});
+    for (int64_t b = 0; b < batch; ++b)
+        for (int64_t j = 0; j < encoder.config().d_model; ++j)
+            pooled.at(b, j) = x.at(b * seq, j);
+    return head.forward(qs, pooled);
+}
+
+void
+EncoderClassifier::backward(QuantSession &qs, const Tensor &dlogits)
+{
+    const Tensor gpooled = head.backward(qs, dlogits);
+    Tensor gx({b_ * s_, encoder.config().d_model});
+    for (int64_t b = 0; b < b_; ++b)
+        for (int64_t j = 0; j < encoder.config().d_model; ++j)
+            gx.at(b * s_, j) = gpooled.at(b, j);
+    encoder.backward(qs, gx);
+}
+
+void
+EncoderClassifier::collectParams(ParamList &out)
+{
+    encoder.collectParams(out);
+    head.collectParams(out);
+}
+
+void
+EncoderClassifier::enableLora(int rank, float alpha, bool all_dense)
+{
+    encoder.enableLora(rank, alpha, all_dense);
+}
+
+CausalLM::CausalLM(const ModelConfig &cfg, uint64_t seed)
+    : body(cfg, seed),
+      lm_head(cfg.d_model, cfg.vocab, body.buildCtx().rng,
+              cfg.name + ".lm_head", body.buildCtx().slot())
+{
+    lm_head.markAsHead();
+}
+
+Tensor
+CausalLM::forward(QuantSession &qs, const std::vector<int32_t> &ids,
+                  int64_t batch, int64_t seq)
+{
+    const Tensor x =
+        body.forward(qs, ids, batch, seq, nullptr, /*causal=*/true);
+    return lm_head.forward(qs, x);
+}
+
+void
+CausalLM::backward(QuantSession &qs, const Tensor &dlogits)
+{
+    const Tensor gx = lm_head.backward(qs, dlogits);
+    body.backward(qs, gx);
+}
+
+void
+CausalLM::collectParams(ParamList &out)
+{
+    body.collectParams(out);
+    lm_head.collectParams(out);
+}
+
+Seq2Seq::Seq2Seq(const ModelConfig &cfg, uint64_t seed)
+    : encoder(cfg, seed),
+      dec_embed(cfg.vocab, cfg.max_seq, cfg.d_model,
+                encoder.buildCtx().rng, cfg.name + ".dec_embed"),
+      lm_head(cfg.d_model, cfg.vocab, encoder.buildCtx().rng,
+              cfg.name + ".lm_head", encoder.buildCtx().slot()),
+      cfg_(cfg)
+{
+    lm_head.markAsHead();
+    dec_embed_ln = std::make_unique<LayerNorm>(
+        cfg.d_model, cfg.name + ".dec_embed_ln",
+        encoder.buildCtx().slot());
+    for (int l = 0; l < cfg.n_dec_layers; ++l) {
+        dec_blocks.push_back(std::make_unique<DecoderBlock>(
+            cfg.d_model, cfg.n_heads, cfg.d_ff, encoder.buildCtx(),
+            cfg.name + ".dec" + std::to_string(l)));
+    }
+}
+
+Tensor
+Seq2Seq::forward(QuantSession &qs, const std::vector<int32_t> &src_ids,
+                 int64_t batch, int64_t seq_src,
+                 const uint8_t *src_pad_mask,
+                 const std::vector<int32_t> &tgt_ids, int64_t seq_tgt)
+{
+    b_ = batch;
+    ss_ = seq_src;
+    st_ = seq_tgt;
+    memory_ = encoder.forward(qs, src_ids, batch, seq_src, src_pad_mask);
+    Tensor x = dec_embed.forward(qs, tgt_ids, batch, seq_tgt);
+    x = dec_embed_ln->forward(qs, x);
+    for (auto &block : dec_blocks) {
+        x = block->forward(qs, x, batch, seq_tgt, memory_, seq_src,
+                           src_pad_mask);
+    }
+    return lm_head.forward(qs, x);
+}
+
+void
+Seq2Seq::backward(QuantSession &qs, const Tensor &dlogits)
+{
+    Tensor g = lm_head.backward(qs, dlogits);
+    Tensor gmem({b_ * ss_, cfg_.d_model});
+    for (auto it = dec_blocks.rbegin(); it != dec_blocks.rend(); ++it)
+        g = (*it)->backward(qs, g, gmem);
+    g = dec_embed_ln->backward(qs, g);
+    dec_embed.backward(qs, g);
+    encoder.backward(qs, gmem);
+}
+
+void
+Seq2Seq::collectParams(ParamList &out)
+{
+    encoder.collectParams(out);
+    dec_embed.collectParams(out);
+    dec_embed_ln->collectParams(out);
+    for (auto &block : dec_blocks)
+        block->collectParams(out);
+    lm_head.collectParams(out);
+}
+
+std::vector<std::vector<int32_t>>
+Seq2Seq::greedyDecode(QuantSession &qs,
+                      const std::vector<int32_t> &src_ids, int64_t batch,
+                      int64_t seq_src, const uint8_t *src_pad_mask,
+                      int64_t max_len, int32_t bos, int32_t eos)
+{
+    std::vector<std::vector<int32_t>> out(static_cast<size_t>(batch));
+    std::vector<int32_t> tgt(static_cast<size_t>(batch), bos);
+    std::vector<bool> done(static_cast<size_t>(batch), false);
+
+    for (int64_t t = 1; t <= max_len; ++t) {
+        // Teacher input so far: [batch, t] prefix.
+        const Tensor logits = forward(qs, src_ids, batch, seq_src,
+                                      src_pad_mask, tgt, t);
+        std::vector<int32_t> next(static_cast<size_t>(batch));
+        bool all_done = true;
+        for (int64_t b = 0; b < batch; ++b) {
+            const int64_t row = b * t + (t - 1); // last position
+            const int32_t id =
+                static_cast<int32_t>(rowArgmax(logits, row));
+            next[static_cast<size_t>(b)] = id;
+            if (!done[static_cast<size_t>(b)]) {
+                if (id == eos) {
+                    done[static_cast<size_t>(b)] = true;
+                } else {
+                    out[static_cast<size_t>(b)].push_back(id);
+                }
+            }
+            all_done = all_done && done[static_cast<size_t>(b)];
+        }
+        if (all_done || t == max_len)
+            break;
+        // Extend targets: interleave per batch.
+        std::vector<int32_t> new_tgt(static_cast<size_t>(batch * (t + 1)));
+        for (int64_t b = 0; b < batch; ++b) {
+            for (int64_t i = 0; i < t; ++i)
+                new_tgt[static_cast<size_t>(b * (t + 1) + i)] =
+                    tgt[static_cast<size_t>(b * t + i)];
+            new_tgt[static_cast<size_t>(b * (t + 1) + t)] =
+                next[static_cast<size_t>(b)];
+        }
+        tgt = std::move(new_tgt);
+    }
+    return out;
+}
+
+} // namespace qt8

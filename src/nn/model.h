@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Model configurations and the four Transformer model families the
+ * paper evaluates, scaled for CPU experiments:
+ *
+ *  - encoder models for span extraction (SQuAD-like F1) and
+ *    classification (GLUE-like accuracy), with MobileBERT-style
+ *    (stacked-FFN, no inner LayerNorm) and BERT-style variants;
+ *  - decoder-only causal LMs (GPT-2 / LLaMA-2-like, perplexity);
+ *  - encoder-decoder seq2seq (Whisper-like, WER).
+ */
+#ifndef QT8_NN_MODEL_H
+#define QT8_NN_MODEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/block.h"
+#include "nn/embedding.h"
+
+namespace qt8 {
+
+/// Architecture hyperparameters.
+struct ModelConfig
+{
+    std::string name = "model";
+    int64_t vocab = 64;
+    int64_t max_seq = 128;
+    int64_t d_model = 64;
+    int64_t d_ff = 128;
+    int n_heads = 4;
+    int n_layers = 2;
+    /// Stacked FFN sublayers per block (MobileBERT architecture).
+    int n_ffn = 1;
+    /// LayerNorm after each stacked FFN (true = BERT-like) or only after
+    /// the last one (false = MobileBERT-like, wider activations).
+    bool ln_inner = true;
+    /// Decoder layers (seq2seq models only).
+    int n_dec_layers = 0;
+
+    // --- The paper's encoder ladder (Table 2), scaled down -----------
+    static ModelConfig mobileBertTinyLike();
+    static ModelConfig mobileBertLike();
+    static ModelConfig distilBertLike();
+    static ModelConfig bertBaseLike();
+    static ModelConfig bertLargeLike();
+    // --- Whisper-like seq2seq ladder (Table 5) ------------------------
+    static ModelConfig whisperTinyLike();
+    static ModelConfig whisperSmallLike();
+    static ModelConfig whisperLargeLike();
+    // --- Causal LM ladder (Table 6) ------------------------------------
+    static ModelConfig gpt2LargeLike();
+    static ModelConfig gpt2XlLike();
+    static ModelConfig llamaLike();
+};
+
+/// Embedding + stack of encoder blocks.
+class TransformerEncoder
+{
+  public:
+    TransformerEncoder(const ModelConfig &cfg, uint64_t seed);
+
+    Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
+                   int64_t batch, int64_t seq,
+                   const uint8_t *pad_mask = nullptr, bool causal = false);
+    Tensor backward(QuantSession &qs, const Tensor &gy);
+    void collectParams(ParamList &out);
+
+    /// LoRA on attention projections (all_dense=false: q/v only, the
+    /// RoBERTa recipe) or on every dense layer (the MobileBERT recipe).
+    /// Freezes embeddings and LayerNorms.
+    void enableLora(int rank, float alpha, bool all_dense);
+
+    const ModelConfig &config() const { return cfg_; }
+    BuildCtx &buildCtx() { return ctx_; }
+
+    Embedding embed;
+    std::unique_ptr<LayerNorm> embed_ln; ///< Embedding LayerNorm (BERT).
+    std::vector<std::unique_ptr<EncoderBlock>> blocks;
+
+  private:
+    ModelConfig cfg_;
+    BuildCtx ctx_;
+    int64_t b_ = 0, s_ = 0;
+    bool causal_ = false;
+    const uint8_t *pad_ = nullptr;
+};
+
+/// Encoder + per-token start/end span head (SQuAD-style QA).
+class EncoderSpanQA
+{
+  public:
+    EncoderSpanQA(const ModelConfig &cfg, uint64_t seed);
+
+    /// Returns logits [B*S, 2] (column 0 start, column 1 end).
+    Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
+                   int64_t batch, int64_t seq,
+                   const uint8_t *pad_mask = nullptr);
+    void backward(QuantSession &qs, const Tensor &dlogits);
+    void collectParams(ParamList &out);
+    void enableLora(int rank, float alpha, bool all_dense);
+
+    TransformerEncoder encoder;
+    Linear head;
+};
+
+/// Encoder + first-token classification head (GLUE-style).
+class EncoderClassifier
+{
+  public:
+    EncoderClassifier(const ModelConfig &cfg, int n_classes, uint64_t seed);
+
+    /// Returns logits [B, n_classes].
+    Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
+                   int64_t batch, int64_t seq,
+                   const uint8_t *pad_mask = nullptr);
+    void backward(QuantSession &qs, const Tensor &dlogits);
+    void collectParams(ParamList &out);
+    void enableLora(int rank, float alpha, bool all_dense);
+
+    TransformerEncoder encoder;
+    Linear head;
+
+  private:
+    int64_t b_ = 0, s_ = 0;
+};
+
+/// Decoder-only causal language model.
+class CausalLM
+{
+  public:
+    CausalLM(const ModelConfig &cfg, uint64_t seed);
+
+    /// Returns next-token logits [B*S, vocab].
+    Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
+                   int64_t batch, int64_t seq);
+    void backward(QuantSession &qs, const Tensor &dlogits);
+    void collectParams(ParamList &out);
+
+    TransformerEncoder body;
+    Linear lm_head;
+};
+
+/// Encoder-decoder sequence-to-sequence model (Whisper-like).
+class Seq2Seq
+{
+  public:
+    Seq2Seq(const ModelConfig &cfg, uint64_t seed);
+
+    /// Teacher-forced forward: returns logits [B*T, vocab].
+    Tensor forward(QuantSession &qs, const std::vector<int32_t> &src_ids,
+                   int64_t batch, int64_t seq_src,
+                   const uint8_t *src_pad_mask,
+                   const std::vector<int32_t> &tgt_ids, int64_t seq_tgt);
+    void backward(QuantSession &qs, const Tensor &dlogits);
+    void collectParams(ParamList &out);
+
+    /// Greedy autoregressive decode; returns B sequences of ids
+    /// (without BOS, terminated at EOS or max_len).
+    std::vector<std::vector<int32_t>>
+    greedyDecode(QuantSession &qs, const std::vector<int32_t> &src_ids,
+                 int64_t batch, int64_t seq_src,
+                 const uint8_t *src_pad_mask, int64_t max_len, int32_t bos,
+                 int32_t eos);
+
+    TransformerEncoder encoder;
+    Embedding dec_embed;
+    std::unique_ptr<LayerNorm> dec_embed_ln;
+    std::vector<std::unique_ptr<DecoderBlock>> dec_blocks;
+    Linear lm_head;
+
+  private:
+    ModelConfig cfg_;
+    int64_t b_ = 0, st_ = 0, ss_ = 0;
+    Tensor memory_; ///< Cached encoder output.
+};
+
+} // namespace qt8
+
+#endif // QT8_NN_MODEL_H

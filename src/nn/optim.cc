@@ -1,0 +1,141 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace qt8 {
+
+void
+zeroGrads(const ParamList &params)
+{
+    for (Param *p : params)
+        p->zeroGrad();
+}
+
+double
+gradNorm(const ParamList &params)
+{
+    double acc = 0.0;
+    for (const Param *p : params) {
+        if (!p->trainable)
+            continue;
+        const float *g = p->grad.data();
+        for (int64_t i = 0; i < p->grad.numel(); ++i)
+            acc += static_cast<double>(g[i]) * g[i];
+    }
+    return std::sqrt(acc);
+}
+
+void
+clipGradNorm(const ParamList &params, double max_norm)
+{
+    const double norm = gradNorm(params);
+    if (norm <= max_norm || norm == 0.0)
+        return;
+    const float s = static_cast<float>(max_norm / norm);
+    for (Param *p : params) {
+        if (!p->trainable)
+            continue;
+        float *g = p->grad.data();
+        for (int64_t i = 0; i < p->grad.numel(); ++i)
+            g[i] *= s;
+    }
+}
+
+bool
+gradsFinite(const ParamList &params)
+{
+    for (const Param *p : params) {
+        if (!p->trainable)
+            continue;
+        const float *g = p->grad.data();
+        for (int64_t i = 0; i < p->grad.numel(); ++i)
+            if (!std::isfinite(g[i]))
+                return false;
+    }
+    return true;
+}
+
+void
+Sgd::step(const ParamList &params)
+{
+    for (Param *p : params) {
+        if (!p->trainable)
+            continue;
+        Tensor &vel = velocity_[p];
+        if (vel.numel() == 0)
+            vel = Tensor(p->value.shape());
+        float *w = p->value.data();
+        const float *g = p->grad.data();
+        float *v = vel.data();
+        const float mu = static_cast<float>(momentum_);
+        const float lr = static_cast<float>(lr_);
+        for (int64_t i = 0; i < p->value.numel(); ++i) {
+            v[i] = mu * v[i] + g[i];
+            w[i] -= lr * v[i];
+        }
+    }
+}
+
+void
+AdamW::step(const ParamList &params)
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (Param *p : params) {
+        if (!p->trainable)
+            continue;
+        Tensor &m = m_[p];
+        Tensor &v = v_[p];
+        if (m.numel() == 0) {
+            m = Tensor(p->value.shape());
+            v = Tensor(p->value.shape());
+        }
+        float *w = p->value.data();
+        const float *g = p->grad.data();
+        float *pm = m.data();
+        float *pv = v.data();
+        for (int64_t i = 0; i < p->value.numel(); ++i) {
+            pm[i] = static_cast<float>(beta1_ * pm[i] +
+                                       (1.0 - beta1_) * g[i]);
+            pv[i] = static_cast<float>(
+                beta2_ * pv[i] +
+                (1.0 - beta2_) * static_cast<double>(g[i]) * g[i]);
+            const double mh = pm[i] / bc1;
+            const double vh = pv[i] / bc2;
+            w[i] -= static_cast<float>(
+                lr_ * (mh / (std::sqrt(vh) + eps_) + weight_decay_ * w[i]));
+        }
+    }
+}
+
+bool
+LossScaler::unscaleAndCheck(const ParamList &params)
+{
+    if (!enabled_)
+        return gradsFinite(params);
+
+    const float inv = static_cast<float>(1.0 / scale_);
+    bool finite = true;
+    for (Param *p : params) {
+        if (!p->trainable)
+            continue;
+        float *g = p->grad.data();
+        for (int64_t i = 0; i < p->grad.numel(); ++i) {
+            g[i] *= inv;
+            finite &= std::isfinite(g[i]) != 0;
+        }
+    }
+    if (!finite) {
+        scale_ = std::max(1.0, scale_ * 0.5);
+        good_steps_ = 0;
+        return false;
+    }
+    if (++good_steps_ >= 512) {
+        scale_ *= 2.0;
+        good_steps_ = 0;
+    }
+    return true;
+}
+
+} // namespace qt8

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Optimizers (SGD with momentum, AdamW) and loss scaling. Optimizer
+ * state is kept in FP32, matching the paper's fine-tuning setup (the
+ * 8-bit formats apply to activations/gradients; optimizer states are
+ * counted in 32-bit in the Figure 14 memory model). The paper notes
+ * that AdamW diverged on MobileBERT SQuAD fine-tuning while SGD
+ * recovered accuracy (section 6.3) — both are provided.
+ */
+#ifndef QT8_NN_OPTIM_H
+#define QT8_NN_OPTIM_H
+
+#include <unordered_map>
+
+#include "nn/param.h"
+
+namespace qt8 {
+
+/// Zero the gradient of every parameter.
+void zeroGrads(const ParamList &params);
+
+/// Global L2 norm of trainable-parameter gradients.
+double gradNorm(const ParamList &params);
+
+/// Scale gradients so the global norm does not exceed max_norm.
+void clipGradNorm(const ParamList &params, double max_norm);
+
+/// True if every trainable gradient is finite.
+bool gradsFinite(const ParamList &params);
+
+/// SGD with classical momentum.
+class Sgd
+{
+  public:
+    explicit Sgd(double lr, double momentum = 0.9)
+        : lr_(lr), momentum_(momentum)
+    {}
+
+    void step(const ParamList &params);
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    double lr_;
+    double momentum_;
+    std::unordered_map<const Param *, Tensor> velocity_;
+};
+
+/// AdamW (decoupled weight decay).
+class AdamW
+{
+  public:
+    AdamW(double lr, double beta1 = 0.9, double beta2 = 0.999,
+          double eps = 1e-8, double weight_decay = 0.01)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+          weight_decay_(weight_decay)
+    {}
+
+    void step(const ParamList &params);
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    double weight_decay_;
+    int64_t t_ = 0;
+    std::unordered_map<const Param *, Tensor> m_;
+    std::unordered_map<const Param *, Tensor> v_;
+};
+
+/**
+ * Dynamic loss scaling (section 5.1 cites loss scaling as the simplest
+ * single-scaling-factor approach). Multiply the loss gradient by
+ * scale(), call unscaleAndCheck() before the optimizer step; a
+ * non-finite gradient skips the step and halves the scale, while a long
+ * streak of good steps doubles it.
+ */
+class LossScaler
+{
+  public:
+    explicit LossScaler(double initial = 1024.0, bool enabled = true)
+        : scale_(initial), enabled_(enabled)
+    {}
+
+    double scale() const { return enabled_ ? scale_ : 1.0; }
+
+    /// Divide all trainable grads by the scale. Returns false (skip the
+    /// step) when any gradient is non-finite.
+    bool unscaleAndCheck(const ParamList &params);
+
+  private:
+    double scale_;
+    bool enabled_;
+    int good_steps_ = 0;
+};
+
+} // namespace qt8
+
+#endif // QT8_NN_OPTIM_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Trainable parameter: a value tensor with its gradient accumulator.
+ * Modules own their Params and register pointers with the model so the
+ * optimizer can iterate them; LoRA fine-tuning simply marks the frozen
+ * base weights non-trainable.
+ */
+#ifndef QT8_NN_PARAM_H
+#define QT8_NN_PARAM_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace qt8 {
+
+/// A named trainable tensor and its gradient.
+struct Param
+{
+    std::string name;
+    Tensor value;
+    Tensor grad;
+    bool trainable = true;
+
+    void
+    init(std::string param_name, Tensor v)
+    {
+        name = std::move(param_name);
+        grad = Tensor(v.shape());
+        value = std::move(v);
+    }
+
+    void zeroGrad() { grad.zero(); }
+
+    int64_t numel() const { return value.numel(); }
+};
+
+/// Flat list of parameter pointers (model -> optimizer hand-off).
+using ParamList = std::vector<Param *>;
+
+/// Count trainable elements in a list.
+int64_t countTrainable(const ParamList &params);
+
+/// Count all elements in a list.
+int64_t countTotal(const ParamList &params);
+
+/// Copy parameter values src -> dst (same architecture, e.g. loading a
+/// pre-trained backbone into a downstream model before fine-tuning).
+/// Lists must match in length and per-entry shape.
+void copyParamValues(const ParamList &dst, const ParamList &src);
+
+} // namespace qt8
+
+#endif // QT8_NN_PARAM_H

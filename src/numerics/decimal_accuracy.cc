@@ -1,0 +1,39 @@
+#include "numerics/decimal_accuracy.h"
+
+#include <cmath>
+
+namespace qt8 {
+
+double
+decimalAccuracy(const Quantizer &q, double x, double cap)
+{
+    if (x <= 0.0)
+        return 0.0;
+    const double qx = q.quantize(static_cast<float>(x));
+    if (qx <= 0.0)
+        return 0.0; // underflowed to zero: no significant digits
+    const double err = std::fabs(std::log10(qx / x));
+    if (err == 0.0)
+        return cap;
+    return std::min(cap, -std::log10(err));
+}
+
+std::vector<DecimalAccuracyPoint>
+decimalAccuracySweep(const Quantizer &q, double log2_lo, double log2_hi,
+                     double step, int samples_per_step)
+{
+    std::vector<DecimalAccuracyPoint> points;
+    for (double l = log2_lo; l <= log2_hi + 1e-9; l += step) {
+        double worst = 1e9;
+        for (int i = 0; i < samples_per_step; ++i) {
+            const double frac =
+                (i + 0.5) / static_cast<double>(samples_per_step);
+            const double x = std::exp2(l + frac * step);
+            worst = std::min(worst, decimalAccuracy(q, x));
+        }
+        points.push_back({l, worst});
+    }
+    return points;
+}
+
+} // namespace qt8

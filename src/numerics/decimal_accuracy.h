@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Decimal accuracy metric (paper Figure 4): how many decimal digits a
+ * format preserves when representing a value x,
+ *
+ *     acc(x) = -log10( | log10( q(x) / x ) | )
+ *
+ * where q(x) is x rounded to the format. Larger is better; exact
+ * representation yields +infinity (we cap it for plotting).
+ */
+#ifndef QT8_NUMERICS_DECIMAL_ACCURACY_H
+#define QT8_NUMERICS_DECIMAL_ACCURACY_H
+
+#include <vector>
+
+#include "numerics/quantizer.h"
+
+namespace qt8 {
+
+/// Decimal accuracy of a single value (capped at @p cap for exact hits).
+double decimalAccuracy(const Quantizer &q, double x, double cap = 8.0);
+
+/// One sample of the Figure 4 sweep.
+struct DecimalAccuracyPoint
+{
+    double log2_x;  ///< Position on the magnitude axis.
+    double accuracy;///< Worst-case decimal accuracy in that binade slice.
+};
+
+/**
+ * Sweep decimal accuracy over magnitudes 2^lo .. 2^hi, reporting the
+ * *worst case* accuracy over values sampled within each step (this is
+ * the envelope the paper plots).
+ */
+std::vector<DecimalAccuracyPoint>
+decimalAccuracySweep(const Quantizer &q, double log2_lo, double log2_hi,
+                     double step = 0.25, int samples_per_step = 64);
+
+} // namespace qt8
+
+#endif // QT8_NUMERICS_DECIMAL_ACCURACY_H

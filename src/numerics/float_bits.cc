@@ -1,0 +1,35 @@
+#include "numerics/float_bits.h"
+
+#include <cmath>
+
+namespace qt8 {
+
+Bfloat16
+Bfloat16::fromBits(uint16_t bits)
+{
+    Bfloat16 b;
+    b.bits_ = bits;
+    return b;
+}
+
+Bfloat16
+Bfloat16::fromFloat(float f)
+{
+    uint32_t u = bits_from_float(f);
+    if (std::isnan(f)) {
+        // Preserve NaN; set the quiet bit so truncation cannot produce Inf.
+        return fromBits(static_cast<uint16_t>((u >> 16) | 0x0040));
+    }
+    // Round-to-nearest-even on the 16 dropped bits.
+    uint32_t rounding_bias = 0x7FFF + ((u >> 16) & 1);
+    u += rounding_bias;
+    return fromBits(static_cast<uint16_t>(u >> 16));
+}
+
+float
+Bfloat16::toFloat() const
+{
+    return float_from_bits(static_cast<uint32_t>(bits_) << 16);
+}
+
+} // namespace qt8

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-level utilities for IEEE-754 floats and the BFloat16 storage format.
+ *
+ * BFloat16 is the baseline data type of the paper ("BF16"): a truncated
+ * IEEE-754 binary32 with 8 exponent bits and 7 mantissa bits. We implement
+ * round-to-nearest-even conversion from binary32, which is what GPU
+ * BF16 stores use.
+ */
+#ifndef QT8_NUMERICS_FLOAT_BITS_H
+#define QT8_NUMERICS_FLOAT_BITS_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace qt8 {
+
+/// Reinterpret a float as its raw IEEE-754 bits.
+inline uint32_t
+bits_from_float(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+/// Reinterpret raw IEEE-754 bits as a float.
+inline float
+float_from_bits(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+/**
+ * BFloat16: 1 sign, 8 exponent, 7 mantissa bits.
+ *
+ * The paper's baseline format and the carrier format of its GPU
+ * fake-quantization methodology (values are stored back into BFloat16
+ * between operations).
+ */
+class Bfloat16
+{
+  public:
+    Bfloat16() = default;
+
+    /// Construct from raw 16-bit pattern.
+    static Bfloat16 fromBits(uint16_t bits);
+
+    /// Convert from binary32 with round-to-nearest-even.
+    static Bfloat16 fromFloat(float f);
+
+    /// Widen back to binary32 (exact).
+    float toFloat() const;
+
+    uint16_t bits() const { return bits_; }
+
+    /// Round-trip a float through BFloat16 (the fake-quantize primitive).
+    static float quantize(float f) { return fromFloat(f).toFloat(); }
+
+    /// Largest finite BFloat16 value.
+    static constexpr float kMax = 3.38953139e38f;
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+} // namespace qt8
+
+#endif // QT8_NUMERICS_FLOAT_BITS_H

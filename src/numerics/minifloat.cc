@@ -1,0 +1,202 @@
+#include "numerics/minifloat.h"
+
+#include <cmath>
+#include <limits>
+
+namespace qt8 {
+namespace {
+
+/// Encode a non-negative finite magnitude with round-to-nearest-even.
+uint32_t
+encodeMagnitude(const MinifloatSpec &spec, double a)
+{
+    if (a == 0.0)
+        return 0;
+
+    int e_unb;
+    std::frexp(a, &e_unb);     // a = f * 2^e_unb, f in [0.5, 1)
+    const int e = e_unb - 1;   // a = m * 2^e, m in [1, 2)
+
+    const int emin = 1 - spec.bias;
+    uint32_t exp_field;
+    double scaled;
+    if (e < emin) {
+        // Subnormal range: quantize in units of 2^(emin - man_bits).
+        exp_field = 0;
+        scaled = std::ldexp(a, -(emin - spec.man_bits));
+    } else {
+        exp_field = static_cast<uint32_t>(e + spec.bias);
+        scaled = std::ldexp(a, spec.man_bits - e); // in [2^man, 2^(man+1))
+    }
+
+    const double r = std::nearbyint(scaled); // default FE_TONEAREST = RNE
+    uint32_t man;
+    if (exp_field == 0) {
+        if (r >= std::ldexp(1.0, spec.man_bits)) {
+            // Rounded up into the smallest normal.
+            exp_field = 1;
+            man = 0;
+        } else {
+            man = static_cast<uint32_t>(r);
+        }
+    } else {
+        if (r >= std::ldexp(2.0, spec.man_bits)) {
+            // Mantissa overflow: bump exponent, mantissa becomes zero.
+            exp_field += 1;
+            man = 0;
+        } else {
+            man = static_cast<uint32_t>(r) - (1u << spec.man_bits);
+        }
+    }
+
+    uint32_t code = (exp_field << spec.man_bits) | man;
+
+    // Saturate anything that landed on/above the Inf/NaN region.
+    const uint32_t exp_mask = (1u << spec.exp_bits) - 1;
+    const uint32_t max_code = spec.flavor == MinifloatFlavor::kIeee
+        ? ((exp_mask - 1) << spec.man_bits) | ((1u << spec.man_bits) - 1)
+        : (exp_mask << spec.man_bits) | ((1u << spec.man_bits) - 2);
+    if (code > max_code)
+        code = max_code;
+    return code;
+}
+
+} // namespace
+
+double
+MinifloatSpec::maxFinite() const
+{
+    const int emax_field = (1 << exp_bits) - 1;
+    if (flavor == MinifloatFlavor::kIeee) {
+        // Top exponent reserved: max finite lives in binade emax_field-1.
+        const int e = emax_field - 1 - bias;
+        const double frac = 2.0 - std::ldexp(1.0, -man_bits);
+        return std::ldexp(frac, e);
+    }
+    // FiniteNoInf: top binade is finite except the all-ones mantissa (NaN).
+    const int e = emax_field - bias;
+    const double frac = 2.0 - std::ldexp(2.0, -man_bits);
+    return std::ldexp(frac, e);
+}
+
+double
+MinifloatSpec::minNormal() const
+{
+    return std::ldexp(1.0, 1 - bias);
+}
+
+double
+MinifloatSpec::minSubnormal() const
+{
+    return std::ldexp(1.0, 1 - bias - man_bits);
+}
+
+bool
+MinifloatSpec::isNan(uint32_t code) const
+{
+    const uint32_t exp_mask = (1u << exp_bits) - 1;
+    const uint32_t man_mask = (1u << man_bits) - 1;
+    const uint32_t e = (code >> man_bits) & exp_mask;
+    const uint32_t m = code & man_mask;
+    if (flavor == MinifloatFlavor::kIeee)
+        return e == exp_mask && m != 0;
+    return e == exp_mask && m == man_mask;
+}
+
+bool
+MinifloatSpec::isInf(uint32_t code) const
+{
+    if (flavor != MinifloatFlavor::kIeee)
+        return false;
+    const uint32_t exp_mask = (1u << exp_bits) - 1;
+    const uint32_t man_mask = (1u << man_bits) - 1;
+    const uint32_t e = (code >> man_bits) & exp_mask;
+    const uint32_t m = code & man_mask;
+    return e == exp_mask && m == 0;
+}
+
+double
+MinifloatSpec::decode(uint32_t code) const
+{
+    const uint32_t exp_mask = (1u << exp_bits) - 1;
+    const uint32_t man_mask = (1u << man_bits) - 1;
+    const int sign = (code >> (exp_bits + man_bits)) & 1;
+    const uint32_t e = (code >> man_bits) & exp_mask;
+    const uint32_t m = code & man_mask;
+
+    if (isNan(code))
+        return std::numeric_limits<double>::quiet_NaN();
+    if (isInf(code)) {
+        return sign ? -std::numeric_limits<double>::infinity()
+                    : std::numeric_limits<double>::infinity();
+    }
+
+    double mag;
+    if (e == 0) {
+        // Subnormal: no implicit leading 1, exponent 1 - bias.
+        mag = std::ldexp(static_cast<double>(m), 1 - bias - man_bits);
+    } else {
+        mag = std::ldexp(1.0 + std::ldexp(static_cast<double>(m), -man_bits),
+                         static_cast<int>(e) - bias);
+    }
+    return sign ? -mag : mag;
+}
+
+uint32_t
+MinifloatSpec::encode(double x) const
+{
+    const uint32_t sign_bit = 1u << (exp_bits + man_bits);
+    if (std::isnan(x)) {
+        // Canonical NaN code.
+        if (flavor == MinifloatFlavor::kIeee)
+            return (((1u << exp_bits) - 1) << man_bits) | 1u;
+        return (((1u << exp_bits) - 1) << man_bits) | ((1u << man_bits) - 1);
+    }
+
+    const uint32_t s = std::signbit(x) ? sign_bit : 0;
+    double a = std::fabs(x);
+    // Saturate out-of-range magnitudes and infinities to the max finite
+    // value, per FP8 DNN training practice.
+    if (a > maxFinite())
+        a = maxFinite();
+    return s | encodeMagnitude(*this, a);
+}
+
+const MinifloatSpec &
+e4m3()
+{
+    static const MinifloatSpec spec{
+        "E4M3", 4, 3, 7, MinifloatFlavor::kFiniteNoInf};
+    return spec;
+}
+
+const MinifloatSpec &
+e5m2()
+{
+    static const MinifloatSpec spec{"E5M2", 5, 2, 15, MinifloatFlavor::kIeee};
+    return spec;
+}
+
+const MinifloatSpec &
+e5m3()
+{
+    static const MinifloatSpec spec{"E5M3", 5, 3, 15, MinifloatFlavor::kIeee};
+    return spec;
+}
+
+const MinifloatSpec &
+fp16()
+{
+    static const MinifloatSpec spec{"FP16", 5, 10, 15,
+                                    MinifloatFlavor::kIeee};
+    return spec;
+}
+
+const MinifloatSpec &
+e5m4()
+{
+    static const MinifloatSpec spec{"E5M4", 5, 4, 15, MinifloatFlavor::kIeee};
+    return spec;
+}
+
+} // namespace qt8

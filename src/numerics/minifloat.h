@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Generic small floating-point formats (minifloats), covering the FP8
+ * formats used in the paper:
+ *
+ *  - E4M3: NVIDIA's 8-bit format for forward-pass tensors. 4 exponent
+ *    bits, 3 mantissa bits, bias 7, *no infinities*; the all-ones
+ *    pattern with mantissa 111 encodes NaN, so the largest finite value
+ *    is S.1111.110 = 448.
+ *  - E5M2: IEEE-like 8-bit format for backward-pass tensors. 5 exponent
+ *    bits, 2 mantissa bits, bias 15, with infinities and NaNs; largest
+ *    finite value 57344.
+ *  - E5M3: the 9-bit "hybrid FP8" internal format of the paper's
+ *    accelerator (section 7.1) that can contain both E4M3 and E5M2
+ *    operands in the MAC datapath.
+ *
+ * All formats support subnormals.
+ */
+#ifndef QT8_NUMERICS_MINIFLOAT_H
+#define QT8_NUMERICS_MINIFLOAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace qt8 {
+
+/// Infinity/NaN convention of a minifloat format.
+enum class MinifloatFlavor {
+    /// IEEE-754 style: top exponent reserved for Inf (mantissa 0) / NaN.
+    kIeee,
+    /// NVIDIA FP8 E4M3 style: no Inf; only all-ones code is NaN, the
+    /// rest of the top exponent binade holds finite values.
+    kFiniteNoInf,
+};
+
+/// Static description of a minifloat format.
+struct MinifloatSpec
+{
+    std::string name;      ///< Human-readable name, e.g. "E4M3".
+    int exp_bits;          ///< Number of exponent bits.
+    int man_bits;          ///< Number of mantissa bits.
+    int bias;              ///< Exponent bias.
+    MinifloatFlavor flavor;
+
+    int totalBits() const { return 1 + exp_bits + man_bits; }
+
+    /// Largest finite representable magnitude.
+    double maxFinite() const;
+
+    /// Smallest positive normal magnitude.
+    double minNormal() const;
+
+    /// Smallest positive (subnormal) magnitude.
+    double minSubnormal() const;
+
+    /// Decode a code word to its exact numeric value (NaN for NaN codes,
+    /// +/-Inf for Inf codes in IEEE flavor).
+    double decode(uint32_t code) const;
+
+    /// Encode a value with round-to-nearest-even, saturating out-of-range
+    /// finite values (and infinities) to the max finite value, as is
+    /// standard practice in FP8 DNN training. NaN encodes to a NaN code.
+    uint32_t encode(double x) const;
+
+    /// Total number of code words (2^totalBits).
+    uint32_t numCodes() const { return 1u << totalBits(); }
+
+    bool isNan(uint32_t code) const;
+    bool isInf(uint32_t code) const;
+};
+
+/// NVIDIA-style E4M3 (bias 7, no Inf, max 448).
+const MinifloatSpec &e4m3();
+/// IEEE-style E5M2 (bias 15, Inf/NaN, max 57344).
+const MinifloatSpec &e5m2();
+/// Hybrid E5M3 (bias 15, IEEE-style), the accelerator-internal FP8
+/// container format.
+const MinifloatSpec &e5m3();
+/// E5M4, the decoded form of Posit8 operands in the MAC (section 7.1):
+/// at most 4 fraction bits and a 5-bit exponent range [-12, 12].
+const MinifloatSpec &e5m4();
+/// IEEE binary16 (FP16), for comparison studies.
+const MinifloatSpec &fp16();
+
+} // namespace qt8
+
+#endif // QT8_NUMERICS_MINIFLOAT_H

@@ -1,0 +1,268 @@
+#include "numerics/posit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace qt8 {
+
+PositSpec::PositSpec(int nbits, int es, SubMinposPolicy policy)
+    : nbits_(nbits), es_(es), policy_(policy),
+      mask_((nbits >= 32) ? 0xFFFFFFFFu : ((1u << nbits) - 1))
+{
+    assert(nbits >= 3 && nbits <= 32);
+    assert(es >= 0 && es <= 3);
+}
+
+std::string
+PositSpec::name() const
+{
+    return "posit(" + std::to_string(nbits_) + "," + std::to_string(es_) +
+           ")";
+}
+
+double
+PositSpec::maxpos() const
+{
+    return std::ldexp(1.0, (nbits_ - 2) << es_);
+}
+
+double
+PositSpec::minpos() const
+{
+    return std::ldexp(1.0, -((nbits_ - 2) << es_));
+}
+
+double
+PositSpec::decode(uint32_t code) const
+{
+    code &= mask_;
+    if (code == 0)
+        return 0.0;
+    if (code == narCode())
+        return std::numeric_limits<double>::quiet_NaN();
+
+    const bool neg = (code >> (nbits_ - 1)) & 1;
+    const uint32_t body = neg ? ((~code + 1) & mask_) : code;
+
+    // Parse the N-1 body bits MSB-first: regime, exponent, fraction.
+    int i = nbits_ - 2;
+    const int r0 = (body >> i) & 1;
+    int run = 0;
+    while (i >= 0 && static_cast<int>((body >> i) & 1) == r0) {
+        ++run;
+        --i;
+    }
+    const int k = r0 ? run - 1 : -run;
+    if (i >= 0)
+        --i; // skip the regime terminator bit
+
+    int e = 0;
+    int ebits = 0;
+    while (ebits < es_ && i >= 0) {
+        e = (e << 1) | ((body >> i) & 1);
+        ++ebits;
+        --i;
+    }
+    e <<= (es_ - ebits); // absent low exponent bits are zero
+
+    const int fbits = i + 1;
+    const uint32_t f = fbits > 0 ? (body & ((1u << fbits) - 1)) : 0;
+    const double frac = 1.0 + std::ldexp(static_cast<double>(f), -fbits);
+
+    const double val = std::ldexp(frac, (k << es_) + e);
+    return neg ? -val : val;
+}
+
+uint32_t
+PositSpec::encode(double x) const
+{
+    if (std::isnan(x))
+        return narCode();
+    if (x == 0.0)
+        return 0;
+
+    const bool neg = x < 0.0;
+    double a = std::fabs(x);
+
+    uint32_t body;
+    if (std::isinf(x) || a >= maxpos()) {
+        // Posit saturation: no overflow to NaR (paper section 3.4).
+        body = maxposCode();
+    } else if (a < minpos()) {
+        const double half = 0.5 * minpos();
+        if (policy_ == SubMinposPolicy::kPositStandard) {
+            body = 1; // nonzero never underflows to zero
+        } else if (a < half || a == half) {
+            // RNE below minpos; the tie at minpos/2 goes to the even
+            // code, which is zero.
+            return 0;
+        } else {
+            body = 1;
+        }
+    } else {
+        // General path: assemble regime|exp|fraction MSB-first into a
+        // wide word, cut at N-1 bits, and round to nearest even. Posit
+        // codes are monotone in value, so RNE is a conditional +1 on the
+        // truncated body using guard/sticky bits.
+        int e_unb;
+        const double f = std::frexp(a, &e_unb); // a = f*2^e_unb, f in [.5,1)
+        const int kexp = e_unb - 1;             // a = m*2^kexp, m in [1,2)
+        const double m = 2.0 * f;
+
+        int k = kexp >> es_; // floor division (es_ power of two shift)
+        const int e = kexp - (k << es_);
+        assert(e >= 0 && e < (1 << es_));
+
+        unsigned __int128 acc = 0;
+        int pos = 0;
+        auto put = [&acc, &pos](uint64_t bits, int width) {
+            acc |= static_cast<unsigned __int128>(bits)
+                   << (128 - pos - width);
+            pos += width;
+        };
+
+        if (k >= 0) {
+            // k+1 ones then a zero terminator.
+            put((1ull << (k + 1)) - 1, k + 1);
+            put(0, 1);
+        } else {
+            // -k zeros then a one terminator.
+            put(0, -k);
+            put(1, 1);
+        }
+        if (es_ > 0)
+            put(static_cast<uint64_t>(e), es_);
+
+        // Fraction: m - 1 in [0,1) with at most 52 significant bits;
+        // ldexp by 52 is exact.
+        const uint64_t frac_u =
+            static_cast<uint64_t>(std::ldexp(m - 1.0, 52));
+        put(frac_u, 52);
+
+        const int body_bits = nbits_ - 1;
+        body = static_cast<uint32_t>(acc >> (128 - body_bits));
+        const int guard =
+            static_cast<int>((acc >> (128 - body_bits - 1)) & 1);
+        const bool sticky =
+            (acc << (body_bits + 1)) != 0;
+
+        if (guard && (sticky || (body & 1)))
+            ++body;
+        if (body > maxposCode())
+            body = maxposCode(); // saturate instead of wrapping to NaR
+    }
+
+    const uint32_t code = neg ? ((~body + 1) & mask_) : body;
+    return code;
+}
+
+std::vector<double>
+PositSpec::allValues() const
+{
+    std::vector<double> vals;
+    vals.reserve(numCodes() - 1);
+    for (uint32_t c = 0; c < numCodes(); ++c) {
+        if (c == narCode())
+            continue;
+        vals.push_back(decode(c));
+    }
+    std::sort(vals.begin(), vals.end());
+    return vals;
+}
+
+namespace {
+
+inline bool
+isNar(const PositSpec &spec, uint32_t c)
+{
+    return (c & ((1u << spec.nbits()) - 1)) == spec.narCode();
+}
+
+} // namespace
+
+uint32_t
+PositSpec::add(uint32_t a, uint32_t b) const
+{
+    if (isNar(*this, a) || isNar(*this, b))
+        return narCode();
+    return encode(decode(a) + decode(b));
+}
+
+uint32_t
+PositSpec::sub(uint32_t a, uint32_t b) const
+{
+    if (isNar(*this, a) || isNar(*this, b))
+        return narCode();
+    return encode(decode(a) - decode(b));
+}
+
+uint32_t
+PositSpec::mul(uint32_t a, uint32_t b) const
+{
+    if (isNar(*this, a) || isNar(*this, b))
+        return narCode();
+    return encode(decode(a) * decode(b));
+}
+
+uint32_t
+PositSpec::div(uint32_t a, uint32_t b) const
+{
+    if (isNar(*this, a) || isNar(*this, b))
+        return narCode();
+    const double db = decode(b);
+    if (db == 0.0)
+        return narCode(); // x / 0 = NaR per the posit standard
+    return encode(decode(a) / db);
+}
+
+uint32_t
+PositSpec::neg(uint32_t a) const
+{
+    if (isNar(*this, a))
+        return narCode();
+    return (~a + 1) & mask_;
+}
+
+uint32_t
+PositSpec::fusedDot(const uint32_t *a, const uint32_t *b, int n) const
+{
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i) {
+        if (isNar(*this, a[i]) || isNar(*this, b[i]))
+            return narCode();
+        acc += decode(a[i]) * decode(b[i]);
+    }
+    return encode(acc);
+}
+
+const PositSpec &
+posit8_0()
+{
+    static const PositSpec spec(8, 0);
+    return spec;
+}
+
+const PositSpec &
+posit8_1()
+{
+    static const PositSpec spec(8, 1);
+    return spec;
+}
+
+const PositSpec &
+posit8_2()
+{
+    static const PositSpec spec(8, 2);
+    return spec;
+}
+
+const PositSpec &
+posit16_1()
+{
+    static const PositSpec spec(16, 1);
+    return spec;
+}
+
+} // namespace qt8

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Posit (type III unum) arithmetic, per Gustafson & Yonemoto and the
+ * posit standard, parameterized on width and exponent-field size.
+ *
+ * A posit(N, es) value is
+ *
+ *     x = (-1)^s * 1.f * (2^(2^es))^k * 2^e                  (paper Eq. 1)
+ *
+ * where k is the regime (a variable-length run-length-encoded field), e
+ * is an up-to-es-bit exponent, and f the remaining fraction bits.
+ * Negative values are encoded as the two's complement of the positive
+ * pattern; there is a single zero (code 0) and a single NaR code
+ * (1 followed by zeros).
+ *
+ * The paper uses posit(8,1) ("Posit8"), posit(8,2), posit(8,0) (for the
+ * sigmoid approximation), and posit(16,1) for the hardware study.
+ *
+ * Encoding implements round-to-nearest-even with posit saturation
+ * semantics (no overflow to NaR: magnitudes beyond maxpos clamp to
+ * maxpos). Handling of magnitudes below minpos is policy-selectable to
+ * capture the paper's section 3.4 deviation from the standard:
+ *
+ *  - kPositStandard: nonzero magnitudes never round to zero; anything in
+ *    (0, minpos] becomes minpos.
+ *  - kPaperRoundToEven: round-to-nearest-even continues below minpos, so
+ *    magnitudes below minpos/2 flush to zero (gradients smaller than
+ *    2^-13 for posit(8,1)); the tie at exactly minpos/2 also rounds to
+ *    the even code, which is zero.
+ */
+#ifndef QT8_NUMERICS_POSIT_H
+#define QT8_NUMERICS_POSIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qt8 {
+
+/// How to round magnitudes below the smallest positive posit.
+enum class SubMinposPolicy {
+    kPositStandard,   ///< Round up to minpos (never underflow to 0).
+    kPaperRoundToEven ///< RNE below minpos: < minpos/2 flushes to 0.
+};
+
+/// Runtime-parameterized posit format descriptor and codec.
+class PositSpec
+{
+  public:
+    /**
+     * @param nbits Total width N (2..32 supported; the paper uses 8/16).
+     * @param es Exponent field size (0..3).
+     * @param policy Sub-minpos rounding policy (see above).
+     */
+    PositSpec(int nbits, int es,
+              SubMinposPolicy policy = SubMinposPolicy::kPaperRoundToEven);
+
+    int nbits() const { return nbits_; }
+    int es() const { return es_; }
+    SubMinposPolicy policy() const { return policy_; }
+    std::string name() const;
+
+    /// Number of code words (2^N).
+    uint32_t numCodes() const { return 1u << nbits_; }
+
+    /// The NaR (not-a-real) code: 1 followed by zeros.
+    uint32_t narCode() const { return 1u << (nbits_ - 1); }
+
+    /// Code of the largest positive value (0111...1).
+    uint32_t maxposCode() const { return narCode() - 1; }
+
+    /// Largest representable magnitude: (2^(2^es))^(N-2).
+    double maxpos() const;
+
+    /// Smallest positive magnitude: (2^(2^es))^-(N-2).
+    double minpos() const;
+
+    /// Decode a code word to its exact value (NaN for NaR).
+    double decode(uint32_t code) const;
+
+    /// Encode a value with RNE + saturation (see class comment).
+    uint32_t encode(double x) const;
+
+    /// Round-trip a value through the format (fake-quantize primitive).
+    double quantize(double x) const { return decode(encode(x)); }
+
+    /// All representable finite values, ascending (excludes NaR).
+    std::vector<double> allValues() const;
+
+    // --- Arithmetic (decode -> exact double op -> encode). For 8/16-bit
+    // posits double carries the exact result of a single mul/add, so
+    // these match a hardware implementation with a wide internal datapath
+    // and a single final rounding.
+
+    uint32_t add(uint32_t a, uint32_t b) const;
+    uint32_t sub(uint32_t a, uint32_t b) const;
+    uint32_t mul(uint32_t a, uint32_t b) const;
+    uint32_t div(uint32_t a, uint32_t b) const;
+    uint32_t neg(uint32_t a) const;
+
+    /**
+     * Fused dot product (quire-style): products and the accumulation are
+     * carried exactly in double and rounded once at the end (paper
+     * section 3.2, "fused operations").
+     */
+    uint32_t fusedDot(const uint32_t *a, const uint32_t *b, int n) const;
+
+  private:
+    int nbits_;
+    int es_;
+    SubMinposPolicy policy_;
+    uint32_t mask_;  ///< Low nbits set.
+};
+
+/// Shared immutable instances of the formats the paper uses.
+const PositSpec &posit8_0();  ///< posit(8,0), for the sigmoid trick.
+const PositSpec &posit8_1();  ///< posit(8,1), the paper's "Posit8".
+const PositSpec &posit8_2();  ///< posit(8,2).
+const PositSpec &posit16_1(); ///< posit(16,1).
+
+} // namespace qt8
+
+#endif // QT8_NUMERICS_POSIT_H

@@ -1,0 +1,162 @@
+#include "numerics/posit_ops.h"
+
+#include <cmath>
+#include <limits>
+
+namespace qt8 {
+namespace {
+
+/// posit(N,0) companion format used by the sigmoid trick.
+PositSpec
+es0Companion(const PositSpec &spec)
+{
+    return PositSpec(spec.nbits(), 0, spec.policy());
+}
+
+} // namespace
+
+uint32_t
+approxSigmoidP0Code(const PositSpec &p0, uint32_t code)
+{
+    const uint32_t mask = p0.numCodes() - 1;
+    const uint32_t msb = 1u << (p0.nbits() - 1);
+    return ((code ^ msb) & mask) >> 2;
+}
+
+uint32_t
+approxSigmoidCode(const PositSpec &spec, uint32_t code)
+{
+    if (spec.es() == 0)
+        return approxSigmoidP0Code(spec, code);
+    // Section 3.3: posit(8,1) operands must be converted to posit(8,0)
+    // to use the approximation, and back afterwards.
+    const PositSpec p0 = es0Companion(spec);
+    const uint32_t c0 = p0.encode(spec.decode(code));
+    const uint32_t r0 = approxSigmoidP0Code(p0, c0);
+    return spec.encode(p0.decode(r0));
+}
+
+uint32_t
+approxReciprocalCode(const PositSpec &spec, uint32_t code)
+{
+    const uint32_t mask = spec.numCodes() - 1;
+    const uint32_t msb = 1u << (spec.nbits() - 1);
+    // Invert every bit except the sign bit (NOT gates only).
+    return (code ^ (mask & ~msb)) & mask;
+}
+
+uint32_t
+approxExpCode(const PositSpec &spec, uint32_t code,
+              const ApproxExpConfig &cfg)
+{
+    const double v = spec.decode(code);
+    if (std::isnan(v))
+        return spec.narCode();
+    if (v < cfg.theta)
+        return 0; // truncate to zero: restores attention masking
+
+    const uint32_t negx = spec.neg(code);
+    const uint32_t s = approxSigmoidCode(spec, negx);
+    const uint32_t r = approxReciprocalCode(spec, s);
+    const double eps = cfg.shift ? cfg.epsilon : 1.0;
+    const uint32_t out = spec.sub(r, spec.encode(eps));
+    if (spec.decode(out) < 0.0)
+        return 0; // exp is non-negative; clamp shift overshoot
+    return out;
+}
+
+double
+approxSigmoid(const PositSpec &spec, double x)
+{
+    return spec.decode(approxSigmoidCode(spec, spec.encode(x)));
+}
+
+double
+approxReciprocal(const PositSpec &spec, double x)
+{
+    return spec.decode(approxReciprocalCode(spec, spec.encode(x)));
+}
+
+double
+approxExp(const PositSpec &spec, double x, const ApproxExpConfig &cfg)
+{
+    return spec.decode(approxExpCode(spec, spec.encode(x), cfg));
+}
+
+double
+approxReciprocalDerivative(double s)
+{
+    if (!(s > 0.0) || !std::isfinite(s))
+        return 0.0;
+    const double fl = std::floor(std::log2(s));
+    return -std::exp2(-fl * 2.0 - 1.0);
+}
+
+void
+ApproxPositSoftmax::forward(const float *z, float *out, int k,
+                            float *e_cache, double *sum_cache) const
+{
+    const PositSpec &spec = *spec_;
+
+    double m = -std::numeric_limits<double>::infinity();
+    for (int i = 0; i < k; ++i)
+        m = std::max(m, static_cast<double>(z[i]));
+
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) {
+        // t = z_i - max, computed as a posit subtraction in the vector
+        // unit; inputs are already on the posit grid.
+        const uint32_t tc = spec.sub(spec.encode(z[i]), spec.encode(m));
+        double e;
+        if (approx_exp_) {
+            e = spec.decode(approxExpCode(spec, tc, cfg_));
+        } else {
+            e = spec.quantize(std::exp(spec.decode(tc)));
+        }
+        e_cache[i] = static_cast<float>(e);
+        sum += e; // fused accumulation (section 3.2)
+    }
+    *sum_cache = spec.quantize(sum);
+
+    double r;
+    if (approx_recip_) {
+        r = spec.decode(approxReciprocalCode(spec, spec.encode(sum)));
+    } else {
+        r = *sum_cache > 0.0 ? spec.quantize(1.0 / *sum_cache) : 0.0;
+    }
+
+    for (int i = 0; i < k; ++i) {
+        out[i] = static_cast<float>(
+            spec.quantize(static_cast<double>(e_cache[i]) * r));
+    }
+}
+
+void
+ApproxPositSoftmax::backward(const float *grad_out, const float *out,
+                             const float *e_cache, double sum,
+                             float *grad_in, int k) const
+{
+    if (approx_recip_) {
+        // Eq. 4/5: dL/dz_i = g_i*sigma_i + (sum_j g_j e_j) * f'(S) * e_i.
+        const double fp = approxReciprocalDerivative(sum);
+        double dot = 0.0;
+        for (int j = 0; j < k; ++j)
+            dot += static_cast<double>(grad_out[j]) * e_cache[j];
+        for (int i = 0; i < k; ++i) {
+            grad_in[i] = static_cast<float>(
+                static_cast<double>(grad_out[i]) * out[i] +
+                dot * fp * e_cache[i]);
+        }
+    } else {
+        // Standard softmax Jacobian.
+        double dot = 0.0;
+        for (int j = 0; j < k; ++j)
+            dot += static_cast<double>(grad_out[j]) * out[j];
+        for (int i = 0; i < k; ++i) {
+            grad_in[i] = static_cast<float>(
+                out[i] * (static_cast<double>(grad_out[i]) - dot));
+        }
+    }
+}
+
+} // namespace qt8

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Approximate elementwise operations built from posit bit tricks
+ * (paper sections 3.3, 4.1, 5.2):
+ *
+ *  - Sigmoid: for posit(N,0), S(x) is approximated by inverting the MSB
+ *    of the code and logically shifting right by two. posit(8,1) inputs
+ *    are converted to posit(8,0) first (the "conversion process" of
+ *    section 3.3).
+ *  - Reciprocal: XOR with the negated sign mask (invert all non-sign
+ *    bits), valid for arbitrary es; a piece-wise linear approximation of
+ *    1/x implementable with NOT gates.
+ *  - Exponential: e^x = 1/S(-x) - 1 rebuilt from the two tricks, with the
+ *    paper's two accuracy fixes: outputs are truncated to zero below a
+ *    threshold theta (restoring attention masking), and the curve is
+ *    shifted down by epsilon to hug the true exponential (Eq. 3).
+ *
+ * Plus the approximate softmax built from them, including the re-derived
+ * backward pass for the piece-wise-linear reciprocal (Eq. 4, 5).
+ */
+#ifndef QT8_NUMERICS_POSIT_OPS_H
+#define QT8_NUMERICS_POSIT_OPS_H
+
+#include <cstdint>
+
+#include "numerics/posit.h"
+
+namespace qt8 {
+
+/**
+ * Fast sigmoid on a posit(N,0) code: invert the MSB, then logical shift
+ * right by two (zeros shifted in).
+ */
+uint32_t approxSigmoidP0Code(const PositSpec &p0, uint32_t code);
+
+/**
+ * Approximate sigmoid for an arbitrary posit format: convert the operand
+ * to posit(N,0), apply the bit trick, and convert back.
+ */
+uint32_t approxSigmoidCode(const PositSpec &spec, uint32_t code);
+
+/**
+ * Approximate reciprocal: invert all bits except the sign bit
+ * (XOR with ~signmask). Works for any es; exact at powers of two up to
+ * one ulp, piece-wise linear in between.
+ */
+uint32_t approxReciprocalCode(const PositSpec &spec, uint32_t code);
+
+/// Thresholding/shifting parameters of the approximate exponential
+/// (Eq. 3). The paper's best configuration is theta = -4 with
+/// epsilon = 1.125 (Table 3, "Accuracy 2" column peaks at 89.6).
+struct ApproxExpConfig
+{
+    double theta = -4.0;   ///< Inputs below this produce exactly 0.
+    double epsilon = 1.125;///< Subtracted from 1/S(-x) (includes the -1).
+    bool shift = true;     ///< Apply the epsilon shift (else subtract 1).
+};
+
+/**
+ * Approximate exponential on a posit code (input expected <= 0 after
+ * the softmax max-subtraction; the approximation is only valid there).
+ * Negative results after shifting are clamped to zero.
+ */
+uint32_t approxExpCode(const PositSpec &spec, uint32_t code,
+                       const ApproxExpConfig &cfg);
+
+// --- Float-level wrappers (round the argument onto the posit grid
+// first; used by the model/tensor layer).
+
+double approxSigmoid(const PositSpec &spec, double x);
+double approxReciprocal(const PositSpec &spec, double x);
+double approxExp(const PositSpec &spec, double x, const ApproxExpConfig &cfg);
+
+/**
+ * Derivative model of the posit approximate reciprocal (Eq. 5):
+ * f'(s) = -2^(-floor(log2 s)*2 - 1), the slope of the piece-wise linear
+ * segment containing s.
+ */
+double approxReciprocalDerivative(double s);
+
+/**
+ * Softmax with posit-approximate exponential and/or reciprocal
+ * (section 4.1), with the custom backward of section 5.2.
+ *
+ * Elementwise values are rounded onto the posit grid between steps; the
+ * summation is fused (exact accumulation, single rounding), matching the
+ * accelerator's vector unit with a high-precision accumulator.
+ */
+class ApproxPositSoftmax
+{
+  public:
+    ApproxPositSoftmax(const PositSpec &spec, ApproxExpConfig cfg,
+                       bool approx_exp = true, bool approx_recip = true)
+        : spec_(&spec), cfg_(cfg), approx_exp_(approx_exp),
+          approx_recip_(approx_recip)
+    {}
+
+    /**
+     * Forward over one row of K logits.
+     *
+     * @param z Input logits (read-only).
+     * @param out Softmax outputs (posit-grid values).
+     * @param e_cache Per-element exponentials, needed by backward().
+     * @param sum_cache Receives the (pre-reciprocal) exponential sum.
+     */
+    void forward(const float *z, float *out, int k, float *e_cache,
+                 double *sum_cache) const;
+
+    /**
+     * Backward over one row using Eq. 4/5:
+     * dL/dz_i = g_i*sigma_i + (sum_j g_j e_j) * f'(S) * e_i.
+     * Falls back to the exact-quotient gradient when approx_recip is off.
+     */
+    void backward(const float *grad_out, const float *out,
+                  const float *e_cache, double sum, float *grad_in,
+                  int k) const;
+
+    const PositSpec &spec() const { return *spec_; }
+    const ApproxExpConfig &config() const { return cfg_; }
+
+  private:
+    const PositSpec *spec_;
+    ApproxExpConfig cfg_;
+    bool approx_exp_;
+    bool approx_recip_;
+};
+
+} // namespace qt8
+
+#endif // QT8_NUMERICS_POSIT_OPS_H

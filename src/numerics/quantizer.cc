@@ -1,0 +1,300 @@
+#include "numerics/quantizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/float_bits.h"
+
+namespace qt8 {
+namespace {
+
+/// Build the sorted list of finite values of a minifloat format.
+std::vector<double>
+minifloatValues(const MinifloatSpec &spec)
+{
+    std::vector<double> vals;
+    vals.reserve(spec.numCodes());
+    for (uint32_t c = 0; c < spec.numCodes(); ++c) {
+        if (spec.isNan(c) || spec.isInf(c))
+            continue;
+        vals.push_back(spec.decode(c));
+    }
+    std::sort(vals.begin(), vals.end());
+    // +0 and -0 both decode to 0.0; drop the duplicate.
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    return vals;
+}
+
+} // namespace
+
+Quantizer
+Quantizer::identity()
+{
+    Quantizer q;
+    q.kind_ = Kind::kIdentity;
+    q.name_ = "fp32";
+    q.max_rep_ = std::numeric_limits<double>::infinity();
+    q.scaling_target_ = 1.0;
+    return q;
+}
+
+Quantizer
+Quantizer::bf16()
+{
+    Quantizer q;
+    q.kind_ = Kind::kBfloat16;
+    q.name_ = "bf16";
+    q.max_rep_ = Bfloat16::kMax;
+    q.scaling_target_ = Bfloat16::kMax;
+    return q;
+}
+
+void
+Quantizer::buildGridFromCodec(
+    const std::vector<double> &values,
+    const std::function<double(double)> &ref_quantize)
+{
+    kind_ = Kind::kGrid;
+    values_.assign(values.begin(), values.end());
+    thresholds_.clear();
+    thresholds_.reserve(values.size() - 1);
+
+    // Floats ordered lexicographically: map the IEEE bit pattern to a
+    // monotone unsigned key so we can bisect over all floats between two
+    // grid values.
+    auto lex = [](float f) -> uint32_t {
+        const uint32_t u = bits_from_float(f);
+        return (u & 0x80000000u) ? ~u : (u | 0x80000000u);
+    };
+    auto unlex = [](uint32_t k) -> float {
+        const uint32_t u = (k & 0x80000000u) ? (k & 0x7FFFFFFFu) : ~k;
+        return float_from_bits(u);
+    };
+
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+        const double lo = values[i];
+        const double hi = values[i + 1];
+        // Grid values of <=16-bit formats are exactly representable in
+        // float, so (float)lo maps to lo and (float)hi maps to hi. The
+        // rounding cut need not sit at the arithmetic midpoint (posit
+        // rounds on the bit string, which is geometric across regime /
+        // exponent truncation), so bisect with the reference codec.
+        uint32_t la = lex(static_cast<float>(lo));
+        uint32_t lb = lex(static_cast<float>(hi));
+        assert(ref_quantize(static_cast<float>(lo)) == lo);
+        assert(ref_quantize(static_cast<float>(hi)) == hi);
+        while (lb - la > 1) {
+            const uint32_t m = la + (lb - la) / 2;
+            if (ref_quantize(unlex(m)) == lo)
+                la = m;
+            else
+                lb = m;
+        }
+        const float t = unlex(la); // largest float rounding down to lo
+        assert(thresholds_.empty() || t > thresholds_.back());
+        thresholds_.push_back(t);
+    }
+}
+
+Quantizer
+Quantizer::posit(const PositSpec &spec)
+{
+    Quantizer q;
+    q.name_ = spec.name();
+    q.max_rep_ = spec.maxpos();
+    // Paper section 5.1: scaling amax to posit maxpos is ineffective due
+    // to tapered precision; amax -> 64 works best for Posit8. We keep 64
+    // for all 8-bit posits and scale it with width for wider posits.
+    q.scaling_target_ = spec.nbits() == 8 ? 64.0 : 256.0;
+    q.buildGridFromCodec(
+        spec.allValues(),
+        [&spec](double x) { return spec.quantize(x); });
+    return q;
+}
+
+Quantizer
+Quantizer::minifloat(const MinifloatSpec &spec)
+{
+    Quantizer q;
+    q.name_ = spec.name;
+    q.max_rep_ = spec.maxFinite();
+    q.scaling_target_ = spec.maxFinite();
+    q.buildGridFromCodec(
+        minifloatValues(spec),
+        [&spec](double x) { return spec.decode(spec.encode(x)); });
+    return q;
+}
+
+Quantizer
+Quantizer::int8()
+{
+    Quantizer q;
+    q.kind_ = Kind::kInt8;
+    q.name_ = "int8";
+    q.max_rep_ = 127.0;
+    q.scaling_target_ = 127.0;
+    return q;
+}
+
+namespace {
+
+/// Symmetric int8 rounding of one buffer with scale = amax/127.
+void
+int8QuantizeBuffer(float *p, size_t n)
+{
+    double amax = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double a = std::fabs(static_cast<double>(p[i]));
+        if (std::isfinite(a) && a > amax)
+            amax = a;
+    }
+    if (amax == 0.0)
+        return;
+    const float scale = static_cast<float>(amax / 127.0);
+    const float inv = 1.0f / scale;
+    for (size_t i = 0; i < n; ++i) {
+        float q = std::nearbyintf(p[i] * inv);
+        q = std::min(127.0f, std::max(-127.0f, q));
+        p[i] = q * scale;
+    }
+}
+
+} // namespace
+
+Quantizer
+Quantizer::byName(const std::string &name)
+{
+    if (name == "int8")
+        return int8();
+    if (name == "fp32" || name == "none" || name == "identity")
+        return identity();
+    if (name == "bf16")
+        return bf16();
+    if (name == "posit8" || name == "posit(8,1)")
+        return posit(posit8_1());
+    if (name == "posit(8,0)")
+        return posit(posit8_0());
+    if (name == "posit(8,2)")
+        return posit(posit8_2());
+    if (name == "posit16" || name == "posit(16,1)")
+        return posit(posit16_1());
+    if (name == "e4m3")
+        return minifloat(e4m3());
+    if (name == "e5m2")
+        return minifloat(e5m2());
+    if (name == "e5m3")
+        return minifloat(e5m3());
+    if (name == "e5m4")
+        return minifloat(e5m4());
+    if (name == "fp16")
+        return minifloat(fp16());
+    throw std::invalid_argument("unknown quantizer name: " + name);
+}
+
+float
+Quantizer::quantize(float x) const
+{
+    switch (kind_) {
+      case Kind::kIdentity:
+        return x;
+      case Kind::kBfloat16:
+        return Bfloat16::quantize(x);
+      case Kind::kInt8:
+        // Scalar int8 rounds on the unit grid (scale is only defined
+        // per buffer; use quantizeInPlace for tensors).
+        return std::min(127.0f,
+                        std::max(-127.0f, std::nearbyintf(x)));
+      case Kind::kGrid:
+        break;
+    }
+    if (std::isnan(x))
+        return x;
+    if (x >= values_.back())
+        return values_.back(); // saturate (also +inf)
+    if (x <= values_.front())
+        return values_.front();
+    // First threshold >= x selects the grid value.
+    const auto it =
+        std::lower_bound(thresholds_.begin(), thresholds_.end(), x);
+    const size_t idx = static_cast<size_t>(it - thresholds_.begin());
+    return values_[idx];
+}
+
+void
+Quantizer::quantizeInPlace(float *p, size_t n) const
+{
+    if (kind_ == Kind::kIdentity)
+        return;
+    if (kind_ == Kind::kInt8) {
+        int8QuantizeBuffer(p, n);
+        return;
+    }
+#pragma omp parallel for schedule(static) if (n > 8192)
+    for (size_t i = 0; i < n; ++i)
+        p[i] = quantize(p[i]);
+}
+
+void
+Quantizer::quantizeRowsInPlace(float *p, size_t rows, size_t cols) const
+{
+    if (kind_ != Kind::kInt8) {
+        quantizeInPlace(p, rows * cols);
+        return;
+    }
+    for (size_t r = 0; r < rows; ++r)
+        int8QuantizeBuffer(p + r * cols, cols);
+}
+
+void
+AmaxHistory::push(double amax)
+{
+    history_.push_back(amax);
+    if (static_cast<int>(history_.size()) > window_)
+        history_.erase(history_.begin());
+}
+
+double
+AmaxHistory::predict(double fallback) const
+{
+    if (history_.empty())
+        return fallback;
+    return *std::max_element(history_.begin(), history_.end());
+}
+
+double
+TensorScaler::scaleFor(double amax, double target)
+{
+    if (!(amax > 0.0) || !std::isfinite(amax))
+        return 1.0;
+    const double log_scale = std::log2(target / amax);
+    return std::exp2(std::nearbyint(log_scale));
+}
+
+void
+TensorScaler::quantizeInPlace(float *p, size_t n)
+{
+    double amax = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double a = std::fabs(static_cast<double>(p[i]));
+        if (std::isfinite(a) && a > amax)
+            amax = a;
+    }
+
+    const double predicted = history_.empty() ? amax : history_.predict();
+    const double target = target_override_ > 0.0
+        ? target_override_
+        : quantizer_->scalingTargetAmax();
+    const double s = scaleFor(predicted, target);
+    const float fs = static_cast<float>(s);
+    const float inv = static_cast<float>(1.0 / s);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = quantizer_->quantize(p[i] * fs) * inv;
+
+    history_.push(amax);
+}
+
+} // namespace qt8

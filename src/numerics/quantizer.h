@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Fake-quantization engine: rounds float tensors onto the value grid of
+ * an 8-bit (or 16-bit) format, exactly reproducing each format's
+ * round-to-nearest-even + saturation semantics, while carrying values in
+ * float. This mirrors the paper's GPU methodology (section 6): "clipping
+ * tensor values to the Posit8 or FP8 representable range before and
+ * after each operation; storing the value back into BFloat16".
+ *
+ * Also provides per-tensor scaling (section 5.1): a power-of-two scale
+ * factor per tensor ("its own exponent bias") chosen so the tensor's
+ * amax lands on a format-specific target — the max finite value for FP8,
+ * but 64 for Posit8, because posit's tapered precision makes values near
+ * maxpos too coarse (the paper found amax->64 best).
+ */
+#ifndef QT8_NUMERICS_QUANTIZER_H
+#define QT8_NUMERICS_QUANTIZER_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "numerics/minifloat.h"
+#include "numerics/posit.h"
+
+namespace qt8 {
+
+/**
+ * Rounds floats to a format's representable-value grid.
+ *
+ * Copyable value type; cheap to pass around by const reference. The
+ * identity quantizer passes values through (used for FP32 baselines);
+ * the bf16 quantizer uses the algorithmic BFloat16 path.
+ */
+class Quantizer
+{
+  public:
+    /// No-op quantizer (FP32 / "no quantization").
+    static Quantizer identity();
+    /// BFloat16 round-trip (the paper's baseline data type).
+    static Quantizer bf16();
+    /// Grid quantizer for a posit format.
+    static Quantizer posit(const PositSpec &spec);
+    /// Grid quantizer for a minifloat format (E4M3/E5M2/...).
+    static Quantizer minifloat(const MinifloatSpec &spec);
+    /**
+     * Symmetric int8 with *dynamic per-tensor scaling*: each
+     * quantizeInPlace call computes scale = amax/127 over the buffer
+     * and rounds to the integer grid. The paper's baseline comparator
+     * (section 1): unlike Posit8/FP8, int8 cannot work without these
+     * scaling factors, and often needs per-channel scaling
+     * (quantizeRowsInPlace) for weights.
+     */
+    static Quantizer int8();
+
+    /// Look up one of the paper's format names: "bf16", "posit8",
+    /// "posit(8,1)", "posit(8,2)", "e4m3", "e5m2", "fp32"/"none".
+    /// Throws std::invalid_argument for unknown names.
+    static Quantizer byName(const std::string &name);
+
+    /// Round one value to the grid.
+    float quantize(float x) const;
+
+    /// Round a buffer in place (for int8: dynamic per-tensor scale).
+    void quantizeInPlace(float *p, size_t n) const;
+
+    /// Round a 2-D row-major buffer with *per-row* scaling for int8
+    /// (per-channel weight quantization); identical to quantizeInPlace
+    /// for every other kind.
+    void quantizeRowsInPlace(float *p, size_t rows, size_t cols) const;
+
+    /// Human-readable format name.
+    const std::string &name() const { return name_; }
+
+    /// True for the identity quantizer.
+    bool isIdentity() const { return kind_ == Kind::kIdentity; }
+
+    /// Largest representable finite magnitude (+inf for identity).
+    double maxRepresentable() const { return max_rep_; }
+
+    /// The amax target for per-tensor scaling in this format.
+    double scalingTargetAmax() const { return scaling_target_; }
+
+  private:
+    enum class Kind { kIdentity, kBfloat16, kGrid, kInt8 };
+
+    Quantizer() = default;
+
+    /**
+     * Build the value grid and per-interval rounding thresholds. The
+     * thresholds are derived from the reference codec itself so the fast
+     * table path is exactly equivalent to decode(encode(x)) — including
+     * tie-to-even-code and sub-minpos policy behavior.
+     */
+    void buildGridFromCodec(
+        const std::vector<double> &values,
+        const std::function<double(double)> &ref_quantize);
+
+    Kind kind_ = Kind::kIdentity;
+    std::string name_ = "fp32";
+    double max_rep_ = 0.0;
+    double scaling_target_ = 0.0;
+
+    /// Sorted representable values.
+    std::vector<float> values_;
+    /// thresholds_[i] = largest float that rounds to values_[i]
+    /// (size values_.size() - 1; the last value has no upper threshold).
+    std::vector<float> thresholds_;
+};
+
+/**
+ * Sliding window of historical per-tensor amax values used to predict
+ * the scale for the current step (section 5.1, following NVIDIA's FP8
+ * recipe: keep a history of amaxes, use the max of the window).
+ */
+class AmaxHistory
+{
+  public:
+    explicit AmaxHistory(int window = 16) : window_(window) {}
+
+    /// Record the amax observed this step.
+    void push(double amax);
+
+    /// Predicted amax for the next step: max over the window, or the
+    /// fallback if no history yet.
+    double predict(double fallback = 1.0) const;
+
+    bool empty() const { return history_.empty(); }
+
+  private:
+    int window_;
+    std::vector<double> history_; // ring buffer, newest appended
+};
+
+/**
+ * Per-tensor power-of-two scaling wrapped around a Quantizer:
+ * q(x) = quantize(x * s) / s with s = 2^round(log2(target / amax)).
+ */
+class TensorScaler
+{
+  public:
+    /**
+     * @param target_override If nonzero, overrides the format's default
+     * scaling target (used by the amax-target ablation: the paper found
+     * 64 best for Posit8 versus its maxpos of 4096, section 5.1).
+     */
+    TensorScaler(const Quantizer &q, int history_window = 16,
+                 double target_override = 0.0)
+        : quantizer_(&q), history_(history_window),
+          target_override_(target_override)
+    {}
+
+    /**
+     * Quantize a buffer in place with a predicted per-tensor scale; the
+     * buffer's actual amax is recorded into the history afterwards.
+     */
+    void quantizeInPlace(float *p, size_t n);
+
+    /// Power-of-two scale that maps amax onto the format target.
+    static double scaleFor(double amax, double target);
+
+    const AmaxHistory &history() const { return history_; }
+
+  private:
+    const Quantizer *quantizer_;
+    AmaxHistory history_;
+    double target_override_ = 0.0;
+};
+
+} // namespace qt8
+
+#endif // QT8_NUMERICS_QUANTIZER_H

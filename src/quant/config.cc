@@ -1,0 +1,223 @@
+#include "quant/config.h"
+
+namespace qt8 {
+
+const char *
+toString(FusionLevel level)
+{
+    switch (level) {
+      case FusionLevel::kNone:
+        return "no-fusion";
+      case FusionLevel::kAttnScaling:
+        return "+attn-scaling";
+      case FusionLevel::kActivation:
+        return "+activation";
+      case FusionLevel::kLayerNorm:
+        return "+layernorm";
+      case FusionLevel::kResidual:
+        return "+residual";
+    }
+    return "?";
+}
+
+const char *
+toString(OpClass c)
+{
+    switch (c) {
+      case OpClass::kGemm:
+        return "gemm";
+      case OpClass::kAttnScaling:
+        return "attn-scaling";
+      case OpClass::kActivation:
+        return "activation";
+      case OpClass::kLayerNorm:
+        return "layernorm";
+      case OpClass::kResidual:
+        return "residual";
+    }
+    return "?";
+}
+
+QuantConfig
+QuantConfig::fp32()
+{
+    QuantConfig cfg;
+    cfg.name = "fp32";
+    return cfg;
+}
+
+QuantConfig
+QuantConfig::bf16()
+{
+    QuantConfig cfg;
+    cfg.name = "bf16";
+    // Everything is carried in BFloat16; no 8-bit op quantization.
+    cfg.carrier = Quantizer::bf16();
+    return cfg;
+}
+
+QuantConfig
+QuantConfig::eightBit(const std::string &name, const Quantizer &fwd,
+                      const Quantizer &bwd)
+{
+    QuantConfig cfg;
+    cfg.name = name;
+    cfg.fwd = fwd;
+    cfg.bwd = bwd;
+    cfg.carrier = Quantizer::bf16();
+    cfg.quant_gemm = true;
+    cfg.quant_attn_scaling = true;
+    cfg.quant_activation = true;
+    cfg.quant_layernorm = true;
+    cfg.quant_residual = true;
+    return cfg;
+}
+
+QuantConfig
+QuantConfig::posit8()
+{
+    return eightBit("posit8", Quantizer::byName("posit8"),
+                    Quantizer::byName("posit8"));
+}
+
+QuantConfig
+QuantConfig::posit8es2()
+{
+    QuantConfig cfg = eightBit("posit(8,2)", Quantizer::byName("posit(8,2)"),
+                               Quantizer::byName("posit(8,2)"));
+    cfg.softmax_spec = &posit8_2();
+    return cfg;
+}
+
+QuantConfig
+QuantConfig::fp8()
+{
+    // NVIDIA recipe: E4M3 forward, E5M2 backward.
+    return eightBit("fp8", Quantizer::byName("e4m3"),
+                    Quantizer::byName("e5m2"));
+}
+
+QuantConfig
+QuantConfig::posit8Approx()
+{
+    QuantConfig cfg = posit8();
+    cfg.name = "posit8-approx";
+    cfg.softmax = SoftmaxMode::kApproxBoth;
+    return cfg;
+}
+
+QuantConfig
+QuantConfig::int8PerTensor()
+{
+    // Inference-only baseline: int8 forward, no gradient quantization.
+    QuantConfig cfg = eightBit("int8-per-tensor", Quantizer::int8(),
+                               Quantizer::identity());
+    return cfg;
+}
+
+QuantConfig
+QuantConfig::int8PerChannel()
+{
+    QuantConfig cfg = int8PerTensor();
+    cfg.name = "int8-per-channel";
+    cfg.int8_per_channel_weights = true;
+    return cfg;
+}
+
+QuantConfig
+QuantConfig::withFusion(FusionLevel level) const
+{
+    QuantConfig cfg = *this;
+    cfg.fusion = level;
+    return cfg;
+}
+
+bool
+QuantConfig::activeFwd(OpClass c) const
+{
+    switch (c) {
+      case OpClass::kGemm:
+        return quant_gemm;
+      case OpClass::kAttnScaling:
+        return quant_attn_scaling &&
+               fusion < FusionLevel::kAttnScaling;
+      case OpClass::kActivation:
+        return quant_activation && fusion < FusionLevel::kActivation;
+      case OpClass::kLayerNorm:
+        return quant_layernorm && fusion < FusionLevel::kLayerNorm;
+      case OpClass::kResidual:
+        return quant_residual && fusion < FusionLevel::kResidual;
+    }
+    return false;
+}
+
+void
+QuantSession::quantFwd(OpClass c, Tensor &t)
+{
+    if (fwd_tap)
+        fwd_tap(c, t);
+    if (cfg_.activeFwd(c) && !cfg_.fwd.isIdentity())
+        cfg_.fwd.quantizeInPlace(t.data(), static_cast<size_t>(t.numel()));
+    else
+        carrier(t);
+}
+
+void
+QuantSession::quantWeight(Tensor &t)
+{
+    if (cfg_.quant_gemm && !cfg_.fwd.isIdentity()) {
+        if (cfg_.int8_per_channel_weights && t.rank() == 2) {
+            cfg_.fwd.quantizeRowsInPlace(
+                t.data(), static_cast<size_t>(t.dim(0)),
+                static_cast<size_t>(t.dim(1)));
+        } else {
+            cfg_.fwd.quantizeInPlace(t.data(),
+                                     static_cast<size_t>(t.numel()));
+        }
+    } else {
+        carrier(t);
+    }
+}
+
+void
+QuantSession::quantBwd(OpClass c, Tensor &t, int slot)
+{
+    if (bwd_tap)
+        bwd_tap(c, t);
+    // The backward pass mirrors the forward fusion schedule: gradients
+    // flowing into a fused op stay in the carrier format.
+    if (!cfg_.activeFwd(c) || cfg_.bwd.isIdentity()) {
+        carrier(t);
+        return;
+    }
+    if (cfg_.per_tensor_scaled_grads) {
+        scalerFor(slot).quantizeInPlace(t.data(),
+                                        static_cast<size_t>(t.numel()));
+    } else {
+        cfg_.bwd.quantizeInPlace(t.data(), static_cast<size_t>(t.numel()));
+    }
+}
+
+void
+QuantSession::carrier(Tensor &t)
+{
+    if (!cfg_.carrier.isIdentity()) {
+        cfg_.carrier.quantizeInPlace(t.data(),
+                                     static_cast<size_t>(t.numel()));
+    }
+}
+
+TensorScaler &
+QuantSession::scalerFor(int slot)
+{
+    while (static_cast<int>(scalers_.size()) <= slot)
+        scalers_.push_back(nullptr);
+    auto &s = scalers_[static_cast<size_t>(slot)];
+    if (!s) {
+        s = std::make_unique<TensorScaler>(
+            cfg_.bwd, 16, cfg_.scaling_target_override);
+    }
+    return *s;
+}
+
+} // namespace qt8

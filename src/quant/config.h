@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Quantization policy for Transformer inference and fine-tuning
+ * (paper sections 4 and 5): which operation classes have their inputs
+ * quantized, the incremental operation-fusion schedule that skips
+ * quantization between a GEMM and a fused element-wise consumer, the
+ * forward/backward data types, per-tensor gradient scaling, and the
+ * approximate-softmax mode.
+ */
+#ifndef QT8_QUANT_CONFIG_H
+#define QT8_QUANT_CONFIG_H
+
+#include <memory>
+#include <string>
+
+#include "numerics/posit_ops.h"
+#include "numerics/quantizer.h"
+#include "tensor/tensor.h"
+
+namespace qt8 {
+
+/// Operation classes whose input quantization the paper studies
+/// (Figure 5 / Table 1).
+enum class OpClass {
+    kGemm,        ///< Matrix multiplication inputs (weights+activations).
+    kAttnScaling, ///< Input to the 1/sqrt(d) attention scaling.
+    kActivation,  ///< Inputs to softmax and GeLU.
+    kLayerNorm,   ///< Inputs to layer normalization.
+    kResidual,    ///< Inputs to residual additions.
+};
+
+/// Incremental fusion schedule (Table 2 columns). Each level fuses one
+/// more op class with its producing GEMM, ordered by accuracy impact:
+/// attention scaling > activation > layernorm > residual.
+enum class FusionLevel {
+    kNone = 0,
+    kAttnScaling = 1,
+    kActivation = 2,
+    kLayerNorm = 3,
+    kResidual = 4,
+};
+
+const char *toString(FusionLevel level);
+const char *toString(OpClass c);
+
+/// How softmax is evaluated (Table 4 rows).
+enum class SoftmaxMode {
+    kExact,       ///< Exact exp + division (then quantized).
+    kApproxExp,   ///< Posit approximate exponential only.
+    kApproxRecip, ///< Posit approximate reciprocal only.
+    kApproxBoth,  ///< Both approximations ("posit softmax").
+};
+
+/**
+ * Complete quantization configuration for a run.
+ *
+ * The paper's presets:
+ *  - bf16(): everything carried in BFloat16 (the baseline).
+ *  - posit8() / posit8_2(): Posit8 forward and backward.
+ *  - fp8(): E4M3 forward, E5M2 backward (NVIDIA recipe).
+ *  - fp32(): no quantization (reference).
+ */
+struct QuantConfig
+{
+    Quantizer fwd = Quantizer::identity(); ///< Forward-pass data type.
+    Quantizer bwd = Quantizer::identity(); ///< Backward-pass data type.
+
+    /// Carrier quantizer applied after every op in 8-bit modes,
+    /// modelling the BFloat16 storage of the GPU methodology. Identity
+    /// by default (FP32 carrier).
+    Quantizer carrier = Quantizer::identity();
+
+    FusionLevel fusion = FusionLevel::kNone;
+
+    /// If false, non-GEMM op classes are never quantized even without
+    /// fusion (used by the Table 1 ablation: GEMM + one class).
+    bool quant_gemm = false;
+    bool quant_attn_scaling = false;
+    bool quant_activation = false;
+    bool quant_layernorm = false;
+    bool quant_residual = false;
+
+    /// Per-tensor scaling with amax history on backward activations
+    /// (section 5.1). Applied whenever the backward type is quantized.
+    bool per_tensor_scaled_grads = true;
+
+    /// Nonzero overrides the backward format's amax scaling target
+    /// (section 5.1 ablation: 64 vs maxpos for Posit8).
+    double scaling_target_override = 0.0;
+
+    /// Softmax evaluation mode; approximations only make sense with a
+    /// posit forward type.
+    SoftmaxMode softmax = SoftmaxMode::kExact;
+    /// Posit format used for approximate softmax (posit(8,1) normally).
+    const PositSpec *softmax_spec = &posit8_1();
+    ApproxExpConfig approx_exp;
+
+    /// Skip quantization of the final task head's inputs (the artifact's
+    /// "--op_fusion classifier/qa_outputs" stability option).
+    bool fuse_head = false;
+
+    std::string name = "fp32";
+
+    // --- Presets -----------------------------------------------------
+
+    static QuantConfig fp32();
+    static QuantConfig bf16();
+    /// 8-bit preset with all op classes quantized, given fwd/bwd types.
+    static QuantConfig eightBit(const std::string &name,
+                                const Quantizer &fwd, const Quantizer &bwd);
+    static QuantConfig posit8();
+    static QuantConfig posit8es2();
+    static QuantConfig fp8();
+    /// posit8 with the full approximate softmax enabled.
+    static QuantConfig posit8Approx();
+    /// Int8 inference baseline with dynamic per-tensor scaling only.
+    static QuantConfig int8PerTensor();
+    /// Int8 inference baseline with per-channel weight scaling (the
+    /// conventional int8 deployment recipe the paper argues against).
+    static QuantConfig int8PerChannel();
+
+    /// Int8 weights use per-output-channel scales.
+    bool int8_per_channel_weights = false;
+
+    /// Returns a copy with the given fusion level.
+    QuantConfig withFusion(FusionLevel level) const;
+
+    // --- Queries used by the model layer ------------------------------
+
+    /// Is class @p c quantization-active in the forward pass (enabled
+    /// and not removed by the fusion schedule)?
+    bool activeFwd(OpClass c) const;
+
+    /// True when any 8-bit quantization is configured.
+    bool anyQuant() const { return !fwd.isIdentity(); }
+};
+
+/**
+ * Per-run mutable state accompanying a QuantConfig: the per-tensor amax
+ * histories for gradient scaling, keyed by a caller-provided slot id.
+ */
+class QuantSession
+{
+  public:
+    explicit QuantSession(QuantConfig cfg) : cfg_(std::move(cfg)) {}
+
+    const QuantConfig &config() const { return cfg_; }
+    QuantConfig &config() { return cfg_; }
+
+    /// Quantize a forward tensor that is the input to op class @p c
+    /// (no-op when the class is fused or disabled). Applies the carrier
+    /// format afterwards.
+    void quantFwd(OpClass c, Tensor &t);
+
+    /// Quantize a weight tensor in the forward format.
+    void quantWeight(Tensor &t);
+
+    /// Quantize a backward (gradient) tensor flowing into op class
+    /// @p c, with per-tensor scaling when configured. @p slot
+    /// identifies the tensor across steps for amax history.
+    void quantBwd(OpClass c, Tensor &t, int slot);
+
+    /// Apply only the carrier format (BF16 storage emulation).
+    void carrier(Tensor &t);
+
+    /// Allocate a unique gradient-scaling slot id.
+    int allocSlot() { return next_slot_++; }
+
+    /// Observation hooks for the distribution studies (Figures 6, 10):
+    /// called with the tensor *before* quantization.
+    std::function<void(OpClass, const Tensor &)> fwd_tap;
+    std::function<void(OpClass, const Tensor &)> bwd_tap;
+
+  private:
+    TensorScaler &scalerFor(int slot);
+
+    QuantConfig cfg_;
+    int next_slot_ = 0;
+    std::vector<std::unique_ptr<TensorScaler>> scalers_;
+};
+
+} // namespace qt8
+
+#endif // QT8_QUANT_CONFIG_H

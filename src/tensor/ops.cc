@@ -1,0 +1,238 @@
+#include "tensor/ops.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qt8 {
+
+void
+gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+     Tensor &c, float alpha, float beta)
+{
+    assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+    const int64_t m = trans_a ? a.dim(1) : a.dim(0);
+    const int64_t k = trans_a ? a.dim(0) : a.dim(1);
+    const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+    const int64_t n = trans_b ? b.dim(0) : b.dim(1);
+    if (k != kb || c.dim(0) != m || c.dim(1) != n)
+        throw std::invalid_argument("gemm: shape mismatch");
+
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    const int64_t lda = a.dim(1);
+    const int64_t ldb = b.dim(1);
+
+#pragma omp parallel for schedule(static) if (m * n * k > 16384)
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            if (!trans_a && !trans_b) {
+                const float *ra = pa + i * lda;
+                for (int64_t t = 0; t < k; ++t)
+                    acc += static_cast<double>(ra[t]) * pb[t * ldb + j];
+            } else if (!trans_a && trans_b) {
+                const float *ra = pa + i * lda;
+                const float *rb = pb + j * ldb;
+                for (int64_t t = 0; t < k; ++t)
+                    acc += static_cast<double>(ra[t]) * rb[t];
+            } else if (trans_a && !trans_b) {
+                for (int64_t t = 0; t < k; ++t)
+                    acc += static_cast<double>(pa[t * lda + i]) *
+                           pb[t * ldb + j];
+            } else {
+                for (int64_t t = 0; t < k; ++t)
+                    acc += static_cast<double>(pa[t * lda + i]) *
+                           pb[j * ldb + t];
+            }
+            const double prev = beta == 0.0f
+                ? 0.0
+                : static_cast<double>(beta) * pc[i * n + j];
+            pc[i * n + j] =
+                static_cast<float>(static_cast<double>(alpha) * acc + prev);
+        }
+    }
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b, bool trans_a, bool trans_b)
+{
+    const int64_t m = trans_a ? a.dim(1) : a.dim(0);
+    const int64_t n = trans_b ? b.dim(0) : b.dim(1);
+    Tensor c({m, n});
+    gemm(a, trans_a, b, trans_b, c);
+    return c;
+}
+
+void
+addInPlace(Tensor &y, const Tensor &x)
+{
+    assert(y.numel() == x.numel());
+    float *py = y.data();
+    const float *px = x.data();
+    for (int64_t i = 0; i < y.numel(); ++i)
+        py[i] += px[i];
+}
+
+void
+axpy(Tensor &y, const Tensor &x, float alpha)
+{
+    assert(y.numel() == x.numel());
+    float *py = y.data();
+    const float *px = x.data();
+    for (int64_t i = 0; i < y.numel(); ++i)
+        py[i] += alpha * px[i];
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    Tensor c = a;
+    addInPlace(c, b);
+    return c;
+}
+
+void
+scaleInPlace(Tensor &t, float s)
+{
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] *= s;
+}
+
+void
+addRowBias(Tensor &t, const Tensor &bias)
+{
+    assert(t.rank() == 2 && bias.numel() == t.dim(1));
+    const int64_t m = t.dim(0);
+    const int64_t n = t.dim(1);
+    float *p = t.data();
+    const float *pb = bias.data();
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            p[i * n + j] += pb[j];
+}
+
+Tensor
+sumRows(const Tensor &t)
+{
+    assert(t.rank() == 2);
+    const int64_t m = t.dim(0);
+    const int64_t n = t.dim(1);
+    Tensor out({n});
+    const float *p = t.data();
+    for (int64_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int64_t i = 0; i < m; ++i)
+            acc += p[i * n + j];
+        out.at(j) = static_cast<float>(acc);
+    }
+    return out;
+}
+
+void
+softmaxRowsInPlace(Tensor &t)
+{
+    const int64_t cols = t.dim(t.rank() - 1);
+    const int64_t rows = t.numel() / cols;
+    float *p = t.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        float *row = p + r * cols;
+        float m = row[0];
+        for (int64_t j = 1; j < cols; ++j)
+            m = std::max(m, row[j]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < cols; ++j) {
+            row[j] = std::exp(row[j] - m);
+            sum += row[j];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (int64_t j = 0; j < cols; ++j)
+            row[j] *= inv;
+    }
+}
+
+float
+geluScalar(float x)
+{
+    // BERT's tanh approximation of GeLU.
+    const float c = 0.7978845608028654f; // sqrt(2/pi)
+    const float inner = c * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float
+geluGradScalar(float x)
+{
+    const float c = 0.7978845608028654f;
+    const float x3 = x * x * x;
+    const float inner = c * (x + 0.044715f * x3);
+    const float t = std::tanh(inner);
+    const float sech2 = 1.0f - t * t;
+    const float dinner = c * (1.0f + 3.0f * 0.044715f * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+}
+
+void
+geluInPlace(Tensor &t)
+{
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = geluScalar(p[i]);
+}
+
+double
+amax(const Tensor &t)
+{
+    double m = 0.0;
+    const float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        m = std::max(m, std::fabs(static_cast<double>(p[i])));
+    return m;
+}
+
+double
+mean(const Tensor &t)
+{
+    double acc = 0.0;
+    const float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        acc += p[i];
+    return t.numel() > 0 ? acc / static_cast<double>(t.numel()) : 0.0;
+}
+
+double
+sumSquares(const Tensor &t)
+{
+    double acc = 0.0;
+    const float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        acc += static_cast<double>(p[i]) * p[i];
+    return acc;
+}
+
+int64_t
+rowArgmax(const Tensor &t, int64_t row)
+{
+    assert(t.rank() == 2);
+    const int64_t n = t.dim(1);
+    const float *p = t.data() + row * n;
+    int64_t best = 0;
+    for (int64_t j = 1; j < n; ++j)
+        if (p[j] > p[best])
+            best = j;
+    return best;
+}
+
+bool
+allFinite(const Tensor &t)
+{
+    const float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        if (!std::isfinite(p[i]))
+            return false;
+    return true;
+}
+
+} // namespace qt8

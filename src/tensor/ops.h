@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dense kernels used by the model layer. GEMM accumulates in double,
+ * modelling the accelerator's fused high-precision accumulation
+ * (section 3.2): inputs may be 8-bit grid values, partial sums are kept
+ * wide, and a single rounding happens when the consumer quantizes.
+ */
+#ifndef QT8_TENSOR_OPS_H
+#define QT8_TENSOR_OPS_H
+
+#include "tensor/tensor.h"
+
+namespace qt8 {
+
+/**
+ * C = alpha * op(A) . op(B) + beta * C
+ * A is m x k (after optional transpose), B is k x n, C is m x n.
+ * Accumulation is double precision.
+ */
+void gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+          Tensor &c, float alpha = 1.0f, float beta = 0.0f);
+
+/// Convenience: returns op(A) . op(B).
+Tensor matmul(const Tensor &a, const Tensor &b, bool trans_a = false,
+              bool trans_b = false);
+
+/// y += x (same shape).
+void addInPlace(Tensor &y, const Tensor &x);
+
+/// y += alpha * x.
+void axpy(Tensor &y, const Tensor &x, float alpha);
+
+/// Elementwise sum.
+Tensor add(const Tensor &a, const Tensor &b);
+
+/// Multiply every element by s.
+void scaleInPlace(Tensor &t, float s);
+
+/// Add a row vector (bias of length n) to every row of a (m x n) tensor.
+void addRowBias(Tensor &t, const Tensor &bias);
+
+/// Sum a (m x n) tensor over rows into a length-n vector (for bias
+/// gradients). Accumulates in double.
+Tensor sumRows(const Tensor &t);
+
+/// Numerically stable softmax over the last dimension, in place.
+void softmaxRowsInPlace(Tensor &t);
+
+/// tanh-based GeLU (as used by BERT-family models).
+float geluScalar(float x);
+/// Derivative of the tanh-based GeLU.
+float geluGradScalar(float x);
+
+void geluInPlace(Tensor &t);
+
+/// Max |element|.
+double amax(const Tensor &t);
+
+/// Mean of elements.
+double mean(const Tensor &t);
+
+/// Sum of squares.
+double sumSquares(const Tensor &t);
+
+/// Index of the max element in row r of a 2-D tensor.
+int64_t rowArgmax(const Tensor &t, int64_t row);
+
+/// True if all elements are finite.
+bool allFinite(const Tensor &t);
+
+} // namespace qt8
+
+#endif // QT8_TENSOR_OPS_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic random number generation (xoshiro256++), used for all
+ * data synthesis and weight initialization so every experiment is
+ * reproducible from a printed seed. No OS entropy or wall clock is ever
+ * consulted.
+ */
+#ifndef QT8_TENSOR_RANDOM_H
+#define QT8_TENSOR_RANDOM_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace qt8 {
+
+/// xoshiro256++ PRNG seeded via SplitMix64.
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed);
+
+    /// Next raw 64-bit value.
+    uint64_t next();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Standard normal via Box-Muller.
+    double normal();
+
+    /// Normal with the given mean / stddev.
+    double normal(double mean, double stddev);
+
+    /// Uniform integer in [0, n).
+    int64_t randint(int64_t n);
+
+    /// Fork an independent stream (for per-component seeding).
+    Rng fork();
+
+    /// Fill a tensor with N(0, stddev^2).
+    void fillNormal(Tensor &t, double stddev = 1.0, double mean = 0.0);
+
+    /// Fill a tensor with U(lo, hi).
+    void fillUniform(Tensor &t, double lo, double hi);
+
+  private:
+    uint64_t s_[4];
+    bool have_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+} // namespace qt8
+
+#endif // QT8_TENSOR_RANDOM_H

@@ -1,0 +1,25 @@
+#include "tensor/tensor.h"
+
+#include <stdexcept>
+
+namespace qt8 {
+
+Tensor
+Tensor::full(std::vector<int64_t> shape, float value)
+{
+    Tensor t(std::move(shape));
+    std::fill_n(t.data(), t.numel(), value);
+    return t;
+}
+
+Tensor
+Tensor::reshaped(std::vector<int64_t> new_shape) const
+{
+    if (computeNumel(new_shape) != numel())
+        throw std::invalid_argument("reshape: element count mismatch");
+    Tensor t = *this;
+    t.shape_ = std::move(new_shape);
+    return t;
+}
+
+} // namespace qt8

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal dense tensor: contiguous row-major float32 storage with a
+ * dynamic shape. Deliberately simple — the library's quantization
+ * semantics live in the numerics/quant layers, and models use explicit
+ * kernels from ops.h rather than an expression system.
+ */
+#ifndef QT8_TENSOR_TENSOR_H
+#define QT8_TENSOR_TENSOR_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+namespace qt8 {
+
+/// Dense row-major float tensor (rank 0..4 used in practice).
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /// Zero-initialized tensor of the given shape.
+    explicit Tensor(std::vector<int64_t> shape)
+        : shape_(std::move(shape)), data_(computeNumel(shape_), 0.0f)
+    {}
+
+    Tensor(std::initializer_list<int64_t> shape)
+        : Tensor(std::vector<int64_t>(shape))
+    {}
+
+    static Tensor zeros(std::vector<int64_t> shape)
+    {
+        return Tensor(std::move(shape));
+    }
+
+    static Tensor full(std::vector<int64_t> shape, float value);
+
+    const std::vector<int64_t> &shape() const { return shape_; }
+    int64_t dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+    int rank() const { return static_cast<int>(shape_.size()); }
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+    float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+    /// 2-D accessor (row-major).
+    float &at(int64_t i, int64_t j)
+    {
+        assert(rank() == 2);
+        return data_[static_cast<size_t>(i * shape_[1] + j)];
+    }
+    float at(int64_t i, int64_t j) const
+    {
+        assert(rank() == 2);
+        return data_[static_cast<size_t>(i * shape_[1] + j)];
+    }
+
+    /// 3-D accessor.
+    float &at(int64_t i, int64_t j, int64_t k)
+    {
+        assert(rank() == 3);
+        return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] +
+                                         k)];
+    }
+    float at(int64_t i, int64_t j, int64_t k) const
+    {
+        assert(rank() == 3);
+        return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] +
+                                         k)];
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    Tensor reshaped(std::vector<int64_t> new_shape) const;
+
+    /// Set all elements to zero.
+    void zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+    bool sameShape(const Tensor &other) const
+    {
+        return shape_ == other.shape_;
+    }
+
+    static int64_t computeNumel(const std::vector<int64_t> &shape)
+    {
+        int64_t n = 1;
+        for (int64_t d : shape)
+            n *= d;
+        return n;
+    }
+
+  private:
+    std::vector<int64_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace qt8
+
+#endif // QT8_TENSOR_TENSOR_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the evaluation drivers: span loss/F1 plumbing and the
+ * sliding-window perplexity bookkeeping.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/eval.h"
+#include "nn/loss.h"
+
+namespace qt8 {
+namespace {
+
+SpanBatch
+tinyBatch()
+{
+    SpanBatch b;
+    b.batch = 2;
+    b.seq = 6;
+    b.ids.assign(12, 10);
+    b.pad.assign(12, 0);
+    b.pad[5] = 1; // one padded position in the first item
+    b.start = {2, 1};
+    b.end = {3, 1};
+    return b;
+}
+
+TEST(SpanEval, PerfectLogitsGiveFullF1AndSmallLoss)
+{
+    const SpanBatch b = tinyBatch();
+    Tensor logits({12, 2});
+    // Put large mass on the gold start/end positions.
+    logits.at(0 * 6 + 2, 0) = 20.0f;
+    logits.at(0 * 6 + 3, 1) = 20.0f;
+    logits.at(1 * 6 + 1, 0) = 20.0f;
+    logits.at(1 * 6 + 1, 1) = 20.0f;
+
+    EXPECT_DOUBLE_EQ(spanF1Percent(logits, b), 100.0);
+    const SpanLossResult l = spanLoss(logits, b);
+    EXPECT_LT(l.loss, 0.01);
+    EXPECT_TRUE(l.dlogits.sameShape(logits));
+}
+
+TEST(SpanEval, DisjointPredictionGivesZeroF1)
+{
+    const SpanBatch b = tinyBatch();
+    Tensor logits({12, 2});
+    logits.at(0 * 6 + 4, 0) = 20.0f; // gold span is [2,3]
+    logits.at(0 * 6 + 4, 1) = 20.0f;
+    logits.at(1 * 6 + 3, 0) = 20.0f; // gold span is [1,1]
+    logits.at(1 * 6 + 3, 1) = 20.0f;
+    EXPECT_DOUBLE_EQ(spanF1Percent(logits, b), 0.0);
+}
+
+TEST(SpanEval, PaddedPositionsNeverPredicted)
+{
+    const SpanBatch b = tinyBatch();
+    Tensor logits({12, 2});
+    // Biggest raw logit sits on the padded position of item 0...
+    logits.at(0 * 6 + 5, 0) = 50.0f;
+    logits.at(0 * 6 + 2, 0) = 1.0f;
+    logits.at(0 * 6 + 3, 1) = 1.0f;
+    logits.at(1 * 6 + 1, 0) = 1.0f;
+    logits.at(1 * 6 + 1, 1) = 1.0f;
+    // ...but the mask keeps it out, so item 0 still predicts [2,3].
+    EXPECT_DOUBLE_EQ(spanF1Percent(logits, b), 100.0);
+}
+
+TEST(SpanEval, LossGradientMatchesFiniteDifference)
+{
+    const SpanBatch b = tinyBatch();
+    Tensor logits({12, 2});
+    Rng rng(5);
+    rng.fillNormal(logits);
+    const SpanLossResult l = spanLoss(logits, b);
+    const float h = 1e-3f;
+    for (int64_t i = 0; i < logits.numel(); ++i) {
+        // Padded positions have zero grad by construction; skip the
+        // masked entries (their logits are replaced by the mask).
+        const int64_t pos = i / 2;
+        if (b.pad[static_cast<size_t>(pos)])
+            continue;
+        const float orig = logits.at(i);
+        logits.at(i) = orig + h;
+        const double lp = spanLoss(logits, b).loss;
+        logits.at(i) = orig - h;
+        const double lm = spanLoss(logits, b).loss;
+        logits.at(i) = orig;
+        EXPECT_NEAR(l.dlogits.at(i), (lp - lm) / (2.0 * h), 1e-4)
+            << "coord " << i;
+    }
+}
+
+TEST(Perplexity, UntrainedModelNearUniform)
+{
+    const LmTask task(32, 3);
+    ModelConfig cfg;
+    cfg.vocab = 32;
+    cfg.d_model = 16;
+    cfg.d_ff = 32;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    CausalLM model(cfg, 9);
+    QuantSession qs(QuantConfig::fp32());
+    const double ppl = evalPerplexity(model, qs, task, 11, 600, 32, 16);
+    // A fresh model should be within a factor ~3 of the uniform
+    // perplexity over the 24 content tokens.
+    EXPECT_GT(ppl, 8.0);
+    EXPECT_LT(ppl, 80.0);
+}
+
+TEST(Wer, EmptyHypothesesGiveFullErrorRate)
+{
+    const Seq2SeqTask task(32, 24, 8);
+    ModelConfig cfg = ModelConfig::whisperTinyLike();
+    cfg.vocab = 32;
+    Seq2Seq model(cfg, 10);
+    QuantSession qs(QuantConfig::fp32());
+    // Untrained model: WER should be high (up to >100 with
+    // insertions) but finite.
+    const double wer = evalWer(model, qs, task, 12, 1, 4);
+    EXPECT_GT(wer, 40.0);
+    EXPECT_TRUE(std::isfinite(wer));
+}
+
+} // namespace
+} // namespace qt8

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the synthetic task generators and evaluation metrics.
+ */
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/metrics.h"
+#include "data/tasks.h"
+#include "nn/loss.h"
+
+namespace qt8 {
+namespace {
+
+TEST(Metrics, EditDistance)
+{
+    EXPECT_EQ(editDistance({1, 2, 3}, {1, 2, 3}), 0);
+    EXPECT_EQ(editDistance({1, 2, 3}, {1, 3}), 1);
+    EXPECT_EQ(editDistance({}, {1, 2}), 2);
+    EXPECT_EQ(editDistance({1, 2, 3}, {4, 5, 6}), 3);
+    EXPECT_EQ(editDistance({1, 2, 3, 4}, {2, 3, 4, 5}), 2);
+}
+
+TEST(Metrics, Wer)
+{
+    EXPECT_DOUBLE_EQ(wordErrorRate({{1, 2}}, {{1, 2}}), 0.0);
+    EXPECT_DOUBLE_EQ(wordErrorRate({{1}}, {{1, 2}}), 0.5);
+}
+
+TEST(Metrics, SpanOverlapF1)
+{
+    EXPECT_DOUBLE_EQ(spanOverlapF1(3, 5, 3, 5), 1.0);
+    EXPECT_DOUBLE_EQ(spanOverlapF1(0, 1, 5, 6), 0.0);
+    // Pred [3,4], gold [4,5]: overlap 1, p=0.5, r=0.5 -> f1=0.5.
+    EXPECT_DOUBLE_EQ(spanOverlapF1(3, 4, 4, 5), 0.5);
+}
+
+TEST(Metrics, Perplexity)
+{
+    EXPECT_NEAR(perplexity(std::log(8.0) * 10, 10), 8.0, 1e-9);
+}
+
+TEST(SpanTask, WellFormedExamples)
+{
+    SpanTask task(64, 32);
+    Rng rng(42);
+    const SpanBatch b = task.sample(rng, 32);
+    for (int64_t i = 0; i < b.batch; ++i) {
+        const int32_t *ids = b.ids.data() + i * b.seq;
+        const int32_t s = b.start[static_cast<size_t>(i)];
+        const int32_t e = b.end[static_cast<size_t>(i)];
+        ASSERT_GE(s, 4);
+        ASSERT_GE(e, s);
+        ASSERT_LT(e, b.seq);
+        EXPECT_EQ(ids[0], Vocab::kCls);
+        const int32_t q = ids[1];
+        // The answer span is exactly the run of query-token copies.
+        int count = 0;
+        for (int64_t j = 4; j < b.seq; ++j)
+            count += (ids[j] == q);
+        EXPECT_EQ(count, e - s + 1);
+        for (int32_t j = s; j <= e; ++j)
+            EXPECT_EQ(ids[j], q);
+        // Span length encoded by the length token.
+        EXPECT_EQ(ids[2], Vocab::kFirstLen + (e - s));
+        // Answer inside the non-padded region.
+        EXPECT_EQ(b.pad[static_cast<size_t>(i * b.seq + e)], 0);
+    }
+}
+
+TEST(SpanTask, Deterministic)
+{
+    SpanTask task(64, 32);
+    Rng a(7), b(7);
+    const SpanBatch ba = task.sample(a, 4);
+    const SpanBatch bb = task.sample(b, 4);
+    EXPECT_EQ(ba.ids, bb.ids);
+    EXPECT_EQ(ba.start, bb.start);
+}
+
+class PairTaskAll : public ::testing::TestWithParam<PairTask::Kind>
+{};
+
+TEST_P(PairTaskAll, LabelsConsistentWithConstruction)
+{
+    const PairTask task(GetParam(), 64, 33);
+    Rng rng(3);
+    const ClsBatch b = task.sample(rng, 64);
+    ASSERT_EQ(static_cast<int>(b.label.size()), 64);
+    // Labels use the full range.
+    std::set<int32_t> seen(b.label.begin(), b.label.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), task.numClasses());
+    for (int32_t l : b.label) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, task.numClasses());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PairTaskAll,
+                         ::testing::Values(PairTask::Kind::kMnli,
+                                           PairTask::Kind::kQnli,
+                                           PairTask::Kind::kMrpc,
+                                           PairTask::Kind::kSst2));
+
+TEST(PairTask, QnliLabelMatchesMembership)
+{
+    const PairTask task(PairTask::Kind::kQnli, 64, 33);
+    Rng rng(5);
+    const ClsBatch b = task.sample(rng, 32);
+    const int64_t seg = (33 - 3) / 2;
+    for (int64_t i = 0; i < b.batch; ++i) {
+        const int32_t *ids = b.ids.data() + i * b.seq;
+        // Question-first layout: CLS q(+pad)[seg] SEP passage[seg] SEP.
+        const int32_t q = ids[1];
+        bool found = false;
+        for (int64_t j = seg + 2; j < 2 * seg + 2; ++j)
+            found |= (ids[j] == q);
+        EXPECT_EQ(found, b.label[static_cast<size_t>(i)] == 1);
+    }
+}
+
+TEST(Seq2SeqTask, SourceDeduplicatesToTarget)
+{
+    const Seq2SeqTask task(64, 48, 16);
+    Rng rng(6);
+    const Seq2SeqBatch b = task.sample(rng, 16);
+    for (int64_t i = 0; i < b.batch; ++i) {
+        const auto &ref = b.refs[static_cast<size_t>(i)];
+        ASSERT_GE(ref.size(), 2u);
+        // Deduplicate the source (drop repeats and noise tokens); it
+        // must reproduce a prefix of the reference (source may be
+        // truncated at seq_src).
+        std::vector<int32_t> dedup;
+        int32_t prev = -1;
+        for (int64_t j = 0; j < b.seq_src; ++j) {
+            const int32_t t = b.src[static_cast<size_t>(i * b.seq_src + j)];
+            if (t == Vocab::kPad || t == Vocab::kFirstLen)
+                continue;
+            if (t != prev)
+                dedup.push_back(t);
+            prev = t;
+        }
+        ASSERT_LE(dedup.size(), ref.size());
+        for (size_t j = 0; j < dedup.size(); ++j)
+            EXPECT_EQ(dedup[j], ref[j]);
+        // Teacher tensors: BOS first, EOS after the reference.
+        EXPECT_EQ(b.tgt_in[static_cast<size_t>(i * b.seq_tgt)], Vocab::kBos);
+        const size_t lt = ref.size();
+        if (static_cast<int64_t>(lt) < b.seq_tgt) {
+            EXPECT_EQ(b.tgt_out[static_cast<size_t>(i * b.seq_tgt) + lt],
+                      Vocab::kEos);
+        }
+    }
+}
+
+TEST(LmTask, StreamStatistics)
+{
+    LmTask task(96, 99);
+    Rng rng(1);
+    const auto s = task.stream(rng, 5000);
+    ASSERT_EQ(s.size(), 5000u);
+    for (int32_t t : s) {
+        EXPECT_GE(t, Vocab::kFirstContent);
+        EXPECT_LT(t, 96);
+    }
+    // Bigram structure: the empirical next-token entropy given prev
+    // must be far below uniform (the chain is predictable).
+    std::vector<std::vector<int>> counts(96, std::vector<int>(96, 0));
+    for (size_t i = 0; i + 1 < s.size(); ++i)
+        counts[static_cast<size_t>(s[i])][static_cast<size_t>(s[i + 1])]++;
+    // For the most frequent previous token, the top successor should
+    // hold a large share.
+    int best_prev = Vocab::kFirstContent;
+    int best_total = 0;
+    for (int p = Vocab::kFirstContent; p < 96; ++p) {
+        int tot = 0;
+        for (int n = 0; n < 96; ++n)
+            tot += counts[static_cast<size_t>(p)][static_cast<size_t>(n)];
+        if (tot > best_total) {
+            best_total = tot;
+            best_prev = p;
+        }
+    }
+    int top = 0, tot = 0;
+    for (int n = 0; n < 96; ++n) {
+        const int c =
+            counts[static_cast<size_t>(best_prev)][static_cast<size_t>(n)];
+        top = std::max(top, c);
+        tot += c;
+    }
+    EXPECT_GT(static_cast<double>(top) / tot, 0.2);
+}
+
+TEST(LmTask, SameStructureSeedSameLanguage)
+{
+    LmTask a(96, 5), b(96, 5), c(96, 6);
+    Rng ra(1), rb(1), rc(1), ra2(1);
+    EXPECT_EQ(a.stream(ra, 100), b.stream(rb, 100));
+    EXPECT_NE(a.stream(ra2, 100), c.stream(rc, 100));
+}
+
+} // namespace
+} // namespace qt8

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the hardware cost model: unit monotonicity, the paper's
+ * qualitative area/power orderings (section 7), and the bit-accurate
+ * RTL datapath models against the numerics reference codec.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.h"
+#include "hw/memory_model.h"
+#include "hw/rtl.h"
+#include "hw/units.h"
+#include "numerics/float_bits.h"
+#include "numerics/posit.h"
+#include "tensor/random.h"
+
+namespace qt8::hw {
+namespace {
+
+TEST(Arith, CostsGrowWithWidth)
+{
+    EXPECT_LT(adder(8).ge, adder(16).ge);
+    EXPECT_LT(multiplier(4, 4).ge, multiplier(8, 8).ge);
+    EXPECT_LT(barrelShifter(8).ge, barrelShifter(24).ge);
+    EXPECT_GT(multiplier(8, 8).depth, adder(8).depth);
+}
+
+TEST(Synthesize, PipelineRegistersGrowWithFrequency)
+{
+    const UnitModel mac = macUnit(kE5M3, kBf16);
+    const SynthReport slow = synthesize(mac, 100.0);
+    const SynthReport fast = synthesize(mac, 800.0);
+    EXPECT_GE(fast.stages, slow.stages);
+    EXPECT_GE(fast.area_um2, slow.area_um2);
+    EXPECT_GT(fast.dyn_power_mw, slow.dyn_power_mw);
+}
+
+TEST(Units, MacOrderingMatchesPaper)
+{
+    // Section 7.1: Posit8 (E5M4) MAC slightly larger than hybrid FP8
+    // (E5M3) due to the extra fraction bit; both far smaller than BF16
+    // with FP32 accumulation.
+    const auto p8 = synthesize(macUnit(kE5M4, kBf16), 200.0);
+    const auto f8 = synthesize(macUnit(kE5M3, kBf16), 200.0);
+    const auto b16 = synthesize(macUnit(kBf16, kFp32), 200.0);
+    EXPECT_GT(p8.area_um2, f8.area_um2);
+    EXPECT_LT(p8.area_um2, 0.6 * b16.area_um2);
+    EXPECT_LT(f8.area_um2, 0.6 * b16.area_um2);
+    EXPECT_GT(p8.powerMw(), f8.powerMw());
+    EXPECT_LT(p8.powerMw(), b16.powerMw());
+}
+
+TEST(Units, PositExpFarSmallerThanFloatExp)
+{
+    // Figure 8: at 200 MHz the 16-bit posit exponential is ~62% smaller
+    // and ~44% lower power than the BFloat16 HLS unit.
+    const auto pe = synthesize(positExpUnit(16, 1), 200.0);
+    const auto fe = synthesize(floatExpUnit(kBf16), 200.0);
+    const double area_red = 1.0 - pe.area_um2 / fe.area_um2;
+    const double power_red = 1.0 - pe.powerMw() / fe.powerMw();
+    EXPECT_GT(area_red, 0.45);
+    EXPECT_LT(area_red, 0.80);
+    EXPECT_GT(power_red, 0.35);
+}
+
+TEST(Units, PositRecipFarSmallerThanFloatRecip)
+{
+    // Figure 9: ~85% smaller, ~75% less power. The posit unit is NOT
+    // gates plus IO registers.
+    const auto pr = synthesize(positRecipUnit(16), 200.0);
+    const auto fr = synthesize(floatRecipUnit(kBf16), 200.0);
+    const double area_red = 1.0 - pr.area_um2 / fr.area_um2;
+    const double power_red = 1.0 - pr.powerMw() / fr.powerMw();
+    EXPECT_GT(area_red, 0.75);
+    EXPECT_GT(power_red, 0.65);
+}
+
+TEST(Units, PositCodecsAreSmall)
+{
+    const auto dec = synthesize(positDecoder(8, 1), 200.0);
+    const auto enc = synthesize(positEncoder(8, 1), 200.0);
+    const auto mac = synthesize(macUnit(kE5M4, kBf16), 200.0);
+    // Figure 12: codecs are a modest adder on top of the MAC.
+    EXPECT_LT(dec.area_um2, mac.area_um2);
+    EXPECT_LT(enc.area_um2, mac.area_um2);
+}
+
+TEST(VectorUnit, Posit8VsFp8MatchesTable8)
+{
+    // Table 8: the posit8 vector unit is ~33% smaller and ~35% lower
+    // power than the FP8 one, consistently across 8/16/32 lanes.
+    for (int lanes : {8, 16, 32}) {
+        const auto vp = vectorUnitReport("posit8", lanes, 200.0);
+        const auto vf = vectorUnitReport("fp8", lanes, 200.0);
+        const double area_red = 1.0 - vp.area_um2 / vf.area_um2;
+        const double power_red = 1.0 - vp.powerMw() / vf.powerMw();
+        EXPECT_GT(area_red, 0.25) << lanes;
+        EXPECT_LT(area_red, 0.45) << lanes;
+        EXPECT_GT(power_red, 0.22) << lanes;
+        EXPECT_LT(power_red, 0.45) << lanes;
+    }
+}
+
+class AcceleratorSizes : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AcceleratorSizes, EightBitReductionsVsBf16)
+{
+    const int n = GetParam();
+    AcceleratorConfig cfg;
+    cfg.array_n = n;
+
+    cfg.dtype = "bf16";
+    const auto bf16 = buildAccelerator(cfg);
+    cfg.dtype = "posit8";
+    const auto p8 = buildAccelerator(cfg);
+    cfg.dtype = "fp8";
+    const auto f8 = buildAccelerator(cfg);
+
+    // Figure 13: both 8-bit accelerators reduce area by ~30% and power
+    // by ~26-32% versus BFloat16 (we accept a generous band).
+    const double p8_area = 1.0 - p8.totalAreaMm2() / bf16.totalAreaMm2();
+    const double f8_area = 1.0 - f8.totalAreaMm2() / bf16.totalAreaMm2();
+    EXPECT_GT(p8_area, 0.2) << n;
+    EXPECT_LT(p8_area, 0.5) << n;
+    EXPECT_GT(f8_area, 0.2) << n;
+    EXPECT_GT(1.0 - p8.totalPowerMw() / bf16.totalPowerMw(), 0.2) << n;
+    EXPECT_GT(1.0 - f8.totalPowerMw() / bf16.totalPowerMw(), 0.2) << n;
+
+    // The posit8 accelerator's vector unit is the smaller one...
+    EXPECT_LT(p8.find("vector_unit").area_um2,
+              f8.find("vector_unit").area_um2);
+    // ...while its array (MAC with one more fraction bit) is larger.
+    EXPECT_GT(p8.find("systolic_array").area_um2,
+              f8.find("systolic_array").area_um2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, AcceleratorSizes,
+                         ::testing::Values(8, 16, 32));
+
+TEST(Accelerator, OnlyPositHasCodecs)
+{
+    AcceleratorConfig cfg;
+    cfg.dtype = "posit8";
+    const auto p8 = buildAccelerator(cfg);
+    EXPECT_NO_THROW(p8.find("posit_codecs"));
+    cfg.dtype = "fp8";
+    const auto f8 = buildAccelerator(cfg);
+    EXPECT_THROW(f8.find("posit_codecs"), std::invalid_argument);
+}
+
+TEST(RtlPosit, DecoderMatchesReferenceAllCodes)
+{
+    for (const auto &[n, es] :
+         {std::pair{8, 0}, {8, 1}, {8, 2}, {16, 1}}) {
+        const PositSpec spec(n, es);
+        for (uint32_t c = 0; c < spec.numCodes(); ++c) {
+            const DecodedPosit d = positDecodeRtl(c, n, es);
+            const double ref = spec.decode(c);
+            if (c == spec.narCode()) {
+                EXPECT_TRUE(d.nar);
+                continue;
+            }
+            if (c == 0) {
+                EXPECT_TRUE(d.zero);
+                continue;
+            }
+            const double mag =
+                std::ldexp(1.0 + std::ldexp(static_cast<double>(d.frac),
+                                            -d.frac_bits),
+                           d.scale);
+            EXPECT_DOUBLE_EQ(d.sign ? -mag : mag, ref)
+                << "posit(" << n << "," << es << ") code " << c;
+        }
+    }
+}
+
+TEST(RtlPosit, EncoderRoundTripsAllCodes)
+{
+    for (const auto &[n, es] :
+         {std::pair{8, 0}, {8, 1}, {8, 2}, {16, 1}}) {
+        const PositSpec spec(n, es);
+        for (uint32_t c = 0; c < spec.numCodes(); ++c) {
+            if (c == 0 || c == spec.narCode())
+                continue;
+            const DecodedPosit d = positDecodeRtl(c, n, es);
+            const uint32_t back = positEncodeRtl(
+                d.sign, d.scale, d.frac, d.frac_bits, n, es);
+            EXPECT_EQ(back, c) << "posit(" << n << "," << es << ")";
+        }
+    }
+}
+
+TEST(RtlPosit, EncoderRoundsToNearestEvenLikeReference)
+{
+    // Drive the RTL encoder with extra fraction precision and compare
+    // against the reference double-path encoder.
+    const PositSpec spec(8, 1);
+    Rng rng(21);
+    for (int i = 0; i < 5000; ++i) {
+        const int scale = static_cast<int>(rng.randint(29)) - 14;
+        const uint64_t frac = rng.next() & 0xFFFFFu; // 20 frac bits
+        const bool sign = rng.next() & 1;
+        const double mag = std::ldexp(
+            1.0 + std::ldexp(static_cast<double>(frac), -20), scale);
+        const uint32_t want = spec.encode(sign ? -mag : mag);
+        const uint32_t got = positEncodeRtl(sign, scale, frac, 20, 8, 1);
+        EXPECT_EQ(got, want) << "scale " << scale << " frac " << frac;
+    }
+}
+
+TEST(RtlMac, Bf16AccumulatorBehaviour)
+{
+    MacBf16Rtl mac;
+    mac.accumulate(1.0f, 1.0f);
+    EXPECT_EQ(mac.value(), 1.0f);
+    // 1 + 1/512 is below the BF16 resolution at 1.0: the accumulator
+    // drops it (swamping), unlike an FP32 accumulator.
+    mac.accumulate(1.0f / 512.0f, 1.0f);
+    EXPECT_EQ(mac.value(), 1.0f);
+    mac.reset();
+    for (int i = 0; i < 256; ++i)
+        mac.accumulate(0.5f, 0.5f);
+    EXPECT_NEAR(mac.value(), 64.0f, 1.0f);
+}
+
+TEST(MemoryModel, Figure14Shape)
+{
+    const TransformerDims dims = TransformerDims::mobileBertTiny();
+    // Parameter count in the MobileBERT_tiny ballpark.
+    EXPECT_GT(dims.totalParams(), 8'000'000);
+    EXPECT_LT(dims.totalParams(), 25'000'000);
+
+    MemorySetup full;
+    MemorySetup lora16;
+    lora16.lora = true;
+    MemorySetup lora8 = lora16;
+    lora8.weight_bits = 8;
+    lora8.act_bits = 8;
+    lora8.error_bits = 8;
+
+    const auto m_full = finetuneMemory(dims, full);
+    const auto m_l16 = finetuneMemory(dims, lora16);
+    const auto m_l8 = finetuneMemory(dims, lora8);
+
+    // LoRA removes nearly all gradient/optimizer memory...
+    EXPECT_LT(m_l16.weight_grad_mb, 0.1 * m_full.weight_grad_mb);
+    EXPECT_LT(m_l16.optimizer_mb, 0.1 * m_full.optimizer_mb);
+    // ...8-bit quantization halves activations...
+    EXPECT_NEAR(m_l8.activations_mb, 0.5 * m_l16.activations_mb, 1.0);
+    // ...and the total reduction is approximately 3x (Figure 14).
+    const double reduction = m_full.totalMb() / m_l8.totalMb();
+    EXPECT_GT(reduction, 2.2);
+    EXPECT_LT(reduction, 4.0);
+    // Activations dominate training memory (section 7.4).
+    EXPECT_GT(m_full.activations_mb, 0.5 * m_full.totalMb());
+}
+
+} // namespace
+} // namespace qt8::hw

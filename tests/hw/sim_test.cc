@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the systolic GEMM simulator: functional correctness
+ * against the reference GEMM (allowing for storage quantization and
+ * BF16 accumulation), cycle accounting, and energy ordering.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hw/sim.h"
+#include "numerics/quantizer.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace qt8::hw {
+namespace {
+
+TEST(SystolicSim, Bf16AcceleratorMatchesReferenceGemm)
+{
+    AcceleratorConfig cfg;
+    cfg.dtype = "bf16";
+    cfg.array_n = 8;
+    const SystolicGemmSim sim(cfg);
+
+    Rng rng(31);
+    Tensor a({12, 20}), b({20, 9}), c({12, 9});
+    rng.fillNormal(a);
+    rng.fillNormal(b);
+    const SimStats s = sim.run(a, b, c);
+
+    // Reference on bf16-rounded operands; wide accumulation.
+    const qt8::Quantizer bf = qt8::Quantizer::bf16();
+    Tensor aq = a, bq = b;
+    bf.quantizeInPlace(aq.data(), static_cast<size_t>(aq.numel()));
+    bf.quantizeInPlace(bq.data(), static_cast<size_t>(bq.numel()));
+    const Tensor ref = matmul(aq, bq);
+    for (int64_t i = 0; i < c.numel(); ++i)
+        EXPECT_NEAR(c.at(i), ref.at(i), 1e-4f) << i;
+
+    EXPECT_EQ(s.macs, 12 * 20 * 9);
+    EXPECT_GT(s.cycles, 0);
+}
+
+TEST(SystolicSim, Posit8AcceleratorCloseToQuantizedReference)
+{
+    AcceleratorConfig cfg;
+    cfg.dtype = "posit8";
+    cfg.array_n = 8;
+    const SystolicGemmSim sim(cfg);
+
+    Rng rng(32);
+    Tensor a({10, 16}), b({16, 10}), c({10, 10});
+    rng.fillNormal(a);
+    rng.fillNormal(b);
+    sim.run(a, b, c);
+
+    const qt8::Quantizer p8 = qt8::Quantizer::byName("posit8");
+    Tensor aq = a, bq = b;
+    p8.quantizeInPlace(aq.data(), static_cast<size_t>(aq.numel()));
+    p8.quantizeInPlace(bq.data(), static_cast<size_t>(bq.numel()));
+    const Tensor ref = matmul(aq, bq);
+    for (int64_t i = 0; i < c.numel(); ++i) {
+        // BF16 per-accumulate rounding: small relative deviation.
+        EXPECT_NEAR(c.at(i), ref.at(i),
+                    0.05f * std::max(1.0f, std::fabs(ref.at(i))));
+    }
+}
+
+TEST(SystolicSim, CycleModelScalesWithTiles)
+{
+    AcceleratorConfig cfg;
+    cfg.dtype = "fp8";
+    cfg.array_n = 8;
+    const SystolicGemmSim sim(cfg);
+    const SimStats one = sim.cost(8, 8, 8);     // single tile
+    const SimStats four = sim.cost(8, 16, 16);  // 2x2 tiles
+    EXPECT_EQ(four.cycles, 4 * one.cycles);
+    EXPECT_EQ(four.macs, 4 * one.macs);
+}
+
+TEST(SystolicSim, EightBitUsesLessEnergyThanBf16)
+{
+    AcceleratorConfig b16;
+    b16.dtype = "bf16";
+    AcceleratorConfig p8 = b16;
+    p8.dtype = "posit8";
+    AcceleratorConfig f8 = b16;
+    f8.dtype = "fp8";
+    const SimStats sb = SystolicGemmSim(b16).cost(128, 256, 256);
+    const SimStats sp = SystolicGemmSim(p8).cost(128, 256, 256);
+    const SimStats sf = SystolicGemmSim(f8).cost(128, 256, 256);
+    EXPECT_LT(sp.energy_nj, sb.energy_nj);
+    EXPECT_LT(sf.energy_nj, sb.energy_nj);
+    // Posit pays a small codec overhead over hybrid FP8.
+    EXPECT_GT(sp.energy_nj, sf.energy_nj);
+    // 8-bit operand traffic is half of BF16's.
+    EXPECT_LT(sp.sram_read_bits, sb.sram_read_bits);
+}
+
+TEST(SystolicSim, TransformerCostAggregates)
+{
+    AcceleratorConfig cfg;
+    cfg.dtype = "posit8";
+    cfg.array_n = 16;
+    const InferenceCost c =
+        transformerForwardCost(cfg, 64, 128, 2, 1, 32, 100);
+    EXPECT_GT(c.gemm.macs, 0);
+    EXPECT_GT(c.gemm.energy_nj, 0.0);
+    EXPECT_GT(c.vector_energy_nj, 0.0);
+    // More layers cost more.
+    const InferenceCost c2 =
+        transformerForwardCost(cfg, 64, 128, 4, 1, 32, 100);
+    EXPECT_GT(c2.gemm.cycles, c.gemm.cycles);
+}
+
+} // namespace
+} // namespace qt8::hw

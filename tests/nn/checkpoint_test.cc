@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for checkpoint save/load round trips and failure modes.
+ */
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "nn/checkpoint.h"
+#include "nn/model.h"
+
+namespace qt8 {
+namespace {
+
+ModelConfig
+tinyConfig()
+{
+    ModelConfig cfg;
+    cfg.name = "ckpt-test";
+    cfg.d_model = 16;
+    cfg.d_ff = 32;
+    cfg.n_heads = 2;
+    cfg.n_layers = 1;
+    return cfg;
+}
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { path_ = "/tmp/qt8_ckpt_test.bin"; }
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripRestoresValues)
+{
+    EncoderSpanQA a(tinyConfig(), 101);
+    ParamList pa;
+    a.collectParams(pa);
+    ASSERT_TRUE(saveCheckpoint(path_, pa));
+
+    // A different seed gives different weights...
+    EncoderSpanQA b(tinyConfig(), 202);
+    ParamList pb;
+    b.collectParams(pb);
+    bool any_diff = false;
+    for (size_t i = 0; i < pa.size(); ++i)
+        for (int64_t j = 0; j < pa[i]->value.numel(); ++j)
+            any_diff |= pa[i]->value.at(j) != pb[i]->value.at(j);
+    ASSERT_TRUE(any_diff);
+
+    // ...until we load the checkpoint.
+    ASSERT_TRUE(loadCheckpoint(path_, pb));
+    for (size_t i = 0; i < pa.size(); ++i)
+        for (int64_t j = 0; j < pa[i]->value.numel(); ++j)
+            ASSERT_EQ(pa[i]->value.at(j), pb[i]->value.at(j))
+                << pa[i]->name;
+}
+
+TEST_F(CheckpointTest, ArchitectureMismatchRejected)
+{
+    EncoderSpanQA a(tinyConfig(), 101);
+    ParamList pa;
+    a.collectParams(pa);
+    ASSERT_TRUE(saveCheckpoint(path_, pa));
+
+    ModelConfig other = tinyConfig();
+    other.d_model = 32;
+    other.d_ff = 64;
+    EncoderSpanQA b(other, 202);
+    ParamList pb;
+    b.collectParams(pb);
+    const float before = pb[0]->value.at(0);
+    EXPECT_FALSE(loadCheckpoint(path_, pb));
+    // Untouched on failure.
+    EXPECT_EQ(pb[0]->value.at(0), before);
+}
+
+TEST_F(CheckpointTest, MissingFileRejected)
+{
+    EncoderSpanQA a(tinyConfig(), 101);
+    ParamList pa;
+    a.collectParams(pa);
+    EXPECT_FALSE(loadCheckpoint("/tmp/definitely_missing_qt8.bin", pa));
+}
+
+TEST_F(CheckpointTest, CorruptMagicRejected)
+{
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTACKPT", f);
+    std::fclose(f);
+    EncoderSpanQA a(tinyConfig(), 101);
+    ParamList pa;
+    a.collectParams(pa);
+    EXPECT_FALSE(loadCheckpoint(path_, pa));
+}
+
+} // namespace
+} // namespace qt8

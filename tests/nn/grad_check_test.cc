@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Finite-difference gradient checks for every module's manual backward
+ * pass (run without quantization: the straight-through estimators make
+ * quantized gradients intentionally biased).
+ */
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/block.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/model.h"
+#include "tensor/ops.h"
+
+namespace qt8 {
+namespace {
+
+/// Scalar probe loss: L = sum(coefs * y).
+double
+probeLoss(const Tensor &y, const Tensor &coefs)
+{
+    double acc = 0.0;
+    for (int64_t i = 0; i < y.numel(); ++i)
+        acc += static_cast<double>(y.at(i)) * coefs.at(i);
+    return acc;
+}
+
+/// Check analytic dL/dx against central differences at sampled coords.
+void
+checkInputGrad(const std::function<Tensor(const Tensor &)> &fwd,
+               Tensor &x, const Tensor &analytic, int n_probes,
+               double tol, Rng &rng)
+{
+    const float h = 1e-3f;
+    for (int p = 0; p < n_probes; ++p) {
+        const int64_t i = rng.randint(x.numel());
+        const float orig = x.at(i);
+        x.at(i) = orig + h;
+        Tensor coefs_dummy; // unused
+        const Tensor yp = fwd(x);
+        x.at(i) = orig - h;
+        const Tensor ym = fwd(x);
+        x.at(i) = orig;
+        double num = 0.0;
+        (void)coefs_dummy;
+        for (int64_t j = 0; j < yp.numel(); ++j)
+            num += (yp.at(j) - ym.at(j));
+        // fwd returns "coef-weighted" tensor already; see callers.
+        num /= (2.0 * h);
+        EXPECT_NEAR(analytic.at(i), num,
+                    tol * std::max(1.0, std::fabs(num)))
+            << "coord " << i;
+    }
+}
+
+TEST(GradCheck, Linear)
+{
+    QuantSession qs(QuantConfig::fp32());
+    Rng rng(1);
+    Linear lin(6, 5, rng, "lin", 0);
+    Tensor x({4, 6});
+    rng.fillNormal(x);
+    Tensor coefs({4, 5});
+    rng.fillNormal(coefs);
+
+    const Tensor y = lin.forward(qs, x);
+    (void)probeLoss(y, coefs);
+    const Tensor gx = lin.backward(qs, coefs);
+
+    auto fwd = [&](const Tensor &xi) {
+        Tensor out = lin.forward(qs, xi);
+        for (int64_t j = 0; j < out.numel(); ++j)
+            out.at(j) *= coefs.at(j);
+        return out;
+    };
+    checkInputGrad(fwd, x, gx, 10, 2e-2, rng);
+
+    // Weight gradient check.
+    const float h = 1e-3f;
+    for (int p = 0; p < 8; ++p) {
+        const int64_t i = rng.randint(lin.weight.value.numel());
+        const float orig = lin.weight.value.at(i);
+        lin.weight.value.at(i) = orig + h;
+        const double lp = probeLoss(lin.forward(qs, x), coefs);
+        lin.weight.value.at(i) = orig - h;
+        const double lm = probeLoss(lin.forward(qs, x), coefs);
+        lin.weight.value.at(i) = orig;
+        const double num = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(lin.weight.grad.at(i), num,
+                    2e-2 * std::max(1.0, std::fabs(num)));
+    }
+    // Bias gradient: dL/db_j = sum_i coefs(i, j).
+    for (int64_t j = 0; j < 5; ++j) {
+        double want = 0.0;
+        for (int64_t i = 0; i < 4; ++i)
+            want += coefs.at(i, j);
+        EXPECT_NEAR(lin.bias.grad.at(j), want, 1e-4);
+    }
+}
+
+TEST(GradCheck, LayerNorm)
+{
+    QuantSession qs(QuantConfig::fp32());
+    Rng rng(2);
+    LayerNorm ln(8, "ln", 0);
+    rng.fillNormal(ln.gamma.value, 0.3, 1.0);
+    rng.fillNormal(ln.beta.value, 0.1);
+    Tensor x({3, 8});
+    rng.fillNormal(x, 2.0, 0.5);
+    Tensor coefs({3, 8});
+    rng.fillNormal(coefs);
+
+    ln.forward(qs, x);
+    const Tensor gx = ln.backward(qs, coefs);
+
+    const float h = 1e-3f;
+    for (int p = 0; p < 12; ++p) {
+        const int64_t i = rng.randint(x.numel());
+        const float orig = x.at(i);
+        x.at(i) = orig + h;
+        const double lp = probeLoss(ln.forward(qs, x), coefs);
+        x.at(i) = orig - h;
+        const double lm = probeLoss(ln.forward(qs, x), coefs);
+        x.at(i) = orig;
+        const double num = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(gx.at(i), num, 3e-2 * std::max(0.5, std::fabs(num)))
+            << "coord " << i;
+    }
+}
+
+TEST(GradCheck, FeedForward)
+{
+    QuantSession qs(QuantConfig::fp32());
+    BuildCtx ctx(3);
+    FeedForward ffn(6, 12, ctx, "ffn");
+    Tensor x({4, 6});
+    ctx.rng.fillNormal(x);
+    Tensor coefs({4, 6});
+    ctx.rng.fillNormal(coefs);
+
+    ffn.forward(qs, x);
+    const Tensor gx = ffn.backward(qs, coefs);
+
+    const float h = 1e-3f;
+    Rng rng(7);
+    for (int p = 0; p < 12; ++p) {
+        const int64_t i = rng.randint(x.numel());
+        const float orig = x.at(i);
+        x.at(i) = orig + h;
+        const double lp = probeLoss(ffn.forward(qs, x), coefs);
+        x.at(i) = orig - h;
+        const double lm = probeLoss(ffn.forward(qs, x), coefs);
+        x.at(i) = orig;
+        const double num = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(gx.at(i), num, 3e-2 * std::max(0.5, std::fabs(num)));
+    }
+}
+
+TEST(GradCheck, MultiHeadAttentionSelf)
+{
+    QuantSession qs(QuantConfig::fp32());
+    BuildCtx ctx(4);
+    MultiHeadAttention mha(8, 2, ctx, "mha");
+    const int64_t b = 2, s = 5;
+    Tensor x({b * s, 8});
+    ctx.rng.fillNormal(x);
+    Tensor coefs({b * s, 8});
+    ctx.rng.fillNormal(coefs);
+
+    mha.forward(qs, x, b, s);
+    const Tensor gx = mha.backward(qs, coefs);
+
+    const float h = 1e-3f;
+    Rng rng(8);
+    for (int p = 0; p < 16; ++p) {
+        const int64_t i = rng.randint(x.numel());
+        const float orig = x.at(i);
+        x.at(i) = orig + h;
+        const double lp = probeLoss(mha.forward(qs, x, b, s), coefs);
+        x.at(i) = orig - h;
+        const double lm = probeLoss(mha.forward(qs, x, b, s), coefs);
+        x.at(i) = orig;
+        const double num = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(gx.at(i), num, 3e-2 * std::max(0.5, std::fabs(num)))
+            << "coord " << i;
+    }
+}
+
+TEST(GradCheck, MultiHeadAttentionCausalMasked)
+{
+    QuantSession qs(QuantConfig::fp32());
+    BuildCtx ctx(5);
+    MultiHeadAttention mha(8, 2, ctx, "mha");
+    const int64_t b = 1, s = 6;
+    Tensor x({b * s, 8});
+    ctx.rng.fillNormal(x);
+    Tensor coefs({b * s, 8});
+    ctx.rng.fillNormal(coefs);
+    std::vector<uint8_t> pad(static_cast<size_t>(b * s), 0);
+    pad[5] = 1; // last key padded
+
+    auto fwd = [&](const Tensor &xi) {
+        return mha.forward(qs, xi, b, s, nullptr, 0, pad.data(), true);
+    };
+    fwd(x);
+    const Tensor gx = mha.backward(qs, coefs);
+
+    const float h = 1e-3f;
+    Rng rng(9);
+    for (int p = 0; p < 16; ++p) {
+        const int64_t i = rng.randint(x.numel());
+        const float orig = x.at(i);
+        x.at(i) = orig + h;
+        const double lp = probeLoss(fwd(x), coefs);
+        x.at(i) = orig - h;
+        const double lm = probeLoss(fwd(x), coefs);
+        x.at(i) = orig;
+        const double num = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(gx.at(i), num, 3e-2 * std::max(0.5, std::fabs(num)));
+    }
+}
+
+TEST(GradCheck, EncoderBlockStackedFfnNoInnerLn)
+{
+    // The MobileBERT-like arrangement (residual-only FFN stack).
+    QuantSession qs(QuantConfig::fp32());
+    BuildCtx ctx(6);
+    EncoderBlock block(8, 2, 16, /*n_ffn=*/3, /*ln_inner=*/false, ctx,
+                       "blk");
+    const int64_t b = 2, s = 4;
+    Tensor x({b * s, 8});
+    ctx.rng.fillNormal(x);
+    Tensor coefs({b * s, 8});
+    ctx.rng.fillNormal(coefs);
+
+    block.forward(qs, x, b, s, nullptr);
+    const Tensor gx = block.backward(qs, coefs);
+
+    const float h = 1e-3f;
+    Rng rng(10);
+    for (int p = 0; p < 16; ++p) {
+        const int64_t i = rng.randint(x.numel());
+        const float orig = x.at(i);
+        x.at(i) = orig + h;
+        const double lp =
+            probeLoss(block.forward(qs, x, b, s, nullptr), coefs);
+        x.at(i) = orig - h;
+        const double lm =
+            probeLoss(block.forward(qs, x, b, s, nullptr), coefs);
+        x.at(i) = orig;
+        const double num = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(gx.at(i), num, 4e-2 * std::max(0.5, std::fabs(num)))
+            << "coord " << i;
+    }
+}
+
+TEST(GradCheck, DecoderBlockCrossAttention)
+{
+    QuantSession qs(QuantConfig::fp32());
+    BuildCtx ctx(7);
+    DecoderBlock block(8, 2, 16, ctx, "dec");
+    const int64_t b = 1, t = 4, s = 5;
+    Tensor x({b * t, 8});
+    ctx.rng.fillNormal(x);
+    Tensor mem({b * s, 8});
+    ctx.rng.fillNormal(mem);
+    Tensor coefs({b * t, 8});
+    ctx.rng.fillNormal(coefs);
+
+    block.forward(qs, x, b, t, mem, s, nullptr);
+    Tensor gmem({b * s, 8});
+    const Tensor gx = block.backward(qs, coefs, gmem);
+
+    const float h = 1e-3f;
+    Rng rng(11);
+    // Check gradient w.r.t. decoder input.
+    for (int p = 0; p < 10; ++p) {
+        const int64_t i = rng.randint(x.numel());
+        const float orig = x.at(i);
+        x.at(i) = orig + h;
+        const double lp = probeLoss(
+            block.forward(qs, x, b, t, mem, s, nullptr), coefs);
+        x.at(i) = orig - h;
+        const double lm = probeLoss(
+            block.forward(qs, x, b, t, mem, s, nullptr), coefs);
+        x.at(i) = orig;
+        const double num = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(gx.at(i), num, 4e-2 * std::max(0.5, std::fabs(num)));
+    }
+    // Check gradient w.r.t. encoder memory (cross-attention path).
+    for (int p = 0; p < 10; ++p) {
+        const int64_t i = rng.randint(mem.numel());
+        const float orig = mem.at(i);
+        mem.at(i) = orig + h;
+        const double lp = probeLoss(
+            block.forward(qs, x, b, t, mem, s, nullptr), coefs);
+        mem.at(i) = orig - h;
+        const double lm = probeLoss(
+            block.forward(qs, x, b, t, mem, s, nullptr), coefs);
+        mem.at(i) = orig;
+        const double num = (lp - lm) / (2.0 * h);
+        EXPECT_NEAR(gmem.at(i), num, 4e-2 * std::max(0.5, std::fabs(num)))
+            << "mem coord " << i;
+    }
+}
+
+TEST(GradCheck, LoraFactors)
+{
+    QuantSession qs(QuantConfig::fp32());
+    Rng rng(12);
+    Linear lin(6, 5, rng, "lora_lin", 0);
+    lin.enableLora(2, 1.5f, rng);
+    // Give B nonzero values so gradients flow both ways.
+    rng.fillNormal(lin.lora_b.value, 0.1);
+
+    Tensor x({3, 6});
+    rng.fillNormal(x);
+    Tensor coefs({3, 5});
+    rng.fillNormal(coefs);
+
+    lin.forward(qs, x);
+    lin.backward(qs, coefs);
+    EXPECT_FALSE(lin.weight.trainable);
+    EXPECT_TRUE(lin.lora_a.trainable);
+
+    const float h = 1e-3f;
+    for (Param *p : {&lin.lora_a, &lin.lora_b}) {
+        for (int k = 0; k < 6; ++k) {
+            const int64_t i = rng.randint(p->value.numel());
+            const float orig = p->value.at(i);
+            p->value.at(i) = orig + h;
+            const double lp = probeLoss(lin.forward(qs, x), coefs);
+            p->value.at(i) = orig - h;
+            const double lm = probeLoss(lin.forward(qs, x), coefs);
+            p->value.at(i) = orig;
+            const double num = (lp - lm) / (2.0 * h);
+            EXPECT_NEAR(p->grad.at(i), num,
+                        3e-2 * std::max(0.5, std::fabs(num)))
+                << p->name << " coord " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace qt8

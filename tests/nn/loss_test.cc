@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for softmax cross-entropy (values, gradients, ignore index).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+
+namespace qt8 {
+namespace {
+
+TEST(Loss, MatchesManualComputation)
+{
+    Tensor logits({1, 3});
+    logits.at(0, 0) = 1.0f;
+    logits.at(0, 1) = 2.0f;
+    logits.at(0, 2) = 0.5f;
+    const CEResult r = softmaxCrossEntropy(logits, {1});
+
+    const double z = std::exp(1.0) + std::exp(2.0) + std::exp(0.5);
+    EXPECT_NEAR(r.loss, std::log(z) - 2.0, 1e-6);
+    EXPECT_EQ(r.count, 1);
+    // Gradient is softmax - onehot.
+    EXPECT_NEAR(r.dlogits.at(0, 0), std::exp(1.0) / z, 1e-6);
+    EXPECT_NEAR(r.dlogits.at(0, 1), std::exp(2.0) / z - 1.0, 1e-6);
+    // Gradient sums to zero per row.
+    EXPECT_NEAR(r.dlogits.at(0, 0) + r.dlogits.at(0, 1) +
+                    r.dlogits.at(0, 2),
+                0.0, 1e-6);
+}
+
+TEST(Loss, IgnoreIndexSkipsRows)
+{
+    Tensor logits({3, 2});
+    logits.at(0, 0) = 5.0f;
+    logits.at(1, 0) = 5.0f;
+    logits.at(2, 1) = 5.0f;
+    const CEResult r =
+        softmaxCrossEntropy(logits, {0, kIgnoreIndex, 1});
+    EXPECT_EQ(r.count, 2);
+    // Ignored row has exactly zero gradient.
+    EXPECT_EQ(r.dlogits.at(1, 0), 0.0f);
+    EXPECT_EQ(r.dlogits.at(1, 1), 0.0f);
+    EXPECT_NE(r.dlogits.at(0, 0), 0.0f);
+}
+
+TEST(Loss, NumericallyStableWithHugeLogits)
+{
+    Tensor logits({1, 2});
+    logits.at(0, 0) = 10000.0f;
+    logits.at(0, 1) = -10000.0f;
+    const CEResult r = softmaxCrossEntropy(logits, {0});
+    EXPECT_NEAR(r.loss, 0.0, 1e-6);
+    EXPECT_TRUE(std::isfinite(r.dlogits.at(0, 1)));
+}
+
+TEST(Loss, MeanOverCountedTargets)
+{
+    Tensor logits({2, 2});
+    const CEResult r = softmaxCrossEntropy(logits, {0, 1});
+    EXPECT_NEAR(r.loss, std::log(2.0), 1e-6); // uniform logits
+    // dlogits scaled by 1/count.
+    EXPECT_NEAR(r.dlogits.at(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(Loss, GradientMatchesFiniteDifference)
+{
+    Tensor logits({2, 4});
+    logits.at(0, 0) = 0.3f;
+    logits.at(0, 1) = -0.2f;
+    logits.at(0, 2) = 1.1f;
+    logits.at(0, 3) = 0.0f;
+    logits.at(1, 0) = -0.5f;
+    logits.at(1, 2) = 0.7f;
+    const std::vector<int32_t> targets = {2, 0};
+    const CEResult r = softmaxCrossEntropy(logits, targets);
+
+    const float h = 1e-3f;
+    for (int64_t i = 0; i < logits.numel(); ++i) {
+        const float orig = logits.at(i);
+        logits.at(i) = orig + h;
+        const double lp = softmaxCrossEntropy(logits, targets).loss;
+        logits.at(i) = orig - h;
+        const double lm = softmaxCrossEntropy(logits, targets).loss;
+        logits.at(i) = orig;
+        EXPECT_NEAR(r.dlogits.at(i), (lp - lm) / (2.0 * h), 1e-4);
+    }
+}
+
+} // namespace
+} // namespace qt8

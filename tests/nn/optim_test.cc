@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for optimizers, gradient utilities and loss scaling.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/optim.h"
+
+namespace qt8 {
+namespace {
+
+Param
+makeParam(std::vector<float> w)
+{
+    Param p;
+    Tensor t({static_cast<int64_t>(w.size())});
+    for (size_t i = 0; i < w.size(); ++i)
+        t.at(static_cast<int64_t>(i)) = w[i];
+    p.init("p", std::move(t));
+    return p;
+}
+
+TEST(Optim, SgdDescendsQuadratic)
+{
+    // Minimize f(w) = 0.5 * w^2: gradient is w.
+    Param p = makeParam({4.0f, -2.0f});
+    ParamList params = {&p};
+    Sgd sgd(0.1, 0.0);
+    for (int i = 0; i < 200; ++i) {
+        p.grad = p.value;
+        sgd.step(params);
+        zeroGrads(params);
+    }
+    EXPECT_NEAR(p.value.at(0), 0.0f, 1e-4f);
+    EXPECT_NEAR(p.value.at(1), 0.0f, 1e-4f);
+}
+
+TEST(Optim, SgdMomentumAccelerates)
+{
+    Param plain = makeParam({4.0f});
+    Param mom = makeParam({4.0f});
+    ParamList lp = {&plain}, lm = {&mom};
+    Sgd s_plain(0.01, 0.0), s_mom(0.01, 0.9);
+    for (int i = 0; i < 30; ++i) {
+        plain.grad = plain.value;
+        mom.grad = mom.value;
+        s_plain.step(lp);
+        s_mom.step(lm);
+        zeroGrads(lp);
+        zeroGrads(lm);
+    }
+    EXPECT_LT(std::fabs(mom.value.at(0)), std::fabs(plain.value.at(0)));
+}
+
+TEST(Optim, AdamWConvergesAndDecays)
+{
+    Param p = makeParam({4.0f});
+    ParamList params = {&p};
+    AdamW adam(0.1, 0.9, 0.999, 1e-8, 0.0);
+    for (int i = 0; i < 300; ++i) {
+        p.grad = p.value;
+        adam.step(params);
+        zeroGrads(params);
+    }
+    EXPECT_NEAR(p.value.at(0), 0.0f, 1e-3f);
+
+    // Pure weight decay shrinks weights even with zero gradients.
+    Param q = makeParam({1.0f});
+    ParamList ql = {&q};
+    AdamW decay(0.1, 0.9, 0.999, 1e-8, 0.5);
+    for (int i = 0; i < 10; ++i) {
+        decay.step(ql);
+        zeroGrads(ql);
+    }
+    EXPECT_LT(q.value.at(0), 1.0f);
+    EXPECT_GT(q.value.at(0), 0.0f);
+}
+
+TEST(Optim, FrozenParamsUntouched)
+{
+    Param p = makeParam({2.0f});
+    p.trainable = false;
+    p.grad.at(0) = 1.0f;
+    ParamList params = {&p};
+    Sgd sgd(0.5);
+    sgd.step(params);
+    EXPECT_EQ(p.value.at(0), 2.0f);
+    AdamW adam(0.5);
+    adam.step(params);
+    EXPECT_EQ(p.value.at(0), 2.0f);
+}
+
+TEST(Optim, GradNormAndClip)
+{
+    Param p = makeParam({3.0f, 4.0f});
+    p.grad.at(0) = 3.0f;
+    p.grad.at(1) = 4.0f;
+    ParamList params = {&p};
+    EXPECT_DOUBLE_EQ(gradNorm(params), 5.0);
+    clipGradNorm(params, 1.0);
+    EXPECT_NEAR(gradNorm(params), 1.0, 1e-6);
+    EXPECT_NEAR(p.grad.at(0), 0.6f, 1e-6f);
+    // Clipping below the threshold is a no-op.
+    clipGradNorm(params, 10.0);
+    EXPECT_NEAR(gradNorm(params), 1.0, 1e-6);
+}
+
+TEST(Optim, GradsFiniteDetection)
+{
+    Param p = makeParam({1.0f});
+    ParamList params = {&p};
+    p.grad.at(0) = 1.0f;
+    EXPECT_TRUE(gradsFinite(params));
+    p.grad.at(0) = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_FALSE(gradsFinite(params));
+}
+
+TEST(LossScaler, UnscalesAndSkipsNonFinite)
+{
+    Param p = makeParam({1.0f});
+    ParamList params = {&p};
+    LossScaler scaler(256.0);
+    EXPECT_DOUBLE_EQ(scaler.scale(), 256.0);
+
+    p.grad.at(0) = 256.0f; // scaled gradient
+    EXPECT_TRUE(scaler.unscaleAndCheck(params));
+    EXPECT_NEAR(p.grad.at(0), 1.0f, 1e-6f);
+
+    p.grad.at(0) = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(scaler.unscaleAndCheck(params));
+    EXPECT_DOUBLE_EQ(scaler.scale(), 128.0); // halved after overflow
+}
+
+TEST(LossScaler, DisabledIsTransparent)
+{
+    Param p = makeParam({1.0f});
+    ParamList params = {&p};
+    LossScaler scaler(1024.0, /*enabled=*/false);
+    EXPECT_DOUBLE_EQ(scaler.scale(), 1.0);
+    p.grad.at(0) = 2.0f;
+    EXPECT_TRUE(scaler.unscaleAndCheck(params));
+    EXPECT_EQ(p.grad.at(0), 2.0f);
+}
+
+TEST(Param, CopyParamValues)
+{
+    Param a = makeParam({1.0f, 2.0f});
+    Param b = makeParam({0.0f, 0.0f});
+    ParamList src = {&a}, dst = {&b};
+    copyParamValues(dst, src);
+    EXPECT_EQ(b.value.at(1), 2.0f);
+    // Copy is by value: changing the source afterwards is invisible.
+    a.value.at(1) = 9.0f;
+    EXPECT_EQ(b.value.at(1), 2.0f);
+}
+
+} // namespace
+} // namespace qt8

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * End-to-end training smoke tests: each model family must learn its
+ * synthetic task well above chance in FP32, pretrained backbones must
+ * transfer, LoRA must train with frozen bases, and 8-bit quantized
+ * training must stay stable. These are the integration tests backing
+ * the paper-reproduction benches.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/eval.h"
+
+namespace qt8 {
+namespace {
+
+ModelConfig
+tinyEncoderConfig()
+{
+    ModelConfig cfg;
+    cfg.name = "test-enc";
+    cfg.d_model = 32;
+    cfg.d_ff = 64;
+    cfg.n_heads = 2;
+    cfg.n_layers = 2;
+    return cfg;
+}
+
+TEST(Train, SpanModelLearnsTask)
+{
+    const SpanTask task(64, 24);
+    EncoderSpanQA model(tinyEncoderConfig(), 1001);
+    QuantSession qs(QuantConfig::fp32());
+
+    TrainOptions opts;
+    opts.steps = 400;
+    opts.batch = 16;
+    opts.lr = 2e-3;
+    const double before = evalSpanF1(model, qs, task, 999, 4, 32);
+    const TrainResult r = trainSpan(model, qs, task, opts);
+    EXPECT_FALSE(r.diverged);
+    const double after = evalSpanF1(model, qs, task, 999, 4, 32);
+    // Chance F1 is a few percent; a trained model must be far above.
+    EXPECT_GT(after, before + 20.0);
+    EXPECT_GT(after, 60.0);
+}
+
+TEST(Train, ClassifierLearnsSst2Scratch)
+{
+    const PairTask task(PairTask::Kind::kSst2, 64, 25);
+    EncoderClassifier model(tinyEncoderConfig(), task.numClasses(), 1002);
+    QuantSession qs(QuantConfig::fp32());
+
+    TrainOptions opts;
+    opts.steps = 250;
+    opts.batch = 16;
+    opts.lr = 2e-3;
+    const TrainResult r = trainCls(model, qs, task, opts);
+    EXPECT_FALSE(r.diverged);
+    const double acc = evalClsAccuracy(model, qs, task, 999, 4, 32);
+    EXPECT_GT(acc, 85.0); // chance = 50
+}
+
+TEST(Train, PretrainedEncoderTransfersToQnli)
+{
+    // The matching circuits learned on span extraction transfer to the
+    // membership-classification task (the basis of the Table 7 bench).
+    QuantSession qs(QuantConfig::fp32());
+    const SpanTask span(64, 24);
+    EncoderSpanQA pretrain(tinyEncoderConfig(), 1003);
+    TrainOptions popts;
+    popts.steps = 900;
+    popts.batch = 16;
+    popts.lr = 2e-3;
+    trainSpan(pretrain, qs, span, popts);
+
+    const PairTask task(PairTask::Kind::kQnli, 64, 25);
+    EncoderClassifier model(tinyEncoderConfig(), task.numClasses(), 1004);
+    ParamList src, dst;
+    pretrain.encoder.collectParams(src);
+    model.encoder.collectParams(dst);
+    copyParamValues(dst, src);
+
+    TrainOptions fopts;
+    fopts.steps = 300;
+    fopts.batch = 16;
+    fopts.lr = 2e-3;
+    const TrainResult r = trainCls(model, qs, task, fopts);
+    EXPECT_FALSE(r.diverged);
+    const double acc = evalClsAccuracy(model, qs, task, 999, 4, 32);
+    EXPECT_GT(acc, 85.0);
+}
+
+TEST(Train, Seq2SeqLearnsTransduction)
+{
+    const Seq2SeqTask task(48, 36, 12);
+    ModelConfig cfg = ModelConfig::whisperTinyLike();
+    cfg.vocab = 48;
+    Seq2Seq model(cfg, 1005);
+    QuantSession qs(QuantConfig::fp32());
+
+    TrainOptions opts;
+    opts.steps = 1000;
+    opts.batch = 12;
+    opts.lr = 2e-3;
+    const TrainResult r = trainSeq2Seq(model, qs, task, opts);
+    EXPECT_FALSE(r.diverged);
+    // Teacher-forced loss must be well below the ~3.7 nats of a
+    // uniform predictor over the content vocabulary.
+    EXPECT_LT(r.final_loss, 1.4);
+    const double wer = evalWer(model, qs, task, 999, 2, 8);
+    EXPECT_LT(wer, 45.0);
+}
+
+TEST(Train, CausalLmBeatsUnigram)
+{
+    const LmTask task(96, 7);
+    ModelConfig cfg = ModelConfig::gpt2LargeLike();
+    cfg.d_model = 32;
+    cfg.d_ff = 64;
+    cfg.n_layers = 2;
+    CausalLM model(cfg, 1006);
+    QuantSession qs(QuantConfig::fp32());
+
+    TrainOptions opts;
+    opts.steps = 250;
+    opts.batch = 8;
+    opts.lr = 2e-3;
+    const TrainResult r = trainLm(model, qs, task, 32, opts);
+    EXPECT_FALSE(r.diverged);
+    const double ppl = evalPerplexity(model, qs, task, 999, 2000, 32, 16);
+    // The bigram chain has low conditional entropy; the model must get
+    // perplexity far below the 88-token uniform (and below ~30).
+    EXPECT_LT(ppl, 30.0);
+}
+
+TEST(Train, LoraTrainsOnlyAdapters)
+{
+    const SpanTask task(64, 24);
+    EncoderSpanQA model(tinyEncoderConfig(), 1007);
+    model.enableLora(4, 2.0f, false);
+
+    ParamList params;
+    model.collectParams(params);
+    const int64_t trainable = countTrainable(params);
+    const int64_t total = countTotal(params);
+    // LoRA trains a small fraction of the total (plus the task head).
+    EXPECT_LT(trainable, total / 5);
+    EXPECT_GT(trainable, 0);
+
+    // Snapshot a frozen weight; it must not move during training.
+    QuantSession qs(QuantConfig::fp32());
+    const Tensor frozen_before = model.encoder.blocks[0]->attn
+                                     .q_proj.weight.value;
+    TrainOptions opts;
+    opts.steps = 60;
+    opts.batch = 8;
+    opts.lr = 2e-3;
+    const TrainResult r = trainSpan(model, qs, task, opts);
+    EXPECT_FALSE(r.diverged);
+    const Tensor &frozen_after =
+        model.encoder.blocks[0]->attn.q_proj.weight.value;
+    for (int64_t i = 0; i < frozen_before.numel(); ++i)
+        ASSERT_EQ(frozen_before.at(i), frozen_after.at(i));
+    // ...while the LoRA B factor moved off zero.
+    double b_norm = 0.0;
+    const Tensor &bval =
+        model.encoder.blocks[0]->attn.q_proj.lora_b.value;
+    for (int64_t i = 0; i < bval.numel(); ++i)
+        b_norm += std::fabs(bval.at(i));
+    EXPECT_GT(b_norm, 0.0);
+}
+
+TEST(Train, Posit8QuantizedTrainingIsStable)
+{
+    const PairTask task(PairTask::Kind::kSst2, 64, 25);
+    EncoderClassifier model(tinyEncoderConfig(), task.numClasses(), 1008);
+    QuantSession qs(QuantConfig::posit8());
+
+    TrainOptions opts;
+    opts.steps = 200;
+    opts.batch = 16;
+    opts.lr = 2e-3;
+    const TrainResult r = trainCls(model, qs, task, opts);
+    EXPECT_FALSE(r.diverged);
+    EXPECT_EQ(r.skipped_steps, 0);
+    const double acc = evalClsAccuracy(model, qs, task, 999, 4, 32);
+    EXPECT_GT(acc, 80.0);
+}
+
+TEST(Train, Fp8QuantizedTrainingIsStable)
+{
+    const PairTask task(PairTask::Kind::kSst2, 64, 25);
+    EncoderClassifier model(tinyEncoderConfig(), task.numClasses(), 1009);
+    QuantSession qs(QuantConfig::fp8());
+
+    TrainOptions opts;
+    opts.steps = 200;
+    opts.batch = 16;
+    opts.lr = 2e-3;
+    const TrainResult r = trainCls(model, qs, task, opts);
+    EXPECT_FALSE(r.diverged);
+    const double acc = evalClsAccuracy(model, qs, task, 999, 4, 32);
+    EXPECT_GT(acc, 80.0);
+}
+
+TEST(Train, Posit8ApproxSoftmaxTrainingIsStable)
+{
+    // Section 5.2: training with the approximate softmax (including the
+    // re-derived backward for the piece-wise-linear reciprocal).
+    const PairTask task(PairTask::Kind::kSst2, 64, 25);
+    EncoderClassifier model(tinyEncoderConfig(), task.numClasses(), 1010);
+    QuantSession qs(QuantConfig::posit8Approx());
+
+    TrainOptions opts;
+    opts.steps = 200;
+    opts.batch = 16;
+    opts.lr = 2e-3;
+    const TrainResult r = trainCls(model, qs, task, opts);
+    EXPECT_FALSE(r.diverged);
+    const double acc = evalClsAccuracy(model, qs, task, 999, 4, 32);
+    EXPECT_GT(acc, 75.0);
+}
+
+TEST(Train, SgdAlsoConverges)
+{
+    const PairTask task(PairTask::Kind::kSst2, 64, 25);
+    EncoderClassifier model(tinyEncoderConfig(), task.numClasses(), 1011);
+    QuantSession qs(QuantConfig::fp32());
+
+    TrainOptions opts;
+    opts.steps = 250;
+    opts.batch = 16;
+    opts.lr = 5e-2;
+    opts.opt = TrainOptions::Opt::kSgd;
+    const TrainResult r = trainCls(model, qs, task, opts);
+    EXPECT_FALSE(r.diverged);
+    const double acc = evalClsAccuracy(model, qs, task, 999, 4, 32);
+    EXPECT_GT(acc, 85.0);
+}
+
+TEST(Train, QuantizedEvalOfFp32ModelIsDeterministic)
+{
+    const SpanTask task(64, 24);
+    EncoderSpanQA model(tinyEncoderConfig(), 1012);
+    QuantSession fp32(QuantConfig::fp32());
+    TrainOptions opts;
+    opts.steps = 120;
+    opts.batch = 8;
+    trainSpan(model, fp32, task, opts);
+
+    QuantSession q1(QuantConfig::posit8());
+    QuantSession q2(QuantConfig::posit8());
+    const double f1a = evalSpanF1(model, q1, task, 999, 3, 16);
+    const double f1b = evalSpanF1(model, q2, task, 999, 3, 16);
+    EXPECT_DOUBLE_EQ(f1a, f1b);
+}
+
+} // namespace
+} // namespace qt8

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the decimal-accuracy metric (paper Figure 4): posit's
+ * tapered precision vs FP8's flat profile.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/decimal_accuracy.h"
+
+namespace qt8 {
+namespace {
+
+TEST(DecimalAccuracy, ExactValuesHitTheCap)
+{
+    const Quantizer p8 = Quantizer::byName("posit8");
+    EXPECT_DOUBLE_EQ(decimalAccuracy(p8, 1.0), 8.0);
+    EXPECT_DOUBLE_EQ(decimalAccuracy(p8, 0.5), 8.0);
+}
+
+TEST(DecimalAccuracy, ZeroOrUnderflowGivesZero)
+{
+    const Quantizer p8 = Quantizer::byName("posit8");
+    EXPECT_DOUBLE_EQ(decimalAccuracy(p8, 1e-30), 0.0); // flushes to 0
+    EXPECT_DOUBLE_EQ(decimalAccuracy(p8, -1.0), 0.0);  // invalid input
+}
+
+TEST(DecimalAccuracy, Posit8TaperedVsFp8Flat)
+{
+    const Quantizer p8 = Quantizer::byName("posit8");
+    const Quantizer e4 = Quantizer::byName("e4m3");
+
+    const auto sp = decimalAccuracySweep(p8, -10, 10, 1.0);
+    const auto se = decimalAccuracySweep(e4, -5, 5, 1.0);
+
+    // Posit8 near 1 beats posit8 near its range ends (tapering).
+    double acc_at_0 = 0, acc_at_9 = 0;
+    for (const auto &pt : sp) {
+        if (pt.log2_x == 0.0)
+            acc_at_0 = pt.accuracy;
+        if (pt.log2_x == 9.0)
+            acc_at_9 = pt.accuracy;
+    }
+    EXPECT_GT(acc_at_0, acc_at_9 + 0.5);
+
+    // E4M3 is flat across its normal range (same worst case in every
+    // binade).
+    double mn = 1e9, mx = -1e9;
+    for (const auto &pt : se) {
+        mn = std::min(mn, pt.accuracy);
+        mx = std::max(mx, pt.accuracy);
+    }
+    EXPECT_LT(mx - mn, 0.15);
+
+    // And posit8 near 1 beats E4M3 (one more effective fraction bit).
+    EXPECT_GT(acc_at_0, mx);
+}
+
+TEST(DecimalAccuracy, E5M2TradesAccuracyForRange)
+{
+    const Quantizer e5 = Quantizer::byName("e5m2");
+    const Quantizer e4 = Quantizer::byName("e4m3");
+    // In-range worst-case accuracy: E4M3 > E5M2 (one more mantissa
+    // bit). Compare binade worst cases rather than a single point.
+    const auto we4 = decimalAccuracySweep(e4, 0, 1, 1.0, 256);
+    const auto we5 = decimalAccuracySweep(e5, 0, 1, 1.0, 256);
+    EXPECT_GT(we4.front().accuracy, we5.front().accuracy + 0.2);
+    // Range: E5M2 still represents 2^14; E4M3 saturates at 448.
+    EXPECT_GT(decimalAccuracy(e5, std::exp2(14) * 1.1), 0.4);
+    EXPECT_LT(decimalAccuracy(e4, std::exp2(14) * 1.1), 0.2);
+}
+
+} // namespace
+} // namespace qt8

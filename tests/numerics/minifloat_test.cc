@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the FP8 minifloat formats (E4M3 NVIDIA-style, E5M2
+ * IEEE-style, and the hybrid E5M3 / decoded-posit E5M4 containers).
+ */
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "numerics/minifloat.h"
+
+namespace qt8 {
+namespace {
+
+TEST(Minifloat, E4M3Constants)
+{
+    // NVIDIA E4M3: bias 7, no Inf, max finite 448, min subnormal 2^-9.
+    EXPECT_DOUBLE_EQ(e4m3().maxFinite(), 448.0);
+    EXPECT_DOUBLE_EQ(e4m3().minNormal(), std::exp2(-6));
+    EXPECT_DOUBLE_EQ(e4m3().minSubnormal(), std::exp2(-9));
+    EXPECT_EQ(e4m3().totalBits(), 8);
+}
+
+TEST(Minifloat, E5M2Constants)
+{
+    // E5M2: bias 15, IEEE-like, max finite 57344 (the paper's FP8
+    // backward-pass scaling target), min subnormal 2^-16.
+    EXPECT_DOUBLE_EQ(e5m2().maxFinite(), 57344.0);
+    EXPECT_DOUBLE_EQ(e5m2().minNormal(), std::exp2(-14));
+    EXPECT_DOUBLE_EQ(e5m2().minSubnormal(), std::exp2(-16));
+}
+
+TEST(Minifloat, E4M3NanCode)
+{
+    // 0x7F (and 0xFF) are the only NaN codes; no infinities exist.
+    EXPECT_TRUE(e4m3().isNan(0x7F));
+    EXPECT_TRUE(e4m3().isNan(0xFF));
+    EXPECT_FALSE(e4m3().isNan(0x7E));
+    for (uint32_t c = 0; c < 256; ++c)
+        EXPECT_FALSE(e4m3().isInf(c));
+    // 0x7E decodes to the max finite 448.
+    EXPECT_DOUBLE_EQ(e4m3().decode(0x7E), 448.0);
+}
+
+TEST(Minifloat, E5M2InfNan)
+{
+    // exp=11111: mantissa 0 is Inf, else NaN.
+    EXPECT_TRUE(e5m2().isInf(0x7C));
+    EXPECT_TRUE(e5m2().isInf(0xFC));
+    EXPECT_TRUE(e5m2().isNan(0x7D));
+    EXPECT_TRUE(std::isinf(e5m2().decode(0x7C)));
+    EXPECT_LT(e5m2().decode(0xFC), 0.0);
+}
+
+class MinifloatRoundTrip
+    : public ::testing::TestWithParam<const MinifloatSpec *>
+{};
+
+TEST_P(MinifloatRoundTrip, EncodeDecodeIdentity)
+{
+    const MinifloatSpec &spec = *GetParam();
+    for (uint32_t c = 0; c < spec.numCodes(); ++c) {
+        if (spec.isNan(c) || spec.isInf(c))
+            continue;
+        const double v = spec.decode(c);
+        const uint32_t back = spec.encode(v);
+        EXPECT_DOUBLE_EQ(spec.decode(back), v)
+            << spec.name << " code " << c;
+    }
+}
+
+TEST_P(MinifloatRoundTrip, ValuesMonotonePerSign)
+{
+    const MinifloatSpec &spec = *GetParam();
+    const uint32_t sign_bit = 1u << (spec.exp_bits + spec.man_bits);
+    double prev = -1.0;
+    for (uint32_t c = 0; c < sign_bit; ++c) {
+        if (spec.isNan(c) || spec.isInf(c))
+            continue;
+        const double v = spec.decode(c);
+        EXPECT_GT(v, prev) << spec.name << " code " << c;
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, MinifloatRoundTrip,
+                         ::testing::Values(&e4m3(), &e5m2(), &e5m3(),
+                                           &e5m4(), &fp16()));
+
+TEST(MinifloatEncode, RoundToNearestEven)
+{
+    // E4M3 around 1.0: values 1.0 (mantissa 000) and 1.125 (001).
+    // Midpoint 1.0625 rounds to even mantissa (1.0).
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(1.0625)), 1.0);
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(1.07)), 1.125);
+    // Midpoint between 1.125 (001) and 1.25 (010) rounds up to even.
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(1.1875)), 1.25);
+}
+
+TEST(MinifloatEncode, SaturatesToMaxFinite)
+{
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(1e9)), 448.0);
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(
+                         std::numeric_limits<double>::infinity())),
+                     448.0);
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(-1e9)), -448.0);
+    EXPECT_DOUBLE_EQ(e5m2().decode(e5m2().encode(1e9)), 57344.0);
+}
+
+TEST(MinifloatEncode, SubnormalsAndUnderflow)
+{
+    const double min_sub = e4m3().minSubnormal(); // 2^-9
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(min_sub)), min_sub);
+    // Below half the smallest subnormal -> 0.
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(min_sub * 0.25)), 0.0);
+    // Tie at half rounds to even (0).
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(min_sub * 0.5)), 0.0);
+    EXPECT_DOUBLE_EQ(e4m3().decode(e4m3().encode(min_sub * 0.75)), min_sub);
+}
+
+TEST(MinifloatEncode, NanEncodesToNanCode)
+{
+    const uint32_t c =
+        e4m3().encode(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_TRUE(e4m3().isNan(c));
+    const uint32_t c2 =
+        e5m2().encode(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_TRUE(e5m2().isNan(c2));
+}
+
+TEST(Minifloat, Fp16Constants)
+{
+    EXPECT_DOUBLE_EQ(fp16().maxFinite(), 65504.0);
+    EXPECT_DOUBLE_EQ(fp16().minNormal(), std::exp2(-14));
+    EXPECT_DOUBLE_EQ(fp16().minSubnormal(), std::exp2(-24));
+    EXPECT_EQ(fp16().totalBits(), 16);
+}
+
+TEST(Minifloat, E5M4ContainsPosit8DecodedRange)
+{
+    // Section 7.1: decoded Posit8 has at most 4 fraction bits and
+    // exponent range [-12, 12]; E5M4 must represent all of these
+    // normally.
+    EXPECT_GE(e5m4().maxFinite(), std::exp2(12) * 1.9375);
+    EXPECT_LE(e5m4().minNormal(), std::exp2(-12));
+}
+
+} // namespace
+} // namespace qt8

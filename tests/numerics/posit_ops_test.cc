@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the posit bit-trick approximations (sigmoid, reciprocal,
+ * exponential) and the approximate softmax with its custom backward.
+ */
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "numerics/posit_ops.h"
+
+namespace qt8 {
+namespace {
+
+TEST(ApproxSigmoid, KnownPointsP80)
+{
+    const PositSpec &p0 = posit8_0();
+    // sigmoid(0) = 0.5 exactly under the bit trick.
+    const uint32_t zero = p0.encode(0.0);
+    EXPECT_DOUBLE_EQ(p0.decode(approxSigmoidP0Code(p0, zero)), 0.5);
+    // Large positive -> close to 1; large negative -> 0.
+    EXPECT_GT(p0.decode(approxSigmoidP0Code(p0, p0.encode(64.0))), 0.9);
+    EXPECT_DOUBLE_EQ(p0.decode(approxSigmoidP0Code(p0, p0.encode(-64.0))),
+                     0.0);
+}
+
+TEST(ApproxSigmoid, CloseToExactSigmoid)
+{
+    const PositSpec &p = posit8_1();
+    for (double x = -6.0; x <= 6.0; x += 0.25) {
+        const double approx = approxSigmoid(p, x);
+        const double exact = 1.0 / (1.0 + std::exp(-x));
+        EXPECT_NEAR(approx, exact, 0.08) << "x=" << x;
+    }
+}
+
+TEST(ApproxSigmoid, Monotone)
+{
+    const PositSpec &p = posit8_1();
+    double prev = -1.0;
+    for (double x = -10.0; x <= 10.0; x += 0.125) {
+        const double s = approxSigmoid(p, x);
+        EXPECT_GE(s, prev) << "x=" << x;
+        prev = s;
+    }
+}
+
+TEST(ApproxReciprocal, ExactAtInverseGridStructure)
+{
+    const PositSpec &p = posit8_1();
+    // The bitwise reciprocal is within one grid step of the true
+    // reciprocal for in-range values (piece-wise linear, Figure 7).
+    for (double x : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 3.0, 1.5, 0.75}) {
+        const double r = approxReciprocal(p, x);
+        EXPECT_NEAR(r, 1.0 / x, 0.13 / x) << "x=" << x;
+    }
+}
+
+TEST(ApproxReciprocal, SignHandling)
+{
+    const PositSpec &p = posit8_1();
+    EXPECT_LT(approxReciprocal(p, -2.0), 0.0);
+    EXPECT_NEAR(approxReciprocal(p, -2.0), -0.5, 0.07);
+}
+
+TEST(ApproxReciprocal, IsBitwiseInvolutionOnNonSignBits)
+{
+    const PositSpec &p = posit8_1();
+    for (uint32_t c = 0; c < 256; ++c) {
+        EXPECT_EQ(approxReciprocalCode(p, approxReciprocalCode(p, c)), c);
+    }
+}
+
+TEST(ApproxReciprocal, PiecewiseLinearBetweenPowersOfTwo)
+{
+    // Figure 7: segments connect points with x-values at powers of 2.
+    // Check that the approximation within (2, 4) is (close to) linear:
+    // sampled second differences vanish.
+    const PositSpec &p = posit8_1();
+    std::vector<double> xs, ys;
+    for (double x = 2.0; x <= 4.0; x += 0.125) {
+        xs.push_back(x);
+        ys.push_back(approxReciprocal(p, x));
+    }
+    // The grid quantizes outputs, so require approximate linearity.
+    const double slope_first = (ys[4] - ys[0]) / (xs[4] - xs[0]);
+    const double slope_last =
+        (ys.back() - ys[ys.size() - 5]) / (xs.back() - xs[xs.size() - 5]);
+    EXPECT_NEAR(slope_first, slope_last, 0.02);
+    EXPECT_LT(slope_first, 0.0);
+}
+
+TEST(ApproxReciprocalDerivative, MatchesSegmentSlope)
+{
+    // Eq. 5: f' = -2^(-floor(log2 s)*2 - 1). The segment through
+    // (2^n, 2^-n) and (2^(n+1), 2^-(n+1)) has slope
+    // (2^-(n+1) - 2^-n) / (2^(n+1) - 2^n) = -2^(-2n-1).
+    EXPECT_DOUBLE_EQ(approxReciprocalDerivative(1.0), -0.5);
+    EXPECT_DOUBLE_EQ(approxReciprocalDerivative(2.0), -0.125);
+    EXPECT_DOUBLE_EQ(approxReciprocalDerivative(3.0), -0.125);
+    EXPECT_DOUBLE_EQ(approxReciprocalDerivative(4.0), -1.0 / 32);
+    EXPECT_DOUBLE_EQ(approxReciprocalDerivative(0.5), -2.0);
+}
+
+TEST(ApproxExp, RawApproximationFailsToConverge)
+{
+    // Figure 7: without thresholding, the approximation does not
+    // converge to 0 for very negative inputs.
+    const PositSpec &p = posit8_1();
+    ApproxExpConfig raw;
+    raw.theta = -1e9; // disable threshold
+    raw.shift = false;
+    // The raw curve plateaus well above the true exponential in the
+    // tail (exp(-5) = 0.0067); the paper reports a 9.8% accuracy loss
+    // from this before thresholding.
+    EXPECT_GT(approxExp(p, -5.0, raw), 0.05);
+    EXPECT_GT(approxExp(p, -4.0, raw), 0.05);
+}
+
+TEST(ApproxExp, ThresholdRestoresMasking)
+{
+    const PositSpec &p = posit8_1();
+    ApproxExpConfig cfg; // theta = -4
+    EXPECT_DOUBLE_EQ(approxExp(p, -12.0, cfg), 0.0);
+    EXPECT_DOUBLE_EQ(approxExp(p, -4096.0, cfg), 0.0);
+    EXPECT_GT(approxExp(p, -2.0, cfg), 0.0);
+}
+
+TEST(ApproxExp, ShiftedCurveTracksExp)
+{
+    const PositSpec &p = posit8_1();
+    ApproxExpConfig cfg; // theta=-4, eps=1.125, shift on
+    // The shifted curve tracks exp within the coarse Posit8/sigmoid-trick
+    // resolution (the trick saturates below 1, so errors up to ~0.2 near
+    // x=0 are inherent; Figure 7 shows the same qualitative gap).
+    for (double x = -3.5; x <= 0.0; x += 0.25) {
+        const double approx = approxExp(p, x, cfg);
+        const double exact = std::exp(x);
+        EXPECT_NEAR(approx, exact, 0.2) << "x=" << x;
+    }
+    // ...and the tail is pinned to ~0, unlike the raw curve.
+    EXPECT_LT(approxExp(p, -3.9, cfg), 0.05);
+    EXPECT_NEAR(approxExp(p, 0.0, cfg), 1.0, 0.2);
+}
+
+TEST(ApproxExp, ShiftReducesErrorVersusUnshifted)
+{
+    const PositSpec &p = posit8_1();
+    ApproxExpConfig shifted;  // eps = 1.125
+    ApproxExpConfig unshifted;
+    unshifted.shift = false;  // subtract exactly 1
+
+    double err_s = 0.0, err_u = 0.0;
+    for (double x = -4.0; x <= 0.0; x += 0.125) {
+        err_s += std::fabs(approxExp(p, x, shifted) - std::exp(x));
+        err_u += std::fabs(approxExp(p, x, unshifted) - std::exp(x));
+    }
+    EXPECT_LT(err_s, err_u);
+}
+
+TEST(ApproxExp, NonNegativeOutputs)
+{
+    const PositSpec &p = posit8_1();
+    ApproxExpConfig cfg;
+    for (double x = -8.0; x <= 0.5; x += 0.0625)
+        EXPECT_GE(approxExp(p, x, cfg), 0.0) << "x=" << x;
+}
+
+TEST(ApproxPositSoftmax, SumsToApproxOne)
+{
+    const PositSpec &p = posit8_1();
+    ApproxPositSoftmax sm(p, ApproxExpConfig{});
+    const int k = 8;
+    std::vector<float> z = {0.5f, -1.0f, 2.0f, 0.0f,
+                            1.0f, -0.5f, 0.25f, -2.0f};
+    std::vector<float> out(k), e(k);
+    double sum = 0.0;
+    sm.forward(z.data(), out.data(), k, e.data(), &sum);
+    double total = 0.0;
+    for (float o : out) {
+        EXPECT_GE(o, 0.0f);
+        total += o;
+    }
+    EXPECT_NEAR(total, 1.0, 0.25);
+    // Largest logit gets the largest probability.
+    EXPECT_EQ(std::max_element(out.begin(), out.end()) - out.begin(), 2);
+}
+
+TEST(ApproxPositSoftmax, MaskedPositionsGetZero)
+{
+    const PositSpec &p = posit8_1();
+    ApproxPositSoftmax sm(p, ApproxExpConfig{});
+    const int k = 4;
+    // -4096 models an attention mask (-inf saturated to -maxpos).
+    std::vector<float> z = {1.0f, 0.5f, -4096.0f, -4096.0f};
+    std::vector<float> out(k), e(k);
+    double sum = 0.0;
+    sm.forward(z.data(), out.data(), k, e.data(), &sum);
+    EXPECT_EQ(out[2], 0.0f);
+    EXPECT_EQ(out[3], 0.0f);
+    EXPECT_GT(out[0], out[1]);
+}
+
+TEST(ApproxPositSoftmax, ExactModeMatchesStandardBackward)
+{
+    // With both approximations off, the backward must be the standard
+    // softmax Jacobian action.
+    const PositSpec &p = posit8_1();
+    ApproxPositSoftmax sm(p, ApproxExpConfig{}, false, false);
+    const int k = 5;
+    std::vector<float> z = {0.1f, -0.4f, 0.9f, 0.0f, -1.2f};
+    std::vector<float> out(k), e(k);
+    double sum = 0.0;
+    sm.forward(z.data(), out.data(), k, e.data(), &sum);
+
+    std::vector<float> g = {0.3f, -0.7f, 0.2f, 0.05f, 1.0f};
+    std::vector<float> gin(k);
+    sm.backward(g.data(), out.data(), e.data(), sum, gin.data(), k);
+
+    double dot = 0.0;
+    for (int j = 0; j < k; ++j)
+        dot += static_cast<double>(g[j]) * out[j];
+    for (int i = 0; i < k; ++i) {
+        EXPECT_NEAR(gin[i], out[i] * (g[i] - dot), 1e-5);
+    }
+}
+
+TEST(ApproxPositSoftmax, ApproxBackwardMatchesEq4Formula)
+{
+    const PositSpec &p = posit8_1();
+    ApproxPositSoftmax sm(p, ApproxExpConfig{});
+    const int k = 4;
+    std::vector<float> z = {0.5f, -0.25f, 1.5f, 0.0f};
+    std::vector<float> out(k), e(k);
+    double sum = 0.0;
+    sm.forward(z.data(), out.data(), k, e.data(), &sum);
+
+    std::vector<float> g = {1.0f, 0.0f, -0.5f, 0.25f};
+    std::vector<float> gin(k);
+    sm.backward(g.data(), out.data(), e.data(), sum, gin.data(), k);
+
+    const double fp = approxReciprocalDerivative(sum);
+    double dot = 0.0;
+    for (int j = 0; j < k; ++j)
+        dot += static_cast<double>(g[j]) * e[j];
+    for (int i = 0; i < k; ++i) {
+        const double want = static_cast<double>(g[i]) * out[i] +
+                            dot * fp * e[i];
+        EXPECT_NEAR(gin[i], want, 1e-5);
+    }
+}
+
+} // namespace
+} // namespace qt8

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Property-based tests for posit arithmetic: algebraic identities that
+ * must hold despite rounding, saturation behavior, and ordering.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/posit.h"
+#include "tensor/random.h"
+
+namespace qt8 {
+namespace {
+
+class PositProperties : public ::testing::TestWithParam<std::pair<int, int>>
+{
+  protected:
+    PositSpec spec() const
+    {
+        const auto [n, es] = GetParam();
+        return PositSpec(n, es);
+    }
+
+    /// Random finite code (never NaR).
+    uint32_t
+    randomCode(Rng &rng, const PositSpec &s) const
+    {
+        uint32_t c;
+        do {
+            c = static_cast<uint32_t>(rng.next()) & (s.numCodes() - 1);
+        } while (c == s.narCode());
+        return c;
+    }
+};
+
+TEST_P(PositProperties, AdditionCommutes)
+{
+    const PositSpec s = spec();
+    Rng rng(101);
+    for (int i = 0; i < 3000; ++i) {
+        const uint32_t a = randomCode(rng, s);
+        const uint32_t b = randomCode(rng, s);
+        EXPECT_EQ(s.add(a, b), s.add(b, a));
+    }
+}
+
+TEST_P(PositProperties, MultiplicationCommutes)
+{
+    const PositSpec s = spec();
+    Rng rng(102);
+    for (int i = 0; i < 3000; ++i) {
+        const uint32_t a = randomCode(rng, s);
+        const uint32_t b = randomCode(rng, s);
+        EXPECT_EQ(s.mul(a, b), s.mul(b, a));
+    }
+}
+
+TEST_P(PositProperties, ZeroAndOneAreIdentities)
+{
+    const PositSpec s = spec();
+    const uint32_t zero = s.encode(0.0);
+    const uint32_t one = s.encode(1.0);
+    Rng rng(103);
+    for (int i = 0; i < 2000; ++i) {
+        const uint32_t a = randomCode(rng, s);
+        EXPECT_EQ(s.add(a, zero), a);
+        EXPECT_EQ(s.mul(a, one), a);
+    }
+}
+
+TEST_P(PositProperties, NegationIsInvolution)
+{
+    const PositSpec s = spec();
+    for (uint32_t c = 0; c < s.numCodes(); ++c) {
+        if (c == s.narCode())
+            continue;
+        EXPECT_EQ(s.neg(s.neg(c)), c);
+    }
+}
+
+TEST_P(PositProperties, SubtractSelfIsZero)
+{
+    const PositSpec s = spec();
+    Rng rng(104);
+    for (int i = 0; i < 2000; ++i) {
+        const uint32_t a = randomCode(rng, s);
+        EXPECT_EQ(s.sub(a, a), 0u);
+    }
+}
+
+TEST_P(PositProperties, QuantizeIsIdempotent)
+{
+    const PositSpec s = spec();
+    Rng rng(105);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.normal() * std::exp2(rng.randint(20) - 10);
+        const double q = s.quantize(x);
+        EXPECT_EQ(s.quantize(q), q);
+    }
+}
+
+TEST_P(PositProperties, QuantizeIsMonotone)
+{
+    const PositSpec s = spec();
+    Rng rng(106);
+    for (int i = 0; i < 2000; ++i) {
+        const double a = rng.normal() * 16.0;
+        const double b = rng.normal() * 16.0;
+        const double qa = s.quantize(std::min(a, b));
+        const double qb = s.quantize(std::max(a, b));
+        EXPECT_LE(qa, qb);
+    }
+}
+
+TEST_P(PositProperties, QuantizePicksNearestNeighbor)
+{
+    const PositSpec s = spec();
+    const auto vals = s.allValues();
+    Rng rng(107);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.normal() * 8.0;
+        const double q = s.quantize(x);
+        // No representable value is strictly closer than q, except at
+        // regime/exponent truncation boundaries where the posit
+        // standard rounds on the bit string (geometric cut); there the
+        // chosen value must still be one of the two bracketing
+        // neighbors.
+        const auto it =
+            std::lower_bound(vals.begin(), vals.end(), x);
+        const double above =
+            it != vals.end() ? *it : vals.back();
+        const double below =
+            it != vals.begin() ? *(it - 1) : vals.front();
+        EXPECT_TRUE(q == above || q == below)
+            << "x=" << x << " q=" << q;
+    }
+}
+
+TEST_P(PositProperties, DivThenMulBoundedError)
+{
+    const PositSpec s = spec();
+    Rng rng(108);
+    for (int i = 0; i < 1000; ++i) {
+        const double x =
+            std::exp2(rng.uniform(-3.0, 3.0)); // comfortably in range
+        const uint32_t xc = s.encode(x);
+        const uint32_t inv = s.div(s.encode(1.0), xc);
+        const double prod = s.decode(s.mul(xc, inv));
+        // One rounding in div, one in mul: within a few ulps of 1.
+        EXPECT_NEAR(prod, 1.0, 0.15) << "x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, PositProperties,
+    ::testing::Values(std::make_pair(8, 0), std::make_pair(8, 1),
+                      std::make_pair(8, 2), std::make_pair(16, 1)));
+
+} // namespace
+} // namespace qt8

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit and property tests for the posit codec (all formats the paper
+ * uses), including the paper's custom sub-minpos rounding (section 3.4).
+ */
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "numerics/posit.h"
+
+namespace qt8 {
+namespace {
+
+TEST(PositSpec, BasicConstants)
+{
+    EXPECT_DOUBLE_EQ(posit8_1().maxpos(), 4096.0);     // 2^12
+    EXPECT_DOUBLE_EQ(posit8_1().minpos(), 1.0 / 4096); // 2^-12
+    EXPECT_DOUBLE_EQ(posit8_0().maxpos(), 64.0);       // 2^6
+    EXPECT_DOUBLE_EQ(posit8_0().minpos(), 1.0 / 64);
+    EXPECT_DOUBLE_EQ(posit8_2().maxpos(), std::exp2(24));
+    EXPECT_EQ(posit8_1().narCode(), 0x80u);
+    EXPECT_EQ(posit8_1().maxposCode(), 0x7Fu);
+}
+
+TEST(PositSpec, PaperFigure1Example)
+{
+    // Figure 1 decodes an 8-bit es=1 posit as 1.011 * 4^-2 * 2^1
+    // = 0.171875. Reconstruct the bit pattern: sign 0, regime "001"
+    // (k=-2), exponent 1, fraction 011 -> 0b0_00_1_1_011? Regime for
+    // k=-2 is two zeros + terminator one: 001. Then e=1, f=011:
+    // code = 0 001 1 011 = 0x1B.
+    EXPECT_DOUBLE_EQ(posit8_1().decode(0x1B), 0.171875);
+}
+
+TEST(PositSpec, KnownCodes)
+{
+    const PositSpec &p = posit8_1();
+    EXPECT_DOUBLE_EQ(p.decode(0x00), 0.0);
+    EXPECT_DOUBLE_EQ(p.decode(0x40), 1.0);
+    EXPECT_DOUBLE_EQ(p.decode(0x50), 2.0);
+    EXPECT_DOUBLE_EQ(p.decode(0x30), 0.5);
+    EXPECT_DOUBLE_EQ(p.decode(0x7F), 4096.0);
+    EXPECT_DOUBLE_EQ(p.decode(0x01), 1.0 / 4096);
+    EXPECT_TRUE(std::isnan(p.decode(0x80)));
+    // Negation is two's complement: -1.0.
+    EXPECT_DOUBLE_EQ(p.decode(0xC0), -1.0);
+    EXPECT_DOUBLE_EQ(p.decode(0xFF), -1.0 / 4096);
+    EXPECT_DOUBLE_EQ(p.decode(0x81), -4096.0);
+}
+
+class PositRoundTrip : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(PositRoundTrip, EncodeDecodeIdentity)
+{
+    const auto [nbits, es] = GetParam();
+    const PositSpec spec(nbits, es);
+    for (uint32_t c = 0; c < spec.numCodes(); ++c) {
+        const double v = spec.decode(c);
+        if (std::isnan(v)) {
+            EXPECT_EQ(c, spec.narCode());
+            continue;
+        }
+        EXPECT_EQ(spec.encode(v), c)
+            << "code " << c << " value " << v << " in " << spec.name();
+    }
+}
+
+TEST_P(PositRoundTrip, CodesMonotoneInValue)
+{
+    const auto [nbits, es] = GetParam();
+    const PositSpec spec(nbits, es);
+    // Positive codes 1..maxposCode must decode to increasing values.
+    double prev = 0.0;
+    for (uint32_t c = 1; c <= spec.maxposCode(); ++c) {
+        const double v = spec.decode(c);
+        EXPECT_GT(v, prev) << spec.name() << " code " << c;
+        prev = v;
+    }
+}
+
+TEST_P(PositRoundTrip, NegationIsTwosComplement)
+{
+    const auto [nbits, es] = GetParam();
+    const PositSpec spec(nbits, es);
+    for (uint32_t c = 1; c < spec.numCodes(); ++c) {
+        if (c == spec.narCode())
+            continue;
+        const uint32_t n = spec.neg(c);
+        EXPECT_DOUBLE_EQ(spec.decode(n), -spec.decode(c));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, PositRoundTrip,
+    ::testing::Values(std::make_pair(8, 0), std::make_pair(8, 1),
+                      std::make_pair(8, 2), std::make_pair(16, 1),
+                      std::make_pair(6, 1), std::make_pair(12, 2)));
+
+TEST(PositEncode, SaturatesAtMaxpos)
+{
+    const PositSpec &p = posit8_1();
+    EXPECT_EQ(p.encode(1e30), p.maxposCode());
+    EXPECT_EQ(p.encode(4096.0), p.maxposCode());
+    EXPECT_EQ(p.encode(5000.0), p.maxposCode());
+    EXPECT_EQ(p.encode(std::numeric_limits<double>::infinity()),
+              p.maxposCode());
+    EXPECT_EQ(p.encode(-1e30), p.neg(p.maxposCode()));
+}
+
+TEST(PositEncode, PaperSubMinposRoundToEven)
+{
+    // Section 3.4: for posit(8,1), values smaller than 2^-13 round to 0
+    // instead of up to minpos = 2^-12; the tie at exactly 2^-13 also
+    // rounds to zero (even code).
+    const PositSpec paper(8, 1, SubMinposPolicy::kPaperRoundToEven);
+    EXPECT_EQ(paper.encode(std::exp2(-14)), 0u);
+    EXPECT_EQ(paper.encode(std::exp2(-13)), 0u);          // tie -> even
+    EXPECT_EQ(paper.encode(std::exp2(-13) * 1.01), 0x01u);
+    EXPECT_EQ(paper.encode(std::exp2(-12)), 0x01u);
+    EXPECT_EQ(paper.encode(-std::exp2(-14)), 0u);
+    EXPECT_EQ(paper.encode(-std::exp2(-12.5)), paper.neg(0x01u));
+}
+
+TEST(PositEncode, StandardSubMinposNeverUnderflows)
+{
+    const PositSpec std_posit(8, 1, SubMinposPolicy::kPositStandard);
+    EXPECT_EQ(std_posit.encode(1e-30), 0x01u);
+    EXPECT_EQ(std_posit.encode(std::exp2(-14)), 0x01u);
+    EXPECT_EQ(std_posit.encode(-1e-30), std_posit.neg(0x01u));
+    EXPECT_EQ(std_posit.encode(0.0), 0u);
+}
+
+TEST(PositEncode, RoundToNearestEvenInCodeSpace)
+{
+    const PositSpec &p = posit8_1();
+    // Between 1.0 (0x40, even) and the next value 1.0625 (0x41, odd):
+    // the midpoint 1.03125 must round to the even code.
+    EXPECT_DOUBLE_EQ(p.decode(0x41), 1.0625);
+    EXPECT_EQ(p.encode(1.03125), 0x40u);
+    EXPECT_EQ(p.encode(1.032), 0x41u);
+    EXPECT_EQ(p.encode(1.031), 0x40u);
+    // Between 0x41 (odd) and 0x42 (even, 1.125): midpoint goes up.
+    EXPECT_DOUBLE_EQ(p.decode(0x42), 1.125);
+    EXPECT_EQ(p.encode(0.5 * (1.0625 + 1.125)), 0x42u);
+}
+
+TEST(PositEncode, TruncatedExponentRounding)
+{
+    // posit(8,1): 2048 = 2^11 lies exactly between 1024 (0x7E) and
+    // 4096 (0x7F) in code space; tie rounds to the even code 0x7E.
+    const PositSpec &p = posit8_1();
+    EXPECT_DOUBLE_EQ(p.decode(0x7E), 1024.0);
+    EXPECT_EQ(p.encode(2048.0), 0x7Eu);
+    EXPECT_EQ(p.encode(2049.0), 0x7Fu);
+    EXPECT_EQ(p.encode(2047.0), 0x7Eu);
+}
+
+TEST(PositArithmetic, ExactSmallCases)
+{
+    const PositSpec &p = posit8_1();
+    const uint32_t one = p.encode(1.0);
+    const uint32_t two = p.encode(2.0);
+    EXPECT_EQ(p.add(one, one), two);
+    EXPECT_EQ(p.mul(two, two), p.encode(4.0));
+    EXPECT_EQ(p.sub(two, one), one);
+    EXPECT_EQ(p.div(one, two), p.encode(0.5));
+    EXPECT_EQ(p.div(one, p.encode(0.0)), p.narCode());
+}
+
+TEST(PositArithmetic, NaRPropagates)
+{
+    const PositSpec &p = posit8_1();
+    EXPECT_EQ(p.add(p.narCode(), p.encode(1.0)), p.narCode());
+    EXPECT_EQ(p.mul(p.encode(3.0), p.narCode()), p.narCode());
+    EXPECT_EQ(p.neg(p.narCode()), p.narCode());
+}
+
+TEST(PositArithmetic, FusedDotSingleRounding)
+{
+    const PositSpec &p = posit8_1();
+    // 3 * (1/3-ish values): fused accumulation rounds once, so adding
+    // many small values does not lose them one at a time.
+    std::vector<uint32_t> a(64, p.encode(1.0));
+    std::vector<uint32_t> b(64, p.encode(1.0 / 64));
+    const uint32_t fused = p.fusedDot(a.data(), b.data(), 64);
+    // Exact result: 64 * q(1/64); q(1/64) = 1/64 exactly (power of 2).
+    EXPECT_DOUBLE_EQ(p.decode(fused), 1.0);
+}
+
+TEST(PositSpec, AllValuesSortedAndSized)
+{
+    const auto vals = posit8_1().allValues();
+    EXPECT_EQ(vals.size(), 255u); // 256 codes minus NaR
+    EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+    EXPECT_DOUBLE_EQ(vals.front(), -4096.0);
+    EXPECT_DOUBLE_EQ(vals.back(), 4096.0);
+}
+
+TEST(PositSpec, Posit82RangeIsWider)
+{
+    // Section 3: posit(8,2) spans 2^-24..2^24, needed for the largest
+    // models' outliers; posit(8,0) only 2^-6..2^6.
+    EXPECT_DOUBLE_EQ(posit8_2().maxpos(), std::exp2(24));
+    EXPECT_DOUBLE_EQ(posit8_0().maxpos(), std::exp2(6));
+}
+
+} // namespace
+} // namespace qt8

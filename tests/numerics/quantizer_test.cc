@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the table-driven fake-quantizer: exact equivalence with the
+ * underlying codecs, idempotence, and per-tensor scaling behavior.
+ */
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "numerics/float_bits.h"
+#include "numerics/quantizer.h"
+#include "tensor/random.h"
+
+namespace qt8 {
+namespace {
+
+TEST(Quantizer, IdentityPassesThrough)
+{
+    const Quantizer q = Quantizer::identity();
+    EXPECT_TRUE(q.isIdentity());
+    EXPECT_EQ(q.quantize(0.123456789f), 0.123456789f);
+}
+
+TEST(Quantizer, Bfloat16MatchesTruncationSemantics)
+{
+    const Quantizer q = Quantizer::bf16();
+    // 1 + 2^-8 is exactly between bf16 values 1.0 and 1 + 2^-7;
+    // RNE keeps 1.0 (even mantissa).
+    EXPECT_EQ(q.quantize(1.0f + 0x1.0p-8f), 1.0f);
+    EXPECT_EQ(q.quantize(1.0f + 0x1.8p-8f), 1.0f + 0x1.0p-7f);
+    EXPECT_EQ(q.quantize(3.0f), 3.0f);
+}
+
+class QuantizerCodecEquivalence
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(QuantizerCodecEquivalence, MatchesReferenceOnRandomFloats)
+{
+    const std::string name = GetParam();
+    const Quantizer q = Quantizer::byName(name);
+
+    // Reference implementation straight from the codecs.
+    auto ref = [&name](float x) -> double {
+        if (name == "posit8")
+            return posit8_1().quantize(x);
+        if (name == "posit(8,0)")
+            return posit8_0().quantize(x);
+        if (name == "posit(8,2)")
+            return posit8_2().quantize(x);
+        if (name == "posit16")
+            return posit16_1().quantize(x);
+        if (name == "e4m3")
+            return e4m3().decode(e4m3().encode(x));
+        return e5m2().decode(e5m2().encode(x));
+    };
+
+    Rng rng(7);
+    for (int i = 0; i < 200000; ++i) {
+        // Mix wide log-uniform magnitudes with gaussians.
+        float x;
+        if (i % 2 == 0) {
+            const double mag = std::exp2(rng.uniform(-30.0, 30.0));
+            x = static_cast<float>(rng.uniform() < 0.5 ? -mag : mag);
+        } else {
+            x = static_cast<float>(rng.normal() * 8.0);
+        }
+        const float got = q.quantize(x);
+        const double want = ref(x);
+        EXPECT_EQ(static_cast<double>(got), want)
+            << name << " x=" << x;
+    }
+}
+
+TEST_P(QuantizerCodecEquivalence, MatchesReferenceAtGridBoundaries)
+{
+    const std::string name = GetParam();
+    const Quantizer q = Quantizer::byName(name);
+    const PositSpec *spec = nullptr;
+    if (name == "posit8")
+        spec = &posit8_1();
+    else if (name == "posit(8,2)")
+        spec = &posit8_2();
+    if (spec == nullptr)
+        return; // posit-specific boundary walk
+
+    const auto vals = spec->allValues();
+    for (size_t i = 0; i + 1 < vals.size(); ++i) {
+        const double mid = 0.5 * (vals[i] + vals[i + 1]);
+        for (const float x : {static_cast<float>(mid),
+                              std::nextafterf(static_cast<float>(mid), 1e30f),
+                              std::nextafterf(static_cast<float>(mid),
+                                              -1e30f)}) {
+            EXPECT_EQ(static_cast<double>(q.quantize(x)),
+                      spec->quantize(x))
+                << name << " near boundary " << mid;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, QuantizerCodecEquivalence,
+                         ::testing::Values("posit8", "posit(8,0)",
+                                           "posit(8,2)", "posit16", "e4m3",
+                                           "e5m2"));
+
+TEST(Quantizer, Idempotent)
+{
+    for (const char *name : {"posit8", "e4m3", "e5m2", "bf16"}) {
+        const Quantizer q = Quantizer::byName(name);
+        Rng rng(11);
+        for (int i = 0; i < 2000; ++i) {
+            const float x = static_cast<float>(rng.normal() * 100.0);
+            const float once = q.quantize(x);
+            EXPECT_EQ(q.quantize(once), once) << name;
+        }
+    }
+}
+
+TEST(Quantizer, SaturationLimits)
+{
+    EXPECT_EQ(Quantizer::byName("posit8").quantize(1e30f), 4096.0f);
+    EXPECT_EQ(Quantizer::byName("posit8").quantize(-1e30f), -4096.0f);
+    EXPECT_EQ(Quantizer::byName("e4m3").quantize(1e30f), 448.0f);
+    EXPECT_EQ(Quantizer::byName("e5m2").quantize(1e30f), 57344.0f);
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(Quantizer::byName("posit8").quantize(inf), 4096.0f);
+}
+
+TEST(Quantizer, NanPropagates)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(Quantizer::byName("posit8").quantize(nan)));
+    EXPECT_TRUE(std::isnan(Quantizer::byName("e4m3").quantize(nan)));
+}
+
+TEST(Quantizer, ScalingTargets)
+{
+    // Section 5.1: FP8 scales amax to the max representable; posit8
+    // scales amax to 64 due to tapered precision.
+    EXPECT_DOUBLE_EQ(Quantizer::byName("e5m2").scalingTargetAmax(),
+                     57344.0);
+    EXPECT_DOUBLE_EQ(Quantizer::byName("e4m3").scalingTargetAmax(), 448.0);
+    EXPECT_DOUBLE_EQ(Quantizer::byName("posit8").scalingTargetAmax(), 64.0);
+}
+
+TEST(Quantizer, UnknownNameThrows)
+{
+    EXPECT_THROW(Quantizer::byName("int4"), std::invalid_argument);
+}
+
+TEST(AmaxHistory, PredictsWindowMax)
+{
+    AmaxHistory h(3);
+    EXPECT_DOUBLE_EQ(h.predict(5.0), 5.0); // empty -> fallback
+    h.push(1.0);
+    h.push(4.0);
+    h.push(2.0);
+    EXPECT_DOUBLE_EQ(h.predict(), 4.0);
+    h.push(0.5); // evicts 1.0
+    EXPECT_DOUBLE_EQ(h.predict(), 4.0);
+    h.push(0.5);
+    h.push(0.5); // 4.0 now evicted
+    EXPECT_DOUBLE_EQ(h.predict(), 0.5);
+}
+
+TEST(TensorScaler, PowerOfTwoScale)
+{
+    EXPECT_DOUBLE_EQ(TensorScaler::scaleFor(1.0, 64.0), 64.0);
+    EXPECT_DOUBLE_EQ(TensorScaler::scaleFor(0.001, 64.0), 65536.0);
+    EXPECT_DOUBLE_EQ(TensorScaler::scaleFor(0.0, 64.0), 1.0);
+    // Scale is always a power of two ("per-tensor exponent bias").
+    const double s = TensorScaler::scaleFor(3.7, 448.0);
+    EXPECT_DOUBLE_EQ(std::exp2(std::round(std::log2(s))), s);
+}
+
+TEST(TensorScaler, RecoversSmallGradients)
+{
+    // Gradients around 1e-6 are far below posit8's minpos (2^-12);
+    // unscaled quantization flushes them all to zero, the scaler keeps
+    // them.
+    const Quantizer q = Quantizer::byName("posit8");
+    Rng rng(3);
+    std::vector<float> grads(512);
+    for (auto &g : grads)
+        g = static_cast<float>(rng.normal() * 1e-6);
+
+    std::vector<float> unscaled = grads;
+    q.quantizeInPlace(unscaled.data(), unscaled.size());
+    double unscaled_nonzero = 0;
+    for (float g : unscaled)
+        unscaled_nonzero += (g != 0.0f);
+    EXPECT_EQ(unscaled_nonzero, 0.0);
+
+    std::vector<float> scaled = grads;
+    TensorScaler scaler(q);
+    scaler.quantizeInPlace(scaled.data(), scaled.size());
+    double err = 0.0, ref = 0.0;
+    for (size_t i = 0; i < grads.size(); ++i) {
+        err += std::fabs(static_cast<double>(scaled[i]) - grads[i]);
+        ref += std::fabs(static_cast<double>(grads[i]));
+    }
+    EXPECT_LT(err / ref, 0.05); // small relative error after scaling
+}
+
+TEST(TensorScaler, UsesHistoryPrediction)
+{
+    const Quantizer q = Quantizer::byName("e4m3");
+    TensorScaler scaler(q, 4);
+    std::vector<float> t1(16, 100.0f);
+    scaler.quantizeInPlace(t1.data(), t1.size());
+    // E4M3 has 3 mantissa bits -> up to ~6% relative rounding error.
+    EXPECT_NEAR(t1[0], 100.0f, 8.0f);
+    // Second call predicts from history (amax=100) even though the new
+    // tensor is tiny; values remain representable.
+    std::vector<float> t2(16, 0.25f);
+    scaler.quantizeInPlace(t2.data(), t2.size());
+    EXPECT_NEAR(t2[0], 0.25f, 0.01f);
+}
+
+} // namespace
+} // namespace qt8

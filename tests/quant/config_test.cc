@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the quantization policy: fusion schedule semantics, preset
+ * configurations, session quantization behavior and gradient scaling.
+ */
+#include <gtest/gtest.h>
+
+#include "quant/config.h"
+
+namespace qt8 {
+namespace {
+
+TEST(QuantConfig, FusionScheduleOrder)
+{
+    // Fusion removes quantization in the paper's sensitivity order.
+    QuantConfig cfg = QuantConfig::posit8();
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kGemm));
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kAttnScaling));
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kResidual));
+
+    cfg = cfg.withFusion(FusionLevel::kAttnScaling);
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kGemm));
+    EXPECT_FALSE(cfg.activeFwd(OpClass::kAttnScaling));
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kActivation));
+
+    cfg = cfg.withFusion(FusionLevel::kActivation);
+    EXPECT_FALSE(cfg.activeFwd(OpClass::kAttnScaling));
+    EXPECT_FALSE(cfg.activeFwd(OpClass::kActivation));
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kLayerNorm));
+
+    cfg = cfg.withFusion(FusionLevel::kResidual);
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kGemm)); // GEMM always quantized
+    EXPECT_FALSE(cfg.activeFwd(OpClass::kLayerNorm));
+    EXPECT_FALSE(cfg.activeFwd(OpClass::kResidual));
+}
+
+TEST(QuantConfig, Presets)
+{
+    EXPECT_EQ(QuantConfig::fp8().fwd.name(), "E4M3");
+    EXPECT_EQ(QuantConfig::fp8().bwd.name(), "E5M2");
+    EXPECT_EQ(QuantConfig::posit8().fwd.name(), "posit(8,1)");
+    EXPECT_TRUE(QuantConfig::bf16().fwd.isIdentity());
+    EXPECT_FALSE(QuantConfig::bf16().carrier.isIdentity());
+    EXPECT_EQ(QuantConfig::posit8Approx().softmax, SoftmaxMode::kApproxBoth);
+    EXPECT_FALSE(QuantConfig::fp32().anyQuant());
+    EXPECT_TRUE(QuantConfig::posit8().anyQuant());
+}
+
+TEST(QuantSession, QuantFwdRespectsFusion)
+{
+    QuantSession active(QuantConfig::posit8());
+    Tensor t = Tensor::full({4}, 1.03f); // rounds to 1.0 in posit8
+    active.quantFwd(OpClass::kAttnScaling, t);
+    EXPECT_EQ(t.at(0), 1.0f);
+
+    QuantSession fused(
+        QuantConfig::posit8().withFusion(FusionLevel::kAttnScaling));
+    Tensor t2 = Tensor::full({4}, 1.03f);
+    fused.quantFwd(OpClass::kAttnScaling, t2);
+    // Fused: only the BF16 carrier applies; 1.03 is representable
+    // within bf16's 7-bit mantissa resolution of ~0.004.
+    EXPECT_NEAR(t2.at(0), 1.03f, 0.004f);
+    EXPECT_NE(t2.at(0), 1.0f);
+}
+
+TEST(QuantSession, GemmAlwaysQuantized)
+{
+    QuantSession qs(
+        QuantConfig::posit8().withFusion(FusionLevel::kResidual));
+    Tensor t = Tensor::full({4}, 1.03f);
+    qs.quantFwd(OpClass::kGemm, t);
+    EXPECT_EQ(t.at(0), 1.0f);
+}
+
+TEST(QuantSession, BwdUsesBackwardFormatWithScaling)
+{
+    QuantConfig cfg = QuantConfig::posit8();
+    cfg.per_tensor_scaled_grads = true;
+    QuantSession qs(cfg);
+    // Gradients way below posit8 minpos survive thanks to scaling.
+    Tensor g = Tensor::full({64}, 1e-6f);
+    qs.quantBwd(OpClass::kGemm, g, 0);
+    EXPECT_NEAR(g.at(0), 1e-6f, 1e-7f);
+
+    QuantConfig unscaled = QuantConfig::posit8();
+    unscaled.per_tensor_scaled_grads = false;
+    QuantSession qs2(unscaled);
+    Tensor g2 = Tensor::full({64}, 1e-6f);
+    qs2.quantBwd(OpClass::kGemm, g2, 0);
+    EXPECT_EQ(g2.at(0), 0.0f); // flushed (below 2^-13)
+}
+
+TEST(QuantSession, BwdRespectsFusionMirroring)
+{
+    QuantSession qs(
+        QuantConfig::posit8().withFusion(FusionLevel::kActivation));
+    Tensor g = Tensor::full({4}, 1.03f);
+    qs.quantBwd(OpClass::kActivation, g, 1);
+    EXPECT_NE(g.at(0), 1.0f); // fused away -> carrier only
+}
+
+TEST(QuantSession, TapsObservePreQuantValues)
+{
+    QuantSession qs(QuantConfig::posit8());
+    float seen = 0.0f;
+    qs.fwd_tap = [&seen](OpClass, const Tensor &t) { seen = t.at(0); };
+    Tensor t = Tensor::full({2}, 1.03f);
+    qs.quantFwd(OpClass::kGemm, t);
+    EXPECT_EQ(seen, 1.03f);   // tap sees raw value
+    EXPECT_EQ(t.at(0), 1.0f); // tensor got quantized
+}
+
+TEST(QuantSession, Table1AblationConfigs)
+{
+    // GEMM + exactly one extra class (Table 1 rows).
+    QuantConfig cfg;
+    cfg.fwd = Quantizer::byName("posit8");
+    cfg.quant_gemm = true;
+    cfg.quant_layernorm = true;
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kGemm));
+    EXPECT_TRUE(cfg.activeFwd(OpClass::kLayerNorm));
+    EXPECT_FALSE(cfg.activeFwd(OpClass::kAttnScaling));
+    EXPECT_FALSE(cfg.activeFwd(OpClass::kActivation));
+    EXPECT_FALSE(cfg.activeFwd(OpClass::kResidual));
+}
+
+} // namespace
+} // namespace qt8

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the dense tensor container, kernels, and RNG.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace qt8 {
+namespace {
+
+TEST(Tensor, ShapeAndAccess)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    EXPECT_EQ(t.rank(), 2);
+    t.at(1, 2) = 5.0f;
+    EXPECT_EQ(t.at(1, 2), 5.0f);
+    EXPECT_EQ(t.at(5), 5.0f); // row-major flat index
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 3});
+    for (int64_t i = 0; i < 6; ++i)
+        t.at(i) = static_cast<float>(i);
+    const Tensor r = t.reshaped({3, 2});
+    EXPECT_EQ(r.at(2, 1), 5.0f);
+    EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FullFills)
+{
+    const Tensor t = Tensor::full({4}, 2.5f);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t.at(i), 2.5f);
+}
+
+// Reference GEMM for validation.
+Tensor
+refMatmul(const Tensor &a, const Tensor &b, bool ta, bool tb)
+{
+    const int64_t m = ta ? a.dim(1) : a.dim(0);
+    const int64_t k = ta ? a.dim(0) : a.dim(1);
+    const int64_t n = tb ? b.dim(0) : b.dim(1);
+    Tensor c({m, n});
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0;
+            for (int64_t t = 0; t < k; ++t) {
+                const float av = ta ? a.at(t, i) : a.at(i, t);
+                const float bv = tb ? b.at(j, t) : b.at(t, j);
+                acc += static_cast<double>(av) * bv;
+            }
+            c.at(i, j) = static_cast<float>(acc);
+        }
+    return c;
+}
+
+class GemmTranspose
+    : public ::testing::TestWithParam<std::pair<bool, bool>>
+{};
+
+TEST_P(GemmTranspose, MatchesReference)
+{
+    const auto [ta, tb] = GetParam();
+    Rng rng(42);
+    Tensor a(ta ? std::vector<int64_t>{7, 5} : std::vector<int64_t>{5, 7});
+    Tensor b(tb ? std::vector<int64_t>{6, 7} : std::vector<int64_t>{7, 6});
+    rng.fillNormal(a);
+    rng.fillNormal(b);
+    const Tensor got = matmul(a, b, ta, tb);
+    const Tensor want = refMatmul(a, b, ta, tb);
+    ASSERT_TRUE(got.sameShape(want));
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got.at(i), want.at(i), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, GemmTranspose,
+    ::testing::Values(std::make_pair(false, false),
+                      std::make_pair(false, true),
+                      std::make_pair(true, false),
+                      std::make_pair(true, true)));
+
+TEST(Gemm, AlphaBeta)
+{
+    Tensor a({2, 2}), b({2, 2}), c({2, 2});
+    a.at(0, 0) = 1;
+    a.at(1, 1) = 1; // identity
+    b.at(0, 0) = 3;
+    b.at(0, 1) = 4;
+    b.at(1, 0) = 5;
+    b.at(1, 1) = 6;
+    c = Tensor::full({2, 2}, 10.0f);
+    gemm(a, false, b, false, c, 2.0f, 1.0f);
+    EXPECT_EQ(c.at(0, 0), 16.0f); // 2*3 + 10
+    EXPECT_EQ(c.at(1, 1), 22.0f);
+}
+
+TEST(Ops, SoftmaxRowsStable)
+{
+    Tensor t({2, 3});
+    t.at(0, 0) = 1000.0f; // large logits must not overflow
+    t.at(0, 1) = 1000.0f;
+    t.at(0, 2) = 0.0f;
+    t.at(1, 0) = -5.0f;
+    t.at(1, 1) = 0.0f;
+    t.at(1, 2) = 5.0f;
+    softmaxRowsInPlace(t);
+    EXPECT_NEAR(t.at(0, 0), 0.5f, 1e-5f);
+    EXPECT_NEAR(t.at(0, 2), 0.0f, 1e-5f);
+    double sum = t.at(1, 0) + t.at(1, 1) + t.at(1, 2);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    EXPECT_GT(t.at(1, 2), t.at(1, 1));
+}
+
+TEST(Ops, GeluValuesAndGradient)
+{
+    EXPECT_NEAR(geluScalar(0.0f), 0.0f, 1e-6f);
+    EXPECT_NEAR(geluScalar(10.0f), 10.0f, 1e-3f);
+    EXPECT_NEAR(geluScalar(-10.0f), 0.0f, 1e-3f);
+    // Finite-difference check of the gradient.
+    for (float x : {-2.0f, -0.5f, 0.0f, 0.3f, 1.7f}) {
+        const float h = 1e-3f;
+        const float num =
+            (geluScalar(x + h) - geluScalar(x - h)) / (2.0f * h);
+        EXPECT_NEAR(geluGradScalar(x), num, 1e-3f) << "x=" << x;
+    }
+}
+
+TEST(Ops, RowBiasAndSumRows)
+{
+    Tensor t({2, 3});
+    Tensor bias({3});
+    bias.at(0) = 1;
+    bias.at(1) = 2;
+    bias.at(2) = 3;
+    addRowBias(t, bias);
+    EXPECT_EQ(t.at(1, 2), 3.0f);
+    const Tensor s = sumRows(t);
+    EXPECT_EQ(s.at(0), 2.0f);
+    EXPECT_EQ(s.at(2), 6.0f);
+}
+
+TEST(Ops, AmaxMeanFinite)
+{
+    Tensor t({3});
+    t.at(0) = -7.0f;
+    t.at(1) = 2.0f;
+    t.at(2) = 5.0f;
+    EXPECT_DOUBLE_EQ(amax(t), 7.0);
+    EXPECT_DOUBLE_EQ(mean(t), 0.0);
+    EXPECT_TRUE(allFinite(t));
+    t.at(1) = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(allFinite(t));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(9);
+    double sum = 0, sumsq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sumsq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Rng, RandintRange)
+{
+    Rng rng(77);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = rng.randint(10);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 10);
+        counts[static_cast<size_t>(v)]++;
+    }
+    for (int c : counts)
+        EXPECT_GT(c, 800); // roughly uniform
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(123);
+    Rng b = a.fork();
+    // Forked stream differs from parent's continued stream.
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= (a.next() != b.next());
+    EXPECT_TRUE(any_diff);
+}
+
+} // namespace
+} // namespace qt8

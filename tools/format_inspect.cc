@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Number-format inspector: dumps the full code table of a format
+ * (posit / FP8), or quantizes values given on the command line,
+ * showing the code, the rounded value and the relative error.
+ *
+ *   format_inspect --format posit8 --table
+ *   format_inspect --format e4m3 3.14159 0.001 512
+ */
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "numerics/minifloat.h"
+#include "numerics/posit.h"
+#include "numerics/quantizer.h"
+
+using namespace qt8;
+
+namespace {
+
+void
+dumpPositTable(const PositSpec &spec)
+{
+    std::printf("%s: maxpos %g minpos %g NaR 0x%02X\n",
+                spec.name().c_str(), spec.maxpos(), spec.minpos(),
+                spec.narCode());
+    std::printf("%6s %16s | %6s %16s\n", "code", "value", "code",
+                "value");
+    const uint32_t half = spec.numCodes() / 2;
+    for (uint32_t c = 0; c < half; ++c) {
+        std::printf("  0x%02X %16.9g |   0x%02X %16.9g\n", c,
+                    spec.decode(c), c + half, spec.decode(c + half));
+    }
+}
+
+void
+dumpMinifloatTable(const MinifloatSpec &spec)
+{
+    std::printf("%s: max %g, min normal %g, min subnormal %g\n",
+                spec.name.c_str(), spec.maxFinite(), spec.minNormal(),
+                spec.minSubnormal());
+    for (uint32_t c = 0; c < spec.numCodes(); ++c) {
+        if (c % 4 == 0)
+            std::printf("\n");
+        std::printf("  0x%02X %12.6g", c, spec.decode(c));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string format = "posit8";
+    bool table = false;
+    std::vector<double> values;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--format" && i + 1 < argc) {
+            format = argv[++i];
+        } else if (a == "--table") {
+            table = true;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("usage: format_inspect [--format F] "
+                        "[--table] [values...]\n"
+                        "formats: posit8 posit(8,0) posit(8,2) posit16 "
+                        "e4m3 e5m2 bf16 int8\n");
+            return 0;
+        } else {
+            values.push_back(std::atof(a.c_str()));
+        }
+    }
+
+    if (table) {
+        if (format == "posit8" || format == "posit(8,1)")
+            dumpPositTable(posit8_1());
+        else if (format == "posit(8,0)")
+            dumpPositTable(posit8_0());
+        else if (format == "posit(8,2)")
+            dumpPositTable(posit8_2());
+        else if (format == "e4m3")
+            dumpMinifloatTable(e4m3());
+        else if (format == "e5m2")
+            dumpMinifloatTable(e5m2());
+        else
+            std::printf("no table dump for %s\n", format.c_str());
+        return 0;
+    }
+
+    const Quantizer q = Quantizer::byName(format);
+    if (values.empty())
+        values = {0.001, 0.1, 0.5, 1.0, 3.14159, 42.0, 1000.0};
+    std::printf("%16s %16s %12s\n", "x", format.c_str(), "rel err");
+    for (double x : values) {
+        const double qx = q.quantize(static_cast<float>(x));
+        const double err = x != 0.0 ? std::fabs(qx - x) / std::fabs(x)
+                                    : std::fabs(qx);
+        std::printf("%16.8g %16.8g %11.4f%%\n", x, qx, 100.0 * err);
+    }
+    return 0;
+}

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Command-line fine-tuning driver mirroring the paper artifact's
+ * `run_quantized_training.py` interface (Appendix A.6.2):
+ *
+ *   run_quantized_training --model <MODEL> --task <TASK>
+ *       --run_job <JOB> [--seed N] [--steps N] [--lr F]
+ *       [--op_fusion classifier] [--optimizer sgd|adamw]
+ *       [--load ckpt.bin] [--save ckpt.bin] [--lora_rank N]
+ *
+ * Models: mobilebert-tiny-like | mobilebert-like | roberta-base-like |
+ *         roberta-large-like
+ * Tasks:  mnli | qnli | mrpc | sst2 | squad
+ * Jobs:   fp32 | bf16 | posit8 | posit8-approx-shifted | fp8 |
+ *         int8-per-tensor | int8-per-channel
+ *
+ * Like the artifact, a backbone is pre-trained first (here: on the
+ * synthetic span+QNLI mix, standing in for a hub checkpoint) unless
+ * --load provides one; LoRA adapters are then fine-tuned on the task
+ * under the selected data type, and the task metric is printed.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "data/eval.h"
+#include "nn/checkpoint.h"
+
+using namespace qt8;
+
+namespace {
+
+struct Args
+{
+    std::string model = "mobilebert-tiny-like";
+    std::string task = "sst2";
+    std::string job = "posit8";
+    uint64_t seed = 42;
+    int steps = 400;
+    int pretrain_steps = 900;
+    double lr = 5e-3;
+    bool fuse_head = false;
+    bool sgd = false;
+    int lora_rank = 8;
+    std::string load;
+    std::string save;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: run_quantized_training --model <MODEL> --task <TASK> "
+        "--run_job <JOB>\n"
+        "  [--seed N] [--steps N] [--pretrain_steps N] [--lr F]\n"
+        "  [--op_fusion classifier] [--optimizer sgd|adamw]\n"
+        "  [--lora_rank N] [--load ckpt.bin] [--save ckpt.bin]\n"
+        "models: mobilebert-tiny-like mobilebert-like roberta-base-like "
+        "roberta-large-like\n"
+        "tasks:  mnli qnli mrpc sst2 squad\n"
+        "jobs:   fp32 bf16 posit8 posit8-approx-shifted fp8 "
+        "int8-per-tensor int8-per-channel\n");
+}
+
+bool
+parse(int argc, char **argv, Args *args)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--model") {
+            args->model = next();
+        } else if (a == "--task") {
+            args->task = next();
+        } else if (a == "--run_job") {
+            args->job = next();
+        } else if (a == "--seed") {
+            args->seed = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--steps") {
+            args->steps = std::atoi(next());
+        } else if (a == "--pretrain_steps") {
+            args->pretrain_steps = std::atoi(next());
+        } else if (a == "--lr") {
+            args->lr = std::atof(next());
+        } else if (a == "--op_fusion") {
+            args->fuse_head = std::string(next()) == "classifier" ||
+                              true; // any head name fuses the head
+        } else if (a == "--optimizer") {
+            args->sgd = std::string(next()) == "sgd";
+        } else if (a == "--lora_rank") {
+            args->lora_rank = std::atoi(next());
+        } else if (a == "--load") {
+            args->load = next();
+        } else if (a == "--save") {
+            args->save = next();
+        } else if (a == "--help" || a == "-h") {
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    if (name == "mobilebert-tiny-like")
+        return ModelConfig::mobileBertTinyLike();
+    if (name == "mobilebert-like")
+        return ModelConfig::mobileBertLike();
+    if (name == "roberta-base-like")
+        return ModelConfig::bertBaseLike();
+    if (name == "roberta-large-like")
+        return ModelConfig::bertLargeLike();
+    throw std::invalid_argument("unknown model " + name);
+}
+
+QuantConfig
+jobByName(const std::string &job)
+{
+    if (job == "fp32")
+        return QuantConfig::fp32();
+    if (job == "bf16")
+        return QuantConfig::bf16();
+    if (job == "posit8")
+        return QuantConfig::posit8();
+    if (job == "posit8-approx-shifted")
+        return QuantConfig::posit8Approx();
+    if (job == "fp8")
+        return QuantConfig::fp8();
+    if (job == "int8-per-tensor")
+        return QuantConfig::int8PerTensor();
+    if (job == "int8-per-channel")
+        return QuantConfig::int8PerChannel();
+    throw std::invalid_argument("unknown job " + job);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parse(argc, argv, &args)) {
+        usage();
+        return 1;
+    }
+
+    const ModelConfig cfg = modelByName(args.model);
+    QuantConfig qcfg = jobByName(args.job);
+    qcfg.fuse_head = args.fuse_head;
+    const bool all_dense = args.model.rfind("mobilebert", 0) == 0;
+
+    std::printf("model=%s task=%s job=%s seed=%llu\n", args.model.c_str(),
+                args.task.c_str(), args.job.c_str(),
+                static_cast<unsigned long long>(args.seed));
+
+    // --- Backbone -----------------------------------------------------
+    TransformerEncoder backbone(cfg, args.seed);
+    {
+        ParamList bp;
+        backbone.collectParams(bp);
+        bool loaded = false;
+        if (!args.load.empty()) {
+            loaded = loadCheckpoint(args.load, bp);
+            std::printf("checkpoint %s: %s\n", args.load.c_str(),
+                        loaded ? "loaded" : "failed, pre-training");
+        }
+        if (!loaded) {
+            std::printf("pre-training backbone (%d span + %d qnli "
+                        "steps, FP32)...\n",
+                        args.pretrain_steps, args.pretrain_steps / 3);
+            QuantSession fp32(QuantConfig::fp32());
+            const SpanTask span(cfg.vocab, 24);
+            EncoderSpanQA span_model(cfg, args.seed);
+            TrainOptions sopts;
+            sopts.steps = args.pretrain_steps;
+            sopts.batch = 16;
+            sopts.lr = 2e-3;
+            sopts.data_seed = args.seed + 17;
+            trainSpan(span_model, fp32, span, sopts);
+
+            const PairTask qnli(PairTask::Kind::kQnli, cfg.vocab, 25);
+            EncoderClassifier qnli_model(cfg, 2, args.seed + 1);
+            ParamList se, qe;
+            span_model.encoder.collectParams(se);
+            qnli_model.encoder.collectParams(qe);
+            copyParamValues(qe, se);
+            TrainOptions qopts;
+            qopts.steps = args.pretrain_steps / 3;
+            qopts.batch = 16;
+            qopts.lr = 1e-3;
+            qopts.data_seed = args.seed + 31;
+            trainCls(qnli_model, fp32, qnli, qopts);
+            ParamList src;
+            qnli_model.encoder.collectParams(src);
+            copyParamValues(bp, src);
+        }
+        if (!args.save.empty()) {
+            std::printf("saving backbone to %s: %s\n",
+                        args.save.c_str(),
+                        saveCheckpoint(args.save, bp) ? "ok" : "FAILED");
+        }
+    }
+
+    // --- Fine-tune ------------------------------------------------------
+    QuantSession qs(qcfg);
+    TrainOptions opts;
+    opts.steps = args.steps;
+    opts.batch = 16;
+    opts.lr = args.lr;
+    opts.opt = args.sgd ? TrainOptions::Opt::kSgd
+                        : TrainOptions::Opt::kAdamW;
+    opts.data_seed = args.seed + 7;
+    opts.log_every = std::max(1, args.steps / 10);
+
+    if (args.task == "squad") {
+        const SpanTask task(cfg.vocab, 24);
+        EncoderSpanQA model(cfg, args.seed + 2);
+        ParamList dst, src;
+        model.encoder.collectParams(dst);
+        backbone.collectParams(src);
+        copyParamValues(dst, src);
+        if (qcfg.anyQuant() || args.job == "bf16")
+            model.enableLora(args.lora_rank, 2.0f, all_dense);
+        const TrainResult r = trainSpan(model, qs, task, opts);
+        QuantSession eval_qs(qcfg);
+        std::printf("final loss %.4f (diverged=%d, skipped=%d)\n",
+                    r.final_loss, r.diverged, r.skipped_steps);
+        std::printf("F1 = %.2f\n",
+                    evalSpanF1(model, eval_qs, task, 2024, 4, 32));
+        return 0;
+    }
+
+    PairTask::Kind kind;
+    if (args.task == "mnli")
+        kind = PairTask::Kind::kMnli;
+    else if (args.task == "qnli")
+        kind = PairTask::Kind::kQnli;
+    else if (args.task == "mrpc")
+        kind = PairTask::Kind::kMrpc;
+    else if (args.task == "sst2")
+        kind = PairTask::Kind::kSst2;
+    else {
+        usage();
+        return 1;
+    }
+    const PairTask task(kind, cfg.vocab, 25);
+    EncoderClassifier model(cfg, task.numClasses(), args.seed + 2);
+    ParamList dst, src;
+    model.encoder.collectParams(dst);
+    backbone.collectParams(src);
+    copyParamValues(dst, src);
+    if (qcfg.anyQuant() || args.job == "bf16")
+        model.enableLora(args.lora_rank, 2.0f, all_dense);
+    const TrainResult r = trainCls(model, qs, task, opts);
+    QuantSession eval_qs(qcfg);
+    std::printf("final loss %.4f (diverged=%d, skipped=%d)\n",
+                r.final_loss, r.diverged, r.skipped_steps);
+    std::printf("accuracy = %.2f\n",
+                evalClsAccuracy(model, eval_qs, task, 2024, 4, 32));
+    return 0;
+}
