@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_rounding.cc" "bench/CMakeFiles/bench_ablation_rounding.dir/bench_ablation_rounding.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_rounding.dir/bench_ablation_rounding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/qt8_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/qt8_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/qt8_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/qt8_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/qt8_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/qt8_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/qt8_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_int8.dir/bench_baseline_int8.cc.o"
+  "CMakeFiles/bench_baseline_int8.dir/bench_baseline_int8.cc.o.d"
+  "bench_baseline_int8"
+  "bench_baseline_int8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_int8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_energy_per_token.dir/bench_ext_energy_per_token.cc.o"
+  "CMakeFiles/bench_ext_energy_per_token.dir/bench_ext_energy_per_token.cc.o.d"
+  "bench_ext_energy_per_token"
+  "bench_ext_energy_per_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_energy_per_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

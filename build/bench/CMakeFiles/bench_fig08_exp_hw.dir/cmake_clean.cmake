@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_exp_hw.dir/bench_fig08_exp_hw.cc.o"
+  "CMakeFiles/bench_fig08_exp_hw.dir/bench_fig08_exp_hw.cc.o.d"
+  "bench_fig08_exp_hw"
+  "bench_fig08_exp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_exp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mac_hw.dir/bench_fig12_mac_hw.cc.o"
+  "CMakeFiles/bench_fig12_mac_hw.dir/bench_fig12_mac_hw.cc.o.d"
+  "bench_fig12_mac_hw"
+  "bench_fig12_mac_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mac_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

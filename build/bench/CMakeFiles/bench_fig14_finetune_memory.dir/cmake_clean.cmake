@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_finetune_memory.dir/bench_fig14_finetune_memory.cc.o"
+  "CMakeFiles/bench_fig14_finetune_memory.dir/bench_fig14_finetune_memory.cc.o.d"
+  "bench_fig14_finetune_memory"
+  "bench_fig14_finetune_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_finetune_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

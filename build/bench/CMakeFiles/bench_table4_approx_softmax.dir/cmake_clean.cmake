@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_approx_softmax.dir/bench_table4_approx_softmax.cc.o"
+  "CMakeFiles/bench_table4_approx_softmax.dir/bench_table4_approx_softmax.cc.o.d"
+  "bench_table4_approx_softmax"
+  "bench_table4_approx_softmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_approx_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

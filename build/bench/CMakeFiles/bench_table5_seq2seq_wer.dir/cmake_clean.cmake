@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_seq2seq_wer.dir/bench_table5_seq2seq_wer.cc.o"
+  "CMakeFiles/bench_table5_seq2seq_wer.dir/bench_table5_seq2seq_wer.cc.o.d"
+  "bench_table5_seq2seq_wer"
+  "bench_table5_seq2seq_wer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_seq2seq_wer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_lm_perplexity.dir/bench_table6_lm_perplexity.cc.o"
+  "CMakeFiles/bench_table6_lm_perplexity.dir/bench_table6_lm_perplexity.cc.o.d"
+  "bench_table6_lm_perplexity"
+  "bench_table6_lm_perplexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_lm_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

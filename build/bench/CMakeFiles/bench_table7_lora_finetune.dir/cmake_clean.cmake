@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_lora_finetune.dir/bench_table7_lora_finetune.cc.o"
+  "CMakeFiles/bench_table7_lora_finetune.dir/bench_table7_lora_finetune.cc.o.d"
+  "bench_table7_lora_finetune"
+  "bench_table7_lora_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_lora_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

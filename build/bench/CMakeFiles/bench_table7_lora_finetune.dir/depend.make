@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table7_lora_finetune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_vector_unit.dir/bench_table8_vector_unit.cc.o"
+  "CMakeFiles/bench_table8_vector_unit.dir/bench_table8_vector_unit.cc.o.d"
+  "bench_table8_vector_unit"
+  "bench_table8_vector_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_vector_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

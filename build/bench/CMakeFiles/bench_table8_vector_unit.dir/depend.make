@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_vector_unit.
+# This may be replaced when dependencies are built.

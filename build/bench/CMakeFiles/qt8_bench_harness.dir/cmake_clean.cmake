@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt8_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/qt8_bench_harness.dir/harness.cc.o.d"
+  "libqt8_bench_harness.a"
+  "libqt8_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt8_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

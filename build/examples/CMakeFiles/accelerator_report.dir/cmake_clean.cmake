@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_report.dir/accelerator_report.cpp.o"
+  "CMakeFiles/accelerator_report.dir/accelerator_report.cpp.o.d"
+  "accelerator_report"
+  "accelerator_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_softmax_playground.dir/approx_softmax_playground.cpp.o"
+  "CMakeFiles/approx_softmax_playground.dir/approx_softmax_playground.cpp.o.d"
+  "approx_softmax_playground"
+  "approx_softmax_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_softmax_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

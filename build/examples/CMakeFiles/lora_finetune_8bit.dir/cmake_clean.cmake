@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lora_finetune_8bit.dir/lora_finetune_8bit.cpp.o"
+  "CMakeFiles/lora_finetune_8bit.dir/lora_finetune_8bit.cpp.o.d"
+  "lora_finetune_8bit"
+  "lora_finetune_8bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lora_finetune_8bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

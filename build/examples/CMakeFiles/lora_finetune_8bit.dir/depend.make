@@ -1,0 +1,2 @@
+# Empty dependencies file for lora_finetune_8bit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptq_span_inference.dir/ptq_span_inference.cpp.o"
+  "CMakeFiles/ptq_span_inference.dir/ptq_span_inference.cpp.o.d"
+  "ptq_span_inference"
+  "ptq_span_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptq_span_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt8_data.dir/eval.cc.o"
+  "CMakeFiles/qt8_data.dir/eval.cc.o.d"
+  "CMakeFiles/qt8_data.dir/metrics.cc.o"
+  "CMakeFiles/qt8_data.dir/metrics.cc.o.d"
+  "CMakeFiles/qt8_data.dir/tasks.cc.o"
+  "CMakeFiles/qt8_data.dir/tasks.cc.o.d"
+  "libqt8_data.a"
+  "libqt8_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt8_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cc" "src/hw/CMakeFiles/qt8_hw.dir/accelerator.cc.o" "gcc" "src/hw/CMakeFiles/qt8_hw.dir/accelerator.cc.o.d"
+  "/root/repo/src/hw/arith.cc" "src/hw/CMakeFiles/qt8_hw.dir/arith.cc.o" "gcc" "src/hw/CMakeFiles/qt8_hw.dir/arith.cc.o.d"
+  "/root/repo/src/hw/memory_model.cc" "src/hw/CMakeFiles/qt8_hw.dir/memory_model.cc.o" "gcc" "src/hw/CMakeFiles/qt8_hw.dir/memory_model.cc.o.d"
+  "/root/repo/src/hw/rtl.cc" "src/hw/CMakeFiles/qt8_hw.dir/rtl.cc.o" "gcc" "src/hw/CMakeFiles/qt8_hw.dir/rtl.cc.o.d"
+  "/root/repo/src/hw/sim.cc" "src/hw/CMakeFiles/qt8_hw.dir/sim.cc.o" "gcc" "src/hw/CMakeFiles/qt8_hw.dir/sim.cc.o.d"
+  "/root/repo/src/hw/units.cc" "src/hw/CMakeFiles/qt8_hw.dir/units.cc.o" "gcc" "src/hw/CMakeFiles/qt8_hw.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/qt8_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

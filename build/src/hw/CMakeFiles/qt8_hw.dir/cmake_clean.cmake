@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt8_hw.dir/accelerator.cc.o"
+  "CMakeFiles/qt8_hw.dir/accelerator.cc.o.d"
+  "CMakeFiles/qt8_hw.dir/arith.cc.o"
+  "CMakeFiles/qt8_hw.dir/arith.cc.o.d"
+  "CMakeFiles/qt8_hw.dir/memory_model.cc.o"
+  "CMakeFiles/qt8_hw.dir/memory_model.cc.o.d"
+  "CMakeFiles/qt8_hw.dir/rtl.cc.o"
+  "CMakeFiles/qt8_hw.dir/rtl.cc.o.d"
+  "CMakeFiles/qt8_hw.dir/sim.cc.o"
+  "CMakeFiles/qt8_hw.dir/sim.cc.o.d"
+  "CMakeFiles/qt8_hw.dir/units.cc.o"
+  "CMakeFiles/qt8_hw.dir/units.cc.o.d"
+  "libqt8_hw.a"
+  "libqt8_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt8_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

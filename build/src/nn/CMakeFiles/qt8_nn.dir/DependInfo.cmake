@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/qt8_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/block.cc" "src/nn/CMakeFiles/qt8_nn.dir/block.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/block.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/qt8_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/qt8_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/qt8_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/qt8_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/qt8_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/qt8_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/qt8_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/qt8_nn.dir/optim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/qt8_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/qt8_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/qt8_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt8_nn.dir/attention.cc.o"
+  "CMakeFiles/qt8_nn.dir/attention.cc.o.d"
+  "CMakeFiles/qt8_nn.dir/block.cc.o"
+  "CMakeFiles/qt8_nn.dir/block.cc.o.d"
+  "CMakeFiles/qt8_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/qt8_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/qt8_nn.dir/embedding.cc.o"
+  "CMakeFiles/qt8_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/qt8_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/qt8_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/qt8_nn.dir/linear.cc.o"
+  "CMakeFiles/qt8_nn.dir/linear.cc.o.d"
+  "CMakeFiles/qt8_nn.dir/loss.cc.o"
+  "CMakeFiles/qt8_nn.dir/loss.cc.o.d"
+  "CMakeFiles/qt8_nn.dir/model.cc.o"
+  "CMakeFiles/qt8_nn.dir/model.cc.o.d"
+  "CMakeFiles/qt8_nn.dir/optim.cc.o"
+  "CMakeFiles/qt8_nn.dir/optim.cc.o.d"
+  "libqt8_nn.a"
+  "libqt8_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt8_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

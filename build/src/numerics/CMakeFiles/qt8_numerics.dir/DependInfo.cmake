@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/decimal_accuracy.cc" "src/numerics/CMakeFiles/qt8_numerics.dir/decimal_accuracy.cc.o" "gcc" "src/numerics/CMakeFiles/qt8_numerics.dir/decimal_accuracy.cc.o.d"
+  "/root/repo/src/numerics/float_bits.cc" "src/numerics/CMakeFiles/qt8_numerics.dir/float_bits.cc.o" "gcc" "src/numerics/CMakeFiles/qt8_numerics.dir/float_bits.cc.o.d"
+  "/root/repo/src/numerics/minifloat.cc" "src/numerics/CMakeFiles/qt8_numerics.dir/minifloat.cc.o" "gcc" "src/numerics/CMakeFiles/qt8_numerics.dir/minifloat.cc.o.d"
+  "/root/repo/src/numerics/posit.cc" "src/numerics/CMakeFiles/qt8_numerics.dir/posit.cc.o" "gcc" "src/numerics/CMakeFiles/qt8_numerics.dir/posit.cc.o.d"
+  "/root/repo/src/numerics/posit_ops.cc" "src/numerics/CMakeFiles/qt8_numerics.dir/posit_ops.cc.o" "gcc" "src/numerics/CMakeFiles/qt8_numerics.dir/posit_ops.cc.o.d"
+  "/root/repo/src/numerics/quantizer.cc" "src/numerics/CMakeFiles/qt8_numerics.dir/quantizer.cc.o" "gcc" "src/numerics/CMakeFiles/qt8_numerics.dir/quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

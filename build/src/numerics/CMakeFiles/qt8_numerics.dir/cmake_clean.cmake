@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt8_numerics.dir/decimal_accuracy.cc.o"
+  "CMakeFiles/qt8_numerics.dir/decimal_accuracy.cc.o.d"
+  "CMakeFiles/qt8_numerics.dir/float_bits.cc.o"
+  "CMakeFiles/qt8_numerics.dir/float_bits.cc.o.d"
+  "CMakeFiles/qt8_numerics.dir/minifloat.cc.o"
+  "CMakeFiles/qt8_numerics.dir/minifloat.cc.o.d"
+  "CMakeFiles/qt8_numerics.dir/posit.cc.o"
+  "CMakeFiles/qt8_numerics.dir/posit.cc.o.d"
+  "CMakeFiles/qt8_numerics.dir/posit_ops.cc.o"
+  "CMakeFiles/qt8_numerics.dir/posit_ops.cc.o.d"
+  "CMakeFiles/qt8_numerics.dir/quantizer.cc.o"
+  "CMakeFiles/qt8_numerics.dir/quantizer.cc.o.d"
+  "libqt8_numerics.a"
+  "libqt8_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt8_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqt8_numerics.a"
+)

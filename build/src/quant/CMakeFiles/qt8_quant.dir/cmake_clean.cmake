@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt8_quant.dir/config.cc.o"
+  "CMakeFiles/qt8_quant.dir/config.cc.o.d"
+  "libqt8_quant.a"
+  "libqt8_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt8_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qt8_tensor.dir/ops.cc.o"
+  "CMakeFiles/qt8_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/qt8_tensor.dir/random.cc.o"
+  "CMakeFiles/qt8_tensor.dir/random.cc.o.d"
+  "CMakeFiles/qt8_tensor.dir/tensor.cc.o"
+  "CMakeFiles/qt8_tensor.dir/tensor.cc.o.d"
+  "libqt8_tensor.a"
+  "libqt8_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qt8_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

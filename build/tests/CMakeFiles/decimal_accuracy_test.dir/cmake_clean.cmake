@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decimal_accuracy_test.dir/numerics/decimal_accuracy_test.cc.o"
+  "CMakeFiles/decimal_accuracy_test.dir/numerics/decimal_accuracy_test.cc.o.d"
+  "decimal_accuracy_test"
+  "decimal_accuracy_test.pdb"
+  "decimal_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decimal_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/grad_check_test.cc" "tests/CMakeFiles/grad_check_test.dir/nn/grad_check_test.cc.o" "gcc" "tests/CMakeFiles/grad_check_test.dir/nn/grad_check_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/qt8_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/qt8_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/qt8_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/qt8_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

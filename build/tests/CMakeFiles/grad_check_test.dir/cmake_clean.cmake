@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grad_check_test.dir/nn/grad_check_test.cc.o"
+  "CMakeFiles/grad_check_test.dir/nn/grad_check_test.cc.o.d"
+  "grad_check_test"
+  "grad_check_test.pdb"
+  "grad_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grad_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minifloat_test.dir/numerics/minifloat_test.cc.o"
+  "CMakeFiles/minifloat_test.dir/numerics/minifloat_test.cc.o.d"
+  "minifloat_test"
+  "minifloat_test.pdb"
+  "minifloat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minifloat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

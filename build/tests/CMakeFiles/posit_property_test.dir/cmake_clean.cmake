@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posit_property_test.dir/numerics/posit_property_test.cc.o"
+  "CMakeFiles/posit_property_test.dir/numerics/posit_property_test.cc.o.d"
+  "posit_property_test"
+  "posit_property_test.pdb"
+  "posit_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posit_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

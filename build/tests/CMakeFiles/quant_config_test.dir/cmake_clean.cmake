@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_config_test.dir/quant/config_test.cc.o"
+  "CMakeFiles/quant_config_test.dir/quant/config_test.cc.o.d"
+  "quant_config_test"
+  "quant_config_test.pdb"
+  "quant_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_inspect.dir/format_inspect.cc.o"
+  "CMakeFiles/format_inspect.dir/format_inspect.cc.o.d"
+  "format_inspect"
+  "format_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_quantized_training.dir/run_quantized_training.cc.o"
+  "CMakeFiles/run_quantized_training.dir/run_quantized_training.cc.o.d"
+  "run_quantized_training"
+  "run_quantized_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_quantized_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

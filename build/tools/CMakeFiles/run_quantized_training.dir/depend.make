@@ -1,0 +1,2 @@
+# Empty dependencies file for run_quantized_training.
+# This may be replaced when dependencies are built.
