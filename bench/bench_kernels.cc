@@ -1,11 +1,24 @@
 /**
  * @file
  * Google-benchmark microbenchmarks for the library's hot kernels:
- * fake-quantization throughput per format, GEMM, exact vs approximate
+ * fake-quantization throughput per format (LUT fast path vs the
+ * reference binary search), blocked vs naive GEMM, exact vs approximate
  * posit softmax, and the posit codec.
+ *
+ * `bench_kernels --smoke` skips timing and instead exercises the fast
+ * paths against their reference implementations (LUT vs search, blocked
+ * vs naive GEMM), exiting nonzero on any mismatch — this is what the
+ * ctest entry runs.
  */
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "numerics/float_bits.h"
 #include "numerics/posit_ops.h"
 #include "numerics/quantizer.h"
 #include "tensor/ops.h"
@@ -13,6 +26,22 @@
 
 namespace qt8 {
 namespace {
+
+std::vector<float>
+mixedMagnitudeData(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> data(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (i % 2 == 0) {
+            const double mag = std::exp2(rng.uniform(-20.0, 20.0));
+            data[i] = static_cast<float>(rng.uniform() < 0.5 ? -mag : mag);
+        } else {
+            data[i] = static_cast<float>(rng.normal() * 4.0);
+        }
+    }
+    return data;
+}
 
 void
 BM_QuantizeTensor(benchmark::State &state, const char *format)
@@ -35,6 +64,56 @@ BENCHMARK_CAPTURE(BM_QuantizeTensor, posit16, "posit16");
 BENCHMARK_CAPTURE(BM_QuantizeTensor, e4m3, "e4m3");
 BENCHMARK_CAPTURE(BM_QuantizeTensor, e5m2, "e5m2");
 BENCHMARK_CAPTURE(BM_QuantizeTensor, bf16, "bf16");
+
+/// The seed binary-search path on the same data, for the LUT speedup
+/// comparison.
+void
+BM_QuantizeTensorSearch(benchmark::State &state, const char *format)
+{
+    const Quantizer q = Quantizer::byName(format);
+    Rng rng(1);
+    std::vector<float> data(16384);
+    for (auto &v : data)
+        v = static_cast<float>(rng.normal() * 4.0);
+    for (auto _ : state) {
+        std::vector<float> copy = data;
+        for (auto &v : copy)
+            v = q.quantizeBySearch(v);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK_CAPTURE(BM_QuantizeTensorSearch, posit8, "posit8");
+BENCHMARK_CAPTURE(BM_QuantizeTensorSearch, posit16, "posit16");
+BENCHMARK_CAPTURE(BM_QuantizeTensorSearch, e4m3, "e4m3");
+
+/// 1M-element quantizeInPlace (the acceptance-criteria size): LUT fast
+/// path vs the seed binary search.
+void
+BM_Quantize1M(benchmark::State &state, const char *format, bool lut)
+{
+    const Quantizer q = Quantizer::byName(format);
+    const std::vector<float> data = mixedMagnitudeData(1u << 20, 42);
+    std::vector<float> copy(data.size());
+    for (auto _ : state) {
+        std::memcpy(copy.data(), data.data(),
+                    data.size() * sizeof(float));
+        if (lut) {
+            q.quantizeInPlace(copy.data(), copy.size());
+        } else {
+            for (auto &v : copy)
+                v = q.quantizeBySearch(v);
+        }
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK_CAPTURE(BM_Quantize1M, posit8_lut, "posit8", true);
+BENCHMARK_CAPTURE(BM_Quantize1M, posit8_search, "posit8", false);
+BENCHMARK_CAPTURE(BM_Quantize1M, e4m3_lut, "e4m3", true);
+BENCHMARK_CAPTURE(BM_Quantize1M, e4m3_search, "e4m3", false);
 
 void
 BM_PositEncodeDecode(benchmark::State &state)
@@ -70,7 +149,44 @@ BM_Gemm(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                             2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(512);
+
+/// The seed triple loop, for the blocked-vs-naive comparison.
+void
+BM_GemmNaive(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Tensor a({n, n}), b({n, n}), c({n, n});
+    rng.fillNormal(a);
+    rng.fillNormal(b);
+    for (auto _ : state) {
+        gemmReference(a, false, b, false, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2 * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(128)->Arg(512);
+
+/// Decode-shaped GEMV (m = 1): the flattened tile space is what keeps
+/// this parallel.
+void
+BM_GemvDecode(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(5);
+    Tensor a({1, n}), b({n, n}), c({1, n});
+    rng.fillNormal(a);
+    rng.fillNormal(b);
+    for (auto _ : state) {
+        gemm(a, false, b, true, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2 * n * n);
+}
+BENCHMARK(BM_GemvDecode)->Arg(512);
 
 void
 BM_Softmax(benchmark::State &state, bool approx)
@@ -93,7 +209,85 @@ BM_Softmax(benchmark::State &state, bool approx)
 BENCHMARK_CAPTURE(BM_Softmax, exact_quantized, false);
 BENCHMARK_CAPTURE(BM_Softmax, posit_approx, true);
 
+/// --smoke: exercise (don't time) the fast paths against their
+/// references; returns the process exit code.
+int
+smokeMain()
+{
+    int failures = 0;
+
+    // LUT vs binary search on mixed-magnitude data, every grid format.
+    for (const char *name :
+         {"posit8", "posit(8,0)", "posit(8,2)", "e4m3", "e5m2",
+          "posit16"}) {
+        const Quantizer q = Quantizer::byName(name);
+        std::vector<float> data = mixedMagnitudeData(1u << 16, 7);
+        std::vector<float> fast = data;
+        q.quantizeInPlace(fast.data(), fast.size());
+        for (size_t i = 0; i < data.size(); ++i) {
+            const float want = q.quantizeBySearch(data[i]);
+            if (bits_from_float(fast[i]) != bits_from_float(want)) {
+                std::fprintf(stderr,
+                             "smoke: %s LUT mismatch at x=%a: %a != %a\n",
+                             name, data[i], fast[i], want);
+                ++failures;
+                break;
+            }
+        }
+    }
+
+    // Blocked vs naive GEMM, all transpose combinations, odd shapes.
+    {
+        Rng rng(11);
+        const int64_t m = 65, n = 130, k = 77;
+        for (const bool ta : {false, true}) {
+            for (const bool tb : {false, true}) {
+                Tensor a(ta ? std::vector<int64_t>{k, m}
+                            : std::vector<int64_t>{m, k});
+                Tensor b(tb ? std::vector<int64_t>{n, k}
+                            : std::vector<int64_t>{k, n});
+                rng.fillNormal(a);
+                rng.fillNormal(b);
+                Tensor c0({m, n}), c1({m, n});
+                rng.fillNormal(c0);
+                c1 = c0;
+                gemm(a, ta, b, tb, c0, 0.5f, 1.5f);
+                gemmReference(a, ta, b, tb, c1, 0.5f, 1.5f);
+                for (int64_t i = 0; i < c0.numel(); ++i) {
+                    if (bits_from_float(c0.at(i)) !=
+                        bits_from_float(c1.at(i))) {
+                        std::fprintf(stderr,
+                                     "smoke: gemm(ta=%d,tb=%d) mismatch "
+                                     "at %lld\n",
+                                     ta, tb,
+                                     static_cast<long long>(i));
+                        ++failures;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    if (failures == 0)
+        std::printf("bench_kernels --smoke: OK\n");
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 } // namespace qt8
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            return qt8::smokeMain();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

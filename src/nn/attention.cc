@@ -1,5 +1,6 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -141,9 +142,9 @@ MultiHeadAttention::forward(QuantSession &qs, const Tensor &x,
                 Tensor sm = scores;
                 softmaxRowsInPlace(sm);
                 qs.carrier(sm);
-                for (int64_t i = 0; i < seq_q; ++i)
-                    for (int64_t j = 0; j < skv_; ++j)
-                        probs_.at(row0 + i, j) = sm.at(i, j);
+                // This head's probs_ rows are one contiguous block.
+                std::copy_n(sm.data(), seq_q * skv_,
+                            probs_.data() + row0 * skv_);
             } else {
                 for (int64_t i = 0; i < seq_q; ++i) {
                     approx_sm.forward(
@@ -157,13 +158,11 @@ MultiHeadAttention::forward(QuantSession &qs, const Tensor &x,
 
             // P.V GEMM: quantize P.
             Tensor ph({seq_q, skv_});
-            for (int64_t i = 0; i < seq_q; ++i)
-                for (int64_t j = 0; j < skv_; ++j)
-                    ph.at(i, j) = probs_.at(row0 + i, j);
+            std::copy_n(probs_.data() + row0 * skv_, seq_q * skv_,
+                        ph.data());
             qs.quantFwd(OpClass::kGemm, ph);
-            for (int64_t i = 0; i < seq_q; ++i)
-                for (int64_t j = 0; j < skv_; ++j)
-                    probs_q_.at(row0 + i, j) = ph.at(i, j);
+            std::copy_n(ph.data(), seq_q * skv_,
+                        probs_q_.data() + row0 * skv_);
 
             gemm(ph, false, vh, false, ctx_h);
             scatterHeadAdd(ctx_flat, b, seq_q, d_head_, h, ctx_h);
@@ -205,14 +204,12 @@ MultiHeadAttention::backward(QuantSession &qs, const Tensor &gy,
             extractHead(gctx, b, sq_, d_head_, h, gctx_h);
             extractHead(vq_, b, skv_, d_head_, h, vh);
             const int64_t row0 = (b * n_heads_ + h) * sq_;
-            for (int64_t i = 0; i < sq_; ++i)
-                for (int64_t j = 0; j < skv_; ++j)
-                    ph.at(i, j) = probs_q_.at(row0 + i, j);
+            std::copy_n(probs_q_.data() + row0 * skv_, sq_ * skv_,
+                        ph.data());
 
             gemm(gctx_h, false, vh, true, dph);
-            for (int64_t i = 0; i < sq_; ++i)
-                for (int64_t j = 0; j < skv_; ++j)
-                    dprobs.at(row0 + i, j) = dph.at(i, j);
+            std::copy_n(dph.data(), sq_ * skv_,
+                        dprobs.data() + row0 * skv_);
 
             gemm(ph, true, gctx_h, false, dvh);
             scatterHeadAdd(gv_flat, b, skv_, d_head_, h, dvh);
@@ -260,9 +257,8 @@ MultiHeadAttention::backward(QuantSession &qs, const Tensor &gy,
             extractHead(qq_, b, sq_, d_head_, h, qh);
             extractHead(kq_, b, skv_, d_head_, h, kh);
             const int64_t row0 = (b * n_heads_ + h) * sq_;
-            for (int64_t i = 0; i < sq_; ++i)
-                for (int64_t j = 0; j < skv_; ++j)
-                    ds.at(i, j) = dscaled.at(row0 + i, j);
+            std::copy_n(dscaled.data() + row0 * skv_, sq_ * skv_,
+                        ds.data());
             gemm(ds, false, kh, false, dqh);
             gemm(ds, true, qh, false, dkh);
             scatterHeadAdd(gq_flat, b, sq_, d_head_, h, dqh);

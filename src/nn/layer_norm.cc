@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "util/parallel.h"
 
 namespace qt8 {
 
@@ -30,6 +31,8 @@ LayerNorm::forward(QuantSession &qs, const Tensor &x)
     const float *pg = gamma.value.data();
     const float *pb = beta.value.data();
 
+    // Rows normalize independently; invstd_/norm_/y writes are disjoint.
+#pragma omp parallel for schedule(static) if (useParallel(m * dim_))
     for (int64_t i = 0; i < m; ++i) {
         const float *row = px + i * dim_;
         double mu = 0.0;

@@ -115,11 +115,10 @@ Linear::backward(QuantSession &qs, const Tensor &gy)
     else
         qs.quantBwd(OpClass::kGemm, gyq, slot_);
 
-    // Bias gradient.
-    if (bias.trainable) {
-        const Tensor gb = sumRows(gyq);
-        addInPlace(bias.grad, gb);
-    }
+    // Bias gradient (fused row-sum accumulate; same rounding as
+    // sumRows + addInPlace without the temporary).
+    if (bias.trainable)
+        sumRowsAdd(bias.grad, gyq);
 
     if (!loraEnabled()) {
         if (weight.trainable) {

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "numerics/float_bits.h"
+#include "util/parallel.h"
 
 namespace qt8 {
 namespace {
@@ -98,6 +99,49 @@ Quantizer::buildGridFromCodec(
         assert(thresholds_.empty() || t > thresholds_.back());
         thresholds_.push_back(t);
     }
+
+    buildLut();
+}
+
+void
+Quantizer::buildLut()
+{
+    // Index quantize() would return for x, by full binary search. The
+    // saturation pre-checks of the search path are implied: x above
+    // every threshold lands on values_.back(), x at or below the first
+    // threshold on values_.front(), and +/-inf fall out the same way.
+    auto searchIndex = [this](float x) -> uint16_t {
+        const auto it =
+            std::lower_bound(thresholds_.begin(), thresholds_.end(), x);
+        return static_cast<uint16_t>(it - thresholds_.begin());
+    };
+
+    lut_lo_.assign(kLutBuckets, 0);
+    lut_hi_.assign(kLutBuckets, 0);
+    for (uint32_t b = 0; b < kLutBuckets; ++b) {
+        const uint32_t base = b << 16;
+        // Bucket members share the top 16 bits, so they are contiguous
+        // in value order and on one side of zero; the extreme members
+        // sit at the all-zero / all-one low halfwords (order flipped for
+        // negative buckets).
+        const bool neg = (b & 0x8000u) != 0;
+        float vmin = float_from_bits(neg ? (base | 0xFFFFu) : base);
+        float vmax = float_from_bits(neg ? base : (base | 0xFFFFu));
+        // Exponent-all-ones buckets contain NaNs, which never reach the
+        // table (quantize checks isnan first); only the +/-inf member,
+        // if present, matters.
+        if (std::isnan(vmin) && std::isnan(vmax))
+            continue; // unreachable bucket
+        if (std::isnan(vmin))
+            vmin = vmax;
+        if (std::isnan(vmax))
+            vmax = vmin;
+        const uint16_t lo = searchIndex(vmin);
+        const uint16_t hi = searchIndex(vmax);
+        assert(lo <= hi);
+        lut_lo_[b] = lo;
+        lut_hi_[b] = hi;
+    }
 }
 
 Quantizer
@@ -147,6 +191,8 @@ void
 int8QuantizeBuffer(float *p, size_t n)
 {
     double amax = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : amax) \
+    if (useParallel(static_cast<int64_t>(n)))
     for (size_t i = 0; i < n; ++i) {
         const double a = std::fabs(static_cast<double>(p[i]));
         if (std::isfinite(a) && a > amax)
@@ -156,6 +202,8 @@ int8QuantizeBuffer(float *p, size_t n)
         return;
     const float scale = static_cast<float>(amax / 127.0);
     const float inv = 1.0f / scale;
+#pragma omp parallel for schedule(static) \
+    if (useParallel(static_cast<int64_t>(n)))
     for (size_t i = 0; i < n; ++i) {
         float q = std::nearbyintf(p[i] * inv);
         q = std::min(127.0f, std::max(-127.0f, q));
@@ -213,6 +261,28 @@ Quantizer::quantize(float x) const
     }
     if (std::isnan(x))
         return x;
+    // LUT fast path: the top 16 bits select the grid-index range this
+    // float can round to; buckets that straddle a threshold finish with
+    // a lower_bound over that tiny window, which equals the full search
+    // because thresholds below lut_lo_ are all < x and the result is
+    // bounded above by lut_hi_.
+    const uint32_t b = bits_from_float(x) >> 16;
+    const uint32_t lo = lut_lo_[b];
+    const uint32_t hi = lut_hi_[b];
+    if (lo == hi)
+        return values_[lo];
+    const float *tb = thresholds_.data();
+    const float *it = std::lower_bound(tb + lo, tb + hi, x);
+    return values_[static_cast<size_t>(it - tb)];
+}
+
+float
+Quantizer::quantizeBySearch(float x) const
+{
+    if (kind_ != Kind::kGrid)
+        return quantize(x);
+    if (std::isnan(x))
+        return x;
     if (x >= values_.back())
         return values_.back(); // saturate (also +inf)
     if (x <= values_.front())
@@ -233,7 +303,8 @@ Quantizer::quantizeInPlace(float *p, size_t n) const
         int8QuantizeBuffer(p, n);
         return;
     }
-#pragma omp parallel for schedule(static) if (n > 8192)
+#pragma omp parallel for schedule(static) \
+    if (useParallel(static_cast<int64_t>(n)))
     for (size_t i = 0; i < n; ++i)
         p[i] = quantize(p[i]);
 }
@@ -252,9 +323,17 @@ Quantizer::quantizeRowsInPlace(float *p, size_t rows, size_t cols) const
 void
 AmaxHistory::push(double amax)
 {
-    history_.push_back(amax);
-    if (static_cast<int>(history_.size()) > window_)
-        history_.erase(history_.begin());
+    if (window_ <= 0)
+        return;
+    if (static_cast<int>(history_.size()) < window_) {
+        history_.push_back(amax);
+        return;
+    }
+    // Ring overwrite of the oldest entry: O(1) per step, versus the
+    // O(window) erase(begin()) this replaced. predict() is a max over
+    // the window, so element order is irrelevant.
+    history_[next_] = amax;
+    next_ = (next_ + 1) % static_cast<size_t>(window_);
 }
 
 double
@@ -278,6 +357,8 @@ void
 TensorScaler::quantizeInPlace(float *p, size_t n)
 {
     double amax = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : amax) \
+    if (useParallel(static_cast<int64_t>(n)))
     for (size_t i = 0; i < n; ++i) {
         const double a = std::fabs(static_cast<double>(p[i]));
         if (std::isfinite(a) && a > amax)
@@ -291,6 +372,8 @@ TensorScaler::quantizeInPlace(float *p, size_t n)
     const double s = scaleFor(predicted, target);
     const float fs = static_cast<float>(s);
     const float inv = static_cast<float>(1.0 / s);
+#pragma omp parallel for schedule(static) \
+    if (useParallel(static_cast<int64_t>(n)))
     for (size_t i = 0; i < n; ++i)
         p[i] = quantizer_->quantize(p[i] * fs) * inv;
 

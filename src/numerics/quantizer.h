@@ -17,6 +17,7 @@
 #define QT8_NUMERICS_QUANTIZER_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -32,6 +33,16 @@ namespace qt8 {
  * Copyable value type; cheap to pass around by const reference. The
  * identity quantizer passes values through (used for FP32 baselines);
  * the bf16 quantizer uses the algorithmic BFloat16 path.
+ *
+ * Grid formats round through a direct-lookup fast path: floats are
+ * bucketed by their top 16 bits (sign + exponent + upper mantissa) into
+ * a 65,536-entry table holding the grid-index range each bucket can map
+ * to. Most buckets resolve to a single index; the few that straddle a
+ * rounding threshold finish with a lower_bound over that bucket's
+ * (tiny) threshold window, so the result is bit-exact with the full
+ * binary search (kept as quantizeBySearch for verification). This
+ * mirrors the paper's hardware, which decodes 8-bit codes with small
+ * LUT-like units rather than comparator chains (section 4).
  */
 class Quantizer
 {
@@ -59,8 +70,15 @@ class Quantizer
     /// Throws std::invalid_argument for unknown names.
     static Quantizer byName(const std::string &name);
 
-    /// Round one value to the grid.
+    /// Round one value to the grid (LUT fast path for grid formats).
     float quantize(float x) const;
+
+    /**
+     * Reference rounding via binary search over the full threshold
+     * list (the pre-LUT implementation). Bit-exact with quantize();
+     * kept for the exhaustive equivalence tests and benchmarks.
+     */
+    float quantizeBySearch(float x) const;
 
     /// Round a buffer in place (for int8: dynamic per-tensor scale).
     void quantizeInPlace(float *p, size_t n) const;
@@ -82,6 +100,13 @@ class Quantizer
     /// The amax target for per-tensor scaling in this format.
     double scalingTargetAmax() const { return scaling_target_; }
 
+    /// Sorted representable values of a grid format (empty otherwise).
+    const std::vector<float> &gridValues() const { return values_; }
+
+    /// Rounding thresholds of a grid format: gridThresholds()[i] is the
+    /// largest float rounding to gridValues()[i] (empty otherwise).
+    const std::vector<float> &gridThresholds() const { return thresholds_; }
+
   private:
     enum class Kind { kIdentity, kBfloat16, kGrid, kInt8 };
 
@@ -97,6 +122,10 @@ class Quantizer
         const std::vector<double> &values,
         const std::function<double(double)> &ref_quantize);
 
+    /// Fill lut_lo_/lut_hi_ from the thresholds (called at the end of
+    /// buildGridFromCodec).
+    void buildLut();
+
     Kind kind_ = Kind::kIdentity;
     std::string name_ = "fp32";
     double max_rep_ = 0.0;
@@ -107,6 +136,14 @@ class Quantizer
     /// thresholds_[i] = largest float that rounds to values_[i]
     /// (size values_.size() - 1; the last value has no upper threshold).
     std::vector<float> thresholds_;
+
+    /// One bucket per top-16-bit float prefix.
+    static constexpr uint32_t kLutBuckets = 1u << 16;
+    /// Per-bucket [lo, hi] grid-index range: every non-NaN float whose
+    /// top 16 bits select the bucket rounds to a value in that range.
+    /// lo == hi for buckets that resolve directly (the vast majority).
+    std::vector<uint16_t> lut_lo_;
+    std::vector<uint16_t> lut_hi_;
 };
 
 /**
@@ -130,7 +167,10 @@ class AmaxHistory
 
   private:
     int window_;
-    std::vector<double> history_; // ring buffer, newest appended
+    /// Fixed-capacity ring: grows to window_ entries, then next_ wraps
+    /// and overwrites the oldest (O(1) push; predict scans the window).
+    std::vector<double> history_;
+    size_t next_ = 0;
 };
 
 /**

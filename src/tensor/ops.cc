@@ -2,21 +2,45 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "util/parallel.h"
 
 namespace qt8 {
+namespace {
+
+/// Block edge of the (m, n) tile grid. 64x64 output tiles with full-k
+/// contiguous panels keep both operands' working set (2 * 64 * k
+/// floats) within L2 for the model sizes we run.
+constexpr int64_t kGemmBlock = 64;
+
+/// Same work threshold as the original kernel.
+constexpr int64_t kGemmParallelFlops = 16384;
+
+void
+checkGemmShapes(const Tensor &a, bool trans_a, const Tensor &b,
+                bool trans_b, const Tensor &c, int64_t &m, int64_t &n,
+                int64_t &k)
+{
+    assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+    m = trans_a ? a.dim(1) : a.dim(0);
+    k = trans_a ? a.dim(0) : a.dim(1);
+    const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+    n = trans_b ? b.dim(0) : b.dim(1);
+    if (k != kb || c.dim(0) != m || c.dim(1) != n)
+        throw std::invalid_argument("gemm: shape mismatch");
+}
+
+} // namespace
 
 void
 gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
      Tensor &c, float alpha, float beta)
 {
-    assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
-    const int64_t m = trans_a ? a.dim(1) : a.dim(0);
-    const int64_t k = trans_a ? a.dim(0) : a.dim(1);
-    const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
-    const int64_t n = trans_b ? b.dim(0) : b.dim(1);
-    if (k != kb || c.dim(0) != m || c.dim(1) != n)
-        throw std::invalid_argument("gemm: shape mismatch");
+    int64_t m, n, k;
+    checkGemmShapes(a, trans_a, b, trans_b, c, m, n, k);
 
     const float *pa = a.data();
     const float *pb = b.data();
@@ -24,7 +48,91 @@ gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
     const int64_t lda = a.dim(1);
     const int64_t ldb = b.dim(1);
 
-#pragma omp parallel for schedule(static) if (m * n * k > 16384)
+    // Flattened tile space: every tile owns a disjoint output block, so
+    // scheduling is race-free, and a 1 x n GEMV still yields n/block
+    // independent tiles to spread over cores.
+    const int64_t tiles_m = (m + kGemmBlock - 1) / kGemmBlock;
+    const int64_t tiles_n = (n + kGemmBlock - 1) / kGemmBlock;
+    const int64_t tiles = tiles_m * tiles_n;
+    const bool par =
+        m * n * k > kGemmParallelFlops && kernelThreads() > 1;
+
+#pragma omp parallel if (par)
+    {
+        // Per-thread panels for the strided operand(s): rows of op(A)
+        // and columns of op(B) are copied once per tile into contiguous
+        // length-k runs, turning every inner product into a unit-stride
+        // dot. Ascending-k order is preserved, so results match the
+        // naive loop bit for bit.
+        std::vector<float> a_pack;
+        std::vector<float> b_pack;
+
+#pragma omp for schedule(static)
+        for (int64_t tile = 0; tile < tiles; ++tile) {
+            const int64_t i0 = (tile / tiles_n) * kGemmBlock;
+            const int64_t j0 = (tile % tiles_n) * kGemmBlock;
+            const int64_t i1 = std::min(m, i0 + kGemmBlock);
+            const int64_t j1 = std::min(n, j0 + kGemmBlock);
+            const int64_t bm = i1 - i0;
+            const int64_t bn = j1 - j0;
+
+            if (trans_a) {
+                // op(A) row i is column i of A: stride-lda gather.
+                a_pack.resize(static_cast<size_t>(bm) * k);
+                for (int64_t t = 0; t < k; ++t) {
+                    const float *src = pa + t * lda + i0;
+                    for (int64_t ii = 0; ii < bm; ++ii)
+                        a_pack[static_cast<size_t>(ii) * k + t] = src[ii];
+                }
+            }
+            if (!trans_b) {
+                // op(B) column j is column j of B: stride-ldb gather.
+                b_pack.resize(static_cast<size_t>(bn) * k);
+                for (int64_t t = 0; t < k; ++t) {
+                    const float *src = pb + t * ldb + j0;
+                    for (int64_t jj = 0; jj < bn; ++jj)
+                        b_pack[static_cast<size_t>(jj) * k + t] = src[jj];
+                }
+            }
+
+            for (int64_t i = i0; i < i1; ++i) {
+                const float *ra = trans_a
+                    ? a_pack.data() + (i - i0) * k
+                    : pa + i * lda;
+                float *rc = pc + i * n;
+                for (int64_t j = j0; j < j1; ++j) {
+                    const float *rb = trans_b
+                        ? pb + j * ldb
+                        : b_pack.data() + (j - j0) * k;
+                    double acc = 0.0;
+                    for (int64_t t = 0; t < k; ++t)
+                        acc += static_cast<double>(ra[t]) * rb[t];
+                    const double prev = beta == 0.0f
+                        ? 0.0
+                        : static_cast<double>(beta) * rc[j];
+                    rc[j] = static_cast<float>(
+                        static_cast<double>(alpha) * acc + prev);
+                }
+            }
+        }
+    }
+}
+
+void
+gemmReference(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+              Tensor &c, float alpha, float beta)
+{
+    int64_t m, n, k;
+    checkGemmShapes(a, trans_a, b, trans_b, c, m, n, k);
+
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    const int64_t lda = a.dim(1);
+    const int64_t ldb = b.dim(1);
+
+#pragma omp parallel for schedule(static) \
+    if (m * n * k > kGemmParallelFlops && kernelThreads() > 1)
     for (int64_t i = 0; i < m; ++i) {
         for (int64_t j = 0; j < n; ++j) {
             double acc = 0.0;
@@ -71,7 +179,9 @@ addInPlace(Tensor &y, const Tensor &x)
     assert(y.numel() == x.numel());
     float *py = y.data();
     const float *px = x.data();
-    for (int64_t i = 0; i < y.numel(); ++i)
+    const int64_t n = y.numel();
+#pragma omp parallel for schedule(static) if (useParallel(n))
+    for (int64_t i = 0; i < n; ++i)
         py[i] += px[i];
 }
 
@@ -81,7 +191,9 @@ axpy(Tensor &y, const Tensor &x, float alpha)
     assert(y.numel() == x.numel());
     float *py = y.data();
     const float *px = x.data();
-    for (int64_t i = 0; i < y.numel(); ++i)
+    const int64_t n = y.numel();
+#pragma omp parallel for schedule(static) if (useParallel(n))
+    for (int64_t i = 0; i < n; ++i)
         py[i] += alpha * px[i];
 }
 
@@ -97,7 +209,9 @@ void
 scaleInPlace(Tensor &t, float s)
 {
     float *p = t.data();
-    for (int64_t i = 0; i < t.numel(); ++i)
+    const int64_t n = t.numel();
+#pragma omp parallel for schedule(static) if (useParallel(n))
+    for (int64_t i = 0; i < n; ++i)
         p[i] *= s;
 }
 
@@ -109,10 +223,48 @@ addRowBias(Tensor &t, const Tensor &bias)
     const int64_t n = t.dim(1);
     float *p = t.data();
     const float *pb = bias.data();
+#pragma omp parallel for schedule(static) if (useParallel(m * n))
     for (int64_t i = 0; i < m; ++i)
         for (int64_t j = 0; j < n; ++j)
             p[i * n + j] += pb[j];
 }
+
+namespace {
+
+/// Column-stripe width for the row-sum kernels: the per-stripe double
+/// accumulators stay on the stack and each matrix row is consumed as a
+/// contiguous 1 KB run.
+constexpr int64_t kSumRowsStripe = 256;
+
+/**
+ * Shared core of sumRows/sumRowsAdd: row-major traversal (the previous
+ * column-major walk touched a fresh cache line per element) accumulating
+ * into per-column doubles, one independent column stripe per iteration
+ * so the stripe loop parallelizes. Per column the sum is still taken in
+ * ascending row order, identical to the old kernel's rounding.
+ * @p store is called once per column with the finished double sum.
+ */
+template <typename Store>
+void
+sumRowsImpl(const float *p, int64_t m, int64_t n, Store store)
+{
+    const int64_t stripes = (n + kSumRowsStripe - 1) / kSumRowsStripe;
+#pragma omp parallel for schedule(static) if (useParallel(m * n))
+    for (int64_t s = 0; s < stripes; ++s) {
+        const int64_t j0 = s * kSumRowsStripe;
+        const int64_t j1 = std::min(n, j0 + kSumRowsStripe);
+        double acc[kSumRowsStripe] = {};
+        for (int64_t i = 0; i < m; ++i) {
+            const float *row = p + i * n;
+            for (int64_t j = j0; j < j1; ++j)
+                acc[j - j0] += row[j];
+        }
+        for (int64_t j = j0; j < j1; ++j)
+            store(j, acc[j - j0]);
+    }
+}
+
+} // namespace
 
 Tensor
 sumRows(const Tensor &t)
@@ -121,22 +273,34 @@ sumRows(const Tensor &t)
     const int64_t m = t.dim(0);
     const int64_t n = t.dim(1);
     Tensor out({n});
-    const float *p = t.data();
-    for (int64_t j = 0; j < n; ++j) {
-        double acc = 0.0;
-        for (int64_t i = 0; i < m; ++i)
-            acc += p[i * n + j];
-        out.at(j) = static_cast<float>(acc);
-    }
+    float *po = out.data();
+    sumRowsImpl(t.data(), m, n, [po](int64_t j, double acc) {
+        po[j] = static_cast<float>(acc);
+    });
     return out;
+}
+
+void
+sumRowsAdd(Tensor &acc, const Tensor &t)
+{
+    assert(t.rank() == 2 && acc.numel() == t.dim(1));
+    const int64_t m = t.dim(0);
+    const int64_t n = t.dim(1);
+    float *pa = acc.data();
+    sumRowsImpl(t.data(), m, n, [pa](int64_t j, double sum) {
+        pa[j] += static_cast<float>(sum);
+    });
 }
 
 void
 softmaxRowsInPlace(Tensor &t)
 {
-    const int64_t cols = t.dim(t.rank() - 1);
+    const int64_t cols = t.rank() > 0 ? t.dim(t.rank() - 1) : 0;
+    if (cols == 0)
+        return; // nothing to normalize (and numel/cols would divide by 0)
     const int64_t rows = t.numel() / cols;
     float *p = t.data();
+#pragma omp parallel for schedule(static) if (useParallel(rows * cols))
     for (int64_t r = 0; r < rows; ++r) {
         float *row = p + r * cols;
         float m = row[0];
@@ -178,17 +342,28 @@ void
 geluInPlace(Tensor &t)
 {
     float *p = t.data();
-    for (int64_t i = 0; i < t.numel(); ++i)
+    const int64_t n = t.numel();
+#pragma omp parallel for schedule(static) if (useParallel(n))
+    for (int64_t i = 0; i < n; ++i)
         p[i] = geluScalar(p[i]);
 }
 
 double
 amax(const Tensor &t)
 {
+    // Skip non-finite values explicitly, matching the scaling scans in
+    // the quantizer (std::max used to drop NaN silently only when it
+    // was the second argument, and inf poisoned the result).
     double m = 0.0;
     const float *p = t.data();
-    for (int64_t i = 0; i < t.numel(); ++i)
-        m = std::max(m, std::fabs(static_cast<double>(p[i])));
+    const int64_t n = t.numel();
+#pragma omp parallel for schedule(static) reduction(max : m) \
+    if (useParallel(n))
+    for (int64_t i = 0; i < n; ++i) {
+        const double a = std::fabs(static_cast<double>(p[i]));
+        if (std::isfinite(a) && a > m)
+            m = a;
+    }
     return m;
 }
 
@@ -218,11 +393,17 @@ rowArgmax(const Tensor &t, int64_t row)
     assert(t.rank() == 2);
     const int64_t n = t.dim(1);
     const float *p = t.data() + row * n;
-    int64_t best = 0;
-    for (int64_t j = 1; j < n; ++j)
-        if (p[j] > p[best])
+    // NaN entries are skipped so the result does not depend on where a
+    // NaN lands (p[j] > NaN is always false, which used to freeze the
+    // answer at whatever index preceded it).
+    int64_t best = -1;
+    for (int64_t j = 0; j < n; ++j) {
+        if (std::isnan(p[j]))
+            continue;
+        if (best < 0 || p[j] > p[best])
             best = j;
-    return best;
+    }
+    return best < 0 ? 0 : best;
 }
 
 bool

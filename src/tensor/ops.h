@@ -16,9 +16,25 @@ namespace qt8 {
  * C = alpha * op(A) . op(B) + beta * C
  * A is m x k (after optional transpose), B is k x n, C is m x n.
  * Accumulation is double precision.
+ *
+ * Cache-blocked over an (m-tile, n-tile) grid: strided operands are
+ * packed into contiguous per-tile panels, and the flattened tile space
+ * is what parallelizes (so m=1 decode GEMVs still spread over all
+ * cores). The k loop is never split, so each output element sees the
+ * same ascending-k accumulation order as the naive loop and the result
+ * is bit-identical to gemmReference.
  */
 void gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
           Tensor &c, float alpha = 1.0f, float beta = 0.0f);
+
+/**
+ * The unblocked triple-loop GEMM (the original kernel), kept as the
+ * reference for equivalence tests and the blocked-vs-naive benchmarks.
+ * Bit-identical to gemm().
+ */
+void gemmReference(const Tensor &a, bool trans_a, const Tensor &b,
+                   bool trans_b, Tensor &c, float alpha = 1.0f,
+                   float beta = 0.0f);
 
 /// Convenience: returns op(A) . op(B).
 Tensor matmul(const Tensor &a, const Tensor &b, bool trans_a = false,
@@ -43,6 +59,10 @@ void addRowBias(Tensor &t, const Tensor &bias);
 /// gradients). Accumulates in double.
 Tensor sumRows(const Tensor &t);
 
+/// acc[j] += sum over rows of t[:, j] (acc is length-n). Same rounding
+/// as sumRows followed by addInPlace, without the temporary.
+void sumRowsAdd(Tensor &acc, const Tensor &t);
+
 /// Numerically stable softmax over the last dimension, in place.
 void softmaxRowsInPlace(Tensor &t);
 
@@ -53,7 +73,8 @@ float geluGradScalar(float x);
 
 void geluInPlace(Tensor &t);
 
-/// Max |element|.
+/// Max |element| over the finite elements (NaN/inf are skipped, like
+/// the per-tensor scaling scans).
 double amax(const Tensor &t);
 
 /// Mean of elements.
@@ -62,7 +83,8 @@ double mean(const Tensor &t);
 /// Sum of squares.
 double sumSquares(const Tensor &t);
 
-/// Index of the max element in row r of a 2-D tensor.
+/// Index of the max element in row r of a 2-D tensor. NaN entries are
+/// skipped (first max among non-NaN values; 0 if the row is all NaN).
 int64_t rowArgmax(const Tensor &t, int64_t row);
 
 /// True if all elements are finite.

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared OpenMP plumbing for the dense kernels: a lazily-initialized
+ * thread-count knob and the size guard used by every parallel region.
+ *
+ * `QT8_THREADS=<n>` in the environment pins the worker count (applied
+ * once via omp_set_num_threads on first kernel use), so CI and
+ * reproducibility-sensitive runs can force single-threaded execution
+ * without rebuilding. Header-only; compiles to the serial path when
+ * OpenMP is unavailable.
+ */
+#ifndef QT8_UTIL_PARALLEL_H
+#define QT8_UTIL_PARALLEL_H
+
+#include <cstdint>
+#include <cstdlib>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace qt8 {
+
+/**
+ * Effective worker count for the OpenMP kernels. Reads QT8_THREADS once
+ * on first use; a positive value is applied with omp_set_num_threads.
+ * Returns 1 when built without OpenMP.
+ */
+inline int
+kernelThreads()
+{
+    static const int n = [] {
+#ifdef _OPENMP
+        const char *env = std::getenv("QT8_THREADS");
+        if (env != nullptr && *env != '\0') {
+            const int want = std::atoi(env);
+            if (want > 0) {
+                omp_set_num_threads(want);
+                return want;
+            }
+        }
+        return omp_get_max_threads();
+#else
+        return 1;
+#endif
+    }();
+    return n;
+}
+
+/// Below this many elements the fork-join overhead dominates; the
+/// kernels stay serial (which also keeps tiny problems deterministic
+/// under any thread count).
+inline constexpr int64_t kParallelGrain = 8192;
+
+/// Size guard for the elementwise/reduction kernels.
+inline bool
+useParallel(int64_t n)
+{
+    return n >= kParallelGrain && kernelThreads() > 1;
+}
+
+} // namespace qt8
+
+#endif // QT8_UTIL_PARALLEL_H

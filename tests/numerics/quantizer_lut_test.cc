@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Exhaustive bit-exactness tests of the quantizer's LUT fast path
+ * against the reference binary-search path: every grid code, every
+ * rounding threshold +/- 1 ulp, every LUT bucket seam, and the special
+ * values (+/-0, +/-inf, NaN), for the paper's 8-bit formats plus
+ * posit16. quantize() and quantizeBySearch() must agree bit for bit.
+ */
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "numerics/float_bits.h"
+#include "numerics/quantizer.h"
+#include "tensor/random.h"
+
+namespace qt8 {
+namespace {
+
+/// Bitwise agreement between the LUT path and the search path (NaN
+/// agrees if both are NaN).
+void
+expectPathsAgree(const Quantizer &q, float x)
+{
+    const float fast = q.quantize(x);
+    const float ref = q.quantizeBySearch(x);
+    if (std::isnan(ref)) {
+        EXPECT_TRUE(std::isnan(fast)) << q.name() << " x=" << x;
+        return;
+    }
+    EXPECT_EQ(bits_from_float(fast), bits_from_float(ref))
+        << q.name() << " x=" << x << " fast=" << fast << " ref=" << ref;
+}
+
+class QuantizerLutExactness : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(QuantizerLutExactness, AllGridCodes)
+{
+    const Quantizer q = Quantizer::byName(GetParam());
+    ASSERT_FALSE(q.gridValues().empty());
+    for (const float v : q.gridValues()) {
+        expectPathsAgree(q, v);
+        // Grid values are fixed points of the rounding.
+        EXPECT_EQ(q.quantize(v), v) << q.name();
+    }
+}
+
+TEST_P(QuantizerLutExactness, ThresholdAdjacentFloats)
+{
+    const Quantizer q = Quantizer::byName(GetParam());
+    const float huge = std::numeric_limits<float>::max();
+    for (const float t : q.gridThresholds()) {
+        expectPathsAgree(q, t);
+        expectPathsAgree(q, std::nextafterf(t, huge));
+        expectPathsAgree(q, std::nextafterf(t, -huge));
+    }
+}
+
+TEST_P(QuantizerLutExactness, LutBucketSeams)
+{
+    // The first and last float of every top-16-bit bucket: any error in
+    // the per-bucket index ranges shows up at a seam.
+    const Quantizer q = Quantizer::byName(GetParam());
+    for (uint32_t b = 0; b < (1u << 16); ++b) {
+        for (const uint32_t bits : {b << 16, (b << 16) | 0xFFFFu}) {
+            const float x = float_from_bits(bits);
+            if (std::isnan(x))
+                continue;
+            expectPathsAgree(q, x);
+        }
+    }
+}
+
+TEST_P(QuantizerLutExactness, SpecialValues)
+{
+    const Quantizer q = Quantizer::byName(GetParam());
+    const float inf = std::numeric_limits<float>::infinity();
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    for (const float x : {0.0f, -0.0f, inf, -inf, nan, -nan})
+        expectPathsAgree(q, x);
+    // Saturation still lands on the extremes.
+    EXPECT_EQ(q.quantize(inf), q.gridValues().back());
+    EXPECT_EQ(q.quantize(-inf), q.gridValues().front());
+    EXPECT_TRUE(std::isnan(q.quantize(nan)));
+}
+
+TEST_P(QuantizerLutExactness, RandomMixedMagnitudes)
+{
+    const Quantizer q = Quantizer::byName(GetParam());
+    Rng rng(29);
+    for (int i = 0; i < 200000; ++i) {
+        float x;
+        if (i % 2 == 0) {
+            const double mag = std::exp2(rng.uniform(-40.0, 40.0));
+            x = static_cast<float>(rng.uniform() < 0.5 ? -mag : mag);
+        } else {
+            x = static_cast<float>(rng.normal() * 8.0);
+        }
+        expectPathsAgree(q, x);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, QuantizerLutExactness,
+                         ::testing::Values("posit8", "posit(8,2)", "e4m3",
+                                           "e5m2", "posit16"));
+
+TEST(QuantizerLut, InPlaceMatchesScalar)
+{
+    const Quantizer q = Quantizer::byName("posit8");
+    Rng rng(31);
+    std::vector<float> data(20000);
+    for (auto &v : data)
+        v = static_cast<float>(rng.normal() * 16.0);
+    std::vector<float> copy = data;
+    q.quantizeInPlace(copy.data(), copy.size());
+    for (size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(bits_from_float(copy[i]),
+                  bits_from_float(q.quantizeBySearch(data[i])));
+}
+
+TEST(AmaxHistory, RingOverwritesOldest)
+{
+    // The ring rewrite must keep the sliding-window semantics exactly.
+    AmaxHistory h(3);
+    h.push(10.0);
+    h.push(2.0);
+    h.push(3.0);
+    EXPECT_DOUBLE_EQ(h.predict(), 10.0);
+    h.push(1.0); // evicts 10.0
+    EXPECT_DOUBLE_EQ(h.predict(), 3.0);
+    h.push(1.0); // evicts 2.0
+    h.push(1.0); // evicts 3.0
+    EXPECT_DOUBLE_EQ(h.predict(), 1.0);
+    h.push(7.0);
+    EXPECT_DOUBLE_EQ(h.predict(), 7.0);
+}
+
+TEST(AmaxHistory, LongRunMatchesNaiveWindow)
+{
+    AmaxHistory h(5);
+    std::vector<double> naive;
+    Rng rng(37);
+    for (int i = 0; i < 200; ++i) {
+        const double v = std::fabs(rng.normal()) + 0.01;
+        h.push(v);
+        naive.push_back(v);
+        if (naive.size() > 5)
+            naive.erase(naive.begin());
+        double want = naive[0];
+        for (double u : naive)
+            want = std::max(want, u);
+        EXPECT_DOUBLE_EQ(h.predict(), want) << "step " << i;
+    }
+}
+
+} // namespace
+} // namespace qt8

@@ -3,6 +3,7 @@
  * Tests for the dense tensor container, kernels, and RNG.
  */
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -158,6 +159,41 @@ TEST(Ops, AmaxMeanFinite)
     EXPECT_TRUE(allFinite(t));
     t.at(1) = std::numeric_limits<float>::infinity();
     EXPECT_FALSE(allFinite(t));
+}
+
+TEST(Ops, AmaxSkipsNonFinite)
+{
+    Tensor t({4});
+    t.at(0) = 3.0f;
+    t.at(1) = std::numeric_limits<float>::quiet_NaN();
+    t.at(2) = std::numeric_limits<float>::infinity();
+    t.at(3) = -5.0f;
+    EXPECT_DOUBLE_EQ(amax(t), 5.0);
+    // All non-finite: amax falls back to 0 (same as an empty tensor).
+    Tensor u({1});
+    u.at(0) = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(amax(u), 0.0);
+}
+
+TEST(Ops, RowArgmaxSkipsNan)
+{
+    Tensor t({2, 4});
+    t.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    t.at(0, 1) = 1.0f;
+    t.at(0, 2) = 9.0f;
+    t.at(0, 3) = std::numeric_limits<float>::quiet_NaN();
+    // A leading NaN used to freeze the answer at index 0.
+    EXPECT_EQ(rowArgmax(t, 0), 2);
+    for (int64_t j = 0; j < 4; ++j)
+        t.at(1, j) = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(rowArgmax(t, 1), 0); // all-NaN rows pick a fixed index
+}
+
+TEST(Ops, SoftmaxEmptyLastDimIsNoOp)
+{
+    Tensor t({3, 0});
+    softmaxRowsInPlace(t); // used to divide by zero computing rows
+    EXPECT_EQ(t.numel(), 0);
 }
 
 TEST(Rng, Deterministic)
