@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Decode throughput: KV-cached incremental greedy decoding vs the
+ * uncached reference that re-runs the full teacher-forced forward (and
+ * the encoder) for every emitted token.
+ *
+ * The uncached path is O(T^2) in decoded length T — step t pays a
+ * forward over all t prefix positions — while the cached path is O(T):
+ * each step projects and attends exactly one new position against the
+ * cached quantized K/V panels. Both produce bit-identical tokens (the
+ * quant grids are static and element-wise, so a row quantized alone
+ * equals the same row quantized inside the full tensor).
+ *
+ * `bench_decode --smoke` skips timing and instead checks cached vs
+ * uncached token equality across quant configs, exiting nonzero on any
+ * mismatch — this is what the ctest entry runs.
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/tasks.h"
+#include "harness.h"
+#include "tensor/ops.h"
+
+using namespace qt8;
+using namespace qt8::bench;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/// Uncached: T full-prefix forwards, argmax-feeding like the cached
+/// path, but without early EOS exit so both paths decode exactly
+/// max_len positions (an untrained model rarely emits EOS anyway; the
+/// fixed step count keeps the comparison honest).
+double
+timeUncached(Seq2Seq &model, QuantSession &qs, const Seq2SeqBatch &batch,
+             int64_t max_len)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<int32_t> tgt(static_cast<size_t>(batch.batch), Vocab::kBos);
+    for (int64_t t = 1; t <= max_len; ++t) {
+        const Tensor logits =
+            model.forward(qs, batch.src, batch.batch, batch.seq_src,
+                          batch.src_pad.data(), tgt, t);
+        std::vector<int32_t> next(
+            static_cast<size_t>(batch.batch * (t + 1)));
+        for (int64_t b = 0; b < batch.batch; ++b) {
+            for (int64_t i = 0; i < t; ++i)
+                next[static_cast<size_t>(b * (t + 1) + i)] =
+                    tgt[static_cast<size_t>(b * t + i)];
+            next[static_cast<size_t>(b * (t + 1) + t)] =
+                static_cast<int32_t>(rowArgmax(logits, b * t + t - 1));
+        }
+        tgt = std::move(next);
+    }
+    return secondsSince(t0);
+}
+
+/// Cached: one encoder pass + max_len single-position steps.
+double
+timeCached(Seq2Seq &model, QuantSession &qs, const Seq2SeqBatch &batch,
+           int64_t max_len)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    DecodeState st =
+        model.beginDecode(qs, batch.src, batch.batch, batch.seq_src,
+                          batch.src_pad.data(), max_len);
+    std::vector<int32_t> cur(static_cast<size_t>(batch.batch), Vocab::kBos);
+    for (int64_t t = 1; t <= max_len; ++t) {
+        const Tensor logits =
+            model.forwardIncremental(qs, cur, st, batch.src_pad.data());
+        for (int64_t b = 0; b < batch.batch; ++b)
+            cur[static_cast<size_t>(b)] =
+                static_cast<int32_t>(rowArgmax(logits, b));
+    }
+    return secondsSince(t0);
+}
+
+int
+smokeMain()
+{
+    int failures = 0;
+    ModelConfig cfg = ModelConfig::whisperTinyLike();
+    const Seq2SeqTask task(cfg.vocab, 20, 10);
+    Rng rng(51);
+    const Seq2SeqBatch batch = task.sample(rng, 3);
+
+    const std::vector<std::pair<const char *, QuantConfig>> dtypes = {
+        {"bf16", QuantConfig::bf16()},
+        {"posit(8,1)", QuantConfig::posit8()},
+        {"e4m3", QuantConfig::fp8()},
+        {"posit8-approx", QuantConfig::posit8Approx()},
+    };
+    for (const auto &[label, qc] : dtypes) {
+        Seq2Seq model(cfg, 9090);
+        QuantSession qs(qc);
+        const auto ref = model.greedyDecodeReference(
+            qs, batch.src, batch.batch, batch.seq_src, batch.src_pad.data(),
+            /*max_len=*/12, Vocab::kBos, Vocab::kEos);
+        const auto got = model.greedyDecode(
+            qs, batch.src, batch.batch, batch.seq_src, batch.src_pad.data(),
+            /*max_len=*/12, Vocab::kBos, Vocab::kEos);
+        if (ref != got) {
+            std::fprintf(stderr,
+                         "smoke: %s cached decode diverges from the "
+                         "uncached reference\n",
+                         label);
+            ++failures;
+        }
+    }
+    if (failures == 0)
+        std::printf("bench_decode --smoke: OK\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            return smokeMain();
+    }
+
+    banner("Decode throughput: KV cache (O(T)) vs uncached (O(T^2))");
+
+    ModelConfig cfg = ModelConfig::whisperTinyLike();
+    const int64_t batch_size = 8, max_len = 64;
+    const Seq2SeqTask task(cfg.vocab, 36, 12);
+    Rng rng(52);
+    const Seq2SeqBatch batch = task.sample(rng, batch_size);
+    const int64_t tokens = batch_size * max_len;
+
+    std::printf("model=%s batch=%lld max_len=%lld (uncached re-runs the "
+                "full prefix per step: O(T^2); cached appends one "
+                "position: O(T))\n\n",
+                cfg.name.c_str(), static_cast<long long>(batch_size),
+                static_cast<long long>(max_len));
+    std::printf("%-14s %14s %14s %9s\n", "dtype", "uncached tok/s",
+                "cached tok/s", "speedup");
+
+    const std::vector<std::pair<const char *, QuantConfig>> dtypes = {
+        {"fp32", QuantConfig::fp32()},
+        {"bf16", QuantConfig::bf16()},
+        {"posit(8,1)", QuantConfig::posit8()},
+        {"e4m3", QuantConfig::fp8()},
+    };
+    for (const auto &[label, qc] : dtypes) {
+        Seq2Seq model(cfg, 9191);
+        QuantSession qs(qc);
+        // Warm one cached pass so first-touch allocation is off the
+        // clock for both variants.
+        timeCached(model, qs, batch, 8);
+        const double slow = timeUncached(model, qs, batch, max_len);
+        const double fast = timeCached(model, qs, batch, max_len);
+        std::printf("%-14s %14.0f %14.0f %8.1fx\n", label,
+                    tokens / slow, tokens / fast, slow / fast);
+    }
+    return 0;
+}

@@ -5,11 +5,28 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "util/parallel.h"
 
 namespace qt8 {
 namespace {
 
 constexpr float kMaskValue = -1e9f;
+
+/// Work threshold (multiply-adds across all heads) below which the
+/// batched attention loops stay serial.
+constexpr int64_t kAttnParallelFlops = 16384;
+
+/// Copy a head's slice out of a flat [rows, d_model] panel starting at
+/// @p src (row-wise contiguous d_head runs) into dst [rows, d_head].
+void
+extractHeadRows(const float *src, int64_t rows, int64_t d_model,
+                int64_t d_head, int h, Tensor &dst)
+{
+    const float *ps = src + h * d_head;
+    float *pd = dst.data();
+    for (int64_t r = 0; r < rows; ++r)
+        std::copy_n(ps + r * d_model, d_head, pd + r * d_head);
+}
 
 /// Copy one head's slice of a flat [B*rows, d_model] tensor into
 /// dst [rows, d_head].
@@ -18,11 +35,8 @@ extractHead(const Tensor &src, int64_t b, int64_t rows, int64_t d_head,
             int h, Tensor &dst)
 {
     const int64_t d_model = src.dim(1);
-    const float *ps = src.data() + b * rows * d_model + h * d_head;
-    float *pd = dst.data();
-    for (int64_t r = 0; r < rows; ++r)
-        for (int64_t j = 0; j < d_head; ++j)
-            pd[r * d_head + j] = ps[r * d_model + j];
+    extractHeadRows(src.data() + b * rows * d_model, rows, d_model, d_head,
+                    h, dst);
 }
 
 /// Accumulate a [rows, d_head] head tensor back into the flat layout.
@@ -33,12 +47,54 @@ scatterHeadAdd(Tensor &dst, int64_t b, int64_t rows, int64_t d_head, int h,
     const int64_t d_model = dst.dim(1);
     float *pd = dst.data() + b * rows * d_model + h * d_head;
     const float *ps = src.data();
-    for (int64_t r = 0; r < rows; ++r)
+    for (int64_t r = 0; r < rows; ++r) {
+        float *drow = pd + r * d_model;
+        const float *srow = ps + r * d_head;
         for (int64_t j = 0; j < d_head; ++j)
-            pd[r * d_model + j] += ps[r * d_head + j];
+            drow[j] += srow[j];
+    }
 }
 
 } // namespace
+
+void
+KVCache::reset(int64_t batch_size, int64_t cap, int64_t d_model)
+{
+    batch = batch_size;
+    capacity = cap;
+    len = 0;
+    k = Tensor({batch * capacity, d_model});
+    v = Tensor({batch * capacity, d_model});
+}
+
+void
+KVCache::append(const Tensor &k_rows, const Tensor &v_rows)
+{
+    assert(len < capacity);
+    const int64_t d_model = k.dim(1);
+    assert(k_rows.dim(0) == batch && k_rows.dim(1) == d_model);
+    for (int64_t b = 0; b < batch; ++b) {
+        const int64_t dst = (b * capacity + len) * d_model;
+        std::copy_n(k_rows.data() + b * d_model, d_model, k.data() + dst);
+        std::copy_n(v_rows.data() + b * d_model, d_model, v.data() + dst);
+    }
+    ++len;
+}
+
+void
+KVCache::fill(const Tensor &k_all, const Tensor &v_all, int64_t rows)
+{
+    assert(rows <= capacity);
+    const int64_t d_model = k.dim(1);
+    assert(k_all.dim(0) == batch * rows);
+    for (int64_t b = 0; b < batch; ++b) {
+        std::copy_n(k_all.data() + b * rows * d_model, rows * d_model,
+                    k.data() + b * capacity * d_model);
+        std::copy_n(v_all.data() + b * rows * d_model, rows * d_model,
+                    v.data() + b * capacity * d_model);
+    }
+    len = rows;
+}
 
 MultiHeadAttention::MultiHeadAttention(int64_t d_model, int n_heads,
                                        BuildCtx &ctx,
@@ -95,22 +151,42 @@ MultiHeadAttention::forward(QuantSession &qs, const Tensor &x,
             mode == SoftmaxMode::kApproxBoth);
 
     Tensor ctx_flat({batch * seq_q, d_model_});
-    Tensor qh({seq_q, d_head_});
-    Tensor kh({skv_, d_head_});
-    Tensor vh({skv_, d_head_});
-    Tensor scores({seq_q, skv_});
-    Tensor ctx_h({seq_q, d_head_});
-    last_unscaled_amax_ = 0.0;
 
-    for (int64_t b = 0; b < batch; ++b) {
-        for (int h = 0; h < n_heads_; ++h) {
+    // The (batch, head) iterations are fully independent: each writes a
+    // disjoint probs_/probs_q_ row block and a disjoint (rows x d_head)
+    // column slice of ctx_flat, and the quant points it hits are pure
+    // element-wise maps, so the flattened loop parallelizes with
+    // bit-identical results. The one session callback that must stay
+    // ordered is fwd_tap (the distribution-study hook), so taps force
+    // the serial path.
+    const int64_t bh = batch * n_heads_;
+    const bool par = !force_serial && !qs.fwd_tap && bh > 1 &&
+                     kernelThreads() > 1 &&
+                     bh * seq_q * skv_ * d_head_ > kAttnParallelFlops;
+    double unscaled_amax = 0.0;
+
+#pragma omp parallel if (par)
+    {
+        // Per-thread scratch (hoisted out of the loop: the seed code
+        // re-allocated ph once per iteration).
+        Tensor qh({seq_q, d_head_});
+        Tensor kh({skv_, d_head_});
+        Tensor vh({skv_, d_head_});
+        Tensor scores({seq_q, skv_});
+        Tensor ctx_h({seq_q, d_head_});
+        Tensor ph({seq_q, skv_});
+        double local_amax = 0.0;
+
+#pragma omp for schedule(static)
+        for (int64_t idx = 0; idx < bh; ++idx) {
+            const int64_t b = idx / n_heads_;
+            const int h = static_cast<int>(idx % n_heads_);
             extractHead(qq_, b, seq_q, d_head_, h, qh);
             extractHead(kq_, b, skv_, d_head_, h, kh);
             extractHead(vq_, b, skv_, d_head_, h, vh);
 
             gemm(qh, false, kh, true, scores);
-            last_unscaled_amax_ =
-                std::max(last_unscaled_amax_, amax(scores));
+            local_amax = std::max(local_amax, amax(scores));
 
             // Attention-scaling quant point: the *unscaled* Q.K^T
             // output is quantized unless fused with the GEMM.
@@ -157,7 +233,6 @@ MultiHeadAttention::forward(QuantSession &qs, const Tensor &x,
             }
 
             // P.V GEMM: quantize P.
-            Tensor ph({seq_q, skv_});
             std::copy_n(probs_.data() + row0 * skv_, seq_q * skv_,
                         ph.data());
             qs.quantFwd(OpClass::kGemm, ph);
@@ -166,6 +241,109 @@ MultiHeadAttention::forward(QuantSession &qs, const Tensor &x,
 
             gemm(ph, false, vh, false, ctx_h);
             scatterHeadAdd(ctx_flat, b, seq_q, d_head_, h, ctx_h);
+        }
+
+#pragma omp critical
+        unscaled_amax = std::max(unscaled_amax, local_amax);
+    }
+    last_unscaled_amax_ = unscaled_amax;
+
+    qs.carrier(ctx_flat);
+    return out_proj.forward(qs, ctx_flat);
+}
+
+Tensor
+MultiHeadAttention::forwardIncremental(QuantSession &qs, const Tensor &x,
+                                       int64_t batch, KVCache &cache,
+                                       const Tensor *memory,
+                                       int64_t seq_kv,
+                                       const uint8_t *key_pad_mask)
+{
+    const bool self = (memory == nullptr);
+    assert(x.dim(0) == batch && x.dim(1) == d_model_);
+    assert(cache.batch == batch);
+
+    Tensor q = q_proj.forward(qs, x);
+    qs.quantFwd(OpClass::kGemm, q);
+
+    if (self) {
+        // Project and quantize only the newest position, then append:
+        // the quant points are element-wise, so these rows carry the
+        // same bits the full-prefix forward computes for them.
+        Tensor k = k_proj.forward(qs, x);
+        qs.quantFwd(OpClass::kGemm, k);
+        Tensor v = v_proj.forward(qs, x);
+        qs.quantFwd(OpClass::kGemm, v);
+        cache.append(k, v);
+    } else if (cache.len == 0) {
+        // Cross-attention: prime once from the encoder memory.
+        Tensor k = k_proj.forward(qs, *memory);
+        qs.quantFwd(OpClass::kGemm, k);
+        Tensor v = v_proj.forward(qs, *memory);
+        qs.quantFwd(OpClass::kGemm, v);
+        cache.fill(k, v, seq_kv);
+    }
+    const int64_t len = cache.len;
+
+    const SoftmaxMode mode = qs.config().softmax;
+    const bool use_approx = mode != SoftmaxMode::kExact;
+    const ApproxPositSoftmax approx_sm(
+        *qs.config().softmax_spec, qs.config().approx_exp,
+        mode == SoftmaxMode::kApproxExp || mode == SoftmaxMode::kApproxBoth,
+        mode == SoftmaxMode::kApproxRecip ||
+            mode == SoftmaxMode::kApproxBoth);
+
+    Tensor ctx_flat({batch, d_model_});
+    Tensor qh({1, d_head_});
+    Tensor kh({len, d_head_});
+    Tensor vh({len, d_head_});
+    Tensor scores({1, len});
+    Tensor ctx_h({1, d_head_});
+    Tensor e_row({len});
+    double sum_row = 0.0;
+
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int h = 0; h < n_heads_; ++h) {
+            extractHeadRows(q.data() + b * d_model_, 1, d_model_, d_head_,
+                            h, qh);
+            const int64_t base = b * cache.capacity * d_model_;
+            extractHeadRows(cache.k.data() + base, len, d_model_, d_head_,
+                            h, kh);
+            extractHeadRows(cache.v.data() + base, len, d_model_, d_head_,
+                            h, vh);
+
+            gemm(qh, false, kh, true, scores);
+
+            qs.quantFwd(OpClass::kAttnScaling, scores);
+            scaleInPlace(scores, scale_);
+            qs.carrier(scores);
+
+            // No causal mask needed: the newest position is the last
+            // one, so every cached key is visible. Cross-attention
+            // padding masks apply as in the full forward.
+            if (!self && key_pad_mask != nullptr) {
+                for (int64_t j = 0; j < len; ++j) {
+                    if (key_pad_mask[b * len + j] != 0)
+                        scores.at(0, j) = kMaskValue;
+                }
+            }
+
+            qs.quantFwd(OpClass::kActivation, scores);
+
+            if (!use_approx) {
+                softmaxRowsInPlace(scores);
+                qs.carrier(scores);
+            } else {
+                Tensor probs({1, len});
+                approx_sm.forward(scores.data(), probs.data(),
+                                  static_cast<int>(len), e_row.data(),
+                                  &sum_row);
+                scores = std::move(probs);
+            }
+
+            qs.quantFwd(OpClass::kGemm, scores);
+            gemm(scores, false, vh, false, ctx_h);
+            scatterHeadAdd(ctx_flat, b, 1, d_head_, h, ctx_h);
         }
     }
 
@@ -192,15 +370,26 @@ MultiHeadAttention::backward(QuantSession &qs, const Tensor &gy,
     Tensor dprobs({prob_rows, skv_});
     Tensor gv_flat({b_ * skv_, d_model_});
 
-    Tensor gctx_h({sq_, d_head_});
-    Tensor vh({skv_, d_head_});
-    Tensor ph({sq_, skv_});
-    Tensor dph({sq_, skv_});
-    Tensor dvh({skv_, d_head_});
+    const int64_t bh = b_ * n_heads_;
+    // Same independence argument as the forward loop; the backward
+    // phases touch no session state at all (the quantBwd points sit
+    // between phases, on whole tensors).
+    const bool par = !force_serial && bh > 1 && kernelThreads() > 1 &&
+                     bh * sq_ * skv_ * d_head_ > kAttnParallelFlops;
 
     // Phase 1: dP = gCtx . V^T and dV = P^T . gCtx per head.
-    for (int64_t b = 0; b < b_; ++b) {
-        for (int h = 0; h < n_heads_; ++h) {
+#pragma omp parallel if (par)
+    {
+        Tensor gctx_h({sq_, d_head_});
+        Tensor vh({skv_, d_head_});
+        Tensor ph({sq_, skv_});
+        Tensor dph({sq_, skv_});
+        Tensor dvh({skv_, d_head_});
+
+#pragma omp for schedule(static)
+        for (int64_t idx = 0; idx < bh; ++idx) {
+            const int64_t b = idx / n_heads_;
+            const int h = static_cast<int>(idx % n_heads_);
             extractHead(gctx, b, sq_, d_head_, h, gctx_h);
             extractHead(vq_, b, skv_, d_head_, h, vh);
             const int64_t row0 = (b * n_heads_ + h) * sq_;
@@ -219,6 +408,7 @@ MultiHeadAttention::backward(QuantSession &qs, const Tensor &gy,
     // Phase 2: softmax backward over every row, then the activation and
     // attention-scaling backward quant points on the whole tensors.
     Tensor dscaled({prob_rows, skv_});
+#pragma omp parallel for schedule(static) if (par)
     for (int64_t r = 0; r < prob_rows; ++r) {
         if (!use_approx) {
             double dot = 0.0;
@@ -247,13 +437,18 @@ MultiHeadAttention::backward(QuantSession &qs, const Tensor &gy,
     // Phase 3: dQ = dS . K, dK = dS^T . Q per head.
     Tensor gq_flat({b_ * sq_, d_model_});
     Tensor gk_flat({b_ * skv_, d_model_});
-    Tensor qh({sq_, d_head_});
-    Tensor kh({skv_, d_head_});
-    Tensor ds({sq_, skv_});
-    Tensor dqh({sq_, d_head_});
-    Tensor dkh({skv_, d_head_});
-    for (int64_t b = 0; b < b_; ++b) {
-        for (int h = 0; h < n_heads_; ++h) {
+#pragma omp parallel if (par)
+    {
+        Tensor qh({sq_, d_head_});
+        Tensor kh({skv_, d_head_});
+        Tensor ds({sq_, skv_});
+        Tensor dqh({sq_, d_head_});
+        Tensor dkh({skv_, d_head_});
+
+#pragma omp for schedule(static)
+        for (int64_t idx = 0; idx < bh; ++idx) {
+            const int64_t b = idx / n_heads_;
+            const int h = static_cast<int>(idx % n_heads_);
             extractHead(qq_, b, sq_, d_head_, h, qh);
             extractHead(kq_, b, skv_, d_head_, h, kh);
             const int64_t row0 = (b * n_heads_ + h) * sq_;

@@ -39,6 +39,39 @@ struct BuildCtx
     int slot() { return slots++; }
 };
 
+/**
+ * Per-attention-layer key/value cache for incremental decoding.
+ *
+ * Holds the *already-quantized* K/V projection outputs (the same
+ * values the full-prefix forward stores in its kq_/vq_ panels) in the
+ * flat [batch * capacity, d_model] layout, so a cached decode step
+ * reproduces the reference attention bit for bit: every forward quant
+ * point in this codebase rounds element-wise on a static grid, which
+ * makes a row quantized alone identical to the same row quantized as
+ * part of the full tensor.
+ *
+ * Self-attention caches append one row per sequence per decoded token;
+ * cross-attention caches are primed once from the encoder memory and
+ * then read-only.
+ */
+struct KVCache
+{
+    Tensor k; ///< [batch * capacity, d_model] quantized key panels.
+    Tensor v; ///< [batch * capacity, d_model] quantized value panels.
+    int64_t batch = 0;
+    int64_t capacity = 0;
+    int64_t len = 0; ///< Cached positions per sequence.
+
+    /// Allocate (or re-shape) for a decode session and empty the cache.
+    void reset(int64_t batch_size, int64_t cap, int64_t d_model);
+
+    /// Append one [batch, d_model] row block (position `len`).
+    void append(const Tensor &k_rows, const Tensor &v_rows);
+
+    /// Fill from full [batch * rows, d_model] panels (cross-attention).
+    void fill(const Tensor &k_all, const Tensor &v_all, int64_t rows);
+};
+
 /// Multi-head attention (self- or cross-).
 class MultiHeadAttention
 {
@@ -64,6 +97,32 @@ class MultiHeadAttention
                    bool causal = false);
 
     /**
+     * Incremental (single-position) forward for autoregressive decode.
+     *
+     * @param x The newest position's input, [B, d] (one row per
+     *   sequence).
+     * @param cache Self-attention: receives this step's quantized K/V
+     *   rows and provides all earlier ones (causality is implicit — the
+     *   new query attends exactly the cached positions plus itself).
+     *   Cross-attention: primed from @p memory on first use (len == 0),
+     *   reused afterwards.
+     * @param memory Key/value-side input for cross-attention
+     *   ([B*T, d]); nullptr for self-attention.
+     * @param seq_kv T (ignored for self-attention).
+     * @param key_pad_mask Optional B*T bytes for cross-attention.
+     * @return [B, d] — bit-identical to the last target row of the
+     *   full-prefix forward() over the same token history.
+     *
+     * Inference-only: does not touch the training caches, so it can be
+     * interleaved with forward()/backward() pairs.
+     */
+    Tensor forwardIncremental(QuantSession &qs, const Tensor &x,
+                              int64_t batch, KVCache &cache,
+                              const Tensor *memory = nullptr,
+                              int64_t seq_kv = 0,
+                              const uint8_t *key_pad_mask = nullptr);
+
+    /**
      * @param gy Gradient of the output, [B*S, d].
      * @param gmemory For cross-attention: receives (accumulates) the
      *   gradient w.r.t. the memory input; must be preallocated [B*T, d].
@@ -81,6 +140,11 @@ class MultiHeadAttention
     /// Mean absolute unscaled-attention magnitude from the last forward
     /// (used by the distribution benches).
     double lastUnscaledAmax() const { return last_unscaled_amax_; }
+
+    /// Test knob: force the batched (batch x head) loops serial so the
+    /// parallel path can be checked for bit-identity in-process
+    /// (QT8_THREADS is latched once and cannot be toggled).
+    inline static bool force_serial = false;
 
     Linear q_proj;
     Linear k_proj;

@@ -114,6 +114,21 @@ EncoderBlock::forward(QuantSession &qs, const Tensor &x, int64_t batch,
 }
 
 Tensor
+EncoderBlock::forwardIncremental(QuantSession &qs, const Tensor &x,
+                                 int64_t batch, KVCache &self_kv)
+{
+    const Tensor a = attn.forwardIncremental(qs, x, batch, self_kv);
+    Tensor cur = ln_attn.forward(qs, residualAdd(qs, x, a));
+    for (size_t f = 0; f < ffns.size(); ++f) {
+        const Tensor h = ffns[f]->forward(qs, cur);
+        cur = residualAdd(qs, cur, h);
+        if (ffn_lns[f])
+            cur = ffn_lns[f]->forward(qs, cur);
+    }
+    return cur;
+}
+
+Tensor
 EncoderBlock::backward(QuantSession &qs, const Tensor &gy)
 {
     Tensor g = gy;
@@ -199,6 +214,25 @@ DecoderBlock::forward(QuantSession &qs, const Tensor &x, int64_t batch,
 
     const Tensor c = cross_attn.forward(qs, cur, batch, seq_tgt, &memory,
                                         seq_src, mem_pad_mask, false);
+    cur = ln_cross.forward(qs, residualAdd(qs, cur, c));
+
+    const Tensor h = ffn.forward(qs, cur);
+    cur = ln_ffn.forward(qs, residualAdd(qs, cur, h));
+    return cur;
+}
+
+Tensor
+DecoderBlock::forwardIncremental(QuantSession &qs, const Tensor &x,
+                                 int64_t batch, KVCache &self_kv,
+                                 KVCache &cross_kv, const Tensor &memory,
+                                 int64_t seq_src,
+                                 const uint8_t *mem_pad_mask)
+{
+    const Tensor a = self_attn.forwardIncremental(qs, x, batch, self_kv);
+    Tensor cur = ln_self.forward(qs, residualAdd(qs, x, a));
+
+    const Tensor c = cross_attn.forwardIncremental(
+        qs, cur, batch, cross_kv, &memory, seq_src, mem_pad_mask);
     cur = ln_cross.forward(qs, residualAdd(qs, cur, c));
 
     const Tensor h = ffn.forward(qs, cur);

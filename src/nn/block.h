@@ -64,6 +64,12 @@ class EncoderBlock
     Tensor forward(QuantSession &qs, const Tensor &x, int64_t batch,
                    int64_t seq, const uint8_t *key_pad_mask,
                    bool causal = false);
+
+    /// Single-position causal forward over the KV cache (decoder-only
+    /// LM decode): x is [B, d] for the newest position.
+    Tensor forwardIncremental(QuantSession &qs, const Tensor &x,
+                              int64_t batch, KVCache &self_kv);
+
     Tensor backward(QuantSession &qs, const Tensor &gy);
     void collectParams(ParamList &out);
     void enableLora(int rank, float alpha, Rng &rng, bool all_dense);
@@ -96,6 +102,17 @@ class DecoderBlock
     Tensor forward(QuantSession &qs, const Tensor &x, int64_t batch,
                    int64_t seq_tgt, const Tensor &memory, int64_t seq_src,
                    const uint8_t *mem_pad_mask);
+
+    /**
+     * Single-position decode step: x is [B, d] for the newest target
+     * position. @p self_kv grows by one row; @p cross_kv is primed from
+     * @p memory on first use and reused afterwards.
+     */
+    Tensor forwardIncremental(QuantSession &qs, const Tensor &x,
+                              int64_t batch, KVCache &self_kv,
+                              KVCache &cross_kv, const Tensor &memory,
+                              int64_t seq_src,
+                              const uint8_t *mem_pad_mask);
 
     /// @param gmemory Accumulates the gradient w.r.t. the encoder
     /// memory ([B*S, d], preallocated).

@@ -20,11 +20,13 @@ Embedding::Embedding(int64_t vocab, int64_t max_seq, int64_t dim, Rng &rng,
 
 Tensor
 Embedding::forward(QuantSession &qs, const std::vector<int32_t> &ids,
-                   int64_t batch, int64_t seq)
+                   int64_t batch, int64_t seq, int64_t pos_offset)
 {
     assert(static_cast<int64_t>(ids.size()) == batch * seq);
+    assert(pos_offset >= 0 && pos_offset + seq <= pos.value.dim(0));
     cached_ids_ = ids;
     cached_seq_ = seq;
+    cached_offset_ = pos_offset;
 
     Tensor out({batch * seq, dim_});
     const float *pt = tok.value.data();
@@ -32,7 +34,7 @@ Embedding::forward(QuantSession &qs, const std::vector<int32_t> &ids,
     float *po = out.data();
     for (int64_t i = 0; i < batch * seq; ++i) {
         const int64_t id = ids[static_cast<size_t>(i)];
-        const int64_t s = i % seq;
+        const int64_t s = pos_offset + i % seq;
         assert(id >= 0 && id < tok.value.dim(0));
         for (int64_t j = 0; j < dim_; ++j)
             po[i * dim_ + j] = pt[id * dim_ + j] + pp[s * dim_ + j];
@@ -53,7 +55,7 @@ Embedding::backward(QuantSession &qs, const Tensor &gy)
     const int64_t n = gy.dim(0);
     for (int64_t i = 0; i < n; ++i) {
         const int64_t id = cached_ids_[static_cast<size_t>(i)];
-        const int64_t s = i % cached_seq_;
+        const int64_t s = cached_offset_ + i % cached_seq_;
         for (int64_t j = 0; j < dim_; ++j) {
             gt[id * dim_ + j] += pg[i * dim_ + j];
             gp[s * dim_ + j] += pg[i * dim_ + j];

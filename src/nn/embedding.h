@@ -23,9 +23,11 @@ class Embedding
     Embedding(int64_t vocab, int64_t max_seq, int64_t dim, Rng &rng,
               const std::string &name);
 
-    /// ids has B*S entries; returns [B*S, dim].
+    /// ids has B*S entries; returns [B*S, dim]. @p pos_offset shifts
+    /// the positional-table index (incremental decode embeds one token
+    /// per sequence at its absolute position pos_offset + s).
     Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
-                   int64_t batch, int64_t seq);
+                   int64_t batch, int64_t seq, int64_t pos_offset = 0);
 
     /// Accumulates gradients into the embedding tables.
     void backward(QuantSession &qs, const Tensor &gy);
@@ -42,6 +44,7 @@ class Embedding
     int64_t dim_ = 0;
     std::vector<int32_t> cached_ids_;
     int64_t cached_seq_ = 0;
+    int64_t cached_offset_ = 0;
 };
 
 } // namespace qt8

@@ -180,6 +180,32 @@ TransformerEncoder::forward(QuantSession &qs,
     return x;
 }
 
+DecodeState
+TransformerEncoder::beginDecode(int64_t batch, int64_t capacity) const
+{
+    assert(capacity <= cfg_.max_seq);
+    DecodeState st;
+    st.batch = batch;
+    st.self_kv.resize(blocks.size());
+    for (auto &kv : st.self_kv)
+        kv.reset(batch, capacity, cfg_.d_model);
+    return st;
+}
+
+Tensor
+TransformerEncoder::forwardIncremental(QuantSession &qs,
+                                       const std::vector<int32_t> &ids,
+                                       DecodeState &state)
+{
+    Tensor x = embed.forward(qs, ids, state.batch, 1, state.pos);
+    x = embed_ln->forward(qs, x);
+    for (size_t l = 0; l < blocks.size(); ++l)
+        x = blocks[l]->forwardIncremental(qs, x, state.batch,
+                                          state.self_kv[l]);
+    ++state.pos;
+    return x;
+}
+
 Tensor
 TransformerEncoder::backward(QuantSession &qs, const Tensor &gy)
 {
@@ -313,6 +339,21 @@ CausalLM::forward(QuantSession &qs, const std::vector<int32_t> &ids,
     return lm_head.forward(qs, x);
 }
 
+DecodeState
+CausalLM::beginDecode(int64_t batch, int64_t capacity) const
+{
+    return body.beginDecode(batch, capacity);
+}
+
+Tensor
+CausalLM::forwardIncremental(QuantSession &qs,
+                             const std::vector<int32_t> &ids,
+                             DecodeState &state)
+{
+    const Tensor x = body.forwardIncremental(qs, ids, state);
+    return lm_head.forward(qs, x);
+}
+
 void
 CausalLM::backward(QuantSession &qs, const Tensor &dlogits)
 {
@@ -388,11 +429,87 @@ Seq2Seq::collectParams(ParamList &out)
     lm_head.collectParams(out);
 }
 
+DecodeState
+Seq2Seq::beginDecode(QuantSession &qs,
+                     const std::vector<int32_t> &src_ids, int64_t batch,
+                     int64_t seq_src, const uint8_t *src_pad_mask,
+                     int64_t max_len)
+{
+    assert(max_len <= cfg_.max_seq);
+    DecodeState st;
+    st.batch = batch;
+    st.seq_src = seq_src;
+    st.memory = encoder.forward(qs, src_ids, batch, seq_src, src_pad_mask);
+    st.self_kv.resize(dec_blocks.size());
+    st.cross_kv.resize(dec_blocks.size());
+    for (auto &kv : st.self_kv)
+        kv.reset(batch, max_len, cfg_.d_model);
+    for (auto &kv : st.cross_kv)
+        kv.reset(batch, seq_src, cfg_.d_model);
+    return st;
+}
+
+Tensor
+Seq2Seq::forwardIncremental(QuantSession &qs,
+                            const std::vector<int32_t> &tgt_ids,
+                            DecodeState &state,
+                            const uint8_t *src_pad_mask)
+{
+    Tensor x = dec_embed.forward(qs, tgt_ids, state.batch, 1, state.pos);
+    x = dec_embed_ln->forward(qs, x);
+    for (size_t l = 0; l < dec_blocks.size(); ++l) {
+        x = dec_blocks[l]->forwardIncremental(
+            qs, x, state.batch, state.self_kv[l], state.cross_kv[l],
+            state.memory, state.seq_src, src_pad_mask);
+    }
+    ++state.pos;
+    return lm_head.forward(qs, x);
+}
+
 std::vector<std::vector<int32_t>>
 Seq2Seq::greedyDecode(QuantSession &qs,
                       const std::vector<int32_t> &src_ids, int64_t batch,
                       int64_t seq_src, const uint8_t *src_pad_mask,
                       int64_t max_len, int32_t bos, int32_t eos)
+{
+    std::vector<std::vector<int32_t>> out(static_cast<size_t>(batch));
+    std::vector<int32_t> cur(static_cast<size_t>(batch), bos);
+    std::vector<bool> done(static_cast<size_t>(batch), false);
+
+    DecodeState st =
+        beginDecode(qs, src_ids, batch, seq_src, src_pad_mask, max_len);
+
+    // O(T) single-token steps: each consumes one position through the
+    // KV caches instead of re-running the teacher-forced forward over
+    // the whole prefix (and the encoder) every step.
+    for (int64_t t = 1; t <= max_len; ++t) {
+        const Tensor logits =
+            forwardIncremental(qs, cur, st, src_pad_mask);
+        bool all_done = true;
+        for (int64_t b = 0; b < batch; ++b) {
+            const int32_t id = static_cast<int32_t>(rowArgmax(logits, b));
+            cur[static_cast<size_t>(b)] = id;
+            if (!done[static_cast<size_t>(b)]) {
+                if (id == eos) {
+                    done[static_cast<size_t>(b)] = true;
+                } else {
+                    out[static_cast<size_t>(b)].push_back(id);
+                }
+            }
+            all_done = all_done && done[static_cast<size_t>(b)];
+        }
+        if (all_done)
+            break;
+    }
+    return out;
+}
+
+std::vector<std::vector<int32_t>>
+Seq2Seq::greedyDecodeReference(QuantSession &qs,
+                               const std::vector<int32_t> &src_ids,
+                               int64_t batch, int64_t seq_src,
+                               const uint8_t *src_pad_mask,
+                               int64_t max_len, int32_t bos, int32_t eos)
 {
     std::vector<std::vector<int32_t>> out(static_cast<size_t>(batch));
     std::vector<int32_t> tgt(static_cast<size_t>(batch), bos);
@@ -420,7 +537,7 @@ Seq2Seq::greedyDecode(QuantSession &qs,
         }
         if (all_done || t == max_len)
             break;
-        // Extend targets: interleave per batch.
+        // Extend targets: append one token per sequence.
         std::vector<int32_t> new_tgt(static_cast<size_t>(batch * (t + 1)));
         for (int64_t b = 0; b < batch; ++b) {
             for (int64_t i = 0; i < t; ++i)

@@ -55,6 +55,26 @@ struct ModelConfig
     static ModelConfig llamaLike();
 };
 
+/**
+ * Per-decode-session state for KV-cached incremental decoding: one
+ * self-attention cache per layer (append-one-row-per-step), plus — for
+ * seq2seq — one cross-attention cache per decoder layer (primed once
+ * from the encoder memory) and the memory itself.
+ *
+ * Created by beginDecode(); each forwardIncremental() call consumes one
+ * target position and advances pos. Steps are bit-identical to the last
+ * row of the corresponding full-prefix forward.
+ */
+struct DecodeState
+{
+    std::vector<KVCache> self_kv;
+    std::vector<KVCache> cross_kv; ///< Seq2Seq only.
+    Tensor memory;                 ///< Seq2Seq only: encoder output.
+    int64_t batch = 0;
+    int64_t seq_src = 0; ///< Seq2Seq only.
+    int64_t pos = 0;     ///< Next target position to decode.
+};
+
 /// Embedding + stack of encoder blocks.
 class TransformerEncoder
 {
@@ -64,6 +84,17 @@ class TransformerEncoder
     Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
                    int64_t batch, int64_t seq,
                    const uint8_t *pad_mask = nullptr, bool causal = false);
+
+    /// Start a KV-cached causal decode session (capacity = maximum
+    /// number of positions, bounded by cfg.max_seq).
+    DecodeState beginDecode(int64_t batch, int64_t capacity) const;
+
+    /// Causal single-step forward: ids holds one token per sequence
+    /// (position state.pos); returns [B, d] and advances state.pos.
+    Tensor forwardIncremental(QuantSession &qs,
+                              const std::vector<int32_t> &ids,
+                              DecodeState &state);
+
     Tensor backward(QuantSession &qs, const Tensor &gy);
     void collectParams(ParamList &out);
 
@@ -135,6 +166,16 @@ class CausalLM
     /// Returns next-token logits [B*S, vocab].
     Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
                    int64_t batch, int64_t seq);
+
+    /// Start a KV-cached decode session.
+    DecodeState beginDecode(int64_t batch, int64_t capacity) const;
+
+    /// Single-step forward over the KV cache: ids holds one token per
+    /// sequence; returns next-token logits [B, vocab].
+    Tensor forwardIncremental(QuantSession &qs,
+                              const std::vector<int32_t> &ids,
+                              DecodeState &state);
+
     void backward(QuantSession &qs, const Tensor &dlogits);
     void collectParams(ParamList &out);
 
@@ -156,13 +197,45 @@ class Seq2Seq
     void backward(QuantSession &qs, const Tensor &dlogits);
     void collectParams(ParamList &out);
 
+    /**
+     * Run the encoder once and set up the per-layer KV caches for an
+     * incremental decode of up to @p max_len target positions.
+     */
+    DecodeState beginDecode(QuantSession &qs,
+                            const std::vector<int32_t> &src_ids,
+                            int64_t batch, int64_t seq_src,
+                            const uint8_t *src_pad_mask,
+                            int64_t max_len);
+
+    /**
+     * Decode one target position over the KV caches: @p tgt_ids holds
+     * one token per sequence (position state.pos). Returns next-token
+     * logits [B, vocab], bit-identical to the last target row of the
+     * teacher-forced forward() over the same prefix.
+     */
+    Tensor forwardIncremental(QuantSession &qs,
+                              const std::vector<int32_t> &tgt_ids,
+                              DecodeState &state,
+                              const uint8_t *src_pad_mask);
+
     /// Greedy autoregressive decode; returns B sequences of ids
-    /// (without BOS, terminated at EOS or max_len).
+    /// (without BOS, terminated at EOS or max_len). Runs O(T)
+    /// single-token steps over the KV caches.
     std::vector<std::vector<int32_t>>
     greedyDecode(QuantSession &qs, const std::vector<int32_t> &src_ids,
                  int64_t batch, int64_t seq_src,
                  const uint8_t *src_pad_mask, int64_t max_len, int32_t bos,
                  int32_t eos);
+
+    /// The uncached reference: re-runs the full teacher-forced forward
+    /// over the whole prefix at every step (O(T^2) forwards). Kept for
+    /// the decode-cache bit-identity tests and bench_decode.
+    std::vector<std::vector<int32_t>>
+    greedyDecodeReference(QuantSession &qs,
+                          const std::vector<int32_t> &src_ids,
+                          int64_t batch, int64_t seq_src,
+                          const uint8_t *src_pad_mask, int64_t max_len,
+                          int32_t bos, int32_t eos);
 
     TransformerEncoder encoder;
     Embedding dec_embed;

@@ -167,7 +167,9 @@ class QuantSession
     int allocSlot() { return next_slot_++; }
 
     /// Observation hooks for the distribution studies (Figures 6, 10):
-    /// called with the tensor *before* quantization.
+    /// called with the tensor *before* quantization. Taps assume
+    /// ordered, single-threaded callbacks — installing fwd_tap disables
+    /// the batched (batch x head) parallel attention path.
     std::function<void(OpClass, const Tensor &)> fwd_tap;
     std::function<void(OpClass, const Tensor &)> bwd_tap;
 

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * KV-cached incremental decoding must be *bit-identical* to the
+ * full-prefix reference, and the batched (batch x head) parallel
+ * attention loops must be bit-identical to the serial ones.
+ *
+ * Why bit-identity (not tolerance) is the right contract here: every
+ * forward quant point rounds element-wise on a static grid (posit8,
+ * E4M3, bf16 LUTs), the GEMM accumulates each output element in
+ * ascending-k double precision independent of the row count, and
+ * LayerNorm / softmax / GeLU / residual are row-wise. Row t of any
+ * activation therefore does not depend on how many rows are computed
+ * alongside it, so a cached single-row decode step must reproduce the
+ * reference row exactly. int8 is deliberately absent: its dynamic
+ * per-tensor amax scale couples rows and breaks this invariant.
+ */
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "data/tasks.h"
+#include "nn/model.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace qt8 {
+namespace {
+
+ModelConfig
+tinySeq2SeqConfig()
+{
+    ModelConfig cfg = ModelConfig::whisperTinyLike();
+    cfg.vocab = 48;
+    return cfg;
+}
+
+ModelConfig
+tinyLmConfig()
+{
+    ModelConfig cfg;
+    cfg.name = "test-lm";
+    cfg.vocab = 48;
+    cfg.d_model = 32;
+    cfg.d_ff = 64;
+    cfg.n_heads = 2;
+    cfg.n_layers = 2;
+    return cfg;
+}
+
+void
+expectBitEqual(const Tensor &a, const Tensor &b, const char *what)
+{
+    ASSERT_EQ(a.numel(), b.numel()) << what;
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                             sizeof(float) * static_cast<size_t>(a.numel())))
+        << what;
+}
+
+/// The quant configs the decode cache must be exact under. int8 is
+/// excluded by design (dynamic per-tensor scaling is row-coupled).
+std::vector<QuantConfig>
+decodeConfigs()
+{
+    return {QuantConfig::fp32(),    QuantConfig::bf16(),
+            QuantConfig::posit8(),  QuantConfig::fp8(),
+            QuantConfig::posit8Approx()};
+}
+
+TEST(DecodeCache, GreedyDecodeMatchesUncachedReference)
+{
+    const ModelConfig cfg = tinySeq2SeqConfig();
+    const Seq2SeqTask task(cfg.vocab, 20, 10);
+    Rng rng(77);
+    const Seq2SeqBatch batch = task.sample(rng, 4);
+
+    for (const QuantConfig &qc : decodeConfigs()) {
+        Seq2Seq model(cfg, 2024);
+        QuantSession qs(qc);
+        const auto ref = model.greedyDecodeReference(
+            qs, batch.src, batch.batch, batch.seq_src, batch.src_pad.data(),
+            /*max_len=*/16, Vocab::kBos, Vocab::kEos);
+        const auto got = model.greedyDecode(
+            qs, batch.src, batch.batch, batch.seq_src, batch.src_pad.data(),
+            /*max_len=*/16, Vocab::kBos, Vocab::kEos);
+        ASSERT_EQ(ref.size(), got.size()) << qc.name;
+        for (size_t b = 0; b < ref.size(); ++b)
+            EXPECT_EQ(ref[b], got[b]) << qc.name << " sequence " << b;
+    }
+}
+
+TEST(DecodeCache, Seq2SeqStepLogitsMatchPrefixForward)
+{
+    const ModelConfig cfg = tinySeq2SeqConfig();
+    const int64_t B = 3, S = 18, T = 12;
+    const Seq2SeqTask task(cfg.vocab, S, T);
+    Rng rng(78);
+    const Seq2SeqBatch batch = task.sample(rng, B);
+
+    for (const QuantConfig &qc : decodeConfigs()) {
+        Seq2Seq model(cfg, 2025);
+        QuantSession qs(qc);
+        DecodeState st = model.beginDecode(qs, batch.src, B, S,
+                                           batch.src_pad.data(), T);
+        for (int64_t t = 1; t <= T; ++t) {
+            // Teacher prefix [B, t] and its last-row logits.
+            std::vector<int32_t> prefix(static_cast<size_t>(B * t));
+            std::vector<int32_t> step(static_cast<size_t>(B));
+            for (int64_t b = 0; b < B; ++b) {
+                for (int64_t i = 0; i < t; ++i)
+                    prefix[static_cast<size_t>(b * t + i)] =
+                        batch.tgt_in[static_cast<size_t>(b * T + i)];
+                step[static_cast<size_t>(b)] =
+                    batch.tgt_in[static_cast<size_t>(b * T + t - 1)];
+            }
+            const Tensor full = model.forward(qs, batch.src, B, S,
+                                              batch.src_pad.data(), prefix, t);
+            const Tensor inc =
+                model.forwardIncremental(qs, step, st, batch.src_pad.data());
+            ASSERT_EQ(inc.dim(0), B) << qc.name;
+            for (int64_t b = 0; b < B; ++b) {
+                const float *pf = full.data() + (b * t + t - 1) * full.dim(1);
+                const float *pi = inc.data() + b * inc.dim(1);
+                EXPECT_EQ(0, std::memcmp(pf, pi,
+                                         sizeof(float) *
+                                             static_cast<size_t>(full.dim(1))))
+                    << qc.name << " t=" << t << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(DecodeCache, CausalLmStepLogitsMatchPrefixForward)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    const int64_t B = 3, T = 14;
+    Rng rng(79);
+    std::vector<int32_t> ids(static_cast<size_t>(B * T));
+    for (auto &id : ids)
+        id = static_cast<int32_t>(rng.randint(cfg.vocab));
+
+    for (const QuantConfig &qc : decodeConfigs()) {
+        CausalLM model(cfg, 2026);
+        QuantSession qs(qc);
+        DecodeState st = model.beginDecode(B, T);
+        for (int64_t t = 1; t <= T; ++t) {
+            std::vector<int32_t> prefix(static_cast<size_t>(B * t));
+            std::vector<int32_t> step(static_cast<size_t>(B));
+            for (int64_t b = 0; b < B; ++b) {
+                for (int64_t i = 0; i < t; ++i)
+                    prefix[static_cast<size_t>(b * t + i)] =
+                        ids[static_cast<size_t>(b * T + i)];
+                step[static_cast<size_t>(b)] =
+                    ids[static_cast<size_t>(b * T + t - 1)];
+            }
+            const Tensor full = model.forward(qs, prefix, B, t);
+            const Tensor inc = model.forwardIncremental(qs, step, st);
+            for (int64_t b = 0; b < B; ++b) {
+                const float *pf = full.data() + (b * t + t - 1) * full.dim(1);
+                const float *pi = inc.data() + b * inc.dim(1);
+                EXPECT_EQ(0, std::memcmp(pf, pi,
+                                         sizeof(float) *
+                                             static_cast<size_t>(full.dim(1))))
+                    << qc.name << " t=" << t << " b=" << b;
+            }
+        }
+    }
+}
+
+/// One serial + one parallel forward/backward pass over the same
+/// attention module; returns (output, dx) and leaves param grads set.
+struct AttnRun
+{
+    Tensor y, gx, gmem;
+};
+
+AttnRun
+runAttention(MultiHeadAttention &attn, QuantSession &qs, const Tensor &x,
+             int64_t batch, int64_t seq, const Tensor *memory,
+             int64_t seq_kv, const uint8_t *pad, bool causal,
+             const Tensor &gy)
+{
+    ParamList params;
+    attn.collectParams(params);
+    zeroGrads(params);
+    AttnRun r;
+    r.y = attn.forward(qs, x, batch, seq, memory, seq_kv, pad, causal);
+    if (memory) {
+        r.gmem = Tensor({memory->dim(0), memory->dim(1)});
+        r.gx = attn.backward(qs, gy, &r.gmem);
+    } else {
+        r.gx = attn.backward(qs, gy);
+    }
+    return r;
+}
+
+void
+compareSerialParallel(bool cross, bool causal, bool with_pad)
+{
+    // batch*heads = 24 and flops >> the 16384-element parallel
+    // threshold, so the parallel path genuinely engages when the
+    // machine has threads.
+    const int64_t B = 6, S = 24, T = cross ? 20 : S, D = 32;
+    const int H = 4;
+    BuildCtx ctx(4242);
+    MultiHeadAttention attn(D, H, ctx, "attn");
+
+    Rng rng(4343);
+    Tensor x({B * S, D}), gy({B * S, D}), mem({B * T, D});
+    rng.fillNormal(x, 1.0);
+    rng.fillNormal(gy, 0.5);
+    rng.fillNormal(mem, 1.0);
+    std::vector<uint8_t> pad(static_cast<size_t>(B * T), 0);
+    if (with_pad) {
+        // Mask the tail couple of keys in every sequence.
+        for (int64_t b = 0; b < B; ++b)
+            for (int64_t t = T - 2; t < T; ++t)
+                pad[static_cast<size_t>(b * T + t)] = 1;
+    }
+    const Tensor *memory = cross ? &mem : nullptr;
+    const uint8_t *pm = with_pad ? pad.data() : nullptr;
+
+    QuantSession qs_serial(QuantConfig::posit8());
+    MultiHeadAttention::force_serial = true;
+    const AttnRun serial = runAttention(attn, qs_serial, x, B, S, memory,
+                                        cross ? T : 0, pm, causal, gy);
+    std::vector<Tensor> serial_grads;
+    ParamList params;
+    attn.collectParams(params);
+    for (const Param *p : params)
+        serial_grads.push_back(p->grad);
+
+    QuantSession qs_par(QuantConfig::posit8());
+    MultiHeadAttention::force_serial = false;
+    const AttnRun par = runAttention(attn, qs_par, x, B, S, memory,
+                                     cross ? T : 0, pm, causal, gy);
+
+    expectBitEqual(serial.y, par.y, "forward output");
+    expectBitEqual(serial.gx, par.gx, "input gradient");
+    if (cross)
+        expectBitEqual(serial.gmem, par.gmem, "memory gradient");
+    for (size_t i = 0; i < params.size(); ++i)
+        expectBitEqual(serial_grads[i], params[i]->grad,
+                       params[i]->name.c_str());
+}
+
+TEST(ParallelAttention, SelfCausalMatchesSerialBitExact)
+{
+    compareSerialParallel(/*cross=*/false, /*causal=*/true,
+                          /*with_pad=*/false);
+}
+
+TEST(ParallelAttention, CrossWithPadMaskMatchesSerialBitExact)
+{
+    compareSerialParallel(/*cross=*/true, /*causal=*/false,
+                          /*with_pad=*/true);
+}
+
+} // namespace
+} // namespace qt8
