@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Serving throughput: continuous batching (ServeEngine, pooled slot
+ * KV cache) vs static batching (rigid DecodeState batches) under a
+ * Poisson-arrival open-loop load.
+ *
+ * Both runners see the identical workload trace — the same prompts,
+ * decode budgets and arrival times — and decode greedily on the same
+ * model, so the serviced tokens are the same; only the scheduling
+ * differs. The static runner waits for a full batch (or end of
+ * arrivals), then steps the whole batch until its slowest member
+ * finishes: rows that finished early are stepped anyway (wasted
+ * compute) and queued requests wait for the entire batch to drain. The
+ * continuous engine admits a request into any free slot on the very
+ * next step and retires rows individually, so ragged decode lengths
+ * cost nothing.
+ *
+ * `bench_serve --smoke` skips timing and instead checks that every
+ * engine-decoded request is bit-identical to a solo cached decode
+ * across quant configs (the serving analogue of bench_decode --smoke).
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/tasks.h"
+#include "harness.h"
+#include "nn/model.h"
+#include "serve/engine.h"
+#include "tensor/ops.h"
+
+using namespace qt8;
+using namespace qt8::bench;
+
+namespace {
+
+ModelConfig
+serveLmConfig()
+{
+    ModelConfig cfg;
+    cfg.name = "serve-lm";
+    cfg.vocab = 64;
+    cfg.max_seq = 64;
+    cfg.d_model = 64;
+    cfg.d_ff = 128;
+    cfg.n_heads = 4;
+    cfg.n_layers = 2;
+    return cfg;
+}
+
+struct Workload
+{
+    std::vector<serve::Request> requests;
+    std::vector<double> arrival_ms;
+    int64_t max_len = 0; ///< Largest prompt + budget (slot capacity).
+};
+
+/// Open-loop Poisson arrivals with ragged prompts (4..11) and ragged
+/// decode budgets (8..31) — the raggedness is what static batching
+/// pays for.
+Workload
+makeWorkload(uint64_t seed, int64_t n, double rate_hz, int64_t vocab)
+{
+    Workload w;
+    Rng rng(seed);
+    double t = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        t += -std::log(1.0 - rng.uniform()) / rate_hz * 1000.0;
+        serve::Request req;
+        const int64_t plen = 4 + rng.randint(8);
+        for (int64_t j = 0; j < plen; ++j)
+            req.prompt.push_back(static_cast<int32_t>(
+                Vocab::kFirstContent +
+                rng.randint(vocab - Vocab::kFirstContent)));
+        req.max_new_tokens = 8 + rng.randint(24);
+        req.eos = -1; // fixed budgets: identical service in both modes
+        w.max_len = std::max(w.max_len,
+                             plen + req.max_new_tokens + 1);
+        w.arrival_ms.push_back(t);
+        w.requests.push_back(std::move(req));
+    }
+    return w;
+}
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct RunStats
+{
+    double makespan_ms = 0.0; ///< First arrival -> last completion.
+    double p95_ms = 0.0;      ///< Request latency (arrival -> done).
+    double mean_ms = 0.0;
+    int64_t tokens = 0;
+    double tokensPerSec() const
+    {
+        return makespan_ms > 0.0 ? tokens / (makespan_ms / 1000.0) : 0.0;
+    }
+};
+
+/// Continuous batching: real-time drive of the ServeEngine. Requests
+/// are submitted at their arrival times; the scheduler steps whenever
+/// work is in flight.
+RunStats
+runContinuous(CausalLM &model, QuantSession &qs, const Workload &w,
+              int64_t n_slots)
+{
+    serve::EngineConfig ec;
+    ec.n_slots = n_slots;
+    ec.slot_capacity = w.max_len;
+    serve::ServeEngine engine(model, qs, ec);
+
+    const size_t n = w.requests.size();
+    std::vector<std::shared_future<serve::RequestResult>> futs;
+    futs.reserve(n);
+    const auto t0 = std::chrono::steady_clock::now();
+    size_t next = 0;
+    while (futs.size() < n || engine.activeCount() > 0 ||
+           engine.pendingCount() > 0) {
+        while (next < n && msSince(t0) >= w.arrival_ms[next]) {
+            futs.push_back(engine.submit(w.requests[next]));
+            ++next;
+        }
+        if (engine.activeCount() > 0 || engine.pendingCount() > 0) {
+            engine.step();
+        } else if (next < n) {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    }
+    RunStats s;
+    s.makespan_ms = msSince(t0) - w.arrival_ms.front();
+    const serve::ServeMetrics &m = engine.metrics();
+    s.tokens = m.generated_tokens;
+    s.p95_ms = m.request_latency_ms.percentile(95.0);
+    s.mean_ms = m.request_latency_ms.mean();
+    return s;
+}
+
+/// Static batching: collect arrivals until the batch is full (or the
+/// trace is exhausted), then decode the whole batch through one rigid
+/// DecodeState, stepping every row until the slowest member finishes.
+RunStats
+runStatic(CausalLM &model, QuantSession &qs, const Workload &w,
+          int64_t batch_size)
+{
+    const size_t n = w.requests.size();
+    serve::LatencyHistogram lat;
+    RunStats s;
+    const auto t0 = std::chrono::steady_clock::now();
+    size_t next = 0;
+    std::vector<size_t> ready;
+    while (next < n || !ready.empty()) {
+        while (next < n && msSince(t0) >= w.arrival_ms[next])
+            ready.push_back(next++);
+        const bool flush = next >= n && !ready.empty();
+        if (ready.size() < static_cast<size_t>(batch_size) && !flush) {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            continue;
+        }
+        const size_t b = std::min(ready.size(),
+                                  static_cast<size_t>(batch_size));
+        const std::vector<size_t> taken(ready.begin(),
+                                        ready.begin() + b);
+        ready.erase(ready.begin(), ready.begin() + b);
+
+        DecodeState st = model.beginDecode(static_cast<int64_t>(b),
+                                           w.max_len);
+        std::vector<size_t> prompt_next(b, 0);
+        std::vector<int64_t> emitted(b, 0);
+        std::vector<int32_t> cur(b);
+        std::vector<bool> done(b, false);
+        for (size_t i = 0; i < b; ++i)
+            cur[i] = w.requests[taken[i]].prompt[0];
+        size_t n_done = 0;
+        while (n_done < b) {
+            // Every row steps, finished or not — the static-batching
+            // waste this bench exists to measure.
+            const Tensor logits = model.forwardIncremental(qs, cur, st);
+            for (size_t i = 0; i < b; ++i) {
+                const serve::Request &req = w.requests[taken[i]];
+                if (done[i])
+                    continue; // keep feeding the last token
+                if (prompt_next[i] + 1 < req.prompt.size()) {
+                    cur[i] = req.prompt[++prompt_next[i]];
+                    continue;
+                }
+                cur[i] = static_cast<int32_t>(
+                    rowArgmax(logits, static_cast<int64_t>(i)));
+                ++emitted[i];
+                s.tokens += 1;
+                if (emitted[i] >= req.max_new_tokens) {
+                    done[i] = true;
+                    ++n_done;
+                }
+            }
+        }
+        const double now = msSince(t0);
+        for (size_t i = 0; i < b; ++i)
+            lat.record(now - w.arrival_ms[taken[i]]);
+    }
+    s.makespan_ms = msSince(t0) - w.arrival_ms.front();
+    s.p95_ms = lat.percentile(95.0);
+    s.mean_ms = lat.mean();
+    return s;
+}
+
+int
+smokeMain()
+{
+    int failures = 0;
+    const ModelConfig cfg = serveLmConfig();
+    const Workload w = makeWorkload(71, 5, 1e9, cfg.vocab);
+
+    const std::vector<std::pair<const char *, QuantConfig>> dtypes = {
+        {"fp32", QuantConfig::fp32()},
+        {"posit(8,1)", QuantConfig::posit8()},
+        {"e4m3", QuantConfig::fp8()},
+    };
+    for (const auto &[label, qc] : dtypes) {
+        CausalLM model(cfg, 1234);
+        QuantSession qs(qc);
+        serve::EngineConfig ec;
+        ec.n_slots = 2;
+        ec.slot_capacity = w.max_len;
+        serve::ServeEngine engine(model, qs, ec);
+        std::vector<std::shared_future<serve::RequestResult>> futs;
+        for (const serve::Request &req : w.requests)
+            futs.push_back(engine.submit(req));
+        engine.runUntilIdle();
+
+        for (size_t r = 0; r < w.requests.size(); ++r) {
+            const serve::Request &req = w.requests[r];
+            DecodeState st = model.beginDecode(1, w.max_len);
+            Tensor logits;
+            for (const int32_t tok : req.prompt)
+                logits = model.forwardIncremental(
+                    qs, std::vector<int32_t>{tok}, st);
+            std::vector<int32_t> want;
+            while (static_cast<int64_t>(want.size()) <
+                   req.max_new_tokens) {
+                const int32_t tok =
+                    static_cast<int32_t>(rowArgmax(logits, 0));
+                want.push_back(tok);
+                if (static_cast<int64_t>(want.size()) >=
+                    req.max_new_tokens)
+                    break;
+                logits = model.forwardIncremental(
+                    qs, std::vector<int32_t>{tok}, st);
+            }
+            if (futs[r].get().tokens != want) {
+                std::fprintf(stderr,
+                             "smoke: %s engine decode diverges from "
+                             "solo cached decode (request %zu)\n",
+                             label, r);
+                ++failures;
+            }
+        }
+    }
+    if (failures == 0)
+        std::printf("bench_serve --smoke: OK\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            return smokeMain();
+    }
+
+    banner("Serving: continuous batching vs static batching "
+           "(Poisson arrivals)");
+
+    const ModelConfig cfg = serveLmConfig();
+    const int64_t n_requests = 64, n_slots = 4;
+    const std::vector<double> rates_hz = {100.0, 300.0, 1000.0};
+
+    std::printf("model=%s d_model=%lld layers=%d slots/batch=%lld "
+                "requests=%lld prompt=4..11 budget=8..31 dtype=posit(8,1)\n",
+                cfg.name.c_str(), static_cast<long long>(cfg.d_model),
+                cfg.n_layers, static_cast<long long>(n_slots),
+                static_cast<long long>(n_requests));
+    std::printf("static fills a rigid batch and steps it until the "
+                "slowest member finishes;\ncontinuous admits into any "
+                "free KV slot and retires rows individually.\n\n");
+    std::printf("%-10s %-12s %12s %12s %12s %10s\n", "rate", "mode",
+                "tok/s", "p95 ms", "mean ms", "makespan");
+
+    for (const double rate : rates_hz) {
+        CausalLM model(cfg, 4321);
+        QuantSession qs(QuantConfig::posit8());
+        const Workload w = makeWorkload(17, n_requests, rate, cfg.vocab);
+
+        // Warm both paths so first-touch allocation is off the clock.
+        {
+            const Workload warm = makeWorkload(3, 4, 1e9, cfg.vocab);
+            runContinuous(model, qs, warm, n_slots);
+            runStatic(model, qs, warm, n_slots);
+        }
+        const RunStats st = runStatic(model, qs, w, n_slots);
+        const RunStats ct = runContinuous(model, qs, w, n_slots);
+
+        char label[32];
+        std::snprintf(label, sizeof label, "%g req/s", rate);
+        std::printf("%-10s %-12s %12.0f %12.1f %12.1f %9.0fms\n", label,
+                    "static", st.tokensPerSec(), st.p95_ms, st.mean_ms,
+                    st.makespan_ms);
+        std::printf("%-10s %-12s %12.0f %12.1f %12.1f %9.0fms  (%.2fx)\n",
+                    "", "continuous", ct.tokensPerSec(), ct.p95_ms,
+                    ct.mean_ms, ct.makespan_ms,
+                    ct.tokensPerSec() / st.tokensPerSec());
+    }
+    return 0;
+}

@@ -67,10 +67,11 @@ KVCache::reset(int64_t batch_size, int64_t cap, int64_t d_model)
     v = Tensor({batch * capacity, d_model});
 }
 
-void
+bool
 KVCache::append(const Tensor &k_rows, const Tensor &v_rows)
 {
-    assert(len < capacity);
+    if (len >= capacity)
+        return false;
     const int64_t d_model = k.dim(1);
     assert(k_rows.dim(0) == batch && k_rows.dim(1) == d_model);
     for (int64_t b = 0; b < batch; ++b) {
@@ -79,6 +80,7 @@ KVCache::append(const Tensor &k_rows, const Tensor &v_rows)
         std::copy_n(v_rows.data() + b * d_model, d_model, v.data() + dst);
     }
     ++len;
+    return true;
 }
 
 void
@@ -94,6 +96,44 @@ KVCache::fill(const Tensor &k_all, const Tensor &v_all, int64_t rows)
                     v.data() + b * capacity * d_model);
     }
     len = rows;
+}
+
+void
+KVSlots::reset(int64_t slots, int64_t cap, int64_t d_model)
+{
+    n_slots = slots;
+    capacity = cap;
+    len.assign(static_cast<size_t>(slots), 0);
+    k = Tensor({n_slots * capacity, d_model});
+    v = Tensor({n_slots * capacity, d_model});
+}
+
+bool
+KVSlots::append(int32_t slot, const float *k_row, const float *v_row)
+{
+    int64_t &l = len[static_cast<size_t>(slot)];
+    if (l >= capacity)
+        return false;
+    const int64_t d_model = k.dim(1);
+    const int64_t dst = (slot * capacity + l) * d_model;
+    std::copy_n(k_row, d_model, k.data() + dst);
+    std::copy_n(v_row, d_model, v.data() + dst);
+    ++l;
+    return true;
+}
+
+void
+KVSlots::fill(int32_t slot, const Tensor &k_all, const Tensor &v_all,
+              int64_t rows)
+{
+    assert(rows <= capacity);
+    const int64_t d_model = k.dim(1);
+    assert(k_all.dim(0) == rows && k_all.dim(1) == d_model);
+    std::copy_n(k_all.data(), rows * d_model,
+                k.data() + slot * capacity * d_model);
+    std::copy_n(v_all.data(), rows * d_model,
+                v.data() + slot * capacity * d_model);
+    len[static_cast<size_t>(slot)] = rows;
 }
 
 MultiHeadAttention::MultiHeadAttention(int64_t d_model, int n_heads,
@@ -349,6 +389,127 @@ MultiHeadAttention::forwardIncremental(QuantSession &qs, const Tensor &x,
 
     qs.carrier(ctx_flat);
     return out_proj.forward(qs, ctx_flat);
+}
+
+Tensor
+MultiHeadAttention::forwardIncrementalSlots(QuantSession &qs,
+                                            const Tensor &x,
+                                            const std::vector<int32_t> &slots,
+                                            KVSlots &cache, bool self,
+                                            const uint8_t *const
+                                                *key_pad_masks)
+{
+    const int64_t n = x.dim(0);
+    assert(static_cast<int64_t>(slots.size()) == n);
+    assert(x.dim(1) == d_model_);
+
+    Tensor q = q_proj.forward(qs, x);
+    qs.quantFwd(OpClass::kGemm, q);
+
+    if (self) {
+        // Project and quantize the newest position of every gathered
+        // sequence in one [n, d] pass (row-independent), then scatter
+        // each row into its slot. The rows carry the same bits a solo
+        // decode computes for them: all forward quant points round
+        // element-wise on static grids.
+        Tensor k = k_proj.forward(qs, x);
+        qs.quantFwd(OpClass::kGemm, k);
+        Tensor v = v_proj.forward(qs, x);
+        qs.quantFwd(OpClass::kGemm, v);
+        for (int64_t i = 0; i < n; ++i) {
+            const bool ok =
+                cache.append(slots[static_cast<size_t>(i)],
+                             k.data() + i * d_model_,
+                             v.data() + i * d_model_);
+            assert(ok && "scheduler must check canAppend before stepping");
+            (void)ok;
+        }
+    }
+
+    const SoftmaxMode mode = qs.config().softmax;
+    const bool use_approx = mode != SoftmaxMode::kExact;
+    const ApproxPositSoftmax approx_sm(
+        *qs.config().softmax_spec, qs.config().approx_exp,
+        mode == SoftmaxMode::kApproxExp || mode == SoftmaxMode::kApproxBoth,
+        mode == SoftmaxMode::kApproxRecip ||
+            mode == SoftmaxMode::kApproxBoth);
+
+    Tensor ctx_flat({n, d_model_});
+    Tensor qh({1, d_head_});
+    Tensor ctx_h({1, d_head_});
+    double sum_row = 0.0;
+
+    for (int64_t i = 0; i < n; ++i) {
+        const int32_t slot = slots[static_cast<size_t>(i)];
+        const int64_t len = cache.len[static_cast<size_t>(slot)];
+        assert(len > 0 && "cross-attention slots must be primed");
+        const uint8_t *pad =
+            key_pad_masks != nullptr ? key_pad_masks[i] : nullptr;
+        const int64_t base = slot * cache.capacity * d_model_;
+        Tensor kh({len, d_head_});
+        Tensor vh({len, d_head_});
+        Tensor scores({1, len});
+        Tensor e_row({len});
+
+        for (int h = 0; h < n_heads_; ++h) {
+            extractHeadRows(q.data() + i * d_model_, 1, d_model_, d_head_,
+                            h, qh);
+            extractHeadRows(cache.k.data() + base, len, d_model_, d_head_,
+                            h, kh);
+            extractHeadRows(cache.v.data() + base, len, d_model_, d_head_,
+                            h, vh);
+
+            gemm(qh, false, kh, true, scores);
+
+            qs.quantFwd(OpClass::kAttnScaling, scores);
+            scaleInPlace(scores, scale_);
+            qs.carrier(scores);
+
+            // Self-attention needs no mask (the newest position sees
+            // every cached one plus itself); cross-attention applies
+            // the per-sequence source padding mask.
+            if (!self && pad != nullptr) {
+                for (int64_t j = 0; j < len; ++j) {
+                    if (pad[j] != 0)
+                        scores.at(0, j) = kMaskValue;
+                }
+            }
+
+            qs.quantFwd(OpClass::kActivation, scores);
+
+            if (!use_approx) {
+                softmaxRowsInPlace(scores);
+                qs.carrier(scores);
+            } else {
+                Tensor probs({1, len});
+                approx_sm.forward(scores.data(), probs.data(),
+                                  static_cast<int>(len), e_row.data(),
+                                  &sum_row);
+                scores = std::move(probs);
+            }
+
+            qs.quantFwd(OpClass::kGemm, scores);
+            gemm(scores, false, vh, false, ctx_h);
+            scatterHeadAdd(ctx_flat, i, 1, d_head_, h, ctx_h);
+        }
+    }
+
+    qs.carrier(ctx_flat);
+    return out_proj.forward(qs, ctx_flat);
+}
+
+bool
+MultiHeadAttention::primeSlot(QuantSession &qs, const Tensor &memory,
+                              int64_t rows, KVSlots &cache, int32_t slot)
+{
+    if (rows > cache.capacity)
+        return false;
+    Tensor k = k_proj.forward(qs, memory);
+    qs.quantFwd(OpClass::kGemm, k);
+    Tensor v = v_proj.forward(qs, memory);
+    qs.quantFwd(OpClass::kGemm, v);
+    cache.fill(slot, k, v, rows);
+    return true;
 }
 
 Tensor

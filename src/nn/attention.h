@@ -65,11 +65,59 @@ struct KVCache
     /// Allocate (or re-shape) for a decode session and empty the cache.
     void reset(int64_t batch_size, int64_t cap, int64_t d_model);
 
-    /// Append one [batch, d_model] row block (position `len`).
-    void append(const Tensor &k_rows, const Tensor &v_rows);
+    /// True while another position fits in every sequence's panel.
+    bool canAppend() const { return len < capacity; }
+
+    /// Append one [batch, d_model] row block (position `len`). Returns
+    /// false — without writing — when the cache is at capacity, so
+    /// callers can surface a typed overflow instead of corrupting rows.
+    bool append(const Tensor &k_rows, const Tensor &v_rows);
 
     /// Fill from full [batch * rows, d_model] panels (cross-attention).
     void fill(const Tensor &k_all, const Tensor &v_all, int64_t rows);
+};
+
+/**
+ * Slot-addressed pooled K/V cache panel for one attention layer: the
+ * continuous-batching analogue of KVCache. Where KVCache binds a rigid
+ * batch whose sequences advance in lockstep, KVSlots holds `n_slots`
+ * independent sequences at (generally) different lengths; a scheduler
+ * gathers an arbitrary subset of slots into each decode step and
+ * releases a slot the moment its sequence retires.
+ *
+ * Layout matches KVCache (slot s, position t at row s * capacity + t),
+ * and the same static-grid quantization argument applies: rows are
+ * quantized element-wise on entry, so a step gathered over any slot
+ * subset reproduces the solo decode of each sequence bit for bit.
+ * Released slots are *not* zeroed — `len[slot]` alone defines what is
+ * visible, so a reused (dirty) slot still decodes identically.
+ */
+struct KVSlots
+{
+    Tensor k; ///< [n_slots * capacity, d_model] quantized key panels.
+    Tensor v; ///< [n_slots * capacity, d_model] quantized value panels.
+    std::vector<int64_t> len; ///< Cached positions, per slot.
+    int64_t n_slots = 0;
+    int64_t capacity = 0;
+
+    /// Allocate the pool with every slot empty.
+    void reset(int64_t slots, int64_t cap, int64_t d_model);
+
+    bool canAppend(int32_t slot) const
+    {
+        return len[static_cast<size_t>(slot)] < capacity;
+    }
+
+    /// Append one [d_model] K/V row pair at the slot's current length.
+    /// Returns false — without writing — when the slot is full.
+    bool append(int32_t slot, const float *k_row, const float *v_row);
+
+    /// Fill a slot from [rows, d_model] panels (cross-attention prime).
+    void fill(int32_t slot, const Tensor &k_all, const Tensor &v_all,
+              int64_t rows);
+
+    /// Retire a slot: its rows become invisible (and reusable) at once.
+    void release(int32_t slot) { len[static_cast<size_t>(slot)] = 0; }
 };
 
 /// Multi-head attention (self- or cross-).
@@ -121,6 +169,37 @@ class MultiHeadAttention
                               const Tensor *memory = nullptr,
                               int64_t seq_kv = 0,
                               const uint8_t *key_pad_mask = nullptr);
+
+    /**
+     * Slot-indexed incremental forward over a pooled cache (continuous
+     * batching): row i of @p x is the newest position of the sequence
+     * living in pool slot @p slots[i], and the slots may sit at
+     * different lengths.
+     *
+     * @param x [n_active, d] — one row per gathered sequence.
+     * @param slots n_active pool slot ids (distinct).
+     * @param cache The layer's slot pool. @p self true: this step's
+     *   quantized K/V rows are appended to each row's slot (the caller
+     *   must have checked canAppend). @p self false (cross-attention):
+     *   the slots must have been primed with primeSlot beforehand.
+     * @param key_pad_masks Cross-attention only: per-active-row source
+     *   padding masks (entry i has cache.len[slots[i]] bytes, or is
+     *   nullptr); nullptr disables masking entirely.
+     * @return [n_active, d] — row i bit-identical to a solo decode of
+     *   slot slots[i]'s sequence (static-grid element-wise quant points
+     *   plus row-independent GEMM accumulation; see DESIGN.md §9).
+     */
+    Tensor forwardIncrementalSlots(QuantSession &qs, const Tensor &x,
+                                   const std::vector<int32_t> &slots,
+                                   KVSlots &cache, bool self,
+                                   const uint8_t *const *key_pad_masks =
+                                       nullptr);
+
+    /// Project a single sequence's encoder memory ([rows, d]) through
+    /// k/v_proj and park it in @p slot (cross-attention prime). Returns
+    /// false if rows exceeds the pool capacity.
+    bool primeSlot(QuantSession &qs, const Tensor &memory, int64_t rows,
+                   KVSlots &cache, int32_t slot);
 
     /**
      * @param gy Gradient of the output, [B*S, d].

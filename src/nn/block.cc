@@ -129,6 +129,23 @@ EncoderBlock::forwardIncremental(QuantSession &qs, const Tensor &x,
 }
 
 Tensor
+EncoderBlock::forwardIncrementalSlots(QuantSession &qs, const Tensor &x,
+                                      const std::vector<int32_t> &slots,
+                                      KVSlots &self_kv)
+{
+    const Tensor a =
+        attn.forwardIncrementalSlots(qs, x, slots, self_kv, /*self=*/true);
+    Tensor cur = ln_attn.forward(qs, residualAdd(qs, x, a));
+    for (size_t f = 0; f < ffns.size(); ++f) {
+        const Tensor h = ffns[f]->forward(qs, cur);
+        cur = residualAdd(qs, cur, h);
+        if (ffn_lns[f])
+            cur = ffn_lns[f]->forward(qs, cur);
+    }
+    return cur;
+}
+
+Tensor
 EncoderBlock::backward(QuantSession &qs, const Tensor &gy)
 {
     Tensor g = gy;
@@ -238,6 +255,34 @@ DecoderBlock::forwardIncremental(QuantSession &qs, const Tensor &x,
     const Tensor h = ffn.forward(qs, cur);
     cur = ln_ffn.forward(qs, residualAdd(qs, cur, h));
     return cur;
+}
+
+Tensor
+DecoderBlock::forwardIncrementalSlots(QuantSession &qs, const Tensor &x,
+                                      const std::vector<int32_t> &slots,
+                                      KVSlots &self_kv, KVSlots &cross_kv,
+                                      const uint8_t *const *mem_pad_masks)
+{
+    const Tensor a = self_attn.forwardIncrementalSlots(qs, x, slots,
+                                                       self_kv,
+                                                       /*self=*/true);
+    Tensor cur = ln_self.forward(qs, residualAdd(qs, x, a));
+
+    const Tensor c = cross_attn.forwardIncrementalSlots(
+        qs, cur, slots, cross_kv, /*self=*/false, mem_pad_masks);
+    cur = ln_cross.forward(qs, residualAdd(qs, cur, c));
+
+    const Tensor h = ffn.forward(qs, cur);
+    cur = ln_ffn.forward(qs, residualAdd(qs, cur, h));
+    return cur;
+}
+
+bool
+DecoderBlock::primeCrossSlot(QuantSession &qs, const Tensor &memory,
+                             int64_t seq_src, KVSlots &cross_kv,
+                             int32_t slot)
+{
+    return cross_attn.primeSlot(qs, memory, seq_src, cross_kv, slot);
 }
 
 Tensor

@@ -70,6 +70,12 @@ class EncoderBlock
     Tensor forwardIncremental(QuantSession &qs, const Tensor &x,
                               int64_t batch, KVCache &self_kv);
 
+    /// Slot-indexed single-position forward over a pooled cache
+    /// (continuous batching): row i of x belongs to pool slot slots[i].
+    Tensor forwardIncrementalSlots(QuantSession &qs, const Tensor &x,
+                                   const std::vector<int32_t> &slots,
+                                   KVSlots &self_kv);
+
     Tensor backward(QuantSession &qs, const Tensor &gy);
     void collectParams(ParamList &out);
     void enableLora(int rank, float alpha, Rng &rng, bool all_dense);
@@ -113,6 +119,24 @@ class DecoderBlock
                               KVCache &cross_kv, const Tensor &memory,
                               int64_t seq_src,
                               const uint8_t *mem_pad_mask);
+
+    /**
+     * Slot-indexed single-position decode step over pooled caches: row
+     * i of x is the newest target position of the sequence in slot
+     * slots[i]. The cross slots must have been primed (primeCrossSlot)
+     * at admission; @p mem_pad_masks carries one per-row source padding
+     * mask pointer (or nullptr entries / nullptr entirely).
+     */
+    Tensor forwardIncrementalSlots(QuantSession &qs, const Tensor &x,
+                                   const std::vector<int32_t> &slots,
+                                   KVSlots &self_kv, KVSlots &cross_kv,
+                                   const uint8_t *const *mem_pad_masks);
+
+    /// Project one sequence's encoder memory ([S, d]) into this block's
+    /// cross-attention K/V pool slot. Returns false if S exceeds the
+    /// pool capacity.
+    bool primeCrossSlot(QuantSession &qs, const Tensor &memory,
+                        int64_t seq_src, KVSlots &cross_kv, int32_t slot);
 
     /// @param gmemory Accumulates the gradient w.r.t. the encoder
     /// memory ([B*S, d], preallocated).

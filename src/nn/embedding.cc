@@ -43,6 +43,29 @@ Embedding::forward(QuantSession &qs, const std::vector<int32_t> &ids,
     return out;
 }
 
+Tensor
+Embedding::forwardAt(QuantSession &qs, const std::vector<int32_t> &ids,
+                     const std::vector<int64_t> &positions)
+{
+    const int64_t n = static_cast<int64_t>(ids.size());
+    assert(positions.size() == ids.size());
+
+    Tensor out({n, dim_});
+    const float *pt = tok.value.data();
+    const float *pp = pos.value.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        const int64_t id = ids[static_cast<size_t>(i)];
+        const int64_t s = positions[static_cast<size_t>(i)];
+        assert(id >= 0 && id < tok.value.dim(0));
+        assert(s >= 0 && s < pos.value.dim(0));
+        for (int64_t j = 0; j < dim_; ++j)
+            po[i * dim_ + j] = pt[id * dim_ + j] + pp[s * dim_ + j];
+    }
+    qs.carrier(out);
+    return out;
+}
+
 void
 Embedding::backward(QuantSession &qs, const Tensor &gy)
 {

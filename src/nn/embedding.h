@@ -29,6 +29,15 @@ class Embedding
     Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
                    int64_t batch, int64_t seq, int64_t pos_offset = 0);
 
+    /// Ragged-position lookup for continuous batching: row i embeds
+    /// token ids[i] at absolute position positions[i] (sequences in a
+    /// pooled decode step generally sit at different positions).
+    /// Inference-only: does not touch the backward cache. Returns
+    /// [n, dim], bit-identical row-wise to forward() at the same
+    /// (id, position) pairs.
+    Tensor forwardAt(QuantSession &qs, const std::vector<int32_t> &ids,
+                     const std::vector<int64_t> &positions);
+
     /// Accumulates gradients into the embedding tables.
     void backward(QuantSession &qs, const Tensor &gy);
 

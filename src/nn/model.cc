@@ -207,6 +207,20 @@ TransformerEncoder::forwardIncremental(QuantSession &qs,
 }
 
 Tensor
+TransformerEncoder::forwardIncrementalSlots(
+    QuantSession &qs, const std::vector<int32_t> &ids,
+    const std::vector<int64_t> &positions,
+    const std::vector<int32_t> &slots, std::vector<KVSlots> &self_kv)
+{
+    assert(self_kv.size() == blocks.size());
+    Tensor x = embed.forwardAt(qs, ids, positions);
+    x = embed_ln->forward(qs, x);
+    for (size_t l = 0; l < blocks.size(); ++l)
+        x = blocks[l]->forwardIncrementalSlots(qs, x, slots, self_kv[l]);
+    return x;
+}
+
+Tensor
 TransformerEncoder::backward(QuantSession &qs, const Tensor &gy)
 {
     Tensor g = gy;
@@ -354,6 +368,18 @@ CausalLM::forwardIncremental(QuantSession &qs,
     return lm_head.forward(qs, x);
 }
 
+Tensor
+CausalLM::forwardIncrementalSlots(QuantSession &qs,
+                                  const std::vector<int32_t> &ids,
+                                  const std::vector<int64_t> &positions,
+                                  const std::vector<int32_t> &slots,
+                                  std::vector<KVSlots> &self_kv)
+{
+    const Tensor x =
+        body.forwardIncrementalSlots(qs, ids, positions, slots, self_kv);
+    return lm_head.forward(qs, x);
+}
+
 void
 CausalLM::backward(QuantSession &qs, const Tensor &dlogits)
 {
@@ -463,6 +489,46 @@ Seq2Seq::forwardIncremental(QuantSession &qs,
             state.memory, state.seq_src, src_pad_mask);
     }
     ++state.pos;
+    return lm_head.forward(qs, x);
+}
+
+Tensor
+Seq2Seq::encodeOne(QuantSession &qs, const std::vector<int32_t> &src_ids,
+                   int64_t seq_src, const uint8_t *src_pad_mask)
+{
+    return encoder.forward(qs, src_ids, 1, seq_src, src_pad_mask);
+}
+
+bool
+Seq2Seq::primeCrossSlots(QuantSession &qs, const Tensor &memory,
+                         int64_t seq_src, std::vector<KVSlots> &cross_kv,
+                         int32_t slot)
+{
+    assert(cross_kv.size() == dec_blocks.size());
+    for (size_t l = 0; l < dec_blocks.size(); ++l) {
+        if (!dec_blocks[l]->primeCrossSlot(qs, memory, seq_src,
+                                           cross_kv[l], slot))
+            return false;
+    }
+    return true;
+}
+
+Tensor
+Seq2Seq::forwardIncrementalSlots(QuantSession &qs,
+                                 const std::vector<int32_t> &tgt_ids,
+                                 const std::vector<int64_t> &positions,
+                                 const std::vector<int32_t> &slots,
+                                 std::vector<KVSlots> &self_kv,
+                                 std::vector<KVSlots> &cross_kv,
+                                 const uint8_t *const *mem_pad_masks)
+{
+    assert(self_kv.size() == dec_blocks.size());
+    Tensor x = dec_embed.forwardAt(qs, tgt_ids, positions);
+    x = dec_embed_ln->forward(qs, x);
+    for (size_t l = 0; l < dec_blocks.size(); ++l) {
+        x = dec_blocks[l]->forwardIncrementalSlots(
+            qs, x, slots, self_kv[l], cross_kv[l], mem_pad_masks);
+    }
     return lm_head.forward(qs, x);
 }
 

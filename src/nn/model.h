@@ -95,6 +95,20 @@ class TransformerEncoder
                               const std::vector<int32_t> &ids,
                               DecodeState &state);
 
+    /**
+     * Slot-indexed causal single-step forward for continuous batching:
+     * entry i embeds ids[i] at absolute position positions[i] and
+     * attends the pooled cache rows of slot slots[i] in every layer of
+     * @p self_kv (one KVSlots per block). Returns [n_active, d]; row i
+     * is bit-identical to a solo DecodeState decode of the same
+     * sequence. Cache lengths advance; the caller tracks positions.
+     */
+    Tensor forwardIncrementalSlots(QuantSession &qs,
+                                   const std::vector<int32_t> &ids,
+                                   const std::vector<int64_t> &positions,
+                                   const std::vector<int32_t> &slots,
+                                   std::vector<KVSlots> &self_kv);
+
     Tensor backward(QuantSession &qs, const Tensor &gy);
     void collectParams(ParamList &out);
 
@@ -176,6 +190,15 @@ class CausalLM
                               const std::vector<int32_t> &ids,
                               DecodeState &state);
 
+    /// Slot-indexed single-step forward (continuous batching): returns
+    /// next-token logits [n_active, vocab]; see
+    /// TransformerEncoder::forwardIncrementalSlots.
+    Tensor forwardIncrementalSlots(QuantSession &qs,
+                                   const std::vector<int32_t> &ids,
+                                   const std::vector<int64_t> &positions,
+                                   const std::vector<int32_t> &slots,
+                                   std::vector<KVSlots> &self_kv);
+
     void backward(QuantSession &qs, const Tensor &dlogits);
     void collectParams(ParamList &out);
 
@@ -217,6 +240,34 @@ class Seq2Seq
                               const std::vector<int32_t> &tgt_ids,
                               DecodeState &state,
                               const uint8_t *src_pad_mask);
+
+    /// Run the encoder over a single sequence ([1, seq_src] input) and
+    /// return its memory [seq_src, d] (continuous-batching admission).
+    Tensor encodeOne(QuantSession &qs, const std::vector<int32_t> &src_ids,
+                     int64_t seq_src, const uint8_t *src_pad_mask);
+
+    /// Park one sequence's encoder memory in cross-attention pool slot
+    /// @p slot of every decoder layer (@p cross_kv holds one KVSlots
+    /// per decoder block). Returns false if seq_src exceeds capacity.
+    bool primeCrossSlots(QuantSession &qs, const Tensor &memory,
+                         int64_t seq_src, std::vector<KVSlots> &cross_kv,
+                         int32_t slot);
+
+    /**
+     * Slot-indexed single-step decode for continuous batching: entry i
+     * embeds tgt_ids[i] at target position positions[i], runs causal
+     * self-attention over pooled slot slots[i] and cross-attention over
+     * the primed memory slot. @p mem_pad_masks has one source padding
+     * mask pointer per active row (entries or the array itself may be
+     * null). Returns next-token logits [n_active, vocab].
+     */
+    Tensor forwardIncrementalSlots(QuantSession &qs,
+                                   const std::vector<int32_t> &tgt_ids,
+                                   const std::vector<int64_t> &positions,
+                                   const std::vector<int32_t> &slots,
+                                   std::vector<KVSlots> &self_kv,
+                                   std::vector<KVSlots> &cross_kv,
+                                   const uint8_t *const *mem_pad_masks);
 
     /// Greedy autoregressive decode; returns B sequences of ids
     /// (without BOS, terminated at EOS or max_len). Runs O(T)

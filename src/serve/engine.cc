@@ -1,0 +1,304 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "serve/sampler.h"
+
+namespace qt8::serve {
+namespace {
+
+EngineConfig
+normalized(EngineConfig cfg, int64_t max_seq)
+{
+    assert(cfg.n_slots > 0);
+    if (cfg.slot_capacity <= 0 || cfg.slot_capacity > max_seq)
+        cfg.slot_capacity = max_seq;
+    if (cfg.cross_capacity <= 0)
+        cfg.cross_capacity = cfg.slot_capacity;
+    return cfg;
+}
+
+} // namespace
+
+/// One in-flight request: its slot, decode cursor, prefill progress,
+/// sampling stream, output so far, and timing marks.
+struct ServeEngine::Active
+{
+    Active(PendingRequest &&p, int32_t slot_id)
+        : id(p.id), req(std::move(p.request)), promise(std::move(p.promise)),
+          slot(slot_id), rng(req.sampling.seed), submit_ms(p.submit_ms)
+    {}
+
+    uint64_t id;
+    Request req;
+    std::promise<RequestResult> promise;
+    int32_t slot;
+    int64_t pos = 0;        ///< Next decode position (rows in the slot).
+    size_t prompt_next = 0; ///< CausalLM: next prompt index to feed.
+    int32_t next_input = 0; ///< Token fed on the coming step.
+    std::vector<int32_t> out;
+    Rng rng;
+    double submit_ms;
+    double first_token_ms = -1.0;
+    double last_token_ms = -1.0;
+};
+
+ServeEngine::~ServeEngine() = default;
+
+ServeEngine::ServeEngine(CausalLM &model, QuantSession &qs,
+                         EngineConfig cfg)
+    : ServeEngine(&model, nullptr, qs, cfg)
+{}
+
+ServeEngine::ServeEngine(Seq2Seq &model, QuantSession &qs,
+                         EngineConfig cfg)
+    : ServeEngine(nullptr, &model, qs, cfg)
+{}
+
+ServeEngine::ServeEngine(CausalLM *clm, Seq2Seq *s2s, QuantSession &qs,
+                         EngineConfig cfg)
+    : clm_(clm), s2s_(s2s), qs_(qs),
+      cfg_(normalized(cfg, clm != nullptr
+                               ? clm->body.config().max_seq
+                               : s2s->encoder.config().max_seq)),
+      queue_(cfg_.max_queue_depth),
+      pool_(cfg_.n_slots, cfg_.slot_capacity,
+            clm != nullptr ? clm->body.config().d_model
+                           : s2s->encoder.config().d_model,
+            clm != nullptr ? clm->body.blocks.size()
+                           : s2s->dec_blocks.size(),
+            s2s != nullptr ? s2s->dec_blocks.size() : 0,
+            cfg_.cross_capacity),
+      start_(std::chrono::steady_clock::now())
+{}
+
+double
+ServeEngine::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+std::shared_future<RequestResult>
+ServeEngine::submit(Request req)
+{
+    PendingRequest p;
+    {
+        std::lock_guard<std::mutex> lock(submit_mu_);
+        p.id = next_id_++;
+    }
+    p.request = std::move(req);
+    p.submit_ms = nowMs();
+    std::shared_future<RequestResult> fut =
+        p.promise.get_future().share();
+
+    // A failed tryPush leaves p untouched (it only moves on success),
+    // so the original promise can carry the typed rejection: the
+    // future resolves immediately, nothing is admitted, and the caller
+    // can retry or back off.
+    if (!queue_.tryPush(std::move(p))) {
+        RequestResult r;
+        r.id = p.id;
+        r.status = RequestStatus::kRejectedQueueFull;
+        {
+            std::lock_guard<std::mutex> lock(submit_mu_);
+            ++metrics_.rejected;
+        }
+        p.promise.set_value(r);
+        if (p.request.on_complete)
+            p.request.on_complete(r);
+    }
+    return fut;
+}
+
+bool
+ServeEngine::admitOne(PendingRequest &&p)
+{
+    const int32_t slot = pool_.acquire();
+    assert(slot >= 0 && "admit() checked freeCount");
+
+    auto a = std::make_unique<Active>(std::move(p), slot);
+
+    if (clm_ != nullptr) {
+        if (a->req.prompt.empty() || a->req.max_new_tokens <= 0) {
+            // Degenerate request: nothing to decode.
+            active_.push_back(std::move(a));
+            retire(active_.size() - 1, RequestStatus::kOk, nowMs());
+            return true;
+        }
+        a->next_input = a->req.prompt[0];
+        active_.push_back(std::move(a));
+        return true;
+    }
+
+    // Seq2Seq admission: encode the source once (batch 1 — identical
+    // bits to any batch, rows being independent) and park the projected
+    // K/V panels in this request's cross slots.
+    const int64_t seq_src =
+        static_cast<int64_t>(a->req.prompt.size());
+    const uint8_t *pad =
+        a->req.src_pad.empty() ? nullptr : a->req.src_pad.data();
+    if (seq_src == 0 || a->req.max_new_tokens <= 0) {
+        active_.push_back(std::move(a));
+        retire(active_.size() - 1, RequestStatus::kOk, nowMs());
+        return true;
+    }
+    const Tensor memory = s2s_->encodeOne(qs_, a->req.prompt, seq_src, pad);
+    if (!s2s_->primeCrossSlots(qs_, memory, seq_src, pool_.crossLayers(),
+                               a->slot)) {
+        // Source longer than the cross-attention pool: typed error
+        // instead of an assert, slot returned immediately.
+        active_.push_back(std::move(a));
+        retire(active_.size() - 1, RequestStatus::kCapacityExceeded,
+               nowMs());
+        return true;
+    }
+    a->next_input = a->req.bos;
+    active_.push_back(std::move(a));
+    return true;
+}
+
+void
+ServeEngine::admit()
+{
+    while (pool_.freeCount() > 0) {
+        PendingRequest p;
+        if (!queue_.tryPop(p))
+            break;
+        admitOne(std::move(p));
+    }
+}
+
+void
+ServeEngine::retire(size_t idx, RequestStatus status, double now_ms)
+{
+    Active &a = *active_[idx];
+
+    RequestResult r;
+    r.id = a.id;
+    r.status = status;
+    r.tokens = a.out;
+    r.prompt_tokens = static_cast<int64_t>(a.req.prompt.size());
+    r.ttft_ms =
+        a.first_token_ms >= 0.0 ? a.first_token_ms - a.submit_ms : 0.0;
+    r.latency_ms = now_ms - a.submit_ms;
+
+    RequestRecord rec;
+    rec.id = r.id;
+    rec.status = status;
+    rec.prompt_tokens = r.prompt_tokens;
+    rec.generated_tokens = static_cast<int64_t>(r.tokens.size());
+    rec.ttft_ms = r.ttft_ms;
+    rec.latency_ms = r.latency_ms;
+    rec.tokens_per_sec =
+        r.latency_ms > 0.0
+            ? static_cast<double>(rec.generated_tokens) /
+                  (r.latency_ms / 1000.0)
+            : 0.0;
+    metrics_.recordRetirement(rec);
+
+    pool_.release(a.slot);
+    a.promise.set_value(r);
+    if (a.req.on_complete)
+        a.req.on_complete(r);
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+bool
+ServeEngine::step()
+{
+    const double t0 = nowMs();
+    admit();
+
+    // Sequences whose slot is full cannot take another position: retire
+    // them with the typed overflow status (output kept, truncated).
+    for (size_t i = active_.size(); i-- > 0;) {
+        if (pool_.slotLen(active_[i]->slot) >= pool_.capacity())
+            retire(i, RequestStatus::kCapacityExceeded, nowMs());
+    }
+    // Retirements may have opened slots for queued work this same step.
+    admit();
+
+    if (active_.empty()) {
+        ++metrics_.idle_steps;
+        return false;
+    }
+
+    const size_t n = active_.size();
+    std::vector<int32_t> ids(n);
+    std::vector<int64_t> positions(n);
+    std::vector<int32_t> slots(n);
+    std::vector<const uint8_t *> pads(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+        const Active &a = *active_[i];
+        ids[i] = a.next_input;
+        positions[i] = a.pos;
+        slots[i] = a.slot;
+        if (s2s_ != nullptr && !a.req.src_pad.empty())
+            pads[i] = a.req.src_pad.data();
+    }
+
+    const Tensor logits =
+        clm_ != nullptr
+            ? clm_->forwardIncrementalSlots(qs_, ids, positions, slots,
+                                            pool_.selfLayers())
+            : s2s_->forwardIncrementalSlots(qs_, ids, positions, slots,
+                                            pool_.selfLayers(),
+                                            pool_.crossLayers(),
+                                            pads.data());
+
+    const double now = nowMs();
+    ++metrics_.steps;
+    metrics_.busy_ms += now - t0;
+
+    // Consume logits back-to-front so retirements don't shift the rows
+    // still to be processed (row i belongs to active_[i]).
+    for (size_t i = n; i-- > 0;) {
+        Active &a = *active_[i];
+        ++a.pos;
+
+        if (clm_ != nullptr && a.prompt_next + 1 < a.req.prompt.size()) {
+            // Prefill row: this step consumed prompt[prompt_next]; the
+            // logits predict a token the prompt already pins down.
+            ++a.prompt_next;
+            a.next_input = a.req.prompt[a.prompt_next];
+            continue;
+        }
+
+        const int32_t tok =
+            sampleToken(logits, static_cast<int64_t>(i), a.req.sampling,
+                        a.rng);
+        if (clm_ != nullptr)
+            a.prompt_next = a.req.prompt.size(); // prefill done
+        if (a.first_token_ms < 0.0) {
+            a.first_token_ms = now;
+            metrics_.token_latency_ms.record(now - a.submit_ms);
+        } else {
+            metrics_.token_latency_ms.record(now - a.last_token_ms);
+        }
+        a.last_token_ms = now;
+
+        if (a.req.eos >= 0 && tok == a.req.eos) {
+            retire(i, RequestStatus::kOk, now);
+            continue;
+        }
+        a.out.push_back(tok);
+        if (static_cast<int64_t>(a.out.size()) >= a.req.max_new_tokens) {
+            retire(i, RequestStatus::kOk, now);
+            continue;
+        }
+        a.next_input = tok;
+    }
+    return true;
+}
+
+void
+ServeEngine::runUntilIdle()
+{
+    while (activeCount() > 0 || pendingCount() > 0)
+        step();
+}
+
+} // namespace qt8::serve

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * In-process serving engine: continuous batching over a pooled,
+ * slot-addressed KV cache.
+ *
+ * Clients submit per-request prompts (CausalLM prefixes or Seq2Seq
+ * sources) through a FIFO RequestQueue; the scheduler loop admits
+ * pending requests into free KVCachePool slots the moment they open,
+ * steps *all* in-flight sequences one position per iteration through
+ * the slot-indexed forwardIncrementalSlots entry points, and retires a
+ * sequence on EOS / max_new_tokens / slot-capacity overflow — freeing
+ * its slot for the next admission on the same step. CausalLM prompts
+ * prefill token-by-token inside the shared step batch, so prefill and
+ * decode rows mix freely like any continuous-batching server.
+ *
+ * Every request's emitted tokens are bit-identical to a solo cached
+ * decode of the same prompt (greedy) or to a replay from the same
+ * sampling seed: all forward quant points round element-wise on static
+ * grids and every kernel is row-independent, so gathering arbitrary
+ * slot subsets into a step never changes a row's bits (DESIGN.md §9).
+ * int8's dynamic per-tensor scaling is row-coupled and stays excluded,
+ * exactly as in the DecodeState path.
+ */
+#ifndef QT8_SERVE_ENGINE_H
+#define QT8_SERVE_ENGINE_H
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/model.h"
+#include "serve/kv_pool.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+
+namespace qt8::serve {
+
+struct EngineConfig
+{
+    int64_t n_slots = 4;       ///< Concurrent in-flight sequences.
+    int64_t slot_capacity = 64; ///< Max positions per sequence
+                                ///< (clamped to the model's max_seq).
+    int64_t cross_capacity = 0; ///< Seq2Seq max source length
+                                ///< (0 = slot_capacity).
+    size_t max_queue_depth = 0; ///< Pending-queue bound (0 = unbounded).
+};
+
+class ServeEngine
+{
+  public:
+    /// The engine borrows the model and session; both must outlive it.
+    /// Decoding through the engine is inference-only and does not
+    /// disturb training state.
+    ServeEngine(CausalLM &model, QuantSession &qs, EngineConfig cfg);
+    ServeEngine(Seq2Seq &model, QuantSession &qs, EngineConfig cfg);
+    ~ServeEngine(); // out-of-line: Active is incomplete here
+
+    /**
+     * Enqueue a request. Always returns a future; when the pending
+     * queue is at max depth the future is already fulfilled with
+     * status kRejectedQueueFull. Thread-safe.
+     */
+    std::shared_future<RequestResult> submit(Request req);
+
+    /**
+     * One scheduler iteration: admit pending requests into free slots,
+     * run one pooled decode step over every in-flight sequence, sample
+     * / retire. Returns true when a forward ran (false = idle step).
+     */
+    bool step();
+
+    /// Step until both the queue and the in-flight set are empty.
+    void runUntilIdle();
+
+    size_t pendingCount() const { return queue_.size(); }
+    size_t activeCount() const { return active_.size(); }
+    int64_t freeSlots() const
+    {
+        return static_cast<int64_t>(pool_.freeCount());
+    }
+
+    const ServeMetrics &metrics() const { return metrics_; }
+    const EngineConfig &config() const { return cfg_; }
+
+  private:
+    struct Active; // One in-flight request's decode state.
+
+    ServeEngine(CausalLM *clm, Seq2Seq *s2s, QuantSession &qs,
+                EngineConfig cfg);
+
+    double nowMs() const;
+    void admit();
+    void retire(size_t idx, RequestStatus status, double now_ms);
+    bool admitOne(PendingRequest &&p);
+
+    CausalLM *clm_ = nullptr;
+    Seq2Seq *s2s_ = nullptr;
+    QuantSession &qs_;
+    EngineConfig cfg_;
+    RequestQueue queue_;
+    KVCachePool pool_;
+    std::vector<std::unique_ptr<Active>> active_;
+    ServeMetrics metrics_;
+    uint64_t next_id_ = 1;
+    std::mutex submit_mu_; ///< Guards next_id_ / rejection count so
+                           ///< producers may submit from any thread.
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_ENGINE_H

@@ -1,0 +1,52 @@
+#include "serve/kv_pool.h"
+
+#include <cassert>
+
+namespace qt8::serve {
+
+KVCachePool::KVCachePool(int64_t n_slots, int64_t capacity,
+                         int64_t d_model, size_t n_self_layers,
+                         size_t n_cross_layers, int64_t cross_capacity)
+    : n_slots_(n_slots), capacity_(capacity),
+      cross_capacity_(cross_capacity)
+{
+    assert(n_slots > 0 && capacity > 0);
+    self_.resize(n_self_layers);
+    for (KVSlots &layer : self_)
+        layer.reset(n_slots, capacity, d_model);
+    cross_.resize(n_cross_layers);
+    for (KVSlots &layer : cross_)
+        layer.reset(n_slots, cross_capacity, d_model);
+    free_.reserve(static_cast<size_t>(n_slots));
+    // LIFO order: slot 0 is handed out first, which also maximizes how
+    // often tests exercise dirty-slot reuse.
+    for (int32_t s = static_cast<int32_t>(n_slots) - 1; s >= 0; --s)
+        free_.push_back(s);
+}
+
+int32_t
+KVCachePool::acquire()
+{
+    if (free_.empty())
+        return -1;
+    const int32_t slot = free_.back();
+    free_.pop_back();
+    for (KVSlots &layer : self_)
+        layer.release(slot); // len = 0, rows left dirty
+    for (KVSlots &layer : cross_)
+        layer.release(slot);
+    return slot;
+}
+
+void
+KVCachePool::release(int32_t slot)
+{
+    assert(slot >= 0 && slot < n_slots_);
+    for (KVSlots &layer : self_)
+        layer.release(slot);
+    for (KVSlots &layer : cross_)
+        layer.release(slot);
+    free_.push_back(slot);
+}
+
+} // namespace qt8::serve

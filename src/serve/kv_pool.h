@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Slot-addressed KV cache pool shared by every in-flight request of the
+ * serving engine: per-decoder-layer self-attention KVSlots panels plus
+ * (Seq2Seq) per-layer cross-attention panels, with O(1) slot
+ * acquire/release so a finished sequence's memory is reusable on the
+ * very next scheduler step. Released slots are not scrubbed — the
+ * per-slot length alone defines visibility, which the dirty-slot-reuse
+ * test pins down.
+ */
+#ifndef QT8_SERVE_KV_POOL_H
+#define QT8_SERVE_KV_POOL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/attention.h"
+
+namespace qt8::serve {
+
+class KVCachePool
+{
+  public:
+    /**
+     * @param n_slots Concurrent sequences the pool can hold.
+     * @param capacity Max cached positions per slot (prompt+generated).
+     * @param n_self_layers Decoder layers (one self panel each).
+     * @param n_cross_layers Seq2Seq decoder layers (0 for CausalLM).
+     * @param cross_capacity Max source positions per cross slot.
+     */
+    KVCachePool(int64_t n_slots, int64_t capacity, int64_t d_model,
+                size_t n_self_layers, size_t n_cross_layers = 0,
+                int64_t cross_capacity = 0);
+
+    /// Claim a free slot (its lengths reset to 0); -1 when none free.
+    int32_t acquire();
+
+    /// Return a slot to the free list; its cached rows become invisible
+    /// immediately and are overwritten by the next occupant.
+    void release(int32_t slot);
+
+    int64_t slotCount() const { return n_slots_; }
+    int64_t capacity() const { return capacity_; }
+    int64_t crossCapacity() const { return cross_capacity_; }
+    size_t freeCount() const { return free_.size(); }
+
+    /// Self-attention length of a slot (identical across layers).
+    int64_t slotLen(int32_t slot) const
+    {
+        return self_.empty() ? 0
+                             : self_[0].len[static_cast<size_t>(slot)];
+    }
+
+    std::vector<KVSlots> &selfLayers() { return self_; }
+    std::vector<KVSlots> &crossLayers() { return cross_; }
+
+  private:
+    int64_t n_slots_;
+    int64_t capacity_;
+    int64_t cross_capacity_;
+    std::vector<KVSlots> self_;
+    std::vector<KVSlots> cross_;
+    std::vector<int32_t> free_; ///< LIFO free list.
+};
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_KV_POOL_H

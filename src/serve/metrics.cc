@@ -1,0 +1,110 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qt8::serve {
+
+const char *
+toString(RequestStatus s)
+{
+    switch (s) {
+    case RequestStatus::kOk:
+        return "ok";
+    case RequestStatus::kCapacityExceeded:
+        return "capacity-exceeded";
+    case RequestStatus::kRejectedQueueFull:
+        return "rejected-queue-full";
+    }
+    return "?";
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double s : samples_)
+        total += s;
+    return total / static_cast<double>(samples_.size());
+}
+
+void
+ServeMetrics::recordRetirement(const RequestRecord &r)
+{
+    requests.push_back(r);
+    ttft_ms.record(r.ttft_ms);
+    request_latency_ms.record(r.latency_ms);
+    generated_tokens += r.generated_tokens;
+    prompt_tokens += r.prompt_tokens;
+    if (r.status == RequestStatus::kCapacityExceeded)
+        ++truncated;
+    ++completed;
+}
+
+double
+ServeMetrics::tokensPerSecBusy() const
+{
+    if (busy_ms <= 0.0)
+        return 0.0;
+    return static_cast<double>(generated_tokens) / (busy_ms / 1000.0);
+}
+
+std::string
+ServeMetrics::dump() const
+{
+    char buf[512];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "serve: %lld completed (%lld truncated), %lld rejected, "
+                  "%lld steps (%lld idle)\n",
+                  static_cast<long long>(completed),
+                  static_cast<long long>(truncated),
+                  static_cast<long long>(rejected),
+                  static_cast<long long>(steps),
+                  static_cast<long long>(idle_steps));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "tokens: %lld generated, %lld prompt; %.0f tok/s over "
+                  "%.1f ms busy\n",
+                  static_cast<long long>(generated_tokens),
+                  static_cast<long long>(prompt_tokens), tokensPerSecBusy(),
+                  busy_ms);
+    out += buf;
+    const struct
+    {
+        const char *name;
+        const LatencyHistogram &h;
+    } rows[] = {
+        {"ttft_ms", ttft_ms},
+        {"request_latency_ms", request_latency_ms},
+        {"token_latency_ms", token_latency_ms},
+    };
+    for (const auto &row : rows) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-20s n=%-6zu mean=%-8.3f p50=%-8.3f p95=%-8.3f "
+                      "p99=%.3f\n",
+                      row.name, row.h.count(), row.h.mean(),
+                      row.h.percentile(50.0), row.h.percentile(95.0),
+                      row.h.percentile(99.0));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace qt8::serve

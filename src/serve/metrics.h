@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Built-in observability for the serving engine: per-request TTFT,
+ * end-to-end latency and tokens/sec, per-token step latencies, and
+ * p50/p95/p99 summaries over all of them, dumpable as text. Samples are
+ * kept raw (doubles, milliseconds) and percentiles computed on demand —
+ * at serving-bench scale this is cheaper than maintaining bucketed
+ * histograms and loses nothing.
+ */
+#ifndef QT8_SERVE_METRICS_H
+#define QT8_SERVE_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace qt8::serve {
+
+/// Raw latency samples with percentile queries (nearest-rank on the
+/// sorted samples).
+class LatencyHistogram
+{
+  public:
+    void record(double ms) { samples_.push_back(ms); }
+    size_t count() const { return samples_.size(); }
+    double percentile(double p) const; ///< p in [0, 100].
+    double mean() const;
+
+  private:
+    std::vector<double> samples_;
+};
+
+/// One retired request's timing record.
+struct RequestRecord
+{
+    uint64_t id = 0;
+    RequestStatus status = RequestStatus::kOk;
+    int64_t prompt_tokens = 0;
+    int64_t generated_tokens = 0;
+    double ttft_ms = 0.0;
+    double latency_ms = 0.0;
+    double tokens_per_sec = 0.0; ///< generated / (latency - ttft)-ish.
+};
+
+/// Aggregated engine metrics; filled by the scheduler as requests
+/// retire and steps complete.
+struct ServeMetrics
+{
+    std::vector<RequestRecord> requests;
+    LatencyHistogram ttft_ms;
+    LatencyHistogram request_latency_ms;
+    LatencyHistogram token_latency_ms; ///< Per generated token.
+
+    int64_t completed = 0;
+    int64_t truncated = 0; ///< kCapacityExceeded retirements.
+    int64_t rejected = 0;  ///< kRejectedQueueFull submissions.
+    int64_t steps = 0;     ///< Scheduler iterations that ran a forward.
+    int64_t idle_steps = 0;
+    int64_t generated_tokens = 0;
+    int64_t prompt_tokens = 0;
+    double busy_ms = 0.0; ///< Total forward/sample time across steps.
+
+    void recordRetirement(const RequestRecord &r);
+
+    /// Aggregate decode throughput over engine busy time.
+    double tokensPerSecBusy() const;
+
+    /// Human-readable multi-line summary.
+    std::string dump() const;
+};
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_METRICS_H

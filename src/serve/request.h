@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Request/response types for the in-process serving engine: what a
+ * client submits (prompt, decode budget, sampling policy), the typed
+ * terminal statuses, and the per-request result delivered through a
+ * future and/or completion callback.
+ */
+#ifndef QT8_SERVE_REQUEST_H
+#define QT8_SERVE_REQUEST_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace qt8::serve {
+
+/// Token-sampling policy for the cached decode path. temperature == 0
+/// is greedy (argmax, the default); otherwise logits are divided by the
+/// temperature and sampled from the softmax, optionally restricted to
+/// the top_k highest logits. Every request carries its own RNG seed, so
+/// a sampled decode replays deterministically regardless of how the
+/// scheduler interleaved it with other requests.
+struct SamplingParams
+{
+    float temperature = 0.0f; ///< 0 = greedy argmax.
+    int top_k = 0;            ///< 0 = no truncation.
+    uint64_t seed = 0;        ///< Per-request RNG stream seed.
+};
+
+/// Why a request left the engine.
+enum class RequestStatus {
+    kOk,                ///< Finished on EOS or max_new_tokens.
+    kCapacityExceeded,  ///< Hit its KV slot capacity; output truncated.
+    kRejectedQueueFull, ///< Never admitted: pending queue at max depth.
+};
+
+const char *toString(RequestStatus s);
+
+struct RequestResult
+{
+    uint64_t id = 0;
+    RequestStatus status = RequestStatus::kOk;
+    /// Generated ids (EOS excluded), matching a solo cached decode.
+    std::vector<int32_t> tokens;
+    int64_t prompt_tokens = 0;
+    double ttft_ms = 0.0;    ///< Submit -> first generated token.
+    double latency_ms = 0.0; ///< Submit -> completion.
+};
+
+/// One inference request. For a CausalLM engine `prompt` is the token
+/// prefix to continue (>= 1 token); for a Seq2Seq engine it is the
+/// source sequence (with optional padding mask) and decoding starts
+/// from `bos`.
+struct Request
+{
+    std::vector<int32_t> prompt;
+    std::vector<uint8_t> src_pad; ///< Seq2Seq only; empty = no padding.
+    int64_t max_new_tokens = 16;
+    int32_t eos = -1; ///< Stop token; -1 decodes to max_new_tokens.
+    int32_t bos = 3;  ///< Seq2Seq first decoder input (Vocab::kBos).
+    SamplingParams sampling;
+    /// Optional completion hook, invoked from the scheduler thread
+    /// right after the result future is fulfilled.
+    std::function<void(const RequestResult &)> on_complete;
+};
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_REQUEST_H

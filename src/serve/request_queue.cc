@@ -1,0 +1,33 @@
+#include "serve/request_queue.h"
+
+namespace qt8::serve {
+
+bool
+RequestQueue::tryPush(PendingRequest &&p)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_depth_ != 0 && q_.size() >= max_depth_)
+        return false;
+    q_.push_back(std::move(p));
+    return true;
+}
+
+bool
+RequestQueue::tryPop(PendingRequest &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty())
+        return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+}
+
+size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+}
+
+} // namespace qt8::serve

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * FIFO admission queue for the serving engine, with an optional maximum
+ * depth: past it, submissions are rejected immediately (typed
+ * kRejectedQueueFull) instead of growing an unbounded backlog. Mutexed
+ * so producers on other threads can submit while the scheduler drains.
+ */
+#ifndef QT8_SERVE_REQUEST_QUEUE_H
+#define QT8_SERVE_REQUEST_QUEUE_H
+
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+
+#include "serve/request.h"
+
+namespace qt8::serve {
+
+/// A queued request with its pre-created result promise.
+struct PendingRequest
+{
+    uint64_t id = 0;
+    Request request;
+    std::promise<RequestResult> promise;
+    double submit_ms = 0.0; ///< Engine-clock submission time.
+};
+
+class RequestQueue
+{
+  public:
+    /// @param max_depth 0 = unbounded.
+    explicit RequestQueue(size_t max_depth = 0) : max_depth_(max_depth) {}
+
+    /// FIFO push; returns false (leaving @p p untouched) when the queue
+    /// is at max depth.
+    bool tryPush(PendingRequest &&p);
+
+    /// Pop the oldest pending request into @p out; false when empty.
+    bool tryPop(PendingRequest &out);
+
+    size_t size() const;
+    bool empty() const { return size() == 0; }
+    size_t maxDepth() const { return max_depth_; }
+
+  private:
+    mutable std::mutex mu_;
+    std::deque<PendingRequest> q_;
+    size_t max_depth_;
+};
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_REQUEST_QUEUE_H

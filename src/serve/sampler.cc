@@ -1,0 +1,64 @@
+#include "serve/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace qt8::serve {
+
+int32_t
+sampleToken(const Tensor &logits, int64_t row,
+            const SamplingParams &params, Rng &rng)
+{
+    if (!(params.temperature > 0.0f))
+        return static_cast<int32_t>(rowArgmax(logits, row));
+
+    const int64_t vocab = logits.dim(1);
+    const float *p = logits.data() + row * vocab;
+
+    // Candidate set: finite logits, optionally narrowed to the top_k
+    // largest (stable partial sort -> ties keep the lower token id).
+    std::vector<int32_t> cand;
+    cand.reserve(static_cast<size_t>(vocab));
+    for (int64_t j = 0; j < vocab; ++j) {
+        if (std::isfinite(p[j]))
+            cand.push_back(static_cast<int32_t>(j));
+    }
+    if (cand.empty())
+        return static_cast<int32_t>(rowArgmax(logits, row));
+    if (params.top_k > 0 &&
+        static_cast<size_t>(params.top_k) < cand.size()) {
+        std::stable_sort(cand.begin(), cand.end(),
+                         [p](int32_t a, int32_t b) { return p[a] > p[b]; });
+        cand.resize(static_cast<size_t>(params.top_k));
+    }
+
+    // Softmax at temperature, in double, max-subtracted for stability.
+    double mx = -INFINITY;
+    for (int32_t j : cand)
+        mx = std::max(mx, static_cast<double>(p[j]));
+    const double inv_t = 1.0 / static_cast<double>(params.temperature);
+    std::vector<double> w(cand.size());
+    double total = 0.0;
+    for (size_t i = 0; i < cand.size(); ++i) {
+        w[i] = std::exp((static_cast<double>(p[cand[i]]) - mx) * inv_t);
+        total += w[i];
+    }
+    if (!(total > 0.0) || !std::isfinite(total))
+        return static_cast<int32_t>(rowArgmax(logits, row));
+
+    // Inverse CDF with exactly one uniform draw per token, so a replay
+    // from the same seed consumes the identical RNG stream.
+    const double u = rng.uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < cand.size(); ++i) {
+        acc += w[i];
+        if (u < acc)
+            return cand[i];
+    }
+    return cand.back();
+}
+
+} // namespace qt8::serve

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Next-token selection for the cached decode path: greedy argmax (the
+ * default, bit-identical to Seq2Seq::greedyDecode) plus temperature and
+ * top-k sampling driven by a caller-owned deterministic Rng
+ * (tensor/random's xoshiro256++), so a request replays identically from
+ * its seed no matter how it was batched.
+ */
+#ifndef QT8_SERVE_SAMPLER_H
+#define QT8_SERVE_SAMPLER_H
+
+#include <cstdint>
+
+#include "serve/request.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace qt8::serve {
+
+/**
+ * Pick the next token from row @p row of a [*, vocab] logits tensor.
+ *
+ * temperature == 0 (or a degenerate distribution) falls back to greedy
+ * rowArgmax. Otherwise the kept logits (all, or the top_k largest —
+ * ties broken toward the lower token id) are softmaxed at the given
+ * temperature in double precision and sampled by inverse-CDF with one
+ * rng.uniform() draw, consuming exactly one draw per generated token.
+ */
+int32_t sampleToken(const Tensor &logits, int64_t row,
+                    const SamplingParams &params, Rng &rng);
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_SAMPLER_H

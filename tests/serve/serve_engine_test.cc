@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Serving-engine contract tests.
+ *
+ * The central claim: a request decoded by the continuous-batching
+ * engine — admitted into an arbitrary pool slot, stepped alongside an
+ * ever-changing set of neighbours, possibly into a dirty reused slot —
+ * emits exactly the tokens a solo KV-cached decode of the same prompt
+ * emits, bit for bit, for every static-grid quant config (fp32, bf16,
+ * posit(8,1), E4M3, approx-softmax posit). The scheduler edge cases
+ * (idle steps, simultaneous retirement, slot reuse, queue-full
+ * rejection, capacity overflow) and sampling determinism ride on top.
+ */
+#include <gtest/gtest.h>
+
+#include "data/tasks.h"
+#include "nn/model.h"
+#include "serve/engine.h"
+#include "serve/sampler.h"
+
+namespace qt8 {
+namespace {
+
+using serve::EngineConfig;
+using serve::Request;
+using serve::RequestResult;
+using serve::RequestStatus;
+using serve::SamplingParams;
+using serve::ServeEngine;
+
+ModelConfig
+tinyLmConfig()
+{
+    ModelConfig cfg;
+    cfg.name = "serve-test-lm";
+    cfg.vocab = 48;
+    cfg.d_model = 32;
+    cfg.d_ff = 64;
+    cfg.n_heads = 2;
+    cfg.n_layers = 2;
+    return cfg;
+}
+
+ModelConfig
+tinySeq2SeqConfig()
+{
+    ModelConfig cfg = ModelConfig::whisperTinyLike();
+    cfg.vocab = 48;
+    return cfg;
+}
+
+/// The quant configs the engine must be exact under (same set as
+/// decode_cache_test; int8's row-coupled dynamic scaling is excluded
+/// by design).
+std::vector<QuantConfig>
+serveConfigs()
+{
+    return {QuantConfig::fp32(),    QuantConfig::bf16(),
+            QuantConfig::posit8(),  QuantConfig::fp8(),
+            QuantConfig::posit8Approx()};
+}
+
+/// Deterministic per-request prompts over the content-token range.
+std::vector<int32_t>
+makePrompt(Rng &rng, int64_t vocab, int64_t len)
+{
+    std::vector<int32_t> p(static_cast<size_t>(len));
+    for (auto &t : p) {
+        t = static_cast<int32_t>(
+            Vocab::kFirstContent +
+            rng.randint(vocab - Vocab::kFirstContent));
+    }
+    return p;
+}
+
+/// Solo cached decode through the rigid DecodeState path — the
+/// reference the engine must reproduce bit-for-bit. Mirrors the
+/// engine's emission rules exactly (EOS excluded, max_new_tokens cap,
+/// one sampler draw per generated token).
+std::vector<int32_t>
+soloCausal(CausalLM &model, QuantSession &qs,
+           const std::vector<int32_t> &prompt, int64_t max_new,
+           int32_t eos, const SamplingParams &sp)
+{
+    const int64_t cap = std::min(
+        model.body.config().max_seq,
+        static_cast<int64_t>(prompt.size()) + max_new + 1);
+    DecodeState st = model.beginDecode(1, cap);
+    Rng rng(sp.seed);
+    Tensor logits;
+    for (const int32_t tok : prompt) {
+        const std::vector<int32_t> step{tok};
+        logits = model.forwardIncremental(qs, step, st);
+    }
+    std::vector<int32_t> out;
+    while (true) {
+        const int32_t tok = serve::sampleToken(logits, 0, sp, rng);
+        if (eos >= 0 && tok == eos)
+            break;
+        out.push_back(tok);
+        if (static_cast<int64_t>(out.size()) >= max_new)
+            break;
+        const std::vector<int32_t> step{tok};
+        logits = model.forwardIncremental(qs, step, st);
+    }
+    return out;
+}
+
+TEST(ServeEngine, CausalRequestsBitIdenticalToSoloDecode)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    const int64_t n_requests = 6, prompt_lo = 3, max_new = 10;
+
+    for (const QuantConfig &qc : serveConfigs()) {
+        CausalLM model(cfg, 4242);
+        QuantSession qs(qc);
+
+        Rng rng(99);
+        std::vector<Request> reqs;
+        for (int64_t r = 0; r < n_requests; ++r) {
+            Request req;
+            // Ragged prompts and budgets so retirements stagger.
+            req.prompt =
+                makePrompt(rng, cfg.vocab, prompt_lo + r % 4);
+            req.max_new_tokens = max_new - r % 3;
+            req.eos = Vocab::kEos;
+            reqs.push_back(req);
+        }
+
+        // Fewer slots than requests, staggered submission: the engine
+        // must mix prefill and decode rows and reuse slots.
+        ServeEngine engine(model, qs,
+                           EngineConfig{/*n_slots=*/2,
+                                        /*slot_capacity=*/32});
+        std::vector<std::shared_future<RequestResult>> futs;
+        for (size_t r = 0; r < reqs.size(); ++r) {
+            futs.push_back(engine.submit(reqs[r]));
+            if (r % 2 == 1)
+                engine.step(); // interleave arrivals with decoding
+        }
+        engine.runUntilIdle();
+
+        for (size_t r = 0; r < reqs.size(); ++r) {
+            const RequestResult res = futs[r].get();
+            ASSERT_EQ(RequestStatus::kOk, res.status) << qc.name;
+            const auto want =
+                soloCausal(model, qs, reqs[r].prompt,
+                           reqs[r].max_new_tokens, reqs[r].eos,
+                           reqs[r].sampling);
+            EXPECT_EQ(want, res.tokens)
+                << qc.name << " request " << r;
+        }
+    }
+}
+
+TEST(ServeEngine, Seq2SeqRequestsBitIdenticalToSoloGreedyDecode)
+{
+    const ModelConfig cfg = tinySeq2SeqConfig();
+    const int64_t B = 5, S = 16, max_new = 12;
+    const Seq2SeqTask task(cfg.vocab, S, 10);
+    Rng rng(123);
+    const Seq2SeqBatch batch = task.sample(rng, B);
+
+    for (const QuantConfig &qc : serveConfigs()) {
+        Seq2Seq model(cfg, 7777);
+        QuantSession qs(qc);
+
+        ServeEngine engine(model, qs,
+                           EngineConfig{/*n_slots=*/2,
+                                        /*slot_capacity=*/16,
+                                        /*cross_capacity=*/S});
+        std::vector<std::shared_future<RequestResult>> futs;
+        for (int64_t b = 0; b < B; ++b) {
+            Request req;
+            req.prompt.assign(
+                batch.src.begin() + b * S,
+                batch.src.begin() + (b + 1) * S);
+            req.src_pad.assign(
+                batch.src_pad.begin() + b * S,
+                batch.src_pad.begin() + (b + 1) * S);
+            req.max_new_tokens = max_new;
+            req.eos = Vocab::kEos;
+            req.bos = Vocab::kBos;
+            futs.push_back(engine.submit(req));
+        }
+        engine.runUntilIdle();
+
+        for (int64_t b = 0; b < B; ++b) {
+            const RequestResult res =
+                futs[static_cast<size_t>(b)].get();
+            ASSERT_EQ(RequestStatus::kOk, res.status) << qc.name;
+            const std::vector<int32_t> src(
+                batch.src.begin() + b * S,
+                batch.src.begin() + (b + 1) * S);
+            const std::vector<uint8_t> pad(
+                batch.src_pad.begin() + b * S,
+                batch.src_pad.begin() + (b + 1) * S);
+            const auto want = model.greedyDecode(
+                qs, src, 1, S, pad.data(), max_new, Vocab::kBos,
+                Vocab::kEos);
+            EXPECT_EQ(want[0], res.tokens)
+                << qc.name << " request " << b;
+        }
+    }
+}
+
+TEST(ServeEngine, EmptyQueueIdleStep)
+{
+    CausalLM model(tinyLmConfig(), 1);
+    QuantSession qs(QuantConfig::fp32());
+    ServeEngine engine(model, qs, EngineConfig{2, 16});
+
+    EXPECT_FALSE(engine.step());
+    EXPECT_FALSE(engine.step());
+    EXPECT_EQ(0u, engine.activeCount());
+    EXPECT_EQ(2, engine.freeSlots());
+    EXPECT_EQ(2, engine.metrics().idle_steps);
+    EXPECT_EQ(0, engine.metrics().steps);
+}
+
+TEST(ServeEngine, AllSequencesFinishOnSameStep)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 2);
+    QuantSession qs(QuantConfig::fp32());
+    ServeEngine engine(model, qs, EngineConfig{3, 16});
+
+    Rng rng(7);
+    std::vector<std::shared_future<RequestResult>> futs;
+    for (int r = 0; r < 3; ++r) {
+        Request req;
+        req.prompt = makePrompt(rng, cfg.vocab, 2); // same length
+        req.max_new_tokens = 5;                     // same budget
+        req.eos = -1;                               // never EOS-stops
+        futs.push_back(engine.submit(req));
+    }
+    // The step feeding prompt[1] already emits token 1, so 6 forward
+    // steps retire all three at once.
+    for (int s = 0; s < 6; ++s)
+        EXPECT_TRUE(engine.step());
+    EXPECT_EQ(0u, engine.activeCount());
+    EXPECT_EQ(3, engine.freeSlots());
+    for (auto &f : futs) {
+        const RequestResult res = f.get();
+        EXPECT_EQ(RequestStatus::kOk, res.status);
+        EXPECT_EQ(5u, res.tokens.size());
+    }
+    EXPECT_FALSE(engine.step()); // drained -> idle
+}
+
+TEST(ServeEngine, DirtySlotReuseStaysBitIdentical)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    for (const QuantConfig &qc :
+         {QuantConfig::fp32(), QuantConfig::posit8(), QuantConfig::fp8()}) {
+        CausalLM model(cfg, 31337);
+        QuantSession qs(qc);
+        // One slot: every request after the first inherits a dirty
+        // slot whose panels still hold the predecessor's rows.
+        ServeEngine engine(model, qs, EngineConfig{1, 24});
+
+        Rng rng(55);
+        for (int r = 0; r < 3; ++r) {
+            Request req;
+            req.prompt = makePrompt(rng, cfg.vocab, 4 + r);
+            req.max_new_tokens = 8;
+            req.eos = Vocab::kEos;
+            auto fut = engine.submit(req);
+            engine.runUntilIdle();
+            const RequestResult res = fut.get();
+            ASSERT_EQ(RequestStatus::kOk, res.status) << qc.name;
+            const auto want = soloCausal(model, qs, req.prompt,
+                                         req.max_new_tokens, req.eos,
+                                         req.sampling);
+            EXPECT_EQ(want, res.tokens)
+                << qc.name << " request " << r;
+        }
+    }
+}
+
+TEST(ServeEngine, QueueFullRejectionIsTypedAndImmediate)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 3);
+    QuantSession qs(QuantConfig::fp32());
+    EngineConfig ec{/*n_slots=*/1, /*slot_capacity=*/16};
+    ec.max_queue_depth = 1;
+    ServeEngine engine(model, qs, ec);
+
+    Rng rng(11);
+    Request req;
+    req.prompt = makePrompt(rng, cfg.vocab, 3);
+    req.max_new_tokens = 4;
+
+    auto f1 = engine.submit(req); // queued
+    auto f2 = engine.submit(req); // queue full -> rejected
+    auto f3 = engine.submit(req); // still full -> rejected
+
+    // Rejections resolve without any scheduling work.
+    EXPECT_EQ(RequestStatus::kRejectedQueueFull, f2.get().status);
+    EXPECT_EQ(RequestStatus::kRejectedQueueFull, f3.get().status);
+    EXPECT_TRUE(f2.get().tokens.empty());
+    EXPECT_EQ(2, engine.metrics().rejected);
+
+    engine.runUntilIdle();
+    EXPECT_EQ(RequestStatus::kOk, f1.get().status);
+    EXPECT_EQ(4u, f1.get().tokens.size());
+
+    // Capacity freed: a fresh submission is accepted again.
+    auto f4 = engine.submit(req);
+    engine.runUntilIdle();
+    EXPECT_EQ(RequestStatus::kOk, f4.get().status);
+}
+
+TEST(ServeEngine, SlotCapacityOverflowRetiresTyped)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 4);
+    QuantSession qs(QuantConfig::fp32());
+    // 8 cached positions per slot; prompt 4 + budget 100 overflows.
+    ServeEngine engine(model, qs, EngineConfig{2, 8});
+
+    Rng rng(21);
+    Request req;
+    req.prompt = makePrompt(rng, cfg.vocab, 4);
+    req.max_new_tokens = 100;
+    req.eos = -1;
+    auto fut = engine.submit(req);
+    engine.runUntilIdle();
+
+    const RequestResult res = fut.get();
+    EXPECT_EQ(RequestStatus::kCapacityExceeded, res.status);
+    // capacity rows = 4 prompt + 4 fed generations; the step feeding
+    // the last one still emits its successor: 8 - 4 + 1 tokens.
+    EXPECT_EQ(5u, res.tokens.size());
+    EXPECT_EQ(1, engine.metrics().truncated);
+    EXPECT_EQ(2, engine.freeSlots()); // slot returned
+
+    // The truncated prefix matches the solo decode of the same budget.
+    const auto want = soloCausal(model, qs, req.prompt, 5, -1, {});
+    EXPECT_EQ(want, res.tokens);
+}
+
+TEST(ServeEngine, KVCacheAppendReportsOverflowInsteadOfAsserting)
+{
+    KVCache cache;
+    cache.reset(/*batch=*/2, /*cap=*/2, /*d_model=*/4);
+    Tensor k({2, 4}), v({2, 4});
+    EXPECT_TRUE(cache.canAppend());
+    EXPECT_TRUE(cache.append(k, v));
+    EXPECT_TRUE(cache.append(k, v));
+    EXPECT_FALSE(cache.canAppend());
+    EXPECT_FALSE(cache.append(k, v)); // typed refusal, no crash
+    EXPECT_EQ(2, cache.len);
+
+    KVSlots slots;
+    slots.reset(/*slots=*/2, /*cap=*/1, /*d_model=*/4);
+    const float row[4] = {1, 2, 3, 4};
+    EXPECT_TRUE(slots.append(0, row, row));
+    EXPECT_FALSE(slots.append(0, row, row));
+    EXPECT_TRUE(slots.append(1, row, row));
+    slots.release(0);
+    EXPECT_TRUE(slots.append(0, row, row)); // reusable after release
+}
+
+TEST(ServeEngine, SampledDecodeReplaysDeterministically)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    for (const QuantConfig &qc :
+         {QuantConfig::fp32(), QuantConfig::posit8()}) {
+        CausalLM model(cfg, 616);
+        QuantSession qs(qc);
+
+        Rng rng(42);
+        Request req;
+        req.prompt = makePrompt(rng, cfg.vocab, 4);
+        req.max_new_tokens = 12;
+        req.eos = -1;
+        req.sampling.temperature = 0.8f;
+        req.sampling.top_k = 8;
+        req.sampling.seed = 2026;
+
+        // Two engine runs with different batch company, plus the solo
+        // replay: the per-request RNG stream makes all three identical.
+        ServeEngine solo_like(model, qs, EngineConfig{1, 32});
+        auto f_a = solo_like.submit(req);
+        solo_like.runUntilIdle();
+
+        ServeEngine crowded(model, qs, EngineConfig{3, 32});
+        Request filler;
+        filler.prompt = makePrompt(rng, cfg.vocab, 6);
+        filler.max_new_tokens = 9;
+        filler.sampling.temperature = 1.2f;
+        filler.sampling.seed = 7;
+        crowded.submit(filler);
+        auto f_b = crowded.submit(req);
+        crowded.submit(filler);
+        crowded.runUntilIdle();
+
+        const auto want = soloCausal(model, qs, req.prompt,
+                                     req.max_new_tokens, req.eos,
+                                     req.sampling);
+        EXPECT_EQ(want, f_a.get().tokens) << qc.name;
+        EXPECT_EQ(want, f_b.get().tokens) << qc.name;
+
+        // Greedy is the temperature->0 limit and a distinct policy.
+        SamplingParams greedy;
+        const auto greedy_tokens = soloCausal(
+            model, qs, req.prompt, req.max_new_tokens, req.eos, greedy);
+        EXPECT_EQ(12u, greedy_tokens.size()) << qc.name;
+    }
+}
+
+TEST(ServeEngine, CompletionCallbackFires)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 5);
+    QuantSession qs(QuantConfig::fp32());
+    ServeEngine engine(model, qs, EngineConfig{1, 16});
+
+    Rng rng(66);
+    Request req;
+    req.prompt = makePrompt(rng, cfg.vocab, 3);
+    req.max_new_tokens = 4;
+    int fired = 0;
+    RequestStatus seen = RequestStatus::kRejectedQueueFull;
+    req.on_complete = [&](const RequestResult &r) {
+        ++fired;
+        seen = r.status;
+    };
+    engine.submit(req);
+    engine.runUntilIdle();
+    EXPECT_EQ(1, fired);
+    EXPECT_EQ(RequestStatus::kOk, seen);
+
+    const auto &m = engine.metrics();
+    EXPECT_EQ(1, m.completed);
+    EXPECT_EQ(4, m.generated_tokens);
+    EXPECT_EQ(3, m.prompt_tokens);
+    EXPECT_FALSE(m.dump().empty());
+}
+
+} // namespace
+} // namespace qt8
