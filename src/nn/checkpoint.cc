@@ -1,5 +1,6 @@
 #include "nn/checkpoint.h"
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -9,7 +10,9 @@
 namespace qt8 {
 namespace {
 
-constexpr char kMagic[8] = {'Q', 'T', '8', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV1[8] = {'Q', 'T', '8', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'Q', 'T', '8', 'C', 'K', 'P', 'T', '2'};
+constexpr char kTrailer[8] = {'Q', 'T', '8', 'E', 'N', 'D', '.', '2'};
 
 struct FileCloser
 {
@@ -33,7 +36,97 @@ readU64(std::FILE *f, uint64_t *v)
     return std::fread(v, sizeof(*v), 1, f) == 1;
 }
 
+void
+explain(std::string *why, const std::string &reason)
+{
+    if (why != nullptr)
+        *why = reason;
+}
+
+/// Shared v1/v2 record loader: stages every tensor, verifying names,
+/// shapes and (v2) CRCs as it goes. On success `staged` holds one
+/// tensor per param.
+bool
+stageParams(std::FILE *f, const ParamList &params, bool with_crc,
+            std::vector<Tensor> &staged, std::string *why)
+{
+    staged.reserve(params.size());
+    for (const Param *p : params) {
+        uint64_t name_len = 0;
+        if (!readU64(f, &name_len) || name_len > 4096)
+            return explain(why, "truncated or implausible name length"),
+                   false;
+        std::string name(name_len, '\0');
+        if (name_len > 0 &&
+            std::fread(name.data(), 1, name_len, f) != name_len)
+            return explain(why, "truncated reading name"), false;
+        if (name != p->name)
+            return explain(why, "parameter name mismatch: file has '" +
+                                    name + "', model wants '" + p->name +
+                                    "'"),
+                   false;
+        uint64_t rank = 0;
+        if (!readU64(f, &rank) || rank > 8)
+            return explain(why, "truncated or implausible rank for '" +
+                                    name + "'"),
+                   false;
+        std::vector<int64_t> shape(rank);
+        for (auto &d : shape) {
+            uint64_t v = 0;
+            if (!readU64(f, &v))
+                return explain(why, "truncated reading shape of '" +
+                                        name + "'"),
+                       false;
+            d = static_cast<int64_t>(v);
+        }
+        if (shape != p->value.shape())
+            return explain(why, "shape mismatch for '" + name + "'"),
+                   false;
+        uint64_t want_crc = 0;
+        if (with_crc && !readU64(f, &want_crc))
+            return explain(why, "truncated reading CRC of '" + name + "'"),
+                   false;
+        Tensor t(shape);
+        const size_t n = static_cast<size_t>(t.numel());
+        if (n > 0 && std::fread(t.data(), sizeof(float), n, f) != n)
+            return explain(why, "truncated reading data of '" + name + "'"),
+                   false;
+        if (with_crc) {
+            // Full-u64 compare: the field's upper half must be the
+            // zero padding save wrote, so corruption there is caught.
+            const uint64_t got =
+                crc32(t.data(), n * sizeof(float));
+            if (got != want_crc)
+                return explain(why, "CRC mismatch for '" + name +
+                                        "' (corrupt data)"),
+                       false;
+        }
+        staged.push_back(std::move(t));
+    }
+    return true;
+}
+
 } // namespace
+
+uint32_t
+crc32(const void *data, size_t n, uint32_t seed)
+{
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
 
 bool
 saveCheckpoint(const std::string &path, const ParamList &params)
@@ -41,7 +134,7 @@ saveCheckpoint(const std::string &path, const ParamList &params)
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
         return false;
-    if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1)
+    if (std::fwrite(kMagicV2, sizeof(kMagicV2), 1, f.get()) != 1)
         return false;
     if (!writeU64(f.get(), params.size()))
         return false;
@@ -59,59 +152,56 @@ saveCheckpoint(const std::string &path, const ParamList &params)
             if (!writeU64(f.get(), static_cast<uint64_t>(d)))
                 return false;
         const size_t n = static_cast<size_t>(p->value.numel());
+        if (!writeU64(f.get(),
+                      crc32(p->value.data(), n * sizeof(float))))
+            return false;
         if (n > 0 && std::fwrite(p->value.data(), sizeof(float), n,
                                  f.get()) != n)
             return false;
     }
-    return true;
+    if (std::fwrite(kTrailer, sizeof(kTrailer), 1, f.get()) != 1)
+        return false;
+    return std::fflush(f.get()) == 0;
 }
 
 bool
-loadCheckpoint(const std::string &path, const ParamList &params)
+loadCheckpoint(const std::string &path, const ParamList &params,
+               std::string *why)
 {
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
-        return false;
+        return explain(why, "cannot open '" + path + "'"), false;
     char magic[8];
-    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        return false;
+    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1)
+        return explain(why, "file shorter than the magic"), false;
+    const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+    const bool v1 = std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+    if (!v1 && !v2)
+        return explain(why, "not a qt8 checkpoint (bad magic)"), false;
     uint64_t count = 0;
-    if (!readU64(f.get(), &count) || count != params.size())
-        return false;
+    if (!readU64(f.get(), &count))
+        return explain(why, "truncated reading parameter count"), false;
+    if (count != params.size())
+        return explain(why, "parameter count mismatch"), false;
 
     // Stage everything first so params stay untouched on failure.
     std::vector<Tensor> staged;
-    staged.reserve(params.size());
-    for (const Param *p : params) {
-        uint64_t name_len = 0;
-        if (!readU64(f.get(), &name_len) || name_len > 4096)
-            return false;
-        std::string name(name_len, '\0');
-        if (name_len > 0 &&
-            std::fread(name.data(), 1, name_len, f.get()) != name_len)
-            return false;
-        if (name != p->name)
-            return false;
-        uint64_t rank = 0;
-        if (!readU64(f.get(), &rank) || rank > 8)
-            return false;
-        std::vector<int64_t> shape(rank);
-        for (auto &d : shape) {
-            uint64_t v = 0;
-            if (!readU64(f.get(), &v))
-                return false;
-            d = static_cast<int64_t>(v);
-        }
-        if (shape != p->value.shape())
-            return false;
-        Tensor t(shape);
-        const size_t n = static_cast<size_t>(t.numel());
-        if (n > 0 &&
-            std::fread(t.data(), sizeof(float), n, f.get()) != n)
-            return false;
-        staged.push_back(std::move(t));
+    if (!stageParams(f.get(), params, /*with_crc=*/v2, staged, why))
+        return false;
+
+    if (v2) {
+        char trailer[8];
+        if (std::fread(trailer, sizeof(trailer), 1, f.get()) != 1 ||
+            std::memcmp(trailer, kTrailer, sizeof(kTrailer)) != 0)
+            return explain(why, "missing end trailer (truncated file)"),
+                   false;
+        // Anything after the trailer is not ours: refuse rather than
+        // silently accept a file that was appended to or mis-spliced.
+        if (std::fgetc(f.get()) != EOF)
+            return explain(why, "trailing bytes after end trailer"),
+                   false;
     }
+
     for (size_t i = 0; i < params.size(); ++i)
         params[i]->value = std::move(staged[i]);
     return true;

@@ -4,8 +4,14 @@
  * (the stand-ins for hub checkpoints) can be saved once and reused by
  * examples and experiments.
  *
- * Format: "QT8CKPT1" magic, parameter count, then per parameter the
- * name, shape and raw float32 data, in collectParams order.
+ * Format (version 2, "QT8CKPT2"): magic, parameter count, then per
+ * parameter the name, shape, a CRC32 of the raw float32 payload, and
+ * the payload itself, in collectParams order; an end-of-file trailer
+ * marker closes the file. The CRC catches bit corruption in tensor
+ * data (names and shapes are self-checking against the target model),
+ * and the trailer catches truncation at any record boundary — a
+ * partial file can never load silently. Version-1 files ("QT8CKPT1",
+ * no CRC/trailer) still load through a legacy path.
  */
 #ifndef QT8_NN_CHECKPOINT_H
 #define QT8_NN_CHECKPOINT_H
@@ -16,16 +22,27 @@
 
 namespace qt8 {
 
-/// Write all parameter values to @p path. Returns false on IO error.
+/// Write all parameter values to @p path (version-2 format). Returns
+/// false on IO error.
 bool saveCheckpoint(const std::string &path, const ParamList &params);
 
 /**
  * Load parameter values from @p path into @p params. Names and shapes
- * must match exactly (same architecture and traversal order).
- * Returns false on IO error or mismatch; params are untouched on
- * failure.
+ * must match exactly (same architecture and traversal order); for
+ * version-2 files every tensor's CRC32 must verify and the trailer
+ * must be present and final.
+ *
+ * Returns false on IO error, version/architecture mismatch, CRC
+ * failure, truncation, or trailing garbage; params are untouched on
+ * failure. When @p why is non-null it receives a one-line reason for
+ * the failure.
  */
-bool loadCheckpoint(const std::string &path, const ParamList &params);
+bool loadCheckpoint(const std::string &path, const ParamList &params,
+                    std::string *why = nullptr);
+
+/// CRC32 (IEEE 802.3, reflected 0xEDB88320) of a byte buffer;
+/// exposed for tests and external integrity checks.
+uint32_t crc32(const void *data, size_t n, uint32_t seed = 0);
 
 } // namespace qt8
 

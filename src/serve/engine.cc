@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "serve/sampler.h"
+#include "tensor/ops.h"
 
 namespace qt8::serve {
 namespace {
@@ -19,6 +21,18 @@ normalized(EngineConfig cfg, int64_t max_seq)
     return cfg;
 }
 
+/// Non-finite scan of one logits row — the per-slot numeric guard.
+bool
+rowFinite(const Tensor &logits, int64_t row)
+{
+    const int64_t n = logits.dim(1);
+    const float *p = logits.data() + row * n;
+    for (int64_t j = 0; j < n; ++j)
+        if (!std::isfinite(p[j]))
+            return false;
+    return true;
+}
+
 } // namespace
 
 /// One in-flight request: its slot, decode cursor, prefill progress,
@@ -27,7 +41,8 @@ struct ServeEngine::Active
 {
     Active(PendingRequest &&p, int32_t slot_id)
         : id(p.id), req(std::move(p.request)), promise(std::move(p.promise)),
-          slot(slot_id), rng(req.sampling.seed), submit_ms(p.submit_ms)
+          slot(slot_id), rng(req.sampling.seed), submit_ms(p.submit_ms),
+          deadline_ms(p.deadline_ms)
     {}
 
     uint64_t id;
@@ -40,11 +55,17 @@ struct ServeEngine::Active
     std::vector<int32_t> out;
     Rng rng;
     double submit_ms;
+    double deadline_ms; ///< Engine-clock deadline; 0 = none.
     double first_token_ms = -1.0;
     double last_token_ms = -1.0;
 };
 
-ServeEngine::~ServeEngine() = default;
+ServeEngine::~ServeEngine()
+{
+    // An owned scheduler thread must never outlive the engine; abort
+    // resolves whatever is still in flight with kEngineStopped.
+    stop(StopMode::kAbort);
+}
 
 ServeEngine::ServeEngine(CausalLM &model, QuantSession &qs,
                          EngineConfig cfg)
@@ -81,98 +102,204 @@ ServeEngine::nowMs() const
         .count();
 }
 
+int64_t
+ServeEngine::freeSlots() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(pool_.freeCount());
+}
+
+ServeMetrics
+ServeEngine::metricsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_;
+}
+
+RequestStatus
+ServeEngine::validate(const Request &req) const
+{
+    if (req.prompt.empty() || req.max_new_tokens <= 0)
+        return RequestStatus::kRejectedInvalid;
+    const int64_t plen = static_cast<int64_t>(req.prompt.size());
+    if (clm_ != nullptr) {
+        // The prompt alone must fit the slot, or prefill can never
+        // complete and no token can be emitted.
+        if (plen > cfg_.slot_capacity)
+            return RequestStatus::kRejectedInvalid;
+    } else {
+        if (plen > cfg_.cross_capacity)
+            return RequestStatus::kRejectedInvalid;
+        if (!req.src_pad.empty() &&
+            req.src_pad.size() != req.prompt.size())
+            return RequestStatus::kRejectedInvalid;
+    }
+    return RequestStatus::kOk;
+}
+
+void
+ServeEngine::deliver(std::vector<Resolution> &done)
+{
+    for (Resolution &d : done) {
+        d.promise.set_value(d.result);
+        if (d.callback)
+            d.callback(d.result);
+    }
+    done.clear();
+}
+
+void
+ServeEngine::wake()
+{
+    // Taking wake_mu_ (even empty) pairs the notify with the waiter's
+    // predicate-to-sleep window, so a wakeup can never be lost.
+    { std::lock_guard<std::mutex> lock(wake_mu_); }
+    wake_cv_.notify_all();
+}
+
 std::shared_future<RequestResult>
-ServeEngine::submit(Request req)
+ServeEngine::submit(Request req, uint64_t *id_out)
 {
     PendingRequest p;
-    {
-        std::lock_guard<std::mutex> lock(submit_mu_);
-        p.id = next_id_++;
-    }
+    p.id = next_id_.fetch_add(1);
+    if (id_out != nullptr)
+        *id_out = p.id;
     p.request = std::move(req);
     p.submit_ms = nowMs();
+    p.deadline_ms = p.request.timeout_ms > 0.0
+                        ? p.submit_ms + p.request.timeout_ms
+                        : 0.0;
     std::shared_future<RequestResult> fut =
         p.promise.get_future().share();
+
+    // Typed rejection instead of UB/asserts deeper in the stack: an
+    // invalid request never touches the queue or the pool.
+    const RequestStatus v = validate(p.request);
+    if (v != RequestStatus::kOk) {
+        RequestResult r;
+        r.id = p.id;
+        r.status = v;
+        r.prompt_tokens = static_cast<int64_t>(p.request.prompt.size());
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++metrics_.rejected_invalid;
+        }
+        p.promise.set_value(r);
+        if (p.request.on_complete)
+            p.request.on_complete(r);
+        return fut;
+    }
 
     // A failed tryPush leaves p untouched (it only moves on success),
     // so the original promise can carry the typed rejection: the
     // future resolves immediately, nothing is admitted, and the caller
     // can retry or back off.
-    if (!queue_.tryPush(std::move(p))) {
+    switch (queue_.tryPush(std::move(p))) {
+    case RequestQueue::PushResult::kOk:
+        wake();
+        return fut;
+    case RequestQueue::PushResult::kFull: {
         RequestResult r;
         r.id = p.id;
         r.status = RequestStatus::kRejectedQueueFull;
         {
-            std::lock_guard<std::mutex> lock(submit_mu_);
+            std::lock_guard<std::mutex> lock(mu_);
             ++metrics_.rejected;
         }
         p.promise.set_value(r);
         if (p.request.on_complete)
             p.request.on_complete(r);
+        return fut;
     }
-    return fut;
+    case RequestQueue::PushResult::kClosed:
+    default: {
+        // The engine aborted: resolve with the same status its
+        // in-flight peers received instead of parking forever.
+        RequestResult r;
+        r.id = p.id;
+        r.status = RequestStatus::kEngineStopped;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++metrics_.stopped;
+        }
+        p.promise.set_value(r);
+        if (p.request.on_complete)
+            p.request.on_complete(r);
+        return fut;
+    }
+    }
 }
 
 bool
-ServeEngine::admitOne(PendingRequest &&p)
+ServeEngine::cancel(uint64_t id)
+{
+    if (id == 0 || id >= next_id_.load())
+        return false; // never issued by this engine
+    {
+        std::lock_guard<std::mutex> lock(cancel_mu_);
+        cancel_ids_.push_back(id);
+    }
+    wake();
+    return true;
+}
+
+bool
+ServeEngine::admitOneLocked(PendingRequest &&p,
+                            std::vector<Resolution> &done)
 {
     const int32_t slot = pool_.acquire();
-    assert(slot >= 0 && "admit() checked freeCount");
+    assert(slot >= 0 && "admitLocked checked freeCount");
 
     auto a = std::make_unique<Active>(std::move(p), slot);
 
     if (clm_ != nullptr) {
-        if (a->req.prompt.empty() || a->req.max_new_tokens <= 0) {
-            // Degenerate request: nothing to decode.
-            active_.push_back(std::move(a));
-            retire(active_.size() - 1, RequestStatus::kOk, nowMs());
-            return true;
-        }
+        // validate() guarantees a non-empty prompt and positive budget.
         a->next_input = a->req.prompt[0];
         active_.push_back(std::move(a));
+        active_n_.store(active_.size());
         return true;
     }
 
     // Seq2Seq admission: encode the source once (batch 1 — identical
     // bits to any batch, rows being independent) and park the projected
     // K/V panels in this request's cross slots.
-    const int64_t seq_src =
-        static_cast<int64_t>(a->req.prompt.size());
+    const int64_t seq_src = static_cast<int64_t>(a->req.prompt.size());
     const uint8_t *pad =
         a->req.src_pad.empty() ? nullptr : a->req.src_pad.data();
-    if (seq_src == 0 || a->req.max_new_tokens <= 0) {
-        active_.push_back(std::move(a));
-        retire(active_.size() - 1, RequestStatus::kOk, nowMs());
-        return true;
-    }
     const Tensor memory = s2s_->encodeOne(qs_, a->req.prompt, seq_src, pad);
     if (!s2s_->primeCrossSlots(qs_, memory, seq_src, pool_.crossLayers(),
                                a->slot)) {
-        // Source longer than the cross-attention pool: typed error
-        // instead of an assert, slot returned immediately.
+        // Source longer than the cross-attention pool (defensive —
+        // validate() bounds it): typed error instead of an assert,
+        // slot returned immediately.
         active_.push_back(std::move(a));
-        retire(active_.size() - 1, RequestStatus::kCapacityExceeded,
-               nowMs());
+        active_n_.store(active_.size());
+        retireLocked(active_.size() - 1, RequestStatus::kCapacityExceeded,
+                     nowMs(), done);
         return true;
     }
     a->next_input = a->req.bos;
     active_.push_back(std::move(a));
+    active_n_.store(active_.size());
     return true;
 }
 
 void
-ServeEngine::admit()
+ServeEngine::admitLocked(std::vector<Resolution> &done)
 {
     while (pool_.freeCount() > 0) {
+        if (cfg_.fault != nullptr && cfg_.fault->onAcquire())
+            break; // injected allocation failure: retry next step
         PendingRequest p;
         if (!queue_.tryPop(p))
             break;
-        admitOne(std::move(p));
+        admitOneLocked(std::move(p), done);
     }
 }
 
 void
-ServeEngine::retire(size_t idx, RequestStatus status, double now_ms)
+ServeEngine::retireLocked(size_t idx, RequestStatus status, double now_ms,
+                          std::vector<Resolution> &done)
 {
     Active &a = *active_[idx];
 
@@ -200,26 +327,121 @@ ServeEngine::retire(size_t idx, RequestStatus status, double now_ms)
     metrics_.recordRetirement(rec);
 
     pool_.release(a.slot);
-    a.promise.set_value(r);
-    if (a.req.on_complete)
-        a.req.on_complete(r);
+    done.push_back(Resolution{std::move(a.promise), std::move(r),
+                              std::move(a.req.on_complete)});
     active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
+    active_n_.store(active_.size());
+}
+
+void
+ServeEngine::resolveUnadmittedLocked(PendingRequest &&p,
+                                     RequestStatus status,
+                                     std::vector<Resolution> &done)
+{
+    RequestResult r;
+    r.id = p.id;
+    r.status = status;
+    r.prompt_tokens = static_cast<int64_t>(p.request.prompt.size());
+    r.latency_ms = nowMs() - p.submit_ms;
+
+    RequestRecord rec;
+    rec.id = r.id;
+    rec.status = status;
+    rec.prompt_tokens = r.prompt_tokens;
+    rec.latency_ms = r.latency_ms;
+    metrics_.recordRetirement(rec);
+
+    done.push_back(Resolution{std::move(p.promise), std::move(r),
+                              std::move(p.request.on_complete)});
+}
+
+void
+ServeEngine::processCancelsLocked(double now_ms,
+                                  std::vector<Resolution> &done)
+{
+    std::vector<uint64_t> ids;
+    {
+        std::lock_guard<std::mutex> lock(cancel_mu_);
+        ids.swap(cancel_ids_);
+    }
+    for (const uint64_t id : ids) {
+        bool found = false;
+        for (size_t i = 0; i < active_.size(); ++i) {
+            if (active_[i]->id == id) {
+                retireLocked(i, RequestStatus::kCancelled, now_ms, done);
+                found = true;
+                break;
+            }
+        }
+        if (found)
+            continue;
+        PendingRequest p;
+        if (queue_.extract(id, p))
+            resolveUnadmittedLocked(std::move(p), RequestStatus::kCancelled,
+                                    done);
+        // Unknown / already finished: no-op.
+    }
+}
+
+void
+ServeEngine::expireDeadlinesLocked(double now_ms,
+                                   std::vector<Resolution> &done)
+{
+    for (size_t i = active_.size(); i-- > 0;) {
+        if (active_[i]->deadline_ms > 0.0 &&
+            now_ms >= active_[i]->deadline_ms)
+            retireLocked(i, RequestStatus::kDeadlineExceeded, now_ms,
+                         done);
+    }
+    // Queued requests expire too — even while every slot is busy.
+    std::vector<PendingRequest> late =
+        queue_.extractIf([now_ms](const PendingRequest &p) {
+            return p.deadline_ms > 0.0 && now_ms >= p.deadline_ms;
+        });
+    for (PendingRequest &p : late)
+        resolveUnadmittedLocked(std::move(p),
+                                RequestStatus::kDeadlineExceeded, done);
 }
 
 bool
 ServeEngine::step()
 {
+    std::vector<Resolution> done;
+    bool ran;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ran = stepLocked(done);
+    }
+    // Promises/callbacks fire with no engine lock held, so a callback
+    // may submit(), cancel(), or read a metrics snapshot.
+    deliver(done);
+    return ran;
+}
+
+bool
+ServeEngine::stepLocked(std::vector<Resolution> &done)
+{
+    if (cfg_.fault != nullptr) {
+        const double d = cfg_.fault->onStepDelayMs();
+        if (d > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(d));
+    }
+
     const double t0 = nowMs();
-    admit();
+    processCancelsLocked(t0, done);
+    expireDeadlinesLocked(t0, done);
+    admitLocked(done);
 
     // Sequences whose slot is full cannot take another position: retire
     // them with the typed overflow status (output kept, truncated).
     for (size_t i = active_.size(); i-- > 0;) {
         if (pool_.slotLen(active_[i]->slot) >= pool_.capacity())
-            retire(i, RequestStatus::kCapacityExceeded, nowMs());
+            retireLocked(i, RequestStatus::kCapacityExceeded, nowMs(),
+                         done);
     }
     // Retirements may have opened slots for queued work this same step.
-    admit();
+    admitLocked(done);
 
     if (active_.empty()) {
         ++metrics_.idle_steps;
@@ -228,19 +450,33 @@ ServeEngine::step()
 
     const size_t n = active_.size();
     std::vector<int32_t> ids(n);
+    std::vector<uint64_t> req_ids(n);
     std::vector<int64_t> positions(n);
     std::vector<int32_t> slots(n);
     std::vector<const uint8_t *> pads(n, nullptr);
     for (size_t i = 0; i < n; ++i) {
         const Active &a = *active_[i];
         ids[i] = a.next_input;
+        req_ids[i] = a.id;
         positions[i] = a.pos;
         slots[i] = a.slot;
         if (s2s_ != nullptr && !a.req.src_pad.empty())
             pads[i] = a.req.src_pad.data();
     }
 
-    const Tensor logits =
+    // Optional activation tap: count steps where any pre-quantization
+    // tensor went non-finite (diagnostic; forces serial attention).
+    bool tap_tripped = false;
+    std::function<void(OpClass, const Tensor &)> prev_tap;
+    if (cfg_.tap_activations) {
+        prev_tap = std::move(qs_.fwd_tap);
+        qs_.fwd_tap = [&tap_tripped](OpClass, const Tensor &t) {
+            if (!tap_tripped && !allFinite(t))
+                tap_tripped = true;
+        };
+    }
+
+    Tensor logits =
         clm_ != nullptr
             ? clm_->forwardIncrementalSlots(qs_, ids, positions, slots,
                                             pool_.selfLayers())
@@ -248,6 +484,19 @@ ServeEngine::step()
                                             pool_.selfLayers(),
                                             pool_.crossLayers(),
                                             pads.data());
+
+    if (cfg_.tap_activations) {
+        qs_.fwd_tap = std::move(prev_tap);
+        if (tap_tripped)
+            ++metrics_.tap_nonfinite_steps;
+    }
+
+    if (cfg_.fault != nullptr) {
+        cfg_.fault->onLogits(step_idx_, req_ids, slots, logits);
+        cfg_.fault->onKvPanels(step_idx_, req_ids, slots,
+                               pool_.selfLayers());
+    }
+    ++step_idx_;
 
     const double now = nowMs();
     ++metrics_.steps;
@@ -258,6 +507,16 @@ ServeEngine::step()
     for (size_t i = n; i-- > 0;) {
         Active &a = *active_[i];
         ++a.pos;
+
+        // Numeric-fault isolation: a non-finite row poisons only its
+        // own request. Retire it with its partial output instead of
+        // sampling garbage; rows are sequence-independent, so the
+        // neighbours' bits are untouched (DESIGN.md §9/§10).
+        if (cfg_.guard_logits &&
+            !rowFinite(logits, static_cast<int64_t>(i))) {
+            retireLocked(i, RequestStatus::kNumericFault, now, done);
+            continue;
+        }
 
         if (clm_ != nullptr && a.prompt_next + 1 < a.req.prompt.size()) {
             // Prefill row: this step consumed prompt[prompt_next]; the
@@ -281,12 +540,12 @@ ServeEngine::step()
         a.last_token_ms = now;
 
         if (a.req.eos >= 0 && tok == a.req.eos) {
-            retire(i, RequestStatus::kOk, now);
+            retireLocked(i, RequestStatus::kOk, now, done);
             continue;
         }
         a.out.push_back(tok);
         if (static_cast<int64_t>(a.out.size()) >= a.req.max_new_tokens) {
-            retire(i, RequestStatus::kOk, now);
+            retireLocked(i, RequestStatus::kOk, now, done);
             continue;
         }
         a.next_input = tok;
@@ -299,6 +558,85 @@ ServeEngine::runUntilIdle()
 {
     while (activeCount() > 0 || pendingCount() > 0)
         step();
+}
+
+bool
+ServeEngine::hasWork()
+{
+    if (active_n_.load() > 0 || queue_.size() > 0)
+        return true;
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    return !cancel_ids_.empty();
+}
+
+void
+ServeEngine::start()
+{
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (thread_.joinable())
+        return; // already running
+    queue_.reopen();
+    stop_request_.store(0);
+    thread_running_.store(true);
+    thread_ = std::thread(&ServeEngine::threadMain, this);
+}
+
+void
+ServeEngine::stop(StopMode mode)
+{
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (!thread_.joinable())
+        return;
+    stop_request_.store(mode == StopMode::kAbort ? 2 : 1);
+    wake();
+    thread_.join();
+    thread_running_.store(false);
+}
+
+void
+ServeEngine::threadMain()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(wake_mu_);
+            wake_cv_.wait(lk, [this] {
+                return stop_request_.load() != 0 || hasWork();
+            });
+        }
+        if (stop_request_.load() == 2)
+            break; // abort: resolve in-flight below
+        if (!hasWork()) {
+            if (stop_request_.load() == 1)
+                break; // drain complete
+            continue;  // spurious wakeup
+        }
+        step();
+    }
+    if (stop_request_.load() == 2)
+        abortAll();
+}
+
+void
+ServeEngine::abortAll()
+{
+    std::vector<Resolution> done;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Close first: a submission either landed before this drain
+        // (resolved here) or gets the typed kEngineStopped at submit().
+        std::vector<PendingRequest> drained = queue_.closeAndDrain();
+        for (PendingRequest &p : drained)
+            resolveUnadmittedLocked(std::move(p),
+                                    RequestStatus::kEngineStopped, done);
+        const double now = nowMs();
+        for (size_t i = active_.size(); i-- > 0;)
+            retireLocked(i, RequestStatus::kEngineStopped, now, done);
+    }
+    {
+        std::lock_guard<std::mutex> lock(cancel_mu_);
+        cancel_ids_.clear(); // everything they named is resolved
+    }
+    deliver(done);
 }
 
 } // namespace qt8::serve

@@ -1,17 +1,37 @@
 /**
  * @file
  * In-process serving engine: continuous batching over a pooled,
- * slot-addressed KV cache.
+ * slot-addressed KV cache, with an owned scheduler thread and
+ * per-request lifecycle control.
  *
  * Clients submit per-request prompts (CausalLM prefixes or Seq2Seq
- * sources) through a FIFO RequestQueue; the scheduler loop admits
- * pending requests into free KVCachePool slots the moment they open,
- * steps *all* in-flight sequences one position per iteration through
- * the slot-indexed forwardIncrementalSlots entry points, and retires a
+ * sources) through a FIFO RequestQueue; the scheduler admits pending
+ * requests into free KVCachePool slots the moment they open, steps
+ * *all* in-flight sequences one position per iteration through the
+ * slot-indexed forwardIncrementalSlots entry points, and retires a
  * sequence on EOS / max_new_tokens / slot-capacity overflow — freeing
  * its slot for the next admission on the same step. CausalLM prompts
  * prefill token-by-token inside the shared step batch, so prefill and
  * decode rows mix freely like any continuous-batching server.
+ *
+ * The scheduler runs in either of two modes:
+ *  - **owned thread** (production): start() launches it; it sleeps on a
+ *    condition variable while idle, wakes on submit()/cancel()/stop(),
+ *    and stop() either drains (kDrain: finish everything, then join) or
+ *    aborts (kAbort: resolve every in-flight and queued request with
+ *    kEngineStopped, then join).
+ *  - **externally stepped** (tests, benches): the caller drives step()
+ *    / runUntilIdle() itself. The two modes are mutually exclusive —
+ *    don't call step() while the thread runs.
+ *
+ * Robustness contract (DESIGN.md §10): every submitted request resolves
+ * with exactly one typed RequestStatus — validation failures and
+ * queue overflow immediately at submit(), deadline expiry and
+ * cancellation at the next step (partial output kept), non-finite
+ * logits in a request's row retire *only* that request with
+ * kNumericFault while its neighbours decode on bit-identically, and an
+ * abort resolves everything in flight with kEngineStopped. Promises and
+ * completion callbacks always fire with no engine lock held.
  *
  * Every request's emitted tokens are bit-identical to a solo cached
  * decode of the same prompt (greedy) or to a replay from the same
@@ -24,19 +44,30 @@
 #ifndef QT8_SERVE_ENGINE_H
 #define QT8_SERVE_ENGINE_H
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "nn/model.h"
+#include "serve/fault.h"
 #include "serve/kv_pool.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
 
 namespace qt8::serve {
+
+/// How stop() winds the scheduler thread down.
+enum class StopMode {
+    kDrain, ///< Finish every queued + in-flight request, then join.
+    kAbort, ///< Resolve everything in flight/queued with
+            ///< kEngineStopped (partial output kept), then join.
+};
 
 struct EngineConfig
 {
@@ -46,6 +77,24 @@ struct EngineConfig
     int64_t cross_capacity = 0; ///< Seq2Seq max source length
                                 ///< (0 = slot_capacity).
     size_t max_queue_depth = 0; ///< Pending-queue bound (0 = unbounded).
+
+    /// Scan every step's logits rows for non-finite values and retire
+    /// poisoned requests with kNumericFault instead of sampling
+    /// garbage. O(n_active * vocab) per step — noise next to the
+    /// forward pass.
+    bool guard_logits = true;
+
+    /// Diagnostic: install a QuantSession forward tap during engine
+    /// steps that counts steps in which *any* pre-quantization
+    /// activation tensor went non-finite (metrics.tap_nonfinite_steps).
+    /// Attribution and retirement still happen at the logits scan;
+    /// note a tap forces the serial attention path (DESIGN.md §8), so
+    /// this is off by default.
+    bool tap_activations = false;
+
+    /// Optional fault injector (borrowed; may be null). See
+    /// serve/fault.h — zero cost when null.
+    FaultInjector *fault = nullptr;
 };
 
 class ServeEngine
@@ -56,57 +105,136 @@ class ServeEngine
     /// disturb training state.
     ServeEngine(CausalLM &model, QuantSession &qs, EngineConfig cfg);
     ServeEngine(Seq2Seq &model, QuantSession &qs, EngineConfig cfg);
-    ~ServeEngine(); // out-of-line: Active is incomplete here
+    ~ServeEngine(); // joins (abort) if the scheduler thread still runs
 
     /**
-     * Enqueue a request. Always returns a future; when the pending
-     * queue is at max depth the future is already fulfilled with
-     * status kRejectedQueueFull. Thread-safe.
+     * Enqueue a request. Always returns a future that is guaranteed to
+     * resolve with a typed status; invalid requests (empty prompt,
+     * max_new_tokens <= 0, prompt longer than the slot / cross
+     * capacity, mismatched src_pad) resolve immediately with
+     * kRejectedInvalid, a full queue with kRejectedQueueFull, and a
+     * closed (aborted) engine with kEngineStopped. Thread-safe.
+     *
+     * @param id_out Optional: receives the engine-assigned request id
+     *   (valid even for rejected requests), usable with cancel().
      */
-    std::shared_future<RequestResult> submit(Request req);
+    std::shared_future<RequestResult> submit(Request req,
+                                             uint64_t *id_out = nullptr);
 
     /**
-     * One scheduler iteration: admit pending requests into free slots,
-     * run one pooled decode step over every in-flight sequence, sample
-     * / retire. Returns true when a forward ran (false = idle step).
+     * Request cancellation of a queued or in-flight request. Applied at
+     * the next scheduler step: a queued request resolves kCancelled
+     * with no output, an in-flight one retires kCancelled keeping its
+     * partial output. Unknown, finished, or foreign ids are a no-op.
+     * Returns false only for ids this engine never issued. Thread-safe.
+     */
+    bool cancel(uint64_t id);
+
+    /// Launch the owned scheduler thread (idempotent while running).
+    /// Re-opens the queue after a previous stop, so stop()/start()
+    /// cycles are valid.
+    void start();
+
+    /**
+     * Stop the scheduler thread and join it. kDrain finishes all
+     * queued and in-flight work first (unbounded if producers keep
+     * submitting); kAbort closes the queue — subsequent submissions
+     * resolve kEngineStopped immediately — and resolves everything in
+     * flight with kEngineStopped. No-op when the thread isn't running.
+     * Safe to call from multiple threads; one caller joins, the rest
+     * wait.
+     */
+    void stop(StopMode mode = StopMode::kDrain);
+
+    /// Is the owned scheduler thread running?
+    bool running() const { return thread_running_.load(); }
+
+    /**
+     * One scheduler iteration: apply cancellations and deadline
+     * expiries, admit pending requests into free slots, run one pooled
+     * decode step over every in-flight sequence, scan for numeric
+     * faults, sample / retire. Returns true when a forward ran (false =
+     * idle step). For externally-stepped use only — never call while
+     * the owned thread runs.
      */
     bool step();
 
-    /// Step until both the queue and the in-flight set are empty.
+    /// Step until both the queue and the in-flight set are empty
+    /// (externally-stepped mode).
     void runUntilIdle();
 
     size_t pendingCount() const { return queue_.size(); }
-    size_t activeCount() const { return active_.size(); }
-    int64_t freeSlots() const
-    {
-        return static_cast<int64_t>(pool_.freeCount());
-    }
+    size_t activeCount() const { return active_n_.load(); }
+    int64_t freeSlots() const;
 
+    /// Consistent copy of the metrics, safe to call from any thread
+    /// while the scheduler runs.
+    ServeMetrics metricsSnapshot() const;
+
+    /// Borrowed reference for single-threaded (externally-stepped)
+    /// use; racy while the scheduler thread runs — prefer
+    /// metricsSnapshot() there.
     const ServeMetrics &metrics() const { return metrics_; }
     const EngineConfig &config() const { return cfg_; }
 
   private:
     struct Active; // One in-flight request's decode state.
 
+    /// A resolved promise + callback, fired only after every engine
+    /// lock is released (callbacks may re-enter the engine).
+    struct Resolution
+    {
+        std::promise<RequestResult> promise;
+        RequestResult result;
+        std::function<void(const RequestResult &)> callback;
+    };
+
     ServeEngine(CausalLM *clm, Seq2Seq *s2s, QuantSession &qs,
                 EngineConfig cfg);
 
     double nowMs() const;
-    void admit();
-    void retire(size_t idx, RequestStatus status, double now_ms);
-    bool admitOne(PendingRequest &&p);
+    RequestStatus validate(const Request &req) const;
+    static void deliver(std::vector<Resolution> &done);
+    void wake();
+
+    bool stepLocked(std::vector<Resolution> &done);
+    void admitLocked(std::vector<Resolution> &done);
+    bool admitOneLocked(PendingRequest &&p, std::vector<Resolution> &done);
+    void retireLocked(size_t idx, RequestStatus status, double now_ms,
+                      std::vector<Resolution> &done);
+    void resolveUnadmittedLocked(PendingRequest &&p, RequestStatus status,
+                                 std::vector<Resolution> &done);
+    void processCancelsLocked(double now_ms, std::vector<Resolution> &done);
+    void expireDeadlinesLocked(double now_ms, std::vector<Resolution> &done);
+
+    void threadMain();
+    bool hasWork();
+    void abortAll();
 
     CausalLM *clm_ = nullptr;
     Seq2Seq *s2s_ = nullptr;
     QuantSession &qs_;
     EngineConfig cfg_;
     RequestQueue queue_;
+
+    mutable std::mutex mu_; ///< Guards pool_, active_, metrics_ and
+                            ///< serializes scheduler steps.
     KVCachePool pool_;
     std::vector<std::unique_ptr<Active>> active_;
     ServeMetrics metrics_;
-    uint64_t next_id_ = 1;
-    std::mutex submit_mu_; ///< Guards next_id_ / rejection count so
-                           ///< producers may submit from any thread.
+    std::atomic<size_t> active_n_{0}; ///< Lock-free activeCount mirror.
+
+    std::atomic<uint64_t> next_id_{1};
+    std::mutex cancel_mu_;
+    std::vector<uint64_t> cancel_ids_; ///< Pending cancellations.
+
+    std::thread thread_;
+    std::mutex stop_mu_; ///< Serializes concurrent stop() callers.
+    std::atomic<bool> thread_running_{false};
+    std::atomic<int> stop_request_{0}; ///< 0 none, 1 drain, 2 abort.
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
+    int64_t step_idx_ = 0; ///< Scheduler step counter (fault triggers).
     std::chrono::steady_clock::time_point start_;
 };
 

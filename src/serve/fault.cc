@@ -1,0 +1,122 @@
+#include "serve/fault.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace qt8::serve {
+
+FaultInjector::FaultInjector(FaultConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed)
+{}
+
+bool
+FaultInjector::onAcquire()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.acquire_fail_rate <= 0.0 ||
+        rng_.uniform() >= cfg_.acquire_fail_rate)
+        return false;
+    ++stats_.acquire_fails;
+    return true;
+}
+
+double
+FaultInjector::onStepDelayMs()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.delay_rate <= 0.0 || cfg_.delay_ms <= 0.0 ||
+        rng_.uniform() >= cfg_.delay_rate)
+        return 0.0;
+    ++stats_.delays;
+    return cfg_.delay_ms;
+}
+
+void
+FaultInjector::onLogits(int64_t step, const std::vector<uint64_t> &ids,
+                        const std::vector<int32_t> &slots, Tensor &logits)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t vocab = logits.dim(1);
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+
+    auto poison = [&](size_t row) {
+        float *p = logits.data() + static_cast<int64_t>(row) * vocab;
+        for (int64_t j = 0; j < vocab; ++j)
+            p[j] = nan;
+        faulted_.insert(ids[row]);
+        ++stats_.nan_injected;
+    };
+
+    for (const FaultConfig::NanAt &t : cfg_.nan_at) {
+        if (t.step != step)
+            continue;
+        for (size_t i = 0; i < slots.size(); ++i)
+            if (slots[i] == t.slot)
+                poison(i);
+    }
+    if (cfg_.nan_logit_rate > 0.0 && !ids.empty() &&
+        rng_.uniform() < cfg_.nan_logit_rate) {
+        poison(static_cast<size_t>(
+            rng_.randint(static_cast<int64_t>(ids.size()))));
+    }
+}
+
+void
+FaultInjector::onKvPanels(int64_t /*step*/,
+                          const std::vector<uint64_t> &ids,
+                          const std::vector<int32_t> &slots,
+                          std::vector<KVSlots> &self_layers)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.kv_bitflip_rate <= 0.0 || ids.empty() || self_layers.empty())
+        return;
+    if (rng_.uniform() >= cfg_.kv_bitflip_rate)
+        return;
+
+    // Victim: a random active row whose slot has cached positions.
+    const size_t victim = static_cast<size_t>(
+        rng_.randint(static_cast<int64_t>(ids.size())));
+    const int32_t slot = slots[victim];
+    KVSlots &layer = self_layers[static_cast<size_t>(
+        rng_.randint(static_cast<int64_t>(self_layers.size())))];
+    const int64_t len = layer.len[static_cast<size_t>(slot)];
+    if (len <= 0)
+        return;
+
+    Tensor &panel = rng_.uniform() < 0.5 ? layer.k : layer.v;
+    const int64_t d_model = panel.dim(1);
+    const int64_t row = slot * layer.capacity + rng_.randint(len);
+    float *cell = panel.data() + row * d_model + rng_.randint(d_model);
+
+    uint32_t bits;
+    std::memcpy(&bits, cell, sizeof(bits));
+    bits ^= 1u << rng_.randint(32);
+    std::memcpy(cell, &bits, sizeof(bits));
+
+    faulted_.insert(ids[victim]);
+    ++stats_.bits_flipped;
+}
+
+FaultInjector::Stats
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::unordered_set<uint64_t>
+FaultInjector::faultedIds() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return faulted_;
+}
+
+bool
+FaultInjector::wasFaulted(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return faulted_.count(id) != 0;
+}
+
+} // namespace qt8::serve

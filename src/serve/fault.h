@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the serving engine — the
+ * chaos half of the robustness contract in DESIGN.md §10.
+ *
+ * A FaultInjector is handed to the engine through
+ * EngineConfig::fault and consulted at fixed points of the scheduler
+ * step. Every decision is drawn from one seeded xoshiro256++ stream
+ * (never the wall clock or OS entropy), so a given (seed, step
+ * sequence) replays the identical fault schedule. The hooks are always
+ * compiled in; a null injector costs one pointer test per site.
+ *
+ * Supported faults:
+ *  - NaN logits: overwrite one active row's step logits with NaN,
+ *    either at scheduled (step, slot) trigger points or at a per-step
+ *    rate. Exercises the engine's non-finite scan (kNumericFault).
+ *  - KV bit flips: flip one random bit inside a random cached K/V row
+ *    of a random active slot. Corrupts exactly that request's numerics
+ *    (rows are sequence-independent), so its tokens may diverge — the
+ *    soak test asserts everyone *else* stays bit-identical.
+ *  - Allocation failure: make KVCachePool::acquire look exhausted for
+ *    one admission attempt, delaying admission without losing work.
+ *  - Step delay: stall the scheduler inside a step, widening race
+ *    windows for submit/cancel/stop under ThreadSanitizer.
+ *
+ * Requests whose numerics were touched (NaN or bit flip) are recorded
+ * by id, so tests can separate "faulted" from "healthy" requests when
+ * checking bit-identity against solo decodes.
+ */
+#ifndef QT8_SERVE_FAULT_H
+#define QT8_SERVE_FAULT_H
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "nn/attention.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace qt8::serve {
+
+/// The fault schedule. Rates are per-opportunity probabilities in
+/// [0, 1]; all zero (the default) disables every fault.
+struct FaultConfig
+{
+    uint64_t seed = 1;
+
+    /// Per-step probability of poisoning one active row's logits.
+    double nan_logit_rate = 0.0;
+    /// Scheduled NaN triggers: poison the row decoding in pool slot
+    /// `slot` on scheduler step `step` (fires iff that slot is active
+    /// then). Deterministic complement to nan_logit_rate.
+    struct NanAt
+    {
+        int64_t step = 0;
+        int32_t slot = 0;
+    };
+    std::vector<NanAt> nan_at;
+
+    /// Per-step probability of flipping one bit in a random active
+    /// slot's cached K/V panel row.
+    double kv_bitflip_rate = 0.0;
+
+    /// Per-admission-attempt probability of a simulated pool
+    /// allocation failure (admission retries on a later step).
+    double acquire_fail_rate = 0.0;
+
+    /// Per-step probability of sleeping delay_ms inside the step.
+    double delay_rate = 0.0;
+    double delay_ms = 0.0;
+};
+
+class FaultInjector
+{
+  public:
+    struct Stats
+    {
+        int64_t nan_injected = 0;
+        int64_t bits_flipped = 0;
+        int64_t acquire_fails = 0;
+        int64_t delays = 0;
+    };
+
+    explicit FaultInjector(FaultConfig cfg);
+
+    // --- Hooks, called by the scheduler (engine lock held) -----------
+
+    /// True = pretend the pool has no free slot for this admission.
+    bool onAcquire();
+
+    /// Milliseconds to stall this step (0 = none).
+    double onStepDelayMs();
+
+    /// Poison logits rows per nan_at / nan_logit_rate. Row i of
+    /// @p logits belongs to request ids[i] decoding in slots[i].
+    void onLogits(int64_t step, const std::vector<uint64_t> &ids,
+                  const std::vector<int32_t> &slots, Tensor &logits);
+
+    /// Maybe flip one bit in the cached panels of a random active slot
+    /// (positions < the slot's current length only).
+    void onKvPanels(int64_t step, const std::vector<uint64_t> &ids,
+                    const std::vector<int32_t> &slots,
+                    std::vector<KVSlots> &self_layers);
+
+    // --- Test-side accessors (thread-safe) ---------------------------
+
+    Stats stats() const;
+
+    /// Ids of every request whose numerics were touched (NaN logits or
+    /// KV bit flip): their tokens may legitimately diverge from a solo
+    /// decode, or retire kNumericFault.
+    std::unordered_set<uint64_t> faultedIds() const;
+
+    bool wasFaulted(uint64_t id) const;
+
+  private:
+    mutable std::mutex mu_; ///< Hooks run on the scheduler thread while
+                            ///< tests read stats from theirs.
+    FaultConfig cfg_;
+    Rng rng_;
+    Stats stats_;
+    std::unordered_set<uint64_t> faulted_;
+};
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_FAULT_H

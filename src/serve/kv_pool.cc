@@ -17,6 +17,7 @@ KVCachePool::KVCachePool(int64_t n_slots, int64_t capacity,
     cross_.resize(n_cross_layers);
     for (KVSlots &layer : cross_)
         layer.reset(n_slots, cross_capacity, d_model);
+    in_use_.assign(static_cast<size_t>(n_slots), 0);
     free_.reserve(static_cast<size_t>(n_slots));
     // LIFO order: slot 0 is handed out first, which also maximizes how
     // often tests exercise dirty-slot reuse.
@@ -31,6 +32,7 @@ KVCachePool::acquire()
         return -1;
     const int32_t slot = free_.back();
     free_.pop_back();
+    in_use_[static_cast<size_t>(slot)] = 1;
     for (KVSlots &layer : self_)
         layer.release(slot); // len = 0, rows left dirty
     for (KVSlots &layer : cross_)
@@ -38,15 +40,19 @@ KVCachePool::acquire()
     return slot;
 }
 
-void
+bool
 KVCachePool::release(int32_t slot)
 {
-    assert(slot >= 0 && slot < n_slots_);
+    if (slot < 0 || slot >= n_slots_ ||
+        in_use_[static_cast<size_t>(slot)] == 0)
+        return false; // out of range or double free: refuse, don't corrupt
+    in_use_[static_cast<size_t>(slot)] = 0;
     for (KVSlots &layer : self_)
         layer.release(slot);
     for (KVSlots &layer : cross_)
         layer.release(slot);
     free_.push_back(slot);
+    return true;
 }
 
 } // namespace qt8::serve

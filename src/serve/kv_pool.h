@@ -36,8 +36,18 @@ class KVCachePool
     int32_t acquire();
 
     /// Return a slot to the free list; its cached rows become invisible
-    /// immediately and are overwritten by the next occupant.
-    void release(int32_t slot);
+    /// immediately and are overwritten by the next occupant. Returns
+    /// false — leaving the pool untouched — for an out-of-range slot or
+    /// one that is not currently allocated (double free), so a scheduler
+    /// bug corrupts no free-list invariant and is visible to tests.
+    bool release(int32_t slot);
+
+    /// Is @p slot currently allocated?
+    bool inUse(int32_t slot) const
+    {
+        return slot >= 0 && slot < n_slots_ &&
+               in_use_[static_cast<size_t>(slot)] != 0;
+    }
 
     int64_t slotCount() const { return n_slots_; }
     int64_t capacity() const { return capacity_; }
@@ -60,7 +70,8 @@ class KVCachePool
     int64_t cross_capacity_;
     std::vector<KVSlots> self_;
     std::vector<KVSlots> cross_;
-    std::vector<int32_t> free_; ///< LIFO free list.
+    std::vector<int32_t> free_;    ///< LIFO free list.
+    std::vector<uint8_t> in_use_;  ///< Double-free / stray-release guard.
 };
 
 } // namespace qt8::serve

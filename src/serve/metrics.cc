@@ -13,8 +13,18 @@ toString(RequestStatus s)
         return "ok";
     case RequestStatus::kCapacityExceeded:
         return "capacity-exceeded";
+    case RequestStatus::kCancelled:
+        return "cancelled";
+    case RequestStatus::kDeadlineExceeded:
+        return "deadline-exceeded";
+    case RequestStatus::kNumericFault:
+        return "numeric-fault";
+    case RequestStatus::kEngineStopped:
+        return "engine-stopped";
     case RequestStatus::kRejectedQueueFull:
         return "rejected-queue-full";
+    case RequestStatus::kRejectedInvalid:
+        return "rejected-invalid";
     }
     return "?";
 }
@@ -52,8 +62,25 @@ ServeMetrics::recordRetirement(const RequestRecord &r)
     request_latency_ms.record(r.latency_ms);
     generated_tokens += r.generated_tokens;
     prompt_tokens += r.prompt_tokens;
-    if (r.status == RequestStatus::kCapacityExceeded)
+    switch (r.status) {
+    case RequestStatus::kCapacityExceeded:
         ++truncated;
+        break;
+    case RequestStatus::kCancelled:
+        ++cancelled;
+        break;
+    case RequestStatus::kDeadlineExceeded:
+        ++expired;
+        break;
+    case RequestStatus::kNumericFault:
+        ++numeric_faults;
+        break;
+    case RequestStatus::kEngineStopped:
+        ++stopped;
+        break;
+    default:
+        break;
+    }
     ++completed;
 }
 
@@ -71,14 +98,29 @@ ServeMetrics::dump() const
     char buf[512];
     std::string out;
     std::snprintf(buf, sizeof(buf),
-                  "serve: %lld completed (%lld truncated), %lld rejected, "
-                  "%lld steps (%lld idle)\n",
+                  "serve: %lld completed (%lld truncated), %lld rejected "
+                  "(%lld invalid), %lld steps (%lld idle)\n",
                   static_cast<long long>(completed),
                   static_cast<long long>(truncated),
                   static_cast<long long>(rejected),
+                  static_cast<long long>(rejected_invalid),
                   static_cast<long long>(steps),
                   static_cast<long long>(idle_steps));
     out += buf;
+    if (cancelled + expired + numeric_faults + stopped +
+            tap_nonfinite_steps >
+        0) {
+        std::snprintf(buf, sizeof(buf),
+                      "faults: %lld cancelled, %lld deadline-expired, "
+                      "%lld numeric, %lld engine-stopped, %lld tap "
+                      "trips\n",
+                      static_cast<long long>(cancelled),
+                      static_cast<long long>(expired),
+                      static_cast<long long>(numeric_faults),
+                      static_cast<long long>(stopped),
+                      static_cast<long long>(tap_nonfinite_steps));
+        out += buf;
+    }
     std::snprintf(buf, sizeof(buf),
                   "tokens: %lld generated, %lld prompt; %.0f tok/s over "
                   "%.1f ms busy\n",

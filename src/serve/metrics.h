@@ -45,7 +45,9 @@ struct RequestRecord
 };
 
 /// Aggregated engine metrics; filled by the scheduler as requests
-/// retire and steps complete.
+/// retire and steps complete. Plain copyable data: the engine hands
+/// out consistent copies through ServeEngine::metricsSnapshot() while
+/// the scheduler thread keeps writing.
 struct ServeMetrics
 {
     std::vector<RequestRecord> requests;
@@ -53,13 +55,19 @@ struct ServeMetrics
     LatencyHistogram request_latency_ms;
     LatencyHistogram token_latency_ms; ///< Per generated token.
 
-    int64_t completed = 0;
-    int64_t truncated = 0; ///< kCapacityExceeded retirements.
-    int64_t rejected = 0;  ///< kRejectedQueueFull submissions.
-    int64_t steps = 0;     ///< Scheduler iterations that ran a forward.
+    int64_t completed = 0;  ///< All retirements (any terminal status).
+    int64_t truncated = 0;  ///< kCapacityExceeded retirements.
+    int64_t cancelled = 0;  ///< kCancelled retirements.
+    int64_t expired = 0;    ///< kDeadlineExceeded retirements.
+    int64_t numeric_faults = 0; ///< kNumericFault retirements.
+    int64_t stopped = 0;    ///< kEngineStopped resolutions (abort).
+    int64_t rejected = 0;   ///< kRejectedQueueFull submissions.
+    int64_t rejected_invalid = 0; ///< kRejectedInvalid submissions.
+    int64_t steps = 0;      ///< Scheduler iterations that ran a forward.
     int64_t idle_steps = 0;
     int64_t generated_tokens = 0;
     int64_t prompt_tokens = 0;
+    int64_t tap_nonfinite_steps = 0; ///< Activation-tap trips (§10).
     double busy_ms = 0.0; ///< Total forward/sample time across steps.
 
     void recordRetirement(const RequestRecord &r);

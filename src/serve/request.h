@@ -1,9 +1,14 @@
 /**
  * @file
  * Request/response types for the in-process serving engine: what a
- * client submits (prompt, decode budget, sampling policy), the typed
- * terminal statuses, and the per-request result delivered through a
- * future and/or completion callback.
+ * client submits (prompt, decode budget, sampling policy, optional
+ * deadline), the typed terminal statuses, and the per-request result
+ * delivered through a future and/or completion callback.
+ *
+ * The status taxonomy is the robustness contract of the serving stack:
+ * every submitted request resolves with exactly one of these statuses —
+ * never an assert, never a hang — and anything that goes wrong is
+ * isolated to the request it happened to (DESIGN.md §10).
  */
 #ifndef QT8_SERVE_REQUEST_H
 #define QT8_SERVE_REQUEST_H
@@ -23,24 +28,47 @@ namespace qt8::serve {
 struct SamplingParams
 {
     float temperature = 0.0f; ///< 0 = greedy argmax.
-    int top_k = 0;            ///< 0 = no truncation.
+    int top_k = 0;            ///< 0 = no truncation (clamped to vocab).
     uint64_t seed = 0;        ///< Per-request RNG stream seed.
 };
 
-/// Why a request left the engine.
+/// Why a request left the engine. Statuses up to kCapacityExceeded
+/// carry whatever output was produced before the terminal event;
+/// rejections never produce output.
 enum class RequestStatus {
     kOk,                ///< Finished on EOS or max_new_tokens.
     kCapacityExceeded,  ///< Hit its KV slot capacity; output truncated.
+    kCancelled,         ///< cancel(id) landed; partial output kept.
+    kDeadlineExceeded,  ///< timeout_ms expired (queued or mid-decode).
+    kNumericFault,      ///< Non-finite logits in this request's row;
+                        ///< partial output kept, slot freed, the other
+                        ///< in-flight requests untouched.
+    kEngineStopped,     ///< stop(kAbort) resolved it while in flight
+                        ///< (or queued); partial output kept.
     kRejectedQueueFull, ///< Never admitted: pending queue at max depth.
+    kRejectedInvalid,   ///< Never admitted: request failed validation
+                        ///< (empty prompt, max_new_tokens <= 0, prompt
+                        ///< longer than slot capacity).
 };
 
 const char *toString(RequestStatus s);
+
+/// True for the statuses a request can retire with after admission
+/// (i.e. it may carry partial output).
+inline bool
+isRetirement(RequestStatus s)
+{
+    return s != RequestStatus::kRejectedQueueFull &&
+           s != RequestStatus::kRejectedInvalid;
+}
 
 struct RequestResult
 {
     uint64_t id = 0;
     RequestStatus status = RequestStatus::kOk;
     /// Generated ids (EOS excluded), matching a solo cached decode.
+    /// Partial for kCancelled/kDeadlineExceeded/kNumericFault/
+    /// kEngineStopped/kCapacityExceeded.
     std::vector<int32_t> tokens;
     int64_t prompt_tokens = 0;
     double ttft_ms = 0.0;    ///< Submit -> first generated token.
@@ -58,9 +86,15 @@ struct Request
     int64_t max_new_tokens = 16;
     int32_t eos = -1; ///< Stop token; -1 decodes to max_new_tokens.
     int32_t bos = 3;  ///< Seq2Seq first decoder input (Vocab::kBos).
+    /// Per-request deadline on the engine's steady clock, measured from
+    /// submit(). 0 = no deadline. An expired request retires with
+    /// kDeadlineExceeded at the next scheduler step — whether it is
+    /// still queued or mid-decode — keeping any partial output.
+    double timeout_ms = 0.0;
     SamplingParams sampling;
     /// Optional completion hook, invoked from the scheduler thread
-    /// right after the result future is fulfilled.
+    /// right after the result future is fulfilled (never with an
+    /// engine lock held, so it may call back into the engine).
     std::function<void(const RequestResult &)> on_complete;
 };
 

@@ -2,14 +2,16 @@
 
 namespace qt8::serve {
 
-bool
+RequestQueue::PushResult
 RequestQueue::tryPush(PendingRequest &&p)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closed_)
+        return PushResult::kClosed;
     if (max_depth_ != 0 && q_.size() >= max_depth_)
-        return false;
+        return PushResult::kFull;
     q_.push_back(std::move(p));
-    return true;
+    return PushResult::kOk;
 }
 
 bool
@@ -21,6 +23,57 @@ RequestQueue::tryPop(PendingRequest &out)
     out = std::move(q_.front());
     q_.pop_front();
     return true;
+}
+
+bool
+RequestQueue::extract(uint64_t id, PendingRequest &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+        if (it->id == id) {
+            out = std::move(*it);
+            q_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<PendingRequest>
+RequestQueue::extractIf(
+    const std::function<bool(const PendingRequest &)> &pred)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<PendingRequest> out;
+    std::deque<PendingRequest> keep;
+    for (auto &p : q_) {
+        if (pred(p))
+            out.push_back(std::move(p));
+        else
+            keep.push_back(std::move(p));
+    }
+    q_ = std::move(keep);
+    return out;
+}
+
+std::vector<PendingRequest>
+RequestQueue::closeAndDrain()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    std::vector<PendingRequest> out;
+    out.reserve(q_.size());
+    for (auto &p : q_)
+        out.push_back(std::move(p));
+    q_.clear();
+    return out;
+}
+
+void
+RequestQueue::reopen()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
 }
 
 size_t

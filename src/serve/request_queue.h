@@ -4,14 +4,22 @@
  * depth: past it, submissions are rejected immediately (typed
  * kRejectedQueueFull) instead of growing an unbounded backlog. Mutexed
  * so producers on other threads can submit while the scheduler drains.
+ *
+ * The queue can also be *closed* (engine abort): a closed queue refuses
+ * every push with PushResult::kClosed under the same lock that guards
+ * the final drain, so no submission can race past an abort and sit in
+ * the queue forever — either it lands before the drain (and is resolved
+ * kEngineStopped with the rest) or the producer gets the typed refusal.
  */
 #ifndef QT8_SERVE_REQUEST_QUEUE_H
 #define QT8_SERVE_REQUEST_QUEUE_H
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
+#include <vector>
 
 #include "serve/request.h"
 
@@ -23,21 +31,43 @@ struct PendingRequest
     uint64_t id = 0;
     Request request;
     std::promise<RequestResult> promise;
-    double submit_ms = 0.0; ///< Engine-clock submission time.
+    double submit_ms = 0.0;   ///< Engine-clock submission time.
+    double deadline_ms = 0.0; ///< Engine-clock deadline; 0 = none.
 };
 
 class RequestQueue
 {
   public:
+    enum class PushResult {
+        kOk,     ///< Enqueued.
+        kFull,   ///< At max depth -> kRejectedQueueFull.
+        kClosed, ///< Engine stopped accepting -> kEngineStopped.
+    };
+
     /// @param max_depth 0 = unbounded.
     explicit RequestQueue(size_t max_depth = 0) : max_depth_(max_depth) {}
 
-    /// FIFO push; returns false (leaving @p p untouched) when the queue
-    /// is at max depth.
-    bool tryPush(PendingRequest &&p);
+    /// FIFO push; leaves @p p untouched unless it returns kOk.
+    PushResult tryPush(PendingRequest &&p);
 
     /// Pop the oldest pending request into @p out; false when empty.
     bool tryPop(PendingRequest &out);
+
+    /// Remove the pending request with @p id (cancellation of a request
+    /// that was never admitted); false when not queued.
+    bool extract(uint64_t id, PendingRequest &out);
+
+    /// Remove every pending request matching @p pred, preserving FIFO
+    /// order among survivors (deadline sweeps, abort drains).
+    std::vector<PendingRequest>
+    extractIf(const std::function<bool(const PendingRequest &)> &pred);
+
+    /// Refuse all future pushes (kClosed) and return everything queued,
+    /// atomically — nothing can slip in between drain and close.
+    std::vector<PendingRequest> closeAndDrain();
+
+    /// Accept pushes again (engine restart after a stop).
+    void reopen();
 
     size_t size() const;
     bool empty() const { return size() == 0; }
@@ -47,6 +77,7 @@ class RequestQueue
     mutable std::mutex mu_;
     std::deque<PendingRequest> q_;
     size_t max_depth_;
+    bool closed_ = false;
 };
 
 } // namespace qt8::serve

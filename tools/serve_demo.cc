@@ -101,7 +101,10 @@ main(int argc, char **argv)
         reqs.push_back(req);
         futs.push_back(engine.submit(std::move(req)));
     }
-    engine.runUntilIdle();
+    // Production shape: the engine's owned scheduler thread decodes
+    // while this thread waits on the futures; drain-stop joins it.
+    engine.start();
+    engine.stop(serve::StopMode::kDrain);
 
     for (int64_t r = 0; r < n_requests; ++r) {
         const serve::RequestResult res =
@@ -119,6 +122,6 @@ main(int argc, char **argv)
                     res.latency_ms);
     }
 
-    std::printf("\n%s", engine.metrics().dump().c_str());
+    std::printf("\n%s", engine.metricsSnapshot().dump().c_str());
     return 0;
 }
