@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/trace.h"
+
 namespace qt8::bench {
 
 bool
@@ -32,6 +34,10 @@ void
 banner(const std::string &title)
 {
     std::printf("\n==== %s ====\n", title.c_str());
+    // Benches run under QT8_TRACE mark their sections in the trace, so
+    // span clusters can be attributed to the bench that produced them.
+    if (trace::collecting())
+        trace::noteInstant("bench: " + title);
 }
 
 void

@@ -6,6 +6,7 @@
 
 #include "tensor/ops.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace qt8 {
 namespace {
@@ -156,6 +157,7 @@ MultiHeadAttention::forward(QuantSession &qs, const Tensor &x,
                             const Tensor *memory, int64_t seq_kv,
                             const uint8_t *key_pad_mask, bool causal)
 {
+    QT8_TRACE_SCOPE("attn/forward");
     b_ = batch;
     sq_ = seq_q;
     self_attn_ = (memory == nullptr);
@@ -299,6 +301,7 @@ MultiHeadAttention::forwardIncremental(QuantSession &qs, const Tensor &x,
                                        int64_t seq_kv,
                                        const uint8_t *key_pad_mask)
 {
+    QT8_TRACE_SCOPE("attn/incremental");
     const bool self = (memory == nullptr);
     assert(x.dim(0) == batch && x.dim(1) == d_model_);
     assert(cache.batch == batch);
@@ -399,6 +402,7 @@ MultiHeadAttention::forwardIncrementalSlots(QuantSession &qs,
                                             const uint8_t *const
                                                 *key_pad_masks)
 {
+    QT8_TRACE_SCOPE("attn/incremental_slots");
     const int64_t n = x.dim(0);
     assert(static_cast<int64_t>(slots.size()) == n);
     assert(x.dim(1) == d_model_);
@@ -516,6 +520,7 @@ Tensor
 MultiHeadAttention::backward(QuantSession &qs, const Tensor &gy,
                              Tensor *gmemory)
 {
+    QT8_TRACE_SCOPE("attn/backward");
     const SoftmaxMode mode = qs.config().softmax;
     const bool use_approx = mode != SoftmaxMode::kExact;
     const ApproxPositSoftmax approx_sm(

@@ -4,6 +4,7 @@
 
 #include "tensor/ops.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace qt8 {
 
@@ -17,6 +18,7 @@ LayerNorm::LayerNorm(int64_t dim, const std::string &name, int slot)
 Tensor
 LayerNorm::forward(QuantSession &qs, const Tensor &x)
 {
+    QT8_TRACE_SCOPE("layernorm_fwd");
     Tensor xq = x;
     qs.quantFwd(OpClass::kLayerNorm, xq);
 
@@ -61,6 +63,7 @@ LayerNorm::forward(QuantSession &qs, const Tensor &x)
 Tensor
 LayerNorm::backward(QuantSession &qs, const Tensor &gy)
 {
+    QT8_TRACE_SCOPE("layernorm_bwd");
     Tensor gyq = gy;
     qs.quantBwd(OpClass::kLayerNorm, gyq, slot_);
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "tensor/ops.h"
+#include "util/trace.h"
 
 namespace qt8 {
 
@@ -364,6 +365,7 @@ CausalLM::forwardIncremental(QuantSession &qs,
                              const std::vector<int32_t> &ids,
                              DecodeState &state)
 {
+    QT8_TRACE_SCOPE("decode/causal_step");
     const Tensor x = body.forwardIncremental(qs, ids, state);
     return lm_head.forward(qs, x);
 }
@@ -375,6 +377,7 @@ CausalLM::forwardIncrementalSlots(QuantSession &qs,
                                   const std::vector<int32_t> &slots,
                                   std::vector<KVSlots> &self_kv)
 {
+    QT8_TRACE_SCOPE("decode/causal_slots");
     const Tensor x =
         body.forwardIncrementalSlots(qs, ids, positions, slots, self_kv);
     return lm_head.forward(qs, x);
@@ -481,6 +484,7 @@ Seq2Seq::forwardIncremental(QuantSession &qs,
                             DecodeState &state,
                             const uint8_t *src_pad_mask)
 {
+    QT8_TRACE_SCOPE("decode/seq2seq_step");
     Tensor x = dec_embed.forward(qs, tgt_ids, state.batch, 1, state.pos);
     x = dec_embed_ln->forward(qs, x);
     for (size_t l = 0; l < dec_blocks.size(); ++l) {
@@ -522,6 +526,7 @@ Seq2Seq::forwardIncrementalSlots(QuantSession &qs,
                                  std::vector<KVSlots> &cross_kv,
                                  const uint8_t *const *mem_pad_masks)
 {
+    QT8_TRACE_SCOPE("decode/seq2seq_slots");
     assert(self_kv.size() == dec_blocks.size());
     Tensor x = dec_embed.forwardAt(qs, tgt_ids, positions);
     x = dec_embed_ln->forward(qs, x);

@@ -310,6 +310,66 @@ Quantizer::quantizeInPlace(float *p, size_t n) const
 }
 
 void
+Quantizer::quantizeInPlace(float *p, size_t n, QuantHealth &health) const
+{
+    health.count += n;
+    if (kind_ == Kind::kInt8) {
+        // Dynamic scale: stats are defined against the scaled grid, so
+        // fuse them into a serial re-implementation of the buffer pass.
+        double amax = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double a = std::fabs(static_cast<double>(p[i]));
+            if (std::isfinite(a)) {
+                if (a > amax)
+                    amax = a;
+            } else {
+                ++health.nonfinite;
+            }
+        }
+        if (amax > health.amax)
+            health.amax = amax;
+        if (amax == 0.0)
+            return;
+        const float scale = static_cast<float>(amax / 127.0);
+        const float inv = 1.0f / scale;
+        for (size_t i = 0; i < n; ++i) {
+            const float x = p[i];
+            float q = std::nearbyintf(x * inv);
+            q = std::min(127.0f, std::max(-127.0f, q));
+            q *= scale;
+            if (std::isfinite(x)) {
+                health.abs_err_sum += std::fabs(
+                    static_cast<double>(x) - static_cast<double>(q));
+                if (x != 0.0f && q == 0.0f)
+                    ++health.underflow;
+                // amax itself lands on ±127*scale, never beyond: no
+                // finite input saturates under a per-tensor scale.
+            }
+            p[i] = q;
+        }
+        return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const float x = p[i];
+        const float q = quantize(x);
+        if (std::isfinite(x)) {
+            const double a = std::fabs(static_cast<double>(x));
+            if (a > health.amax)
+                health.amax = a;
+            if (a > max_rep_)
+                ++health.saturated;
+            if (x != 0.0f && q == 0.0f)
+                ++health.underflow;
+            health.abs_err_sum += std::fabs(static_cast<double>(x) -
+                                            static_cast<double>(q));
+        } else {
+            ++health.nonfinite;
+        }
+        p[i] = q;
+    }
+}
+
+void
 Quantizer::quantizeRowsInPlace(float *p, size_t rows, size_t cols) const
 {
     if (kind_ != Kind::kInt8) {

@@ -28,6 +28,53 @@
 namespace qt8 {
 
 /**
+ * Per-quant-point numeric-health counters, accumulated by the
+ * health-aware Quantizer::quantizeInPlace overload and merged into the
+ * tracer's global per-point table (util/trace.h). All counts are over
+ * *input* elements:
+ *
+ *  - saturated: finite inputs whose magnitude exceeds the format's
+ *    maxRepresentable() (they clamp to ±max on the grid);
+ *  - underflow: nonzero inputs that round to exactly 0 (flushed below
+ *    the format's smallest representable magnitude);
+ *  - nonfinite: NaN/±inf inputs (inf additionally saturates; NaN maps
+ *    to the format's NaR/NaN);
+ *  - amax: largest finite input magnitude seen;
+ *  - abs_err_sum: sum of |x - q(x)| over finite inputs (mean via
+ *    meanAbsErr()) — the "mean |err| vs fp32 input" column.
+ */
+struct QuantHealth
+{
+    uint64_t count = 0;      ///< elements quantized
+    uint64_t saturated = 0;  ///< finite |x| > maxRepresentable()
+    uint64_t underflow = 0;  ///< x != 0 rounded to exactly 0
+    uint64_t nonfinite = 0;  ///< NaN or ±inf inputs
+    double amax = 0.0;       ///< max finite |x| observed
+    double abs_err_sum = 0.0; ///< sum |x - q(x)| over finite inputs
+
+    void
+    merge(const QuantHealth &o)
+    {
+        count += o.count;
+        saturated += o.saturated;
+        underflow += o.underflow;
+        nonfinite += o.nonfinite;
+        if (o.amax > amax)
+            amax = o.amax;
+        abs_err_sum += o.abs_err_sum;
+    }
+
+    /// Mean |x - q(x)| over finite inputs (0 when nothing finite seen).
+    double
+    meanAbsErr() const
+    {
+        const uint64_t finite = count - nonfinite;
+        return finite == 0 ? 0.0
+                           : abs_err_sum / static_cast<double>(finite);
+    }
+};
+
+/**
  * Rounds floats to a format's representable-value grid.
  *
  * Copyable value type; cheap to pass around by const reference. The
@@ -82,6 +129,16 @@ class Quantizer
 
     /// Round a buffer in place (for int8: dynamic per-tensor scale).
     void quantizeInPlace(float *p, size_t n) const;
+
+    /**
+     * Health-aware variant: quantize the buffer AND accumulate
+     * per-element numeric-health counters into @p health (merged, not
+     * reset — callers pass a fresh struct per tensor or accumulate).
+     * Bit-identical results to the plain overload; runs a serial fused
+     * pass, so only the tracer's health path (off by default) pays for
+     * the statistics.
+     */
+    void quantizeInPlace(float *p, size_t n, QuantHealth &health) const;
 
     /// Round a 2-D row-major buffer with *per-row* scaling for int8
     /// (per-channel weight quantization); identical to quantizeInPlace

@@ -1,6 +1,41 @@
 #include "quant/config.h"
 
+#include "util/trace.h"
+
 namespace qt8 {
+
+namespace {
+
+/// Quantize one tensor through @p q, accumulating numeric-health
+/// counters into the tracer's per-point table when a trace is being
+/// collected (single branch + plain quantize otherwise).
+void
+quantizeTracked(const Quantizer &q, const char *stage, OpClass c,
+                Tensor &t)
+{
+    if (trace::collecting()) {
+        QuantHealth h;
+        q.quantizeInPlace(t.data(), static_cast<size_t>(t.numel()), h);
+        trace::healthAccumulate(std::string(stage) + "/" + toString(c),
+                                h);
+    } else {
+        q.quantizeInPlace(t.data(), static_cast<size_t>(t.numel()));
+    }
+}
+
+void
+quantizeTracked(const Quantizer &q, const char *point, Tensor &t)
+{
+    if (trace::collecting()) {
+        QuantHealth h;
+        q.quantizeInPlace(t.data(), static_cast<size_t>(t.numel()), h);
+        trace::healthAccumulate(point, h);
+    } else {
+        q.quantizeInPlace(t.data(), static_cast<size_t>(t.numel()));
+    }
+}
+
+} // namespace
 
 const char *
 toString(FusionLevel level)
@@ -157,7 +192,7 @@ QuantSession::quantFwd(OpClass c, Tensor &t)
     if (fwd_tap)
         fwd_tap(c, t);
     if (cfg_.activeFwd(c) && !cfg_.fwd.isIdentity())
-        cfg_.fwd.quantizeInPlace(t.data(), static_cast<size_t>(t.numel()));
+        quantizeTracked(cfg_.fwd, "fwd", c, t);
     else
         carrier(t);
 }
@@ -167,12 +202,13 @@ QuantSession::quantWeight(Tensor &t)
 {
     if (cfg_.quant_gemm && !cfg_.fwd.isIdentity()) {
         if (cfg_.int8_per_channel_weights && t.rank() == 2) {
+            // Per-channel scales are row-local; health stats are not
+            // defined across them, so this path is untracked.
             cfg_.fwd.quantizeRowsInPlace(
                 t.data(), static_cast<size_t>(t.dim(0)),
                 static_cast<size_t>(t.dim(1)));
         } else {
-            cfg_.fwd.quantizeInPlace(t.data(),
-                                     static_cast<size_t>(t.numel()));
+            quantizeTracked(cfg_.fwd, "weight", t);
         }
     } else {
         carrier(t);
@@ -191,20 +227,20 @@ QuantSession::quantBwd(OpClass c, Tensor &t, int slot)
         return;
     }
     if (cfg_.per_tensor_scaled_grads) {
+        // Scaled grads quantize on a shifted grid; per-point health in
+        // unscaled units would be misleading, so leave untracked.
         scalerFor(slot).quantizeInPlace(t.data(),
                                         static_cast<size_t>(t.numel()));
     } else {
-        cfg_.bwd.quantizeInPlace(t.data(), static_cast<size_t>(t.numel()));
+        quantizeTracked(cfg_.bwd, "bwd", c, t);
     }
 }
 
 void
 QuantSession::carrier(Tensor &t)
 {
-    if (!cfg_.carrier.isIdentity()) {
-        cfg_.carrier.quantizeInPlace(t.data(),
-                                     static_cast<size_t>(t.numel()));
-    }
+    if (!cfg_.carrier.isIdentity())
+        quantizeTracked(cfg_.carrier, "carrier", t);
 }
 
 TensorScaler &

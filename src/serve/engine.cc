@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "serve/sampler.h"
+#include "util/trace.h"
 #include "tensor/ops.h"
 
 namespace qt8::serve {
@@ -284,9 +285,10 @@ ServeEngine::admitOneLocked(PendingRequest &&p,
     return true;
 }
 
-void
+int
 ServeEngine::admitLocked(std::vector<Resolution> &done)
 {
+    int admitted = 0;
     while (pool_.freeCount() > 0) {
         if (cfg_.fault != nullptr && cfg_.fault->onAcquire())
             break; // injected allocation failure: retry next step
@@ -294,7 +296,9 @@ ServeEngine::admitLocked(std::vector<Resolution> &done)
         if (!queue_.tryPop(p))
             break;
         admitOneLocked(std::move(p), done);
+        ++admitted;
     }
+    return admitted;
 }
 
 void
@@ -421,6 +425,8 @@ ServeEngine::step()
 bool
 ServeEngine::stepLocked(std::vector<Resolution> &done)
 {
+    QT8_TRACE_SCOPE("serve/step");
+    const int64_t retired_before = metrics_.completed;
     if (cfg_.fault != nullptr) {
         const double d = cfg_.fault->onStepDelayMs();
         if (d > 0.0)
@@ -431,7 +437,7 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
     const double t0 = nowMs();
     processCancelsLocked(t0, done);
     expireDeadlinesLocked(t0, done);
-    admitLocked(done);
+    int admitted = admitLocked(done);
 
     // Sequences whose slot is full cannot take another position: retire
     // them with the typed overflow status (output kept, truncated).
@@ -441,7 +447,15 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
                          done);
     }
     // Retirements may have opened slots for queued work this same step.
-    admitLocked(done);
+    admitted += admitLocked(done);
+
+    if (trace::collecting()) {
+        trace::counter("serve/queue_depth",
+                       static_cast<double>(queue_.size()));
+        trace::counter("serve/active",
+                       static_cast<double>(active_.size()));
+        trace::counter("serve/admitted", admitted);
+    }
 
     if (active_.empty()) {
         ++metrics_.idle_steps;
@@ -550,6 +564,10 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
         }
         a.next_input = tok;
     }
+    if (trace::collecting())
+        trace::counter("serve/retired",
+                       static_cast<double>(metrics_.completed -
+                                           retired_before));
     return true;
 }
 

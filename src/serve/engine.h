@@ -198,7 +198,8 @@ class ServeEngine
     void wake();
 
     bool stepLocked(std::vector<Resolution> &done);
-    void admitLocked(std::vector<Resolution> &done);
+    /// Admit queued requests into free slots; returns the number admitted.
+    int admitLocked(std::vector<Resolution> &done);
     bool admitOneLocked(PendingRequest &&p, std::vector<Resolution> &done);
     void retireLocked(size_t idx, RequestStatus status, double now_ms,
                       std::vector<Resolution> &done);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/trace.h"
+
 namespace qt8::serve {
 
 const char *
@@ -36,6 +38,9 @@ LatencyHistogram::percentile(double p) const
         return 0.0;
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
+    // Clamp: p outside [0,100] used to compute an out-of-range rank and
+    // read past the sorted array (pinned by metrics_test).
+    p = std::min(100.0, std::max(0.0, p));
     const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     const size_t lo = static_cast<size_t>(rank);
     const size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -146,6 +151,10 @@ ServeMetrics::dump() const
                       row.h.percentile(99.0));
         out += buf;
     }
+    // Park the dump next to the spans it explains, so a trace file is a
+    // self-contained record of the run.
+    if (trace::collecting())
+        trace::note("serve_metrics", out);
     return out;
 }
 

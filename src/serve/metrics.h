@@ -18,14 +18,16 @@
 
 namespace qt8::serve {
 
-/// Raw latency samples with percentile queries (nearest-rank on the
-/// sorted samples).
+/// Raw latency samples with percentile queries (linear interpolation
+/// between closest ranks on the sorted samples, numpy-default style:
+/// rank = p/100 * (n-1); a 1-sample histogram returns that sample for
+/// every p).
 class LatencyHistogram
 {
   public:
     void record(double ms) { samples_.push_back(ms); }
     size_t count() const { return samples_.size(); }
-    double percentile(double p) const; ///< p in [0, 100].
+    double percentile(double p) const; ///< p clamped to [0, 100].
     double mean() const;
 
   private:

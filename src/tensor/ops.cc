@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace qt8 {
 namespace {
@@ -39,6 +40,7 @@ void
 gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
      Tensor &c, float alpha, float beta)
 {
+    QT8_TRACE_SCOPE("gemm");
     int64_t m, n, k;
     checkGemmShapes(a, trans_a, b, trans_b, c, m, n, k);
 
@@ -295,6 +297,7 @@ sumRowsAdd(Tensor &acc, const Tensor &t)
 void
 softmaxRowsInPlace(Tensor &t)
 {
+    QT8_TRACE_SCOPE("softmax");
     const int64_t cols = t.rank() > 0 ? t.dim(t.rank() - 1) : 0;
     if (cols == 0)
         return; // nothing to normalize (and numel/cols would divide by 0)
@@ -341,6 +344,7 @@ geluGradScalar(float x)
 void
 geluInPlace(Tensor &t)
 {
+    QT8_TRACE_SCOPE("gelu");
     float *p = t.data();
     const int64_t n = t.numel();
 #pragma omp parallel for schedule(static) if (useParallel(n))

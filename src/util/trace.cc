@@ -1,0 +1,433 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qt8::trace {
+
+namespace detail {
+std::atomic<bool> g_collecting{false};
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class EventKind : uint8_t { kSpan, kCounter, kInstant };
+
+struct Event
+{
+    const char *name; ///< literal or interned — outlives the trace
+    double ts_us;
+    double dur_us; ///< spans only
+    double value;  ///< counters only
+    EventKind kind;
+};
+
+/// One buffer per thread that ever emitted an event while collecting.
+/// The registry holds a shared_ptr alongside the thread_local owner, so
+/// events from threads that exited before stop() are still flushed.
+struct ThreadBuf
+{
+    std::mutex mu; ///< uncontended except against the stop() flush
+    std::vector<Event> events;
+    uint32_t tid = 0;
+};
+
+struct NoteRec
+{
+    std::string key;
+    std::string text;
+};
+
+/// Trace-start epoch in steady_clock nanoseconds. Atomic (not under
+/// Global::mu) so hot-path event recording reads it lock-free; written
+/// by start() before g_collecting flips on.
+std::atomic<int64_t> g_epoch_ns{0};
+
+int64_t
+toNs(Clock::time_point t)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+}
+
+/// Microseconds since the trace epoch.
+double
+tsUs(Clock::time_point t)
+{
+    return static_cast<double>(
+               toNs(t) - g_epoch_ns.load(std::memory_order_relaxed)) /
+           1000.0;
+}
+
+struct Global
+{
+    std::mutex mu; ///< guards everything below
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    uint32_t next_tid = 1;
+    std::string path;
+    bool started = false;
+    std::map<std::string, QuantHealth> health;
+    std::vector<NoteRec> notes;
+    /// Interned dynamic names; std::deque never relocates elements, so
+    /// the c_str pointers stored in events stay valid. Kept across
+    /// start()/stop() cycles (bounded by distinct names).
+    std::deque<std::string> interned;
+    std::map<std::string, const char *> interned_by_name;
+};
+
+Global &
+global()
+{
+    static Global *g = new Global(); // never destroyed: threads may
+                                     // record during static teardown
+    return *g;
+}
+
+ThreadBuf &
+localBuf()
+{
+    thread_local std::shared_ptr<ThreadBuf> tls = [] {
+        auto buf = std::make_shared<ThreadBuf>();
+        Global &g = global();
+        std::lock_guard<std::mutex> lock(g.mu);
+        buf->tid = g.next_tid++;
+        g.bufs.push_back(buf);
+        return buf;
+    }();
+    return *tls;
+}
+
+void
+append(const char *name, EventKind kind, double ts_us, double dur_us,
+       double value)
+{
+    ThreadBuf &buf = localBuf();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.push_back(Event{name, ts_us, dur_us, value, kind});
+}
+
+void
+jsonEscape(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+appendEventJson(std::string &out, const Event &e, uint32_t tid)
+{
+    char num[64];
+    out += "{\"name\":\"";
+    jsonEscape(out, e.name);
+    out += "\",\"cat\":\"qt8\",\"ph\":\"";
+    switch (e.kind) {
+      case EventKind::kSpan:
+        out += 'X';
+        break;
+      case EventKind::kCounter:
+        out += 'C';
+        break;
+      case EventKind::kInstant:
+        out += 'i';
+        break;
+    }
+    out += "\",\"ts\":";
+    std::snprintf(num, sizeof(num), "%.3f", e.ts_us);
+    out += num;
+    if (e.kind == EventKind::kSpan) {
+        out += ",\"dur\":";
+        std::snprintf(num, sizeof(num), "%.3f", e.dur_us);
+        out += num;
+    }
+    std::snprintf(num, sizeof(num), ",\"pid\":1,\"tid\":%u",
+                  static_cast<unsigned>(tid));
+    out += num;
+    if (e.kind == EventKind::kCounter) {
+        out += ",\"args\":{\"value\":";
+        std::snprintf(num, sizeof(num), "%.6g", e.value);
+        out += num;
+        out += '}';
+    } else if (e.kind == EventKind::kInstant) {
+        out += ",\"s\":\"t\"";
+    }
+    out += '}';
+}
+
+void
+writeFile(const std::string &path, const std::string &body)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "qt8 trace: cannot open %s for writing\n",
+                     path.c_str());
+        return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+}
+
+/// One-shot env hookup: QT8_TRACE=<path> starts a process-lifetime
+/// trace flushed at exit.
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *path = std::getenv("QT8_TRACE");
+        if (path != nullptr && path[0] != '\0') {
+            start(path);
+            std::atexit([] { stop(); });
+        }
+    }
+};
+EnvInit g_env_init;
+
+} // namespace
+
+namespace detail {
+
+void
+recordSpan(const char *name, Clock::time_point t0)
+{
+    const Clock::time_point t1 = Clock::now();
+    append(name, EventKind::kSpan, tsUs(t0),
+           std::chrono::duration<double, std::micro>(t1 - t0).count(),
+           0.0);
+}
+
+} // namespace detail
+
+void
+start(const std::string &path)
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (const auto &buf : g.bufs) {
+        std::lock_guard<std::mutex> bl(buf->mu);
+        buf->events.clear();
+    }
+    g.health.clear();
+    g.notes.clear();
+    g.path = path;
+    g.started = true;
+    g_epoch_ns.store(toNs(Clock::now()), std::memory_order_relaxed);
+    detail::g_collecting.store(true, std::memory_order_release);
+}
+
+void
+stop()
+{
+    Global &g = global();
+    detail::g_collecting.store(false, std::memory_order_release);
+    // Collect under the registry lock. Spans already past their
+    // collecting() check may still trickle in after the snapshot;
+    // they are dropped by the clear on the next start().
+    std::string path;
+    std::vector<std::pair<uint32_t, std::vector<Event>>> snap;
+    std::map<std::string, QuantHealth> health;
+    std::vector<NoteRec> notes;
+    {
+        std::lock_guard<std::mutex> lock(g.mu);
+        if (!g.started)
+            return;
+        g.started = false;
+        path = g.path;
+        for (const auto &buf : g.bufs) {
+            std::lock_guard<std::mutex> bl(buf->mu);
+            if (!buf->events.empty())
+                snap.emplace_back(buf->tid, std::move(buf->events));
+            buf->events.clear();
+        }
+        health.swap(g.health);
+        notes.swap(g.notes);
+    }
+
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[tid, events] : snap) {
+        for (const Event &e : events) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            appendEventJson(out, e, tid);
+        }
+    }
+    out += "],\n\"qt8_health\":[";
+    first = true;
+    char num[64];
+    for (const auto &[point, h] : health) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"point\":\"";
+        jsonEscape(out, point);
+        out += "\"";
+        std::snprintf(num, sizeof(num), ",\"count\":%llu",
+                      static_cast<unsigned long long>(h.count));
+        out += num;
+        std::snprintf(num, sizeof(num), ",\"saturated\":%llu",
+                      static_cast<unsigned long long>(h.saturated));
+        out += num;
+        std::snprintf(num, sizeof(num), ",\"underflow\":%llu",
+                      static_cast<unsigned long long>(h.underflow));
+        out += num;
+        std::snprintf(num, sizeof(num), ",\"nonfinite\":%llu",
+                      static_cast<unsigned long long>(h.nonfinite));
+        out += num;
+        std::snprintf(num, sizeof(num), ",\"amax\":%.9g", h.amax);
+        out += num;
+        std::snprintf(num, sizeof(num), ",\"mean_abs_err\":%.9g",
+                      h.meanAbsErr());
+        out += num;
+        out += '}';
+    }
+    out += "],\n\"qt8_notes\":[";
+    first = true;
+    for (const NoteRec &n : notes) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"key\":\"";
+        jsonEscape(out, n.key);
+        out += "\",\"text\":\"";
+        jsonEscape(out, n.text);
+        out += "\"}";
+    }
+    out += "]}\n";
+    writeFile(path, out);
+}
+
+std::string
+activePath()
+{
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    return g.path;
+}
+
+void
+counter(const char *name, double value)
+{
+    if (!collecting())
+        return;
+    append(name, EventKind::kCounter, tsUs(Clock::now()), 0.0, value);
+}
+
+void
+instant(const char *name)
+{
+    if (!collecting())
+        return;
+    append(name, EventKind::kInstant, tsUs(Clock::now()), 0.0, 0.0);
+}
+
+void
+noteInstant(const std::string &name)
+{
+    if (!collecting())
+        return;
+    const char *interned;
+    {
+        Global &g = global();
+        std::lock_guard<std::mutex> lock(g.mu);
+        auto it = g.interned_by_name.find(name);
+        if (it == g.interned_by_name.end()) {
+            g.interned.push_back(name);
+            it = g.interned_by_name
+                     .emplace(name, g.interned.back().c_str())
+                     .first;
+        }
+        interned = it->second;
+    }
+    instant(interned);
+}
+
+void
+note(const std::string &key, const std::string &text)
+{
+    if (!collecting())
+        return;
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.notes.push_back(NoteRec{key, text});
+}
+
+void
+healthAccumulate(const std::string &point, const QuantHealth &h)
+{
+    if (!collecting())
+        return;
+    Global &g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.health[point].merge(h);
+}
+
+std::string
+healthTable()
+{
+    Global &g = global();
+    std::map<std::string, QuantHealth> health;
+    {
+        std::lock_guard<std::mutex> lock(g.mu);
+        health = g.health;
+    }
+    if (health.empty())
+        return std::string();
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-20s %12s %10s %10s %10s %12s %14s\n",
+                  "quant point", "count", "saturated", "underflow",
+                  "nonfinite", "amax", "mean|err|");
+    out += line;
+    for (const auto &[point, h] : health) {
+        std::snprintf(
+            line, sizeof(line),
+            "%-20s %12llu %10llu %10llu %10llu %12.5g %14.5g\n",
+            point.c_str(), static_cast<unsigned long long>(h.count),
+            static_cast<unsigned long long>(h.saturated),
+            static_cast<unsigned long long>(h.underflow),
+            static_cast<unsigned long long>(h.nonfinite), h.amax,
+            h.meanAbsErr());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace qt8::trace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lock-cheap span tracer + numeric-health sink (DESIGN.md §11).
+ *
+ * Two channels share one output file:
+ *
+ *  - **Timing spans/counters**: `QT8_TRACE_SCOPE("gemm")` opens an RAII
+ *    span; `trace::counter`/`trace::instant` emit point events. Events
+ *    land in per-thread buffers (one uncontended mutex acquisition per
+ *    event — contended only during the final flush), timestamped off
+ *    one shared steady_clock epoch so spans from different threads
+ *    line up. The export is Chrome `chrome://tracing` / Perfetto JSON
+ *    ("traceEvents" array of ph:"X"/"C"/"i" records, microseconds).
+ *
+ *  - **Numeric health**: per-quant-point QuantHealth counters
+ *    (saturation / underflow / non-finite counts, amax, mean |err| vs
+ *    the unquantized input) merged into a global table keyed by quant
+ *    point ("fwd/gemm", "bwd/activation", "weight", ...). The table is
+ *    embedded in the same JSON under "qt8_health" and printable with
+ *    healthTable().
+ *
+ * Enabling: set `QT8_TRACE=<path>` in the environment (the trace is
+ * written at process exit), or call `trace::start(path)` /
+ * `trace::stop()` around the region of interest. When tracing is off,
+ * every hook is a single relaxed atomic load and branch — no locks, no
+ * clock reads, no allocation — so instrumented kernels run at full
+ * speed (the acceptance bar: bench_kernels --smoke within noise).
+ *
+ * Span names must be string literals (or otherwise outlive the trace);
+ * they are stored as pointers. Dynamic names go through note(), which
+ * copies.
+ */
+#ifndef QT8_UTIL_TRACE_H
+#define QT8_UTIL_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "numerics/quantizer.h"
+
+namespace qt8::trace {
+
+namespace detail {
+extern std::atomic<bool> g_collecting;
+void recordSpan(const char *name,
+                std::chrono::steady_clock::time_point t0);
+} // namespace detail
+
+/// True while a trace is being collected. Relaxed load: the flag only
+/// gates best-effort event capture, never correctness.
+inline bool
+collecting()
+{
+    return detail::g_collecting.load(std::memory_order_relaxed);
+}
+
+/// Begin collecting into an in-memory buffer; stop() writes it to
+/// @p path. Restarting an active trace discards the buffered events.
+void start(const std::string &path);
+
+/// Stop collecting, write the JSON trace (events + health + notes) to
+/// the start() path, and reset all buffers. No-op when not started.
+void stop();
+
+/// Path the current (or last) trace writes to; empty when never started.
+std::string activePath();
+
+/// Emit a counter sample (ph:"C"): a stepped time series in the viewer.
+void counter(const char *name, double value);
+
+/// Emit an instant event (ph:"i"). @p name must outlive the trace
+/// (string literal); use noteInstant for dynamic names.
+void instant(const char *name);
+
+/// Instant event with a dynamic name (interned copy).
+void noteInstant(const std::string &name);
+
+/// Attach a free-form text record to the trace ("qt8_notes" section) —
+/// used to park metrics dumps and bench banners next to the spans they
+/// explain.
+void note(const std::string &key, const std::string &text);
+
+/// Merge one tensor's quantization-health counters into the global
+/// per-quant-point table. Thread-safe; one mutex acquisition per call
+/// (callers accumulate per-tensor locally first).
+void healthAccumulate(const std::string &point, const QuantHealth &h);
+
+/// Human-readable per-quant-point health table (empty string when no
+/// health was recorded).
+std::string healthTable();
+
+/// RAII span. Construction checks collecting() once (single branch when
+/// off); destruction records the span into the calling thread's buffer.
+class Scope
+{
+  public:
+    explicit Scope(const char *name)
+    {
+        if (!collecting()) {
+            name_ = nullptr;
+            return;
+        }
+        name_ = name;
+        t0_ = std::chrono::steady_clock::now();
+    }
+    ~Scope()
+    {
+        if (name_ != nullptr)
+            detail::recordSpan(name_, t0_);
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    const char *name_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace qt8::trace
+
+#define QT8_TRACE_CONCAT2(a, b) a##b
+#define QT8_TRACE_CONCAT(a, b) QT8_TRACE_CONCAT2(a, b)
+/// Open an RAII timing span covering the rest of the enclosing block.
+/// @p name must be a string literal.
+#define QT8_TRACE_SCOPE(name) \
+    ::qt8::trace::Scope QT8_TRACE_CONCAT(qt8_trace_scope_, __LINE__)(name)
+
+#endif // QT8_UTIL_TRACE_H

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser, just big enough to read back
+ * the tracer's own output (util/trace.h): objects, arrays, strings
+ * with the escapes the writer emits, numbers, true/false/null. Header
+ * only; used by tools/trace_summary and the tracer tests to verify
+ * that emitted traces are well-formed without an external dependency.
+ *
+ * Not a general-purpose parser: \uXXXX escapes outside the Basic
+ * Latin range decode to '?', and numbers parse via strtod.
+ */
+#ifndef QT8_UTIL_TRACE_READER_H
+#define QT8_UTIL_TRACE_READER_H
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qt8::json {
+
+struct Value
+{
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    std::vector<std::pair<std::string, Value>> obj;
+
+    bool isObject() const { return type == Type::kObject; }
+    bool isArray() const { return type == Type::kArray; }
+    bool isString() const { return type == Type::kString; }
+    bool isNumber() const { return type == Type::kNumber; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    const Value *
+    find(const std::string &key) const
+    {
+        if (type != Type::kObject)
+            return nullptr;
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    /// Member's number (or @p fallback when absent / not a number).
+    double
+    numberAt(const std::string &key, double fallback = 0.0) const
+    {
+        const Value *v = find(key);
+        return (v != nullptr && v->isNumber()) ? v->number : fallback;
+    }
+
+    /// Member's string (or empty when absent / not a string).
+    std::string
+    stringAt(const std::string &key) const
+    {
+        const Value *v = find(key);
+        return (v != nullptr && v->isString()) ? v->str : std::string();
+    }
+};
+
+namespace detail {
+
+class Parser
+{
+  public:
+    Parser(const char *p, const char *end) : p_(p), end_(end) {}
+
+    bool
+    parse(Value &out, std::string *err)
+    {
+        skipWs();
+        if (!value(out)) {
+            if (err != nullptr)
+                *err = err_.empty() ? "parse error" : err_;
+            return false;
+        }
+        skipWs();
+        if (p_ != end_) {
+            if (err != nullptr)
+                *err = "trailing characters after JSON value";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                              *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    fail(const char *what)
+    {
+        if (err_.empty())
+            err_ = what;
+        return false;
+    }
+
+    bool
+    literal(const char *text, Value &out, Value::Type type, bool b)
+    {
+        for (const char *t = text; *t != '\0'; ++t, ++p_)
+            if (p_ == end_ || *p_ != *t)
+                return fail("bad literal");
+        out.type = type;
+        out.boolean = b;
+        return true;
+    }
+
+    bool
+    value(Value &out)
+    {
+        if (p_ == end_)
+            return fail("unexpected end of input");
+        switch (*p_) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"':
+            out.type = Value::Type::kString;
+            return string(out.str);
+          case 't':
+            return literal("true", out, Value::Type::kBool, true);
+          case 'f':
+            return literal("false", out, Value::Type::kBool, false);
+          case 'n':
+            return literal("null", out, Value::Type::kNull, false);
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    object(Value &out)
+    {
+        out.type = Value::Type::kObject;
+        ++p_; // '{'
+        skipWs();
+        if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (p_ == end_ || *p_ != '"' || !string(key))
+                return fail("expected object key");
+            skipWs();
+            if (p_ == end_ || *p_ != ':')
+                return fail("expected ':'");
+            ++p_;
+            skipWs();
+            Value v;
+            if (!value(v))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (p_ == end_)
+                return fail("unterminated object");
+            if (*p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (*p_ == '}') {
+                ++p_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(Value &out)
+    {
+        out.type = Value::Type::kArray;
+        ++p_; // '['
+        skipWs();
+        if (p_ != end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            Value v;
+            if (!value(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (p_ == end_)
+                return fail("unterminated array");
+            if (*p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (*p_ == ']') {
+                ++p_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++p_; // '"'
+        while (p_ != end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ == end_)
+                    return fail("unterminated escape");
+                switch (*p_) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        ++p_;
+                        if (p_ == end_)
+                            return fail("bad \\u escape");
+                        const char c = *p_;
+                        code <<= 4;
+                        if (c >= '0' && c <= '9')
+                            code |= static_cast<unsigned>(c - '0');
+                        else if (c >= 'a' && c <= 'f')
+                            code |= static_cast<unsigned>(c - 'a' + 10);
+                        else if (c >= 'A' && c <= 'F')
+                            code |= static_cast<unsigned>(c - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    out += code < 0x80 ? static_cast<char>(code) : '?';
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                ++p_;
+            } else {
+                out += *p_++;
+            }
+        }
+        if (p_ == end_)
+            return fail("unterminated string");
+        ++p_; // closing '"'
+        return true;
+    }
+
+    bool
+    number(Value &out)
+    {
+        char *parse_end = nullptr;
+        out.number = std::strtod(p_, &parse_end);
+        if (parse_end == p_)
+            return fail("bad number");
+        out.type = Value::Type::kNumber;
+        p_ = parse_end;
+        return true;
+    }
+
+    const char *p_;
+    const char *end_;
+    std::string err_;
+};
+
+} // namespace detail
+
+/// Parse @p text into @p out. Returns false (with *err set when
+/// non-null) on malformed input.
+inline bool
+parse(const std::string &text, Value &out, std::string *err = nullptr)
+{
+    detail::Parser parser(text.data(), text.data() + text.size());
+    return parser.parse(out, err);
+}
+
+} // namespace qt8::json
+
+#endif // QT8_UTIL_TRACE_READER_H

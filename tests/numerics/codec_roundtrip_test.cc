@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Exhaustive per-code round-trip audits for the paper's 8-bit codecs:
+ * posit(8,1), posit(8,2), E4M3, E5M2, E5M3. Every code is pushed
+ * through decode -> encode and must come back *code*-identical (not
+ * just value-identical: this pins ±0 and the sign of zero), and the
+ * special codes — posit NaR, minifloat NaN/Inf — are checked against
+ * the formats' documented conventions:
+ *
+ *  - posit: NaR decodes to NaN and NaN encodes to NaR; ±inf and
+ *    finite overflow saturate to ±maxpos (posits never overflow to
+ *    NaR, section 3 of the posit standard / paper section 4);
+ *  - E4M3 (kFiniteNoInf): no infinities; only the all-ones mantissa
+ *    pattern is NaN; inf inputs saturate to ±maxFinite;
+ *  - E5M2/E5M3 (kIeee): top exponent holds Inf (mantissa 0) and NaN;
+ *    encode never *produces* an Inf code (DNN saturation practice),
+ *    and NaN encodes to the canonical quiet-NaN code.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "numerics/minifloat.h"
+#include "numerics/posit.h"
+
+using namespace qt8;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+class PositCodec : public ::testing::TestWithParam<std::pair<int, int>>
+{
+  protected:
+    PositSpec spec_{GetParam().first, GetParam().second};
+};
+
+TEST_P(PositCodec, All256CodesRoundTripCodeExact)
+{
+    ASSERT_EQ(spec_.numCodes(), 256u);
+    for (uint32_t c = 0; c < spec_.numCodes(); ++c) {
+        if (c == spec_.narCode())
+            continue;
+        const double v = spec_.decode(c);
+        EXPECT_TRUE(std::isfinite(v)) << spec_.name() << " code " << c;
+        EXPECT_EQ(spec_.encode(v), c)
+            << spec_.name() << " code " << c << " value " << v;
+    }
+}
+
+TEST_P(PositCodec, NaRIsTheOnlyNonFiniteCode)
+{
+    EXPECT_TRUE(std::isnan(spec_.decode(spec_.narCode())));
+    EXPECT_EQ(spec_.encode(kNan), spec_.narCode());
+    for (uint32_t c = 0; c < spec_.numCodes(); ++c) {
+        if (c != spec_.narCode()) {
+            EXPECT_TRUE(std::isfinite(spec_.decode(c))) << "code " << c;
+        }
+    }
+}
+
+TEST_P(PositCodec, InfinityAndOverflowSaturateToMaxpos)
+{
+    const uint32_t neg_maxpos =
+        (spec_.numCodes() - spec_.maxposCode()) & (spec_.numCodes() - 1);
+    EXPECT_EQ(spec_.encode(kInf), spec_.maxposCode());
+    EXPECT_EQ(spec_.encode(-kInf), neg_maxpos);
+    EXPECT_EQ(spec_.encode(spec_.maxpos() * 2.0), spec_.maxposCode());
+    EXPECT_EQ(spec_.encode(-spec_.maxpos() * 2.0), neg_maxpos);
+    // Saturation, never NaR: overflow must not alias the NaN code.
+    EXPECT_NE(spec_.maxposCode(), spec_.narCode());
+    EXPECT_NE(neg_maxpos, spec_.narCode());
+}
+
+TEST_P(PositCodec, ZeroIsCodeZeroOnly)
+{
+    EXPECT_EQ(spec_.encode(0.0), 0u);
+    EXPECT_EQ(spec_.encode(-0.0), 0u); // posits have a single zero
+    EXPECT_EQ(spec_.decode(0u), 0.0);
+    for (uint32_t c = 1; c < spec_.numCodes(); ++c) {
+        if (c != spec_.narCode()) {
+            EXPECT_NE(spec_.decode(c), 0.0) << "code " << c;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper8Bit, PositCodec,
+                         ::testing::Values(std::make_pair(8, 1),
+                                           std::make_pair(8, 2)));
+
+class MinifloatCodec
+    : public ::testing::TestWithParam<const MinifloatSpec *>
+{
+  protected:
+    const MinifloatSpec &spec_ = *GetParam();
+};
+
+TEST_P(MinifloatCodec, AllCodesRoundTripCodeExact)
+{
+    // E4M3/E5M2 are 8-bit (256 codes); E5M3 is the paper's 9-bit
+    // decode-side format (512 codes). Exhaustive either way.
+    ASSERT_EQ(spec_.numCodes(), 1u << spec_.totalBits());
+    for (uint32_t c = 0; c < spec_.numCodes(); ++c) {
+        if (spec_.isNan(c) || spec_.isInf(c))
+            continue;
+        const double v = spec_.decode(c);
+        EXPECT_TRUE(std::isfinite(v)) << spec_.name << " code " << c;
+        // Code-exact: ±0 must keep their sign bit through the trip.
+        EXPECT_EQ(spec_.encode(v), c)
+            << spec_.name << " code " << c << " value " << v;
+    }
+}
+
+TEST_P(MinifloatCodec, NanCodesDecodeToNanAndEncodeCanonical)
+{
+    uint32_t nan_codes = 0;
+    for (uint32_t c = 0; c < spec_.numCodes(); ++c) {
+        if (!spec_.isNan(c))
+            continue;
+        ++nan_codes;
+        EXPECT_TRUE(std::isnan(spec_.decode(c)))
+            << spec_.name << " code " << c;
+    }
+    ASSERT_GT(nan_codes, 0u);
+    const uint32_t canonical = spec_.encode(kNan);
+    EXPECT_TRUE(spec_.isNan(canonical));
+    if (spec_.flavor == MinifloatFlavor::kFiniteNoInf) {
+        // E4M3: exactly ±(all-ones) are NaN; everything else is finite.
+        EXPECT_EQ(nan_codes, 2u);
+    }
+}
+
+TEST_P(MinifloatCodec, InfHandlingMatchesFlavor)
+{
+    uint32_t inf_codes = 0;
+    for (uint32_t c = 0; c < spec_.numCodes(); ++c) {
+        if (!spec_.isInf(c))
+            continue;
+        ++inf_codes;
+        EXPECT_TRUE(std::isinf(spec_.decode(c)))
+            << spec_.name << " code " << c;
+    }
+    if (spec_.flavor == MinifloatFlavor::kFiniteNoInf) {
+        EXPECT_EQ(inf_codes, 0u) << spec_.name << " must have no Inf";
+    } else {
+        EXPECT_EQ(inf_codes, 2u) << spec_.name << " has exactly ±Inf";
+    }
+    // Either flavor: encode saturates infinities to ±maxFinite rather
+    // than producing an Inf (or NaN) code.
+    const uint32_t pos = spec_.encode(kInf);
+    const uint32_t neg = spec_.encode(-kInf);
+    EXPECT_EQ(spec_.decode(pos), spec_.maxFinite());
+    EXPECT_EQ(spec_.decode(neg), -spec_.maxFinite());
+    EXPECT_EQ(spec_.encode(spec_.maxFinite() * 4.0), pos);
+}
+
+TEST_P(MinifloatCodec, SignedZerosKeepTheirCodes)
+{
+    const uint32_t sign_bit =
+        1u << (spec_.exp_bits + spec_.man_bits);
+    EXPECT_EQ(spec_.decode(0u), 0.0);
+    EXPECT_EQ(spec_.decode(sign_bit), 0.0); // -0.0 compares == 0.0
+    EXPECT_TRUE(std::signbit(spec_.decode(sign_bit)));
+    EXPECT_EQ(spec_.encode(0.0), 0u);
+    EXPECT_EQ(spec_.encode(-0.0), sign_bit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper8Bit, MinifloatCodec,
+                         ::testing::Values(&e4m3(), &e5m2(), &e5m3()));
+
+} // namespace

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Tracer contract tests (util/trace.h):
+ *
+ *  - spans nested across interleaving threads export as valid Chrome
+ *    JSON (parsed back with util/trace_reader.h), one tid per thread,
+ *    inner spans contained in their outer span's interval;
+ *  - off mode records nothing and the RAII scope is two words — the
+ *    constructor's only work is one branch on an atomic flag;
+ *  - the numeric-health channel matches a hand-computed quantization
+ *    of a known tensor, both through the Quantizer overload directly
+ *    and end-to-end through QuantSession into the JSON health table.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "numerics/quantizer.h"
+#include "quant/config.h"
+#include "tensor/tensor.h"
+#include "util/trace.h"
+#include "util/trace_reader.h"
+
+namespace qt8 {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+json::Value
+parseTrace(const std::string &path)
+{
+    json::Value root;
+    std::string err;
+    EXPECT_TRUE(json::parse(slurp(path), root, &err)) << err;
+    std::remove(path.c_str());
+    return root;
+}
+
+std::string
+tracePath(const char *name)
+{
+    return ::testing::TempDir() + name;
+}
+
+TEST(Trace, OffModeRecordsNothingAndScopeIsTwoWords)
+{
+    // The whole point of the tracer is that instrumented kernels pay a
+    // single branch when off: the scope holds one pointer + one time
+    // point, and its constructor checks collecting() once.
+    static_assert(sizeof(trace::Scope) <=
+                      sizeof(const char *) +
+                          sizeof(std::chrono::steady_clock::time_point),
+                  "Scope must stay trivially small");
+    ASSERT_FALSE(trace::collecting());
+    {
+        QT8_TRACE_SCOPE("off_mode_span");
+        trace::counter("off_mode_counter", 1.0);
+        trace::instant("off_mode_instant");
+        trace::note("off", "dropped");
+    }
+    // A trace started *afterwards* must not contain any of it.
+    const std::string path = tracePath("trace_off.json");
+    trace::start(path);
+    trace::stop();
+    const json::Value root = parseTrace(path);
+    const json::Value *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_TRUE(events->arr.empty());
+    const json::Value *notes = root.find("qt8_notes");
+    ASSERT_NE(notes, nullptr);
+    EXPECT_TRUE(notes->arr.empty());
+}
+
+TEST(Trace, SpansCountersNotesExportValidJson)
+{
+    const std::string path = tracePath("trace_basic.json");
+    trace::start(path);
+    EXPECT_TRUE(trace::collecting());
+    EXPECT_EQ(trace::activePath(), path);
+    {
+        QT8_TRACE_SCOPE("alpha");
+        {
+            QT8_TRACE_SCOPE("beta");
+        }
+    }
+    trace::counter("depth", 3.0);
+    trace::counter("depth", 5.0);
+    trace::instant("mark");
+    trace::noteInstant(std::string("dynamic ") + "mark");
+    trace::note("key1", "line1\nline2 \"quoted\"");
+    trace::stop();
+    EXPECT_FALSE(trace::collecting());
+
+    const json::Value root = parseTrace(path);
+    const json::Value *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::map<std::string, int> by_name;
+    for (const json::Value &e : *&events->arr) {
+        by_name[e.stringAt("name")]++;
+        EXPECT_EQ(e.numberAt("pid"), 1.0);
+        EXPECT_GE(e.numberAt("ts"), 0.0);
+        const std::string ph = e.stringAt("ph");
+        EXPECT_TRUE(ph == "X" || ph == "C" || ph == "i") << ph;
+    }
+    EXPECT_EQ(by_name["alpha"], 1);
+    EXPECT_EQ(by_name["beta"], 1);
+    EXPECT_EQ(by_name["depth"], 2);
+    EXPECT_EQ(by_name["mark"], 1);
+    EXPECT_EQ(by_name["dynamic mark"], 1);
+
+    // Counter values survive, in order.
+    std::vector<double> depths;
+    for (const json::Value &e : events->arr)
+        if (e.stringAt("name") == "depth") {
+            const json::Value *args = e.find("args");
+            ASSERT_NE(args, nullptr);
+            depths.push_back(args->numberAt("value"));
+        }
+    ASSERT_EQ(depths.size(), 2u);
+    EXPECT_EQ(depths[0], 3.0);
+    EXPECT_EQ(depths[1], 5.0);
+
+    // The escaped note round-trips through the parser.
+    const json::Value *notes = root.find("qt8_notes");
+    ASSERT_NE(notes, nullptr);
+    ASSERT_EQ(notes->arr.size(), 1u);
+    EXPECT_EQ(notes->arr[0].stringAt("key"), "key1");
+    EXPECT_EQ(notes->arr[0].stringAt("text"), "line1\nline2 \"quoted\"");
+}
+
+TEST(Trace, ThreadInterleavingNestsPerTidAndKeepsAllSpans)
+{
+    constexpr int kThreads = 4;
+    constexpr int kInner = 8;
+    const std::string path = tracePath("trace_threads.json");
+    trace::start(path);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([] {
+            QT8_TRACE_SCOPE("outer");
+            for (int i = 0; i < kInner; ++i) {
+                QT8_TRACE_SCOPE("inner");
+                // A touch of real work so spans have nonzero width.
+                volatile double sink = 0.0;
+                for (int j = 0; j < 500; ++j)
+                    sink = sink + std::sqrt(static_cast<double>(j));
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    trace::stop();
+
+    struct Span
+    {
+        double ts, dur;
+    };
+    std::map<int, std::vector<Span>> inner_by_tid;
+    std::map<int, Span> outer_by_tid;
+    const json::Value root = parseTrace(path);
+    const json::Value *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    for (const json::Value &e : events->arr) {
+        const int tid = static_cast<int>(e.numberAt("tid", -1));
+        const Span s{e.numberAt("ts"), e.numberAt("dur")};
+        if (e.stringAt("name") == "outer") {
+            EXPECT_EQ(outer_by_tid.count(tid), 0u)
+                << "one outer per thread";
+            outer_by_tid[tid] = s;
+        } else if (e.stringAt("name") == "inner") {
+            inner_by_tid[tid].push_back(s);
+        }
+    }
+    // Nothing lost: every thread's spans all arrived, under its own tid.
+    ASSERT_EQ(outer_by_tid.size(), static_cast<size_t>(kThreads));
+    ASSERT_EQ(inner_by_tid.size(), static_cast<size_t>(kThreads));
+    for (const auto &[tid, outer] : outer_by_tid) {
+        const auto &inners = inner_by_tid[tid];
+        ASSERT_EQ(inners.size(), static_cast<size_t>(kInner))
+            << "tid " << tid;
+        // Nesting: inners sit inside their outer's interval (eps for
+        // the writer's 3-decimal microsecond formatting).
+        constexpr double kEps = 0.0015;
+        for (const Span &in : inners) {
+            EXPECT_GE(in.ts + kEps, outer.ts);
+            EXPECT_LE(in.ts + in.dur, outer.ts + outer.dur + kEps);
+        }
+    }
+}
+
+TEST(Trace, RestartDiscardsPreviousEvents)
+{
+    const std::string path1 = tracePath("trace_first.json");
+    const std::string path2 = tracePath("trace_second.json");
+    trace::start(path1);
+    {
+        QT8_TRACE_SCOPE("first_only");
+    }
+    trace::start(path2); // restart without stop: discard + repoint
+    {
+        QT8_TRACE_SCOPE("second_only");
+    }
+    trace::stop();
+    const json::Value root = parseTrace(path2);
+    std::remove(path1.c_str()); // never written, but be tidy
+    const json::Value *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->arr.size(), 1u);
+    EXPECT_EQ(events->arr[0].stringAt("name"), "second_only");
+}
+
+TEST(QuantHealthCounters, MatchHandComputedE4M3)
+{
+    // E4M3: maxFinite 448, min subnormal 2^-9. Hand-placed inputs:
+    //   1.0    on-grid, zero error
+    //   0.3    off-grid (between 0.296875 and 0.3125)
+    //   1000   finite overflow -> saturates to 448
+    //   1e-10  below minSubnormal/2 -> flushes to 0 (underflow)
+    //   NaN    nonfinite
+    //   +inf   nonfinite (saturates to 448 in value, not counted amax)
+    //   -2.5   on-grid negative, zero error
+    const Quantizer q = Quantizer::byName("e4m3");
+    float buf[] = {1.0f,
+                   0.3f,
+                   1000.0f,
+                   1e-10f,
+                   std::numeric_limits<float>::quiet_NaN(),
+                   std::numeric_limits<float>::infinity(),
+                   -2.5f};
+    QuantHealth h;
+    q.quantizeInPlace(buf, 7, h);
+
+    EXPECT_EQ(h.count, 7u);
+    EXPECT_EQ(h.saturated, 1u);  // 1000 only
+    EXPECT_EQ(h.underflow, 1u);  // 1e-10 only
+    EXPECT_EQ(h.nonfinite, 2u);  // NaN + inf
+    EXPECT_DOUBLE_EQ(h.amax, 1000.0);
+    // |0.3 - q(0.3)| + |1000 - 448| + 1e-10; the exact values both
+    // match the scalar quantizer.
+    const double expected_err =
+        std::fabs(static_cast<double>(0.3f) -
+                  static_cast<double>(q.quantize(0.3f))) +
+        (1000.0 - 448.0) + static_cast<double>(1e-10f);
+    EXPECT_NEAR(h.abs_err_sum, expected_err, 1e-12);
+    EXPECT_NEAR(h.meanAbsErr(), expected_err / 5.0, 1e-12);
+
+    // The buffer itself was quantized identically to the plain path.
+    EXPECT_EQ(buf[0], 1.0f);
+    EXPECT_EQ(buf[2], 448.0f);
+    EXPECT_EQ(buf[3], 0.0f);
+    EXPECT_TRUE(std::isnan(buf[4]));
+    EXPECT_EQ(buf[6], -2.5f);
+}
+
+TEST(QuantHealthCounters, MergeAccumulates)
+{
+    QuantHealth a, b;
+    a.count = 10;
+    a.saturated = 1;
+    a.amax = 5.0;
+    a.abs_err_sum = 0.5;
+    b.count = 4;
+    b.nonfinite = 2;
+    b.underflow = 1;
+    b.amax = 7.0;
+    b.abs_err_sum = 0.25;
+    a.merge(b);
+    EXPECT_EQ(a.count, 14u);
+    EXPECT_EQ(a.saturated, 1u);
+    EXPECT_EQ(a.underflow, 1u);
+    EXPECT_EQ(a.nonfinite, 2u);
+    EXPECT_DOUBLE_EQ(a.amax, 7.0);
+    EXPECT_DOUBLE_EQ(a.abs_err_sum, 0.75);
+    // 14 total - 2 nonfinite = 12 finite elements.
+    EXPECT_DOUBLE_EQ(a.meanAbsErr(), 0.75 / 12.0);
+}
+
+TEST(QuantHealthCounters, SessionFeedsJsonHealthTable)
+{
+    const std::string path = tracePath("trace_health.json");
+    trace::start(path);
+
+    QuantSession qs(QuantConfig::fp8()); // E4M3 forward
+    Tensor t({2, 2});
+    t.data()[0] = 1.0f;
+    t.data()[1] = 1000.0f; // saturates
+    t.data()[2] = 1e-10f;  // underflows
+    t.data()[3] = -2.5f;
+    qs.quantFwd(OpClass::kGemm, t);
+
+    const std::string table = trace::healthTable();
+    EXPECT_NE(table.find("fwd/gemm"), std::string::npos);
+    trace::stop();
+    EXPECT_TRUE(trace::healthTable().empty()) << "stop() resets health";
+
+    const json::Value root = parseTrace(path);
+    const json::Value *health = root.find("qt8_health");
+    ASSERT_NE(health, nullptr);
+    ASSERT_TRUE(health->isArray());
+    bool found = false;
+    for (const json::Value &row : health->arr) {
+        if (row.stringAt("point") != "fwd/gemm")
+            continue;
+        found = true;
+        EXPECT_EQ(row.numberAt("count"), 4.0);
+        EXPECT_EQ(row.numberAt("saturated"), 1.0);
+        EXPECT_EQ(row.numberAt("underflow"), 1.0);
+        EXPECT_EQ(row.numberAt("nonfinite"), 0.0);
+        EXPECT_EQ(row.numberAt("amax"), 1000.0);
+    }
+    EXPECT_TRUE(found);
+    // And the tensor really was quantized on the way through.
+    EXPECT_EQ(t.data()[1], 448.0f);
+    EXPECT_EQ(t.data()[2], 0.0f);
+}
+
+TEST(QuantHealthCounters, HealthPathBitIdenticalToPlainPath)
+{
+    // The health overload must not change a single bit of the output:
+    // run both paths over the same pseudo-random buffer per format.
+    for (const char *name : {"posit8", "posit(8,2)", "e4m3", "e5m2",
+                             "bf16", "int8"}) {
+        const Quantizer q = Quantizer::byName(name);
+        std::vector<float> plain(512), tracked(512);
+        uint32_t state = 0x2468ace1u;
+        for (size_t i = 0; i < plain.size(); ++i) {
+            state = state * 1664525u + 1013904223u;
+            // Spread magnitudes across ~2^±16 with both signs.
+            const float mag = std::ldexp(
+                1.0f + static_cast<float>(state & 0xffff) / 65536.0f,
+                static_cast<int>((state >> 16) % 33) - 16);
+            plain[i] = (state & 0x80000000u) ? -mag : mag;
+            tracked[i] = plain[i];
+        }
+        q.quantizeInPlace(plain.data(), plain.size());
+        QuantHealth h;
+        q.quantizeInPlace(tracked.data(), tracked.size(), h);
+        EXPECT_EQ(h.count, plain.size());
+        for (size_t i = 0; i < plain.size(); ++i)
+            ASSERT_EQ(plain[i], tracked[i])
+                << name << " diverged at " << i;
+    }
+}
+
+} // namespace
+} // namespace qt8

@@ -20,6 +20,7 @@
 #include "data/tasks.h"
 #include "nn/model.h"
 #include "serve/engine.h"
+#include "util/trace.h"
 
 using namespace qt8;
 
@@ -123,5 +124,13 @@ main(int argc, char **argv)
     }
 
     std::printf("\n%s", engine.metricsSnapshot().dump().c_str());
+    if (trace::collecting()) {
+        const std::string health = trace::healthTable();
+        if (!health.empty())
+            std::printf("\n%s", health.c_str());
+        std::printf("\ntrace: %s (written at exit; load in "
+                    "chrome://tracing or ui.perfetto.dev)\n",
+                    trace::activePath().c_str());
+    }
     return 0;
 }

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Fold a qt8 trace (util/trace.h JSON) into a per-op time report plus
+ * the per-quant-point numeric-health table.
+ *
+ *   trace_summary <trace.json>   fold an existing trace file
+ *   trace_summary --smoke        self-test: record a small traced run
+ *                                (kernels + quant session), write the
+ *                                trace to a temp file, parse it back,
+ *                                verify the folded report is sane
+ *
+ * Per-op report: span count, total/mean wall time, share of the summed
+ * span time (shares overlap for nested spans — "gemm" time is also
+ * inside "attn/forward"). Counters report last value and max; notes
+ * are echoed verbatim.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "quant/config.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "util/trace.h"
+#include "util/trace_reader.h"
+
+using namespace qt8;
+
+namespace {
+
+struct OpStat
+{
+    uint64_t count = 0;
+    double total_us = 0.0;
+};
+
+struct CounterStat
+{
+    uint64_t count = 0;
+    double last = 0.0;
+    double max = 0.0;
+};
+
+struct Summary
+{
+    std::map<std::string, OpStat> ops;
+    std::map<std::string, CounterStat> counters;
+    std::vector<std::pair<std::string, std::string>> notes;
+    /// point -> (count, saturated, underflow, nonfinite, amax, mean err)
+    std::vector<json::Value> health;
+    uint64_t n_events = 0;
+};
+
+bool
+fold(const json::Value &root, Summary &sum, std::string *err)
+{
+    const json::Value *events = root.find("traceEvents");
+    if (events == nullptr || !events->isArray()) {
+        if (err != nullptr)
+            *err = "no traceEvents array";
+        return false;
+    }
+    for (const json::Value &e : events->arr) {
+        if (!e.isObject())
+            continue;
+        ++sum.n_events;
+        const std::string ph = e.stringAt("ph");
+        const std::string name = e.stringAt("name");
+        if (ph == "X") {
+            OpStat &op = sum.ops[name];
+            ++op.count;
+            op.total_us += e.numberAt("dur");
+        } else if (ph == "C") {
+            CounterStat &c = sum.counters[name];
+            ++c.count;
+            const json::Value *args = e.find("args");
+            const double v =
+                args != nullptr ? args->numberAt("value") : 0.0;
+            c.last = v;
+            c.max = std::max(c.max, v);
+        }
+    }
+    const json::Value *health = root.find("qt8_health");
+    if (health != nullptr && health->isArray())
+        sum.health = health->arr;
+    const json::Value *notes = root.find("qt8_notes");
+    if (notes != nullptr && notes->isArray()) {
+        for (const json::Value &n : notes->arr)
+            sum.notes.emplace_back(n.stringAt("key"), n.stringAt("text"));
+    }
+    return true;
+}
+
+void
+print(const Summary &sum)
+{
+    double grand_total = 0.0;
+    for (const auto &[name, op] : sum.ops)
+        grand_total += op.total_us;
+
+    std::printf("%llu events\n\n",
+                static_cast<unsigned long long>(sum.n_events));
+    if (!sum.ops.empty()) {
+        // Sort descending by total time: the hot op leads the report.
+        std::vector<std::pair<std::string, OpStat>> rows(sum.ops.begin(),
+                                                         sum.ops.end());
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.total_us > b.second.total_us;
+                  });
+        std::printf("%-24s %10s %14s %12s %7s\n", "span", "count",
+                    "total_ms", "mean_us", "share");
+        for (const auto &[name, op] : rows) {
+            std::printf(
+                "%-24s %10llu %14.3f %12.3f %6.1f%%\n", name.c_str(),
+                static_cast<unsigned long long>(op.count),
+                op.total_us / 1000.0,
+                op.total_us / static_cast<double>(op.count),
+                grand_total > 0.0 ? 100.0 * op.total_us / grand_total
+                                  : 0.0);
+        }
+        std::printf("(shares overlap: nested spans count their children"
+                    " too)\n\n");
+    }
+    if (!sum.counters.empty()) {
+        std::printf("%-24s %10s %12s %12s\n", "counter", "samples",
+                    "last", "max");
+        for (const auto &[name, c] : sum.counters)
+            std::printf("%-24s %10llu %12g %12g\n", name.c_str(),
+                        static_cast<unsigned long long>(c.count), c.last,
+                        c.max);
+        std::printf("\n");
+    }
+    if (!sum.health.empty()) {
+        std::printf("%-20s %12s %10s %10s %10s %12s %14s\n",
+                    "quant point", "count", "saturated", "underflow",
+                    "nonfinite", "amax", "mean|err|");
+        for (const json::Value &h : sum.health)
+            std::printf("%-20s %12.0f %10.0f %10.0f %10.0f %12.5g "
+                        "%14.5g\n",
+                        h.stringAt("point").c_str(), h.numberAt("count"),
+                        h.numberAt("saturated"), h.numberAt("underflow"),
+                        h.numberAt("nonfinite"), h.numberAt("amax"),
+                        h.numberAt("mean_abs_err"));
+        std::printf("\n");
+    }
+    for (const auto &[key, text] : sum.notes)
+        std::printf("note [%s]:\n%s\n", key.c_str(), text.c_str());
+}
+
+bool
+loadAndFold(const std::string &path, Summary &sum)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "trace_summary: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    json::Value root;
+    std::string err;
+    if (!json::parse(ss.str(), root, &err)) {
+        std::fprintf(stderr, "trace_summary: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    return fold(root, sum, &err) ||
+           (std::fprintf(stderr, "trace_summary: %s: %s\n", path.c_str(),
+                         err.c_str()),
+            false);
+}
+
+/// Self-test: produce a trace from real instrumented code, read it
+/// back, and verify the folded summary contains what the run did.
+int
+smoke()
+{
+    const std::string path = "trace_summary_smoke.json";
+    trace::start(path);
+    {
+        Rng rng(42);
+        Tensor a({32, 48}), b({48, 40}), c({32, 40});
+        rng.fillUniform(a, -1.0, 1.0);
+        rng.fillUniform(b, -1.0, 1.0);
+        for (int i = 0; i < 3; ++i)
+            gemm(a, false, b, false, c, 1.0f, 0.0f);
+        softmaxRowsInPlace(c);
+        geluInPlace(c);
+
+        QuantSession qs(QuantConfig::posit8());
+        Tensor act({16, 64});
+        rng.fillUniform(act, -8.0, 8.0);
+        qs.quantFwd(OpClass::kGemm, act);
+        trace::counter("smoke/value", 3.0);
+        trace::note("smoke", "trace_summary --smoke");
+    }
+    trace::stop();
+
+    Summary sum;
+    if (!loadAndFold(path, sum))
+        return 1;
+    print(sum);
+    std::remove(path.c_str());
+
+    auto expectSpan = [&sum](const char *name, uint64_t at_least) {
+        const auto it = sum.ops.find(name);
+        if (it == sum.ops.end() || it->second.count < at_least) {
+            std::fprintf(stderr, "smoke: missing span %s\n", name);
+            return false;
+        }
+        return true;
+    };
+    bool ok = expectSpan("gemm", 3) && expectSpan("softmax", 1) &&
+              expectSpan("gelu", 1);
+    if (sum.counters.find("smoke/value") == sum.counters.end()) {
+        std::fprintf(stderr, "smoke: missing counter\n");
+        ok = false;
+    }
+    bool saw_health = false;
+    for (const json::Value &h : sum.health)
+        if (h.stringAt("point") == "fwd/gemm" &&
+            h.numberAt("count") == 16 * 64)
+            saw_health = true;
+    if (!saw_health) {
+        std::fprintf(stderr, "smoke: missing fwd/gemm health row\n");
+        ok = false;
+    }
+    if (sum.notes.empty()) {
+        std::fprintf(stderr, "smoke: missing note\n");
+        ok = false;
+    }
+    std::printf("trace_summary --smoke: %s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2 && std::strcmp(argv[1], "--smoke") == 0)
+        return smoke();
+    if (argc != 2) {
+        std::fprintf(stderr,
+                     "usage: trace_summary <trace.json> | --smoke\n");
+        return 2;
+    }
+    Summary sum;
+    if (!loadAndFold(argv[1], sum))
+        return 1;
+    print(sum);
+    return 0;
+}
