@@ -1,7 +1,7 @@
 #!/bin/sh
 # Assemble bench_output.txt from per-bench logs in canonical order.
 # Equivalent to: for b in build/bench/bench_*; do $b; done 2>&1 | tee bench_output.txt
-cd /root/repo
+cd "$(dirname "$0")"
 : > bench_output.txt
 for name in bench_fig04_decimal_accuracy bench_table1_op_ablation \
             bench_table2_fusion_sweep bench_fig06_activation_distribution \
@@ -13,7 +13,8 @@ for name in bench_fig04_decimal_accuracy bench_table1_op_ablation \
             bench_fig13_accelerator_hw bench_table8_vector_unit \
             bench_fig14_finetune_memory bench_baseline_int8 \
             bench_ablation_rounding bench_ablation_scaling \
-            bench_ext_energy_per_token bench_kernels; do
+            bench_ext_energy_per_token bench_kernels bench_decode \
+            bench_serve; do
   if [ -s "bench_logs/$name.txt" ]; then
     cat "bench_logs/$name.txt" >> bench_output.txt
     echo >> bench_output.txt

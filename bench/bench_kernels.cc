@@ -12,6 +12,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +23,8 @@
 #include "numerics/posit_ops.h"
 #include "numerics/quantizer.h"
 #include "tensor/ops.h"
+#include "tensor/packed.h"
+#include "tensor/packed_simd.h"
 #include "tensor/random.h"
 
 namespace qt8 {
@@ -188,6 +191,48 @@ BM_GemvDecode(benchmark::State &state)
 }
 BENCHMARK(BM_GemvDecode)->Arg(512);
 
+/// Packed 8-bit GEMM on the same square shapes as BM_Gemm: the fp32
+/// operand is decoded from uint8 codes inside the tile micro-kernel.
+void
+BM_GemmQuantized(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const Quantizer q = Quantizer::byName("posit8");
+    Rng rng(3);
+    Tensor a({n, n}), b({n, n}), c({n, n});
+    rng.fillNormal(a);
+    rng.fillNormal(b);
+    const PackedTensor pb = PackedTensor::pack(b, q);
+    for (auto _ : state) {
+        gemmQuantized(a, false, pb, false, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2 * n * n * n);
+}
+BENCHMARK(BM_GemmQuantized)->Arg(32)->Arg(64)->Arg(128)->Arg(512);
+
+/// Decode-shaped packed GEMV (m = 1, weights in Linear's [out, in]
+/// layout) — the serve engine's per-token hot call.
+void
+BM_GemvQuantizedDecode(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const Quantizer q = Quantizer::byName("posit8");
+    Rng rng(5);
+    Tensor a({1, n}), b({n, n}), c({1, n});
+    rng.fillNormal(a);
+    rng.fillNormal(b);
+    const PackedTensor pb = PackedTensor::pack(b, q);
+    for (auto _ : state) {
+        gemmQuantized(a, false, pb, true, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2 * n * n);
+}
+BENCHMARK(BM_GemvQuantizedDecode)->Arg(512);
+
 void
 BM_Softmax(benchmark::State &state, bool approx)
 {
@@ -269,9 +314,146 @@ smokeMain()
         }
     }
 
+    // Packed GEMM vs decode-then-blocked-gemm, with a fused epilogue
+    // against the separate-pass reference.
+    {
+        const Quantizer q = Quantizer::byName("posit8");
+        const Quantizer carrier = Quantizer::bf16();
+        Rng rng(13);
+        const int64_t m = 33, n = 130, k = 277;
+        Tensor a({m, k}), w({n, k}), bias({n});
+        rng.fillNormal(a);
+        rng.fillNormal(w);
+        rng.fillNormal(bias, 0.5);
+        const PackedTensor pw = PackedTensor::pack(w, q);
+
+        Tensor c0({m, n}), c1({m, n});
+        gemmQuantized(a, false, pw, true, c0);
+        gemm(a, false, pw.unpack(), true, c1);
+        for (int64_t i = 0; i < c0.numel(); ++i) {
+            if (bits_from_float(c0.at(i)) != bits_from_float(c1.at(i))) {
+                std::fprintf(stderr,
+                             "smoke: gemmQuantized mismatch at %lld\n",
+                             static_cast<long long>(i));
+                ++failures;
+                break;
+            }
+        }
+
+        GemmEpilogue fused, unfused;
+        for (GemmEpilogue *e : {&fused, &unfused})
+            e->bias(bias.data()).quant(&carrier).quant(&q).gelu().quant(
+                &carrier);
+        Tensor c2({m, n}), c3({m, n});
+        gemmQuantized(a, false, pw, true, c2, 1.0f, 0.0f, &fused);
+        gemmQuantizedReference(a, false, pw, true, c3, 1.0f, 0.0f,
+                               &unfused);
+        for (int64_t i = 0; i < c2.numel(); ++i) {
+            if (bits_from_float(c2.at(i)) != bits_from_float(c3.at(i))) {
+                std::fprintf(stderr,
+                             "smoke: fused epilogue mismatch at %lld\n",
+                             static_cast<long long>(i));
+                ++failures;
+                break;
+            }
+        }
+    }
+
     if (failures == 0)
         std::printf("bench_kernels --smoke: OK\n");
     return failures == 0 ? 0 : 1;
+}
+
+/// Time one GEMM variant: average seconds per call over enough
+/// iterations to cover ~0.2 s (2 warmup calls first).
+template <typename Fn>
+double
+timeGemm(Fn &&fn)
+{
+    fn();
+    fn();
+    int iters = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++iters;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    } while (elapsed < 0.2 && iters < 1000);
+    return elapsed / iters;
+}
+
+/// --gemm-json[=path]: packed-vs-fp32 sweep over decode-shaped GEMV and
+/// prefill GEMM sizes, written as JSON (GFLOP/s, operand bytes moved,
+/// resident weight bytes, speedup).
+int
+gemmJsonMain(const std::string &path)
+{
+    const Quantizer q = Quantizer::byName("posit8");
+    struct Case {
+        int64_t m, d;
+    };
+    // m = 1 / 8: single-stream and batched decode GEMVs; m = 64:
+    // prefill-shaped. d covers the model ladder's hidden sizes.
+    const std::vector<Case> cases = {
+        {1, 256}, {1, 512}, {1, 1024}, {8, 512}, {64, 512}};
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"simd\": \"%s\",\n  \"sweep\": [\n",
+                 detail::packedSimdName());
+    std::printf("gemm sweep (simd=%s):\n", detail::packedSimdName());
+
+    for (size_t ci = 0; ci < cases.size(); ++ci) {
+        const int64_t m = cases[ci].m, n = cases[ci].d, k = cases[ci].d;
+        Rng rng(21);
+        Tensor a({m, k}), w({n, k}), c({m, n});
+        rng.fillNormal(a);
+        rng.fillNormal(w);
+        const PackedTensor pw = PackedTensor::pack(w, q);
+        // The fp32 baseline runs on the decoded (fake-quantized)
+        // weights — the tensor the packed codes replace.
+        const Tensor wf = pw.unpack();
+
+        const double s_fp32 =
+            timeGemm([&] { gemm(a, false, wf, true, c); });
+        const double s_packed =
+            timeGemm([&] { gemmQuantized(a, false, pw, true, c); });
+        const double flops = 2.0 * static_cast<double>(m * n * k);
+        const double g_fp32 = flops / s_fp32 / 1e9;
+        const double g_packed = flops / s_packed / 1e9;
+        // Operand traffic per call: activations + weights + output.
+        const double mb_fp32 =
+            4.0 * static_cast<double>(m * k + n * k + m * n);
+        const double mb_packed =
+            4.0 * static_cast<double>(m * k + m * n) +
+            static_cast<double>(n * k);
+
+        std::fprintf(
+            f,
+            "    {\"m\": %lld, \"n\": %lld, \"k\": %lld, "
+            "\"fp32_gflops\": %.3f, \"packed_gflops\": %.3f, "
+            "\"speedup\": %.3f, \"fp32_weight_bytes\": %zu, "
+            "\"packed_weight_bytes\": %zu, \"fp32_bytes_moved\": %.0f, "
+            "\"packed_bytes_moved\": %.0f}%s\n",
+            static_cast<long long>(m), static_cast<long long>(n),
+            static_cast<long long>(k), g_fp32, g_packed,
+            s_fp32 / s_packed, pw.fp32Bytes(), pw.packedBytes(), mb_fp32,
+            mb_packed, ci + 1 < cases.size() ? "," : "");
+        std::printf("  m=%-3lld d=%-5lld fp32 %8.3f GFLOP/s   packed "
+                    "%8.3f GFLOP/s   speedup %.2fx\n",
+                    static_cast<long long>(m), static_cast<long long>(n),
+                    g_fp32, g_packed, s_fp32 / s_packed);
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
 }
 
 } // namespace
@@ -281,8 +463,13 @@ int
 main(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--smoke")
+        const std::string arg(argv[i]);
+        if (arg == "--smoke")
             return qt8::smokeMain();
+        if (arg == "--gemm-json")
+            return qt8::gemmJsonMain("BENCH_gemm.json");
+        if (arg.rfind("--gemm-json=", 0) == 0)
+            return qt8::gemmJsonMain(arg.substr(12));
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -31,14 +31,36 @@ FeedForward::FeedForward(int64_t d_model, int64_t d_ff, BuildCtx &ctx,
 }
 
 Tensor
-FeedForward::forward(QuantSession &qs, const Tensor &x)
+FeedForward::forward(QuantSession &qs, const Tensor &x, const Tensor *skip)
 {
+    // Packed-weight fast path: the GeLU tail runs inside fc1's GEMM
+    // tiles and (when the residual is requested) the residual tail
+    // inside fc2's. Gated on fwd_tap because the fused epilogue has no
+    // pre-quantization tensor to hand to an observation hook.
+    if (!qs.fwd_tap && fc1.packedUsable(qs) && fc2.packedUsable(qs)) {
+        LinearFusedTail gelu_tail;
+        gelu_tail.activation_gelu = true;
+        const Tensor h = fc1.forwardPacked(qs, x, &gelu_tail);
+        if (skip == nullptr)
+            return fc2.forward(qs, h);
+        // Skip side of residualAdd, quantized up front; the branch side
+        // + addition + carrier fuse into fc2's epilogue.
+        Tensor a = *skip;
+        qs.quantFwd(OpClass::kResidual, a);
+        LinearFusedTail res_tail;
+        res_tail.residual = a.data();
+        return fc2.forwardPacked(qs, h, &res_tail);
+    }
+
     Tensor h = fc1.forward(qs, x);
     qs.quantFwd(OpClass::kActivation, h); // GeLU input quant point
     hq_ = h;
     geluInPlace(h);
     qs.carrier(h);
-    return fc2.forward(qs, h);
+    Tensor y = fc2.forward(qs, h);
+    if (skip != nullptr)
+        return residualAdd(qs, *skip, y);
+    return y;
 }
 
 Tensor
@@ -98,15 +120,12 @@ EncoderBlock::EncoderBlock(int64_t d_model, int n_heads, int64_t d_ff,
 }
 
 Tensor
-EncoderBlock::forward(QuantSession &qs, const Tensor &x, int64_t batch,
-                      int64_t seq, const uint8_t *key_pad_mask, bool causal)
+EncoderBlock::ffnStack(QuantSession &qs, Tensor cur)
 {
-    const Tensor a =
-        attn.forward(qs, x, batch, seq, nullptr, 0, key_pad_mask, causal);
-    Tensor cur = ln_attn.forward(qs, residualAdd(qs, x, a));
     for (size_t f = 0; f < ffns.size(); ++f) {
-        const Tensor h = ffns[f]->forward(qs, cur);
-        cur = residualAdd(qs, cur, h);
+        // Residual handled inside forward so the packed path can fuse
+        // it into fc2's GEMM epilogue.
+        cur = ffns[f]->forward(qs, cur, &cur);
         if (ffn_lns[f])
             cur = ffn_lns[f]->forward(qs, cur);
     }
@@ -114,18 +133,20 @@ EncoderBlock::forward(QuantSession &qs, const Tensor &x, int64_t batch,
 }
 
 Tensor
+EncoderBlock::forward(QuantSession &qs, const Tensor &x, int64_t batch,
+                      int64_t seq, const uint8_t *key_pad_mask, bool causal)
+{
+    const Tensor a =
+        attn.forward(qs, x, batch, seq, nullptr, 0, key_pad_mask, causal);
+    return ffnStack(qs, ln_attn.forward(qs, residualAdd(qs, x, a)));
+}
+
+Tensor
 EncoderBlock::forwardIncremental(QuantSession &qs, const Tensor &x,
                                  int64_t batch, KVCache &self_kv)
 {
     const Tensor a = attn.forwardIncremental(qs, x, batch, self_kv);
-    Tensor cur = ln_attn.forward(qs, residualAdd(qs, x, a));
-    for (size_t f = 0; f < ffns.size(); ++f) {
-        const Tensor h = ffns[f]->forward(qs, cur);
-        cur = residualAdd(qs, cur, h);
-        if (ffn_lns[f])
-            cur = ffn_lns[f]->forward(qs, cur);
-    }
-    return cur;
+    return ffnStack(qs, ln_attn.forward(qs, residualAdd(qs, x, a)));
 }
 
 Tensor
@@ -135,14 +156,7 @@ EncoderBlock::forwardIncrementalSlots(QuantSession &qs, const Tensor &x,
 {
     const Tensor a =
         attn.forwardIncrementalSlots(qs, x, slots, self_kv, /*self=*/true);
-    Tensor cur = ln_attn.forward(qs, residualAdd(qs, x, a));
-    for (size_t f = 0; f < ffns.size(); ++f) {
-        const Tensor h = ffns[f]->forward(qs, cur);
-        cur = residualAdd(qs, cur, h);
-        if (ffn_lns[f])
-            cur = ffn_lns[f]->forward(qs, cur);
-    }
-    return cur;
+    return ffnStack(qs, ln_attn.forward(qs, residualAdd(qs, x, a)));
 }
 
 Tensor
@@ -233,8 +247,7 @@ DecoderBlock::forward(QuantSession &qs, const Tensor &x, int64_t batch,
                                         seq_src, mem_pad_mask, false);
     cur = ln_cross.forward(qs, residualAdd(qs, cur, c));
 
-    const Tensor h = ffn.forward(qs, cur);
-    cur = ln_ffn.forward(qs, residualAdd(qs, cur, h));
+    cur = ln_ffn.forward(qs, ffn.forward(qs, cur, &cur));
     return cur;
 }
 
@@ -252,8 +265,7 @@ DecoderBlock::forwardIncremental(QuantSession &qs, const Tensor &x,
         qs, cur, batch, cross_kv, &memory, seq_src, mem_pad_mask);
     cur = ln_cross.forward(qs, residualAdd(qs, cur, c));
 
-    const Tensor h = ffn.forward(qs, cur);
-    cur = ln_ffn.forward(qs, residualAdd(qs, cur, h));
+    cur = ln_ffn.forward(qs, ffn.forward(qs, cur, &cur));
     return cur;
 }
 
@@ -272,8 +284,7 @@ DecoderBlock::forwardIncrementalSlots(QuantSession &qs, const Tensor &x,
         qs, cur, slots, cross_kv, /*self=*/false, mem_pad_masks);
     cur = ln_cross.forward(qs, residualAdd(qs, cur, c));
 
-    const Tensor h = ffn.forward(qs, cur);
-    cur = ln_ffn.forward(qs, residualAdd(qs, cur, h));
+    cur = ln_ffn.forward(qs, ffn.forward(qs, cur, &cur));
     return cur;
 }
 

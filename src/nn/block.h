@@ -36,7 +36,17 @@ class FeedForward
     FeedForward(int64_t d_model, int64_t d_ff, BuildCtx &ctx,
                 const std::string &name);
 
-    Tensor forward(QuantSession &qs, const Tensor &x);
+    /**
+     * Forward; when @p skip is non-null the residual addition
+     * (residualAdd(qs, *skip, ffn_out)) is performed here too, so that
+     * the packed-weight path can fuse the GeLU tail into fc1's GEMM and
+     * the residual tail into fc2's GEMM. Bit-identical to calling
+     * forward without @p skip followed by residualAdd. Fusion engages
+     * only when both Linears are packedUsable and no fwd_tap is
+     * installed (taps must observe the pre-quantization tensors).
+     */
+    Tensor forward(QuantSession &qs, const Tensor &x,
+                   const Tensor *skip = nullptr);
     Tensor backward(QuantSession &qs, const Tensor &gy);
     void collectParams(ParamList &out);
     void enableLora(int rank, float alpha, Rng &rng);
@@ -87,6 +97,10 @@ class EncoderBlock
     std::vector<std::unique_ptr<LayerNorm>> ffn_lns;
 
   private:
+    /// The stacked-FFN tail shared by all three forward variants:
+    /// n_ffn x (FFN + residual [+ LayerNorm]) applied to @p cur.
+    Tensor ffnStack(QuantSession &qs, Tensor cur);
+
     bool ln_inner_;
     int slot_res_attn_;
     std::vector<int> slot_res_ffn_;

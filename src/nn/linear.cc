@@ -1,8 +1,11 @@
 #include "nn/linear.h"
 
+#include <array>
 #include <cmath>
+#include <stdexcept>
 
 #include "tensor/ops.h"
+#include "util/trace.h"
 
 namespace qt8 {
 
@@ -85,9 +88,104 @@ Linear::effectiveWeight(QuantSession &qs)
     return w0q;
 }
 
+bool
+Linear::packedUsable(const QuantSession &qs) const
+{
+    const QuantConfig &cfg = qs.config();
+    return cfg.weights_packed && cfg.quant_gemm && !cfg.fwd.isIdentity() &&
+           !cfg.int8_per_channel_weights && PackedTensor::packable(cfg.fwd) &&
+           !loraEnabled() && !(is_head_ && cfg.fuse_head);
+}
+
+void
+Linear::ensurePacked(const Quantizer &q)
+{
+    if (!packed_.empty() && packed_.format() == q.name())
+        return;
+    if (trace::collecting()) {
+        // The unfused path re-quantizes the weight each forward and
+        // accumulates its health; in packed mode the quantization
+        // happens once here, so the "weight" point is recorded once
+        // per (re)pack instead of once per forward.
+        Tensor wq = weight.value;
+        QuantHealth h;
+        q.quantizeInPlace(wq.data(), static_cast<size_t>(wq.numel()), h);
+        trace::healthAccumulate("weight", h);
+    }
+    packed_ = PackedTensor::pack(weight.value, q);
+}
+
+Tensor
+Linear::forwardPacked(QuantSession &qs, const Tensor &x,
+                      const LinearFusedTail *tail)
+{
+    const QuantConfig &cfg = qs.config();
+    ensurePacked(cfg.fwd);
+
+    // Input path identical to the unfused forward (tap + quantize).
+    Tensor xq = x;
+    qs.quantFwd(OpClass::kGemm, xq);
+
+    // Epilogue mirrors the separate passes stage for stage. At most 3
+    // quant stages: Linear's carrier, the tail's op-class point, the
+    // tail's trailing carrier.
+    GemmEpilogue epi;
+    std::array<QuantHealth, 3> healths{};
+    std::array<const char *, 3> points{};
+    size_t nh = 0;
+    const bool track = trace::collecting();
+    auto quantStage = [&](const Quantizer &q, const char *point) {
+        if (q.isIdentity())
+            return;
+        if (track) {
+            points[nh] = point;
+            epi.quant(&q, &healths[nh]);
+            ++nh;
+        } else {
+            epi.quant(&q);
+        }
+    };
+
+    epi.bias(bias.value.data());
+    quantStage(cfg.carrier, "carrier");
+    if (tail != nullptr && tail->activation_gelu) {
+        // quantFwd(kActivation) + geluInPlace + carrier.
+        if (cfg.activeFwd(OpClass::kActivation))
+            quantStage(cfg.fwd, "fwd/activation");
+        else
+            quantStage(cfg.carrier, "carrier");
+        epi.gelu();
+        quantStage(cfg.carrier, "carrier");
+    } else if (tail != nullptr && tail->residual != nullptr) {
+        // Branch side of residualAdd: quantFwd(kResidual) + add against
+        // the pre-quantized skip + carrier (IEEE addition commutes, so
+        // branch + skip lands on the same bits as skip + branch).
+        if (cfg.activeFwd(OpClass::kResidual))
+            quantStage(cfg.fwd, "fwd/residual");
+        else
+            quantStage(cfg.carrier, "carrier");
+        epi.residual(tail->residual);
+        quantStage(cfg.carrier, "carrier");
+    }
+
+    Tensor y({xq.dim(0), out_});
+    gemmQuantized(xq, false, packed_, true, y, 1.0f, 0.0f, &epi);
+    for (size_t s = 0; s < nh; ++s)
+        trace::healthAccumulate(points[s], healths[s]);
+
+    // Inference-only: no activation cache for backward.
+    xq_ = Tensor();
+    wq_ = Tensor();
+    packed_fwd_ = true;
+    return y;
+}
+
 Tensor
 Linear::forward(QuantSession &qs, const Tensor &x)
 {
+    if (packedUsable(qs))
+        return forwardPacked(qs, x);
+    packed_fwd_ = false;
     const bool head_fused = is_head_ && qs.config().fuse_head;
     xq_ = x;
     if (head_fused) {
@@ -108,6 +206,10 @@ Linear::forward(QuantSession &qs, const Tensor &x)
 Tensor
 Linear::backward(QuantSession &qs, const Tensor &gy)
 {
+    if (packed_fwd_)
+        throw std::logic_error(
+            "Linear::backward: the weights_packed forward path is "
+            "inference-only (no activation cache)");
     const bool head_fused = is_head_ && qs.config().fuse_head;
     Tensor gyq = gy;
     if (head_fused)

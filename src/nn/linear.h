@@ -15,10 +15,28 @@
 
 #include "nn/param.h"
 #include "quant/config.h"
+#include "tensor/packed.h"
 #include "tensor/random.h"
 #include "tensor/tensor.h"
 
 namespace qt8 {
+
+/**
+ * Element-wise consumer fused into a packed Linear's GEMM epilogue
+ * (QuantConfig::weights_packed mode). At most one of the two options:
+ *
+ *  - activation_gelu: the FFN fc1 tail — activation-point quantization,
+ *    GeLU, carrier — runs inside the GEMM's output tiles.
+ *  - residual: the FFN fc2 tail — branch-side residual-point
+ *    quantization, the residual addition against @p residual, carrier.
+ *    @p residual is the skip operand [m, out], *already quantized at
+ *    the residual point* by the caller, and must outlive the call.
+ */
+struct LinearFusedTail
+{
+    bool activation_gelu = false;
+    const float *residual = nullptr;
+};
 
 /// y = x . W^T + b, with explicit backward.
 class Linear
@@ -41,7 +59,31 @@ class Linear
     void enableLora(int rank, float alpha, Rng &rng);
 
     /// Forward: x is [m, in]; returns [m, out]. Caches activations.
+    /// Routes to the packed 8-bit path when packedUsable().
     Tensor forward(QuantSession &qs, const Tensor &x);
+
+    /**
+     * True when this forward can run on packed 8-bit weight codes:
+     * QuantConfig::weights_packed is set, the forward format is a
+     * packable (<=256-value) grid, GEMM quantization is on, and the
+     * layer is neither LoRA-merged nor a fused head (both re-derive the
+     * effective weight per forward in fp32).
+     */
+    bool packedUsable(const QuantSession &qs) const;
+
+    /**
+     * Inference forward over packed weight codes via gemmQuantized,
+     * with bias + carrier (and optionally @p tail) fused into the GEMM
+     * epilogue. Bit-identical to forward() followed by the tail's
+     * separate passes. Does not cache activations: a subsequent
+     * backward() throws std::logic_error.
+     */
+    Tensor forwardPacked(QuantSession &qs, const Tensor &x,
+                         const LinearFusedTail *tail = nullptr);
+
+    /// Drop the packed weight cache (call after mutating weight.value,
+    /// e.g. an optimizer step, before the next packed forward).
+    void invalidatePacked() { packed_ = PackedTensor(); }
 
     /// Backward: gy is [m, out]; accumulates parameter gradients and
     /// returns dL/dx [m, in].
@@ -67,6 +109,9 @@ class Linear
     /// Effective (quantized) weight for this forward pass.
     Tensor effectiveWeight(QuantSession &qs);
 
+    /// (Re)build the packed code cache for format @p q if stale.
+    void ensurePacked(const Quantizer &q);
+
     int64_t in_;
     int64_t out_;
     int slot_;
@@ -78,6 +123,11 @@ class Linear
     Tensor xq_;      ///< Quantized input.
     Tensor wq_;      ///< Quantized effective weight.
     Tensor aq_, bq_; ///< Quantized LoRA factors (LoRA mode).
+    bool packed_fwd_ = false; ///< Last forward ran the packed path.
+
+    // Packed 8-bit weight codes, cached across forwards (weights are
+    // static at inference; invalidatePacked() after mutating them).
+    PackedTensor packed_;
 };
 
 } // namespace qt8

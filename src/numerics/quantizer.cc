@@ -276,6 +276,26 @@ Quantizer::quantize(float x) const
     return values_[static_cast<size_t>(it - tb)];
 }
 
+uint16_t
+Quantizer::gridIndex(float x) const
+{
+    if (kind_ != Kind::kGrid)
+        throw std::invalid_argument(
+            "gridIndex: not a grid quantizer: " + name_);
+    if (std::isnan(x))
+        throw std::invalid_argument("gridIndex: NaN has no grid code");
+    // Same LUT walk as quantize(), returning the index instead of the
+    // value (quantize() == values_[gridIndex()] by construction).
+    const uint32_t b = bits_from_float(x) >> 16;
+    const uint32_t lo = lut_lo_[b];
+    const uint32_t hi = lut_hi_[b];
+    if (lo == hi)
+        return static_cast<uint16_t>(lo);
+    const float *tb = thresholds_.data();
+    const float *it = std::lower_bound(tb + lo, tb + hi, x);
+    return static_cast<uint16_t>(it - tb);
+}
+
 float
 Quantizer::quantizeBySearch(float x) const
 {

@@ -127,6 +127,16 @@ class Quantizer
      */
     float quantizeBySearch(float x) const;
 
+    /**
+     * Grid formats only: the index into gridValues() that quantize(x)
+     * selects, i.e. gridValues()[gridIndex(x)] == quantize(x) bit for
+     * bit for every non-NaN float. This is the 8-bit *code* a packed
+     * tensor stores; PackedTensor decodes it back through the
+     * gridValues() table. Throws std::invalid_argument for NaN inputs
+     * (no grid code represents NaN) and for non-grid quantizers.
+     */
+    uint16_t gridIndex(float x) const;
+
     /// Round a buffer in place (for int8: dynamic per-tensor scale).
     void quantizeInPlace(float *p, size_t n) const;
 

@@ -99,6 +99,14 @@ struct QuantConfig
     /// "--op_fusion classifier/qa_outputs" stability option).
     bool fuse_head = false;
 
+    /// Store Linear weights as true packed 8-bit codes and run GEMMs
+    /// through the fused gemmQuantized kernel (inference-only; requires
+    /// a packable grid forward format — posit8 variants, E4M3, E5M2).
+    /// Bit-identical outputs to the fake-quantized fp32 path; ~4x
+    /// smaller resident weight bytes. Layers the packed path cannot
+    /// serve (LoRA, fused heads, int8) fall back transparently.
+    bool weights_packed = false;
+
     std::string name = "fp32";
 
     // --- Presets -----------------------------------------------------

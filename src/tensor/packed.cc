@@ -1,0 +1,333 @@
+#include "tensor/packed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+#include "tensor/packed_simd.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
+namespace qt8 {
+
+PackedTensor
+PackedTensor::pack(const Tensor &t, const Quantizer &q, float scale)
+{
+    if (!packable(q))
+        throw std::invalid_argument(
+            "PackedTensor: format not packable (need a <=256-value "
+            "grid): " + q.name());
+    if (t.rank() != 2)
+        throw std::invalid_argument("PackedTensor: rank-2 tensors only");
+
+    PackedTensor p;
+    p.shape_ = t.shape();
+    p.format_ = q.name();
+    p.scale_ = scale;
+
+    // Decode table with the 1/scale fold. The float multiply matches
+    // TensorScaler's `quantize(x*s) * (float)(1/s)` rounding; scale==1
+    // makes both multiplies exact identities.
+    const std::vector<float> &vals = q.gridValues();
+    const float inv = static_cast<float>(1.0 / static_cast<double>(scale));
+    p.table_.assign(256, 0.0);
+    for (size_t i = 0; i < vals.size(); ++i)
+        p.table_[i] = static_cast<double>(vals[i] * inv);
+
+    const int64_t numel = t.numel();
+    p.codes_.resize(static_cast<size_t>(numel));
+    const float *src = t.data();
+    for (int64_t i = 0; i < numel; ++i) {
+        const float x = src[i];
+        if (std::isnan(x))
+            throw std::invalid_argument(
+                "PackedTensor: NaN element has no grid code");
+        p.codes_[static_cast<size_t>(i)] =
+            static_cast<uint8_t>(q.gridIndex(x * scale));
+    }
+    return p;
+}
+
+Tensor
+PackedTensor::unpack() const
+{
+    Tensor out(shape_);
+    float *dst = out.data();
+    for (int64_t i = 0; i < out.numel(); ++i)
+        dst[i] = static_cast<float>(table_[codes_[static_cast<size_t>(i)]]);
+    return out;
+}
+
+namespace {
+
+/// Output tile: 64 rows x 8 columns (8 = the SIMD accumulator width).
+constexpr int64_t kPackedMBlock = 64;
+constexpr int64_t kPackedNR = 8;
+/// k-chunk of the decoded panel: 256 x 8 doubles = 16 KB, L1-resident,
+/// shared by every row of the tile before the next chunk is decoded.
+constexpr int64_t kPackedKChunk = 256;
+/// Same parallelism work threshold as the fp32 blocked GEMM.
+constexpr int64_t kPackedParallelFlops = 16384;
+
+/// Scalar fallback for the column-interleaved dot (same loop the SIMD
+/// kernel vectorizes; products are exact in double either way).
+void
+dotChunk8Portable(const float *a, const double *w, int64_t kc, double *acc)
+{
+    for (int64_t t = 0; t < kc; ++t) {
+        const double av = static_cast<double>(a[t]);
+        for (int jj = 0; jj < kPackedNR; ++jj)
+            acc[jj] += av * w[t * kPackedNR + jj];
+    }
+}
+
+using DotFn = void (*)(const float *, const double *, int64_t, double *);
+
+DotFn
+pickDotKernel()
+{
+    return detail::packedSimdAvailable() ? detail::dotChunk8Simd
+                                         : dotChunk8Portable;
+}
+
+/**
+ * Apply the epilogue stages to one output element. @p local holds one
+ * QuantHealth per stage (per-thread; merged by the caller) so the
+ * health counters match the health-aware quantizeInPlace overload
+ * element for element.
+ */
+inline float
+applyEpilogue(const GemmEpilogue &epi, QuantHealth *local, float y,
+              int64_t i, int64_t j, int64_t n)
+{
+    for (size_t s = 0; s < epi.stages.size(); ++s) {
+        const GemmEpilogue::Stage &st = epi.stages[s];
+        switch (st.kind) {
+          case GemmEpilogue::Stage::Kind::kBias:
+            y += st.data[j];
+            break;
+          case GemmEpilogue::Stage::Kind::kGelu:
+            y = geluScalar(y);
+            break;
+          case GemmEpilogue::Stage::Kind::kResidual:
+            y += st.data[i * n + j];
+            break;
+          case GemmEpilogue::Stage::Kind::kQuant: {
+            const float q = st.quant->quantize(y);
+            if (st.health != nullptr) {
+                QuantHealth &h = local[s];
+                ++h.count;
+                if (std::isfinite(y)) {
+                    const double a = std::fabs(static_cast<double>(y));
+                    if (a > h.amax)
+                        h.amax = a;
+                    if (a > st.quant->maxRepresentable())
+                        ++h.saturated;
+                    if (y != 0.0f && q == 0.0f)
+                        ++h.underflow;
+                    h.abs_err_sum += std::fabs(
+                        static_cast<double>(y) - static_cast<double>(q));
+                } else {
+                    ++h.nonfinite;
+                }
+            }
+            y = q;
+            break;
+          }
+        }
+    }
+    return y;
+}
+
+void
+checkQuantizedShapes(const Tensor &a, bool trans_a, const PackedTensor &w,
+                     bool trans_w, const Tensor &c, int64_t &m, int64_t &n,
+                     int64_t &k)
+{
+    if (a.rank() != 2 || c.rank() != 2 || w.shape().size() != 2)
+        throw std::invalid_argument("gemmQuantized: rank-2 operands only");
+    m = trans_a ? a.dim(1) : a.dim(0);
+    k = trans_a ? a.dim(0) : a.dim(1);
+    const int64_t wk = trans_w ? w.dim(1) : w.dim(0);
+    n = trans_w ? w.dim(0) : w.dim(1);
+    if (k != wk || c.dim(0) != m || c.dim(1) != n)
+        throw std::invalid_argument("gemmQuantized: shape mismatch");
+}
+
+} // namespace
+
+void
+gemmQuantized(const Tensor &a, bool trans_a, const PackedTensor &w,
+              bool trans_w, Tensor &c, float alpha, float beta,
+              const GemmEpilogue *epi)
+{
+    QT8_TRACE_SCOPE("gemm_quantized");
+    int64_t m, n, k;
+    checkQuantizedShapes(a, trans_a, w, trans_w, c, m, n, k);
+
+    static const DotFn dot = pickDotKernel();
+
+    const float *pa = a.data();
+    float *pc = c.data();
+    const uint8_t *codes = w.codes();
+    const double *table = w.table();
+    const int64_t lda = a.dim(1);
+    const int64_t ldw = w.dim(1); // code-row stride
+
+    const int64_t tiles_m = (m + kPackedMBlock - 1) / kPackedMBlock;
+    const int64_t strips_n = (n + kPackedNR - 1) / kPackedNR;
+    const int64_t tiles = tiles_m * strips_n;
+    const bool par =
+        m * n * k > kPackedParallelFlops && kernelThreads() > 1;
+    const size_t n_stages = epi != nullptr ? epi->stages.size() : 0;
+
+#pragma omp parallel if (par)
+    {
+        // Per-thread scratch: the op(A) pack for trans_a (full-k rows,
+        // as in the fp32 blocked GEMM), the decoded [kc x 8] weight
+        // panel, the per-row accumulators, and per-stage health
+        // partials (merged once at the end).
+        std::vector<float> a_pack;
+        std::vector<double> wdec(
+            static_cast<size_t>(kPackedKChunk * kPackedNR));
+        std::vector<double> acc(
+            static_cast<size_t>(kPackedMBlock * kPackedNR));
+        std::vector<QuantHealth> local(n_stages);
+
+#pragma omp for schedule(static)
+        for (int64_t tile = 0; tile < tiles; ++tile) {
+            const int64_t i0 = (tile / strips_n) * kPackedMBlock;
+            const int64_t j0 = (tile % strips_n) * kPackedNR;
+            const int64_t i1 = std::min(m, i0 + kPackedMBlock);
+            const int64_t bm = i1 - i0;
+            const int64_t bn = std::min(n - j0, kPackedNR);
+
+            if (trans_a) {
+                // op(A) row i is column i of A: stride-lda gather.
+                a_pack.resize(static_cast<size_t>(bm) * k);
+                for (int64_t t = 0; t < k; ++t) {
+                    const float *src = pa + t * lda + i0;
+                    for (int64_t ii = 0; ii < bm; ++ii)
+                        a_pack[static_cast<size_t>(ii) * k + t] = src[ii];
+                }
+            }
+
+            std::fill(acc.begin(),
+                      acc.begin() + static_cast<size_t>(bm) * kPackedNR,
+                      0.0);
+
+            for (int64_t k0 = 0; k0 < k; k0 += kPackedKChunk) {
+                const int64_t kc = std::min(kPackedKChunk, k - k0);
+                // Decode the code panel through the 256-entry table
+                // into column-interleaved doubles; lanes beyond bn are
+                // zero so their (discarded) accumulators stay inert.
+                if (bn < kPackedNR)
+                    std::fill(wdec.begin(),
+                              wdec.begin() +
+                                  static_cast<size_t>(kc) * kPackedNR,
+                              0.0);
+                if (trans_w) {
+                    // op(W) column j is code row j: contiguous k run.
+                    for (int64_t jj = 0; jj < bn; ++jj) {
+                        const uint8_t *row = codes + (j0 + jj) * ldw + k0;
+                        for (int64_t t = 0; t < kc; ++t)
+                            wdec[static_cast<size_t>(t * kPackedNR + jj)] =
+                                table[row[t]];
+                    }
+                } else {
+                    // op(W) column j is code column j: stride-ldw walk.
+                    for (int64_t t = 0; t < kc; ++t) {
+                        const uint8_t *row = codes + (k0 + t) * ldw + j0;
+                        for (int64_t jj = 0; jj < bn; ++jj)
+                            wdec[static_cast<size_t>(t * kPackedNR + jj)] =
+                                table[row[jj]];
+                    }
+                }
+
+                for (int64_t ii = 0; ii < bm; ++ii) {
+                    const float *ra = trans_a
+                        ? a_pack.data() + ii * k + k0
+                        : pa + (i0 + ii) * lda + k0;
+                    dot(ra, wdec.data(), kc,
+                        acc.data() + ii * kPackedNR);
+                }
+            }
+
+            // alpha/beta + fused epilogue on the hot output tile; the
+            // final rounding matches gemm() exactly (double alpha*acc
+            // + beta*prev, one cast to float).
+            for (int64_t ii = 0; ii < bm; ++ii) {
+                float *rc = pc + (i0 + ii) * n;
+                for (int64_t jj = 0; jj < bn; ++jj) {
+                    const int64_t j = j0 + jj;
+                    const double av =
+                        acc[static_cast<size_t>(ii * kPackedNR + jj)];
+                    const double prev = beta == 0.0f
+                        ? 0.0
+                        : static_cast<double>(beta) * rc[j];
+                    float y = static_cast<float>(
+                        static_cast<double>(alpha) * av + prev);
+                    if (epi != nullptr)
+                        y = applyEpilogue(*epi, local.data(), y, i0 + ii,
+                                          j, n);
+                    rc[j] = y;
+                }
+            }
+        }
+
+        if (n_stages > 0) {
+#pragma omp critical(qt8_gemm_quantized_health)
+            for (size_t s = 0; s < n_stages; ++s) {
+                if (epi->stages[s].health != nullptr)
+                    epi->stages[s].health->merge(local[s]);
+            }
+        }
+    }
+}
+
+void
+gemmQuantizedReference(const Tensor &a, bool trans_a, const PackedTensor &w,
+                       bool trans_w, Tensor &c, float alpha, float beta,
+                       const GemmEpilogue *epi)
+{
+    const Tensor wf = w.unpack();
+    gemmReference(a, trans_a, wf, trans_w, c, alpha, beta);
+    if (epi == nullptr)
+        return;
+
+    // Unfused semantics: each stage is a separate full-tensor pass
+    // (addRowBias / geluInPlace / addInPlace / quantizeInPlace), which
+    // is what the fused kernel must reproduce bit for bit.
+    const int64_t m = c.dim(0);
+    const int64_t n = c.dim(1);
+    float *pc = c.data();
+    for (const GemmEpilogue::Stage &st : epi->stages) {
+        switch (st.kind) {
+          case GemmEpilogue::Stage::Kind::kBias:
+            for (int64_t i = 0; i < m; ++i)
+                for (int64_t j = 0; j < n; ++j)
+                    pc[i * n + j] += st.data[j];
+            break;
+          case GemmEpilogue::Stage::Kind::kGelu:
+            for (int64_t i = 0; i < m * n; ++i)
+                pc[i] = geluScalar(pc[i]);
+            break;
+          case GemmEpilogue::Stage::Kind::kResidual:
+            for (int64_t i = 0; i < m * n; ++i)
+                pc[i] += st.data[i];
+            break;
+          case GemmEpilogue::Stage::Kind::kQuant:
+            if (st.health != nullptr) {
+                st.quant->quantizeInPlace(
+                    pc, static_cast<size_t>(m * n), *st.health);
+            } else {
+                st.quant->quantizeInPlace(pc,
+                                          static_cast<size_t>(m * n));
+            }
+            break;
+        }
+    }
+}
+
+} // namespace qt8

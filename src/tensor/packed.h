@@ -1,0 +1,187 @@
+/**
+ * @file
+ * True 8-bit packed weight storage and the fused quantized GEMM.
+ *
+ * Every earlier layer of this codebase *fake*-quantizes: tensors are
+ * rounded onto an 8-bit format's value grid but stay resident as fp32,
+ * so the paper's formats buy accuracy results and zero speed or memory.
+ * PackedTensor makes the codes real: a tensor whose values live on a
+ * grid format's value grid is stored as one uint8 *code* per element
+ * (the index into Quantizer::gridValues(), i.e. the same 256-entry
+ * decode table the paper's hardware uses, section 4) plus a per-tensor
+ * power-of-two scale — 1 byte/element instead of 4.
+ *
+ * gemmQuantized() consumes the codes directly: the tile micro-kernel
+ * decodes a [kc x 8] panel through the code table right before the FMA
+ * loop (AVX2 / NEON behind a portable fallback, see packed_simd.h) and
+ * applies the consumer's element-wise epilogue — bias add, GeLU,
+ * residual add, quantize-back — on the output tile while it is hot,
+ * instead of as separate full-tensor passes. This is the paper's
+ * "operation fusion" (section 4.2) turned into a speed feature.
+ *
+ * Numerics contract: gemmQuantized is **bit-identical** to
+ * decode-to-fp32 followed by gemm()/gemmReference() plus the separate
+ * epilogue passes. Each output element is accumulated in double in
+ * ascending-k order (float*float products are exact in double, so FMA
+ * contraction cannot change a bit), the SIMD width spans *output
+ * columns* rather than the k dimension, and every epilogue stage
+ * replicates the element-wise math of the pass it replaces.
+ */
+#ifndef QT8_TENSOR_PACKED_H
+#define QT8_TENSOR_PACKED_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numerics/quantizer.h"
+#include "tensor/tensor.h"
+
+namespace qt8 {
+
+/**
+ * Contiguous row-major uint8 codes + per-tensor scale for a rank-2
+ * tensor quantized onto a <=256-value grid format.
+ *
+ * Packing quantizes x*scale onto the grid and stores the grid index;
+ * decoding returns gridValues()[code] * (1/scale) with the same float
+ * rounding TensorScaler uses, folded into the decode table so the
+ * kernel pays nothing for it. With scale == 1 (the weight path —
+ * QuantSession::quantWeight applies no per-tensor scale) the decoded
+ * value is bit-identical to Quantizer::quantize of the original.
+ */
+class PackedTensor
+{
+  public:
+    PackedTensor() = default;
+
+    /// True when @p q's grid fits 8-bit codes (grid format with at most
+    /// 256 representable values: posit(8,*), E4M3, E5M2, ...).
+    static bool packable(const Quantizer &q)
+    {
+        return !q.gridValues().empty() && q.gridValues().size() <= 256;
+    }
+
+    /**
+     * Quantize @p t (element-wise, times @p scale) onto @p q's grid and
+     * pack the codes. Throws std::invalid_argument for non-packable
+     * quantizers, non-rank-2 tensors, and NaN elements (no grid code
+     * represents NaN).
+     */
+    static PackedTensor pack(const Tensor &t, const Quantizer &q,
+                             float scale = 1.0f);
+
+    /// Decode every code back to fp32 (the reference the fused kernel
+    /// is tested against). Bit-identical to quantize-then-scale of the
+    /// original tensor.
+    Tensor unpack() const;
+
+    bool empty() const { return codes_.empty(); }
+    const std::vector<int64_t> &shape() const { return shape_; }
+    int64_t dim(int i) const { return shape_[static_cast<size_t>(i)]; }
+    int64_t numel() const { return static_cast<int64_t>(codes_.size()); }
+
+    const uint8_t *codes() const { return codes_.data(); }
+    /// 256-entry decode table: table()[code] is the decoded value with
+    /// the 1/scale fold applied (exact doubles of float values).
+    const double *table() const { return table_.data(); }
+
+    float scale() const { return scale_; }
+    const std::string &format() const { return format_; }
+
+    /// Resident bytes of the packed representation (codes; the decode
+    /// table is 2 KB per tensor). 4x smaller than the fp32 panel it
+    /// replaces.
+    size_t packedBytes() const { return codes_.size(); }
+    /// Bytes of the fp32 tensor this packs (the GEMM's former operand).
+    size_t fp32Bytes() const { return codes_.size() * sizeof(float); }
+
+  private:
+    std::vector<int64_t> shape_; ///< Rank 2 (rows, cols).
+    std::vector<uint8_t> codes_;
+    std::vector<double> table_; ///< 256 entries, zero-padded.
+    float scale_ = 1.0f;
+    std::string format_;
+};
+
+/**
+ * Element-wise epilogue fused into gemmQuantized's output tiles,
+ * applied in stage order to each output element after alpha/beta:
+ *
+ *  - kBias:     y += data[j]               (addRowBias)
+ *  - kGelu:     y = geluScalar(y)          (geluInPlace)
+ *  - kResidual: y += data[i * n + j]       (residualAdd's addInPlace;
+ *               the operand must already be residual-point quantized)
+ *  - kQuant:    y = quant->quantize(y), accumulating the same
+ *               per-element QuantHealth counters as the health-aware
+ *               Quantizer::quantizeInPlace overload into *health when
+ *               non-null (per-thread partials, merged once at the end;
+ *               counts are exact, double sums may differ from the
+ *               serial pass in the last ulp).
+ *
+ * Stage data is borrowed; it must outlive the gemmQuantized call.
+ */
+struct GemmEpilogue
+{
+    struct Stage
+    {
+        enum class Kind { kBias, kGelu, kResidual, kQuant };
+        Kind kind;
+        const float *data = nullptr;      ///< kBias [n] / kResidual [m,n].
+        const Quantizer *quant = nullptr; ///< kQuant.
+        QuantHealth *health = nullptr;    ///< kQuant, optional.
+    };
+
+    std::vector<Stage> stages;
+
+    GemmEpilogue &bias(const float *row)
+    {
+        stages.push_back({Stage::Kind::kBias, row, nullptr, nullptr});
+        return *this;
+    }
+    GemmEpilogue &gelu()
+    {
+        stages.push_back({Stage::Kind::kGelu, nullptr, nullptr, nullptr});
+        return *this;
+    }
+    GemmEpilogue &residual(const float *full)
+    {
+        stages.push_back({Stage::Kind::kResidual, full, nullptr, nullptr});
+        return *this;
+    }
+    GemmEpilogue &quant(const Quantizer *q, QuantHealth *health = nullptr)
+    {
+        stages.push_back({Stage::Kind::kQuant, nullptr, q, health});
+        return *this;
+    }
+};
+
+/**
+ * C = alpha * op(A) . op(W) + beta * C, then the fused epilogue.
+ * A is fp32 (m x k after optional transpose); W is packed 8-bit codes
+ * (k x n after optional transpose: trans_w=true takes W stored [n, k],
+ * the Linear weight layout). Accumulation is double in ascending-k
+ * order per output element — bit-identical to gemm()/gemmReference()
+ * over unpack(W), with the epilogue matching the separate passes bit
+ * for bit. Parallel over (64-row x 8-column) output tiles, so m=1
+ * decode GEMVs still spread over cores; the micro-kernel decodes each
+ * [kc x 8] code panel through the 256-entry table and runs the
+ * column-vectorized FMA loop (AVX2/NEON when available).
+ */
+void gemmQuantized(const Tensor &a, bool trans_a, const PackedTensor &w,
+                   bool trans_w, Tensor &c, float alpha = 1.0f,
+                   float beta = 0.0f, const GemmEpilogue *epi = nullptr);
+
+/**
+ * The unfused reference: unpack W to fp32, run gemmReference, then
+ * apply the epilogue stages as separate serial element-wise passes.
+ * Bit-identical to gemmQuantized (the equivalence tests' oracle).
+ */
+void gemmQuantizedReference(const Tensor &a, bool trans_a,
+                            const PackedTensor &w, bool trans_w, Tensor &c,
+                            float alpha = 1.0f, float beta = 0.0f,
+                            const GemmEpilogue *epi = nullptr);
+
+} // namespace qt8
+
+#endif // QT8_TENSOR_PACKED_H

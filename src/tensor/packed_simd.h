@@ -1,0 +1,43 @@
+/**
+ * @file
+ * SIMD micro-kernel behind gemmQuantized (internal). The one routine
+ * worth vectorizing without breaking bit-identity is the column-wide
+ * FMA: 8 output columns advance together through ascending k, each
+ * column's accumulator summed in exactly the scalar order. Products of
+ * two floats are exact in double, so hardware FMA (one rounding of an
+ * already-exact product) produces the same bits as mul-then-add.
+ *
+ * Compiled as its own translation unit so only this file gets -mavx2
+ * -mfma (x86) — the dispatcher checks __builtin_cpu_supports at
+ * runtime, keeping the library safe on older cores. On aarch64 the
+ * NEON path compiles under the default flags; anywhere else the
+ * portable fallback in packed.cc is used.
+ */
+#ifndef QT8_TENSOR_PACKED_SIMD_H
+#define QT8_TENSOR_PACKED_SIMD_H
+
+#include <cstdint>
+
+namespace qt8::detail {
+
+/// True when the SIMD dot kernel can run on this machine (checked once).
+bool packedSimdAvailable();
+
+/// "avx2", "neon", or "portable" — surfaced by the kernel benches.
+const char *packedSimdName();
+
+/**
+ * acc[jj] += sum over t in [0, kc) of a[t] * w[t*8 + jj], jj in 0..7.
+ * @p w is the decoded weight panel, 8 doubles per k step (column-
+ * interleaved); @p acc holds 8 running double accumulators. Ascending-k
+ * per lane: bit-identical to the scalar loop.
+ *
+ * Only call when packedSimdAvailable(); the portable build compiles a
+ * scalar body so the symbol always links.
+ */
+void dotChunk8Simd(const float *a, const double *w, int64_t kc,
+                   double *acc);
+
+} // namespace qt8::detail
+
+#endif // QT8_TENSOR_PACKED_SIMD_H

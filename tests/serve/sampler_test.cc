@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Regression pin for the sampleToken top-k hot path. The original
+ * implementation stable_sorted the entire candidate set per decoded
+ * token (O(V log V)); the fixed path selects with nth_element under the
+ * (logit desc, id asc) total order and sorts only the kept prefix.
+ * These tests replay both against each other: same candidates in the
+ * same order, hence the same inverse-CDF walk, hence bit-identical
+ * token streams from the same seed — tie-heavy distributions included.
+ */
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/sampler.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace qt8 {
+namespace {
+
+using serve::SamplingParams;
+
+/// The pre-fix implementation, kept verbatim as the behavioral oracle.
+int32_t
+sampleTokenStableSort(const Tensor &logits, int64_t row,
+                      const SamplingParams &params, Rng &rng)
+{
+    if (!(params.temperature > 0.0f))
+        return static_cast<int32_t>(rowArgmax(logits, row));
+
+    const int64_t vocab = logits.dim(1);
+    const float *p = logits.data() + row * vocab;
+
+    std::vector<int32_t> cand;
+    cand.reserve(static_cast<size_t>(vocab));
+    for (int64_t j = 0; j < vocab; ++j) {
+        if (std::isfinite(p[j]))
+            cand.push_back(static_cast<int32_t>(j));
+    }
+    if (cand.empty())
+        return static_cast<int32_t>(rowArgmax(logits, row));
+    if (params.top_k > 0 &&
+        static_cast<size_t>(params.top_k) < cand.size()) {
+        std::stable_sort(cand.begin(), cand.end(),
+                         [p](int32_t a, int32_t b) { return p[a] > p[b]; });
+        cand.resize(static_cast<size_t>(params.top_k));
+    }
+
+    double mx = -INFINITY;
+    for (int32_t j : cand)
+        mx = std::max(mx, static_cast<double>(p[j]));
+    const double inv_t = 1.0 / static_cast<double>(params.temperature);
+    std::vector<double> w(cand.size());
+    double total = 0.0;
+    for (size_t i = 0; i < cand.size(); ++i) {
+        w[i] = std::exp((static_cast<double>(p[cand[i]]) - mx) * inv_t);
+        total += w[i];
+    }
+    if (!(total > 0.0) || !std::isfinite(total))
+        return static_cast<int32_t>(rowArgmax(logits, row));
+
+    const double u = rng.uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < cand.size(); ++i) {
+        acc += w[i];
+        if (u < acc)
+            return cand[i];
+    }
+    return cand.back();
+}
+
+/// Logits with deliberately heavy ties: values drawn from a tiny set of
+/// levels so stable-sort tie-breaking (lower id first) is load-bearing.
+Tensor
+tieHeavyLogits(Rng &rng, int64_t rows, int64_t vocab, int levels)
+{
+    Tensor t({rows, vocab});
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = static_cast<float>(rng.randint(levels)) * 0.5f;
+    return t;
+}
+
+TEST(Sampler, SeededReplayBitIdenticalToStableSort)
+{
+    const int64_t vocab = 97;
+    Rng gen(1234);
+    for (const int top_k : {0, 1, 2, 5, 40, 96, 97, 200}) {
+        for (const float temp : {0.0f, 0.3f, 1.0f, 2.5f}) {
+            SamplingParams sp;
+            sp.top_k = top_k;
+            sp.temperature = temp;
+            // Fresh tie-heavy logits per token, same RNG stream on both
+            // sides: any divergence in the kept candidate order would
+            // desynchronize the token streams immediately.
+            Rng r_new(42), r_old(42);
+            for (int step = 0; step < 64; ++step) {
+                const Tensor logits =
+                    tieHeavyLogits(gen, 2, vocab, 3 + step % 5);
+                for (int64_t row = 0; row < 2; ++row) {
+                    const int32_t want = sampleTokenStableSort(
+                        logits, row, sp, r_old);
+                    const int32_t got =
+                        serve::sampleToken(logits, row, sp, r_new);
+                    ASSERT_EQ(want, got)
+                        << "top_k=" << top_k << " temp=" << temp
+                        << " step=" << step << " row=" << row;
+                }
+            }
+        }
+    }
+}
+
+TEST(Sampler, SeededReplayWithNonfiniteLogits)
+{
+    const int64_t vocab = 50;
+    Rng gen(77);
+    SamplingParams sp;
+    sp.top_k = 7;
+    sp.temperature = 0.8f;
+    Rng r_new(9), r_old(9);
+    for (int step = 0; step < 32; ++step) {
+        Tensor logits = tieHeavyLogits(gen, 1, vocab, 4);
+        // Mask a changing subset to -inf (the engine's padding idiom)
+        // and poison one slot with NaN; both must be excluded without
+        // perturbing the candidate order.
+        float *p = logits.data();
+        for (int64_t j = 0; j < vocab; j += 3 + step % 4)
+            p[j] = -std::numeric_limits<float>::infinity();
+        p[(step * 13) % vocab] =
+            std::numeric_limits<float>::quiet_NaN();
+        const int32_t want = sampleTokenStableSort(logits, 0, sp, r_old);
+        const int32_t got = serve::sampleToken(logits, 0, sp, r_new);
+        ASSERT_EQ(want, got) << "step=" << step;
+    }
+}
+
+TEST(Sampler, TopKOneIsGreedyWithLowestIdTieBreak)
+{
+    // Three-way tie at the max: top_k=1 must keep token 2 (lowest id
+    // among the tied), matching the stable-sort prefix.
+    Tensor logits({1, 6});
+    float *p = logits.data();
+    p[0] = 0.0f;
+    p[1] = 1.0f;
+    p[2] = 3.0f;
+    p[3] = 3.0f;
+    p[4] = 3.0f;
+    p[5] = -1.0f;
+    SamplingParams sp;
+    sp.top_k = 1;
+    sp.temperature = 1.0f;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        Rng rng(seed);
+        EXPECT_EQ(2, serve::sampleToken(logits, 0, sp, rng));
+    }
+}
+
+} // namespace
+} // namespace qt8

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Build the library under AddressSanitizer and run the cross-thread test
+# set (ctest label "sane"): the serve engine's scheduler, tracer
+# buffers, and the packed GEMM's parallel health merging are the
+# subjects. Usage:
+#   tools/check_sanitize.sh [thread|address|undefined]
+# Default is address. Exits nonzero on any build or test failure.
+set -e
+cd "$(dirname "$0")/.."
+
+SAN="${1:-address}"
+BUILD="build-${SAN}san"
+
+cmake -B "$BUILD" -S . -DQT8_SANITIZE="$SAN"
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" -L sane --output-on-failure -j "$(nproc)"

@@ -6,7 +6,11 @@
  * plus the engine's metrics dump.
  *
  *   serve_demo [--dtype fp32|bf16|posit8|e4m3] [--slots N]
- *              [--requests N] [--max-new N] [--seed S]
+ *              [--requests N] [--max-new N] [--seed S] [--packed 0|1]
+ *
+ * --packed 1 serves from true packed 8-bit weight codes through the
+ * fused gemmQuantized path (grid dtypes only; tokens stay bit-identical
+ * to the fake-quantized default).
  *
  * Greedy requests are bit-identical to a solo cached decode; sampled
  * requests replay identically from their per-request seed.
@@ -48,6 +52,7 @@ main(int argc, char **argv)
     std::string dtype = "posit8";
     int64_t n_slots = 3, n_requests = 8, max_new = 12;
     uint64_t seed = 7;
+    bool packed = false;
     for (int i = 1; i + 1 < argc; i += 2) {
         const std::string flag = argv[i];
         if (flag == "--dtype")
@@ -60,6 +65,8 @@ main(int argc, char **argv)
             max_new = std::atoll(argv[i + 1]);
         else if (flag == "--seed")
             seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+        else if (flag == "--packed")
+            packed = std::atoll(argv[i + 1]) != 0;
     }
 
     ModelConfig cfg;
@@ -72,14 +79,17 @@ main(int argc, char **argv)
     cfg.n_layers = 2;
 
     CausalLM model(cfg, 2024);
-    QuantSession qs(dtypeByName(dtype));
+    QuantConfig qc = dtypeByName(dtype);
+    qc.weights_packed = packed;
+    QuantSession qs(qc);
 
     serve::EngineConfig ec;
     ec.n_slots = n_slots;
     serve::ServeEngine engine(model, qs, ec);
 
-    std::printf("serve_demo: %s, %lld slots, %lld requests\n\n",
-                dtype.c_str(), static_cast<long long>(n_slots),
+    std::printf("serve_demo: %s%s, %lld slots, %lld requests\n\n",
+                dtype.c_str(), packed ? " (packed weights)" : "",
+                static_cast<long long>(n_slots),
                 static_cast<long long>(n_requests));
 
     Rng rng(seed);
