@@ -13,16 +13,25 @@
  *
  * `bench_decode --smoke` skips timing and instead checks cached vs
  * uncached token equality across quant configs, exiting nonzero on any
- * mismatch — this is what the ctest entry runs.
+ * mismatch — this is what the ctest entry runs. `--kv-packed-smoke`
+ * repeats the check with `QuantConfig::kv_packed`, so CI decodes
+ * through packed uint8 KV panels on every build. `--kv-json[=path]`
+ * writes BENCH_kv.json: resident KV bytes per slot (packed vs fp32)
+ * and decode-shaped attention-GEMV throughput (decode-in-kernel packed
+ * reads vs extract+gemm over the fp32 cache).
  */
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "data/tasks.h"
 #include "harness.h"
+#include "nn/attention.h"
 #include "tensor/ops.h"
+#include "tensor/packed.h"
+#include "tensor/packed_simd.h"
 
 using namespace qt8;
 using namespace qt8::bench;
@@ -86,7 +95,7 @@ timeCached(Seq2Seq &model, QuantSession &qs, const Seq2SeqBatch &batch,
 }
 
 int
-smokeMain()
+smokeMain(bool kv_packed)
 {
     int failures = 0;
     ModelConfig cfg = ModelConfig::whisperTinyLike();
@@ -94,13 +103,22 @@ smokeMain()
     Rng rng(51);
     const Seq2SeqBatch batch = task.sample(rng, 3);
 
-    const std::vector<std::pair<const char *, QuantConfig>> dtypes = {
+    std::vector<std::pair<const char *, QuantConfig>> dtypes = {
         {"bf16", QuantConfig::bf16()},
         {"posit(8,1)", QuantConfig::posit8()},
         {"e4m3", QuantConfig::fp8()},
         {"posit8-approx", QuantConfig::posit8Approx()},
     };
-    for (const auto &[label, qc] : dtypes) {
+    if (kv_packed) {
+        // The packed sweep covers every packable grid plus bf16, which
+        // must fall back to the fp32 cache transparently.
+        dtypes.push_back({"posit(8,2)", QuantConfig::posit8es2()});
+        dtypes.push_back(
+            {"e5m2", QuantConfig::eightBit("e5m2", Quantizer::byName("e5m2"),
+                                           Quantizer::byName("e5m2"))});
+    }
+    for (auto &[label, qc] : dtypes) {
+        qc.kv_packed = kv_packed;
         Seq2Seq model(cfg, 9090);
         QuantSession qs(qc);
         const auto ref = model.greedyDecodeReference(
@@ -111,15 +129,175 @@ smokeMain()
             /*max_len=*/12, Vocab::kBos, Vocab::kEos);
         if (ref != got) {
             std::fprintf(stderr,
-                         "smoke: %s cached decode diverges from the "
+                         "smoke%s: %s cached decode diverges from the "
                          "uncached reference\n",
-                         label);
+                         kv_packed ? " (kv-packed)" : "", label);
             ++failures;
         }
     }
     if (failures == 0)
-        std::printf("bench_decode --smoke: OK\n");
+        std::printf("bench_decode %s: OK\n",
+                    kv_packed ? "--kv-packed-smoke" : "--smoke");
     return failures == 0 ? 0 : 1;
+}
+
+/// Median-free micro-timer: repeat until 0.2 s or 1000 iters.
+template <typename F>
+double
+timeLoop(F &&fn)
+{
+    fn(); // warm
+    int iters = 0;
+    double elapsed = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    do {
+        fn();
+        ++iters;
+        elapsed = secondsSince(t0);
+    } while (elapsed < 0.2 && iters < 1000);
+    return elapsed / iters;
+}
+
+/// --kv-json[=path]: BENCH_kv.json — resident KV bytes per slot and
+/// m=1 decode-shaped attention-GEMV throughput, packed codes vs the
+/// fp32 carrier cache (whose per-head path is extract + gemm, exactly
+/// what forwardIncremental does when unpacked).
+int
+kvJsonMain(const std::string &path)
+{
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+    const Quantizer *fmt = qc.kvPackedFormat();
+    if (fmt == nullptr) {
+        std::fprintf(stderr, "posit8 must be kv-packable\n");
+        return 1;
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"simd\": \"%s\",\n", detail::packedSimdName());
+    std::printf("KV memory (simd=%s):\n", detail::packedSimdName());
+
+    // Resident bytes per slot across cache geometries: the serve-demo
+    // shape and larger edge-model shapes.
+    struct Geom {
+        int64_t capacity, d_model;
+    };
+    const std::vector<Geom> geoms = {{64, 64}, {256, 256}, {256, 512}};
+    std::fprintf(f, "  \"kv_bytes_per_slot\": [\n");
+    for (size_t gi = 0; gi < geoms.size(); ++gi) {
+        const Geom &g = geoms[gi];
+        KVSlots packed, plain;
+        packed.reset(1, g.capacity, g.d_model, fmt);
+        plain.reset(1, g.capacity, g.d_model);
+        const size_t pb = packed.residentBytes();
+        const size_t fb = plain.residentBytes();
+        std::fprintf(f,
+                     "    {\"capacity\": %lld, \"d_model\": %lld, "
+                     "\"fp32_bytes\": %zu, \"packed_bytes\": %zu, "
+                     "\"ratio\": %.2f}%s\n",
+                     static_cast<long long>(g.capacity),
+                     static_cast<long long>(g.d_model), fb, pb,
+                     static_cast<double>(fb) / static_cast<double>(pb),
+                     gi + 1 < geoms.size() ? "," : "");
+        std::printf("  cap=%-4lld d_model=%-4lld fp32 %8zu B/slot   "
+                    "packed %7zu B/slot   %.2fx smaller\n",
+                    static_cast<long long>(g.capacity),
+                    static_cast<long long>(g.d_model), fb, pb,
+                    static_cast<double>(fb) / static_cast<double>(pb));
+    }
+    std::fprintf(f, "  ],\n");
+
+    // Attention-GEMV throughput on m=1 decode shapes: one step's QK^T +
+    // attn·V over all heads against a cache of `len` positions.
+    const int64_t d_model = 512, d_head = 64;
+    const int64_t n_heads = d_model / d_head;
+    Rng rng(23);
+    std::printf("attention GEMV, one m=1 decode step over all %lld "
+                "heads (d_model=%lld d_head=%lld):\n",
+                static_cast<long long>(n_heads),
+                static_cast<long long>(d_model),
+                static_cast<long long>(d_head));
+    std::fprintf(f, "  \"attn_gemv\": [\n");
+    const std::vector<int64_t> lens = {64, 256, 1024};
+    for (size_t li = 0; li < lens.size(); ++li) {
+        const int64_t len = lens[li];
+        KVCache packed, plain;
+        packed.reset(1, len, d_model, fmt);
+        plain.reset(1, len, d_model);
+        for (int64_t t = 0; t < len; ++t) {
+            Tensor kr({1, d_model}), vr({1, d_model});
+            rng.fillNormal(kr);
+            rng.fillNormal(vr);
+            qc.fwd.quantizeInPlace(kr.data(),
+                                   static_cast<size_t>(d_model));
+            qc.fwd.quantizeInPlace(vr.data(),
+                                   static_cast<size_t>(d_model));
+            packed.append(kr, vr);
+            plain.append(kr, vr);
+        }
+        Tensor q({1, d_head}), scores({1, len}), ctx({1, d_head});
+        Tensor kh({len, d_head}), vh({len, d_head});
+        rng.fillNormal(q);
+        PackedKvScratch scratch;
+
+        const double s_packed = timeLoop([&] {
+            for (int64_t h = 0; h < n_heads; ++h) {
+                packedDotRows(q.data(),
+                              packed.k_codes.data() + h * d_head,
+                              packed.table.data(), len, d_head, d_model,
+                              scores.data(), scratch);
+                packedAccumRows(scores.data(),
+                                packed.v_codes.data() + h * d_head,
+                                packed.table.data(), len, d_head,
+                                d_model, ctx.data(), scratch);
+            }
+        });
+        const double s_fp32 = timeLoop([&] {
+            for (int64_t h = 0; h < n_heads; ++h) {
+                for (int64_t r = 0; r < len; ++r) {
+                    std::memcpy(kh.data() + r * d_head,
+                                plain.k.data() + r * d_model + h * d_head,
+                                sizeof(float) *
+                                    static_cast<size_t>(d_head));
+                    std::memcpy(vh.data() + r * d_head,
+                                plain.v.data() + r * d_model + h * d_head,
+                                sizeof(float) *
+                                    static_cast<size_t>(d_head));
+                }
+                gemm(q, false, kh, true, scores);
+                gemm(scores, false, vh, false, ctx);
+            }
+        });
+        // Panel traffic per step: both GEMVs read the full K and V
+        // panels once — 2*len*d_model cells at 4 B (fp32) or 1 B
+        // (codes).
+        const double cells = 2.0 * static_cast<double>(len * d_model);
+        const double gb_fp32 = cells * 4.0 / s_fp32 / 1e9;
+        const double gb_packed = cells * 1.0 / s_packed / 1e9;
+        std::fprintf(f,
+                     "    {\"len\": %lld, \"d_model\": %lld, "
+                     "\"d_head\": %lld, \"fp32_us\": %.2f, "
+                     "\"packed_us\": %.2f, \"speedup\": %.3f, "
+                     "\"fp32_panel_gbps\": %.3f, "
+                     "\"packed_panel_gbps\": %.3f}%s\n",
+                     static_cast<long long>(len),
+                     static_cast<long long>(d_model),
+                     static_cast<long long>(d_head), s_fp32 * 1e6,
+                     s_packed * 1e6, s_fp32 / s_packed, gb_fp32,
+                     gb_packed, li + 1 < lens.size() ? "," : "");
+        std::printf("  len=%-5lld fp32 %8.2f us   packed %8.2f us   "
+                    "speedup %.2fx\n",
+                    static_cast<long long>(len), s_fp32 * 1e6,
+                    s_packed * 1e6, s_fp32 / s_packed);
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
 }
 
 } // namespace
@@ -128,8 +306,15 @@ int
 main(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--smoke")
-            return smokeMain();
+        const std::string arg(argv[i]);
+        if (arg == "--smoke")
+            return smokeMain(false);
+        if (arg == "--kv-packed-smoke")
+            return smokeMain(true);
+        if (arg == "--kv-json")
+            return kvJsonMain("BENCH_kv.json");
+        if (arg.rfind("--kv-json=", 0) == 0)
+            return kvJsonMain(arg.substr(10));
     }
 
     banner("Decode throughput: KV cache (O(T)) vs uncached (O(T^2))");

@@ -18,6 +18,12 @@
  * `bench_serve --smoke` skips timing and instead checks that every
  * engine-decoded request is bit-identical to a solo cached decode
  * across quant configs (the serving analogue of bench_decode --smoke).
+ * `--kv-packed-smoke` repeats the check with `QuantConfig::kv_packed`,
+ * so the engine serves from packed uint8 KV panels (fp32 exercises the
+ * transparent fallback). `--kv-json[=path]` writes BENCH_serve.json:
+ * tok/s, TTFT/latency p95 and resident KV bytes for the fp32 cache vs
+ * packed codes at equal concurrency, plus packed at equal KV RAM —
+ * where the 4x smaller slots buy 4x the resident sequences.
  */
 #include <chrono>
 #include <cmath>
@@ -31,6 +37,7 @@
 #include "nn/model.h"
 #include "serve/engine.h"
 #include "tensor/ops.h"
+#include "tensor/packed_simd.h"
 
 using namespace qt8;
 using namespace qt8::bench;
@@ -98,7 +105,9 @@ struct RunStats
     double makespan_ms = 0.0; ///< First arrival -> last completion.
     double p95_ms = 0.0;      ///< Request latency (arrival -> done).
     double mean_ms = 0.0;
+    double ttft_p95_ms = 0.0; ///< Time to first token.
     int64_t tokens = 0;
+    size_t kv_bytes = 0; ///< Resident KV pool footprint.
     double tokensPerSec() const
     {
         return makespan_ms > 0.0 ? tokens / (makespan_ms / 1000.0) : 0.0;
@@ -140,6 +149,8 @@ runContinuous(CausalLM &model, QuantSession &qs, const Workload &w,
     s.tokens = m.generated_tokens;
     s.p95_ms = m.request_latency_ms.percentile(95.0);
     s.mean_ms = m.request_latency_ms.mean();
+    s.ttft_p95_ms = m.ttft_ms.percentile(95.0);
+    s.kv_bytes = engine.residentKVBytes();
     return s;
 }
 
@@ -212,18 +223,19 @@ runStatic(CausalLM &model, QuantSession &qs, const Workload &w,
 }
 
 int
-smokeMain()
+smokeMain(bool kv_packed)
 {
     int failures = 0;
     const ModelConfig cfg = serveLmConfig();
     const Workload w = makeWorkload(71, 5, 1e9, cfg.vocab);
 
-    const std::vector<std::pair<const char *, QuantConfig>> dtypes = {
-        {"fp32", QuantConfig::fp32()},
+    std::vector<std::pair<const char *, QuantConfig>> dtypes = {
+        {"fp32", QuantConfig::fp32()}, // falls back unpacked under the flag
         {"posit(8,1)", QuantConfig::posit8()},
         {"e4m3", QuantConfig::fp8()},
     };
-    for (const auto &[label, qc] : dtypes) {
+    for (auto &[label, qc] : dtypes) {
+        qc.kv_packed = kv_packed;
         CausalLM model(cfg, 1234);
         QuantSession qs(qc);
         serve::EngineConfig ec;
@@ -256,16 +268,108 @@ smokeMain()
             }
             if (futs[r].get().tokens != want) {
                 std::fprintf(stderr,
-                             "smoke: %s engine decode diverges from "
+                             "smoke%s: %s engine decode diverges from "
                              "solo cached decode (request %zu)\n",
-                             label, r);
+                             kv_packed ? " (kv-packed)" : "", label, r);
                 ++failures;
             }
         }
     }
     if (failures == 0)
-        std::printf("bench_serve --smoke: OK\n");
+        std::printf("bench_serve %s: OK\n",
+                    kv_packed ? "--kv-packed-smoke" : "--smoke");
     return failures == 0 ? 0 : 1;
+}
+
+/// --kv-json[=path]: BENCH_serve.json — continuous-batching serving
+/// stats for the fp32 KV cache vs packed codes at equal concurrency,
+/// and packed again with the slot count the fp32 KV RAM budget buys
+/// (bytes/slot is 4x smaller, so 4x the sequences fit).
+int
+kvJsonMain(const std::string &path)
+{
+    const ModelConfig cfg = serveLmConfig();
+    const int64_t n_requests = 64, base_slots = 4;
+    const double rate_hz = 1000.0;
+
+    struct Mode {
+        const char *label;
+        bool packed;
+        int64_t slots;
+    };
+    QuantConfig plain_qc = QuantConfig::posit8();
+    QuantConfig packed_qc = QuantConfig::posit8();
+    packed_qc.kv_packed = true;
+
+    // How many packed slots fit in the fp32 pool's KV RAM.
+    const Workload probe = makeWorkload(3, 4, 1e9, cfg.vocab);
+    int64_t ram_slots = base_slots;
+    size_t ram_budget = 0;
+    {
+        CausalLM model(cfg, 4321);
+        QuantSession qs_plain(plain_qc), qs_packed(packed_qc);
+        serve::EngineConfig ec;
+        ec.n_slots = base_slots;
+        ec.slot_capacity = probe.max_len;
+        serve::ServeEngine fp32_eng(model, qs_plain, ec);
+        serve::ServeEngine packed_eng(model, qs_packed, ec);
+        ram_budget = fp32_eng.residentKVBytes();
+        ram_slots = static_cast<int64_t>(ram_budget /
+                                         packed_eng.kvBytesPerSlot());
+    }
+
+    const std::vector<Mode> modes = {
+        {"fp32-kv", false, base_slots},
+        {"packed-kv", true, base_slots},
+        {"packed-kv-equal-ram", true, ram_slots},
+    };
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"simd\": \"%s\",\n  \"rate_hz\": %.0f,\n"
+                 "  \"requests\": %lld,\n  \"kv_ram_budget_bytes\": %zu,\n"
+                 "  \"modes\": [\n",
+                 detail::packedSimdName(), rate_hz,
+                 static_cast<long long>(n_requests), ram_budget);
+    std::printf("serving, %g req/s Poisson, %lld requests "
+                "(simd=%s, dtype=posit(8,1)):\n",
+                rate_hz, static_cast<long long>(n_requests),
+                detail::packedSimdName());
+    std::printf("%-22s %6s %12s %10s %10s %14s\n", "mode", "slots",
+                "tok/s", "ttft p95", "lat p95", "KV bytes");
+
+    for (size_t mi = 0; mi < modes.size(); ++mi) {
+        const Mode &m = modes[mi];
+        CausalLM model(cfg, 4321);
+        QuantSession qs(m.packed ? packed_qc : plain_qc);
+        const Workload w = makeWorkload(17, n_requests, rate_hz, cfg.vocab);
+        runContinuous(model, qs, probe, m.slots); // warm
+        const RunStats s = runContinuous(model, qs, w, m.slots);
+        std::fprintf(f,
+                     "    {\"mode\": \"%s\", \"kv_packed\": %s, "
+                     "\"slots\": %lld, \"tok_per_sec\": %.0f, "
+                     "\"ttft_p95_ms\": %.2f, \"latency_p95_ms\": %.2f, "
+                     "\"latency_mean_ms\": %.2f, "
+                     "\"resident_kv_bytes\": %zu, "
+                     "\"kv_bytes_per_slot\": %zu}%s\n",
+                     m.label, m.packed ? "true" : "false",
+                     static_cast<long long>(m.slots), s.tokensPerSec(),
+                     s.ttft_p95_ms, s.p95_ms, s.mean_ms, s.kv_bytes,
+                     s.kv_bytes / static_cast<size_t>(m.slots),
+                     mi + 1 < modes.size() ? "," : "");
+        std::printf("%-22s %6lld %12.0f %8.1fms %8.1fms %14zu\n",
+                    m.label, static_cast<long long>(m.slots),
+                    s.tokensPerSec(), s.ttft_p95_ms, s.p95_ms,
+                    s.kv_bytes);
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
 }
 
 } // namespace
@@ -274,8 +378,15 @@ int
 main(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--smoke")
-            return smokeMain();
+        const std::string arg(argv[i]);
+        if (arg == "--smoke")
+            return smokeMain(false);
+        if (arg == "--kv-packed-smoke")
+            return smokeMain(true);
+        if (arg == "--kv-json")
+            return kvJsonMain("BENCH_serve.json");
+        if (arg.rfind("--kv-json=", 0) == 0)
+            return kvJsonMain(arg.substr(10));
     }
 
     banner("Serving: continuous batching vs static batching "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "tensor/ops.h"
 #include "util/parallel.h"
@@ -12,6 +13,62 @@ namespace qt8 {
 namespace {
 
 constexpr float kMaskValue = -1e9f;
+
+/// Reserved code for NaN elements in packed KV panels. Eligibility
+/// (QuantConfig::kvPackedFormat) caps grids at 255 values, so code 255
+/// is always out of grid; its table entry decodes back to NaN.
+constexpr uint8_t kKvNaNCode = 255;
+
+/// Build a packed cache's 256-entry decode table: grid values as exact
+/// doubles, NaN for every out-of-grid code so reserved or bit-flipped
+/// codes decode non-finite and trip the serving engine's per-row guard.
+std::vector<double>
+buildKvTable(const Quantizer &q)
+{
+    std::vector<double> t(256,
+                          std::numeric_limits<double>::quiet_NaN());
+    const std::vector<float> &vals = q.gridValues();
+    for (size_t i = 0; i < vals.size(); ++i)
+        t[i] = static_cast<double>(vals[i]);
+    return t;
+}
+
+/// Pack @p n contiguous elements straight to grid codes (the
+/// pack-on-append path). The inputs already sit on @p q's grid — the
+/// kGemm quant point applies the grid alone, no carrier after — so
+/// decode(code) reproduces every element bit for bit; NaN (a poisoned
+/// row) takes the reserved code, which decodes back to NaN. When a
+/// trace is collecting, accumulates the `kv/pack` health point
+/// (saturation/underflow are structurally zero here; count, amax and
+/// nonfinite show what the cache absorbs).
+void
+packKvRow(const Quantizer &q, const float *src, uint8_t *dst, int64_t n)
+{
+    if (trace::collecting()) {
+        QuantHealth h;
+        for (int64_t i = 0; i < n; ++i) {
+            const float x = src[i];
+            ++h.count;
+            if (std::isnan(x)) {
+                ++h.nonfinite;
+                dst[i] = kKvNaNCode;
+            } else {
+                const double a = std::fabs(static_cast<double>(x));
+                if (a > h.amax)
+                    h.amax = a;
+                dst[i] = static_cast<uint8_t>(q.gridIndex(x));
+            }
+        }
+        trace::healthAccumulate("kv/pack", h);
+    } else {
+        for (int64_t i = 0; i < n; ++i) {
+            const float x = src[i];
+            dst[i] = std::isnan(x)
+                         ? kKvNaNCode
+                         : static_cast<uint8_t>(q.gridIndex(x));
+        }
+    }
+}
 
 /// Work threshold (multiply-adds across all heads) below which the
 /// batched attention loops stay serial.
@@ -59,13 +116,31 @@ scatterHeadAdd(Tensor &dst, int64_t b, int64_t rows, int64_t d_head, int h,
 } // namespace
 
 void
-KVCache::reset(int64_t batch_size, int64_t cap, int64_t d_model)
+KVCache::reset(int64_t batch_size, int64_t cap, int64_t dm,
+               const Quantizer *packed_fmt)
 {
     batch = batch_size;
     capacity = cap;
+    d_model = dm;
     len = 0;
-    k = Tensor({batch * capacity, d_model});
-    v = Tensor({batch * capacity, d_model});
+    fmt = packed_fmt;
+    if (packed()) {
+        // The memory win: no fp32 panels at all, one code byte per
+        // element. Codes beyond `len` are invisible (dirty is fine).
+        k = Tensor();
+        v = Tensor();
+        k_codes.resize(
+            static_cast<size_t>(batch * capacity * d_model));
+        v_codes.resize(
+            static_cast<size_t>(batch * capacity * d_model));
+        table = buildKvTable(*fmt);
+    } else {
+        k_codes.clear();
+        v_codes.clear();
+        table.clear();
+        k = Tensor({batch * capacity, d_model});
+        v = Tensor({batch * capacity, d_model});
+    }
 }
 
 bool
@@ -73,12 +148,20 @@ KVCache::append(const Tensor &k_rows, const Tensor &v_rows)
 {
     if (len >= capacity)
         return false;
-    const int64_t d_model = k.dim(1);
     assert(k_rows.dim(0) == batch && k_rows.dim(1) == d_model);
     for (int64_t b = 0; b < batch; ++b) {
         const int64_t dst = (b * capacity + len) * d_model;
-        std::copy_n(k_rows.data() + b * d_model, d_model, k.data() + dst);
-        std::copy_n(v_rows.data() + b * d_model, d_model, v.data() + dst);
+        if (packed()) {
+            packKvRow(*fmt, k_rows.data() + b * d_model,
+                      k_codes.data() + dst, d_model);
+            packKvRow(*fmt, v_rows.data() + b * d_model,
+                      v_codes.data() + dst, d_model);
+        } else {
+            std::copy_n(k_rows.data() + b * d_model, d_model,
+                        k.data() + dst);
+            std::copy_n(v_rows.data() + b * d_model, d_model,
+                        v.data() + dst);
+        }
     }
     ++len;
     return true;
@@ -88,25 +171,57 @@ void
 KVCache::fill(const Tensor &k_all, const Tensor &v_all, int64_t rows)
 {
     assert(rows <= capacity);
-    const int64_t d_model = k.dim(1);
     assert(k_all.dim(0) == batch * rows);
     for (int64_t b = 0; b < batch; ++b) {
-        std::copy_n(k_all.data() + b * rows * d_model, rows * d_model,
-                    k.data() + b * capacity * d_model);
-        std::copy_n(v_all.data() + b * rows * d_model, rows * d_model,
-                    v.data() + b * capacity * d_model);
+        const int64_t src = b * rows * d_model;
+        const int64_t dst = b * capacity * d_model;
+        if (packed()) {
+            packKvRow(*fmt, k_all.data() + src, k_codes.data() + dst,
+                      rows * d_model);
+            packKvRow(*fmt, v_all.data() + src, v_codes.data() + dst,
+                      rows * d_model);
+        } else {
+            std::copy_n(k_all.data() + src, rows * d_model,
+                        k.data() + dst);
+            std::copy_n(v_all.data() + src, rows * d_model,
+                        v.data() + dst);
+        }
     }
     len = rows;
 }
 
+size_t
+KVCache::residentBytes() const
+{
+    if (packed())
+        return k_codes.size() + v_codes.size();
+    return static_cast<size_t>(k.numel() + v.numel()) * sizeof(float);
+}
+
 void
-KVSlots::reset(int64_t slots, int64_t cap, int64_t d_model)
+KVSlots::reset(int64_t slots, int64_t cap, int64_t dm,
+               const Quantizer *packed_fmt)
 {
     n_slots = slots;
     capacity = cap;
+    d_model = dm;
     len.assign(static_cast<size_t>(slots), 0);
-    k = Tensor({n_slots * capacity, d_model});
-    v = Tensor({n_slots * capacity, d_model});
+    fmt = packed_fmt;
+    if (packed()) {
+        k = Tensor();
+        v = Tensor();
+        k_codes.resize(
+            static_cast<size_t>(n_slots * capacity * d_model));
+        v_codes.resize(
+            static_cast<size_t>(n_slots * capacity * d_model));
+        table = buildKvTable(*fmt);
+    } else {
+        k_codes.clear();
+        v_codes.clear();
+        table.clear();
+        k = Tensor({n_slots * capacity, d_model});
+        v = Tensor({n_slots * capacity, d_model});
+    }
 }
 
 bool
@@ -115,10 +230,14 @@ KVSlots::append(int32_t slot, const float *k_row, const float *v_row)
     int64_t &l = len[static_cast<size_t>(slot)];
     if (l >= capacity)
         return false;
-    const int64_t d_model = k.dim(1);
     const int64_t dst = (slot * capacity + l) * d_model;
-    std::copy_n(k_row, d_model, k.data() + dst);
-    std::copy_n(v_row, d_model, v.data() + dst);
+    if (packed()) {
+        packKvRow(*fmt, k_row, k_codes.data() + dst, d_model);
+        packKvRow(*fmt, v_row, v_codes.data() + dst, d_model);
+    } else {
+        std::copy_n(k_row, d_model, k.data() + dst);
+        std::copy_n(v_row, d_model, v.data() + dst);
+    }
     ++l;
     return true;
 }
@@ -128,13 +247,26 @@ KVSlots::fill(int32_t slot, const Tensor &k_all, const Tensor &v_all,
               int64_t rows)
 {
     assert(rows <= capacity);
-    const int64_t d_model = k.dim(1);
     assert(k_all.dim(0) == rows && k_all.dim(1) == d_model);
-    std::copy_n(k_all.data(), rows * d_model,
-                k.data() + slot * capacity * d_model);
-    std::copy_n(v_all.data(), rows * d_model,
-                v.data() + slot * capacity * d_model);
+    const int64_t dst = slot * capacity * d_model;
+    if (packed()) {
+        packKvRow(*fmt, k_all.data(), k_codes.data() + dst,
+                  rows * d_model);
+        packKvRow(*fmt, v_all.data(), v_codes.data() + dst,
+                  rows * d_model);
+    } else {
+        std::copy_n(k_all.data(), rows * d_model, k.data() + dst);
+        std::copy_n(v_all.data(), rows * d_model, v.data() + dst);
+    }
     len[static_cast<size_t>(slot)] = rows;
+}
+
+size_t
+KVSlots::residentBytes() const
+{
+    if (packed())
+        return k_codes.size() + v_codes.size();
+    return static_cast<size_t>(k.numel() + v.numel()) * sizeof(float);
 }
 
 MultiHeadAttention::MultiHeadAttention(int64_t d_model, int n_heads,
@@ -336,10 +468,19 @@ MultiHeadAttention::forwardIncremental(QuantSession &qs, const Tensor &x,
         mode == SoftmaxMode::kApproxRecip ||
             mode == SoftmaxMode::kApproxBoth);
 
+    // Packed cache: the QK^T and attn.V GEMVs decode the uint8 codes
+    // inside the micro-kernel (no fp32 head extract at all) and are
+    // bit-identical to the extract+gemm path on the fp32 cache.
+    const bool pk = cache.packed();
+    PackedKvScratch scratch;
+
     Tensor ctx_flat({batch, d_model_});
     Tensor qh({1, d_head_});
-    Tensor kh({len, d_head_});
-    Tensor vh({len, d_head_});
+    Tensor kh, vh;
+    if (!pk) {
+        kh = Tensor({len, d_head_});
+        vh = Tensor({len, d_head_});
+    }
     Tensor scores({1, len});
     Tensor ctx_h({1, d_head_});
     Tensor e_row({len});
@@ -350,12 +491,19 @@ MultiHeadAttention::forwardIncremental(QuantSession &qs, const Tensor &x,
             extractHeadRows(q.data() + b * d_model_, 1, d_model_, d_head_,
                             h, qh);
             const int64_t base = b * cache.capacity * d_model_;
-            extractHeadRows(cache.k.data() + base, len, d_model_, d_head_,
-                            h, kh);
-            extractHeadRows(cache.v.data() + base, len, d_model_, d_head_,
-                            h, vh);
+            if (pk) {
+                packedDotRows(qh.data(),
+                              cache.k_codes.data() + base + h * d_head_,
+                              cache.table.data(), len, d_head_, d_model_,
+                              scores.data(), scratch);
+            } else {
+                extractHeadRows(cache.k.data() + base, len, d_model_,
+                                d_head_, h, kh);
+                extractHeadRows(cache.v.data() + base, len, d_model_,
+                                d_head_, h, vh);
 
-            gemm(qh, false, kh, true, scores);
+                gemm(qh, false, kh, true, scores);
+            }
 
             qs.quantFwd(OpClass::kAttnScaling, scores);
             scaleInPlace(scores, scale_);
@@ -385,7 +533,14 @@ MultiHeadAttention::forwardIncremental(QuantSession &qs, const Tensor &x,
             }
 
             qs.quantFwd(OpClass::kGemm, scores);
-            gemm(scores, false, vh, false, ctx_h);
+            if (pk) {
+                packedAccumRows(scores.data(),
+                                cache.v_codes.data() + base + h * d_head_,
+                                cache.table.data(), len, d_head_,
+                                d_model_, ctx_h.data(), scratch);
+            } else {
+                gemm(scores, false, vh, false, ctx_h);
+            }
             scatterHeadAdd(ctx_flat, b, 1, d_head_, h, ctx_h);
         }
     }
@@ -438,6 +593,11 @@ MultiHeadAttention::forwardIncrementalSlots(QuantSession &qs,
         mode == SoftmaxMode::kApproxRecip ||
             mode == SoftmaxMode::kApproxBoth);
 
+    // Packed pool: decode codes inside the GEMV micro-kernels, exactly
+    // as in forwardIncremental (bit-identical to the fp32 pool).
+    const bool pk = cache.packed();
+    PackedKvScratch scratch;
+
     Tensor ctx_flat({n, d_model_});
     Tensor qh({1, d_head_});
     Tensor ctx_h({1, d_head_});
@@ -450,20 +610,30 @@ MultiHeadAttention::forwardIncrementalSlots(QuantSession &qs,
         const uint8_t *pad =
             key_pad_masks != nullptr ? key_pad_masks[i] : nullptr;
         const int64_t base = slot * cache.capacity * d_model_;
-        Tensor kh({len, d_head_});
-        Tensor vh({len, d_head_});
+        Tensor kh, vh;
+        if (!pk) {
+            kh = Tensor({len, d_head_});
+            vh = Tensor({len, d_head_});
+        }
         Tensor scores({1, len});
         Tensor e_row({len});
 
         for (int h = 0; h < n_heads_; ++h) {
             extractHeadRows(q.data() + i * d_model_, 1, d_model_, d_head_,
                             h, qh);
-            extractHeadRows(cache.k.data() + base, len, d_model_, d_head_,
-                            h, kh);
-            extractHeadRows(cache.v.data() + base, len, d_model_, d_head_,
-                            h, vh);
+            if (pk) {
+                packedDotRows(qh.data(),
+                              cache.k_codes.data() + base + h * d_head_,
+                              cache.table.data(), len, d_head_, d_model_,
+                              scores.data(), scratch);
+            } else {
+                extractHeadRows(cache.k.data() + base, len, d_model_,
+                                d_head_, h, kh);
+                extractHeadRows(cache.v.data() + base, len, d_model_,
+                                d_head_, h, vh);
 
-            gemm(qh, false, kh, true, scores);
+                gemm(qh, false, kh, true, scores);
+            }
 
             qs.quantFwd(OpClass::kAttnScaling, scores);
             scaleInPlace(scores, scale_);
@@ -493,7 +663,14 @@ MultiHeadAttention::forwardIncrementalSlots(QuantSession &qs,
             }
 
             qs.quantFwd(OpClass::kGemm, scores);
-            gemm(scores, false, vh, false, ctx_h);
+            if (pk) {
+                packedAccumRows(scores.data(),
+                                cache.v_codes.data() + base + h * d_head_,
+                                cache.table.data(), len, d_head_,
+                                d_model_, ctx_h.data(), scratch);
+            } else {
+                gemm(scores, false, vh, false, ctx_h);
+            }
             scatterHeadAdd(ctx_flat, i, 1, d_head_, h, ctx_h);
         }
     }

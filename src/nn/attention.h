@@ -24,6 +24,7 @@
 
 #include "nn/linear.h"
 #include "quant/config.h"
+#include "tensor/packed.h"
 
 namespace qt8 {
 
@@ -53,17 +54,40 @@ struct BuildCtx
  * Self-attention caches append one row per sequence per decoded token;
  * cross-attention caches are primed once from the encoder memory and
  * then read-only.
+ *
+ * **Packed mode** (reset with a non-null grid format): the fp32 k/v
+ * panels are never allocated; rows are quantized straight to uint8
+ * grid codes on append/fill (`Quantizer::gridIndex`) into k_codes /
+ * v_codes — 1 byte per element instead of 4 — and the decode-step
+ * attention GEMVs decode codes inside the micro-kernel
+ * (tensor/packed.h). Because appended rows already sit exactly on the
+ * fwd grid (the kGemm quant point applies the grid alone, no carrier
+ * after), pack -> decode reproduces the fp32 cache bit for bit; NaN
+ * rows (fault isolation) take the reserved out-of-grid code, whose
+ * table entry decodes back to NaN.
  */
 struct KVCache
 {
     Tensor k; ///< [batch * capacity, d_model] quantized key panels.
     Tensor v; ///< [batch * capacity, d_model] quantized value panels.
+    std::vector<uint8_t> k_codes; ///< Packed mode: key grid codes.
+    std::vector<uint8_t> v_codes; ///< Packed mode: value grid codes.
+    std::vector<double> table;    ///< 256-entry decode table (NaN tail).
+    const Quantizer *fmt = nullptr; ///< Non-null = packed (borrowed).
+    int64_t d_model = 0;
     int64_t batch = 0;
     int64_t capacity = 0;
     int64_t len = 0; ///< Cached positions per sequence.
 
     /// Allocate (or re-shape) for a decode session and empty the cache.
-    void reset(int64_t batch_size, int64_t cap, int64_t d_model);
+    /// @p packed_fmt Non-null (a <=255-value grid quantizer, typically
+    /// QuantConfig::kvPackedFormat()): store uint8 codes instead of
+    /// fp32 panels. The quantizer is borrowed and must outlive the
+    /// cache.
+    void reset(int64_t batch_size, int64_t cap, int64_t d_model,
+               const Quantizer *packed_fmt = nullptr);
+
+    bool packed() const { return fmt != nullptr; }
 
     /// True while another position fits in every sequence's panel.
     bool canAppend() const { return len < capacity; }
@@ -75,6 +99,10 @@ struct KVCache
 
     /// Fill from full [batch * rows, d_model] panels (cross-attention).
     void fill(const Tensor &k_all, const Tensor &v_all, int64_t rows);
+
+    /// Resident bytes of the K+V panels (codes when packed, fp32
+    /// otherwise; the 4 KB of decode tables is excluded as noise).
+    size_t residentBytes() const;
 };
 
 /**
@@ -91,17 +119,29 @@ struct KVCache
  * subset reproduces the solo decode of each sequence bit for bit.
  * Released slots are *not* zeroed — `len[slot]` alone defines what is
  * visible, so a reused (dirty) slot still decodes identically.
+ *
+ * Supports the same packed uint8-code storage mode as KVCache (see
+ * there); dirty-slot reuse holds for codes exactly as for fp32 rows.
  */
 struct KVSlots
 {
     Tensor k; ///< [n_slots * capacity, d_model] quantized key panels.
     Tensor v; ///< [n_slots * capacity, d_model] quantized value panels.
+    std::vector<uint8_t> k_codes; ///< Packed mode: key grid codes.
+    std::vector<uint8_t> v_codes; ///< Packed mode: value grid codes.
+    std::vector<double> table;    ///< 256-entry decode table (NaN tail).
+    const Quantizer *fmt = nullptr; ///< Non-null = packed (borrowed).
+    int64_t d_model = 0;
     std::vector<int64_t> len; ///< Cached positions, per slot.
     int64_t n_slots = 0;
     int64_t capacity = 0;
 
-    /// Allocate the pool with every slot empty.
-    void reset(int64_t slots, int64_t cap, int64_t d_model);
+    /// Allocate the pool with every slot empty. @p packed_fmt as in
+    /// KVCache::reset.
+    void reset(int64_t slots, int64_t cap, int64_t d_model,
+               const Quantizer *packed_fmt = nullptr);
+
+    bool packed() const { return fmt != nullptr; }
 
     bool canAppend(int32_t slot) const
     {
@@ -118,6 +158,10 @@ struct KVSlots
 
     /// Retire a slot: its rows become invisible (and reusable) at once.
     void release(int32_t slot) { len[static_cast<size_t>(slot)] = 0; }
+
+    /// Resident bytes of the K+V panels (codes when packed, fp32
+    /// otherwise).
+    size_t residentBytes() const;
 };
 
 /// Multi-head attention (self- or cross-).

@@ -182,14 +182,15 @@ TransformerEncoder::forward(QuantSession &qs,
 }
 
 DecodeState
-TransformerEncoder::beginDecode(int64_t batch, int64_t capacity) const
+TransformerEncoder::beginDecode(int64_t batch, int64_t capacity,
+                                const Quantizer *kv_fmt) const
 {
     assert(capacity <= cfg_.max_seq);
     DecodeState st;
     st.batch = batch;
     st.self_kv.resize(blocks.size());
     for (auto &kv : st.self_kv)
-        kv.reset(batch, capacity, cfg_.d_model);
+        kv.reset(batch, capacity, cfg_.d_model, kv_fmt);
     return st;
 }
 
@@ -355,9 +356,10 @@ CausalLM::forward(QuantSession &qs, const std::vector<int32_t> &ids,
 }
 
 DecodeState
-CausalLM::beginDecode(int64_t batch, int64_t capacity) const
+CausalLM::beginDecode(int64_t batch, int64_t capacity,
+                      const Quantizer *kv_fmt) const
 {
-    return body.beginDecode(batch, capacity);
+    return body.beginDecode(batch, capacity, kv_fmt);
 }
 
 Tensor
@@ -471,10 +473,13 @@ Seq2Seq::beginDecode(QuantSession &qs,
     st.memory = encoder.forward(qs, src_ids, batch, seq_src, src_pad_mask);
     st.self_kv.resize(dec_blocks.size());
     st.cross_kv.resize(dec_blocks.size());
+    // Packed KV engages automatically whenever the session's config is
+    // eligible (kv_packed on a packable grid forward format).
+    const Quantizer *kv_fmt = qs.config().kvPackedFormat();
     for (auto &kv : st.self_kv)
-        kv.reset(batch, max_len, cfg_.d_model);
+        kv.reset(batch, max_len, cfg_.d_model, kv_fmt);
     for (auto &kv : st.cross_kv)
-        kv.reset(batch, seq_src, cfg_.d_model);
+        kv.reset(batch, seq_src, cfg_.d_model, kv_fmt);
     return st;
 }
 

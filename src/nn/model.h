@@ -86,8 +86,11 @@ class TransformerEncoder
                    const uint8_t *pad_mask = nullptr, bool causal = false);
 
     /// Start a KV-cached causal decode session (capacity = maximum
-    /// number of positions, bounded by cfg.max_seq).
-    DecodeState beginDecode(int64_t batch, int64_t capacity) const;
+    /// number of positions, bounded by cfg.max_seq). @p kv_fmt non-null
+    /// (typically QuantConfig::kvPackedFormat()): store the caches as
+    /// packed uint8 grid codes; must outlive the DecodeState.
+    DecodeState beginDecode(int64_t batch, int64_t capacity,
+                            const Quantizer *kv_fmt = nullptr) const;
 
     /// Causal single-step forward: ids holds one token per sequence
     /// (position state.pos); returns [B, d] and advances state.pos.
@@ -181,8 +184,10 @@ class CausalLM
     Tensor forward(QuantSession &qs, const std::vector<int32_t> &ids,
                    int64_t batch, int64_t seq);
 
-    /// Start a KV-cached decode session.
-    DecodeState beginDecode(int64_t batch, int64_t capacity) const;
+    /// Start a KV-cached decode session. @p kv_fmt as in
+    /// TransformerEncoder::beginDecode (packed 8-bit KV panels).
+    DecodeState beginDecode(int64_t batch, int64_t capacity,
+                            const Quantizer *kv_fmt = nullptr) const;
 
     /// Single-step forward over the KV cache: ids holds one token per
     /// sequence; returns next-token logits [B, vocab].

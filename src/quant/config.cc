@@ -159,6 +159,21 @@ QuantConfig::int8PerChannel()
     return cfg;
 }
 
+const Quantizer *
+QuantConfig::kvPackedFormat() const
+{
+    // The cache stores exactly what quantFwd(kGemm) produced, so the
+    // rows only sit on the fwd grid when that point is active. One code
+    // must stay free for NaN (a poisoned row still has to round-trip as
+    // non-finite), hence <= 255 grid values rather than 256.
+    if (!kv_packed || !quant_gemm || fwd.isIdentity())
+        return nullptr;
+    const size_t n = fwd.gridValues().size();
+    if (n == 0 || n > 255)
+        return nullptr;
+    return &fwd;
+}
+
 QuantConfig
 QuantConfig::withFusion(FusionLevel level) const
 {

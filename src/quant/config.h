@@ -107,6 +107,22 @@ struct QuantConfig
     /// serve (LoRA, fused heads, int8) fall back transparently.
     bool weights_packed = false;
 
+    /// Store KV-cache panels as true packed 8-bit codes and run the
+    /// decode-step attention GEMVs through code-decoding kernels
+    /// (tensor/packed.h). Same eligibility and identity story as
+    /// weights_packed: requires a packable grid forward format with a
+    /// spare code for NaN (<=255 grid values); K/V rows land exactly on
+    /// the fwd grid at the kGemm quant point, so pack -> decode
+    /// reproduces the fp32 cache bit for bit. Dynamic-scale int8 and
+    /// identity formats fall back to the fp32 cache transparently.
+    bool kv_packed = false;
+
+    /// The grid format packed KV caches store codes for, or nullptr
+    /// when kv_packed is off or the forward format is not eligible
+    /// (identity, bf16, int8). Callers pass this straight into
+    /// KVCache/KVSlots::reset.
+    const Quantizer *kvPackedFormat() const;
+
     std::string name = "fp32";
 
     // --- Presets -----------------------------------------------------

@@ -91,7 +91,7 @@ ServeEngine::ServeEngine(CausalLM *clm, Seq2Seq *s2s, QuantSession &qs,
             clm != nullptr ? clm->body.blocks.size()
                            : s2s->dec_blocks.size(),
             s2s != nullptr ? s2s->dec_blocks.size() : 0,
-            cfg_.cross_capacity),
+            cfg_.cross_capacity, qs.config().kvPackedFormat()),
       start_(std::chrono::steady_clock::now())
 {}
 
@@ -455,6 +455,8 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
         trace::counter("serve/active",
                        static_cast<double>(active_.size()));
         trace::counter("serve/admitted", admitted);
+        trace::counter("serve/kv_bytes_resident",
+                       static_cast<double>(pool_.residentKVBytes()));
     }
 
     if (active_.empty()) {

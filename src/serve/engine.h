@@ -177,6 +177,12 @@ class ServeEngine
     const ServeMetrics &metrics() const { return metrics_; }
     const EngineConfig &config() const { return cfg_; }
 
+    /// KV pool footprint. Geometry (and hence these values) is fixed at
+    /// construction, so they are safe to read without the engine lock.
+    bool kvPacked() const { return pool_.packed(); }
+    size_t residentKVBytes() const { return pool_.residentKVBytes(); }
+    size_t kvBytesPerSlot() const { return pool_.bytesPerSlot(); }
+
   private:
     struct Active; // One in-flight request's decode state.
 

@@ -84,15 +84,29 @@ FaultInjector::onKvPanels(int64_t /*step*/,
     if (len <= 0)
         return;
 
-    Tensor &panel = rng_.uniform() < 0.5 ? layer.k : layer.v;
-    const int64_t d_model = panel.dim(1);
+    const bool pick_k = rng_.uniform() < 0.5;
+    const int64_t d_model = layer.d_model;
     const int64_t row = slot * layer.capacity + rng_.randint(len);
-    float *cell = panel.data() + row * d_model + rng_.randint(d_model);
+    const int64_t cell_idx = row * d_model + rng_.randint(d_model);
 
-    uint32_t bits;
-    std::memcpy(&bits, cell, sizeof(bits));
-    bits ^= 1u << rng_.randint(32);
-    std::memcpy(cell, &bits, sizeof(bits));
+    if (layer.packed()) {
+        // Packed storage: the panel is uint8 grid codes. Flip one of
+        // the 8 code bits — the corrupted code decodes to a wrong grid
+        // value, or to NaN when it lands past the format's grid size
+        // (the table's NaN tail), exactly the hardware bit-rot the
+        // non-finite guard exists for.
+        std::vector<uint8_t> &codes =
+            pick_k ? layer.k_codes : layer.v_codes;
+        codes[static_cast<size_t>(cell_idx)] ^=
+            static_cast<uint8_t>(1u << rng_.randint(8));
+    } else {
+        Tensor &panel = pick_k ? layer.k : layer.v;
+        float *cell = panel.data() + cell_idx;
+        uint32_t bits;
+        std::memcpy(&bits, cell, sizeof(bits));
+        bits ^= 1u << rng_.randint(32);
+        std::memcpy(cell, &bits, sizeof(bits));
+    }
 
     faulted_.insert(ids[victim]);
     ++stats_.bits_flipped;

@@ -6,17 +6,18 @@ namespace qt8::serve {
 
 KVCachePool::KVCachePool(int64_t n_slots, int64_t capacity,
                          int64_t d_model, size_t n_self_layers,
-                         size_t n_cross_layers, int64_t cross_capacity)
+                         size_t n_cross_layers, int64_t cross_capacity,
+                         const Quantizer *packed_fmt)
     : n_slots_(n_slots), capacity_(capacity),
       cross_capacity_(cross_capacity)
 {
     assert(n_slots > 0 && capacity > 0);
     self_.resize(n_self_layers);
     for (KVSlots &layer : self_)
-        layer.reset(n_slots, capacity, d_model);
+        layer.reset(n_slots, capacity, d_model, packed_fmt);
     cross_.resize(n_cross_layers);
     for (KVSlots &layer : cross_)
-        layer.reset(n_slots, cross_capacity, d_model);
+        layer.reset(n_slots, cross_capacity, d_model, packed_fmt);
     in_use_.assign(static_cast<size_t>(n_slots), 0);
     free_.reserve(static_cast<size_t>(n_slots));
     // LIFO order: slot 0 is handed out first, which also maximizes how
@@ -53,6 +54,29 @@ KVCachePool::release(int32_t slot)
         layer.release(slot);
     free_.push_back(slot);
     return true;
+}
+
+bool
+KVCachePool::packed() const
+{
+    return !self_.empty() && self_[0].packed();
+}
+
+size_t
+KVCachePool::residentKVBytes() const
+{
+    size_t bytes = 0;
+    for (const KVSlots &layer : self_)
+        bytes += layer.residentBytes();
+    for (const KVSlots &layer : cross_)
+        bytes += layer.residentBytes();
+    return bytes;
+}
+
+size_t
+KVCachePool::bytesPerSlot() const
+{
+    return residentKVBytes() / static_cast<size_t>(n_slots_);
 }
 
 } // namespace qt8::serve

@@ -27,10 +27,14 @@ class KVCachePool
      * @param n_self_layers Decoder layers (one self panel each).
      * @param n_cross_layers Seq2Seq decoder layers (0 for CausalLM).
      * @param cross_capacity Max source positions per cross slot.
+     * @param packed_fmt Non-null (QuantConfig::kvPackedFormat()): every
+     *   layer stores packed uint8 KV codes — 4x more slots per GB.
+     *   Borrowed; must outlive the pool.
      */
     KVCachePool(int64_t n_slots, int64_t capacity, int64_t d_model,
                 size_t n_self_layers, size_t n_cross_layers = 0,
-                int64_t cross_capacity = 0);
+                int64_t cross_capacity = 0,
+                const Quantizer *packed_fmt = nullptr);
 
     /// Claim a free slot (its lengths reset to 0); -1 when none free.
     int32_t acquire();
@@ -63,6 +67,17 @@ class KVCachePool
 
     std::vector<KVSlots> &selfLayers() { return self_; }
     std::vector<KVSlots> &crossLayers() { return cross_; }
+
+    /// Is the pool storing packed uint8 KV codes?
+    bool packed() const;
+
+    /// Total resident bytes of every layer's K+V panels (codes when
+    /// packed, fp32 otherwise) — the serving stack's dominant
+    /// allocation, surfaced as the `serve/kv_bytes_resident` counter.
+    size_t residentKVBytes() const;
+
+    /// residentKVBytes() / n_slots: what one concurrent sequence costs.
+    size_t bytesPerSlot() const;
 
   private:
     int64_t n_slots_;

@@ -287,6 +287,70 @@ gemmQuantized(const Tensor &a, bool trans_a, const PackedTensor &w,
 }
 
 void
+packedDotRows(const float *q, const uint8_t *codes, const double *table,
+              int64_t rows, int64_t cols, int64_t stride, float *out,
+              PackedKvScratch &scratch)
+{
+    static const DotFn dot = pickDotKernel();
+    scratch.panel.resize(
+        static_cast<size_t>(kPackedKChunk * kPackedNR));
+    double *wdec = scratch.panel.data();
+    double acc[kPackedNR];
+
+    for (int64_t r0 = 0; r0 < rows; r0 += kPackedNR) {
+        const int64_t bn = std::min(rows - r0, kPackedNR);
+        std::fill(acc, acc + kPackedNR, 0.0);
+        // The k dimension here is the column run of each code row
+        // (contiguous), chunked so the decoded panel stays L1-resident.
+        for (int64_t c0 = 0; c0 < cols; c0 += kPackedKChunk) {
+            const int64_t kc = std::min(kPackedKChunk, cols - c0);
+            if (bn < kPackedNR)
+                std::fill(wdec, wdec + kc * kPackedNR, 0.0);
+            for (int64_t jj = 0; jj < bn; ++jj) {
+                const uint8_t *row = codes + (r0 + jj) * stride + c0;
+                for (int64_t t = 0; t < kc; ++t)
+                    wdec[t * kPackedNR + jj] = table[row[t]];
+            }
+            dot(q + c0, wdec, kc, acc);
+        }
+        for (int64_t jj = 0; jj < bn; ++jj)
+            out[r0 + jj] = static_cast<float>(acc[jj]);
+    }
+}
+
+void
+packedAccumRows(const float *w, const uint8_t *codes, const double *table,
+                int64_t rows, int64_t cols, int64_t stride, float *out,
+                PackedKvScratch &scratch)
+{
+    static const DotFn dot = pickDotKernel();
+    scratch.panel.resize(
+        static_cast<size_t>(kPackedKChunk * kPackedNR));
+    double *wdec = scratch.panel.data();
+    double acc[kPackedNR];
+
+    for (int64_t c0 = 0; c0 < cols; c0 += kPackedNR) {
+        const int64_t bn = std::min(cols - c0, kPackedNR);
+        std::fill(acc, acc + kPackedNR, 0.0);
+        // The k dimension is the cache length: stride-@p stride walk
+        // down the rows, ascending so accumulation order matches gemm.
+        for (int64_t r0 = 0; r0 < rows; r0 += kPackedKChunk) {
+            const int64_t kc = std::min(kPackedKChunk, rows - r0);
+            if (bn < kPackedNR)
+                std::fill(wdec, wdec + kc * kPackedNR, 0.0);
+            for (int64_t t = 0; t < kc; ++t) {
+                const uint8_t *row = codes + (r0 + t) * stride + c0;
+                for (int64_t jj = 0; jj < bn; ++jj)
+                    wdec[t * kPackedNR + jj] = table[row[jj]];
+            }
+            dot(w + r0, wdec, kc, acc);
+        }
+        for (int64_t jj = 0; jj < bn; ++jj)
+            out[c0 + jj] = static_cast<float>(acc[jj]);
+    }
+}
+
+void
 gemmQuantizedReference(const Tensor &a, bool trans_a, const PackedTensor &w,
                        bool trans_w, Tensor &c, float alpha, float beta,
                        const GemmEpilogue *epi)

@@ -182,6 +182,49 @@ void gemmQuantizedReference(const Tensor &a, bool trans_a,
                             float alpha = 1.0f, float beta = 0.0f,
                             const GemmEpilogue *epi = nullptr);
 
+/**
+ * Scratch for the packed KV-cache attention GEMVs below: the decoded
+ * [kc x 8] double panel, reused across calls so a decode step allocates
+ * it once per attention forward instead of once per (batch, head).
+ */
+struct PackedKvScratch
+{
+    std::vector<double> panel;
+};
+
+/**
+ * Decode-in-kernel QK^T GEMV over a packed KV panel:
+ *
+ *   out[r] = float( sum_{c=0}^{cols-1} q[c] * table[codes[r*stride + c]] )
+ *
+ * for r in [0, rows) — i.e. gemm(q[1 x cols], false, K[rows x cols],
+ * true, out) where K's rows live as uint8 codes with row stride
+ * @p stride (a head's d_head-column slice of a [*, d_model] code
+ * panel). Accumulation is double in ascending-c order per output with
+ * one final float cast, so the result is bit-identical to extracting
+ * the head into fp32 and calling gemm()/gemmReference(). Eight outputs
+ * advance together through the SIMD dot kernel (AVX2/NEON/portable);
+ * codes >= the format's grid size decode to NaN and poison only the
+ * outputs that read them.
+ */
+void packedDotRows(const float *q, const uint8_t *codes,
+                   const double *table, int64_t rows, int64_t cols,
+                   int64_t stride, float *out, PackedKvScratch &scratch);
+
+/**
+ * Decode-in-kernel attn.V GEMV over a packed KV panel:
+ *
+ *   out[c] = float( sum_{r=0}^{rows-1} w[r] * table[codes[r*stride + c]] )
+ *
+ * for c in [0, cols) — i.e. gemm(w[1 x rows], false, V[rows x cols],
+ * false, out) with V stored as codes. Same ascending-r double
+ * accumulation and single final float cast as gemm(); bit-identical to
+ * the fp32 head-extract path.
+ */
+void packedAccumRows(const float *w, const uint8_t *codes,
+                     const double *table, int64_t rows, int64_t cols,
+                     int64_t stride, float *out, PackedKvScratch &scratch);
+
 } // namespace qt8
 
 #endif // QT8_TENSOR_PACKED_H

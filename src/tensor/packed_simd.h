@@ -1,6 +1,7 @@
 /**
  * @file
- * SIMD micro-kernel behind gemmQuantized (internal). The one routine
+ * SIMD micro-kernel behind gemmQuantized and the packed KV-cache
+ * attention GEMVs (packedDotRows / packedAccumRows). The one routine
  * worth vectorizing without breaking bit-identity is the column-wide
  * FMA: 8 output columns advance together through ascending k, each
  * column's accumulator summed in exactly the scalar order. Products of

@@ -7,10 +7,13 @@
  *
  *   serve_demo [--dtype fp32|bf16|posit8|e4m3] [--slots N]
  *              [--requests N] [--max-new N] [--seed S] [--packed 0|1]
+ *              [--kv-packed 0|1]
  *
  * --packed 1 serves from true packed 8-bit weight codes through the
  * fused gemmQuantized path (grid dtypes only; tokens stay bit-identical
- * to the fake-quantized default).
+ * to the fake-quantized default). --kv-packed 1 additionally stores the
+ * KV-cache pool as packed 8-bit codes and decodes them inside the
+ * attention GEMVs — 4x smaller resident KV, same tokens bit for bit.
  *
  * Greedy requests are bit-identical to a solo cached decode; sampled
  * requests replay identically from their per-request seed.
@@ -53,6 +56,7 @@ main(int argc, char **argv)
     int64_t n_slots = 3, n_requests = 8, max_new = 12;
     uint64_t seed = 7;
     bool packed = false;
+    bool kv_packed = false;
     for (int i = 1; i + 1 < argc; i += 2) {
         const std::string flag = argv[i];
         if (flag == "--dtype")
@@ -67,6 +71,8 @@ main(int argc, char **argv)
             seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
         else if (flag == "--packed")
             packed = std::atoll(argv[i + 1]) != 0;
+        else if (flag == "--kv-packed")
+            kv_packed = std::atoll(argv[i + 1]) != 0;
     }
 
     ModelConfig cfg;
@@ -81,14 +87,16 @@ main(int argc, char **argv)
     CausalLM model(cfg, 2024);
     QuantConfig qc = dtypeByName(dtype);
     qc.weights_packed = packed;
+    qc.kv_packed = kv_packed;
     QuantSession qs(qc);
 
     serve::EngineConfig ec;
     ec.n_slots = n_slots;
     serve::ServeEngine engine(model, qs, ec);
 
-    std::printf("serve_demo: %s%s, %lld slots, %lld requests\n\n",
+    std::printf("serve_demo: %s%s%s, %lld slots, %lld requests\n\n",
                 dtype.c_str(), packed ? " (packed weights)" : "",
+                qc.kvPackedFormat() != nullptr ? " (packed KV)" : "",
                 static_cast<long long>(n_slots),
                 static_cast<long long>(n_requests));
 
