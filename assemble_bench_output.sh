@@ -25,7 +25,10 @@ done
 
 # Refresh the machine-readable artifacts committed at the repo root
 # (BENCH_gemm.json, BENCH_kv.json, BENCH_serve.json) when the bench
-# binaries are present; skip silently otherwise.
+# binaries are present; skip silently otherwise. bench_serve --kv-json
+# also embeds the shared-prefix slab-vs-paged comparison at fixed KV
+# RAM ("prefix_share"; same table as bench_serve --prefix-share) and
+# exits non-zero if the paged engines' tokens ever diverge from slab.
 [ -x build/bench/bench_kernels ] && build/bench/bench_kernels --gemm-json >/dev/null
 [ -x build/bench/bench_decode ] && build/bench/bench_decode --kv-json >/dev/null
 [ -x build/bench/bench_serve ] && build/bench/bench_serve --kv-json >/dev/null

@@ -24,7 +24,17 @@
  * tok/s, TTFT/latency p95 and resident KV bytes for the fp32 cache vs
  * packed codes at equal concurrency, plus packed at equal KV RAM —
  * where the 4x smaller slots buy 4x the resident sequences.
+ *
+ * `--prefix-share` drives an open-loop burst of requests that all
+ * share one long system prompt through three engines at *identical*
+ * KV RAM: the slab pool, the paged pool (chunked prefill, no cache)
+ * and the paged pool with the shared-prefix radix cache (DESIGN.md
+ * §14). It reports peak resident requests, peak resident pages,
+ * prefix hit rate and TTFT, and fails unless every mode's token
+ * streams are bit-identical. `--kv-json` embeds the same comparison
+ * as the "prefix_share" object in BENCH_serve.json.
  */
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -281,10 +291,13 @@ smokeMain(bool kv_packed)
     return failures == 0 ? 0 : 1;
 }
 
+int prefixShareSection(std::FILE *f);
+
 /// --kv-json[=path]: BENCH_serve.json — continuous-batching serving
 /// stats for the fp32 KV cache vs packed codes at equal concurrency,
 /// and packed again with the slot count the fp32 KV RAM budget buys
-/// (bytes/slot is 4x smaller, so 4x the sequences fit).
+/// (bytes/slot is 4x smaller, so 4x the sequences fit). Also embeds
+/// the shared-prefix slab-vs-paged comparison ("prefix_share").
 int
 kvJsonMain(const std::string &path)
 {
@@ -366,10 +379,234 @@ kvJsonMain(const std::string &path)
                     s.tokensPerSec(), s.ttft_p95_ms, s.p95_ms,
                     s.kv_bytes);
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    const int share_failures = prefixShareSection(f);
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
-    return 0;
+    return share_failures;
+}
+
+/// Shared-prefix workload: every request opens with the same
+/// `shared_len`-token system prompt, then a short unique tail and a
+/// ragged decode budget. Arrivals are a fast Poisson burst so the
+/// engines queue — resident capacity is what's under test.
+Workload
+makeSharedPrefixWorkload(uint64_t seed, int64_t n, double rate_hz,
+                         int64_t vocab, int64_t shared_len)
+{
+    Workload w;
+    Rng rng(seed);
+    std::vector<int32_t> shared;
+    for (int64_t j = 0; j < shared_len; ++j)
+        shared.push_back(static_cast<int32_t>(
+            Vocab::kFirstContent +
+            rng.randint(vocab - Vocab::kFirstContent)));
+    double t = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        t += -std::log(1.0 - rng.uniform()) / rate_hz * 1000.0;
+        serve::Request req;
+        req.prompt = shared;
+        const int64_t tail = 2 + rng.randint(4);
+        for (int64_t j = 0; j < tail; ++j)
+            req.prompt.push_back(static_cast<int32_t>(
+                Vocab::kFirstContent +
+                rng.randint(vocab - Vocab::kFirstContent)));
+        req.max_new_tokens = 4 + rng.randint(15);
+        req.eos = -1;
+        w.max_len = std::max(
+            w.max_len, static_cast<int64_t>(req.prompt.size()) +
+                           req.max_new_tokens + 1);
+        w.arrival_ms.push_back(t);
+        w.requests.push_back(std::move(req));
+    }
+    return w;
+}
+
+struct ShareRun
+{
+    RunStats s;
+    int64_t residents_peak = 0; ///< Max concurrently admitted requests.
+    int64_t pages_peak = 0;     ///< Paged: peak referenced pages.
+    int64_t lookups = 0, hits = 0, reused_rows = 0;
+    std::vector<std::vector<int32_t>> tokens; ///< Per-request output.
+};
+
+/// Real-time open-loop drive of one engine configuration, sampling the
+/// resident-request peak between steps.
+ShareRun
+runShareMode(CausalLM &model, QuantSession &qs, const Workload &w,
+             const serve::EngineConfig &ec)
+{
+    serve::ServeEngine engine(model, qs, ec);
+    const size_t n = w.requests.size();
+    std::vector<std::shared_future<serve::RequestResult>> futs;
+    futs.reserve(n);
+    ShareRun r;
+    const auto t0 = std::chrono::steady_clock::now();
+    size_t next = 0;
+    while (futs.size() < n || engine.activeCount() > 0 ||
+           engine.pendingCount() > 0) {
+        while (next < n && msSince(t0) >= w.arrival_ms[next]) {
+            futs.push_back(engine.submit(w.requests[next]));
+            ++next;
+        }
+        r.residents_peak =
+            std::max(r.residents_peak,
+                     static_cast<int64_t>(engine.activeCount()));
+        if (engine.activeCount() > 0 || engine.pendingCount() > 0) {
+            engine.step();
+        } else if (next < n) {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    }
+    r.s.makespan_ms = msSince(t0) - w.arrival_ms.front();
+    const serve::ServeMetrics &m = engine.metrics();
+    r.s.tokens = m.generated_tokens;
+    r.s.p95_ms = m.request_latency_ms.percentile(95.0);
+    r.s.mean_ms = m.request_latency_ms.mean();
+    r.s.ttft_p95_ms = m.ttft_ms.percentile(95.0);
+    r.s.kv_bytes = engine.residentKVBytes();
+    r.pages_peak = m.pages_resident_peak;
+    r.lookups = m.prefix_lookups;
+    r.hits = m.prefix_hits;
+    r.reused_rows = m.prefix_reused_tokens;
+    for (auto &f : futs)
+        r.tokens.push_back(f.get().tokens);
+    return r;
+}
+
+/// Shared-prefix capacity comparison at fixed KV RAM: slab vs paged
+/// vs paged+prefix-cache. Prints the table; when @p f is non-null also
+/// writes the `"prefix_share": {...}` JSON object (no trailing
+/// newline). Returns non-zero if any mode's tokens diverge from slab.
+int
+prefixShareSection(std::FILE *f)
+{
+    const ModelConfig cfg = serveLmConfig();
+    const int64_t n_requests = 48, base_slots = 4, page_size = 16,
+                  shared_len = 2 * page_size;
+    const double rate_hz = 1500.0;
+    const Workload w = makeSharedPrefixWorkload(29, n_requests, rate_hz,
+                                                cfg.vocab, shared_len);
+
+    struct Mode {
+        const char *label;
+        bool paged;
+        bool prefix_cache;
+    };
+    const std::vector<Mode> modes = {
+        {"slab", false, false},
+        {"paged", true, false},
+        {"paged-prefix-cache", true, true},
+    };
+
+    CausalLM model(cfg, 4321);
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+    QuantSession qs(qc);
+
+    std::printf("\nshared-prefix serving, %g req/s Poisson, %lld "
+                "requests, %lld-token shared prompt, fixed KV RAM "
+                "(dtype=posit(8,1), kv packed):\n",
+                rate_hz, static_cast<long long>(n_requests),
+                static_cast<long long>(shared_len));
+    std::printf("%-20s %9s %10s %9s %10s %10s %12s\n", "mode",
+                "residents", "pages peak", "hit rate", "ttft p95",
+                "lat p95", "tok/s");
+
+    // Round the slot capacity up to a whole page so the slab and paged
+    // arenas are the same bytes — "fixed KV RAM" exactly, not modulo
+    // page rounding.
+    const int64_t capacity =
+        serve::PagedKVPool::pagesFor(w.max_len, page_size) * page_size;
+
+    std::vector<ShareRun> runs;
+    for (const Mode &m : modes) {
+        serve::EngineConfig ec;
+        ec.n_slots = base_slots;
+        ec.slot_capacity = capacity;
+        ec.paged = m.paged;
+        ec.page_size = page_size;
+        ec.prefill_chunk = page_size;
+        ec.prefix_cache = m.prefix_cache;
+        { // Warm: first-touch arenas and quant caches off the clock.
+            const Workload warm = makeSharedPrefixWorkload(
+                5, 3, 1e9, cfg.vocab, shared_len);
+            serve::EngineConfig wec = ec;
+            wec.slot_capacity = std::max(wec.slot_capacity, warm.max_len);
+            runShareMode(model, qs, warm, wec);
+        }
+        ShareRun r = runShareMode(model, qs, w, ec);
+        const double hit_rate =
+            r.lookups > 0 ? static_cast<double>(r.hits) / r.lookups : 0.0;
+        std::printf("%-20s %9lld %10lld %8.0f%% %8.1fms %8.1fms %12.0f\n",
+                    m.label, static_cast<long long>(r.residents_peak),
+                    static_cast<long long>(r.pages_peak),
+                    100.0 * hit_rate, r.s.ttft_p95_ms, r.s.p95_ms,
+                    r.s.tokensPerSec());
+        runs.push_back(std::move(r));
+    }
+
+    // Acceptance oracle: scheduling differs wildly across the three
+    // engines, but greedy decode on static quant grids must emit the
+    // same bits (DESIGN.md §9/§14).
+    int failures = 0;
+    for (size_t mi = 1; mi < runs.size(); ++mi)
+        for (size_t ri = 0; ri < runs[0].tokens.size(); ++ri)
+            if (runs[mi].tokens[ri] != runs[0].tokens[ri]) {
+                const auto &got = runs[mi].tokens[ri];
+                const auto &want = runs[0].tokens[ri];
+                const bool is_prefix =
+                    got.size() < want.size() &&
+                    std::equal(got.begin(), got.end(), want.begin());
+                std::fprintf(stderr,
+                             "prefix-share: %s diverges from slab on "
+                             "request %zu (%zu vs %zu tokens%s)\n",
+                             modes[mi].label, ri, got.size(),
+                             want.size(),
+                             is_prefix ? ", truncated prefix" : "");
+                ++failures;
+            }
+    std::printf("tokens bit-identical across modes: %s\n",
+                failures == 0 ? "yes" : "NO");
+
+    if (f != nullptr) {
+        std::fprintf(f,
+                     "  \"prefix_share\": {\n"
+                     "    \"requests\": %lld, \"rate_hz\": %.0f,\n"
+                     "    \"shared_prefix_tokens\": %lld,\n"
+                     "    \"kv_ram_bytes\": %zu,\n"
+                     "    \"tokens_bit_identical\": %s,\n"
+                     "    \"modes\": [\n",
+                     static_cast<long long>(n_requests), rate_hz,
+                     static_cast<long long>(shared_len),
+                     runs[0].s.kv_bytes,
+                     failures == 0 ? "true" : "false");
+        for (size_t mi = 0; mi < runs.size(); ++mi) {
+            const ShareRun &r = runs[mi];
+            const double hit_rate =
+                r.lookups > 0 ? static_cast<double>(r.hits) / r.lookups
+                              : 0.0;
+            std::fprintf(
+                f,
+                "      {\"mode\": \"%s\", \"residents_peak\": %lld, "
+                "\"pages_resident_peak\": %lld, "
+                "\"prefix_hit_rate\": %.3f, "
+                "\"prefix_reused_tokens\": %lld, "
+                "\"ttft_p95_ms\": %.2f, \"latency_p95_ms\": %.2f, "
+                "\"tok_per_sec\": %.0f, "
+                "\"resident_kv_bytes\": %zu}%s\n",
+                modes[mi].label,
+                static_cast<long long>(r.residents_peak),
+                static_cast<long long>(r.pages_peak), hit_rate,
+                static_cast<long long>(r.reused_rows), r.s.ttft_p95_ms,
+                r.s.p95_ms, r.s.tokensPerSec(), r.s.kv_bytes,
+                mi + 1 < runs.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  }");
+    }
+    return failures == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -387,6 +624,8 @@ main(int argc, char **argv)
             return kvJsonMain("BENCH_serve.json");
         if (arg.rfind("--kv-json=", 0) == 0)
             return kvJsonMain(arg.substr(10));
+        if (arg == "--prefix-share")
+            return prefixShareSection(nullptr);
     }
 
     banner("Serving: continuous batching vs static batching "
@@ -431,5 +670,7 @@ main(int argc, char **argv)
                     ct.mean_ms, ct.makespan_ms,
                     ct.tokensPerSec() / st.tokensPerSec());
     }
-    return 0;
+    // Shared-prefix capacity table rides along in the default run so
+    // bench_output.txt carries the slab-vs-paged comparison too.
+    return prefixShareSection(nullptr);
 }

@@ -269,6 +269,72 @@ KVSlots::residentBytes() const
     return static_cast<size_t>(k.numel() + v.numel()) * sizeof(float);
 }
 
+void
+KVPagePanels::reset(int64_t pages, int64_t page_sz, int64_t dm,
+                    const Quantizer *packed_fmt)
+{
+    n_pages = pages;
+    page_size = page_sz;
+    d_model = dm;
+    fmt = packed_fmt;
+    if (packed()) {
+        k = Tensor();
+        v = Tensor();
+        k_codes.resize(
+            static_cast<size_t>(n_pages * page_size * d_model));
+        v_codes.resize(
+            static_cast<size_t>(n_pages * page_size * d_model));
+        table = buildKvTable(*fmt);
+    } else {
+        k_codes.clear();
+        v_codes.clear();
+        table.clear();
+        k = Tensor({n_pages * page_size, d_model});
+        v = Tensor({n_pages * page_size, d_model});
+    }
+}
+
+void
+KVPagePanels::writeRow(int32_t page, int64_t offset, const float *k_row,
+                       const float *v_row)
+{
+    assert(page >= 0 && page < n_pages);
+    assert(offset >= 0 && offset < page_size);
+    const int64_t dst = (page * page_size + offset) * d_model;
+    if (packed()) {
+        packKvRow(*fmt, k_row, k_codes.data() + dst, d_model);
+        packKvRow(*fmt, v_row, v_codes.data() + dst, d_model);
+    } else {
+        std::copy_n(k_row, d_model, k.data() + dst);
+        std::copy_n(v_row, d_model, v.data() + dst);
+    }
+}
+
+void
+KVPagePanels::copyPageRows(int32_t src_page, int32_t dst_page,
+                           int64_t rows)
+{
+    assert(rows <= page_size);
+    const int64_t src = src_page * page_size * d_model;
+    const int64_t dst = dst_page * page_size * d_model;
+    const int64_t n = rows * d_model;
+    if (packed()) {
+        std::copy_n(k_codes.data() + src, n, k_codes.data() + dst);
+        std::copy_n(v_codes.data() + src, n, v_codes.data() + dst);
+    } else {
+        std::copy_n(k.data() + src, n, k.data() + dst);
+        std::copy_n(v.data() + src, n, v.data() + dst);
+    }
+}
+
+size_t
+KVPagePanels::residentBytes() const
+{
+    if (packed())
+        return k_codes.size() + v_codes.size();
+    return static_cast<size_t>(k.numel() + v.numel()) * sizeof(float);
+}
+
 MultiHeadAttention::MultiHeadAttention(int64_t d_model, int n_heads,
                                        BuildCtx &ctx,
                                        const std::string &name)
@@ -690,6 +756,173 @@ MultiHeadAttention::primeSlot(QuantSession &qs, const Tensor &memory,
     Tensor v = v_proj.forward(qs, memory);
     qs.quantFwd(OpClass::kGemm, v);
     cache.fill(slot, k, v, rows);
+    return true;
+}
+
+namespace {
+
+/// extractHeadRows through a page table: logical row r is gathered
+/// from physical row pages[r / ps] * ps + r % ps of the arena panel.
+void
+extractHeadRowsPaged(const float *src, const int32_t *pages, int64_t ps,
+                     int64_t rows, int64_t d_model, int64_t d_head,
+                     int h, Tensor &dst)
+{
+    float *pd = dst.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        const int64_t phys =
+            static_cast<int64_t>(pages[r / ps]) * ps + r % ps;
+        std::copy_n(src + phys * d_model + h * d_head, d_head,
+                    pd + r * d_head);
+    }
+}
+
+} // namespace
+
+Tensor
+MultiHeadAttention::forwardPagedRows(QuantSession &qs, const Tensor &x,
+                                     const std::vector<PagedRowRef> &rows,
+                                     KVPagePanels &cache, bool self,
+                                     const uint8_t *const *key_pad_masks)
+{
+    QT8_TRACE_SCOPE("attn/paged_rows");
+    const int64_t n = x.dim(0);
+    assert(static_cast<int64_t>(rows.size()) == n);
+    assert(x.dim(1) == d_model_);
+    const int64_t ps = cache.page_size;
+
+    Tensor q = q_proj.forward(qs, x);
+    qs.quantFwd(OpClass::kGemm, q);
+
+    if (self) {
+        // Project and quantize every gathered row in one [n, d] pass,
+        // then write each through its page table *before* any scores
+        // are computed: a prompt chunk's later rows see its earlier
+        // ones exactly as the token-by-token schedule would, and the
+        // rows carry the same bits (element-wise static-grid quant).
+        Tensor k = k_proj.forward(qs, x);
+        qs.quantFwd(OpClass::kGemm, k);
+        Tensor v = v_proj.forward(qs, x);
+        qs.quantFwd(OpClass::kGemm, v);
+        for (int64_t i = 0; i < n; ++i) {
+            const PagedRowRef &ref = rows[static_cast<size_t>(i)];
+            assert(ref.pos / ps < ref.n_pages &&
+                   "page table must cover the written row");
+            cache.writeRow(ref.pages[ref.pos / ps], ref.pos % ps,
+                           k.data() + i * d_model_,
+                           v.data() + i * d_model_);
+        }
+    }
+
+    const SoftmaxMode mode = qs.config().softmax;
+    const bool use_approx = mode != SoftmaxMode::kExact;
+    const ApproxPositSoftmax approx_sm(
+        *qs.config().softmax_spec, qs.config().approx_exp,
+        mode == SoftmaxMode::kApproxExp || mode == SoftmaxMode::kApproxBoth,
+        mode == SoftmaxMode::kApproxRecip ||
+            mode == SoftmaxMode::kApproxBoth);
+
+    const bool pk = cache.packed();
+    PackedKvScratch scratch;
+
+    Tensor ctx_flat({n, d_model_});
+    Tensor qh({1, d_head_});
+    Tensor ctx_h({1, d_head_});
+    double sum_row = 0.0;
+
+    for (int64_t i = 0; i < n; ++i) {
+        const PagedRowRef &ref = rows[static_cast<size_t>(i)];
+        const int64_t len = ref.visible;
+        assert(len > 0 && "rows must attend at least themselves");
+        assert((len + ps - 1) / ps <= ref.n_pages);
+        const uint8_t *pad =
+            key_pad_masks != nullptr ? key_pad_masks[i] : nullptr;
+        Tensor kh, vh;
+        if (!pk) {
+            kh = Tensor({len, d_head_});
+            vh = Tensor({len, d_head_});
+        }
+        Tensor scores({1, len});
+        Tensor e_row({len});
+
+        for (int h = 0; h < n_heads_; ++h) {
+            extractHeadRows(q.data() + i * d_model_, 1, d_model_, d_head_,
+                            h, qh);
+            if (pk) {
+                packedDotRowsPaged(qh.data(),
+                                   cache.k_codes.data() + h * d_head_,
+                                   cache.table.data(), ref.pages, ps,
+                                   len, d_head_, d_model_, scores.data(),
+                                   scratch);
+            } else {
+                extractHeadRowsPaged(cache.k.data(), ref.pages, ps, len,
+                                     d_model_, d_head_, h, kh);
+                extractHeadRowsPaged(cache.v.data(), ref.pages, ps, len,
+                                     d_model_, d_head_, h, vh);
+
+                gemm(qh, false, kh, true, scores);
+            }
+
+            qs.quantFwd(OpClass::kAttnScaling, scores);
+            scaleInPlace(scores, scale_);
+            qs.carrier(scores);
+
+            // Self-attention rows see exactly their first `visible`
+            // cached positions (causality via the visibility bound);
+            // cross-attention applies the source padding mask.
+            if (!self && pad != nullptr) {
+                for (int64_t j = 0; j < len; ++j) {
+                    if (pad[j] != 0)
+                        scores.at(0, j) = kMaskValue;
+                }
+            }
+
+            qs.quantFwd(OpClass::kActivation, scores);
+
+            if (!use_approx) {
+                softmaxRowsInPlace(scores);
+                qs.carrier(scores);
+            } else {
+                Tensor probs({1, len});
+                approx_sm.forward(scores.data(), probs.data(),
+                                  static_cast<int>(len), e_row.data(),
+                                  &sum_row);
+                scores = std::move(probs);
+            }
+
+            qs.quantFwd(OpClass::kGemm, scores);
+            if (pk) {
+                packedAccumRowsPaged(scores.data(),
+                                     cache.v_codes.data() + h * d_head_,
+                                     cache.table.data(), ref.pages, ps,
+                                     len, d_head_, d_model_, ctx_h.data(),
+                                     scratch);
+            } else {
+                gemm(scores, false, vh, false, ctx_h);
+            }
+            scatterHeadAdd(ctx_flat, i, 1, d_head_, h, ctx_h);
+        }
+    }
+
+    qs.carrier(ctx_flat);
+    return out_proj.forward(qs, ctx_flat);
+}
+
+bool
+MultiHeadAttention::primePages(QuantSession &qs, const Tensor &memory,
+                               int64_t rows, KVPagePanels &cache,
+                               const int32_t *pages, int64_t n_pages)
+{
+    if (rows > n_pages * cache.page_size)
+        return false;
+    Tensor k = k_proj.forward(qs, memory);
+    qs.quantFwd(OpClass::kGemm, k);
+    Tensor v = v_proj.forward(qs, memory);
+    qs.quantFwd(OpClass::kGemm, v);
+    const int64_t ps = cache.page_size;
+    for (int64_t r = 0; r < rows; ++r)
+        cache.writeRow(pages[r / ps], r % ps, k.data() + r * d_model_,
+                       v.data() + r * d_model_);
     return true;
 }
 

@@ -164,6 +164,73 @@ struct KVSlots
     size_t residentBytes() const;
 };
 
+/**
+ * Page-addressed pooled K/V panel for one attention layer: the paged
+ * analogue of KVSlots. The panel is a single arena of `n_pages` fixed
+ * `page_size`-row pages; a sequence owns an ordered page table (managed
+ * by serve::PagedKVPool) and its logical row r lives at physical row
+ *
+ *   pages[r / page_size] * page_size + r % page_size.
+ *
+ * Pages are refcounted by the pool, so several sequences sharing a
+ * prompt prefix can map the same read-only pages. The same static-grid
+ * quantization + row-independent accumulation argument as KVSlots
+ * applies (rows are quantized element-wise on write; the attention
+ * GEMVs only change the address computation), so a paged decode is
+ * bit-identical to the slab pool on the same token history. Freed
+ * pages are not zeroed — the page table alone defines visibility, so
+ * dirty-page reuse decodes identically.
+ *
+ * Packed mode stores uint8 grid codes exactly as KVSlots does.
+ */
+struct KVPagePanels
+{
+    Tensor k; ///< [n_pages * page_size, d_model] quantized key rows.
+    Tensor v; ///< [n_pages * page_size, d_model] quantized value rows.
+    std::vector<uint8_t> k_codes; ///< Packed mode: key grid codes.
+    std::vector<uint8_t> v_codes; ///< Packed mode: value grid codes.
+    std::vector<double> table;    ///< 256-entry decode table (NaN tail).
+    const Quantizer *fmt = nullptr; ///< Non-null = packed (borrowed).
+    int64_t d_model = 0;
+    int64_t n_pages = 0;
+    int64_t page_size = 0;
+
+    /// Allocate the arena (all pages, upfront). @p packed_fmt as in
+    /// KVCache::reset.
+    void reset(int64_t pages, int64_t page_sz, int64_t d_model,
+               const Quantizer *packed_fmt = nullptr);
+
+    bool packed() const { return fmt != nullptr; }
+
+    /// Quantize-and-store one [d_model] K/V row pair at row @p offset
+    /// of page @p page (offset in [0, page_size)).
+    void writeRow(int32_t page, int64_t offset, const float *k_row,
+                  const float *v_row);
+
+    /// Copy the first @p rows rows of @p src_page into @p dst_page
+    /// (copy-on-write realization of a partially-matched prefix page).
+    /// Codes/fp32 rows are copied verbatim, so the clone is
+    /// bit-identical to recomputing them.
+    void copyPageRows(int32_t src_page, int32_t dst_page, int64_t rows);
+
+    /// Resident bytes of the whole K+V arena (codes when packed, fp32
+    /// otherwise) — pages are allocated upfront, so this is fixed.
+    size_t residentBytes() const;
+};
+
+/**
+ * One query row of a paged incremental forward: which page table its
+ * sequence reads K/V through, where this row is written (self), and
+ * how many cached rows it may attend.
+ */
+struct PagedRowRef
+{
+    const int32_t *pages = nullptr; ///< Page table (borrowed).
+    int64_t n_pages = 0;            ///< Table entries.
+    int64_t pos = 0;     ///< Self: logical row index this query writes.
+    int64_t visible = 0; ///< Rows attended: self pos + 1, cross = len.
+};
+
 /// Multi-head attention (self- or cross-).
 class MultiHeadAttention
 {
@@ -244,6 +311,37 @@ class MultiHeadAttention
     /// false if rows exceeds the pool capacity.
     bool primeSlot(QuantSession &qs, const Tensor &memory, int64_t rows,
                    KVSlots &cache, int32_t slot);
+
+    /**
+     * Page-table incremental forward (paged pool, chunked prefill):
+     * row i of @p x is the query at logical position rows[i].pos of the
+     * sequence whose page table rows[i] borrows, and attends its first
+     * rows[i].visible cached rows.
+     *
+     * @param cache The layer's page arena. @p self true: each row's
+     *   quantized K/V projections are written at rows[i].pos through
+     *   the page table *before* any scores are computed, so a prompt
+     *   chunk's rows may appear in one call (row i with
+     *   visible == pos + 1 sees its own and all earlier chunk rows —
+     *   exactly the token-by-token schedule). @p self false
+     *   (cross-attention): pages must have been primed with primePages.
+     * @param key_pad_masks As forwardIncrementalSlots (entry i has
+     *   rows[i].visible bytes).
+     * @return [n_rows, d] — row i bit-identical to the corresponding
+     *   row of a solo/slab decode of the same history (DESIGN.md §14).
+     */
+    Tensor forwardPagedRows(QuantSession &qs, const Tensor &x,
+                            const std::vector<PagedRowRef> &rows,
+                            KVPagePanels &cache, bool self,
+                            const uint8_t *const *key_pad_masks =
+                                nullptr);
+
+    /// Project a single sequence's encoder memory ([rows, d]) through
+    /// k/v_proj and park it in the cross-attention pages of @p pages
+    /// (in table order). Returns false if rows exceeds the table span.
+    bool primePages(QuantSession &qs, const Tensor &memory, int64_t rows,
+                    KVPagePanels &cache, const int32_t *pages,
+                    int64_t n_pages);
 
     /**
      * @param gy Gradient of the output, [B*S, d].

@@ -160,6 +160,16 @@ EncoderBlock::forwardIncrementalSlots(QuantSession &qs, const Tensor &x,
 }
 
 Tensor
+EncoderBlock::forwardPagedRows(QuantSession &qs, const Tensor &x,
+                               const std::vector<PagedRowRef> &rows,
+                               KVPagePanels &self_kv)
+{
+    const Tensor a =
+        attn.forwardPagedRows(qs, x, rows, self_kv, /*self=*/true);
+    return ffnStack(qs, ln_attn.forward(qs, residualAdd(qs, x, a)));
+}
+
+Tensor
 EncoderBlock::backward(QuantSession &qs, const Tensor &gy)
 {
     Tensor g = gy;
@@ -294,6 +304,35 @@ DecoderBlock::primeCrossSlot(QuantSession &qs, const Tensor &memory,
                              int32_t slot)
 {
     return cross_attn.primeSlot(qs, memory, seq_src, cross_kv, slot);
+}
+
+Tensor
+DecoderBlock::forwardPagedRows(QuantSession &qs, const Tensor &x,
+                               const std::vector<PagedRowRef> &self_rows,
+                               KVPagePanels &self_kv,
+                               const std::vector<PagedRowRef> &cross_rows,
+                               KVPagePanels &cross_kv,
+                               const uint8_t *const *mem_pad_masks)
+{
+    const Tensor a = self_attn.forwardPagedRows(qs, x, self_rows,
+                                                self_kv, /*self=*/true);
+    Tensor cur = ln_self.forward(qs, residualAdd(qs, x, a));
+
+    const Tensor c = cross_attn.forwardPagedRows(
+        qs, cur, cross_rows, cross_kv, /*self=*/false, mem_pad_masks);
+    cur = ln_cross.forward(qs, residualAdd(qs, cur, c));
+
+    cur = ln_ffn.forward(qs, ffn.forward(qs, cur, &cur));
+    return cur;
+}
+
+bool
+DecoderBlock::primeCrossPages(QuantSession &qs, const Tensor &memory,
+                              int64_t seq_src, KVPagePanels &cross_kv,
+                              const int32_t *pages, int64_t n_pages)
+{
+    return cross_attn.primePages(qs, memory, seq_src, cross_kv, pages,
+                                 n_pages);
 }
 
 Tensor

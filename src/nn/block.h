@@ -86,6 +86,12 @@ class EncoderBlock
                                    const std::vector<int32_t> &slots,
                                    KVSlots &self_kv);
 
+    /// Page-table forward over a paged pool (chunked prefill + decode):
+    /// row i of x is the query at rows[i].pos of its sequence.
+    Tensor forwardPagedRows(QuantSession &qs, const Tensor &x,
+                            const std::vector<PagedRowRef> &rows,
+                            KVPagePanels &self_kv);
+
     Tensor backward(QuantSession &qs, const Tensor &gy);
     void collectParams(ParamList &out);
     void enableLora(int rank, float alpha, Rng &rng, bool all_dense);
@@ -151,6 +157,22 @@ class DecoderBlock
     /// pool capacity.
     bool primeCrossSlot(QuantSession &qs, const Tensor &memory,
                         int64_t seq_src, KVSlots &cross_kv, int32_t slot);
+
+    /// Page-table decode step over paged pools: self rows grow through
+    /// self_rows' page tables, cross rows read primed cross pages.
+    Tensor forwardPagedRows(QuantSession &qs, const Tensor &x,
+                            const std::vector<PagedRowRef> &self_rows,
+                            KVPagePanels &self_kv,
+                            const std::vector<PagedRowRef> &cross_rows,
+                            KVPagePanels &cross_kv,
+                            const uint8_t *const *mem_pad_masks);
+
+    /// Project one sequence's encoder memory ([S, d]) into this block's
+    /// cross-attention pages (primePages). Returns false if S exceeds
+    /// the page span.
+    bool primeCrossPages(QuantSession &qs, const Tensor &memory,
+                         int64_t seq_src, KVPagePanels &cross_kv,
+                         const int32_t *pages, int64_t n_pages);
 
     /// @param gmemory Accumulates the gradient w.r.t. the encoder
     /// memory ([B*S, d], preallocated).

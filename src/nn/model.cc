@@ -223,6 +223,21 @@ TransformerEncoder::forwardIncrementalSlots(
 }
 
 Tensor
+TransformerEncoder::forwardPagedRows(QuantSession &qs,
+                                     const std::vector<int32_t> &ids,
+                                     const std::vector<int64_t> &positions,
+                                     const std::vector<PagedRowRef> &rows,
+                                     std::vector<KVPagePanels> &self_kv)
+{
+    assert(self_kv.size() == blocks.size());
+    Tensor x = embed.forwardAt(qs, ids, positions);
+    x = embed_ln->forward(qs, x);
+    for (size_t l = 0; l < blocks.size(); ++l)
+        x = blocks[l]->forwardPagedRows(qs, x, rows, self_kv[l]);
+    return x;
+}
+
+Tensor
 TransformerEncoder::backward(QuantSession &qs, const Tensor &gy)
 {
     Tensor g = gy;
@@ -385,6 +400,32 @@ CausalLM::forwardIncrementalSlots(QuantSession &qs,
     return lm_head.forward(qs, x);
 }
 
+Tensor
+CausalLM::forwardPagedRows(QuantSession &qs,
+                           const std::vector<int32_t> &ids,
+                           const std::vector<int64_t> &positions,
+                           const std::vector<PagedRowRef> &rows,
+                           std::vector<KVPagePanels> &self_kv,
+                           const std::vector<int64_t> &logit_rows)
+{
+    QT8_TRACE_SCOPE("decode/causal_paged");
+    const Tensor x =
+        body.forwardPagedRows(qs, ids, positions, rows, self_kv);
+    // Row selection before the head: lm_head (and every quant point)
+    // is row-independent, so computing logits only for the sampled
+    // rows is bit-identical to slicing the full-head output — and
+    // skips the O(d * vocab) head GEMM for prefill-interior rows.
+    const int64_t d = x.dim(1);
+    const int64_t k = static_cast<int64_t>(logit_rows.size());
+    Tensor sel({k, d});
+    for (int64_t j = 0; j < k; ++j) {
+        const int64_t r = logit_rows[static_cast<size_t>(j)];
+        assert(r >= 0 && r < x.dim(0));
+        std::copy_n(x.data() + r * d, d, sel.data() + j * d);
+    }
+    return lm_head.forward(qs, sel);
+}
+
 void
 CausalLM::backward(QuantSession &qs, const Tensor &dlogits)
 {
@@ -520,6 +561,43 @@ Seq2Seq::primeCrossSlots(QuantSession &qs, const Tensor &memory,
             return false;
     }
     return true;
+}
+
+bool
+Seq2Seq::primeCrossPages(QuantSession &qs, const Tensor &memory,
+                         int64_t seq_src,
+                         std::vector<KVPagePanels> &cross_kv,
+                         const int32_t *pages, int64_t n_pages)
+{
+    assert(cross_kv.size() == dec_blocks.size());
+    for (size_t l = 0; l < dec_blocks.size(); ++l) {
+        if (!dec_blocks[l]->primeCrossPages(qs, memory, seq_src,
+                                            cross_kv[l], pages, n_pages))
+            return false;
+    }
+    return true;
+}
+
+Tensor
+Seq2Seq::forwardPagedRows(QuantSession &qs,
+                          const std::vector<int32_t> &tgt_ids,
+                          const std::vector<int64_t> &positions,
+                          const std::vector<PagedRowRef> &self_rows,
+                          std::vector<KVPagePanels> &self_kv,
+                          const std::vector<PagedRowRef> &cross_rows,
+                          std::vector<KVPagePanels> &cross_kv,
+                          const uint8_t *const *mem_pad_masks)
+{
+    QT8_TRACE_SCOPE("decode/seq2seq_paged");
+    assert(self_kv.size() == dec_blocks.size());
+    Tensor x = dec_embed.forwardAt(qs, tgt_ids, positions);
+    x = dec_embed_ln->forward(qs, x);
+    for (size_t l = 0; l < dec_blocks.size(); ++l) {
+        x = dec_blocks[l]->forwardPagedRows(qs, x, self_rows, self_kv[l],
+                                            cross_rows, cross_kv[l],
+                                            mem_pad_masks);
+    }
+    return lm_head.forward(qs, x);
 }
 
 Tensor

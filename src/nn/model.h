@@ -112,6 +112,21 @@ class TransformerEncoder
                                    const std::vector<int32_t> &slots,
                                    std::vector<KVSlots> &self_kv);
 
+    /**
+     * Page-table forward for the paged pool (chunked prefill +
+     * decode): entry i embeds ids[i] at absolute position
+     * positions[i] and attends through rows[i]'s page table in every
+     * layer of @p self_kv (one KVPagePanels per block). Rows of the
+     * same sequence may appear in ascending-position runs (a prefill
+     * chunk); each sees exactly its prefix. Returns [n_rows, d]; row
+     * i is bit-identical to a solo/slab decode of the same history.
+     */
+    Tensor forwardPagedRows(QuantSession &qs,
+                            const std::vector<int32_t> &ids,
+                            const std::vector<int64_t> &positions,
+                            const std::vector<PagedRowRef> &rows,
+                            std::vector<KVPagePanels> &self_kv);
+
     Tensor backward(QuantSession &qs, const Tensor &gy);
     void collectParams(ParamList &out);
 
@@ -204,6 +219,22 @@ class CausalLM
                                    const std::vector<int32_t> &slots,
                                    std::vector<KVSlots> &self_kv);
 
+    /**
+     * Page-table forward (paged pool, chunked prefill): runs the body
+     * over all rows but the LM head only over @p logit_rows (row
+     * indices into the body output — the rows a scheduler samples
+     * from: decode rows plus each prompt's final row). Returns
+     * [logit_rows.size(), vocab]; because lm_head and every quant
+     * point are row-independent, row j is bit-identical to the
+     * corresponding row of the full-head slab forward.
+     */
+    Tensor forwardPagedRows(QuantSession &qs,
+                            const std::vector<int32_t> &ids,
+                            const std::vector<int64_t> &positions,
+                            const std::vector<PagedRowRef> &rows,
+                            std::vector<KVPagePanels> &self_kv,
+                            const std::vector<int64_t> &logit_rows);
+
     void backward(QuantSession &qs, const Tensor &dlogits);
     void collectParams(ParamList &out);
 
@@ -258,6 +289,15 @@ class Seq2Seq
                          int64_t seq_src, std::vector<KVSlots> &cross_kv,
                          int32_t slot);
 
+    /// Park one sequence's encoder memory in the given cross-attention
+    /// pages of every decoder layer (@p cross_kv holds one
+    /// KVPagePanels per decoder block). Returns false if seq_src
+    /// exceeds the page span.
+    bool primeCrossPages(QuantSession &qs, const Tensor &memory,
+                         int64_t seq_src,
+                         std::vector<KVPagePanels> &cross_kv,
+                         const int32_t *pages, int64_t n_pages);
+
     /**
      * Slot-indexed single-step decode for continuous batching: entry i
      * embeds tgt_ids[i] at target position positions[i], runs causal
@@ -273,6 +313,19 @@ class Seq2Seq
                                    std::vector<KVSlots> &self_kv,
                                    std::vector<KVSlots> &cross_kv,
                                    const uint8_t *const *mem_pad_masks);
+
+    /// Page-table single-step decode (paged pools): self rows grow
+    /// through self_rows' page tables, cross-attention reads the
+    /// pages primed by primeCrossPages. Returns next-token logits
+    /// [n_rows, vocab].
+    Tensor forwardPagedRows(QuantSession &qs,
+                            const std::vector<int32_t> &tgt_ids,
+                            const std::vector<int64_t> &positions,
+                            const std::vector<PagedRowRef> &self_rows,
+                            std::vector<KVPagePanels> &self_kv,
+                            const std::vector<PagedRowRef> &cross_rows,
+                            std::vector<KVPagePanels> &cross_kv,
+                            const uint8_t *const *mem_pad_masks);
 
     /// Greedy autoregressive decode; returns B sequences of ids
     /// (without BOS, terminated at EOS or max_len). Runs O(T)

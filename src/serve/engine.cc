@@ -19,6 +19,22 @@ normalized(EngineConfig cfg, int64_t max_seq)
         cfg.slot_capacity = max_seq;
     if (cfg.cross_capacity <= 0)
         cfg.cross_capacity = cfg.slot_capacity;
+    if (cfg.paged) {
+        if (cfg.page_size <= 0)
+            cfg.page_size = 16;
+        if (cfg.prefill_chunk <= 0)
+            cfg.prefill_chunk = cfg.page_size;
+        // Default arenas match the slab pool's footprint exactly, so
+        // paged-vs-slab comparisons run at identical KV RAM.
+        if (cfg.n_pages <= 0)
+            cfg.n_pages = cfg.n_slots *
+                          PagedKVPool::pagesFor(cfg.slot_capacity,
+                                                cfg.page_size);
+        if (cfg.n_cross_pages <= 0)
+            cfg.n_cross_pages = cfg.n_slots *
+                                PagedKVPool::pagesFor(cfg.cross_capacity,
+                                                      cfg.page_size);
+    }
     return cfg;
 }
 
@@ -49,9 +65,18 @@ struct ServeEngine::Active
     uint64_t id;
     Request req;
     std::promise<RequestResult> promise;
-    int32_t slot;
+    int32_t slot; ///< Slab: pool slot. Paged: virtual slot id (fault
+                  ///< targeting / metric parity with the slab engine).
     int64_t pos = 0;        ///< Next decode position (rows in the slot).
     size_t prompt_next = 0; ///< CausalLM: next prompt index to feed.
+    PagedSeq pseq;          ///< Paged mode: page tables.
+    int64_t prefill_pos = 0; ///< Paged CausalLM: next prompt row to
+                             ///< compute (rows below are cached).
+    bool kv_poisoned = false; ///< Paged: a fault hit one of our pages;
+                              ///< never donate them to the cache.
+    int64_t worst_pages = 0;  ///< Paged: worst-case self-page demand
+                              ///< (clamped to the arena), reserved
+                              ///< against at admission.
     int32_t next_input = 0; ///< Token fed on the coming step.
     std::vector<int32_t> out;
     Rng rng;
@@ -85,15 +110,33 @@ ServeEngine::ServeEngine(CausalLM *clm, Seq2Seq *s2s, QuantSession &qs,
                                ? clm->body.config().max_seq
                                : s2s->encoder.config().max_seq)),
       queue_(cfg_.max_queue_depth),
-      pool_(cfg_.n_slots, cfg_.slot_capacity,
-            clm != nullptr ? clm->body.config().d_model
-                           : s2s->encoder.config().d_model,
-            clm != nullptr ? clm->body.blocks.size()
-                           : s2s->dec_blocks.size(),
-            s2s != nullptr ? s2s->dec_blocks.size() : 0,
-            cfg_.cross_capacity, qs.config().kvPackedFormat()),
       start_(std::chrono::steady_clock::now())
-{}
+{
+    const int64_t d_model = clm != nullptr
+                                ? clm->body.config().d_model
+                                : s2s->encoder.config().d_model;
+    const size_t n_self = clm != nullptr ? clm->body.blocks.size()
+                                         : s2s->dec_blocks.size();
+    const size_t n_cross = s2s != nullptr ? s2s->dec_blocks.size() : 0;
+    if (cfg_.paged) {
+        PagedKVPool::Config pc;
+        pc.n_pages = cfg_.n_pages;
+        pc.page_size = cfg_.page_size;
+        pc.d_model = d_model;
+        pc.n_self_layers = n_self;
+        pc.n_cross_layers = n_cross;
+        pc.n_cross_pages = n_cross > 0 ? cfg_.n_cross_pages : 0;
+        pc.packed_fmt = qs.config().kvPackedFormat();
+        // The radix cache only applies to CausalLM prompts (a Seq2Seq
+        // source primes cross panels, never the self cache).
+        pc.prefix_cache = cfg_.prefix_cache && clm != nullptr;
+        ppool_ = std::make_unique<PagedKVPool>(pc);
+    } else {
+        pool_ = std::make_unique<KVCachePool>(
+            cfg_.n_slots, cfg_.slot_capacity, d_model, n_self, n_cross,
+            cfg_.cross_capacity, qs.config().kvPackedFormat());
+    }
+}
 
 double
 ServeEngine::nowMs() const
@@ -107,7 +150,19 @@ int64_t
 ServeEngine::freeSlots() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return static_cast<int64_t>(pool_.freeCount());
+    if (ppool_ != nullptr)
+        return ppool_->availablePages();
+    return static_cast<int64_t>(pool_->freeCount());
+}
+
+size_t
+ServeEngine::kvBytesPerSlot() const
+{
+    if (ppool_ != nullptr)
+        return ppool_->bytesPerPage() *
+               static_cast<size_t>(PagedKVPool::pagesFor(
+                   cfg_.slot_capacity, cfg_.page_size));
+    return pool_->bytesPerSlot();
 }
 
 ServeMetrics
@@ -128,11 +183,25 @@ ServeEngine::validate(const Request &req) const
         // complete and no token can be emitted.
         if (plen > cfg_.slot_capacity)
             return RequestStatus::kRejectedInvalid;
+        // Paged: the first prefill chunk (plus one decode headroom
+        // page) must be admittable even with every page free, or the
+        // request would park forever.
+        if (cfg_.paged &&
+            PagedKVPool::pagesFor(std::min(plen, cfg_.prefill_chunk),
+                                  cfg_.page_size) +
+                    1 >
+                cfg_.n_pages)
+            return RequestStatus::kRejectedInvalid;
     } else {
         if (plen > cfg_.cross_capacity)
             return RequestStatus::kRejectedInvalid;
         if (!req.src_pad.empty() &&
             req.src_pad.size() != req.prompt.size())
+            return RequestStatus::kRejectedInvalid;
+        if (cfg_.paged &&
+            (PagedKVPool::pagesFor(plen, cfg_.page_size) >
+                 cfg_.n_cross_pages ||
+             cfg_.n_pages < 1))
             return RequestStatus::kRejectedInvalid;
     }
     return RequestStatus::kOk;
@@ -248,7 +317,7 @@ bool
 ServeEngine::admitOneLocked(PendingRequest &&p,
                             std::vector<Resolution> &done)
 {
-    const int32_t slot = pool_.acquire();
+    const int32_t slot = pool_->acquire();
     assert(slot >= 0 && "admitLocked checked freeCount");
 
     auto a = std::make_unique<Active>(std::move(p), slot);
@@ -268,7 +337,7 @@ ServeEngine::admitOneLocked(PendingRequest &&p,
     const uint8_t *pad =
         a->req.src_pad.empty() ? nullptr : a->req.src_pad.data();
     const Tensor memory = s2s_->encodeOne(qs_, a->req.prompt, seq_src, pad);
-    if (!s2s_->primeCrossSlots(qs_, memory, seq_src, pool_.crossLayers(),
+    if (!s2s_->primeCrossSlots(qs_, memory, seq_src, pool_->crossLayers(),
                                a->slot)) {
         // Source longer than the cross-attention pool (defensive —
         // validate() bounds it): typed error instead of an assert,
@@ -289,7 +358,7 @@ int
 ServeEngine::admitLocked(std::vector<Resolution> &done)
 {
     int admitted = 0;
-    while (pool_.freeCount() > 0) {
+    while (pool_->freeCount() > 0) {
         if (cfg_.fault != nullptr && cfg_.fault->onAcquire())
             break; // injected allocation failure: retry next step
         PendingRequest p;
@@ -312,6 +381,7 @@ ServeEngine::retireLocked(size_t idx, RequestStatus status, double now_ms,
     r.status = status;
     r.tokens = a.out;
     r.prompt_tokens = static_cast<int64_t>(a.req.prompt.size());
+    r.prefix_reused_tokens = a.pseq.shared_rows;
     r.ttft_ms =
         a.first_token_ms >= 0.0 ? a.first_token_ms - a.submit_ms : 0.0;
     r.latency_ms = now_ms - a.submit_ms;
@@ -330,7 +400,21 @@ ServeEngine::retireLocked(size_t idx, RequestStatus status, double now_ms,
             : 0.0;
     metrics_.recordRetirement(rec);
 
-    pool_.release(a.slot);
+    if (ppool_ != nullptr) {
+        if (status == RequestStatus::kNumericFault) {
+            // A numeric fault may have poisoned any of this request's
+            // K/V pages; pages it donated to the prefix cache must not
+            // be re-shared with future requests. Pages still mapped by
+            // concurrent sequences stay resident (those sequences were
+            // flagged by the injector's sharer scan).
+            for (const int32_t pg : a.pseq.pages)
+                ppool_->dropCachedPage(pg);
+        }
+        ppool_->releaseSeq(a.pseq);
+        vslot_free_.push_back(a.slot);
+    } else {
+        pool_->release(a.slot);
+    }
     done.push_back(Resolution{std::move(a.promise), std::move(r),
                               std::move(a.req.on_complete)});
     active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
@@ -379,6 +463,14 @@ ServeEngine::processCancelsLocked(double now_ms,
         }
         if (found)
             continue;
+        if (parked_.has_value() && parked_->id == id) {
+            PendingRequest p = std::move(*parked_);
+            parked_.reset();
+            parked_n_.store(0);
+            resolveUnadmittedLocked(std::move(p), RequestStatus::kCancelled,
+                                    done);
+            continue;
+        }
         PendingRequest p;
         if (queue_.extract(id, p))
             resolveUnadmittedLocked(std::move(p), RequestStatus::kCancelled,
@@ -398,6 +490,14 @@ ServeEngine::expireDeadlinesLocked(double now_ms,
                          done);
     }
     // Queued requests expire too — even while every slot is busy.
+    if (parked_.has_value() && parked_->deadline_ms > 0.0 &&
+        now_ms >= parked_->deadline_ms) {
+        PendingRequest p = std::move(*parked_);
+        parked_.reset();
+        parked_n_.store(0);
+        resolveUnadmittedLocked(std::move(p),
+                                RequestStatus::kDeadlineExceeded, done);
+    }
     std::vector<PendingRequest> late =
         queue_.extractIf([now_ms](const PendingRequest &p) {
             return p.deadline_ms > 0.0 && now_ms >= p.deadline_ms;
@@ -425,6 +525,9 @@ ServeEngine::step()
 bool
 ServeEngine::stepLocked(std::vector<Resolution> &done)
 {
+    if (cfg_.paged)
+        return stepPagedLocked(done);
+
     QT8_TRACE_SCOPE("serve/step");
     const int64_t retired_before = metrics_.completed;
     if (cfg_.fault != nullptr) {
@@ -442,7 +545,7 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
     // Sequences whose slot is full cannot take another position: retire
     // them with the typed overflow status (output kept, truncated).
     for (size_t i = active_.size(); i-- > 0;) {
-        if (pool_.slotLen(active_[i]->slot) >= pool_.capacity())
+        if (pool_->slotLen(active_[i]->slot) >= pool_->capacity())
             retireLocked(i, RequestStatus::kCapacityExceeded, nowMs(),
                          done);
     }
@@ -456,7 +559,7 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
                        static_cast<double>(active_.size()));
         trace::counter("serve/admitted", admitted);
         trace::counter("serve/kv_bytes_resident",
-                       static_cast<double>(pool_.residentKVBytes()));
+                       static_cast<double>(pool_->residentKVBytes()));
     }
 
     if (active_.empty()) {
@@ -495,10 +598,10 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
     Tensor logits =
         clm_ != nullptr
             ? clm_->forwardIncrementalSlots(qs_, ids, positions, slots,
-                                            pool_.selfLayers())
+                                            pool_->selfLayers())
             : s2s_->forwardIncrementalSlots(qs_, ids, positions, slots,
-                                            pool_.selfLayers(),
-                                            pool_.crossLayers(),
+                                            pool_->selfLayers(),
+                                            pool_->crossLayers(),
                                             pads.data());
 
     if (cfg_.tap_activations) {
@@ -510,7 +613,7 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
     if (cfg_.fault != nullptr) {
         cfg_.fault->onLogits(step_idx_, req_ids, slots, logits);
         cfg_.fault->onKvPanels(step_idx_, req_ids, slots,
-                               pool_.selfLayers());
+                               pool_->selfLayers());
     }
     ++step_idx_;
 
@@ -573,6 +676,471 @@ ServeEngine::stepLocked(std::vector<Resolution> &done)
     return true;
 }
 
+int32_t
+ServeEngine::acquireVSlotLocked()
+{
+    // Virtual slot ids keep fault targeting and trace parity with the
+    // slab engine even though pages, not slots, back the KV rows.
+    if (!vslot_free_.empty()) {
+        const int32_t s = vslot_free_.back();
+        vslot_free_.pop_back();
+        return s;
+    }
+    return vslot_next_++;
+}
+
+bool
+ServeEngine::admitPagedOneLocked(PendingRequest &p)
+{
+    const int64_t plen = static_cast<int64_t>(p.request.prompt.size());
+
+    if (clm_ != nullptr) {
+        // Cheap pre-check before touching the cache, so a parked
+        // request retried every step doesn't spin the lookup counters:
+        // the first chunk always needs at least one new page (the
+        // match is capped at plen - 1), plus one page of decode
+        // headroom so admission doesn't immediately stall.
+        if (ppool_->availablePages() < 2)
+            return false;
+        const PagedKVPool::PrefixMatch m =
+            ppool_->matchPrefix(p.request.prompt, plen - 1);
+        const int64_t len0 =
+            m.rows + (m.partial_page >= 0 ? m.partial_rows : 0);
+        const int64_t chunk_end =
+            std::min(plen, len0 + cfg_.prefill_chunk);
+        const int64_t need =
+            PagedKVPool::pagesFor(chunk_end, cfg_.page_size) -
+            static_cast<int64_t>(m.pages.size());
+        if (ppool_->availablePages() < need + 1)
+            return false;
+
+        // Reserve the first chunk's pages *now*: admission commits
+        // real pages (the paged analogue of a slab slot), so a burst
+        // of admissions can't collectively overcommit the arena
+        // before any of them builds a row.
+        PagedSeq ps;
+        ppool_->adoptPrefix(ps, m);
+        if (!ppool_->ensureTail(
+                ps, std::min(plen, ps.len + cfg_.prefill_chunk))) {
+            ppool_->releaseSeq(ps);
+            return false;
+        }
+
+        // Worst-case gate: admit only while every in-flight request's
+        // remaining worst-case growth — by *actual* prompt + budget
+        // length, which is the capacity win over the slab's flat
+        // slot_capacity reservation — still fits in obtainable pages.
+        // Page draws and the gated sum shrink in lockstep, so a
+        // request admitted under this invariant never stalls and is
+        // never preempted: its tokens match the slab oracle bit for
+        // bit. A request whose lone demand exceeds the arena is
+        // clamped (best effort, may truncate kCapacityExceeded).
+        const int64_t worst_rows =
+            std::min(plen + p.request.max_new_tokens, cfg_.slot_capacity);
+        const int64_t worst =
+            std::min(PagedKVPool::pagesFor(worst_rows, cfg_.page_size),
+                     cfg_.n_pages);
+        int64_t debt = 0;
+        for (const auto &o : active_)
+            debt += std::max<int64_t>(
+                0, o->worst_pages -
+                       static_cast<int64_t>(o->pseq.pages.size()));
+        if (debt + std::max<int64_t>(
+                       0, worst - static_cast<int64_t>(ps.pages.size())) >
+            ppool_->availablePages()) {
+            ppool_->releaseSeq(ps);
+            return false;
+        }
+
+        auto a = std::make_unique<Active>(std::move(p),
+                                          acquireVSlotLocked());
+        a->worst_pages = worst;
+        a->pseq = std::move(ps);
+        a->pos = a->prefill_pos = a->pseq.len;
+        a->next_input = a->req.prompt[0];
+        active_.push_back(std::move(a));
+        active_n_.store(active_.size());
+        return true;
+    }
+
+    // Seq2Seq: the source must fit the cross arena now (primed once,
+    // never grown) and at least one self page must be obtainable for
+    // the first decode row. Checks precede the encode so a parked
+    // request never pays the encoder twice... per admission attempt.
+    const int64_t need_cross = PagedKVPool::pagesFor(plen, cfg_.page_size);
+    if (ppool_->crossFreePages() < need_cross ||
+        ppool_->availablePages() < 2)
+        return false;
+    PagedSeq ps;
+    if (!ppool_->ensureTail(ps, 1)) { // reserve the first decode page
+        ppool_->releaseSeq(ps);
+        return false;
+    }
+
+    // Same worst-case gate as the CausalLM path, over decode rows
+    // (self pages hold only target positions here).
+    const int64_t worst_rows =
+        std::min(p.request.max_new_tokens + 1, cfg_.slot_capacity);
+    const int64_t worst = std::min(
+        PagedKVPool::pagesFor(worst_rows, cfg_.page_size), cfg_.n_pages);
+    int64_t debt = 0;
+    for (const auto &o : active_)
+        debt += std::max<int64_t>(
+            0, o->worst_pages - static_cast<int64_t>(o->pseq.pages.size()));
+    if (debt + std::max<int64_t>(
+                   0, worst - static_cast<int64_t>(ps.pages.size())) >
+        ppool_->availablePages()) {
+        ppool_->releaseSeq(ps);
+        return false;
+    }
+
+    auto a = std::make_unique<Active>(std::move(p), acquireVSlotLocked());
+    a->worst_pages = worst;
+    a->pseq = std::move(ps);
+    const uint8_t *pad =
+        a->req.src_pad.empty() ? nullptr : a->req.src_pad.data();
+    const Tensor memory = s2s_->encodeOne(qs_, a->req.prompt, plen, pad);
+    const bool ok = ppool_->allocCross(a->pseq, plen);
+    assert(ok && "crossFreePages checked above");
+    (void)ok;
+    a->pseq.cross_len = plen;
+    s2s_->primeCrossPages(qs_, memory, plen, ppool_->crossLayers(),
+                          a->pseq.cross_pages.data(),
+                          static_cast<int64_t>(a->pseq.cross_pages.size()));
+    a->next_input = a->req.bos;
+    active_.push_back(std::move(a));
+    active_n_.store(active_.size());
+    return true;
+}
+
+int
+ServeEngine::admitPagedLocked()
+{
+    int admitted = 0;
+    for (;;) {
+        if (cfg_.max_active > 0 &&
+            static_cast<int64_t>(active_.size()) >= cfg_.max_active)
+            break;
+        if (cfg_.fault != nullptr && cfg_.fault->onAcquire())
+            break; // injected allocation failure: retry next step
+        PendingRequest p;
+        if (parked_.has_value()) {
+            p = std::move(*parked_);
+            parked_.reset();
+            parked_n_.store(0);
+        } else if (!queue_.tryPop(p)) {
+            break;
+        }
+        if (!admitPagedOneLocked(p)) {
+            // Does not fit right now: park it and stop admitting, so
+            // backpressure never reorders the FIFO.
+            parked_ = std::move(p);
+            parked_n_.store(1);
+            break;
+        }
+        ++admitted;
+    }
+    return admitted;
+}
+
+bool
+ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
+{
+    QT8_TRACE_SCOPE("serve/step_paged");
+    const int64_t retired_before = metrics_.completed;
+    if (cfg_.fault != nullptr) {
+        const double d = cfg_.fault->onStepDelayMs();
+        if (d > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(d));
+    }
+
+    const double t0 = nowMs();
+    processCancelsLocked(t0, done);
+    expireDeadlinesLocked(t0, done);
+    int admitted = admitPagedLocked();
+
+    // slot_capacity still bounds every sequence, so truncation points
+    // (and thus emitted tokens) match the slab oracle exactly.
+    for (size_t i = active_.size(); i-- > 0;) {
+        if (active_[i]->pos >= cfg_.slot_capacity)
+            retireLocked(i, RequestStatus::kCapacityExceeded, nowMs(),
+                         done);
+    }
+    admitted += admitPagedLocked();
+
+    const auto syncPoolCounters = [this] {
+        metrics_.prefix_lookups = ppool_->lookups();
+        metrics_.prefix_hits = ppool_->hits();
+        metrics_.prefix_reused_tokens = ppool_->reusedRows();
+        metrics_.prefix_evictions = ppool_->evictions();
+        metrics_.pages_resident_peak = std::max(
+            metrics_.pages_resident_peak, ppool_->residentPages());
+    };
+
+    if (trace::collecting()) {
+        trace::counter("serve/queue_depth",
+                       static_cast<double>(pendingCount()));
+        trace::counter("serve/active",
+                       static_cast<double>(active_.size()));
+        trace::counter("serve/admitted", admitted);
+        trace::counter("serve/pages_resident",
+                       static_cast<double>(ppool_->residentPages()));
+        trace::counter("serve/pages_cached",
+                       static_cast<double>(ppool_->cachedPages()));
+    }
+
+    if (active_.empty()) {
+        ++metrics_.idle_steps;
+        syncPoolCounters();
+        return false;
+    }
+
+    // Build this step's row batch: one decode row per decoding
+    // request, a whole prompt chunk per prefilling request. A request
+    // whose tail pages can't be obtained this step stalls (skipped,
+    // retried next step) — its neighbours still run.
+    const size_t n_active = active_.size();
+    std::vector<int32_t> ids;
+    std::vector<int64_t> positions;
+    std::vector<PagedRowRef> self_rows;
+    std::vector<PagedRowRef> cross_rows;
+    std::vector<const uint8_t *> pads;
+    std::vector<int64_t> logit_rows; // CausalLM: rows fed to lm_head.
+    struct Sample
+    {
+        size_t active_idx;
+        int64_t logits_row;
+    };
+    std::vector<Sample> samples;
+    std::vector<uint64_t> sample_req_ids;
+    std::vector<int32_t> sample_vslots;
+    std::vector<size_t> stalled;
+    // Visible rows each active will have after this step's writes;
+    // -1 = stalled (no rows built, cache untouched).
+    std::vector<int64_t> planned_end(n_active, -1);
+
+    for (size_t i = 0; i < n_active; ++i) {
+        Active &a = *active_[i];
+        const int64_t plen = static_cast<int64_t>(a.req.prompt.size());
+
+        if (clm_ != nullptr && a.prefill_pos < plen) {
+            const int64_t chunk_end =
+                std::min(plen, a.prefill_pos + cfg_.prefill_chunk);
+            const bool grows =
+                PagedKVPool::pagesFor(chunk_end, cfg_.page_size) >
+                static_cast<int64_t>(a.pseq.pages.size());
+            if ((grows && cfg_.fault != nullptr &&
+                 cfg_.fault->onPageAcquire()) ||
+                !ppool_->ensureTail(a.pseq, chunk_end)) {
+                stalled.push_back(i);
+                continue;
+            }
+            planned_end[i] = chunk_end;
+            for (int64_t t = a.prefill_pos; t < chunk_end; ++t) {
+                ids.push_back(a.req.prompt[static_cast<size_t>(t)]);
+                positions.push_back(t);
+                self_rows.push_back(PagedRowRef{
+                    a.pseq.pages.data(),
+                    static_cast<int64_t>(a.pseq.pages.size()), t, t + 1});
+            }
+            if (chunk_end == plen) {
+                // The row consuming the last prompt token predicts the
+                // first generated token: it is this request's only
+                // sampled row of the step.
+                logit_rows.push_back(
+                    static_cast<int64_t>(ids.size()) - 1);
+                samples.push_back(Sample{
+                    i, static_cast<int64_t>(logit_rows.size()) - 1});
+                sample_req_ids.push_back(a.id);
+                sample_vslots.push_back(a.slot);
+            }
+            continue;
+        }
+
+        // Decode row.
+        const bool grows =
+            PagedKVPool::pagesFor(a.pos + 1, cfg_.page_size) >
+            static_cast<int64_t>(a.pseq.pages.size());
+        if ((grows && cfg_.fault != nullptr &&
+             cfg_.fault->onPageAcquire()) ||
+            !ppool_->ensureTail(a.pseq, a.pos + 1)) {
+            stalled.push_back(i);
+            continue;
+        }
+        planned_end[i] = a.pos + 1;
+        ids.push_back(a.next_input);
+        positions.push_back(a.pos);
+        self_rows.push_back(PagedRowRef{
+            a.pseq.pages.data(),
+            static_cast<int64_t>(a.pseq.pages.size()), a.pos, a.pos + 1});
+        if (clm_ != nullptr) {
+            logit_rows.push_back(static_cast<int64_t>(ids.size()) - 1);
+            samples.push_back(
+                Sample{i, static_cast<int64_t>(logit_rows.size()) - 1});
+        } else {
+            cross_rows.push_back(PagedRowRef{
+                a.pseq.cross_pages.data(),
+                static_cast<int64_t>(a.pseq.cross_pages.size()), 0,
+                a.pseq.cross_len});
+            pads.push_back(a.req.src_pad.empty() ? nullptr
+                                                 : a.req.src_pad.data());
+            samples.push_back(
+                Sample{i, static_cast<int64_t>(ids.size()) - 1});
+        }
+        sample_req_ids.push_back(a.id);
+        sample_vslots.push_back(a.slot);
+    }
+
+    if (ids.empty()) {
+        if (!stalled.empty()) {
+            // Every buildable request is out of pages and nothing else
+            // can run: preempt the newest stalled request (most recent
+            // admission keeps FIFO fairness) so its pages unblock the
+            // rest. Typed truncation, partial output kept. The
+            // admission-time worst-case gate makes this a last resort:
+            // only requests whose lone demand exceeds the whole arena
+            // (clamped best-effort admissions) or injected
+            // page-acquire faults can stall here.
+            retireLocked(stalled.back(),
+                         RequestStatus::kCapacityExceeded, nowMs(), done);
+            ++metrics_.preempted;
+            syncPoolCounters();
+            return true; // freed pages: real progress
+        }
+        ++metrics_.idle_steps;
+        syncPoolCounters();
+        return false;
+    }
+
+    bool tap_tripped = false;
+    std::function<void(OpClass, const Tensor &)> prev_tap;
+    if (cfg_.tap_activations) {
+        prev_tap = std::move(qs_.fwd_tap);
+        qs_.fwd_tap = [&tap_tripped](OpClass, const Tensor &t) {
+            if (!tap_tripped && !allFinite(t))
+                tap_tripped = true;
+        };
+    }
+
+    Tensor logits =
+        clm_ != nullptr
+            ? clm_->forwardPagedRows(qs_, ids, positions, self_rows,
+                                     ppool_->selfLayers(), logit_rows)
+            : s2s_->forwardPagedRows(qs_, ids, positions, self_rows,
+                                     ppool_->selfLayers(), cross_rows,
+                                     ppool_->crossLayers(), pads.data());
+
+    if (cfg_.tap_activations) {
+        qs_.fwd_tap = std::move(prev_tap);
+        if (tap_tripped)
+            ++metrics_.tap_nonfinite_steps;
+    }
+
+    if (cfg_.fault != nullptr) {
+        cfg_.fault->onLogits(step_idx_, sample_req_ids, sample_vslots,
+                             logits);
+        std::vector<PagedSeqView> views;
+        views.reserve(n_active);
+        for (size_t i = 0; i < n_active; ++i) {
+            const Active &a = *active_[i];
+            // Rows written this step are already in the panels, so
+            // they are fair fault targets too; a stalled request only
+            // exposes rows it actually cached.
+            const int64_t rows =
+                planned_end[i] >= 0 ? planned_end[i] : a.pseq.len;
+            if (rows > 0 && !a.pseq.pages.empty())
+                views.push_back(PagedSeqView{a.id, &a.pseq.pages, rows});
+        }
+        const int32_t pg = cfg_.fault->onKvPages(
+            step_idx_, views, ppool_->selfLayers(), ppool_->pageSize());
+        if (pg >= 0) {
+            ppool_->dropCachedPage(pg); // never re-share poison
+            for (const auto &ap : active_) {
+                if (std::find(ap->pseq.pages.begin(),
+                              ap->pseq.pages.end(),
+                              pg) != ap->pseq.pages.end())
+                    ap->kv_poisoned = true;
+            }
+        }
+    }
+    ++step_idx_;
+
+    const double now = nowMs();
+    ++metrics_.steps;
+    metrics_.busy_ms += now - t0;
+
+    // Pass 1 (ascending): commit cache growth. Rows are in the panels
+    // whether or not their request survives pass 2.
+    for (size_t i = 0; i < n_active; ++i) {
+        Active &a = *active_[i];
+        const int64_t plen = static_cast<int64_t>(a.req.prompt.size());
+        if (planned_end[i] < 0)
+            continue; // stalled: nothing was written
+        if (clm_ != nullptr && a.prefill_pos < plen) {
+            const int64_t ce = planned_end[i];
+            metrics_.prefill_tokens_computed += ce - a.prefill_pos;
+            a.pseq.len = ce;
+            a.prefill_pos = ce;
+            a.pos = ce;
+            if (ce == plen) {
+                a.prompt_next = a.req.prompt.size();
+                // Donate the now-complete prompt pages so followers
+                // sharing this prefix skip the prefill work — unless a
+                // fault touched any of them.
+                if (!a.kv_poisoned)
+                    ppool_->insertPrefix(a.req.prompt, plen, a.pseq);
+            }
+        } else {
+            a.pseq.len = a.pos + 1;
+            ++a.pos;
+        }
+    }
+
+    // Pass 2 (descending): sample / retire, so erasures never shift a
+    // row still to be processed.
+    for (size_t k = samples.size(); k-- > 0;) {
+        const size_t i = samples[k].active_idx;
+        const int64_t row = samples[k].logits_row;
+        Active &a = *active_[i];
+
+        if (cfg_.guard_logits && !rowFinite(logits, row)) {
+            retireLocked(i, RequestStatus::kNumericFault, now, done);
+            continue;
+        }
+
+        const int32_t tok = sampleToken(logits, row, a.req.sampling,
+                                        a.rng);
+        // TTFT counts the first *generated* token: prefill chunk rows
+        // never sample, so first_token_ms can only land here.
+        if (a.first_token_ms < 0.0) {
+            a.first_token_ms = now;
+            metrics_.token_latency_ms.record(now - a.submit_ms);
+        } else {
+            metrics_.token_latency_ms.record(now - a.last_token_ms);
+        }
+        a.last_token_ms = now;
+
+        if (a.req.eos >= 0 && tok == a.req.eos) {
+            retireLocked(i, RequestStatus::kOk, now, done);
+            continue;
+        }
+        a.out.push_back(tok);
+        if (static_cast<int64_t>(a.out.size()) >= a.req.max_new_tokens) {
+            retireLocked(i, RequestStatus::kOk, now, done);
+            continue;
+        }
+        a.next_input = tok;
+    }
+
+    syncPoolCounters();
+    if (trace::collecting())
+        trace::counter("serve/retired",
+                       static_cast<double>(metrics_.completed -
+                                           retired_before));
+    return true;
+}
+
 void
 ServeEngine::runUntilIdle()
 {
@@ -583,7 +1151,8 @@ ServeEngine::runUntilIdle()
 bool
 ServeEngine::hasWork()
 {
-    if (active_n_.load() > 0 || queue_.size() > 0)
+    if (active_n_.load() > 0 || queue_.size() > 0 ||
+        parked_n_.load() > 0)
         return true;
     std::lock_guard<std::mutex> lock(cancel_mu_);
     return !cancel_ids_.empty();
@@ -648,6 +1217,13 @@ ServeEngine::abortAll()
         for (PendingRequest &p : drained)
             resolveUnadmittedLocked(std::move(p),
                                     RequestStatus::kEngineStopped, done);
+        if (parked_.has_value()) {
+            PendingRequest p = std::move(*parked_);
+            parked_.reset();
+            parked_n_.store(0);
+            resolveUnadmittedLocked(std::move(p),
+                                    RequestStatus::kEngineStopped, done);
+        }
         const double now = nowMs();
         for (size_t i = active_.size(); i-- > 0;)
             retireLocked(i, RequestStatus::kEngineStopped, now, done);

@@ -50,6 +50,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -57,6 +58,7 @@
 #include "serve/fault.h"
 #include "serve/kv_pool.h"
 #include "serve/metrics.h"
+#include "serve/paged_kv.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
 
@@ -95,6 +97,38 @@ struct EngineConfig
     /// Optional fault injector (borrowed; may be null). See
     /// serve/fault.h — zero cost when null.
     FaultInjector *fault = nullptr;
+
+    // --- Paged pool (DESIGN.md §14) ---------------------------------
+
+    /// Use the paged KV pool (PagedKVPool) instead of the slab
+    /// KVCachePool: per-request page tables, chunked prefill, and the
+    /// shared-prefix radix cache. Tokens stay bit-identical to the
+    /// slab engine; `slot_capacity` still caps per-request length (so
+    /// truncation points match the slab oracle exactly).
+    bool paged = false;
+
+    int64_t page_size = 16; ///< Rows per KV page.
+
+    /// Self-arena page count; 0 derives the slab-equivalent footprint
+    /// (n_slots * ceil(slot_capacity / page_size) pages), so paged and
+    /// slab engines compare at identical KV RAM by default.
+    int64_t n_pages = 0;
+
+    /// Seq2Seq cross-arena page count; 0 derives
+    /// n_slots * ceil(cross_capacity / page_size).
+    int64_t n_cross_pages = 0;
+
+    /// Paged: cap on concurrently in-flight requests (0 = unbounded —
+    /// admission is gated by worst-case page demand alone, sized by
+    /// each request's actual prompt + budget, the point of paging).
+    int64_t max_active = 0;
+
+    /// Paged CausalLM: enable the shared-prefix radix cache.
+    bool prefix_cache = true;
+
+    /// Paged CausalLM: prompt rows consumed per engine step during
+    /// prefill (<= 0 = page_size). The slab engine prefills 1/step.
+    int64_t prefill_chunk = 0;
 };
 
 class ServeEngine
@@ -163,8 +197,14 @@ class ServeEngine
     /// (externally-stepped mode).
     void runUntilIdle();
 
-    size_t pendingCount() const { return queue_.size(); }
+    size_t pendingCount() const
+    {
+        return queue_.size() + parked_n_.load();
+    }
     size_t activeCount() const { return active_n_.load(); }
+
+    /// Slab: free pool slots. Paged: pages obtainable right now
+    /// (free + evictable prefix-cache pages).
     int64_t freeSlots() const;
 
     /// Consistent copy of the metrics, safe to call from any thread
@@ -179,9 +219,22 @@ class ServeEngine
 
     /// KV pool footprint. Geometry (and hence these values) is fixed at
     /// construction, so they are safe to read without the engine lock.
-    bool kvPacked() const { return pool_.packed(); }
-    size_t residentKVBytes() const { return pool_.residentKVBytes(); }
-    size_t kvBytesPerSlot() const { return pool_.bytesPerSlot(); }
+    bool kvPacked() const
+    {
+        return ppool_ != nullptr ? ppool_->packed() : pool_->packed();
+    }
+    size_t residentKVBytes() const
+    {
+        return ppool_ != nullptr ? ppool_->residentKVBytes()
+                                 : pool_->residentKVBytes();
+    }
+    /// Slab: bytes one slot reserves. Paged: bytes a full-length
+    /// (slot_capacity-row) sequence would occupy in whole pages.
+    size_t kvBytesPerSlot() const;
+
+    /// Paged engine only (null otherwise): the paging pool, for tests
+    /// and benches reading occupancy / prefix-cache statistics.
+    const PagedKVPool *pagedPool() const { return ppool_.get(); }
 
   private:
     struct Active; // One in-flight request's decode state.
@@ -204,9 +257,19 @@ class ServeEngine
     void wake();
 
     bool stepLocked(std::vector<Resolution> &done);
+    bool stepPagedLocked(std::vector<Resolution> &done);
     /// Admit queued requests into free slots; returns the number admitted.
     int admitLocked(std::vector<Resolution> &done);
     bool admitOneLocked(PendingRequest &&p, std::vector<Resolution> &done);
+    /// Paged admission: FIFO from parked_ then the queue, gated on
+    /// page availability; a request that does not fit is parked (not
+    /// reordered) and admission stops.
+    int admitPagedLocked();
+    /// Returns false — leaving @p p intact for parking — when the pool
+    /// cannot take the request right now (first chunk unobtainable, or
+    /// the worst-case page-demand gate would overcommit the arena).
+    bool admitPagedOneLocked(PendingRequest &p);
+    int32_t acquireVSlotLocked();
     void retireLocked(size_t idx, RequestStatus status, double now_ms,
                       std::vector<Resolution> &done);
     void resolveUnadmittedLocked(PendingRequest &&p, RequestStatus status,
@@ -224,9 +287,16 @@ class ServeEngine
     EngineConfig cfg_;
     RequestQueue queue_;
 
-    mutable std::mutex mu_; ///< Guards pool_, active_, metrics_ and
-                            ///< serializes scheduler steps.
-    KVCachePool pool_;
+    mutable std::mutex mu_; ///< Guards the pools, active_, metrics_
+                            ///< and serializes scheduler steps.
+    std::unique_ptr<KVCachePool> pool_;  ///< Slab mode (else null).
+    std::unique_ptr<PagedKVPool> ppool_; ///< Paged mode (else null).
+    /// Paged: the admission-order head that did not fit the pool last
+    /// step — retried before the queue so backpressure stays FIFO.
+    std::optional<PendingRequest> parked_;
+    std::atomic<size_t> parked_n_{0}; ///< Lock-free parked_ mirror.
+    std::vector<int32_t> vslot_free_; ///< Paged: recycled virtual slots.
+    int32_t vslot_next_ = 0;          ///< Paged: next fresh virtual slot.
     std::vector<std::unique_ptr<Active>> active_;
     ServeMetrics metrics_;
     std::atomic<size_t> active_n_{0}; ///< Lock-free activeCount mirror.

@@ -112,6 +112,78 @@ FaultInjector::onKvPanels(int64_t /*step*/,
     ++stats_.bits_flipped;
 }
 
+bool
+FaultInjector::onPageAcquire()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.page_acquire_fail_rate <= 0.0 ||
+        rng_.uniform() >= cfg_.page_acquire_fail_rate)
+        return false;
+    ++stats_.page_acquire_fails;
+    return true;
+}
+
+int32_t
+FaultInjector::onKvPages(int64_t /*step*/,
+                         const std::vector<PagedSeqView> &seqs,
+                         std::vector<KVPagePanels> &self_layers,
+                         int64_t page_size)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.page_bitflip_rate <= 0.0 || seqs.empty() ||
+        self_layers.empty())
+        return -1;
+    if (rng_.uniform() >= cfg_.page_bitflip_rate)
+        return -1;
+
+    // Victim: a random visible row of a random active sequence —
+    // logical addressing, so shared prefix pages are in range too.
+    const PagedSeqView &seq = seqs[static_cast<size_t>(
+        rng_.randint(static_cast<int64_t>(seqs.size())))];
+    if (seq.rows <= 0)
+        return -1;
+    const int64_t r = rng_.randint(seq.rows);
+    const int32_t page =
+        (*seq.pages)[static_cast<size_t>(r / page_size)];
+    const int64_t phys = static_cast<int64_t>(page) * page_size +
+                         r % page_size;
+
+    KVPagePanels &layer = self_layers[static_cast<size_t>(
+        rng_.randint(static_cast<int64_t>(self_layers.size())))];
+    const bool pick_k = rng_.uniform() < 0.5;
+    const int64_t cell_idx =
+        phys * layer.d_model + rng_.randint(layer.d_model);
+
+    if (layer.packed()) {
+        std::vector<uint8_t> &codes =
+            pick_k ? layer.k_codes : layer.v_codes;
+        codes[static_cast<size_t>(cell_idx)] ^=
+            static_cast<uint8_t>(1u << rng_.randint(8));
+    } else {
+        Tensor &panel = pick_k ? layer.k : layer.v;
+        float *cell = panel.data() + cell_idx;
+        uint32_t bits;
+        std::memcpy(&bits, cell, sizeof(bits));
+        bits ^= 1u << rng_.randint(32);
+        std::memcpy(cell, &bits, sizeof(bits));
+    }
+
+    // Per-request isolation accounting: the flip corrupts every
+    // sequence whose page table maps this physical page (one victim
+    // for private pages, all sharers for a prefix-cache page).
+    for (const PagedSeqView &s : seqs) {
+        const int64_t used = (s.rows + page_size - 1) / page_size;
+        for (int64_t j = 0; j < used; ++j) {
+            if ((*s.pages)[static_cast<size_t>(j)] == page) {
+                faulted_.insert(s.id);
+                break;
+            }
+        }
+    }
+    ++stats_.page_bits_flipped;
+    return page;
+}
+
 FaultInjector::Stats
 FaultInjector::stats() const
 {

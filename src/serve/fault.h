@@ -67,9 +67,27 @@ struct FaultConfig
     /// allocation failure (admission retries on a later step).
     double acquire_fail_rate = 0.0;
 
+    /// Paged pool: per-step probability of flipping one bit inside a
+    /// random resident page (shared prefix pages included — *every*
+    /// request mapping the page is recorded as faulted).
+    double page_bitflip_rate = 0.0;
+
+    /// Paged pool: per-ensureTail probability of a simulated
+    /// page-allocation failure (the request stalls one step).
+    double page_acquire_fail_rate = 0.0;
+
     /// Per-step probability of sleeping delay_ms inside the step.
     double delay_rate = 0.0;
     double delay_ms = 0.0;
+};
+
+/// A scheduler-side view of one active request's self page table, for
+/// page-granularity fault targeting and sharer attribution.
+struct PagedSeqView
+{
+    uint64_t id = 0;
+    const std::vector<int32_t> *pages = nullptr;
+    int64_t rows = 0; ///< Cached (visible) rows.
 };
 
 class FaultInjector
@@ -81,6 +99,8 @@ class FaultInjector
         int64_t bits_flipped = 0;
         int64_t acquire_fails = 0;
         int64_t delays = 0;
+        int64_t page_bits_flipped = 0;
+        int64_t page_acquire_fails = 0;
     };
 
     explicit FaultInjector(FaultConfig cfg);
@@ -103,6 +123,21 @@ class FaultInjector
     void onKvPanels(int64_t step, const std::vector<uint64_t> &ids,
                     const std::vector<int32_t> &slots,
                     std::vector<KVSlots> &self_layers);
+
+    /// True = pretend the paged pool has no free page for this
+    /// ensureTail (the request stalls and retries next step).
+    bool onPageAcquire();
+
+    /// Paged analogue of onKvPanels: maybe flip one bit inside a
+    /// random visible page row of a random active sequence. Because a
+    /// page may be mapped by several sequences (shared prefix), every
+    /// sequence whose table contains the flipped physical page is
+    /// recorded as faulted. Returns the flipped physical page id (so
+    /// the scheduler can expel it from the prefix cache), or -1 when
+    /// nothing was flipped.
+    int32_t onKvPages(int64_t step, const std::vector<PagedSeqView> &seqs,
+                      std::vector<KVPagePanels> &self_layers,
+                      int64_t page_size);
 
     // --- Test-side accessors (thread-safe) ---------------------------
 

@@ -133,6 +133,21 @@ ServeMetrics::dump() const
                   static_cast<long long>(prompt_tokens), tokensPerSecBusy(),
                   busy_ms);
     out += buf;
+    if (prefix_lookups + pages_resident_peak > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "paged: %lld/%lld prefix hits, %lld rows reused, %lld "
+            "prefill rows computed, %lld evictions, %lld pages peak, "
+            "%lld preempted\n",
+            static_cast<long long>(prefix_hits),
+            static_cast<long long>(prefix_lookups),
+            static_cast<long long>(prefix_reused_tokens),
+            static_cast<long long>(prefill_tokens_computed),
+            static_cast<long long>(prefix_evictions),
+            static_cast<long long>(pages_resident_peak),
+            static_cast<long long>(preempted));
+        out += buf;
+    }
     const struct
     {
         const char *name;

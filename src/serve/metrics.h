@@ -72,6 +72,15 @@ struct ServeMetrics
     int64_t tap_nonfinite_steps = 0; ///< Activation-tap trips (§10).
     double busy_ms = 0.0; ///< Total forward/sample time across steps.
 
+    // Paged-pool counters (zero on the slab engine).
+    int64_t prefill_tokens_computed = 0; ///< Prompt rows run in chunks.
+    int64_t prefix_lookups = 0; ///< Prefix-cache admissions probed.
+    int64_t prefix_hits = 0;    ///< Probes matching >= 1 row.
+    int64_t prefix_reused_tokens = 0; ///< Prompt rows skipped via cache.
+    int64_t prefix_evictions = 0;     ///< LRU cache pages reclaimed.
+    int64_t pages_resident_peak = 0;  ///< Max referenced pages seen.
+    int64_t preempted = 0; ///< Out-of-pages forced retirements.
+
     void recordRetirement(const RequestRecord &r);
 
     /// Aggregate decode throughput over engine busy time.

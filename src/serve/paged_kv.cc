@@ -1,0 +1,354 @@
+#include "serve/paged_kv.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qt8::serve {
+
+/// Radix-trie node: the edge from the parent is one full
+/// page_size-token prompt chunk, and the node owns exactly one
+/// read-only page holding that chunk's K/V rows in every self layer.
+struct PagedKVPool::Node
+{
+    std::vector<int32_t> tok; ///< The edge's token chunk (page_size).
+    int32_t page = -1;        ///< Owned self page (-1 only at root).
+    Node *parent = nullptr;
+    std::vector<std::unique_ptr<Node>> kids;
+    uint64_t stamp = 0; ///< Last-touched LRU stamp.
+};
+
+PagedKVPool::PagedKVPool(const Config &cfg) : cfg_(cfg)
+{
+    assert(cfg_.n_pages > 0 && cfg_.page_size > 0 && cfg_.d_model > 0);
+    self_.resize(cfg_.n_self_layers);
+    for (auto &p : self_)
+        p.reset(cfg_.n_pages, cfg_.page_size, cfg_.d_model,
+                cfg_.packed_fmt);
+    cross_.resize(cfg_.n_cross_layers);
+    for (auto &p : cross_)
+        p.reset(cfg_.n_cross_pages, cfg_.page_size, cfg_.d_model,
+                cfg_.packed_fmt);
+
+    ref_.assign(static_cast<size_t>(cfg_.n_pages), 0);
+    node_of_page_.assign(static_cast<size_t>(cfg_.n_pages), nullptr);
+    free_.reserve(static_cast<size_t>(cfg_.n_pages));
+    // LIFO free lists, seeded so page 0 pops first (matches the slab
+    // pool's slot order, which keeps traces easy to read).
+    for (int64_t p = cfg_.n_pages - 1; p >= 0; --p)
+        free_.push_back(static_cast<int32_t>(p));
+    for (int64_t p = cfg_.n_cross_pages - 1; p >= 0; --p)
+        cross_free_.push_back(static_cast<int32_t>(p));
+
+    root_ = std::make_unique<Node>();
+}
+
+PagedKVPool::~PagedKVPool() = default;
+
+int32_t
+PagedKVPool::allocPage()
+{
+    if (free_.empty() && !evictOne())
+        return -1;
+    const int32_t p = free_.back();
+    free_.pop_back();
+    assert(ref_[static_cast<size_t>(p)] == 0);
+    ref_[static_cast<size_t>(p)] = 1;
+    return p;
+}
+
+void
+PagedKVPool::derefPage(int32_t page)
+{
+    int32_t &r = ref_[static_cast<size_t>(page)];
+    assert(r > 0);
+    if (--r == 0)
+        free_.push_back(page);
+}
+
+bool
+PagedKVPool::ensureTail(PagedSeq &seq, int64_t new_rows)
+{
+    const int64_t have = static_cast<int64_t>(seq.pages.size());
+    const int64_t need = pagesFor(new_rows, cfg_.page_size) - have;
+    if (need <= 0)
+        return true;
+    std::vector<int32_t> got;
+    got.reserve(static_cast<size_t>(need));
+    for (int64_t i = 0; i < need; ++i) {
+        const int32_t p = allocPage();
+        if (p < 0) {
+            // All-or-nothing: hand the partial grab back untouched.
+            for (const int32_t q : got)
+                derefPage(q);
+            return false;
+        }
+        got.push_back(p);
+    }
+    seq.pages.insert(seq.pages.end(), got.begin(), got.end());
+    return true;
+}
+
+void
+PagedKVPool::releaseSeq(PagedSeq &seq)
+{
+    for (const int32_t p : seq.pages)
+        derefPage(p);
+    // Cross pages are always privately owned: straight to the free
+    // list, unscrubbed (the page table defines visibility).
+    for (const int32_t p : seq.cross_pages)
+        cross_free_.push_back(p);
+    seq = PagedSeq{};
+}
+
+bool
+PagedKVPool::allocCross(PagedSeq &seq, int64_t rows)
+{
+    const int64_t need = pagesFor(rows, cfg_.page_size);
+    if (static_cast<int64_t>(cross_free_.size()) < need)
+        return false;
+    for (int64_t i = 0; i < need; ++i) {
+        seq.cross_pages.push_back(cross_free_.back());
+        cross_free_.pop_back();
+    }
+    return true;
+}
+
+PagedKVPool::PrefixMatch
+PagedKVPool::matchPrefix(const std::vector<int32_t> &prompt,
+                         int64_t max_rows)
+{
+    PrefixMatch out;
+    if (!cfg_.prefix_cache)
+        return out;
+    ++lookups_;
+    const int64_t ps = cfg_.page_size;
+    max_rows = std::min(max_rows, static_cast<int64_t>(prompt.size()));
+
+    Node *cur = root_.get();
+    int64_t r = 0;
+    while (max_rows - r > 0) {
+        const int64_t remaining = max_rows - r;
+        Node *full = nullptr;
+        Node *best_partial = nullptr;
+        int64_t best_m = 0;
+        for (auto &kid : cur->kids) {
+            int64_t m = 0;
+            const int64_t lim = std::min(remaining, ps);
+            while (m < lim &&
+                   kid->tok[static_cast<size_t>(m)] ==
+                       prompt[static_cast<size_t>(r + m)])
+                ++m;
+            if (m == ps) {
+                full = kid.get();
+                break;
+            }
+            if (m > best_m) {
+                best_m = m;
+                best_partial = kid.get();
+            }
+        }
+        if (full != nullptr) {
+            full->stamp = ++clock_;
+            out.pages.push_back(full->page);
+            out.rows += ps;
+            r += ps;
+            cur = full;
+            continue;
+        }
+        if (best_partial != nullptr) {
+            // The request diverges (or its budget ends) inside this
+            // cached page: its first best_m rows are still exact —
+            // copy-on-write material.
+            best_partial->stamp = ++clock_;
+            out.partial_page = best_partial->page;
+            out.partial_rows = best_m;
+        }
+        break;
+    }
+    if (out.rows + out.partial_rows > 0)
+        ++hits_;
+    return out;
+}
+
+int64_t
+PagedKVPool::adoptPrefix(PagedSeq &seq, const PrefixMatch &m)
+{
+    assert(seq.pages.empty() && seq.len == 0 &&
+           "adoptPrefix needs a fresh sequence");
+    for (const int32_t p : m.pages) {
+        ++ref_[static_cast<size_t>(p)];
+        seq.pages.push_back(p);
+    }
+    seq.len = m.rows;
+    if (m.partial_page >= 0) {
+        const int32_t np = allocPage();
+        if (np >= 0) {
+            // Clone the covered rows byte-for-byte: a position-t row
+            // depends only on tokens 0..t, so the copy is identical
+            // to recomputing them (and the page is now private — the
+            // request appends its own divergent rows after them). The
+            // LRU sweep inside allocPage may hand back the partial
+            // page itself (it was unreferenced cache); its rows are
+            // already in place then — free lists never scrub.
+            if (np != m.partial_page)
+                for (auto &panel : self_)
+                    panel.copyPageRows(m.partial_page, np,
+                                       m.partial_rows);
+            seq.pages.push_back(np);
+            seq.len += m.partial_rows;
+            ++cow_clones_;
+        }
+        // Allocation failure just forgoes the partial rows; the full
+        // pages above are already adopted.
+    }
+    seq.shared_rows = seq.len;
+    reused_rows_ += seq.len;
+    return seq.len;
+}
+
+void
+PagedKVPool::insertPrefix(const std::vector<int32_t> &prompt,
+                          int64_t prompt_rows, const PagedSeq &seq)
+{
+    if (!cfg_.prefix_cache)
+        return;
+    const int64_t ps = cfg_.page_size;
+    assert(prompt_rows <= seq.len);
+    const int64_t n_chunks =
+        std::min(prompt_rows, static_cast<int64_t>(prompt.size())) / ps;
+
+    Node *cur = root_.get();
+    for (int64_t c = 0; c < n_chunks; ++c) {
+        const auto chunk_begin =
+            prompt.begin() + static_cast<ptrdiff_t>(c * ps);
+        Node *next = nullptr;
+        for (auto &kid : cur->kids) {
+            if (std::equal(kid->tok.begin(), kid->tok.end(),
+                           chunk_begin)) {
+                next = kid.get();
+                break;
+            }
+        }
+        if (next == nullptr) {
+            // First donor of this chunk: the cache co-owns the
+            // sequence's page from here on (read-only by convention —
+            // a sequence never rewrites rows below its prompt).
+            const int32_t page = seq.pages[static_cast<size_t>(c)];
+            auto node = std::make_unique<Node>();
+            node->tok.assign(chunk_begin, chunk_begin + ps);
+            node->page = page;
+            node->parent = cur;
+            node->stamp = ++clock_;
+            ++ref_[static_cast<size_t>(page)];
+            node_of_page_[static_cast<size_t>(page)] = node.get();
+            ++cached_pages_;
+            next = node.get();
+            cur->kids.push_back(std::move(node));
+        } else {
+            next->stamp = ++clock_;
+        }
+        cur = next;
+    }
+}
+
+PagedKVPool::Node *
+PagedKVPool::findLeafLru(Node *n, Node **best) const
+{
+    for (auto &kid : n->kids)
+        findLeafLru(kid.get(), best);
+    if (n != root_.get() && n->kids.empty() &&
+        ref_[static_cast<size_t>(n->page)] == 1 &&
+        (*best == nullptr || n->stamp < (*best)->stamp))
+        *best = n;
+    return *best;
+}
+
+bool
+PagedKVPool::evictOne()
+{
+    Node *victim = nullptr;
+    findLeafLru(root_.get(), &victim);
+    if (victim == nullptr)
+        return false;
+    removeNode(victim);
+    ++evictions_;
+    return true;
+}
+
+void
+PagedKVPool::removeNode(Node *n)
+{
+    // Post-order: a subtree goes as a unit (descendant chunks are
+    // unreachable without this edge). Pages still mapped by live
+    // sequences survive via their remaining refs.
+    while (!n->kids.empty())
+        removeNode(n->kids.back().get());
+    node_of_page_[static_cast<size_t>(n->page)] = nullptr;
+    --cached_pages_;
+    derefPage(n->page);
+    Node *parent = n->parent;
+    auto it = std::find_if(
+        parent->kids.begin(), parent->kids.end(),
+        [n](const std::unique_ptr<Node> &k) { return k.get() == n; });
+    assert(it != parent->kids.end());
+    parent->kids.erase(it);
+}
+
+void
+PagedKVPool::dropCachedPage(int32_t page)
+{
+    Node *n = node_of_page_[static_cast<size_t>(page)];
+    if (n != nullptr)
+        removeNode(n);
+}
+
+int64_t
+PagedKVPool::availablePages() const
+{
+    // Free now, plus the closure of cache nodes reclaimable by
+    // repeated LRU leaf eviction: a node's page frees iff the cache is
+    // its sole owner *and* its whole subtree is reclaimable (eviction
+    // works leaf-upward). Reclaimable descendants under a blocked
+    // branch still count — they were tallied bottom-up.
+    struct Walk
+    {
+        const PagedKVPool *pool;
+        int64_t total = 0;
+        bool visit(const Node *n) // whole subtree reclaimable?
+        {
+            bool all = true;
+            for (const auto &kid : n->kids)
+                all = visit(kid.get()) && all;
+            if (!all || pool->ref_[static_cast<size_t>(n->page)] != 1)
+                return false;
+            ++total;
+            return true;
+        }
+    };
+    Walk w{this};
+    for (const auto &kid : root_->kids)
+        w.visit(kid.get());
+    return freePages() + w.total;
+}
+
+size_t
+PagedKVPool::residentKVBytes() const
+{
+    size_t total = 0;
+    for (const auto &p : self_)
+        total += p.residentBytes();
+    for (const auto &p : cross_)
+        total += p.residentBytes();
+    return total;
+}
+
+size_t
+PagedKVPool::bytesPerPage() const
+{
+    const size_t per_row = static_cast<size_t>(cfg_.d_model) * 2 *
+                           (packed() ? 1 : sizeof(float));
+    return per_row * static_cast<size_t>(cfg_.page_size) *
+           (cfg_.n_self_layers + cfg_.n_cross_layers);
+}
+
+} // namespace qt8::serve

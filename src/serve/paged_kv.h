@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Paged KV cache pool with shared-prefix radix reuse: the paging
+ * analogue of KVCachePool. Instead of reserving `capacity` rows per
+ * slot up front, the pool owns a global arena of fixed `page_size`-row
+ * pages (per layer, K and V, self plus optional Seq2Seq cross panels)
+ * and each request holds an ordered *page table*; logical row r lives
+ * at physical row pages[r / page_size] * page_size + r % page_size of
+ * every layer's panel. Peak concurrency is bound by rows actually
+ * cached, not worst-case sequence length.
+ *
+ * Pages are refcounted, which enables the radix prefix cache: a trie
+ * over page_size-token prompt chunks where each node owns one full
+ * read-only page of that chunk's K/V rows. Requests whose prompt
+ * shares a cached prefix map the same pages (O(1) admission for the
+ * shared rows — the "millions of users hammering the same assistant
+ * prompt" scenario), with copy-on-write when a request diverges inside
+ * a cached page and LRU reclamation of unreferenced cache leaves when
+ * the free list runs dry. Correctness leans on the repo-wide identity
+ * discipline: a position-t KV row depends only on tokens 0..t (causal
+ * attention, element-wise static-grid quantization), so a cached row
+ * is bit-identical to the row the request would have computed itself.
+ *
+ * Free/evicted pages are never scrubbed — page tables alone define
+ * visibility, so dirty-page reuse decodes identically (pinned by
+ * paged_kv_test).
+ */
+#ifndef QT8_SERVE_PAGED_KV_H
+#define QT8_SERVE_PAGED_KV_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+
+namespace qt8::serve {
+
+/// Per-request paged cache state: the self-attention page table plus
+/// (Seq2Seq) the privately-owned cross-attention pages.
+struct PagedSeq
+{
+    std::vector<int32_t> pages; ///< Self page table, in logical order.
+    int64_t len = 0;            ///< Cached self rows (visible prefix).
+    int64_t shared_rows = 0;    ///< Leading rows adopted from the cache.
+    std::vector<int32_t> cross_pages; ///< Cross table (primed once).
+    int64_t cross_len = 0;            ///< Cached cross rows.
+};
+
+class PagedKVPool
+{
+  public:
+    struct Config
+    {
+        int64_t n_pages = 0;    ///< Self-arena pages.
+        int64_t page_size = 16; ///< Rows per page.
+        int64_t d_model = 0;
+        size_t n_self_layers = 0;
+        size_t n_cross_layers = 0;  ///< Seq2Seq decoder layers (0 = LM).
+        int64_t n_cross_pages = 0;  ///< Cross-arena pages.
+        const Quantizer *packed_fmt = nullptr; ///< Borrowed; see KVSlots.
+        bool prefix_cache = true;   ///< Enable the radix prefix cache.
+    };
+
+    explicit PagedKVPool(const Config &cfg);
+    ~PagedKVPool();
+
+    int64_t pageSize() const { return cfg_.page_size; }
+    int64_t pageCount() const { return cfg_.n_pages; }
+    bool packed() const { return cfg_.packed_fmt != nullptr; }
+    bool prefixCacheEnabled() const { return cfg_.prefix_cache; }
+
+    /// Pages needed to hold @p rows rows.
+    static int64_t pagesFor(int64_t rows, int64_t page_size)
+    {
+        return (rows + page_size - 1) / page_size;
+    }
+
+    /// Self pages free right now.
+    int64_t freePages() const
+    {
+        return static_cast<int64_t>(free_.size());
+    }
+
+    /// Cross-arena pages free right now (Seq2Seq admission check).
+    int64_t crossFreePages() const
+    {
+        return static_cast<int64_t>(cross_free_.size());
+    }
+
+    /// Self pages obtainable on demand: free now plus cache-only leaf
+    /// pages the LRU sweep could reclaim (admission headroom check).
+    int64_t availablePages() const;
+
+    /// Self pages referenced by at least one owner (live sequences or
+    /// the prefix cache) — the "pages_resident" metric.
+    int64_t residentPages() const
+    {
+        return cfg_.n_pages - freePages();
+    }
+
+    /// Pages currently owned (solely or jointly) by the prefix cache.
+    int64_t cachedPages() const { return cached_pages_; }
+
+    /// Refcount of self page @p page (tests / fault bookkeeping).
+    int32_t pageRef(int32_t page) const
+    {
+        return ref_[static_cast<size_t>(page)];
+    }
+
+    /**
+     * Grow @p seq's page table until it covers @p new_rows logical
+     * rows, taking pages from the free list and — when that runs dry —
+     * evicting least-recently-used unreferenced prefix-cache leaves.
+     * All-or-nothing: on failure the sequence is untouched and false
+     * is returned (the scheduler stalls or preempts). Never touches
+     * rows already cached, so it is safe mid-decode.
+     */
+    bool ensureTail(PagedSeq &seq, int64_t new_rows);
+
+    /// Release every page reference @p seq holds (self and cross) and
+    /// reset it. Pages shared with the cache or other sequences stay
+    /// resident; sole-owner pages return to the free lists unscrubbed.
+    void releaseSeq(PagedSeq &seq);
+
+    /// Allocate and privately own ceil(rows / page_size) cross pages
+    /// for @p seq. All-or-nothing; false when the cross arena is dry.
+    bool allocCross(PagedSeq &seq, int64_t rows);
+
+    /// A prefix-cache lookup result. Full pages are only *named* here;
+    /// adoptPrefix takes the references.
+    struct PrefixMatch
+    {
+        std::vector<int32_t> pages; ///< Fully-matched cache pages.
+        int64_t rows = 0;           ///< pages.size() * page_size.
+        int32_t partial_page = -1;  ///< Cache page sharing a strict
+                                    ///< prefix of the next chunk.
+        int64_t partial_rows = 0;   ///< Usable rows of partial_page.
+    };
+
+    /**
+     * Longest radix-trie match over the first @p max_rows tokens of
+     * @p prompt (the scheduler passes prompt_len - 1: the final prompt
+     * row must always be computed so first-token logits exist). Full
+     * page_size-token chunks match trie edges exactly; at the first
+     * mismatch, a child sharing >= 1 leading tokens yields a partial
+     * (copy-on-write) match. Touches LRU stamps on the matched path.
+     * Returns an empty match when the cache is disabled.
+     */
+    PrefixMatch matchPrefix(const std::vector<int32_t> &prompt,
+                            int64_t max_rows);
+
+    /**
+     * Map @p m into @p seq: references every fully-matched page into
+     * the page table, then clones the partial page's covered rows into
+     * a freshly-allocated private page (copy-on-write — the clone is a
+     * byte copy, so it is bit-identical to recomputing those rows).
+     * Returns the rows now cached in @p seq (= seq.len); the partial
+     * clone is skipped, not failed, when no page can be allocated.
+     * Must be called on a fresh (empty) sequence.
+     */
+    int64_t adoptPrefix(PagedSeq &seq, const PrefixMatch &m);
+
+    /**
+     * Donate @p seq's fully-populated prompt pages to the prefix
+     * cache: walks the trie along @p prompt's full chunks (first
+     * @p prompt_rows rows, typically prompt_len - 1 so the chunk
+     * covering the last prompt row is donatable once prefill wrote
+     * it), creating nodes — and taking a cache reference on the
+     * sequence's page — where the trie has none. Existing nodes are
+     * left as-is (first donor wins; later duplicates stay private).
+     */
+    void insertPrefix(const std::vector<int32_t> &prompt,
+                      int64_t prompt_rows, const PagedSeq &seq);
+
+    /// Evict one LRU unreferenced cache leaf, freeing its page.
+    /// Returns false when nothing is evictable.
+    bool evictOne();
+
+    /// Drop the cache node owning @p page, if any (fault cleanup): a
+    /// fault-poisoned cache page must not be re-shared with future
+    /// requests. Sequences already mapping it are unaffected. Interior
+    /// nodes take their whole subtree with them (descendant prefixes
+    /// are unreachable without the poisoned chunk anyway).
+    void dropCachedPage(int32_t page);
+
+    /// Prefix-cache hit statistics (monotonic).
+    int64_t lookups() const { return lookups_; }
+    int64_t hits() const { return hits_; }
+    int64_t reusedRows() const { return reused_rows_; }
+    int64_t evictions() const { return evictions_; }
+    int64_t cowClones() const { return cow_clones_; }
+
+    /// Fixed resident bytes of all arenas (pages are allocated
+    /// upfront; occupancy is residentPages()).
+    size_t residentKVBytes() const;
+    size_t bytesPerPage() const;
+
+    std::vector<KVPagePanels> &selfLayers() { return self_; }
+    std::vector<KVPagePanels> &crossLayers() { return cross_; }
+
+  private:
+    struct Node; ///< Radix-trie node (one full page per edge).
+
+    int32_t allocPage();       ///< -1 when dry (after LRU eviction).
+    void derefPage(int32_t page);
+    Node *findLeafLru(Node *n, Node **best) const;
+    void removeNode(Node *n);
+
+    Config cfg_;
+    std::vector<KVPagePanels> self_;
+    std::vector<KVPagePanels> cross_;
+
+    std::vector<int32_t> ref_;   ///< Self-page refcounts.
+    std::vector<int32_t> free_;  ///< Self free list (LIFO).
+    std::vector<int32_t> cross_free_;
+
+    std::unique_ptr<Node> root_;
+    std::vector<Node *> node_of_page_; ///< Cache node per self page.
+    int64_t cached_pages_ = 0;
+    uint64_t clock_ = 0; ///< LRU stamp source.
+
+    int64_t lookups_ = 0, hits_ = 0, reused_rows_ = 0, evictions_ = 0,
+            cow_clones_ = 0;
+};
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_PAGED_KV_H

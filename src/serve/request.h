@@ -71,7 +71,13 @@ struct RequestResult
     /// kEngineStopped/kCapacityExceeded.
     std::vector<int32_t> tokens;
     int64_t prompt_tokens = 0;
-    double ttft_ms = 0.0;    ///< Submit -> first generated token.
+    /// Paged engine: prompt rows satisfied from the shared-prefix
+    /// cache instead of prefill compute (0 on the slab engine or on a
+    /// cache miss). prompt_tokens always counts the full prompt.
+    int64_t prefix_reused_tokens = 0;
+    double ttft_ms = 0.0;    ///< Submit -> first *generated* token
+                             ///< (prefill steps never count as first
+                             ///< token, chunked or not).
     double latency_ms = 0.0; ///< Submit -> completion.
 };
 

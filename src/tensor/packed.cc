@@ -351,6 +351,80 @@ packedAccumRows(const float *w, const uint8_t *codes, const double *table,
 }
 
 void
+packedDotRowsPaged(const float *q, const uint8_t *codes,
+                   const double *table, const int32_t *pages,
+                   int64_t page_size, int64_t rows, int64_t cols,
+                   int64_t stride, float *out, PackedKvScratch &scratch)
+{
+    static const DotFn dot = pickDotKernel();
+    scratch.panel.resize(
+        static_cast<size_t>(kPackedKChunk * kPackedNR));
+    double *wdec = scratch.panel.data();
+    double acc[kPackedNR];
+
+    for (int64_t r0 = 0; r0 < rows; r0 += kPackedNR) {
+        const int64_t bn = std::min(rows - r0, kPackedNR);
+        std::fill(acc, acc + kPackedNR, 0.0);
+        for (int64_t c0 = 0; c0 < cols; c0 += kPackedKChunk) {
+            const int64_t kc = std::min(kPackedKChunk, cols - c0);
+            if (bn < kPackedNR)
+                std::fill(wdec, wdec + kc * kPackedNR, 0.0);
+            for (int64_t jj = 0; jj < bn; ++jj) {
+                const int64_t r = r0 + jj;
+                const int64_t phys =
+                    static_cast<int64_t>(pages[r / page_size]) *
+                        page_size +
+                    r % page_size;
+                const uint8_t *row = codes + phys * stride + c0;
+                for (int64_t t = 0; t < kc; ++t)
+                    wdec[t * kPackedNR + jj] = table[row[t]];
+            }
+            dot(q + c0, wdec, kc, acc);
+        }
+        for (int64_t jj = 0; jj < bn; ++jj)
+            out[r0 + jj] = static_cast<float>(acc[jj]);
+    }
+}
+
+void
+packedAccumRowsPaged(const float *w, const uint8_t *codes,
+                     const double *table, const int32_t *pages,
+                     int64_t page_size, int64_t rows, int64_t cols,
+                     int64_t stride, float *out, PackedKvScratch &scratch)
+{
+    static const DotFn dot = pickDotKernel();
+    scratch.panel.resize(
+        static_cast<size_t>(kPackedKChunk * kPackedNR));
+    double *wdec = scratch.panel.data();
+    double acc[kPackedNR];
+
+    for (int64_t c0 = 0; c0 < cols; c0 += kPackedNR) {
+        const int64_t bn = std::min(cols - c0, kPackedNR);
+        std::fill(acc, acc + kPackedNR, 0.0);
+        // acc persists across every r chunk (and page seam): same
+        // ascending-r double accumulation as the contiguous kernel.
+        for (int64_t r0 = 0; r0 < rows; r0 += kPackedKChunk) {
+            const int64_t kc = std::min(kPackedKChunk, rows - r0);
+            if (bn < kPackedNR)
+                std::fill(wdec, wdec + kc * kPackedNR, 0.0);
+            for (int64_t t = 0; t < kc; ++t) {
+                const int64_t r = r0 + t;
+                const int64_t phys =
+                    static_cast<int64_t>(pages[r / page_size]) *
+                        page_size +
+                    r % page_size;
+                const uint8_t *row = codes + phys * stride + c0;
+                for (int64_t jj = 0; jj < bn; ++jj)
+                    wdec[t * kPackedNR + jj] = table[row[jj]];
+            }
+            dot(w + r0, wdec, kc, acc);
+        }
+        for (int64_t jj = 0; jj < bn; ++jj)
+            out[c0 + jj] = static_cast<float>(acc[jj]);
+    }
+}
+
+void
 gemmQuantizedReference(const Tensor &a, bool trans_a, const PackedTensor &w,
                        bool trans_w, Tensor &c, float alpha, float beta,
                        const GemmEpilogue *epi)

@@ -225,6 +225,37 @@ void packedAccumRows(const float *w, const uint8_t *codes,
                      const double *table, int64_t rows, int64_t cols,
                      int64_t stride, float *out, PackedKvScratch &scratch);
 
+/**
+ * packedDotRows through a page table: logical row r of the sequence
+ * lives at physical code row
+ *
+ *   pages[r / page_size] * page_size + r % page_size
+ *
+ * of the arena-wide panel @p codes. Only the address computation
+ * differs from packedDotRows — the accumulation order (double,
+ * ascending c, one final float cast per output) is unchanged, so the
+ * result is bit-identical to gathering the pages into a contiguous
+ * slab and calling packedDotRows.
+ */
+void packedDotRowsPaged(const float *q, const uint8_t *codes,
+                        const double *table, const int32_t *pages,
+                        int64_t page_size, int64_t rows, int64_t cols,
+                        int64_t stride, float *out,
+                        PackedKvScratch &scratch);
+
+/**
+ * packedAccumRows through a page table (see packedDotRowsPaged for the
+ * addressing). The per-output double accumulator persists across row
+ * chunks — and therefore across page boundaries — exactly as in the
+ * contiguous kernel, so no intermediate float rounding is introduced
+ * at page seams: bit-identical to the slab kernel on the same rows.
+ */
+void packedAccumRowsPaged(const float *w, const uint8_t *codes,
+                          const double *table, const int32_t *pages,
+                          int64_t page_size, int64_t rows, int64_t cols,
+                          int64_t stride, float *out,
+                          PackedKvScratch &scratch);
+
 } // namespace qt8
 
 #endif // QT8_TENSOR_PACKED_H

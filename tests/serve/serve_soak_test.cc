@@ -232,8 +232,9 @@ TEST(ServeSoak, EveryRequestResolvesAndHealthyOnesStayBitIdentical)
                 FAIL() << "request " << s.id
                        << " resolved with an unexpected status";
             }
-            if (s.req.prompt.empty())
+            if (s.req.prompt.empty()) {
                 EXPECT_EQ(RequestStatus::kRejectedInvalid, res.status);
+            }
 
             // Isolation: untouched requests that ran to completion are
             // bit-identical to a solo decode, chaos notwithstanding.
@@ -279,6 +280,128 @@ TEST(ServeSoak, EveryRequestResolvesAndHealthyOnesStayBitIdentical)
                     follow.status == RequestStatus::kNumericFault);
     else
         EXPECT_EQ(RequestStatus::kOk, follow.status);
+}
+
+TEST(ServeSoak, PagedEnginePageFaultChaosKeepsIsolation)
+{
+#ifdef QT8_TSAN
+    const int n_producers = 3, per_producer = 4;
+    const double delay_ms = 0.2;
+#else
+    const int n_producers = 3, per_producer = 10;
+    const double delay_ms = 0.5;
+#endif
+
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 20260807);
+    QuantSession qs(QuantConfig::posit8());
+
+    FaultConfig fc;
+    fc.seed = 13;
+    fc.nan_logit_rate = 0.02;
+    fc.page_bitflip_rate = 0.10;     // corrupts a random mapped page
+    fc.page_acquire_fail_rate = 0.10; // stalls chunked prefill / decode
+    fc.delay_rate = 0.10;
+    fc.delay_ms = delay_ms;
+    FaultInjector fault(fc);
+
+    EngineConfig ec{/*n_slots=*/3, /*slot_capacity=*/32};
+    ec.paged = true;
+    ec.page_size = 4;
+    ec.prefill_chunk = 6;
+    ec.max_active = 3;
+    ec.fault = &fault;
+    ServeEngine engine(model, qs, ec);
+    engine.start();
+
+    // Half the requests share a long prefix, so page-granularity
+    // faults land on *shared* prefix-cache pages too — the injector
+    // must attribute every sharer, or isolation checks below misfire.
+    Rng seed_rng(21);
+    const std::vector<int32_t> shared =
+        makePrompt(seed_rng, cfg.vocab, 10);
+
+    std::vector<std::vector<Submitted>> by_producer(
+        static_cast<size_t>(n_producers));
+    std::vector<std::thread> producers;
+    for (int t = 0; t < n_producers; ++t) {
+        producers.emplace_back([&, t] {
+            Rng rng(3000u + static_cast<uint64_t>(t));
+            auto &mine = by_producer[static_cast<size_t>(t)];
+            for (int r = 0; r < per_producer; ++r) {
+                Submitted s;
+                if (rng.randint(2) == 0) {
+                    s.req.prompt = shared;
+                    const auto tail =
+                        makePrompt(rng, cfg.vocab, 1 + rng.randint(4));
+                    s.req.prompt.insert(s.req.prompt.end(),
+                                        tail.begin(), tail.end());
+                } else {
+                    s.req.prompt =
+                        makePrompt(rng, cfg.vocab, 2 + rng.randint(7));
+                }
+                s.req.max_new_tokens = 3 + rng.randint(8);
+                s.req.eos = Vocab::kEos;
+                s.req.sampling.seed =
+                    static_cast<uint64_t>(t) * 700u +
+                    static_cast<uint64_t>(r);
+                s.fut = engine.submit(s.req, &s.id);
+                mine.push_back(std::move(s));
+                if (rng.randint(3) == 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+            }
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+
+    engine.stop(StopMode::kDrain);
+
+    EXPECT_EQ(0u, engine.activeCount());
+    EXPECT_EQ(0u, engine.pendingCount());
+
+    int64_t resolved = 0, healthy_ok = 0;
+    for (const auto &mine : by_producer) {
+        for (const auto &s : mine) {
+            ASSERT_EQ(std::future_status::ready,
+                      s.fut.wait_for(std::chrono::seconds(0)))
+                << "request " << s.id << " never resolved";
+            const RequestResult res = s.fut.get();
+            ++resolved;
+            ASSERT_TRUE(res.status == RequestStatus::kOk ||
+                        res.status == RequestStatus::kCapacityExceeded ||
+                        res.status == RequestStatus::kNumericFault)
+                << "request " << s.id << ": "
+                << serve::toString(res.status);
+            // Isolation under page faults: untouched requests finish
+            // bit-identically even when a *shared* page their
+            // neighbour mapped was flipped (sharer attribution) or a
+            // poisoned prefill was donated (it must not have been).
+            if (res.status == RequestStatus::kOk &&
+                !fault.wasFaulted(s.id)) {
+                ++healthy_ok;
+                EXPECT_EQ(soloCausal(model, qs, s.req.prompt,
+                                     s.req.max_new_tokens, s.req.eos,
+                                     s.req.sampling),
+                          res.tokens)
+                    << "request " << s.id;
+            }
+        }
+    }
+    EXPECT_EQ(n_producers * per_producer, resolved);
+    EXPECT_GT(healthy_ok, 0);
+
+    const auto fs = fault.stats();
+    EXPECT_GT(fs.page_bits_flipped + fs.page_acquire_fails, 0)
+        << "the page-level chaos must actually fire";
+
+    // Quiesced pool: every page back on the free list or parked in
+    // the (healthy remainder of the) prefix cache.
+    const auto *pool = engine.pagedPool();
+    ASSERT_NE(nullptr, pool);
+    EXPECT_EQ(pool->pageCount(),
+              pool->freePages() + pool->cachedPages());
 }
 
 } // namespace

@@ -7,13 +7,20 @@
  *
  *   serve_demo [--dtype fp32|bf16|posit8|e4m3] [--slots N]
  *              [--requests N] [--max-new N] [--seed S] [--packed 0|1]
- *              [--kv-packed 0|1]
+ *              [--kv-packed 0|1] [--pages N] [--page-size N]
+ *              [--prefix-cache 0|1]
  *
  * --packed 1 serves from true packed 8-bit weight codes through the
  * fused gemmQuantized path (grid dtypes only; tokens stay bit-identical
  * to the fake-quantized default). --kv-packed 1 additionally stores the
  * KV-cache pool as packed 8-bit codes and decodes them inside the
  * attention GEMVs — 4x smaller resident KV, same tokens bit for bit.
+ *
+ * --pages N switches to the paged KV pool (DESIGN.md §14): N fixed-size
+ * pages (0 = the slab-equivalent count) back per-request page tables,
+ * prompts prefill in page-sized chunks, and --prefix-cache 1 (default)
+ * shares identical prompt prefixes between requests through the radix
+ * cache. Tokens stay bit-identical to the slab engine.
  *
  * Greedy requests are bit-identical to a solo cached decode; sampled
  * requests replay identically from their per-request seed.
@@ -57,6 +64,9 @@ main(int argc, char **argv)
     uint64_t seed = 7;
     bool packed = false;
     bool kv_packed = false;
+    bool paged = false;
+    int64_t n_pages = 0, page_size = 16;
+    bool prefix_cache = true;
     for (int i = 1; i + 1 < argc; i += 2) {
         const std::string flag = argv[i];
         if (flag == "--dtype")
@@ -73,6 +83,16 @@ main(int argc, char **argv)
             packed = std::atoll(argv[i + 1]) != 0;
         else if (flag == "--kv-packed")
             kv_packed = std::atoll(argv[i + 1]) != 0;
+        else if (flag == "--pages") {
+            paged = true;
+            n_pages = std::atoll(argv[i + 1]);
+        } else if (flag == "--page-size") {
+            paged = true;
+            page_size = std::atoll(argv[i + 1]);
+        } else if (flag == "--prefix-cache") {
+            paged = true;
+            prefix_cache = std::atoll(argv[i + 1]) != 0;
+        }
     }
 
     ModelConfig cfg;
@@ -92,13 +112,24 @@ main(int argc, char **argv)
 
     serve::EngineConfig ec;
     ec.n_slots = n_slots;
+    ec.paged = paged;
+    ec.n_pages = n_pages;
+    ec.page_size = page_size;
+    ec.prefix_cache = prefix_cache;
     serve::ServeEngine engine(model, qs, ec);
 
-    std::printf("serve_demo: %s%s%s, %lld slots, %lld requests\n\n",
+    std::printf("serve_demo: %s%s%s, %lld slots, %lld requests",
                 dtype.c_str(), packed ? " (packed weights)" : "",
                 qc.kvPackedFormat() != nullptr ? " (packed KV)" : "",
                 static_cast<long long>(n_slots),
                 static_cast<long long>(n_requests));
+    if (paged)
+        std::printf(", paged KV (%lld pages x %lld rows%s)",
+                    static_cast<long long>(
+                        engine.config().n_pages),
+                    static_cast<long long>(engine.config().page_size),
+                    prefix_cache ? ", prefix cache" : "");
+    std::printf("\n\n");
 
     Rng rng(seed);
     std::vector<std::shared_future<serve::RequestResult>> futs;
