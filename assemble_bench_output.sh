@@ -28,7 +28,10 @@ done
 # binaries are present; skip silently otherwise. bench_serve --kv-json
 # also embeds the shared-prefix slab-vs-paged comparison at fixed KV
 # RAM ("prefix_share"; same table as bench_serve --prefix-share) and
-# exits non-zero if the paged engines' tokens ever diverge from slab.
+# the RAM-only-vs-disk-tier session spill comparison ("spill"; same
+# table as bench_serve --spill), and exits non-zero if the paged
+# engines' tokens ever diverge from slab or the spill modes' streams
+# ever diverge from each other.
 [ -x build/bench/bench_kernels ] && build/bench/bench_kernels --gemm-json >/dev/null
 [ -x build/bench/bench_decode ] && build/bench/bench_decode --kv-json >/dev/null
 [ -x build/bench/bench_serve ] && build/bench/bench_serve --kv-json >/dev/null

@@ -33,11 +33,20 @@
  * prefix hit rate and TTFT, and fails unless every mode's token
  * streams are bit-identical. `--kv-json` embeds the same comparison
  * as the "prefix_share" object in BENCH_serve.json.
+ *
+ * `--spill` drives a multi-turn chat-session workload (DESIGN.md §15)
+ * at a fixed KV arena too small for every idle session: RAM-only
+ * sessions get shed under pressure and reactivate by recompute, while
+ * the disk tier spills and restores them. It reports sessions
+ * preserved, reactivation latency split restore-vs-recompute, and
+ * tok/s, failing unless both modes' token streams are bit-identical.
+ * `--kv-json` embeds it as the "spill" object in BENCH_serve.json.
  */
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -292,6 +301,7 @@ smokeMain(bool kv_packed)
 }
 
 int prefixShareSection(std::FILE *f);
+int spillSection(std::FILE *f);
 
 /// --kv-json[=path]: BENCH_serve.json — continuous-batching serving
 /// stats for the fp32 KV cache vs packed codes at equal concurrency,
@@ -381,10 +391,12 @@ kvJsonMain(const std::string &path)
     }
     std::fprintf(f, "  ],\n");
     const int share_failures = prefixShareSection(f);
+    std::fprintf(f, ",\n");
+    const int spill_failures = spillSection(f);
     std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
-    return share_failures;
+    return share_failures + spill_failures;
 }
 
 /// Shared-prefix workload: every request opens with the same
@@ -609,6 +621,235 @@ prefixShareSection(std::FILE *f)
     return failures == 0 ? 0 : 1;
 }
 
+/// Tiered KV session storage (DESIGN.md §15): N multi-turn chat
+/// sessions at a KV arena far too small to keep every idle session
+/// resident. "ram-only" sheds idle sessions under pressure (their next
+/// turn runs fresh); "disk-spill" writes them to integrity-checked
+/// spill files and restores on reactivation. Reports sessions
+/// preserved, reactivation latency (restore vs recompute/fresh) and
+/// tok/s at fixed KV RAM; fails unless both modes' token streams are
+/// bit-identical (IO tiering must never change tokens). When @p f is
+/// non-null also writes the `"spill": {...}` JSON object.
+int
+spillSection(std::FILE *f)
+{
+    const ModelConfig cfg = serveLmConfig();
+    const int64_t n_sessions = 12;
+    const int64_t page_size = 8, n_pages = 14, n_slots = 2;
+    const int64_t capacity = 40; // rows; 5 pages of worst-case demand
+    const std::string spill_dir = "bench_serve_spill_tmp";
+
+    // Conversation starts, identical across modes. Turn 2 extends
+    // turn 1's output, so it is built per mode and the streams are
+    // compared at the end.
+    Rng rng(107);
+    std::vector<std::vector<int32_t>> prompts, extras;
+    std::vector<int64_t> budgets;
+    for (int64_t i = 0; i < n_sessions; ++i) {
+        std::vector<int32_t> p;
+        const int64_t plen = 6 + rng.randint(5);
+        for (int64_t j = 0; j < plen; ++j)
+            p.push_back(static_cast<int32_t>(
+                Vocab::kFirstContent +
+                rng.randint(cfg.vocab - Vocab::kFirstContent)));
+        prompts.push_back(std::move(p));
+        std::vector<int32_t> e;
+        for (int64_t j = 0; j < 2; ++j)
+            e.push_back(static_cast<int32_t>(
+                Vocab::kFirstContent +
+                rng.randint(cfg.vocab - Vocab::kFirstContent)));
+        extras.push_back(std::move(e));
+        budgets.push_back(5 + rng.randint(5));
+    }
+
+    struct ModeRun
+    {
+        int64_t preserved = 0; ///< resident + restored reactivations.
+        int64_t resident = 0, restored = 0, recomputed = 0, fresh = 0;
+        double react_p50_ms = 0.0, react_p95_ms = 0.0;
+        double restore_p95_ms = 0.0, recompute_p95_ms = 0.0;
+        double tok_per_sec = 0.0;
+        int64_t spilled_bytes = 0, restored_bytes = 0,
+                spill_failures = 0;
+        size_t kv_bytes = 0;
+        std::vector<std::vector<int32_t>> t1_tokens, t2_tokens;
+    };
+
+    CausalLM model(cfg, 4321);
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+
+    struct Mode {
+        const char *label;
+        bool disk;
+    };
+    const std::vector<Mode> modes = {{"ram-only", false},
+                                     {"disk-spill", true}};
+    std::vector<ModeRun> runs;
+
+    std::printf("\nmulti-turn chat sessions at fixed KV RAM "
+                "(%lld sessions x 2 turns, %lld pages x %lld rows, "
+                "dtype=posit(8,1), kv packed):\n",
+                static_cast<long long>(n_sessions),
+                static_cast<long long>(n_pages),
+                static_cast<long long>(page_size));
+    std::printf("%-12s %10s %9s %9s %11s %12s %12s %12s\n", "mode",
+                "preserved", "restored", "fresh", "react p95",
+                "restore p95", "recomp p95", "tok/s");
+
+    for (const Mode &mode : modes) {
+        std::filesystem::remove_all(spill_dir);
+        QuantSession qs(qc);
+        serve::EngineConfig ec;
+        ec.n_slots = n_slots;
+        ec.slot_capacity = capacity;
+        ec.paged = true;
+        ec.page_size = page_size;
+        ec.n_pages = n_pages;
+        // Keep the radix cache out of the accounting: idle sessions
+        // are the only resident-page consumer under test.
+        ec.prefix_cache = false;
+        if (mode.disk)
+            ec.spill_dir = spill_dir;
+        serve::ServeEngine engine(model, qs, ec);
+
+        ModeRun r;
+        const auto t0 = std::chrono::steady_clock::now();
+        // Turn 1 of every session: idle sessions pile up, and the
+        // arena can hold only a few — pressure sheds (or spills) LRU.
+        for (int64_t i = 0; i < n_sessions; ++i) {
+            serve::Request req;
+            req.prompt = prompts[static_cast<size_t>(i)];
+            req.max_new_tokens = budgets[static_cast<size_t>(i)];
+            req.eos = -1;
+            req.session_id = static_cast<uint64_t>(i) + 1;
+            auto fut = engine.submit(req);
+            engine.runUntilIdle();
+            r.t1_tokens.push_back(fut.get().tokens);
+        }
+        // Reactivation sweep: every session comes back for turn 2.
+        serve::LatencyHistogram react, restore_lat, recompute_lat;
+        for (int64_t i = 0; i < n_sessions; ++i) {
+            serve::Request req;
+            req.prompt = prompts[static_cast<size_t>(i)];
+            const auto &t1 = r.t1_tokens[static_cast<size_t>(i)];
+            req.prompt.insert(req.prompt.end(), t1.begin(), t1.end());
+            const auto &e = extras[static_cast<size_t>(i)];
+            req.prompt.insert(req.prompt.end(), e.begin(), e.end());
+            req.max_new_tokens = 6;
+            req.eos = -1;
+            req.session_id = static_cast<uint64_t>(i) + 1;
+            auto fut = engine.submit(req);
+            engine.runUntilIdle();
+            const serve::RequestResult res = fut.get();
+            r.t2_tokens.push_back(res.tokens);
+            react.record(res.latency_ms);
+            switch (res.session_kv) {
+            case serve::SessionKVSource::kResident:
+                ++r.resident;
+                restore_lat.record(res.latency_ms);
+                break;
+            case serve::SessionKVSource::kRestoredFromSpill:
+                ++r.restored;
+                restore_lat.record(res.latency_ms);
+                break;
+            case serve::SessionKVSource::kRecomputed:
+                ++r.recomputed;
+                recompute_lat.record(res.latency_ms);
+                break;
+            case serve::SessionKVSource::kNone:
+                ++r.fresh;
+                recompute_lat.record(res.latency_ms);
+                break;
+            }
+        }
+        const double makespan_ms = msSince(t0);
+        r.preserved = r.resident + r.restored;
+        r.react_p50_ms = react.percentile(50.0);
+        r.react_p95_ms = react.percentile(95.0);
+        r.restore_p95_ms = restore_lat.percentile(95.0);
+        r.recompute_p95_ms = recompute_lat.percentile(95.0);
+        const serve::ServeMetrics &m = engine.metrics();
+        r.tok_per_sec = makespan_ms > 0.0
+                            ? m.generated_tokens / (makespan_ms / 1000.0)
+                            : 0.0;
+        r.spilled_bytes = m.spilled_bytes;
+        r.restored_bytes = m.restored_bytes;
+        r.spill_failures = m.spill_failures;
+        r.kv_bytes = engine.residentKVBytes();
+
+        std::printf("%-12s %7lld/%-2lld %9lld %9lld %9.1fms %10.1fms "
+                    "%10.1fms %12.0f\n",
+                    mode.label, static_cast<long long>(r.preserved),
+                    static_cast<long long>(n_sessions),
+                    static_cast<long long>(r.restored),
+                    static_cast<long long>(r.fresh + r.recomputed),
+                    r.react_p95_ms, r.restore_p95_ms, r.recompute_p95_ms,
+                    r.tok_per_sec);
+        runs.push_back(std::move(r));
+    }
+    std::filesystem::remove_all(spill_dir);
+
+    // Acceptance oracle: the disk tier may only change *where* KV
+    // history comes from, never the tokens.
+    int failures = 0;
+    for (int64_t i = 0; i < n_sessions; ++i) {
+        const auto si = static_cast<size_t>(i);
+        if (runs[0].t1_tokens[si] != runs[1].t1_tokens[si] ||
+            runs[0].t2_tokens[si] != runs[1].t2_tokens[si]) {
+            std::fprintf(stderr,
+                         "spill: session %lld tokens diverge between "
+                         "ram-only and disk-spill\n",
+                         static_cast<long long>(i) + 1);
+            ++failures;
+        }
+    }
+    const double ratio =
+        runs[0].preserved > 0 ? static_cast<double>(runs[1].preserved) /
+                                    static_cast<double>(runs[0].preserved)
+                              : static_cast<double>(runs[1].preserved);
+    std::printf("tokens bit-identical across modes: %s; disk tier "
+                "preserves %.1fx the sessions at the same KV RAM\n",
+                failures == 0 ? "yes" : "NO", ratio);
+
+    if (f != nullptr) {
+        std::fprintf(f,
+                     "  \"spill\": {\n"
+                     "    \"sessions\": %lld, \"turns\": 2,\n"
+                     "    \"kv_ram_bytes\": %zu,\n"
+                     "    \"tokens_bit_identical\": %s,\n"
+                     "    \"preserved_ratio\": %.2f,\n"
+                     "    \"modes\": [\n",
+                     static_cast<long long>(n_sessions), runs[0].kv_bytes,
+                     failures == 0 ? "true" : "false", ratio);
+        for (size_t mi = 0; mi < runs.size(); ++mi) {
+            const ModeRun &r = runs[mi];
+            std::fprintf(
+                f,
+                "      {\"mode\": \"%s\", \"sessions_preserved\": %lld, "
+                "\"resident\": %lld, \"restored\": %lld, "
+                "\"recomputed\": %lld, \"fresh\": %lld, "
+                "\"reactivate_p50_ms\": %.2f, "
+                "\"reactivate_p95_ms\": %.2f, "
+                "\"restore_p95_ms\": %.2f, \"recompute_p95_ms\": %.2f, "
+                "\"tok_per_sec\": %.0f, \"spilled_bytes\": %lld, "
+                "\"restored_bytes\": %lld, \"spill_failures\": %lld}%s\n",
+                modes[mi].label, static_cast<long long>(r.preserved),
+                static_cast<long long>(r.resident),
+                static_cast<long long>(r.restored),
+                static_cast<long long>(r.recomputed),
+                static_cast<long long>(r.fresh), r.react_p50_ms,
+                r.react_p95_ms, r.restore_p95_ms, r.recompute_p95_ms,
+                r.tok_per_sec, static_cast<long long>(r.spilled_bytes),
+                static_cast<long long>(r.restored_bytes),
+                static_cast<long long>(r.spill_failures),
+                mi + 1 < runs.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  }");
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -626,6 +867,8 @@ main(int argc, char **argv)
             return kvJsonMain(arg.substr(10));
         if (arg == "--prefix-share")
             return prefixShareSection(nullptr);
+        if (arg == "--spill")
+            return spillSection(nullptr);
     }
 
     banner("Serving: continuous batching vs static batching "
@@ -670,7 +913,9 @@ main(int argc, char **argv)
                     ct.mean_ms, ct.makespan_ms,
                     ct.tokensPerSec() / st.tokensPerSec());
     }
-    // Shared-prefix capacity table rides along in the default run so
-    // bench_output.txt carries the slab-vs-paged comparison too.
-    return prefixShareSection(nullptr);
+    // Shared-prefix and session-spill capacity tables ride along in
+    // the default run so bench_output.txt carries both comparisons.
+    const int share_failures = prefixShareSection(nullptr);
+    const int spill_failures = spillSection(nullptr);
+    return share_failures + spill_failures;
 }

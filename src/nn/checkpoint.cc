@@ -108,26 +108,6 @@ stageParams(std::FILE *f, const ParamList &params, bool with_crc,
 
 } // namespace
 
-uint32_t
-crc32(const void *data, size_t n, uint32_t seed)
-{
-    static const auto table = [] {
-        std::array<uint32_t, 256> t{};
-        for (uint32_t i = 0; i < 256; ++i) {
-            uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    const auto *p = static_cast<const unsigned char *>(data);
-    uint32_t c = seed ^ 0xFFFFFFFFu;
-    for (size_t i = 0; i < n; ++i)
-        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
-    return c ^ 0xFFFFFFFFu;
-}
-
 bool
 saveCheckpoint(const std::string &path, const ParamList &params)
 {

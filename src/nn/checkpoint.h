@@ -19,6 +19,10 @@
 #include <string>
 
 #include "nn/param.h"
+// The payload checksum lives in util/ (one implementation shared with
+// the serve-side KV spill store); kept in this header's include set so
+// existing crc32 callers keep compiling.
+#include "util/crc32.h"
 
 namespace qt8 {
 
@@ -39,10 +43,6 @@ bool saveCheckpoint(const std::string &path, const ParamList &params);
  */
 bool loadCheckpoint(const std::string &path, const ParamList &params,
                     std::string *why = nullptr);
-
-/// CRC32 (IEEE 802.3, reflected 0xEDB88320) of a byte buffer;
-/// exposed for tests and external integrity checks.
-uint32_t crc32(const void *data, size_t n, uint32_t seed = 0);
 
 } // namespace qt8
 

@@ -58,7 +58,8 @@ struct ServeEngine::Active
 {
     Active(PendingRequest &&p, int32_t slot_id)
         : id(p.id), req(std::move(p.request)), promise(std::move(p.promise)),
-          slot(slot_id), rng(req.sampling.seed), submit_ms(p.submit_ms),
+          slot(slot_id), session_kv(p.session_kv_hint),
+          rng(req.sampling.seed), submit_ms(p.submit_ms),
           deadline_ms(p.deadline_ms)
     {}
 
@@ -77,6 +78,10 @@ struct ServeEngine::Active
     int64_t worst_pages = 0;  ///< Paged: worst-case self-page demand
                               ///< (clamped to the arena), reserved
                               ///< against at admission.
+    /// Tiered KV sessions: where this request's history rows came
+    /// from, and how many were reused without recompute.
+    SessionKVSource session_kv = SessionKVSource::kNone;
+    int64_t session_reused = 0;
     int32_t next_input = 0; ///< Token fed on the coming step.
     std::vector<int32_t> out;
     Rng rng;
@@ -131,6 +136,21 @@ ServeEngine::ServeEngine(CausalLM *clm, Seq2Seq *s2s, QuantSession &qs,
         // source primes cross panels, never the self cache).
         pc.prefix_cache = cfg_.prefix_cache && clm != nullptr;
         ppool_ = std::make_unique<PagedKVPool>(pc);
+        if (clm != nullptr) {
+            // Tiered KV sessions ride on the paged CausalLM pool; an
+            // empty table costs nothing when no request carries a
+            // session_id.
+            SpillManager::Config sc;
+            sc.dir = cfg_.spill_dir;
+            sc.low_pages = cfg_.spill_low_pages;
+            sc.high_pages = cfg_.spill_high_pages;
+            sc.max_sessions = cfg_.max_sessions > 0
+                                  ? static_cast<size_t>(cfg_.max_sessions)
+                                  : 64;
+            sc.fault = cfg_.fault;
+            smgr_ = std::make_unique<SpillManager>(sc, *ppool_,
+                                                   cfg_.slot_capacity);
+        }
     } else {
         pool_ = std::make_unique<KVCachePool>(
             cfg_.n_slots, cfg_.slot_capacity, d_model, n_self, n_cross,
@@ -382,6 +402,8 @@ ServeEngine::retireLocked(size_t idx, RequestStatus status, double now_ms,
     r.tokens = a.out;
     r.prompt_tokens = static_cast<int64_t>(a.req.prompt.size());
     r.prefix_reused_tokens = a.pseq.shared_rows;
+    r.session_kv = a.session_kv;
+    r.session_reused_tokens = a.session_reused;
     r.ttft_ms =
         a.first_token_ms >= 0.0 ? a.first_token_ms - a.submit_ms : 0.0;
     r.latency_ms = now_ms - a.submit_ms;
@@ -410,7 +432,31 @@ ServeEngine::retireLocked(size_t idx, RequestStatus status, double now_ms,
             for (const int32_t pg : a.pseq.pages)
                 ppool_->dropCachedPage(pg);
         }
-        ppool_->releaseSeq(a.pseq);
+        // Tiered KV sessions: a clean kOk retirement retains its pages
+        // as the idle session for this key; the history tokens (prompt
+        // ++ generated, truncated to the cached rows) key the next
+        // turn's resume. Any other status — and any poisoned pages —
+        // drops the session instead: a partial or corrupt history must
+        // never silently seed a future turn.
+        bool retained = false;
+        const uint64_t sid = a.req.session_id;
+        if (smgr_ != nullptr && sid != 0) {
+            if (status == RequestStatus::kOk && !a.kv_poisoned &&
+                a.pseq.len > 0) {
+                std::vector<int32_t> hist = a.req.prompt;
+                hist.insert(hist.end(), a.out.begin(), a.out.end());
+                if (static_cast<int64_t>(hist.size()) >= a.pseq.len) {
+                    hist.resize(static_cast<size_t>(a.pseq.len));
+                    smgr_->endTurn(sid, std::move(hist),
+                                   std::move(a.pseq));
+                    retained = true;
+                }
+            }
+            if (!retained)
+                smgr_->dropSession(sid);
+        }
+        if (!retained)
+            ppool_->releaseSeq(a.pseq);
         vslot_free_.push_back(a.slot);
     } else {
         pool_->release(a.slot);
@@ -702,27 +748,60 @@ ServeEngine::admitPagedOneLocked(PendingRequest &p)
         // headroom so admission doesn't immediately stall.
         if (ppool_->availablePages() < 2)
             return false;
-        const PagedKVPool::PrefixMatch m =
-            ppool_->matchPrefix(p.request.prompt, plen - 1);
-        const int64_t len0 =
-            m.rows + (m.partial_page >= 0 ? m.partial_rows : 0);
-        const int64_t chunk_end =
-            std::min(plen, len0 + cfg_.prefill_chunk);
-        const int64_t need =
-            PagedKVPool::pagesFor(chunk_end, cfg_.page_size) -
-            static_cast<int64_t>(m.pages.size());
-        if (ppool_->availablePages() < need + 1)
-            return false;
+
+        // Tiered KV sessions: a session-keyed request whose prompt
+        // extends its retained history resumes those rows instead of
+        // recomputing them — resident from RAM, restored from a spill
+        // file, or (dead spill) falling through to the fresh path
+        // below with a sticky kRecomputed provenance. The checkout is
+        // committed only after every admission gate passes; a parked
+        // resume goes back as a resident session.
+        PagedSeq ps;
+        SessionKVSource session_src = SessionKVSource::kNone;
+        const uint64_t sid = p.request.session_id;
+        if (smgr_ != nullptr && sid != 0) {
+            SpillManager::Resume r =
+                smgr_->resume(sid, p.request.prompt);
+            if (r.retry)
+                return false; // pool can't hold the restore yet: park
+            if (r.source == SessionKVSource::kRecomputed)
+                p.session_kv_hint = SessionKVSource::kRecomputed;
+            if (r.source == SessionKVSource::kResident ||
+                r.source == SessionKVSource::kRestoredFromSpill) {
+                session_src = r.source;
+                ps = std::move(r.seq);
+            }
+        }
+        const auto unwind = [&] {
+            if (session_src != SessionKVSource::kNone)
+                smgr_->abortResume(sid, std::move(ps));
+            else
+                ppool_->releaseSeq(ps);
+        };
+        const int64_t session_rows = ps.len;
+
+        if (session_src == SessionKVSource::kNone) {
+            const PagedKVPool::PrefixMatch m =
+                ppool_->matchPrefix(p.request.prompt, plen - 1);
+            const int64_t len0 =
+                m.rows + (m.partial_page >= 0 ? m.partial_rows : 0);
+            const int64_t chunk_end =
+                std::min(plen, len0 + cfg_.prefill_chunk);
+            const int64_t need =
+                PagedKVPool::pagesFor(chunk_end, cfg_.page_size) -
+                static_cast<int64_t>(m.pages.size());
+            if (ppool_->availablePages() < need + 1)
+                return false;
+            ppool_->adoptPrefix(ps, m);
+        }
 
         // Reserve the first chunk's pages *now*: admission commits
         // real pages (the paged analogue of a slab slot), so a burst
         // of admissions can't collectively overcommit the arena
         // before any of them builds a row.
-        PagedSeq ps;
-        ppool_->adoptPrefix(ps, m);
         if (!ppool_->ensureTail(
                 ps, std::min(plen, ps.len + cfg_.prefill_chunk))) {
-            ppool_->releaseSeq(ps);
+            unwind();
             return false;
         }
 
@@ -748,9 +827,11 @@ ServeEngine::admitPagedOneLocked(PendingRequest &p)
         if (debt + std::max<int64_t>(
                        0, worst - static_cast<int64_t>(ps.pages.size())) >
             ppool_->availablePages()) {
-            ppool_->releaseSeq(ps);
+            unwind();
             return false;
         }
+        if (session_src != SessionKVSource::kNone)
+            smgr_->commitResume(sid); // admitted: entry consumed
 
         auto a = std::make_unique<Active>(std::move(p),
                                           acquireVSlotLocked());
@@ -758,6 +839,10 @@ ServeEngine::admitPagedOneLocked(PendingRequest &p)
         a->pseq = std::move(ps);
         a->pos = a->prefill_pos = a->pseq.len;
         a->next_input = a->req.prompt[0];
+        if (session_src != SessionKVSource::kNone) {
+            a->session_kv = session_src;
+            a->session_reused = session_rows;
+        }
         active_.push_back(std::move(a));
         active_n_.store(active_.size());
         return true;
@@ -832,11 +917,24 @@ ServeEngine::admitPagedLocked()
             break;
         }
         if (!admitPagedOneLocked(p)) {
-            // Does not fit right now: park it and stop admitting, so
-            // backpressure never reorders the FIFO.
-            parked_ = std::move(p);
-            parked_n_.store(1);
-            break;
+            // Hard memory pressure: idle sessions are the one page
+            // consumer the scheduler can shed. Spill (or drop) LRU
+            // idle sessions one at a time until the head admits or no
+            // candidate remains. Bounded by the resident count at
+            // entry, because an aborted resume re-parks as resident —
+            // without the bound a restore/abort/spill cycle could spin.
+            bool ok = false;
+            int64_t budget =
+                smgr_ != nullptr ? smgr_->residentSessions() : 0;
+            while (!ok && budget-- > 0 && smgr_->spillOne())
+                ok = admitPagedOneLocked(p);
+            if (!ok) {
+                // Does not fit right now: park it and stop admitting,
+                // so backpressure never reorders the FIFO.
+                parked_ = std::move(p);
+                parked_n_.store(1);
+                break;
+            }
         }
         ++admitted;
     }
@@ -858,6 +956,11 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
     const double t0 = nowMs();
     processCancelsLocked(t0, done);
     expireDeadlinesLocked(t0, done);
+    // Soft memory pressure: below the low watermark, write LRU idle
+    // sessions out to the disk tier before admission competes for the
+    // remaining pages (DESIGN.md §15).
+    if (smgr_ != nullptr)
+        smgr_->spillToWatermark();
     int admitted = admitPagedLocked();
 
     // slot_capacity still bounds every sequence, so truncation points
@@ -876,6 +979,20 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
         metrics_.prefix_evictions = ppool_->evictions();
         metrics_.pages_resident_peak = std::max(
             metrics_.pages_resident_peak, ppool_->residentPages());
+        if (smgr_ != nullptr) {
+            const SpillManager::Stats ss = smgr_->stats();
+            metrics_.sessions_spilled = ss.sessions_spilled;
+            metrics_.sessions_restored = ss.sessions_restored;
+            metrics_.sessions_recomputed = ss.sessions_recomputed;
+            metrics_.sessions_resident_reused =
+                ss.sessions_resident_reused;
+            metrics_.sessions_dropped = ss.sessions_dropped;
+            metrics_.spill_failures = ss.spill_failures;
+            metrics_.spilled_bytes = ss.spilled_bytes;
+            metrics_.restored_bytes = ss.restored_bytes;
+            metrics_.sessions_resident = smgr_->residentSessions();
+            metrics_.sessions_on_disk = smgr_->spilledSessions();
+        }
     };
 
     if (trace::collecting()) {
@@ -888,6 +1005,19 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
                        static_cast<double>(ppool_->residentPages()));
         trace::counter("serve/pages_cached",
                        static_cast<double>(ppool_->cachedPages()));
+        if (smgr_ != nullptr) {
+            const SpillManager::Stats ss = smgr_->stats();
+            trace::counter("serve/spilled_bytes",
+                           static_cast<double>(ss.spilled_bytes));
+            trace::counter("serve/restored_bytes",
+                           static_cast<double>(ss.restored_bytes));
+            trace::counter(
+                "serve/sessions_resident",
+                static_cast<double>(smgr_->residentSessions()));
+            trace::counter(
+                "serve/sessions_on_disk",
+                static_cast<double>(smgr_->spilledSessions()));
+        }
     }
 
     if (active_.empty()) {
@@ -1139,6 +1269,14 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
                        static_cast<double>(metrics_.completed -
                                            retired_before));
     return true;
+}
+
+void
+ServeEngine::releaseSessions()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (smgr_ != nullptr)
+        smgr_->releaseAll();
 }
 
 void

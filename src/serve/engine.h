@@ -57,6 +57,7 @@
 #include "nn/model.h"
 #include "serve/fault.h"
 #include "serve/kv_pool.h"
+#include "serve/kv_spill.h"
 #include "serve/metrics.h"
 #include "serve/paged_kv.h"
 #include "serve/request.h"
@@ -129,6 +130,26 @@ struct EngineConfig
     /// Paged CausalLM: prompt rows consumed per engine step during
     /// prefill (<= 0 = page_size). The slab engine prefills 1/step.
     int64_t prefill_chunk = 0;
+
+    // --- Tiered KV session storage (DESIGN.md §15) ------------------
+    // Paged CausalLM only: requests carrying Request::session_id leave
+    // their KV pages retained as idle sessions; these knobs size the
+    // spill policy. Always active on a paged CausalLM engine — with no
+    // session-keyed requests the table stays empty and costs nothing.
+
+    /// Disk-tier directory for idle-session spill files ("" = RAM-only
+    /// sessions: under memory pressure idle sessions are dropped and
+    /// their next turn recomputes).
+    std::string spill_dir;
+
+    /// Watermark sweep at each step: when availablePages() < low,
+    /// spill LRU idle sessions until >= high (0 = n_pages / 4 and
+    /// n_pages / 2).
+    int64_t spill_low_pages = 0;
+    int64_t spill_high_pages = 0;
+
+    /// Idle-session table bound (LRU overflow is dropped).
+    int64_t max_sessions = 64;
 };
 
 class ServeEngine
@@ -236,6 +257,16 @@ class ServeEngine
     /// and benches reading occupancy / prefix-cache statistics.
     const PagedKVPool *pagedPool() const { return ppool_.get(); }
 
+    /// Paged CausalLM only (null otherwise): the tiered-KV session
+    /// manager, for tests and benches reading spill statistics. Racy
+    /// while the scheduler thread runs — prefer metricsSnapshot().
+    const SpillManager *spillManager() const { return smgr_.get(); }
+
+    /// Drop every idle session (pages released, spill files deleted).
+    /// Ops hook for reclaiming memory, and lets tests assert pool
+    /// quiescence after a drain. Thread-safe.
+    void releaseSessions();
+
   private:
     struct Active; // One in-flight request's decode state.
 
@@ -291,6 +322,9 @@ class ServeEngine
                             ///< and serializes scheduler steps.
     std::unique_ptr<KVCachePool> pool_;  ///< Slab mode (else null).
     std::unique_ptr<PagedKVPool> ppool_; ///< Paged mode (else null).
+    /// Paged CausalLM: tiered KV sessions (declared after ppool_ so it
+    /// releases its pages into a still-live pool on destruction).
+    std::unique_ptr<SpillManager> smgr_;
     /// Paged: the admission-order head that did not fit the pool last
     /// step — retried before the queue so backpressure stays FIFO.
     std::optional<PendingRequest> parked_;

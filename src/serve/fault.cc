@@ -184,6 +184,52 @@ FaultInjector::onKvPages(int64_t /*step*/,
     return page;
 }
 
+bool
+FaultInjector::onSpillOpen()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.spill_open_fail_rate <= 0.0 ||
+        rng_.uniform() >= cfg_.spill_open_fail_rate)
+        return false;
+    ++stats_.spill_open_fails;
+    return true;
+}
+
+FaultInjector::SpillWriteFault
+FaultInjector::onSpillWrite()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // One draw per family, ENOSPC first: the failure the caller *sees*
+    // (abandon) beats the silent ones (torn / corrupt) when both fire.
+    if (cfg_.spill_enospc_rate > 0.0 &&
+        rng_.uniform() < cfg_.spill_enospc_rate) {
+        ++stats_.spill_enospc;
+        return SpillWriteFault::kNoSpace;
+    }
+    if (cfg_.spill_torn_write_rate > 0.0 &&
+        rng_.uniform() < cfg_.spill_torn_write_rate) {
+        ++stats_.spill_torn_writes;
+        return SpillWriteFault::kTorn;
+    }
+    if (cfg_.spill_corrupt_rate > 0.0 &&
+        rng_.uniform() < cfg_.spill_corrupt_rate) {
+        ++stats_.spill_corruptions;
+        return SpillWriteFault::kCorrupt;
+    }
+    return SpillWriteFault::kNone;
+}
+
+bool
+FaultInjector::onSpillRead()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.spill_short_read_rate <= 0.0 ||
+        rng_.uniform() >= cfg_.spill_short_read_rate)
+        return false;
+    ++stats_.spill_short_reads;
+    return true;
+}
+
 FaultInjector::Stats
 FaultInjector::stats() const
 {

@@ -22,6 +22,12 @@
  *    one admission attempt, delaying admission without losing work.
  *  - Step delay: stall the scheduler inside a step, widening race
  *    windows for submit/cancel/stop under ThreadSanitizer.
+ *  - IO faults (KV spill store): open failure, ENOSPC mid-write, torn
+ *    writes (success reported, file truncated), single-byte payload
+ *    corruption, and short reads — every failure edge of the tiered
+ *    KV storage in DESIGN.md §15. IO faults never touch numerics, so
+ *    they must *never* change a request's tokens, only its
+ *    restore-vs-recompute accounting.
  *
  * Requests whose numerics were touched (NaN or bit flip) are recorded
  * by id, so tests can separate "faulted" from "healthy" requests when
@@ -79,6 +85,27 @@ struct FaultConfig
     /// Per-step probability of sleeping delay_ms inside the step.
     double delay_rate = 0.0;
     double delay_ms = 0.0;
+
+    // --- IO fault family (KV spill store, DESIGN.md §15) -------------
+
+    /// Per-open probability that a spill-file open fails (spill side:
+    /// the spill is abandoned and the session stays resident; restore
+    /// side: the spill is marked dead and the prompt recomputes).
+    double spill_open_fail_rate = 0.0;
+    /// Per-spill probability of ENOSPC mid-write: the partial file is
+    /// deleted and the session stays resident.
+    double spill_enospc_rate = 0.0;
+    /// Per-spill probability of a *torn write*: the spill reports
+    /// success but the file is truncated at a random byte — the damage
+    /// surfaces as a short read on the next restore.
+    double spill_torn_write_rate = 0.0;
+    /// Per-spill probability of flipping one payload byte on disk
+    /// after a successful write (caught by the per-page CRC on
+    /// restore).
+    double spill_corrupt_rate = 0.0;
+    /// Per-restore probability of a simulated short read (truncated
+    /// file / torn page) even when the file is intact.
+    double spill_short_read_rate = 0.0;
 };
 
 /// A scheduler-side view of one active request's self page table, for
@@ -101,6 +128,11 @@ class FaultInjector
         int64_t delays = 0;
         int64_t page_bits_flipped = 0;
         int64_t page_acquire_fails = 0;
+        int64_t spill_open_fails = 0;
+        int64_t spill_enospc = 0;
+        int64_t spill_torn_writes = 0;
+        int64_t spill_corruptions = 0;
+        int64_t spill_short_reads = 0;
     };
 
     explicit FaultInjector(FaultConfig cfg);
@@ -138,6 +170,24 @@ class FaultInjector
     int32_t onKvPages(int64_t step, const std::vector<PagedSeqView> &seqs,
                       std::vector<KVPagePanels> &self_layers,
                       int64_t page_size);
+
+    // --- IO hooks, called by the KV spill store ----------------------
+
+    /// What a spill-side write should pretend happened.
+    enum class SpillWriteFault {
+        kNone,
+        kNoSpace, ///< ENOSPC mid-write: abandon, session stays resident.
+        kTorn,    ///< Report success, truncate the file behind the
+                  ///< caller's back (discovered at restore).
+        kCorrupt, ///< Report success, flip one payload byte on disk.
+    };
+
+    /// True = pretend the spill-file open failed (EMFILE/EACCES class).
+    bool onSpillOpen();
+    /// Drawn once per spill after the payload is staged.
+    SpillWriteFault onSpillWrite();
+    /// True = pretend a read came up short during restore.
+    bool onSpillRead();
 
     // --- Test-side accessors (thread-safe) ---------------------------
 

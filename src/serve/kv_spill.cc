@@ -1,0 +1,633 @@
+#include "serve/kv_spill.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "util/crc32.h"
+
+namespace qt8::serve {
+namespace {
+
+constexpr char kMagic[9] = {'Q', 'T', '8', 'S', 'P', 'I', 'L', 'L', '1'};
+/// magic + 6 u64 header fields (key, n_layers, page_size, d_model,
+/// rows, packed).
+constexpr int64_t kHeaderBytes =
+    static_cast<int64_t>(sizeof(kMagic)) + 6 * 8;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+writeU64(std::FILE *f, uint64_t v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readU64(std::FILE *f, uint64_t *v)
+{
+    return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+int64_t
+elemBytes(const KVPagePanels &layer)
+{
+    return layer.packed() ? 1 : static_cast<int64_t>(sizeof(float));
+}
+
+/// Raw bytes of one page's K (or V) rows inside a panel's arena.
+const uint8_t *
+pageBytes(const KVPagePanels &layer, int32_t page, bool key_panel)
+{
+    const int64_t off = static_cast<int64_t>(page) * layer.page_size *
+                        layer.d_model;
+    if (layer.packed()) {
+        const std::vector<uint8_t> &codes =
+            key_panel ? layer.k_codes : layer.v_codes;
+        return codes.data() + off;
+    }
+    const Tensor &panel = key_panel ? layer.k : layer.v;
+    return reinterpret_cast<const uint8_t *>(panel.data() + off);
+}
+
+uint8_t *
+pageBytesMut(KVPagePanels &layer, int32_t page, bool key_panel)
+{
+    return const_cast<uint8_t *>(pageBytes(layer, page, key_panel));
+}
+
+} // namespace
+
+const char *
+toString(SpillStatus s)
+{
+    switch (s) {
+    case SpillStatus::kOk:
+        return "ok";
+    case SpillStatus::kOpenFail:
+        return "open-fail";
+    case SpillStatus::kWriteFail:
+        return "write-fail";
+    case SpillStatus::kNoSpace:
+        return "no-space";
+    case SpillStatus::kBadHeader:
+        return "bad-header";
+    case SpillStatus::kShortRead:
+        return "short-read";
+    case SpillStatus::kCrcMismatch:
+        return "crc-mismatch";
+    case SpillStatus::kMissing:
+        return "missing";
+    }
+    return "?";
+}
+
+KVSpillStore::KVSpillStore(Config cfg) : cfg_(std::move(cfg))
+{
+    if (!cfg_.dir.empty()) {
+        // Best effort: a failure here surfaces as a typed kOpenFail on
+        // the first spill, never an exception on the engine thread.
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.dir, ec);
+    }
+}
+
+std::string
+KVSpillStore::pathFor(uint64_t key) const
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "/sess-%016llx.qt8spill",
+                  static_cast<unsigned long long>(key));
+    return cfg_.dir + name;
+}
+
+bool
+KVSpillStore::has(uint64_t key) const
+{
+    std::error_code ec;
+    return std::filesystem::exists(pathFor(key), ec);
+}
+
+void
+KVSpillStore::drop(uint64_t key)
+{
+    std::remove(pathFor(key).c_str());
+}
+
+SpillStatus
+KVSpillStore::spill(uint64_t key, const std::vector<int32_t> &pages,
+                    int64_t rows,
+                    const std::vector<KVPagePanels> &layers)
+{
+    if (rows <= 0 || layers.empty())
+        return SpillStatus::kBadHeader;
+    const int64_t page_size = layers[0].page_size;
+    const int64_t d_model = layers[0].d_model;
+    const int64_t n_pages = (rows + page_size - 1) / page_size;
+    if (n_pages > static_cast<int64_t>(pages.size()))
+        return SpillStatus::kBadHeader;
+
+    const std::string path = pathFor(key);
+    if (cfg_.fault != nullptr && cfg_.fault->onSpillOpen())
+        return SpillStatus::kOpenFail;
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return SpillStatus::kOpenFail;
+    // Any failure past this point abandons the spill: close, delete
+    // the partial file, and let the caller keep the session resident.
+    const auto abandon = [&](SpillStatus s) {
+        f.reset();
+        std::remove(path.c_str());
+        return s;
+    };
+    const auto write_failed = [&] {
+        return abandon(errno == ENOSPC ? SpillStatus::kNoSpace
+                                       : SpillStatus::kWriteFail);
+    };
+
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1)
+        return write_failed();
+    if (!writeU64(f.get(), key) ||
+        !writeU64(f.get(), static_cast<uint64_t>(layers.size())) ||
+        !writeU64(f.get(), static_cast<uint64_t>(page_size)) ||
+        !writeU64(f.get(), static_cast<uint64_t>(d_model)) ||
+        !writeU64(f.get(), static_cast<uint64_t>(rows)) ||
+        !writeU64(f.get(), layers[0].packed() ? 1 : 0))
+        return write_failed();
+
+    for (int64_t pi = 0; pi < n_pages; ++pi) {
+        const int32_t page = pages[static_cast<size_t>(pi)];
+        const int64_t page_rows =
+            std::min(page_size, rows - pi * page_size);
+        for (const KVPagePanels &layer : layers) {
+            const size_t bytes = static_cast<size_t>(
+                page_rows * d_model * elemBytes(layer));
+            for (const bool key_panel : {true, false}) {
+                const uint8_t *src = pageBytes(layer, page, key_panel);
+                if (!writeU64(f.get(), crc32(src, bytes)))
+                    return write_failed();
+                if (std::fwrite(src, 1, bytes, f.get()) != bytes)
+                    return write_failed();
+            }
+        }
+    }
+    const int64_t total = static_cast<int64_t>(std::ftell(f.get()));
+    if (std::fclose(f.release()) != 0)
+        return abandon(errno == ENOSPC ? SpillStatus::kNoSpace
+                                       : SpillStatus::kWriteFail);
+
+    if (cfg_.fault != nullptr) {
+        std::error_code ec;
+        switch (cfg_.fault->onSpillWrite()) {
+        case FaultInjector::SpillWriteFault::kNoSpace:
+            // Injected ENOSPC mid-spill: same contract as the real
+            // thing — abandon, nothing half-written left behind.
+            std::remove(path.c_str());
+            return SpillStatus::kNoSpace;
+        case FaultInjector::SpillWriteFault::kTorn:
+            // Torn write: the spill *reports success* but the file is
+            // truncated — the damage only surfaces as a short read on
+            // the next restore, exactly like a crash between write
+            // and durable flush.
+            std::filesystem::resize_file(
+                path, static_cast<uintmax_t>(total / 2), ec);
+            break;
+        case FaultInjector::SpillWriteFault::kCorrupt: {
+            // Silent media corruption: flip one payload byte; the
+            // per-page CRC catches it at restore.
+            FilePtr g(std::fopen(path.c_str(), "r+b"));
+            if (g) {
+                const int64_t payload = total - kHeaderBytes;
+                const int64_t off =
+                    kHeaderBytes +
+                    static_cast<int64_t>((key * 2654435761ull) %
+                                         static_cast<uint64_t>(payload));
+                std::fseek(g.get(), static_cast<long>(off), SEEK_SET);
+                const int c = std::fgetc(g.get());
+                std::fseek(g.get(), static_cast<long>(off), SEEK_SET);
+                std::fputc((c ^ 0x40) & 0xFF, g.get());
+            }
+            break;
+        }
+        case FaultInjector::SpillWriteFault::kNone:
+            break;
+        }
+    }
+    spilled_bytes_ += total;
+    return SpillStatus::kOk;
+}
+
+SpillStatus
+KVSpillStore::restore(uint64_t key, const std::vector<int32_t> &pages,
+                      int64_t rows, std::vector<KVPagePanels> &layers)
+{
+    if (rows <= 0 || layers.empty())
+        return SpillStatus::kBadHeader;
+    const int64_t page_size = layers[0].page_size;
+    const int64_t d_model = layers[0].d_model;
+    const int64_t n_pages = (rows + page_size - 1) / page_size;
+    if (n_pages > static_cast<int64_t>(pages.size()))
+        return SpillStatus::kBadHeader;
+
+    const std::string path = pathFor(key);
+    if (cfg_.fault != nullptr && cfg_.fault->onSpillOpen())
+        return SpillStatus::kOpenFail;
+    errno = 0;
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return errno == ENOENT ? SpillStatus::kMissing
+                               : SpillStatus::kOpenFail;
+
+    char magic[sizeof(kMagic)];
+    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1)
+        return SpillStatus::kShortRead;
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return SpillStatus::kBadHeader;
+    uint64_t h_key, h_layers, h_ps, h_dm, h_rows, h_packed;
+    if (!readU64(f.get(), &h_key) || !readU64(f.get(), &h_layers) ||
+        !readU64(f.get(), &h_ps) || !readU64(f.get(), &h_dm) ||
+        !readU64(f.get(), &h_rows) || !readU64(f.get(), &h_packed))
+        return SpillStatus::kShortRead;
+    if (h_key != key || h_layers != layers.size() ||
+        h_ps != static_cast<uint64_t>(page_size) ||
+        h_dm != static_cast<uint64_t>(d_model) ||
+        h_rows != static_cast<uint64_t>(rows) ||
+        h_packed != (layers[0].packed() ? 1u : 0u))
+        return SpillStatus::kBadHeader;
+
+    // Injected short read: the file may be intact, but a read ends
+    // early — same observable as a torn page.
+    if (cfg_.fault != nullptr && cfg_.fault->onSpillRead())
+        return SpillStatus::kShortRead;
+
+    // The target pages may hold partial data after a failure below;
+    // the caller releases them (free pages are never scrubbed — page
+    // tables define visibility), so no cleanup is needed here.
+    for (int64_t pi = 0; pi < n_pages; ++pi) {
+        const int32_t page = pages[static_cast<size_t>(pi)];
+        const int64_t page_rows =
+            std::min(page_size, rows - pi * page_size);
+        for (KVPagePanels &layer : layers) {
+            const size_t bytes = static_cast<size_t>(
+                page_rows * d_model * elemBytes(layer));
+            for (const bool key_panel : {true, false}) {
+                uint64_t want = 0;
+                if (!readU64(f.get(), &want))
+                    return SpillStatus::kShortRead;
+                uint8_t *dst = pageBytesMut(layer, page, key_panel);
+                if (std::fread(dst, 1, bytes, f.get()) != bytes)
+                    return SpillStatus::kShortRead;
+                // Full-u64 compare: the upper half must be the zero
+                // padding spill wrote, so corruption there is caught.
+                if (static_cast<uint64_t>(crc32(dst, bytes)) != want)
+                    return SpillStatus::kCrcMismatch;
+            }
+        }
+    }
+    // Exact-size check: trailing garbage means the file is not the
+    // spill we wrote (e.g. a longer stale spill overwritten short).
+    if (std::fgetc(f.get()) != EOF)
+        return SpillStatus::kBadHeader;
+    restored_bytes_ += static_cast<int64_t>(std::ftell(f.get()));
+    return SpillStatus::kOk;
+}
+
+// ---------------------------------------------------------------------
+// SpillManager
+// ---------------------------------------------------------------------
+
+SpillManager::SpillManager(const Config &cfg, PagedKVPool &pool,
+                           int64_t prompt_rows_cap)
+    : cfg_(cfg), pool_(pool),
+      store_(KVSpillStore::Config{cfg.dir, cfg.fault}),
+      prompt_rows_cap_(prompt_rows_cap)
+{
+    if (cfg_.low_pages <= 0)
+        cfg_.low_pages = std::max<int64_t>(1, pool_.pageCount() / 4);
+    if (cfg_.high_pages < cfg_.low_pages)
+        cfg_.high_pages =
+            std::max(cfg_.low_pages, pool_.pageCount() / 2);
+    if (cfg_.max_sessions == 0)
+        cfg_.max_sessions = 64;
+}
+
+SpillManager::~SpillManager()
+{
+    releaseAll();
+}
+
+bool
+SpillManager::promptExtends(const Session &s,
+                            const std::vector<int32_t> &prompt) const
+{
+    // The retained rows must be a *strict* prefix of the new prompt:
+    // the row past the history must exist so first-token logits do.
+    if (prompt.size() <= s.history.size())
+        return false;
+    return std::equal(s.history.begin(), s.history.end(),
+                      prompt.begin());
+}
+
+void
+SpillManager::dropLocked(uint64_t sid, Session &s)
+{
+    if (s.state == Session::State::kResident)
+        pool_.releaseSeq(s.seq);
+    if (diskTier())
+        store_.drop(sid);
+}
+
+uint64_t
+SpillManager::lruResident() const
+{
+    uint64_t best = 0, best_stamp = 0;
+    for (const auto &[sid, s] : sessions_) {
+        if (s.state != Session::State::kResident)
+            continue;
+        if (best == 0 || s.stamp < best_stamp) {
+            best = sid;
+            best_stamp = s.stamp;
+        }
+    }
+    return best;
+}
+
+void
+SpillManager::endTurn(uint64_t sid, std::vector<int32_t> history,
+                      PagedSeq &&seq)
+{
+    assert(static_cast<int64_t>(history.size()) == seq.len &&
+           "history must key exactly the retained rows");
+    // A history the capacity could never extend (prompt must be
+    // strictly longer yet still fit the slot) is dead weight.
+    if (seq.len <= 0 || seq.len >= prompt_rows_cap_) {
+        pool_.releaseSeq(seq);
+        return;
+    }
+    auto it = sessions_.find(sid);
+    if (it != sessions_.end()) {
+        // Replace: the new turn supersedes whatever was retained
+        // (including a concurrent same-key duplicate's leftovers).
+        dropLocked(sid, it->second);
+        sessions_.erase(it);
+    }
+    Session s;
+    s.state = Session::State::kResident;
+    s.history = std::move(history);
+    // Session provenance supersedes prefix-cache provenance: the next
+    // turn reports its reuse through session_reused_tokens.
+    seq.shared_rows = 0;
+    s.seq = std::move(seq);
+    s.stamp = ++clock_;
+    sessions_.emplace(sid, std::move(s));
+
+    // Table bound: spilling would not shrink the table, so overflow
+    // drops the LRU idle entry outright (resident or spilled) — the
+    // bound is on retained-session *count*, pages are the watermarks'
+    // job.
+    while (sessions_.size() > cfg_.max_sessions) {
+        uint64_t best = 0, best_stamp = 0;
+        for (const auto &[k, v] : sessions_) {
+            if (k == sid || v.state == Session::State::kCheckedOut)
+                continue;
+            if (best == 0 || v.stamp < best_stamp) {
+                best = k;
+                best_stamp = v.stamp;
+            }
+        }
+        if (best == 0)
+            break; // only checked-out entries left
+        dropLocked(best, sessions_[best]);
+        sessions_.erase(best);
+        ++stats_.sessions_dropped;
+    }
+}
+
+void
+SpillManager::dropSession(uint64_t sid)
+{
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end() ||
+        it->second.state == Session::State::kCheckedOut)
+        return;
+    dropLocked(sid, it->second);
+    sessions_.erase(it);
+}
+
+SpillManager::Resume
+SpillManager::resume(uint64_t sid, const std::vector<int32_t> &prompt)
+{
+    Resume r;
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end() ||
+        it->second.state == Session::State::kCheckedOut)
+        return r; // kNone: fresh path (checked-out = concurrent dup)
+    Session &s = it->second;
+
+    if (!promptExtends(s, prompt)) {
+        // Stale key (edited history, unrelated reuse): the retained
+        // rows are useless — drop them and run fresh.
+        dropLocked(sid, s);
+        sessions_.erase(it);
+        ++stats_.sessions_dropped;
+        return r;
+    }
+    const int64_t rows = static_cast<int64_t>(s.history.size());
+
+    if (s.state == Session::State::kResident) {
+        s.stamp = ++clock_;
+        s.state = Session::State::kCheckedOut;
+        s.checkout_src = SessionKVSource::kResident;
+        r.source = SessionKVSource::kResident;
+        r.seq = std::move(s.seq);
+        s.seq = PagedSeq{};
+        return r;
+    }
+
+    // Spilled: the pages must be re-allocatable before we touch disk
+    // (+1 decode/chunk headroom so the admission that follows does
+    // not immediately stall).
+    const int64_t need =
+        PagedKVPool::pagesFor(rows, pool_.pageSize());
+    if (pool_.availablePages() < need + 1) {
+        r.retry = true;
+        return r;
+    }
+    PagedSeq seq;
+    if (!pool_.ensureTail(seq, rows)) {
+        pool_.releaseSeq(seq);
+        r.retry = true;
+        return r;
+    }
+    const SpillStatus st =
+        store_.restore(sid, seq.pages, rows, pool_.selfLayers());
+    if (st != SpillStatus::kOk) {
+        // The spill is dead (torn, corrupt, missing, IO error): drop
+        // it and fall back to recomputing the prompt via the ordinary
+        // chunked-prefill path. Typed, accounted, tokens unchanged.
+        pool_.releaseSeq(seq);
+        store_.drop(sid);
+        sessions_.erase(it);
+        ++stats_.spill_failures;
+        ++stats_.sessions_recomputed;
+        r.source = SessionKVSource::kRecomputed;
+        return r;
+    }
+    seq.len = rows;
+    store_.drop(sid); // consumed; endTurn re-spills if needed
+    s.stamp = ++clock_;
+    s.state = Session::State::kCheckedOut;
+    s.checkout_src = SessionKVSource::kRestoredFromSpill;
+    r.source = SessionKVSource::kRestoredFromSpill;
+    r.seq = std::move(seq);
+    return r;
+}
+
+void
+SpillManager::commitResume(uint64_t sid)
+{
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end() ||
+        it->second.state != Session::State::kCheckedOut)
+        return;
+    if (it->second.checkout_src == SessionKVSource::kResident)
+        ++stats_.sessions_resident_reused;
+    else if (it->second.checkout_src ==
+             SessionKVSource::kRestoredFromSpill)
+        ++stats_.sessions_restored;
+    sessions_.erase(it);
+}
+
+void
+SpillManager::abortResume(uint64_t sid, PagedSeq &&seq)
+{
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end() ||
+        it->second.state != Session::State::kCheckedOut) {
+        // Defensive: an unknown checkout can only leak pages, never
+        // lose a request — release and move on.
+        pool_.releaseSeq(seq);
+        return;
+    }
+    Session &s = it->second;
+    s.state = Session::State::kResident;
+    s.checkout_src = SessionKVSource::kNone;
+    s.seq = std::move(seq);
+    s.stamp = ++clock_; // MRU: hard pressure should evict others first
+}
+
+bool
+SpillManager::evictResident(uint64_t sid, Session &s,
+                            bool drop_on_failure)
+{
+    if (diskTier()) {
+        const SpillStatus st = store_.spill(
+            sid, s.seq.pages, s.seq.len, pool_.selfLayers());
+        if (st == SpillStatus::kOk) {
+            // Pages released only after the bytes are on disk; shared
+            // prefix-cache pages stay resident (the cache holds its
+            // own references) and simply become reclaimable.
+            pool_.releaseSeq(s.seq);
+            s.seq = PagedSeq{};
+            s.state = Session::State::kSpilled;
+            ++stats_.sessions_spilled;
+            return true;
+        }
+        // ENOSPC / write / open failure: the spill was abandoned (no
+        // partial file left) and the session is still whole in RAM.
+        ++stats_.spill_failures;
+        if (!drop_on_failure)
+            return false;
+    }
+    // No disk tier, or disk refused under hard pressure: drop the
+    // session outright — idle state is a luxury; forward progress of
+    // admitted work is not.
+    dropLocked(sid, s);
+    sessions_.erase(sid);
+    ++stats_.sessions_dropped;
+    return true;
+}
+
+int
+SpillManager::spillToWatermark()
+{
+    if (!diskTier() || pool_.availablePages() >= cfg_.low_pages)
+        return 0;
+    // Snapshot candidates LRU-first; a session whose spill fails is
+    // not retried this sweep (soft pressure tolerates staying high).
+    std::vector<std::pair<uint64_t, uint64_t>> order; // (stamp, sid)
+    for (const auto &[sid, s] : sessions_)
+        if (s.state == Session::State::kResident)
+            order.emplace_back(s.stamp, sid);
+    std::sort(order.begin(), order.end());
+    int spilled = 0;
+    for (const auto &[stamp, sid] : order) {
+        if (pool_.availablePages() >= cfg_.high_pages)
+            break;
+        auto it = sessions_.find(sid);
+        if (it == sessions_.end() ||
+            it->second.state != Session::State::kResident)
+            continue;
+        if (evictResident(sid, it->second, /*drop_on_failure=*/false))
+            ++spilled;
+    }
+    return spilled;
+}
+
+bool
+SpillManager::spillOne()
+{
+    const uint64_t sid = lruResident();
+    if (sid == 0)
+        return false;
+    return evictResident(sid, sessions_[sid], /*drop_on_failure=*/true);
+}
+
+void
+SpillManager::releaseAll()
+{
+    for (auto &[sid, s] : sessions_)
+        dropLocked(sid, s);
+    sessions_.clear();
+}
+
+int64_t
+SpillManager::residentSessions() const
+{
+    int64_t n = 0;
+    for (const auto &[sid, s] : sessions_)
+        n += s.state == Session::State::kResident ? 1 : 0;
+    return n;
+}
+
+int64_t
+SpillManager::spilledSessions() const
+{
+    int64_t n = 0;
+    for (const auto &[sid, s] : sessions_)
+        n += s.state == Session::State::kSpilled ? 1 : 0;
+    return n;
+}
+
+SpillManager::Stats
+SpillManager::stats() const
+{
+    Stats s = stats_;
+    s.spilled_bytes = store_.spilledBytes();
+    s.restored_bytes = store_.restoredBytes();
+    return s;
+}
+
+} // namespace qt8::serve

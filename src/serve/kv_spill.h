@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tiered KV session storage (DESIGN.md §15): integrity-checked disk
+ * spill of idle sessions' KV pages, with restore-or-recompute fallback
+ * and graceful degradation under memory pressure.
+ *
+ * Two layers:
+ *
+ *  - KVSpillStore — the mechanism. Serializes the resident page bytes
+ *    of one session (packed uint8 grid codes or fp32 rows, exactly as
+ *    held by PagedKVPool's panels) to a per-session "QT8SPILL1" file:
+ *    a geometry header plus, per page per layer, a CRC32 of the K/V
+ *    payload followed by the payload itself. Because the paper's 8-bit
+ *    formats make the page itself the compressed artifact, a packed
+ *    spill is already 4x smaller than the fp32 carrier — disk tiering
+ *    at zero extra numeric cost. Restore is a byte-for-byte read into
+ *    freshly allocated pages, so a restored session's subsequent
+ *    decode is bit-identical to the never-spilled oracle. Every
+ *    failure is a typed SpillStatus, never an assert.
+ *
+ *  - SpillManager — the policy. An LRU table of idle sessions (KV
+ *    pages retained after a kOk retirement, keyed by
+ *    Request::session_id). Low/high watermarks on the pool's
+ *    availablePages() trigger spilling LRU idle sessions to disk; a
+ *    returning request resumes its history resident from RAM, restored
+ *    from disk, or — when the spill is dead (CRC mismatch, short read,
+ *    missing file, IO error) — recomputed through the ordinary chunked
+ *    prefill path. Write-side failures (ENOSPC, open/write error)
+ *    abandon the spill and keep the session resident; under hard
+ *    pressure (admission blocked) a session that cannot be spilled is
+ *    dropped outright, trading idle-session state for forward
+ *    progress. The failure lattice is exhaustive: no IO outcome can
+ *    lose a request or change its tokens, only its accounting.
+ *
+ * Both layers are scheduler-side objects: the engine calls them with
+ * its lock held, exactly like PagedKVPool. Neither takes locks.
+ */
+#ifndef QT8_SERVE_KV_SPILL_H
+#define QT8_SERVE_KV_SPILL_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/fault.h"
+#include "serve/paged_kv.h"
+#include "serve/request.h"
+
+namespace qt8::serve {
+
+/// Typed outcome of a spill-store operation — the IO half of the
+/// robustness contract. Restore-side failures mark the spill dead and
+/// fall back to recompute; spill-side failures abandon the file and
+/// keep the session resident.
+enum class SpillStatus {
+    kOk = 0,
+    kOpenFail,    ///< Could not open the spill file (either side).
+    kWriteFail,   ///< Write error other than ENOSPC mid-spill.
+    kNoSpace,     ///< ENOSPC mid-spill (real or injected).
+    kBadHeader,   ///< Magic/geometry mismatch, or trailing garbage.
+    kShortRead,   ///< Truncated file (torn write discovered at restore).
+    kCrcMismatch, ///< A page payload failed its CRC32.
+    kMissing,     ///< No spill file for this session key.
+};
+
+const char *toString(SpillStatus s);
+
+/**
+ * Serializes one session's resident KV pages to a per-key spill file
+ * and restores them byte-for-byte. File format ("QT8SPILL1"):
+ *
+ *   magic[9] | key u64 | n_layers u64 | page_size u64 | d_model u64 |
+ *   rows u64 | packed u64 |
+ *   then per logical page (ceil(rows / page_size) of them, in order),
+ *   per layer: crc32(K payload) u64, K payload, crc32(V payload) u64,
+ *   V payload — where a payload is rows_in_page * d_model elements
+ *   (1 byte each packed, 4 bytes fp32) read straight out of the
+ *   panel's arena. The last page carries only its valid rows, so a
+ *   file's size is exact and any truncation is a typed kShortRead.
+ *
+ * Integers are host-endian (a spill never outlives the host, unlike a
+ * checkpoint); CRCs use the shared util/crc32.h implementation.
+ */
+class KVSpillStore
+{
+  public:
+    struct Config
+    {
+        std::string dir; ///< Spill directory (created on demand).
+        /// Borrowed IO fault injector; may be null (see serve/fault.h).
+        FaultInjector *fault = nullptr;
+    };
+
+    explicit KVSpillStore(Config cfg);
+
+    /**
+     * Write the first @p rows logical rows mapped by @p pages out of
+     * @p layers to the file for @p key (replacing any previous spill).
+     * On any failure the partial file is removed and the panels are
+     * untouched — the caller keeps the session resident.
+     */
+    SpillStatus spill(uint64_t key, const std::vector<int32_t> &pages,
+                      int64_t rows,
+                      const std::vector<KVPagePanels> &layers);
+
+    /**
+     * Read the spill for @p key back into the physical pages named by
+     * @p pages (freshly allocated by the caller), verifying the header
+     * against @p layers' geometry and every payload against its CRC.
+     * @p rows must match the header (the manager knows each session's
+     * row count). On failure the target pages may hold partial data —
+     * the caller releases them and recomputes.
+     */
+    SpillStatus restore(uint64_t key, const std::vector<int32_t> &pages,
+                        int64_t rows, std::vector<KVPagePanels> &layers);
+
+    /// Delete the spill file for @p key, if any.
+    void drop(uint64_t key);
+
+    bool has(uint64_t key) const;
+    std::string pathFor(uint64_t key) const;
+
+    int64_t spilledBytes() const { return spilled_bytes_; }
+    int64_t restoredBytes() const { return restored_bytes_; }
+
+  private:
+    Config cfg_;
+    int64_t spilled_bytes_ = 0;  ///< File bytes successfully written.
+    int64_t restored_bytes_ = 0; ///< File bytes successfully read back.
+};
+
+/**
+ * Idle-session table + spill policy for the paged CausalLM engine.
+ * A session is the KV history of a finished turn (pages + the tokens
+ * that keyed them); a resuming request whose prompt strictly extends
+ * that history skips recomputing the retained rows.
+ *
+ * Resume protocol (all under the engine lock): resume() checks the
+ * session out (restoring from disk if spilled); the engine then runs
+ * its normal admission gates and either commitResume()s (request
+ * admitted — the entry is consumed) or abortResume()s (request parked
+ * — the pages go back as a resident session). kRecomputed resumes
+ * consume the entry immediately: the history is gone, the request
+ * falls through to the ordinary fresh-admission path.
+ */
+class SpillManager
+{
+  public:
+    struct Config
+    {
+        std::string dir; ///< "" = no disk tier: under pressure, idle
+                         ///< sessions are dropped (recomputed later)
+                         ///< instead of spilled.
+        /// Watermark sweep: when availablePages() < low, spill LRU
+        /// idle sessions until it reaches high (0 = n_pages / 4 and
+        /// n_pages / 2 respectively).
+        int64_t low_pages = 0;
+        int64_t high_pages = 0;
+        size_t max_sessions = 64; ///< Idle-session table bound; LRU
+                                  ///< overflow spills (or drops).
+        FaultInjector *fault = nullptr; ///< Borrowed; may be null.
+    };
+
+    struct Stats
+    {
+        int64_t sessions_spilled = 0;
+        int64_t sessions_restored = 0;
+        int64_t sessions_recomputed = 0;
+        int64_t sessions_resident_reused = 0;
+        int64_t sessions_dropped = 0;
+        int64_t spill_failures = 0;
+        int64_t spilled_bytes = 0;
+        int64_t restored_bytes = 0;
+    };
+
+    SpillManager(const Config &cfg, PagedKVPool &pool,
+                 int64_t prompt_rows_cap);
+    ~SpillManager(); ///< releaseAll(): pages returned, files deleted.
+
+    bool diskTier() const { return !cfg_.dir.empty(); }
+
+    /// Retain a finished turn's pages as the idle session for @p sid
+    /// (replacing any previous entry). @p history must key exactly
+    /// @p seq.len rows (prompt ++ generated tokens, truncated).
+    void endTurn(uint64_t sid, std::vector<int32_t> history,
+                 PagedSeq &&seq);
+
+    /// Forget @p sid entirely: pages released, spill file deleted.
+    /// No-op for unknown or checked-out ids.
+    void dropSession(uint64_t sid);
+
+    struct Resume
+    {
+        SessionKVSource source = SessionKVSource::kNone;
+        /// True: the session exists on disk but the pool cannot hold
+        /// its pages right now — park the request and retry (the
+        /// entry is untouched).
+        bool retry = false;
+        /// kResident / kRestoredFromSpill: the history pages, len =
+        /// retained rows. The caller owns them until commit or abort.
+        PagedSeq seq;
+    };
+
+    /// Attempt to resume @p sid for @p prompt. kNone: no session, or
+    /// the prompt does not extend the history (the stale entry is
+    /// dropped) — run the fresh path. kRecomputed: the spill was dead;
+    /// ditto, but accounted as a fallback.
+    Resume resume(uint64_t sid, const std::vector<int32_t> &prompt);
+
+    /// The checked-out resume was admitted: consume the entry.
+    void commitResume(uint64_t sid);
+
+    /// The checked-out resume could not be admitted (pages or gate):
+    /// re-park @p seq as a resident session, MRU-stamped.
+    void abortResume(uint64_t sid, PagedSeq &&seq);
+
+    /// Watermark sweep: while availablePages() < low, spill LRU idle
+    /// resident sessions (disk tier only) until >= high or no
+    /// candidates remain. Spill failures keep the session resident
+    /// (soft pressure tolerates it). Returns sessions spilled.
+    int spillToWatermark();
+
+    /**
+     * Hard pressure (admission blocked): free the LRU idle resident
+     * session's pages — spill it if the disk tier accepts it, else
+     * drop it outright (graceful degradation: the next turn
+     * recomputes). Returns false when no resident session remains.
+     */
+    bool spillOne();
+
+    /// Drop every session (pages released, files deleted). Engine
+    /// abort/shutdown, or tests asserting pool quiescence.
+    void releaseAll();
+
+    int64_t residentSessions() const;
+    int64_t spilledSessions() const;
+    /// Counters above, with byte totals pulled from the store.
+    Stats stats() const;
+    const KVSpillStore &store() const { return store_; }
+
+  private:
+    struct Session
+    {
+        enum class State {
+            kResident,   ///< Pages live in the pool (seq valid).
+            kSpilled,    ///< Pages on disk; seq empty.
+            kCheckedOut, ///< Mid-resume; seq handed to the engine.
+        };
+        State state = State::kResident;
+        std::vector<int32_t> history; ///< Tokens keying rows 0..rows-1.
+        PagedSeq seq;
+        uint64_t stamp = 0; ///< LRU clock.
+        SessionKVSource checkout_src = SessionKVSource::kNone;
+    };
+
+    bool promptExtends(const Session &s,
+                       const std::vector<int32_t> &prompt) const;
+    /// Spill (disk tier) or drop one resident session; true = its
+    /// pages were freed. @p drop_on_failure distinguishes the hard-
+    /// pressure path from the tolerant watermark sweep.
+    bool evictResident(uint64_t sid, Session &s, bool drop_on_failure);
+    void dropLocked(uint64_t sid, Session &s);
+    uint64_t lruResident() const; ///< 0 = none.
+
+    Config cfg_;
+    PagedKVPool &pool_;
+    KVSpillStore store_;
+    int64_t prompt_rows_cap_; ///< slot_capacity: retained rows beyond
+                              ///< this could never be resumed.
+    std::unordered_map<uint64_t, Session> sessions_;
+    uint64_t clock_ = 0;
+    Stats stats_;
+};
+
+} // namespace qt8::serve
+
+#endif // QT8_SERVE_KV_SPILL_H

@@ -31,6 +31,22 @@ toString(RequestStatus s)
     return "?";
 }
 
+const char *
+toString(SessionKVSource s)
+{
+    switch (s) {
+    case SessionKVSource::kNone:
+        return "none";
+    case SessionKVSource::kResident:
+        return "resident";
+    case SessionKVSource::kRestoredFromSpill:
+        return "restored-from-spill";
+    case SessionKVSource::kRecomputed:
+        return "recomputed";
+    }
+    return "?";
+}
+
 double
 LatencyHistogram::percentile(double p) const
 {
@@ -146,6 +162,26 @@ ServeMetrics::dump() const
             static_cast<long long>(prefix_evictions),
             static_cast<long long>(pages_resident_peak),
             static_cast<long long>(preempted));
+        out += buf;
+    }
+    if (sessions_spilled + sessions_restored + sessions_recomputed +
+            sessions_resident_reused + sessions_dropped + spill_failures >
+        0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "spill: %lld spilled / %lld restored / %lld recomputed / "
+            "%lld resident-reused / %lld dropped, %lld IO failures, "
+            "%lld B out, %lld B in; idle now %lld RAM + %lld disk\n",
+            static_cast<long long>(sessions_spilled),
+            static_cast<long long>(sessions_restored),
+            static_cast<long long>(sessions_recomputed),
+            static_cast<long long>(sessions_resident_reused),
+            static_cast<long long>(sessions_dropped),
+            static_cast<long long>(spill_failures),
+            static_cast<long long>(spilled_bytes),
+            static_cast<long long>(restored_bytes),
+            static_cast<long long>(sessions_resident),
+            static_cast<long long>(sessions_on_disk));
         out += buf;
     }
     const struct

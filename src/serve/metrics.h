@@ -81,6 +81,22 @@ struct ServeMetrics
     int64_t pages_resident_peak = 0;  ///< Max referenced pages seen.
     int64_t preempted = 0; ///< Out-of-pages forced retirements.
 
+    // Tiered KV session storage (zero without sessions; DESIGN.md §15).
+    int64_t sessions_spilled = 0;   ///< Idle sessions written to disk.
+    int64_t sessions_restored = 0;  ///< Resumes served from a spill file.
+    int64_t sessions_recomputed = 0; ///< Resumes whose spill was dead
+                                     ///< (recomputed via chunked prefill).
+    int64_t sessions_resident_reused = 0; ///< Resumes served from RAM.
+    int64_t sessions_dropped = 0;   ///< Sessions evicted outright (no
+                                    ///< disk tier / table overflow).
+    int64_t spill_failures = 0;     ///< Typed spill IO failures, both
+                                    ///< write-side (abandoned) and
+                                    ///< restore-side (fell back).
+    int64_t spilled_bytes = 0;      ///< Bytes written to spill files.
+    int64_t restored_bytes = 0;     ///< Bytes read back on restore.
+    int64_t sessions_resident = 0;  ///< Gauge: idle sessions in RAM.
+    int64_t sessions_on_disk = 0;   ///< Gauge: idle sessions spilled.
+
     void recordRetirement(const RequestRecord &r);
 
     /// Aggregate decode throughput over engine busy time.

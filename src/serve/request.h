@@ -53,6 +53,21 @@ enum class RequestStatus {
 
 const char *toString(RequestStatus s);
 
+/// Where a session-resuming request's KV history came from (tiered KV
+/// storage, DESIGN.md §15). Whatever the source, emitted tokens are
+/// bit-identical: resident and restored pages hold the exact bytes the
+/// request would have computed, and a recompute is a fresh prefill.
+enum class SessionKVSource {
+    kNone = 0,          ///< No session (or a first turn / stale key).
+    kResident,          ///< History pages were still in RAM.
+    kRestoredFromSpill, ///< History pages read back from a spill file.
+    kRecomputed,        ///< Spill was dead (CRC / short read / missing
+                        ///< / IO error): prompt recomputed via chunked
+                        ///< prefill.
+};
+
+const char *toString(SessionKVSource s);
+
 /// True for the statuses a request can retire with after admission
 /// (i.e. it may carry partial output).
 inline bool
@@ -75,6 +90,13 @@ struct RequestResult
     /// cache instead of prefill compute (0 on the slab engine or on a
     /// cache miss). prompt_tokens always counts the full prompt.
     int64_t prefix_reused_tokens = 0;
+    /// Tiered KV sessions (paged CausalLM engine): how this request's
+    /// KV history was obtained. kNone unless Request::session_id
+    /// matched a retained session.
+    SessionKVSource session_kv = SessionKVSource::kNone;
+    /// Rows of KV history reused without recompute (resident or
+    /// restored sessions; 0 for kNone/kRecomputed).
+    int64_t session_reused_tokens = 0;
     double ttft_ms = 0.0;    ///< Submit -> first *generated* token
                              ///< (prefill steps never count as first
                              ///< token, chunked or not).
@@ -97,6 +119,18 @@ struct Request
     /// kDeadlineExceeded at the next scheduler step — whether it is
     /// still queued or mid-decode — keeping any partial output.
     double timeout_ms = 0.0;
+    /**
+     * Multi-turn session key (0 = stateless request). On a paged
+     * CausalLM engine, a request that retires kOk leaves its KV pages
+     * retained under this key; a later request with the same key whose
+     * prompt *extends* the retained history (prior prompt + generated
+     * tokens as a strict prefix) skips recomputing those rows —
+     * serving them resident from RAM, restored from a disk spill, or
+     * recomputed when the spill is dead (RequestResult::session_kv).
+     * A non-extending prompt drops the stale session and runs fresh.
+     * Ignored by slab and Seq2Seq engines.
+     */
+    uint64_t session_id = 0;
     SamplingParams sampling;
     /// Optional completion hook, invoked from the scheduler thread
     /// right after the result future is fulfilled (never with an

@@ -33,6 +33,11 @@ struct PendingRequest
     std::promise<RequestResult> promise;
     double submit_ms = 0.0;   ///< Engine-clock submission time.
     double deadline_ms = 0.0; ///< Engine-clock deadline; 0 = none.
+    /// Sticky session provenance: set to kRecomputed when a resume
+    /// found a dead spill (the session is consumed at that moment), so
+    /// the eventual result reports the fallback even if the request
+    /// parks and is re-admitted on a later step.
+    SessionKVSource session_kv_hint = SessionKVSource::kNone;
 };
 
 class RequestQueue

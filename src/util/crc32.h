@@ -1,0 +1,26 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+ * buffer — the one integrity checksum of the repo, shared by the
+ * QT8CKPT2 checkpoint format (nn/checkpoint.cc) and the QT8SPILL1 KV
+ * spill files (serve/kv_spill.cc). Table-driven, one implementation,
+ * one test (tests/util/crc32_test.cc).
+ *
+ * Chaining: crc32(b, nb, crc32(a, na)) equals crc32 of the
+ * concatenated buffer, so callers can checksum streamed writes without
+ * staging them.
+ */
+#ifndef QT8_UTIL_CRC32_H
+#define QT8_UTIL_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qt8 {
+
+/// CRC32 of @p n bytes at @p data; @p seed chains partial buffers.
+uint32_t crc32(const void *data, size_t n, uint32_t seed = 0);
+
+} // namespace qt8
+
+#endif // QT8_UTIL_CRC32_H

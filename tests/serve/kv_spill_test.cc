@@ -1,0 +1,754 @@
+/**
+ * @file
+ * Tiered KV session storage contract tests (DESIGN.md §15).
+ *
+ * Store level: a spill is the exact page-panel bytes (packed codes or
+ * fp32 rows), so restore is byte-for-byte identical; every damaged
+ * file — truncated, corrupted, wrong geometry, missing, trailing
+ * garbage — comes back as the right typed SpillStatus, and every
+ * injected IO fault (open failure, ENOSPC, torn write, byte flip,
+ * short read) lands on its typed edge.
+ *
+ * Engine level: a session resumed from RAM or restored from disk
+ * decodes bit-identically to the never-spilled solo oracle; a dead
+ * spill degrades to recompute with the same tokens and typed
+ * accounting (kRecomputed + spill_failures); write-side failures keep
+ * the session resident; hard memory pressure spills (disk tier) or
+ * drops (RAM only) idle sessions instead of wedging admission; and a
+ * restored session's pages are re-donated to the prefix cache.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/tasks.h"
+#include "nn/model.h"
+#include "serve/engine.h"
+#include "serve/fault.h"
+#include "serve/kv_spill.h"
+#include "serve/paged_kv.h"
+#include "serve/sampler.h"
+
+namespace fs = std::filesystem;
+
+namespace qt8 {
+namespace {
+
+using serve::EngineConfig;
+using serve::FaultConfig;
+using serve::FaultInjector;
+using serve::KVSpillStore;
+using serve::PagedKVPool;
+using serve::PagedSeq;
+using serve::Request;
+using serve::RequestResult;
+using serve::RequestStatus;
+using serve::SamplingParams;
+using serve::ServeEngine;
+using serve::SessionKVSource;
+using serve::SpillStatus;
+
+/// Unique cwd-relative scratch dir (ctest runs tests in the build
+/// tree), wiped on both ends so reruns start clean.
+struct ScopedDir
+{
+    explicit ScopedDir(std::string p) : path(std::move(p))
+    {
+        fs::remove_all(path);
+    }
+    ~ScopedDir() { fs::remove_all(path); }
+    std::string path;
+};
+
+ModelConfig
+tinyLmConfig()
+{
+    ModelConfig cfg;
+    cfg.name = "kv-spill-test-lm";
+    cfg.vocab = 48;
+    cfg.d_model = 32;
+    cfg.d_ff = 64;
+    cfg.n_heads = 2;
+    cfg.n_layers = 2;
+    return cfg;
+}
+
+std::vector<int32_t>
+makePrompt(Rng &rng, int64_t vocab, int64_t len)
+{
+    std::vector<int32_t> p(static_cast<size_t>(len));
+    for (auto &t : p) {
+        t = static_cast<int32_t>(
+            Vocab::kFirstContent +
+            rng.randint(vocab - Vocab::kFirstContent));
+    }
+    return p;
+}
+
+/// Solo cached decode — the never-spilled ground truth.
+std::vector<int32_t>
+soloCausal(CausalLM &model, QuantSession &qs,
+           const std::vector<int32_t> &prompt, int64_t max_new,
+           int32_t eos, const SamplingParams &sp)
+{
+    const int64_t cap = std::min(
+        model.body.config().max_seq,
+        static_cast<int64_t>(prompt.size()) + max_new + 1);
+    DecodeState st = model.beginDecode(1, cap);
+    Rng rng(sp.seed);
+    Tensor logits;
+    for (const int32_t tok : prompt) {
+        const std::vector<int32_t> step{tok};
+        logits = model.forwardIncremental(qs, step, st);
+    }
+    std::vector<int32_t> out;
+    while (true) {
+        const int32_t tok = serve::sampleToken(logits, 0, sp, rng);
+        if (eos >= 0 && tok == eos)
+            break;
+        out.push_back(tok);
+        if (static_cast<int64_t>(out.size()) >= max_new)
+            break;
+        const std::vector<int32_t> step{tok};
+        logits = model.forwardIncremental(qs, step, st);
+    }
+    return out;
+}
+
+RequestResult
+runTurn(ServeEngine &eng, const std::vector<int32_t> &prompt,
+        uint64_t sid, int64_t max_new)
+{
+    Request req;
+    req.prompt = prompt;
+    req.max_new_tokens = max_new;
+    req.eos = -1;
+    req.session_id = sid;
+    auto fut = eng.submit(req);
+    eng.runUntilIdle();
+    return fut.get();
+}
+
+// --- Store level -----------------------------------------------------
+
+PagedKVPool::Config
+tinyPoolConfig(int64_t n_pages, int64_t page_size,
+               const Quantizer *packed_fmt)
+{
+    PagedKVPool::Config pc;
+    pc.n_pages = n_pages;
+    pc.page_size = page_size;
+    pc.d_model = 8;
+    pc.n_self_layers = 2;
+    pc.packed_fmt = packed_fmt;
+    return pc;
+}
+
+/// Write @p rows distinct quantized rows through @p s's page table.
+void
+fillRows(PagedKVPool &pool, const PagedSeq &s, int64_t rows, float salt)
+{
+    const int64_t ps = pool.pageSize();
+    for (auto &layer : pool.selfLayers()) {
+        std::vector<float> k(static_cast<size_t>(layer.d_model));
+        std::vector<float> v(static_cast<size_t>(layer.d_model));
+        for (int64_t r = 0; r < rows; ++r) {
+            for (int64_t j = 0; j < layer.d_model; ++j) {
+                k[static_cast<size_t>(j)] =
+                    salt + static_cast<float>(r) * 0.25f +
+                    static_cast<float>(j) * 0.125f;
+                v[static_cast<size_t>(j)] =
+                    -salt - static_cast<float>(r) * 0.5f -
+                    static_cast<float>(j) * 0.0625f;
+            }
+            layer.writeRow(s.pages[static_cast<size_t>(r / ps)],
+                           r % ps, k.data(), v.data());
+        }
+    }
+}
+
+/// Payload blobs exactly as the spill file orders them: per logical
+/// page, per layer, K then V, valid rows only.
+std::vector<std::vector<uint8_t>>
+snapshotPayload(PagedKVPool &pool, const std::vector<int32_t> &pages,
+                int64_t rows)
+{
+    std::vector<std::vector<uint8_t>> blobs;
+    const int64_t ps = pool.pageSize();
+    const int64_t n_lpages = PagedKVPool::pagesFor(rows, ps);
+    for (int64_t j = 0; j < n_lpages; ++j) {
+        const int64_t rows_in = std::min(ps, rows - j * ps);
+        for (auto &layer : pool.selfLayers()) {
+            const size_t elem =
+                layer.packed() ? 1 : sizeof(float);
+            const size_t nbytes =
+                static_cast<size_t>(rows_in * layer.d_model) * elem;
+            const size_t off =
+                static_cast<size_t>(pages[static_cast<size_t>(j)]) *
+                static_cast<size_t>(ps * layer.d_model) * elem;
+            const uint8_t *kb =
+                layer.packed()
+                    ? layer.k_codes.data()
+                    : reinterpret_cast<const uint8_t *>(
+                          layer.k.data());
+            const uint8_t *vb =
+                layer.packed()
+                    ? layer.v_codes.data()
+                    : reinterpret_cast<const uint8_t *>(
+                          layer.v.data());
+            blobs.emplace_back(kb + off, kb + off + nbytes);
+            blobs.emplace_back(vb + off, vb + off + nbytes);
+        }
+    }
+    return blobs;
+}
+
+void
+expectSpillRestoreByteIdentical(const Quantizer *packed_fmt,
+                                const std::string &dir)
+{
+    PagedKVPool pool(tinyPoolConfig(/*n_pages=*/8, /*page_size=*/4,
+                                    packed_fmt));
+    KVSpillStore store(KVSpillStore::Config{dir, nullptr});
+
+    const int64_t rows = 10; // 2 full pages + a 2-row partial page
+    PagedSeq s;
+    ASSERT_TRUE(pool.ensureTail(s, rows));
+    fillRows(pool, s, rows, 1.0f);
+    const auto want = snapshotPayload(pool, s.pages, rows);
+
+    ASSERT_EQ(SpillStatus::kOk,
+              store.spill(42, s.pages, rows, pool.selfLayers()));
+    EXPECT_TRUE(store.has(42));
+    EXPECT_TRUE(fs::exists(store.pathFor(42)));
+    EXPECT_GT(store.spilledBytes(), 0);
+    pool.releaseSeq(s);
+
+    // Fresh pages, deliberately dirtied with different rows: restore
+    // must overwrite every valid byte (free pages are never scrubbed,
+    // so this also models recycled-page reuse).
+    PagedSeq t;
+    ASSERT_TRUE(pool.ensureTail(t, rows));
+    fillRows(pool, t, rows, 97.0f);
+    ASSERT_EQ(SpillStatus::kOk,
+              store.restore(42, t.pages, rows, pool.selfLayers()));
+    EXPECT_EQ(want, snapshotPayload(pool, t.pages, rows))
+        << (packed_fmt != nullptr ? "packed" : "fp32");
+    EXPECT_GT(store.restoredBytes(), 0);
+
+    store.drop(42);
+    EXPECT_FALSE(store.has(42));
+    EXPECT_FALSE(fs::exists(store.pathFor(42)));
+    pool.releaseSeq(t);
+}
+
+TEST(KvSpillStore, SpillRestoreByteIdenticalFp32)
+{
+    ScopedDir dir("kv_spill_test_store_fp32");
+    expectSpillRestoreByteIdentical(nullptr, dir.path);
+}
+
+TEST(KvSpillStore, SpillRestoreByteIdenticalPacked)
+{
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+    const Quantizer *fmt = qc.kvPackedFormat();
+    ASSERT_NE(nullptr, fmt);
+    ScopedDir dir("kv_spill_test_store_packed");
+    expectSpillRestoreByteIdentical(fmt, dir.path);
+}
+
+TEST(KvSpillStore, DamagedFilesComeBackAsTypedStatuses)
+{
+    ScopedDir dir("kv_spill_test_store_damage");
+    PagedKVPool pool(tinyPoolConfig(8, 4, nullptr));
+    KVSpillStore store(KVSpillStore::Config{dir.path, nullptr});
+
+    const int64_t rows = 10;
+    PagedSeq s;
+    ASSERT_TRUE(pool.ensureTail(s, rows));
+    fillRows(pool, s, rows, 2.0f);
+
+    EXPECT_EQ(SpillStatus::kMissing,
+              store.restore(42, s.pages, rows, pool.selfLayers()))
+        << "no spill was ever written for this key";
+
+    // Geometry mismatch: a restore asking for different rows than the
+    // header recorded must refuse before touching any page.
+    ASSERT_EQ(SpillStatus::kOk,
+              store.spill(42, s.pages, rows, pool.selfLayers()));
+    std::vector<int32_t> two_pages(s.pages.begin(), s.pages.begin() + 2);
+    EXPECT_EQ(SpillStatus::kBadHeader,
+              store.restore(42, two_pages, 8, pool.selfLayers()));
+
+    const std::string path = store.pathFor(42);
+    const auto full_size = fs::file_size(path);
+
+    // Truncation (a real torn write) surfaces as a short read.
+    fs::resize_file(path, full_size - 3);
+    EXPECT_EQ(SpillStatus::kShortRead,
+              store.restore(42, s.pages, rows, pool.selfLayers()));
+
+    // A flipped byte fails its page CRC.
+    ASSERT_EQ(SpillStatus::kOk,
+              store.spill(42, s.pages, rows, pool.selfLayers()));
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(nullptr, f);
+        std::fseek(f, 80, SEEK_SET); // past the 57-byte header
+        const int c = std::fgetc(f);
+        std::fseek(f, 80, SEEK_SET);
+        std::fputc(c ^ 0x40, f);
+        std::fclose(f);
+    }
+    EXPECT_EQ(SpillStatus::kCrcMismatch,
+              store.restore(42, s.pages, rows, pool.selfLayers()));
+
+    // Trailing garbage means the file is not what was written.
+    ASSERT_EQ(SpillStatus::kOk,
+              store.spill(42, s.pages, rows, pool.selfLayers()));
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(nullptr, f);
+        std::fputc(0x5A, f);
+        std::fclose(f);
+    }
+    EXPECT_EQ(SpillStatus::kBadHeader,
+              store.restore(42, s.pages, rows, pool.selfLayers()));
+    pool.releaseSeq(s);
+}
+
+TEST(KvSpillStore, InjectedIoFaultsLandOnTheirTypedEdges)
+{
+    PagedKVPool pool(tinyPoolConfig(8, 4, nullptr));
+    const int64_t rows = 10;
+    PagedSeq s;
+    ASSERT_TRUE(pool.ensureTail(s, rows));
+    fillRows(pool, s, rows, 3.0f);
+
+    struct Case
+    {
+        const char *name;
+        FaultConfig fc;
+        SpillStatus spill;   ///< Expected spill() outcome.
+        SpillStatus restore; ///< Expected restore() outcome after it.
+    };
+    std::vector<Case> cases;
+    {
+        Case c;
+        c.name = "open-fail";
+        c.fc.spill_open_fail_rate = 1.0;
+        c.spill = SpillStatus::kOpenFail;
+        c.restore = SpillStatus::kOpenFail; // injected on both sides
+        cases.push_back(c);
+    }
+    {
+        Case c;
+        c.name = "enospc";
+        c.fc.spill_enospc_rate = 1.0;
+        c.spill = SpillStatus::kNoSpace;
+        c.restore = SpillStatus::kMissing; // partial file deleted
+        cases.push_back(c);
+    }
+    {
+        Case c;
+        c.name = "torn-write";
+        c.fc.spill_torn_write_rate = 1.0;
+        c.spill = SpillStatus::kOk; // damage is silent at write time
+        c.restore = SpillStatus::kShortRead;
+        cases.push_back(c);
+    }
+    {
+        Case c;
+        c.name = "corrupt";
+        c.fc.spill_corrupt_rate = 1.0;
+        c.spill = SpillStatus::kOk;
+        c.restore = SpillStatus::kCrcMismatch;
+        cases.push_back(c);
+    }
+    {
+        Case c;
+        c.name = "short-read";
+        c.fc.spill_short_read_rate = 1.0;
+        c.spill = SpillStatus::kOk;
+        c.restore = SpillStatus::kShortRead;
+        cases.push_back(c);
+    }
+
+    for (auto &c : cases) {
+        ScopedDir dir(std::string("kv_spill_test_fault_") + c.name);
+        FaultInjector fi(c.fc);
+        KVSpillStore store(KVSpillStore::Config{dir.path, &fi});
+        EXPECT_EQ(c.spill,
+                  store.spill(7, s.pages, rows, pool.selfLayers()))
+            << c.name;
+        if (c.spill != SpillStatus::kOk)
+            EXPECT_FALSE(fs::exists(store.pathFor(7)))
+                << c.name << ": no partial file may survive";
+        EXPECT_EQ(c.restore,
+                  store.restore(7, s.pages, rows, pool.selfLayers()))
+            << c.name;
+    }
+    pool.releaseSeq(s);
+}
+
+// --- Engine level ----------------------------------------------------
+
+TEST(KvSpillEngine, ResidentSessionResumeIsBitIdentical)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 4242);
+    QuantSession qs(QuantConfig::posit8());
+    QuantSession qs_plain(QuantConfig::posit8());
+
+    EngineConfig ec{2, 48};
+    ec.paged = true;
+    ec.page_size = 4;
+    // No spill_dir: RAM-only sessions.
+    ServeEngine engine(model, qs, ec);
+    ASSERT_NE(nullptr, engine.spillManager());
+
+    Rng rng(11);
+    const auto prompt1 = makePrompt(rng, cfg.vocab, 6);
+    const RequestResult r1 = runTurn(engine, prompt1, /*sid=*/7, 6);
+    ASSERT_EQ(RequestStatus::kOk, r1.status);
+    EXPECT_EQ(SessionKVSource::kNone, r1.session_kv) << "first turn";
+    EXPECT_EQ(1, engine.spillManager()->residentSessions());
+
+    std::vector<int32_t> prompt2 = prompt1;
+    prompt2.insert(prompt2.end(), r1.tokens.begin(), r1.tokens.end());
+    const auto extra = makePrompt(rng, cfg.vocab, 3);
+    prompt2.insert(prompt2.end(), extra.begin(), extra.end());
+
+    const RequestResult r2 = runTurn(engine, prompt2, 7, 6);
+    ASSERT_EQ(RequestStatus::kOk, r2.status);
+    EXPECT_EQ(SessionKVSource::kResident, r2.session_kv);
+    EXPECT_GE(r2.session_reused_tokens,
+              static_cast<int64_t>(prompt1.size()));
+    EXPECT_EQ(soloCausal(model, qs_plain, prompt2, 6, -1, {}),
+              r2.tokens)
+        << "resident-session decode must equal the solo oracle";
+    EXPECT_GE(engine.metrics().sessions_resident_reused, 1);
+
+    // A prompt that does not extend the history drops the stale
+    // session and runs fresh — same tokens a stateless request gets.
+    auto prompt3 = makePrompt(rng, cfg.vocab, 5);
+    prompt3[0] = prompt2[0] ^ 1; // guarantee divergence
+    const RequestResult r3 = runTurn(engine, prompt3, 7, 4);
+    ASSERT_EQ(RequestStatus::kOk, r3.status);
+    EXPECT_EQ(SessionKVSource::kNone, r3.session_kv);
+    EXPECT_EQ(soloCausal(model, qs_plain, prompt3, 4, -1, {}),
+              r3.tokens);
+    EXPECT_GE(engine.metrics().sessions_dropped, 1);
+}
+
+TEST(KvSpillEngine, SpilledSessionRestoreIsBitIdenticalAndRedonates)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 31337);
+    QuantSession qs_plain(QuantConfig::posit8());
+
+    int64_t spilled_bytes_fp32 = 0, spilled_bytes_packed = 0;
+    for (const bool packed : {false, true}) {
+        ScopedDir dir(packed ? "kv_spill_test_engine_packed"
+                             : "kv_spill_test_engine_fp32");
+        QuantConfig qc = QuantConfig::posit8();
+        qc.kv_packed = packed;
+        QuantSession qs(qc);
+
+        EngineConfig ec{2, 48};
+        ec.paged = true;
+        ec.page_size = 4;
+        ec.spill_dir = dir.path;
+        // Low watermark above the arena: every idle session is swept
+        // to disk on the next step — deterministic forced spilling.
+        ec.n_pages = 24;
+        ec.spill_low_pages = 25;
+        ServeEngine engine(model, qs, ec);
+
+        Rng rng(5);
+        const auto prompt1 = makePrompt(rng, cfg.vocab, 6);
+        const RequestResult r1 = runTurn(engine, prompt1, /*sid=*/5, 6);
+        ASSERT_EQ(RequestStatus::kOk, r1.status);
+
+        engine.step(); // idle step: watermark sweep spills the session
+        ASSERT_EQ(1, engine.spillManager()->spilledSessions());
+        EXPECT_EQ(0, engine.spillManager()->residentSessions());
+        EXPECT_TRUE(engine.spillManager()->store().has(5));
+        EXPECT_GT(engine.metrics().sessions_spilled, 0);
+        EXPECT_GT(engine.metrics().spilled_bytes, 0);
+        EXPECT_EQ(1, engine.metrics().sessions_on_disk);
+
+        std::vector<int32_t> prompt2 = prompt1;
+        prompt2.insert(prompt2.end(), r1.tokens.begin(),
+                       r1.tokens.end());
+        const auto extra = makePrompt(rng, cfg.vocab, 3);
+        prompt2.insert(prompt2.end(), extra.begin(), extra.end());
+
+        const RequestResult r2 = runTurn(engine, prompt2, 5, 6);
+        ASSERT_EQ(RequestStatus::kOk, r2.status);
+        EXPECT_EQ(SessionKVSource::kRestoredFromSpill, r2.session_kv)
+            << (packed ? "packed" : "fp32");
+        EXPECT_GE(r2.session_reused_tokens,
+                  static_cast<int64_t>(prompt1.size()));
+        EXPECT_EQ(soloCausal(model, qs_plain, prompt2, 6, -1, {}),
+                  r2.tokens)
+            << "restored decode must equal the never-spilled oracle ("
+            << (packed ? "packed" : "fp32") << ")";
+        EXPECT_FALSE(engine.spillManager()->store().has(5))
+            << "a restore consumes the spill file";
+        EXPECT_GT(engine.metrics().sessions_restored, 0);
+        EXPECT_GT(engine.metrics().restored_bytes, 0);
+        EXPECT_EQ(0, engine.metrics().spill_failures);
+
+        // The restored turn's prefill completion re-donated its pages
+        // (session rows included) to the radix prefix cache: a
+        // stateless follower sharing the prompt reuses them.
+        const RequestResult rf = runTurn(engine, prompt2, /*sid=*/0, 4);
+        ASSERT_EQ(RequestStatus::kOk, rf.status);
+        EXPECT_GE(rf.prefix_reused_tokens, 12)
+            << "restored pages must be re-donated on restore";
+        EXPECT_EQ(soloCausal(model, qs_plain, prompt2, 4, -1, {}),
+                  rf.tokens);
+
+        (packed ? spilled_bytes_packed : spilled_bytes_fp32) =
+            engine.metrics().spilled_bytes;
+    }
+    // The packed cache spills codes, not floats: the spill artifact
+    // inherits the paper's 4x compression (minus CRC/header overhead).
+    EXPECT_LT(spilled_bytes_packed * 2, spilled_bytes_fp32);
+}
+
+TEST(KvSpillEngine, InjectedIoFaultsDegradeToTypedFallbacks)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 777);
+    QuantSession qs_plain(QuantConfig::posit8());
+
+    struct Case
+    {
+        const char *name;
+        FaultConfig fc;
+        /// Where turn 2's KV history should come from.
+        SessionKVSource want_src;
+    };
+    std::vector<Case> cases;
+    {
+        Case c;
+        c.name = "open-fail";
+        c.fc.spill_open_fail_rate = 1.0;
+        c.want_src = SessionKVSource::kResident;
+        cases.push_back(c);
+    }
+    {
+        Case c;
+        c.name = "enospc";
+        c.fc.spill_enospc_rate = 1.0;
+        c.want_src = SessionKVSource::kResident;
+        cases.push_back(c);
+    }
+    {
+        Case c;
+        c.name = "torn-write";
+        c.fc.spill_torn_write_rate = 1.0;
+        c.want_src = SessionKVSource::kRecomputed;
+        cases.push_back(c);
+    }
+    {
+        Case c;
+        c.name = "corrupt";
+        c.fc.spill_corrupt_rate = 1.0;
+        c.want_src = SessionKVSource::kRecomputed;
+        cases.push_back(c);
+    }
+    {
+        Case c;
+        c.name = "short-read";
+        c.fc.spill_short_read_rate = 1.0;
+        c.want_src = SessionKVSource::kRecomputed;
+        cases.push_back(c);
+    }
+
+    for (auto &c : cases) {
+        ScopedDir dir(std::string("kv_spill_test_chaos_") + c.name);
+        QuantSession qs(QuantConfig::posit8());
+        FaultInjector fi(c.fc);
+
+        EngineConfig ec{2, 48};
+        ec.paged = true;
+        ec.page_size = 4;
+        ec.spill_dir = dir.path;
+        ec.n_pages = 24;
+        ec.spill_low_pages = 25; // force the sweep every step
+        ec.fault = &fi;
+        ServeEngine engine(model, qs, ec);
+
+        Rng rng(23);
+        const auto prompt1 = makePrompt(rng, cfg.vocab, 6);
+        const RequestResult r1 = runTurn(engine, prompt1, /*sid=*/9, 6);
+        ASSERT_EQ(RequestStatus::kOk, r1.status) << c.name;
+        engine.step(); // sweep: spill attempt under injected faults
+
+        std::vector<int32_t> prompt2 = prompt1;
+        prompt2.insert(prompt2.end(), r1.tokens.begin(),
+                       r1.tokens.end());
+        const auto extra = makePrompt(rng, cfg.vocab, 2);
+        prompt2.insert(prompt2.end(), extra.begin(), extra.end());
+
+        const RequestResult r2 = runTurn(engine, prompt2, 9, 5);
+        ASSERT_EQ(RequestStatus::kOk, r2.status) << c.name;
+        EXPECT_EQ(c.want_src, r2.session_kv) << c.name;
+        EXPECT_EQ(soloCausal(model, qs_plain, prompt2, 5, -1, {}),
+                  r2.tokens)
+            << c.name
+            << ": IO faults must never change tokens, only accounting";
+        EXPECT_GE(engine.metrics().spill_failures, 1) << c.name;
+        if (c.want_src == SessionKVSource::kRecomputed) {
+            EXPECT_GE(engine.metrics().sessions_recomputed, 1)
+                << c.name;
+            EXPECT_EQ(0, r2.session_reused_tokens) << c.name;
+        }
+    }
+}
+
+TEST(KvSpillEngine, MissingSpillFileRecomputesWithIdenticalTokens)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 55);
+    QuantSession qs(QuantConfig::posit8());
+    QuantSession qs_plain(QuantConfig::posit8());
+    ScopedDir dir("kv_spill_test_missing");
+
+    EngineConfig ec{2, 48};
+    ec.paged = true;
+    ec.page_size = 4;
+    ec.spill_dir = dir.path;
+    ec.n_pages = 24;
+    ec.spill_low_pages = 25;
+    ServeEngine engine(model, qs, ec);
+
+    Rng rng(31);
+    const auto prompt1 = makePrompt(rng, cfg.vocab, 6);
+    const RequestResult r1 = runTurn(engine, prompt1, /*sid=*/11, 6);
+    ASSERT_EQ(RequestStatus::kOk, r1.status);
+    engine.step();
+    ASSERT_TRUE(engine.spillManager()->store().has(11));
+
+    // The disk tier loses the file (operator wipe, tmp reaper, ...).
+    fs::remove(engine.spillManager()->store().pathFor(11));
+
+    std::vector<int32_t> prompt2 = prompt1;
+    prompt2.insert(prompt2.end(), r1.tokens.begin(), r1.tokens.end());
+    prompt2.push_back(prompt1[0]);
+
+    const RequestResult r2 = runTurn(engine, prompt2, 11, 5);
+    ASSERT_EQ(RequestStatus::kOk, r2.status);
+    EXPECT_EQ(SessionKVSource::kRecomputed, r2.session_kv);
+    EXPECT_EQ(soloCausal(model, qs_plain, prompt2, 5, -1, {}),
+              r2.tokens);
+    EXPECT_GE(engine.metrics().spill_failures, 1);
+    EXPECT_GE(engine.metrics().sessions_recomputed, 1);
+}
+
+TEST(KvSpillEngine, HardPressureShedsIdleSessionsForAdmission)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 99);
+    QuantSession qs_plain(QuantConfig::posit8());
+    Rng rng(47);
+    const auto prompt_a = makePrompt(rng, cfg.vocab, 8);
+    const auto prompt_b = makePrompt(rng, cfg.vocab, 8);
+
+    for (const bool disk : {false, true}) {
+        ScopedDir dir(disk ? "kv_spill_test_pressure_disk"
+                           : "kv_spill_test_pressure_ram");
+        QuantSession qs(QuantConfig::posit8());
+        // 6 pages of 4 rows; each 8-prompt/8-new turn worst-cases 4
+        // pages, so the second session's first turn cannot admit while
+        // the first sits idle — hard pressure must shed it.
+        EngineConfig ec{1, 32};
+        ec.paged = true;
+        ec.page_size = 4;
+        ec.n_pages = 6;
+        ec.prefix_cache = false;
+        if (disk)
+            ec.spill_dir = dir.path;
+        ServeEngine engine(model, qs, ec);
+
+        const RequestResult ra = runTurn(engine, prompt_a, /*sid=*/1, 8);
+        ASSERT_EQ(RequestStatus::kOk, ra.status);
+        EXPECT_EQ(1, engine.spillManager()->residentSessions());
+
+        const RequestResult rb = runTurn(engine, prompt_b, /*sid=*/2, 8);
+        ASSERT_EQ(RequestStatus::kOk, rb.status);
+        EXPECT_EQ(soloCausal(model, qs_plain, prompt_b, 8, -1, {}),
+                  rb.tokens)
+            << "admission pressure must not disturb tokens";
+
+        std::vector<int32_t> prompt_a2 = prompt_a;
+        prompt_a2.insert(prompt_a2.end(), ra.tokens.begin(),
+                         ra.tokens.end());
+        prompt_a2.push_back(prompt_a[0]);
+        const RequestResult ra2 = runTurn(engine, prompt_a2, 1, 4);
+        ASSERT_EQ(RequestStatus::kOk, ra2.status);
+        EXPECT_EQ(soloCausal(model, qs_plain, prompt_a2, 4, -1, {}),
+                  ra2.tokens)
+            << (disk ? "disk" : "ram");
+        if (disk) {
+            // The disk tier preserves the session across the shed.
+            EXPECT_EQ(SessionKVSource::kRestoredFromSpill,
+                      ra2.session_kv);
+            EXPECT_GE(engine.metrics().sessions_spilled, 1);
+            EXPECT_GE(engine.metrics().sessions_restored, 1);
+            EXPECT_EQ(0, engine.metrics().sessions_dropped);
+        } else {
+            // RAM-only: the shed session is gone; its turn runs fresh.
+            EXPECT_EQ(SessionKVSource::kNone, ra2.session_kv);
+            EXPECT_GE(engine.metrics().sessions_dropped, 1);
+        }
+    }
+}
+
+TEST(KvSpillEngine, ReleaseSessionsQuiescesPoolAndDeletesFiles)
+{
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 1234);
+    QuantSession qs(QuantConfig::posit8());
+    ScopedDir dir("kv_spill_test_release");
+
+    EngineConfig ec{1, 32};
+    ec.paged = true;
+    ec.page_size = 4;
+    ec.n_pages = 16;
+    ec.prefix_cache = false;
+    ec.spill_dir = dir.path;
+    ec.spill_low_pages = 17; // sweep spills every idle session
+    ServeEngine engine(model, qs, ec);
+
+    Rng rng(61);
+    for (const uint64_t sid : {21u, 22u}) {
+        const auto prompt = makePrompt(rng, cfg.vocab, 5);
+        const RequestResult r = runTurn(engine, prompt, sid, 4);
+        ASSERT_EQ(RequestStatus::kOk, r.status);
+    }
+    engine.step();
+    ASSERT_EQ(2, engine.spillManager()->spilledSessions());
+    const std::string p21 = engine.spillManager()->store().pathFor(21);
+    ASSERT_TRUE(fs::exists(p21));
+
+    engine.releaseSessions();
+    EXPECT_EQ(0, engine.spillManager()->residentSessions());
+    EXPECT_EQ(0, engine.spillManager()->spilledSessions());
+    EXPECT_FALSE(fs::exists(p21)) << "spill files deleted on release";
+    EXPECT_EQ(engine.pagedPool()->pageCount(),
+              engine.pagedPool()->freePages())
+        << "no page may leak through the session table";
+}
+
+} // namespace
+} // namespace qt8

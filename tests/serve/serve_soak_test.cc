@@ -21,6 +21,7 @@
  */
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <thread>
 #include <vector>
@@ -402,6 +403,151 @@ TEST(ServeSoak, PagedEnginePageFaultChaosKeepsIsolation)
     ASSERT_NE(nullptr, pool);
     EXPECT_EQ(pool->pageCount(),
               pool->freePages() + pool->cachedPages());
+}
+
+TEST(ServeSoak, SpillIoChaosKeepsSessionsTypedAndBitIdentical)
+{
+#ifdef QT8_TSAN
+    const int n_producers = 3, convos = 2;
+    const double delay_ms = 0.2;
+#else
+    const int n_producers = 4, convos = 4;
+    const double delay_ms = 0.4;
+#endif
+
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 20260808);
+    QuantSession qs(QuantConfig::posit8());
+
+    // IO chaos on every spill edge, plus a little numeric chaos so the
+    // two fault families prove independent: IO faults may only move a
+    // session between restored/recomputed/resident — never its tokens.
+    FaultConfig fc;
+    fc.seed = 29;
+    fc.nan_logit_rate = 0.01;
+    fc.spill_open_fail_rate = 0.20;
+    fc.spill_enospc_rate = 0.20;
+    fc.spill_torn_write_rate = 0.25;
+    fc.spill_corrupt_rate = 0.25;
+    fc.spill_short_read_rate = 0.30;
+    fc.delay_rate = 0.10;
+    fc.delay_ms = delay_ms;
+    FaultInjector fault(fc);
+
+    const std::string spill_dir = "serve_soak_spill_chaos";
+    std::filesystem::remove_all(spill_dir);
+
+    EngineConfig ec{/*n_slots=*/2, /*slot_capacity=*/32};
+    ec.paged = true;
+    ec.page_size = 4;
+    ec.n_pages = 20;
+    ec.spill_dir = spill_dir;
+    ec.spill_low_pages = 21; // > n_pages: sweep every idle session,
+                             // maximizing trips through the IO faults
+    ec.fault = &fault;
+    ServeEngine engine(model, qs, ec);
+    engine.start();
+
+    struct Turn
+    {
+        Request req;
+        uint64_t id = 0;
+        RequestResult res;
+    };
+    std::vector<std::vector<Turn>> by_producer(
+        static_cast<size_t>(n_producers));
+    std::vector<std::thread> producers;
+    for (int t = 0; t < n_producers; ++t) {
+        producers.emplace_back([&, t] {
+            Rng rng(5000u + static_cast<uint64_t>(t));
+            auto &mine = by_producer[static_cast<size_t>(t)];
+            for (int r = 0; r < convos; ++r) {
+                const uint64_t sid =
+                    static_cast<uint64_t>(t) * 100u +
+                    static_cast<uint64_t>(r) + 1u;
+                // Turn 1 of the conversation.
+                Turn t1;
+                t1.req.prompt =
+                    makePrompt(rng, cfg.vocab, 4 + rng.randint(5));
+                t1.req.max_new_tokens = 4 + rng.randint(5);
+                t1.req.eos = -1;
+                t1.req.session_id = sid;
+                auto f1 = engine.submit(t1.req, &t1.id);
+                t1.res = f1.get(); // wait: turn 2 extends this result
+
+                // Turn 2 extends turn 1's history; whatever the spill
+                // tier did meanwhile, the tokens may not change.
+                Turn t2;
+                t2.req.prompt = t1.req.prompt;
+                t2.req.prompt.insert(t2.req.prompt.end(),
+                                     t1.res.tokens.begin(),
+                                     t1.res.tokens.end());
+                const auto extra =
+                    makePrompt(rng, cfg.vocab, 1 + rng.randint(3));
+                t2.req.prompt.insert(t2.req.prompt.end(), extra.begin(),
+                                     extra.end());
+                t2.req.max_new_tokens = 3 + rng.randint(4);
+                t2.req.eos = -1;
+                t2.req.session_id = sid;
+                auto f2 = engine.submit(t2.req, &t2.id);
+                t2.res = f2.get();
+                mine.push_back(std::move(t1));
+                mine.push_back(std::move(t2));
+            }
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+    engine.stop(StopMode::kDrain);
+
+    int64_t resolved = 0, healthy_ok = 0;
+    int64_t session_turns = 0;
+    for (const auto &mine : by_producer) {
+        for (const auto &t : mine) {
+            ++resolved;
+            ASSERT_TRUE(t.res.status == RequestStatus::kOk ||
+                        t.res.status == RequestStatus::kCapacityExceeded ||
+                        t.res.status == RequestStatus::kNumericFault)
+                << "request " << t.id << ": "
+                << serve::toString(t.res.status);
+            if (t.res.session_kv != serve::SessionKVSource::kNone)
+                ++session_turns;
+            // IO faults never touch numerics: every kOk request whose
+            // numerics the injector left alone is bit-identical to a
+            // solo decode of its full prompt, regardless of whether its
+            // history was resident, restored, or recomputed.
+            if (t.res.status == RequestStatus::kOk &&
+                !fault.wasFaulted(t.id)) {
+                ++healthy_ok;
+                EXPECT_EQ(soloCausal(model, qs, t.req.prompt,
+                                     t.req.max_new_tokens, t.req.eos,
+                                     t.req.sampling),
+                          t.res.tokens)
+                    << "request " << t.id << " (session source "
+                    << serve::toString(t.res.session_kv) << ")";
+            }
+        }
+    }
+    EXPECT_EQ(n_producers * convos * 2, resolved);
+    EXPECT_GT(healthy_ok, 0);
+    EXPECT_GT(session_turns, 0) << "some turn-2s must hit a session";
+
+    const auto fs = fault.stats();
+    EXPECT_GT(fs.spill_open_fails + fs.spill_enospc +
+                  fs.spill_torn_writes + fs.spill_corruptions +
+                  fs.spill_short_reads,
+              0)
+        << "the IO chaos must actually fire";
+
+    // Quiesce: dropping every idle session returns its pages, so the
+    // whole arena is free list + prefix cache — nothing leaked through
+    // any spill/restore/recompute edge.
+    engine.releaseSessions();
+    const auto *pool = engine.pagedPool();
+    ASSERT_NE(nullptr, pool);
+    EXPECT_EQ(pool->pageCount(),
+              pool->freePages() + pool->cachedPages());
+    std::filesystem::remove_all(spill_dir);
 }
 
 } // namespace

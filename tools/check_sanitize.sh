@@ -1,8 +1,9 @@
 #!/bin/sh
 # Build the library under AddressSanitizer and run the cross-thread test
 # set (ctest label "sane"): the serve engine's scheduler, tracer
-# buffers, and the packed GEMM's parallel health merging are the
-# subjects. Usage:
+# buffers, the packed GEMM's parallel health merging, and the tiered
+# KV spill/restore machinery (kv_spill_test + the soak test's spill-IO
+# chaos producer) are the subjects. Usage:
 #   tools/check_sanitize.sh [thread|address|undefined]
 # Default is address. Exits nonzero on any build or test failure.
 set -e

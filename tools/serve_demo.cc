@@ -8,7 +8,7 @@
  *   serve_demo [--dtype fp32|bf16|posit8|e4m3] [--slots N]
  *              [--requests N] [--max-new N] [--seed S] [--packed 0|1]
  *              [--kv-packed 0|1] [--pages N] [--page-size N]
- *              [--prefix-cache 0|1]
+ *              [--prefix-cache 0|1] [--spill-dir PATH]
  *
  * --packed 1 serves from true packed 8-bit weight codes through the
  * fused gemmQuantized path (grid dtypes only; tokens stay bit-identical
@@ -21,6 +21,12 @@
  * prompts prefill in page-sized chunks, and --prefix-cache 1 (default)
  * shares identical prompt prefixes between requests through the radix
  * cache. Tokens stay bit-identical to the slab engine.
+ *
+ * --spill-dir PATH demos tiered KV session storage (DESIGN.md §15,
+ * implies --pages): every request becomes a chat session, idle
+ * sessions are spilled to integrity-checked files under PATH, and a
+ * second turn per session reactivates them — printing whether each
+ * came back resident, restored from spill, or recomputed.
  *
  * Greedy requests are bit-identical to a solo cached decode; sampled
  * requests replay identically from their per-request seed.
@@ -67,6 +73,7 @@ main(int argc, char **argv)
     bool paged = false;
     int64_t n_pages = 0, page_size = 16;
     bool prefix_cache = true;
+    std::string spill_dir;
     for (int i = 1; i + 1 < argc; i += 2) {
         const std::string flag = argv[i];
         if (flag == "--dtype")
@@ -92,6 +99,9 @@ main(int argc, char **argv)
         } else if (flag == "--prefix-cache") {
             paged = true;
             prefix_cache = std::atoll(argv[i + 1]) != 0;
+        } else if (flag == "--spill-dir") {
+            paged = true; // sessions live on the paged pool
+            spill_dir = argv[i + 1];
         }
     }
 
@@ -116,6 +126,12 @@ main(int argc, char **argv)
     ec.n_pages = n_pages;
     ec.page_size = page_size;
     ec.prefix_cache = prefix_cache;
+    if (!spill_dir.empty()) {
+        ec.spill_dir = spill_dir;
+        // Watermark above any arena: every idle session goes to disk,
+        // so the demo actually exercises spill + restore.
+        ec.spill_low_pages = 1 << 20;
+    }
     serve::ServeEngine engine(model, qs, ec);
 
     std::printf("serve_demo: %s%s%s, %lld slots, %lld requests",
@@ -129,6 +145,8 @@ main(int argc, char **argv)
                         engine.config().n_pages),
                     static_cast<long long>(engine.config().page_size),
                     prefix_cache ? ", prefix cache" : "");
+    if (!spill_dir.empty())
+        std::printf(", spill dir %s", spill_dir.c_str());
     std::printf("\n\n");
 
     Rng rng(seed);
@@ -148,6 +166,8 @@ main(int argc, char **argv)
             req.sampling.top_k = 16;
             req.sampling.seed = seed + static_cast<uint64_t>(r);
         }
+        if (!spill_dir.empty()) // every request opens a chat session
+            req.session_id = static_cast<uint64_t>(r) + 1;
         reqs.push_back(req);
         futs.push_back(engine.submit(std::move(req)));
     }
@@ -170,6 +190,46 @@ main(int argc, char **argv)
             std::printf(" %d", tok);
         std::printf("   (ttft %.2fms, %.2fms total)\n", res.ttft_ms,
                     res.latency_ms);
+    }
+
+    if (!spill_dir.empty()) {
+        // Idle steps sweep every retained session to the disk tier
+        // (the demo watermark is above the arena), then each session
+        // comes back for a second turn.
+        engine.step();
+        std::printf("\nsessions after turn 1: %lld resident, %lld on "
+                    "disk under %s\n",
+                    static_cast<long long>(
+                        engine.spillManager()->residentSessions()),
+                    static_cast<long long>(
+                        engine.spillManager()->spilledSessions()),
+                    spill_dir.c_str());
+
+        std::vector<std::shared_future<serve::RequestResult>> futs2;
+        for (int64_t r = 0; r < n_requests; ++r) {
+            serve::Request req = reqs[static_cast<size_t>(r)];
+            const serve::RequestResult t1 =
+                futs[static_cast<size_t>(r)].get();
+            req.prompt.insert(req.prompt.end(), t1.tokens.begin(),
+                              t1.tokens.end());
+            req.prompt.push_back(req.prompt.front()); // the user "replies"
+            futs2.push_back(engine.submit(std::move(req)));
+        }
+        engine.start();
+        engine.stop(serve::StopMode::kDrain);
+        for (int64_t r = 0; r < n_requests; ++r) {
+            const serve::RequestResult res =
+                futs2[static_cast<size_t>(r)].get();
+            std::printf("turn 2 req %2lld [%s] kv=%s reused=%lld ->",
+                        static_cast<long long>(r),
+                        serve::toString(res.status),
+                        serve::toString(res.session_kv),
+                        static_cast<long long>(
+                            res.session_reused_tokens));
+            for (const int32_t tok : res.tokens)
+                std::printf(" %d", tok);
+            std::printf("\n");
+        }
     }
 
     std::printf("\n%s", engine.metricsSnapshot().dump().c_str());
