@@ -27,11 +27,13 @@ done
 # (BENCH_gemm.json, BENCH_kv.json, BENCH_serve.json) when the bench
 # binaries are present; skip silently otherwise. bench_serve --kv-json
 # also embeds the shared-prefix slab-vs-paged comparison at fixed KV
-# RAM ("prefix_share"; same table as bench_serve --prefix-share) and
-# the RAM-only-vs-disk-tier session spill comparison ("spill"; same
-# table as bench_serve --spill), and exits non-zero if the paged
-# engines' tokens ever diverge from slab or the spill modes' streams
-# ever diverge from each other.
+# RAM ("prefix_share"; same table as bench_serve --prefix-share), the
+# RAM-only-vs-disk-tier session spill comparison ("spill"; same table
+# as bench_serve --spill), and the three-class fair-share-vs-FIFO mix
+# ("multi_tenant"; same table as bench_serve --multi-tenant), and
+# exits non-zero if the paged engines' tokens ever diverge from slab,
+# the spill modes' streams diverge from each other, or any request's
+# tokens differ between the FIFO and fair-share scheduler runs.
 [ -x build/bench/bench_kernels ] && build/bench/bench_kernels --gemm-json >/dev/null
 [ -x build/bench/bench_decode ] && build/bench/bench_decode --kv-json >/dev/null
 [ -x build/bench/bench_serve ] && build/bench/bench_serve --kv-json >/dev/null

@@ -51,12 +51,15 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "data/tasks.h"
 #include "harness.h"
 #include "nn/model.h"
 #include "serve/engine.h"
 #include "tensor/ops.h"
 #include "tensor/packed_simd.h"
+#include "workload_gen.h"
 
 using namespace qt8;
 using namespace qt8::bench;
@@ -302,6 +305,7 @@ smokeMain(bool kv_packed)
 
 int prefixShareSection(std::FILE *f);
 int spillSection(std::FILE *f);
+int multiTenantSection(std::FILE *f, bool smoke);
 
 /// --kv-json[=path]: BENCH_serve.json — continuous-batching serving
 /// stats for the fp32 KV cache vs packed codes at equal concurrency,
@@ -393,10 +397,12 @@ kvJsonMain(const std::string &path)
     const int share_failures = prefixShareSection(f);
     std::fprintf(f, ",\n");
     const int spill_failures = spillSection(f);
+    std::fprintf(f, ",\n");
+    const int mt_failures = multiTenantSection(f, /*smoke=*/false);
     std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
-    return share_failures + spill_failures;
+    return share_failures + spill_failures + mt_failures;
 }
 
 /// Shared-prefix workload: every request opens with the same
@@ -850,11 +856,351 @@ spillSection(std::FILE *f)
     return failures == 0 ? 0 : 1;
 }
 
+/// Multi-tenant fair-share serving (DESIGN.md §16): the same seeded
+/// three-class transaction mix (interactive chat sessions, long-doc
+/// prefill, offline batch) driven through the paged engine twice — a
+/// global-FIFO baseline and the weighted fair-share scheduler with
+/// SLO-aware preemption — at an arena deliberately too small for the
+/// offered load. Reports per-class goodput (SLO-met tokens/sec),
+/// TTFT/latency p50/p95/p99, preemption counts and fairness ratios;
+/// fails (non-zero) if any request's tokens differ between modes —
+/// the preempt-spill-resume path must be bit-invisible. When @p f is
+/// non-null also writes the `"multi_tenant": {...}` JSON object.
+int
+multiTenantSection(std::FILE *f, bool smoke)
+{
+    const ModelConfig cfg = serveLmConfig();
+    const double horizon_ms = smoke ? 120.0 : 400.0;
+    const WorkloadConfig wl = defaultMix(211, horizon_ms, cfg.vocab,
+                                         Vocab::kFirstContent);
+    const std::vector<GenRequest> gen = generate(wl);
+
+    if (smoke) {
+        // Generator determinism self-check: same seed, byte-identical
+        // schedule.
+        if (fingerprint(generate(wl)) != fingerprint(gen)) {
+            std::fprintf(stderr,
+                         "multi-tenant: workload generator is not "
+                         "deterministic\n");
+            return 1;
+        }
+    }
+
+    // (session_id, turn) -> generated-request index, for chaining chat
+    // follow-up turns after their predecessor resolves.
+    std::map<std::pair<uint64_t, int>, size_t> turn_idx;
+    for (size_t i = 0; i < gen.size(); ++i)
+        if (gen[i].session_id != 0)
+            turn_idx[{gen[i].session_id, gen[i].turn}] = i;
+
+    struct MtRun
+    {
+        serve::ServeMetrics m;
+        double makespan_ms = 0.0;
+        std::vector<std::vector<int32_t>> tokens; ///< By gen index.
+        std::vector<serve::RequestStatus> status;
+    };
+    struct Mode
+    {
+        const char *label;
+        bool fair;
+    };
+    const std::vector<Mode> modes = {{"fifo", false},
+                                     {"fair-share", true}};
+
+    const std::string spill_dir = "bench_serve_mt_tmp";
+    CausalLM model(cfg, 4321);
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+
+    std::printf("\nmulti-tenant serving, three-class mix over %.0f ms "
+                "(%zu requests, dtype=posit(8,1), kv packed):\n",
+                horizon_ms, gen.size());
+
+    std::vector<MtRun> runs;
+    for (const Mode &mode : modes) {
+        std::filesystem::remove_all(spill_dir);
+        QuantSession qs(qc);
+        serve::EngineConfig ec;
+        ec.n_slots = 4;
+        ec.slot_capacity = 64;
+        ec.paged = true;
+        ec.page_size = 8;
+        ec.n_pages = 12; // ~2 worst-case residents: forced contention
+        ec.prefix_cache = false;
+        ec.spill_dir = spill_dir; // preemption checkpoints hit disk
+        ec.sched.policy = mode.fair
+                              ? serve::SchedulerConfig::Policy::kFairShare
+                              : serve::SchedulerConfig::Policy::kFifo;
+        ec.sched.preemption = mode.fair;
+        for (const ClassSpec &cs : wl.classes) {
+            serve::ClassPolicy &pol =
+                ec.sched.classes[static_cast<size_t>(cs.cls)];
+            pol.ttft_slo_ms = cs.ttft_slo_ms;
+            pol.latency_slo_ms = cs.latency_slo_ms;
+        }
+        if (mode.fair) {
+            // Token-rate cap on the bulk batch tenant: delay-only
+            // backpressure (tokens never change, only when they run).
+            serve::TenantPolicy tp;
+            tp.tokens_per_sec = 2000.0;
+            ec.sched.tenants[20] = tp;
+        }
+        serve::ServeEngine engine(model, qs, ec);
+
+        struct Flight
+        {
+            size_t gi;
+            std::shared_future<serve::RequestResult> fut;
+            std::vector<int32_t> full_prompt;
+        };
+        struct Due
+        {
+            size_t gi;
+            double due_ms;
+            std::vector<int32_t> prompt;
+        };
+        std::vector<Due> due;
+        for (size_t i = 0; i < gen.size(); ++i)
+            if (gen[i].turn == 0)
+                due.push_back(Due{i, gen[i].arrival_ms, gen[i].prompt});
+        std::vector<Flight> flights;
+        MtRun r;
+        r.tokens.resize(gen.size());
+        r.status.resize(gen.size(), serve::RequestStatus::kOk);
+        size_t resolved = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        while (resolved < gen.size()) {
+            const double now = msSince(t0);
+            for (size_t i = due.size(); i-- > 0;) {
+                if (now < due[i].due_ms)
+                    continue;
+                const GenRequest &g = gen[due[i].gi];
+                serve::Request req;
+                req.prompt = due[i].prompt;
+                req.max_new_tokens = g.max_new_tokens;
+                req.eos = -1;
+                req.tenant_id = g.tenant_id;
+                req.priority_class = g.cls;
+                req.session_id = g.session_id;
+                flights.push_back(Flight{due[i].gi,
+                                         engine.submit(std::move(req)),
+                                         std::move(due[i].prompt)});
+                due.erase(due.begin() + static_cast<std::ptrdiff_t>(i));
+            }
+            if (engine.activeCount() > 0 || engine.pendingCount() > 0)
+                engine.step();
+            else
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+            for (size_t i = flights.size(); i-- > 0;) {
+                Flight &fl = flights[i];
+                if (fl.fut.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready)
+                    continue;
+                const serve::RequestResult res = fl.fut.get();
+                const GenRequest &g = gen[fl.gi];
+                r.tokens[fl.gi] = res.tokens;
+                r.status[fl.gi] = res.status;
+                ++resolved;
+                if (g.turn + 1 < g.turns) {
+                    // Chain the follow-up chat turn: history + this
+                    // turn's output + the next turn's new user tokens.
+                    const size_t ni =
+                        turn_idx.at({g.session_id, g.turn + 1});
+                    std::vector<int32_t> next = fl.full_prompt;
+                    next.insert(next.end(), res.tokens.begin(),
+                                res.tokens.end());
+                    next.insert(next.end(), gen[ni].prompt.begin(),
+                                gen[ni].prompt.end());
+                    due.push_back(Due{ni, msSince(t0) + g.think_ms,
+                                      std::move(next)});
+                }
+                flights.erase(flights.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            }
+        }
+        r.makespan_ms = msSince(t0);
+        engine.releaseSessions();
+        r.m = engine.metricsSnapshot();
+        runs.push_back(std::move(r));
+    }
+    std::filesystem::remove_all(spill_dir);
+
+    // Acceptance oracle: scheduling (and preemption) may only change
+    // *when* tokens run, never which tokens — every request must be
+    // bit-identical across FIFO and fair-share, including every
+    // preempt-spill-resume round trip.
+    int failures = 0;
+    for (size_t i = 0; i < gen.size(); ++i) {
+        if (runs[0].tokens[i] != runs[1].tokens[i]) {
+            std::fprintf(stderr,
+                         "multi-tenant: request %zu (class %s) tokens "
+                         "diverge between fifo (%s, %zu tok) and "
+                         "fair-share (%s, %zu tok)\n",
+                         i, toString(gen[i].cls),
+                         serve::toString(runs[0].status[i]),
+                         runs[0].tokens[i].size(),
+                         serve::toString(runs[1].status[i]),
+                         runs[1].tokens[i].size());
+            ++failures;
+        }
+    }
+
+    const double wsum = 4.0 + 2.0 + 1.0;
+    const double weights[serve::kNumClasses] = {4.0, 2.0, 1.0};
+    std::printf("%-11s %-12s %9s %8s %8s %8s %8s %9s %9s %8s\n", "mode",
+                "class", "goodput/s", "ttft p50", "ttft p95",
+                "ttft p99", "lat p95", "slo-met", "preempts", "fair");
+    for (size_t mi = 0; mi < runs.size(); ++mi) {
+        const MtRun &r = runs[mi];
+        int64_t total_tokens = 0;
+        for (const auto &cm : r.m.per_class)
+            total_tokens += cm.generated_tokens;
+        bool labeled = false;
+        for (size_t c = 0; c < serve::kNumClasses; ++c) {
+            const serve::ClassMetrics &cm = r.m.per_class[c];
+            if (cm.completed == 0)
+                continue;
+            const double share =
+                total_tokens > 0
+                    ? static_cast<double>(cm.generated_tokens) /
+                          static_cast<double>(total_tokens)
+                    : 0.0;
+            const double fair = share / (weights[c] / wsum);
+            std::printf(
+                "%-11s %-12s %9.0f %7.1fms %7.1fms %7.1fms %7.1fms "
+                "%5lld/%-3lld %9lld %8.2f\n",
+                labeled ? "" : modes[mi].label,
+                toString(static_cast<serve::PriorityClass>(c)),
+                r.makespan_ms > 0.0
+                    ? cm.goodput_tokens / (r.makespan_ms / 1000.0)
+                    : 0.0,
+                cm.ttft_ms.percentile(50.0), cm.ttft_ms.percentile(95.0),
+                cm.ttft_ms.percentile(99.0),
+                cm.latency_ms.percentile(95.0),
+                static_cast<long long>(cm.slo_met),
+                static_cast<long long>(cm.ok),
+                static_cast<long long>(cm.preemptions), fair);
+            labeled = true;
+        }
+        std::printf("%-11s %-12s preemptions=%lld resumes=%lld\n", "",
+                    "(sched)",
+                    static_cast<long long>(r.m.sched_preemptions),
+                    static_cast<long long>(r.m.preempt_resumes));
+    }
+
+    const auto &fifo_int =
+        runs[0].m.per_class[static_cast<size_t>(
+            serve::PriorityClass::kInteractive)];
+    const auto &fair_int =
+        runs[1].m.per_class[static_cast<size_t>(
+            serve::PriorityClass::kInteractive)];
+    const auto &fifo_batch = runs[0].m.per_class[static_cast<size_t>(
+        serve::PriorityClass::kBatch)];
+    const auto &fair_batch = runs[1].m.per_class[static_cast<size_t>(
+        serve::PriorityClass::kBatch)];
+    const double ttft_gain =
+        fair_int.ttft_ms.percentile(95.0) > 0.0
+            ? fifo_int.ttft_ms.percentile(95.0) /
+                  fair_int.ttft_ms.percentile(95.0)
+            : 0.0;
+    const double fifo_bgood =
+        runs[0].makespan_ms > 0.0
+            ? fifo_batch.generated_tokens / (runs[0].makespan_ms / 1000.0)
+            : 0.0;
+    const double fair_bgood =
+        runs[1].makespan_ms > 0.0
+            ? fair_batch.generated_tokens / (runs[1].makespan_ms / 1000.0)
+            : 0.0;
+    const double batch_ratio =
+        fifo_bgood > 0.0 ? fair_bgood / fifo_bgood : 1.0;
+    std::printf("tokens bit-identical across modes: %s; interactive "
+                "ttft p95 %.2fx better than fifo, batch goodput %.2fx\n",
+                failures == 0 ? "yes" : "NO", ttft_gain, batch_ratio);
+
+    if (f != nullptr) {
+        std::fprintf(f,
+                     "  \"multi_tenant\": {\n"
+                     "    \"requests\": %zu, \"horizon_ms\": %.0f,\n"
+                     "    \"tokens_bit_identical\": %s,\n"
+                     "    \"interactive_ttft_p95_gain\": %.3f,\n"
+                     "    \"batch_goodput_ratio\": %.3f,\n"
+                     "    \"modes\": [\n",
+                     gen.size(), horizon_ms,
+                     failures == 0 ? "true" : "false", ttft_gain,
+                     batch_ratio);
+        for (size_t mi = 0; mi < runs.size(); ++mi) {
+            const MtRun &r = runs[mi];
+            int64_t total_tokens = 0;
+            for (const auto &cm : r.m.per_class)
+                total_tokens += cm.generated_tokens;
+            std::fprintf(f,
+                         "      {\"mode\": \"%s\", "
+                         "\"makespan_ms\": %.1f, "
+                         "\"sched_preemptions\": %lld, "
+                         "\"preempt_resumes\": %lld, \"classes\": [\n",
+                         modes[mi].label, r.makespan_ms,
+                         static_cast<long long>(r.m.sched_preemptions),
+                         static_cast<long long>(r.m.preempt_resumes));
+            bool first = true;
+            for (size_t c = 0; c < serve::kNumClasses; ++c) {
+                const serve::ClassMetrics &cm = r.m.per_class[c];
+                if (cm.completed == 0)
+                    continue;
+                const double share =
+                    total_tokens > 0
+                        ? static_cast<double>(cm.generated_tokens) /
+                              static_cast<double>(total_tokens)
+                        : 0.0;
+                std::fprintf(
+                    f,
+                    "%s        {\"class\": \"%s\", \"completed\": %lld, "
+                    "\"ok\": %lld, \"slo_met\": %lld, "
+                    "\"goodput_tok_per_sec\": %.1f, "
+                    "\"ttft_p50_ms\": %.2f, \"ttft_p95_ms\": %.2f, "
+                    "\"ttft_p99_ms\": %.2f, \"latency_p50_ms\": %.2f, "
+                    "\"latency_p95_ms\": %.2f, \"latency_p99_ms\": %.2f, "
+                    "\"preemptions\": %lld, \"fairness_ratio\": %.3f}",
+                    first ? "" : ",\n",
+                    toString(static_cast<serve::PriorityClass>(c)),
+                    static_cast<long long>(cm.completed),
+                    static_cast<long long>(cm.ok),
+                    static_cast<long long>(cm.slo_met),
+                    r.makespan_ms > 0.0
+                        ? cm.goodput_tokens / (r.makespan_ms / 1000.0)
+                        : 0.0,
+                    cm.ttft_ms.percentile(50.0),
+                    cm.ttft_ms.percentile(95.0),
+                    cm.ttft_ms.percentile(99.0),
+                    cm.latency_ms.percentile(50.0),
+                    cm.latency_ms.percentile(95.0),
+                    cm.latency_ms.percentile(99.0),
+                    static_cast<long long>(cm.preemptions),
+                    share / (weights[c] / wsum));
+                first = false;
+            }
+            std::fprintf(f, "\n      ]}%s\n",
+                         mi + 1 < runs.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  }");
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    bool smoke = false, multi_tenant = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a(argv[i]);
+        smoke = smoke || a == "--smoke";
+        multi_tenant = multi_tenant || a == "--multi-tenant";
+    }
+    if (multi_tenant)
+        return multiTenantSection(nullptr, smoke);
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
         if (arg == "--smoke")
@@ -913,9 +1259,11 @@ main(int argc, char **argv)
                     ct.mean_ms, ct.makespan_ms,
                     ct.tokensPerSec() / st.tokensPerSec());
     }
-    // Shared-prefix and session-spill capacity tables ride along in
-    // the default run so bench_output.txt carries both comparisons.
+    // Shared-prefix, session-spill, and multi-tenant tables ride
+    // along in the default run so bench_output.txt carries every
+    // comparison.
     const int share_failures = prefixShareSection(nullptr);
     const int spill_failures = spillSection(nullptr);
-    return share_failures + spill_failures;
+    const int mt_failures = multiTenantSection(nullptr, /*smoke=*/false);
+    return share_failures + spill_failures + mt_failures;
 }

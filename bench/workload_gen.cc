@@ -1,0 +1,173 @@
+#include "workload_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/random.h"
+
+namespace qt8::bench {
+namespace {
+
+int64_t
+uniformIn(Rng &rng, int64_t lo, int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    return lo + rng.randint(hi - lo + 1);
+}
+
+double
+uniformIn(Rng &rng, double lo, double hi)
+{
+    if (hi <= lo)
+        return lo;
+    return lo + rng.uniform() * (hi - lo);
+}
+
+} // namespace
+
+WorkloadConfig
+defaultMix(uint64_t seed, double horizon_ms, int32_t vocab,
+           int32_t first_token)
+{
+    WorkloadConfig cfg;
+    cfg.seed = seed;
+    cfg.horizon_ms = horizon_ms;
+    cfg.vocab = vocab;
+    cfg.first_token = first_token;
+
+    // Interactive chat: short multi-turn sessions, many tenants, the
+    // tightest TTFT SLO — the class preemption exists to protect.
+    ClassSpec chat;
+    chat.cls = serve::PriorityClass::kInteractive;
+    chat.arrival_hz = 40.0;
+    chat.prompt_lo = 4;
+    chat.prompt_hi = 10;
+    chat.budget_lo = 4;
+    chat.budget_hi = 10;
+    chat.n_tenants = 3;
+    chat.tenant_base = 1;
+    chat.turns_lo = 1;
+    chat.turns_hi = 3;
+    chat.think_ms_lo = 1.0;
+    chat.think_ms_hi = 10.0;
+    chat.ttft_slo_ms = 150.0;
+    chat.latency_slo_ms = 1500.0;
+    cfg.classes.push_back(chat);
+
+    // Long-document analysis: prefill-heavy one-shots with a latency
+    // SLO — big prompts, modest budgets.
+    ClassSpec doc;
+    doc.cls = serve::PriorityClass::kStandard;
+    doc.arrival_hz = 15.0;
+    doc.prompt_lo = 20;
+    doc.prompt_hi = 40;
+    doc.budget_lo = 4;
+    doc.budget_hi = 8;
+    doc.n_tenants = 2;
+    doc.tenant_base = 10;
+    doc.ttft_slo_ms = 600.0;
+    doc.latency_slo_ms = 3000.0;
+    cfg.classes.push_back(doc);
+
+    // Offline batch: no SLO, the longest decode budgets, one bulk
+    // tenant — pure goodput filler that must not starve.
+    ClassSpec batch;
+    batch.cls = serve::PriorityClass::kBatch;
+    batch.arrival_hz = 10.0;
+    batch.prompt_lo = 8;
+    batch.prompt_hi = 16;
+    batch.budget_lo = 12;
+    batch.budget_hi = 24;
+    batch.n_tenants = 1;
+    batch.tenant_base = 20;
+    cfg.classes.push_back(batch);
+    return cfg;
+}
+
+std::vector<GenRequest>
+generate(const WorkloadConfig &cfg)
+{
+    std::vector<GenRequest> out;
+    uint64_t next_session = 1;
+    for (size_t ci = 0; ci < cfg.classes.size(); ++ci) {
+        const ClassSpec &cs = cfg.classes[ci];
+        // One stream per class: adding or re-tuning a class never
+        // perturbs another class's draws.
+        Rng rng(cfg.seed * 2654435761u + ci + 1);
+        double t = 0.0;
+        int tenant_rr = 0;
+        for (;;) {
+            t += -std::log(1.0 - rng.uniform()) /
+                 std::max(cs.arrival_hz, 1e-9) * 1000.0;
+            if (t >= cfg.horizon_ms)
+                break;
+            const int turns = static_cast<int>(
+                uniformIn(rng, static_cast<int64_t>(cs.turns_lo),
+                          static_cast<int64_t>(cs.turns_hi)));
+            const uint64_t sid = turns > 1 ? next_session++ : 0;
+            const uint64_t tenant =
+                cs.tenant_base +
+                static_cast<uint64_t>(tenant_rr++ %
+                                      std::max(cs.n_tenants, 1));
+            for (int turn = 0; turn < turns; ++turn) {
+                GenRequest g;
+                g.arrival_ms = t;
+                g.cls = cs.cls;
+                g.tenant_id = tenant;
+                g.session_id = sid;
+                g.turn = turn;
+                g.turns = turns;
+                g.think_ms =
+                    uniformIn(rng, cs.think_ms_lo, cs.think_ms_hi);
+                const int64_t plen =
+                    uniformIn(rng, cs.prompt_lo, cs.prompt_hi);
+                for (int64_t j = 0; j < plen; ++j)
+                    g.prompt.push_back(
+                        cfg.first_token +
+                        static_cast<int32_t>(rng.randint(
+                            cfg.vocab - cfg.first_token)));
+                g.max_new_tokens =
+                    uniformIn(rng, cs.budget_lo, cs.budget_hi);
+                out.push_back(std::move(g));
+            }
+        }
+    }
+    // Deterministic global order: arrival time, then session/turn so
+    // equal timestamps (same session's turns) stay stable.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const GenRequest &a, const GenRequest &b) {
+                         if (a.arrival_ms != b.arrival_ms)
+                             return a.arrival_ms < b.arrival_ms;
+                         if (a.session_id != b.session_id)
+                             return a.session_id < b.session_id;
+                         return a.turn < b.turn;
+                     });
+    return out;
+}
+
+std::string
+fingerprint(const std::vector<GenRequest> &reqs)
+{
+    std::string s;
+    char buf[128];
+    for (const GenRequest &g : reqs) {
+        std::snprintf(buf, sizeof(buf),
+                      "%.6f|%d|%llu|%llu|%d/%d|%.6f|%lld|",
+                      g.arrival_ms, static_cast<int>(g.cls),
+                      static_cast<unsigned long long>(g.tenant_id),
+                      static_cast<unsigned long long>(g.session_id),
+                      g.turn, g.turns, g.think_ms,
+                      static_cast<long long>(g.max_new_tokens));
+        s += buf;
+        for (const int32_t tok : g.prompt) {
+            std::snprintf(buf, sizeof(buf), "%d,", tok);
+            s += buf;
+        }
+        s += '\n';
+    }
+    return s;
+}
+
+} // namespace qt8::bench

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Seeded open-loop workload generator for the multi-tenant serving
+ * bench (DESIGN.md §16): a three-class transaction mix in the TPC-C
+ * spirit — short interactive chat turns with sessions, prefill-heavy
+ * long-document requests, and offline batch jobs — each class with its
+ * own Poisson arrival process, prompt/budget distributions, tenant
+ * population, and SLO targets.
+ *
+ * Generation is fully deterministic: every draw comes from per-class
+ * seeded xoshiro streams (never the wall clock), so the same config
+ * produces a byte-identical schedule — `fingerprint()` serializes a
+ * schedule so tests can assert exactly that. Chat sessions emit one
+ * GenRequest per turn; turn n+1's prompt holds only the *new* user
+ * tokens (the driver concatenates history + the model's turn-n output
+ * before submitting), because the full prompt depends on runtime
+ * decode results the generator cannot know.
+ */
+#ifndef QT8_BENCH_WORKLOAD_GEN_H
+#define QT8_BENCH_WORKLOAD_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace qt8::bench {
+
+/// One class of the transaction mix.
+struct ClassSpec
+{
+    serve::PriorityClass cls = serve::PriorityClass::kStandard;
+    double arrival_hz = 1.0; ///< Open-loop Poisson session-arrival rate.
+    int64_t prompt_lo = 8;   ///< Prompt tokens, uniform [lo, hi].
+    int64_t prompt_hi = 16;
+    int64_t budget_lo = 4; ///< Decode budget, uniform [lo, hi].
+    int64_t budget_hi = 8;
+    int n_tenants = 1;        ///< Tenants cycle round-robin.
+    uint64_t tenant_base = 1; ///< Ids [base, base + n_tenants).
+    int turns_lo = 1; ///< Turns per session, uniform [lo, hi];
+    int turns_hi = 1; ///< 1 = sessionless one-shot requests.
+    double think_ms_lo = 0.0; ///< Uniform think time before the next
+    double think_ms_hi = 0.0; ///< turn of the same session submits.
+    double ttft_slo_ms = 0.0;    ///< Class TTFT target (0 = none).
+    double latency_slo_ms = 0.0; ///< Class end-to-end target.
+};
+
+/// One generated arrival. For turn > 0 the prompt holds only the new
+/// user tokens; arrival_ms is the *session* arrival (the driver
+/// submits the turn after its predecessor resolves + think_ms).
+struct GenRequest
+{
+    double arrival_ms = 0.0;
+    serve::PriorityClass cls = serve::PriorityClass::kStandard;
+    uint64_t tenant_id = 0;
+    uint64_t session_id = 0; ///< 0 = sessionless.
+    int turn = 0;            ///< 0-based turn index in its session.
+    int turns = 1;           ///< Total turns in the session.
+    double think_ms = 0.0;   ///< Delay before the next turn submits.
+    std::vector<int32_t> prompt;
+    int64_t max_new_tokens = 0;
+};
+
+struct WorkloadConfig
+{
+    uint64_t seed = 1;
+    double horizon_ms = 1000.0; ///< Session arrivals land in [0, horizon).
+    int32_t vocab = 64;         ///< Tokens drawn from [first, vocab).
+    int32_t first_token = 8;    ///< Reserve the control-token range.
+    std::vector<ClassSpec> classes;
+};
+
+/// The canonical three-class mix used by `bench_serve --multi-tenant`:
+/// interactive chat (sessions, tight TTFT SLO), standard long-doc
+/// prefill (latency SLO), and offline batch (no SLO, biggest budgets).
+WorkloadConfig defaultMix(uint64_t seed, double horizon_ms,
+                          int32_t vocab, int32_t first_token);
+
+/// Deterministic generation, sorted by (arrival_ms, session, turn).
+std::vector<GenRequest> generate(const WorkloadConfig &cfg);
+
+/// Canonical byte serialization of a schedule: equal strings iff the
+/// schedules are identical field-for-field (determinism tests).
+std::string fingerprint(const std::vector<GenRequest> &reqs);
+
+} // namespace qt8::bench
+
+#endif // QT8_BENCH_WORKLOAD_GEN_H

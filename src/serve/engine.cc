@@ -38,6 +38,12 @@ normalized(EngineConfig cfg, int64_t max_seq)
     return cfg;
 }
 
+/// Session-table key for a preemption checkpoint: the high bit keeps
+/// engine-generated keys disjoint from any user session_id (whose ids
+/// the engine never mints), so a victim's spilled rows can ride the
+/// normal tiered-KV table without colliding with real sessions.
+constexpr uint64_t kPreemptKeyBit = 1ull << 63;
+
 /// Non-finite scan of one logits row — the per-slot numeric guard.
 bool
 rowFinite(const Tensor &logits, int64_t row)
@@ -84,6 +90,20 @@ struct ServeEngine::Active
     int64_t session_reused = 0;
     int32_t next_input = 0; ///< Token fed on the coming step.
     std::vector<int32_t> out;
+    /// Preemption replay: after a spill-and-requeue round trip the
+    /// "prompt" the engine prefills is the original prompt plus every
+    /// token generated before the interrupt — the KV rows and the
+    /// sampling stream (rng lives in this object, untouched) continue
+    /// exactly where they stopped, so the full output is bit-identical
+    /// to the uninterrupted decode. Empty = never preempted.
+    std::vector<int32_t> replay;
+    int64_t preemptions = 0;     ///< Preempt-resume round trips.
+    int64_t min_victim_step = 0; ///< Cooldown: not a victim again
+                                 ///< before this step (anti-livelock).
+    const std::vector<int32_t> &effPrompt() const
+    {
+        return replay.empty() ? req.prompt : replay;
+    }
     Rng rng;
     double submit_ms;
     double deadline_ms; ///< Engine-clock deadline; 0 = none.
@@ -114,7 +134,7 @@ ServeEngine::ServeEngine(CausalLM *clm, Seq2Seq *s2s, QuantSession &qs,
       cfg_(normalized(cfg, clm != nullptr
                                ? clm->body.config().max_seq
                                : s2s->encoder.config().max_seq)),
-      queue_(cfg_.max_queue_depth),
+      queue_(cfg_.max_queue_depth, cfg_.sched),
       start_(std::chrono::steady_clock::now())
 {
     const int64_t d_model = clm != nullptr
@@ -196,6 +216,11 @@ RequestStatus
 ServeEngine::validate(const Request &req) const
 {
     if (req.prompt.empty() || req.max_new_tokens <= 0)
+        return RequestStatus::kRejectedInvalid;
+    // A rate-limited tenant whose single request exceeds its bucket
+    // capacity could never become eligible: typed rejection now
+    // instead of queueing forever.
+    if (tokenCost(req) > cfg_.sched.burstFor(req.tenant_id))
         return RequestStatus::kRejectedInvalid;
     const int64_t plen = static_cast<int64_t>(req.prompt.size());
     if (clm_ != nullptr) {
@@ -284,10 +309,16 @@ ServeEngine::submit(Request req, uint64_t *id_out)
     // so the original promise can carry the typed rejection: the
     // future resolves immediately, nothing is admitted, and the caller
     // can retry or back off.
+    const size_t cls = static_cast<size_t>(p.request.priority_class);
     switch (queue_.tryPush(std::move(p))) {
-    case RequestQueue::PushResult::kOk:
+    case RequestQueue::PushResult::kOk: {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++metrics_.per_class[cls].submitted;
+        }
         wake();
         return fut;
+    }
     case RequestQueue::PushResult::kFull: {
         RequestResult r;
         r.id = p.id;
@@ -295,6 +326,7 @@ ServeEngine::submit(Request req, uint64_t *id_out)
         {
             std::lock_guard<std::mutex> lock(mu_);
             ++metrics_.rejected;
+            ++metrics_.per_class[cls].rejected;
         }
         p.promise.set_value(r);
         if (p.request.on_complete)
@@ -382,7 +414,7 @@ ServeEngine::admitLocked(std::vector<Resolution> &done)
         if (cfg_.fault != nullptr && cfg_.fault->onAcquire())
             break; // injected allocation failure: retry next step
         PendingRequest p;
-        if (!queue_.tryPop(p))
+        if (!queue_.tryPop(nowMs(), p))
             break;
         admitOneLocked(std::move(p), done);
         ++admitted;
@@ -420,6 +452,17 @@ ServeEngine::retireLocked(size_t idx, RequestStatus status, double now_ms,
             ? static_cast<double>(rec.generated_tokens) /
                   (r.latency_ms / 1000.0)
             : 0.0;
+    rec.priority_class = a.req.priority_class;
+    rec.tenant_id = a.req.tenant_id;
+    rec.preemptions = a.preemptions;
+    if (status == RequestStatus::kOk) {
+        const ClassPolicy &pol =
+            cfg_.sched.policyFor(a.req.priority_class);
+        rec.slo_met =
+            (pol.ttft_slo_ms <= 0.0 || r.ttft_ms <= pol.ttft_slo_ms) &&
+            (pol.latency_slo_ms <= 0.0 ||
+             r.latency_ms <= pol.latency_slo_ms);
+    }
     metrics_.recordRetirement(rec);
 
     if (ppool_ != nullptr) {
@@ -483,10 +526,54 @@ ServeEngine::resolveUnadmittedLocked(PendingRequest &&p,
     rec.status = status;
     rec.prompt_tokens = r.prompt_tokens;
     rec.latency_ms = r.latency_ms;
+    rec.priority_class = p.request.priority_class;
+    rec.tenant_id = p.request.tenant_id;
     metrics_.recordRetirement(rec);
 
     done.push_back(Resolution{std::move(p.promise), std::move(r),
                               std::move(p.request.on_complete)});
+}
+
+void
+ServeEngine::resolvePreemptedLocked(size_t idx, RequestStatus status,
+                                    double now_ms,
+                                    std::vector<Resolution> &done)
+{
+    Active &a = *preempted_[idx];
+    // The checkpoint session — and its spill file, if the rows made it
+    // to disk — dies with the request: a cancelled or expired victim
+    // must leak neither pages nor files.
+    if (smgr_ != nullptr)
+        smgr_->dropSession(kPreemptKeyBit | a.id);
+
+    RequestResult r;
+    r.id = a.id;
+    r.status = status;
+    r.tokens = a.out;
+    r.prompt_tokens = static_cast<int64_t>(a.req.prompt.size());
+    r.session_kv = a.session_kv;
+    r.session_reused_tokens = a.session_reused;
+    r.ttft_ms =
+        a.first_token_ms >= 0.0 ? a.first_token_ms - a.submit_ms : 0.0;
+    r.latency_ms = now_ms - a.submit_ms;
+
+    RequestRecord rec;
+    rec.id = r.id;
+    rec.status = status;
+    rec.prompt_tokens = r.prompt_tokens;
+    rec.generated_tokens = static_cast<int64_t>(r.tokens.size());
+    rec.ttft_ms = r.ttft_ms;
+    rec.latency_ms = r.latency_ms;
+    rec.priority_class = a.req.priority_class;
+    rec.tenant_id = a.req.tenant_id;
+    rec.preemptions = a.preemptions;
+    metrics_.recordRetirement(rec);
+
+    done.push_back(Resolution{std::move(a.promise), std::move(r),
+                              std::move(a.req.on_complete)});
+    preempted_.erase(preempted_.begin() +
+                     static_cast<std::ptrdiff_t>(idx));
+    syncParkedCountLocked();
 }
 
 void
@@ -509,14 +596,29 @@ ServeEngine::processCancelsLocked(double now_ms,
         }
         if (found)
             continue;
-        if (parked_.has_value() && parked_->id == id) {
-            PendingRequest p = std::move(*parked_);
-            parked_.reset();
-            parked_n_.store(0);
-            resolveUnadmittedLocked(std::move(p), RequestStatus::kCancelled,
-                                    done);
-            continue;
+        for (size_t i = 0; i < preempted_.size(); ++i) {
+            if (preempted_[i]->id == id) {
+                resolvePreemptedLocked(i, RequestStatus::kCancelled,
+                                       now_ms, done);
+                found = true;
+                break;
+            }
         }
+        if (found)
+            continue;
+        for (auto &park : parked_) {
+            if (park.has_value() && park->id == id) {
+                PendingRequest p = std::move(*park);
+                park.reset();
+                syncParkedCountLocked();
+                resolveUnadmittedLocked(std::move(p),
+                                        RequestStatus::kCancelled, done);
+                found = true;
+                break;
+            }
+        }
+        if (found)
+            continue;
         PendingRequest p;
         if (queue_.extract(id, p))
             resolveUnadmittedLocked(std::move(p), RequestStatus::kCancelled,
@@ -535,14 +637,24 @@ ServeEngine::expireDeadlinesLocked(double now_ms,
             retireLocked(i, RequestStatus::kDeadlineExceeded, now_ms,
                          done);
     }
+    // Preempted victims carry their deadline through the round trip.
+    for (size_t i = preempted_.size(); i-- > 0;) {
+        if (preempted_[i]->deadline_ms > 0.0 &&
+            now_ms >= preempted_[i]->deadline_ms)
+            resolvePreemptedLocked(i, RequestStatus::kDeadlineExceeded,
+                                   now_ms, done);
+    }
     // Queued requests expire too — even while every slot is busy.
-    if (parked_.has_value() && parked_->deadline_ms > 0.0 &&
-        now_ms >= parked_->deadline_ms) {
-        PendingRequest p = std::move(*parked_);
-        parked_.reset();
-        parked_n_.store(0);
-        resolveUnadmittedLocked(std::move(p),
-                                RequestStatus::kDeadlineExceeded, done);
+    for (auto &park : parked_) {
+        if (park.has_value() && park->deadline_ms > 0.0 &&
+            now_ms >= park->deadline_ms) {
+            PendingRequest p = std::move(*park);
+            park.reset();
+            syncParkedCountLocked();
+            resolveUnadmittedLocked(std::move(p),
+                                    RequestStatus::kDeadlineExceeded,
+                                    done);
+        }
     }
     std::vector<PendingRequest> late =
         queue_.extractIf([now_ms](const PendingRequest &p) {
@@ -749,6 +861,21 @@ ServeEngine::admitPagedOneLocked(PendingRequest &p)
         if (ppool_->availablePages() < 2)
             return false;
 
+        // Worst-case page demand, needed both for the resume pre-gate
+        // below and the admission gate proper: actual prompt + budget
+        // length (the capacity win over the slab's flat slot_capacity
+        // reservation), clamped to the arena.
+        const int64_t worst_rows =
+            std::min(plen + p.request.max_new_tokens, cfg_.slot_capacity);
+        const int64_t worst =
+            std::min(PagedKVPool::pagesFor(worst_rows, cfg_.page_size),
+                     cfg_.n_pages);
+        int64_t debt = 0;
+        for (const auto &o : active_)
+            debt += std::max<int64_t>(
+                0, o->worst_pages -
+                       static_cast<int64_t>(o->pseq.pages.size()));
+
         // Tiered KV sessions: a session-keyed request whose prompt
         // extends its retained history resumes those rows instead of
         // recomputing them — resident from RAM, restored from a spill
@@ -760,6 +887,22 @@ ServeEngine::admitPagedOneLocked(PendingRequest &p)
         SessionKVSource session_src = SessionKVSource::kNone;
         const uint64_t sid = p.request.session_id;
         if (smgr_ != nullptr && sid != 0) {
+            // Pre-gate (mirrors admitPreemptedOneLocked): if the
+            // admission gate is bound to reject this request, say so
+            // *before* resume() drags a spilled session through the
+            // pool — otherwise a parked head retried every step
+            // restores the file, fails the gate, re-parks the pages
+            // resident, stalls the actives (which spill the session
+            // right back) and the engine livelocks doing disk IO with
+            // zero token progress. Algebraically equivalent to the
+            // post-restore gate: restored pages shrink availablePages
+            // and the held count in lockstep; residentPages(sid) is 0
+            // for a spilled session, and a stale entry it would have
+            // dropped only ever frees pages (h >= 0), so a pre-gate
+            // park is never a request the gate would have admitted.
+            if (debt + worst >
+                ppool_->availablePages() + smgr_->residentPages(sid))
+                return false;
             SpillManager::Resume r =
                 smgr_->resume(sid, p.request.prompt);
             if (r.retry)
@@ -806,24 +949,12 @@ ServeEngine::admitPagedOneLocked(PendingRequest &p)
         }
 
         // Worst-case gate: admit only while every in-flight request's
-        // remaining worst-case growth — by *actual* prompt + budget
-        // length, which is the capacity win over the slab's flat
-        // slot_capacity reservation — still fits in obtainable pages.
+        // remaining worst-case growth still fits in obtainable pages.
         // Page draws and the gated sum shrink in lockstep, so a
         // request admitted under this invariant never stalls and is
         // never preempted: its tokens match the slab oracle bit for
         // bit. A request whose lone demand exceeds the arena is
         // clamped (best effort, may truncate kCapacityExceeded).
-        const int64_t worst_rows =
-            std::min(plen + p.request.max_new_tokens, cfg_.slot_capacity);
-        const int64_t worst =
-            std::min(PagedKVPool::pagesFor(worst_rows, cfg_.page_size),
-                     cfg_.n_pages);
-        int64_t debt = 0;
-        for (const auto &o : active_)
-            debt += std::max<int64_t>(
-                0, o->worst_pages -
-                       static_cast<int64_t>(o->pseq.pages.size()));
         if (debt + std::max<int64_t>(
                        0, worst - static_cast<int64_t>(ps.pages.size())) >
             ppool_->availablePages()) {
@@ -898,45 +1029,281 @@ ServeEngine::admitPagedOneLocked(PendingRequest &p)
     return true;
 }
 
+void
+ServeEngine::syncParkedCountLocked()
+{
+    size_t n = preempted_.size();
+    for (const auto &park : parked_)
+        n += park.has_value() ? 1 : 0;
+    parked_n_.store(n);
+}
+
+bool
+ServeEngine::admitPagedWithPressureLocked(PendingRequest &p)
+{
+    if (admitPagedOneLocked(p))
+        return true;
+    // Hard memory pressure, first escalation: idle sessions are the
+    // cheapest page consumer the scheduler can shed. Spill (or drop)
+    // LRU idle sessions one at a time until the request admits or no
+    // candidate remains. Bounded by the resident count at entry,
+    // because an aborted resume re-parks as resident — without the
+    // bound a restore/abort/spill cycle could spin.
+    bool ok = false;
+    int64_t budget = smgr_ != nullptr ? smgr_->residentSessions() : 0;
+    while (!ok && budget-- > 0 && smgr_->spillOne())
+        ok = admitPagedOneLocked(p);
+    if (ok)
+        return true;
+    // Second escalation: preempt a strictly-lower-class in-flight
+    // decode, spilling its rows through the session tier and parking
+    // it for a bit-identical resume (DESIGN.md §16). Each round frees
+    // the victim's pages immediately, after which the idle-spill loop
+    // gets another bounded run. Bounded by the active set: every
+    // round removes one victim.
+    if (!cfg_.sched.preemption || smgr_ == nullptr || clm_ == nullptr)
+        return false;
+    while (!ok &&
+           preemptLowestLocked(
+               static_cast<int>(p.request.priority_class))) {
+        ok = admitPagedOneLocked(p);
+        int64_t b2 = ok ? 0 : smgr_->residentSessions();
+        while (!ok && b2-- > 0 && smgr_->spillOne())
+            ok = admitPagedOneLocked(p);
+    }
+    return ok;
+}
+
+bool
+ServeEngine::preemptLowestLocked(int below_class)
+{
+    // Victim: the numerically largest (least urgent) class above
+    // below_class; ties broken toward the most cached rows (frees the
+    // most pages per interrupt). Freshly resumed requests are immune
+    // for a couple of steps so two classes can't ping-pong one victim.
+    int64_t best = -1;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        const Active &a = *active_[i];
+        if (static_cast<int>(a.req.priority_class) <= below_class)
+            continue;
+        if (step_idx_ < a.min_victim_step)
+            continue;
+        if (best < 0) {
+            best = static_cast<int64_t>(i);
+            continue;
+        }
+        const Active &b = *active_[static_cast<size_t>(best)];
+        const int ca = static_cast<int>(a.req.priority_class);
+        const int cb = static_cast<int>(b.req.priority_class);
+        if (ca > cb || (ca == cb && a.pseq.len > b.pseq.len))
+            best = static_cast<int64_t>(i);
+    }
+    if (best < 0)
+        return false;
+    preemptActiveLocked(static_cast<size_t>(best));
+    return true;
+}
+
+void
+ServeEngine::preemptActiveLocked(size_t idx)
+{
+    std::unique_ptr<Active> a = std::move(active_[idx]);
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(idx));
+    active_n_.store(active_.size());
+    vslot_free_.push_back(a->slot);
+
+    // Canonical token stream: everything the request has consumed or
+    // emitted so far. At a step boundary the cache holds exactly its
+    // first pseq.len rows (decode keeps the cache one row behind the
+    // pending next_input), so rows [0, pseq.len) checkpoint as the
+    // session history and the full stream becomes the replay prompt.
+    std::vector<int32_t> stream = a->req.prompt;
+    stream.insert(stream.end(), a->out.begin(), a->out.end());
+
+    const uint64_t pkey = kPreemptKeyBit | a->id;
+    if (a->pseq.len > 0 && !a->kv_poisoned &&
+        static_cast<int64_t>(stream.size()) > a->pseq.len &&
+        a->pseq.len < cfg_.slot_capacity) {
+        std::vector<int32_t> hist(
+            stream.begin(),
+            stream.begin() + static_cast<std::ptrdiff_t>(a->pseq.len));
+        smgr_->endTurn(pkey, std::move(hist), std::move(a->pseq));
+        // Free the pages *now*: preemption exists to relieve pressure,
+        // so the checkpoint goes straight to the disk tier — or is
+        // dropped when spilling fails, in which case the resume
+        // recomputes the rows (tokens unchanged either way).
+        smgr_->spillSession(pkey);
+    } else {
+        // Poisoned or degenerate rows never seed a resume.
+        ppool_->releaseSeq(a->pseq);
+    }
+    a->pseq = PagedSeq{};
+    a->replay = std::move(stream);
+    ++a->preemptions;
+    ++metrics_.sched_preemptions;
+    preempted_.push_back(std::move(a));
+    syncParkedCountLocked();
+}
+
+bool
+ServeEngine::admitPreemptedOneLocked(Active &a)
+{
+    if (cfg_.fault != nullptr && cfg_.fault->onAcquire())
+        return false;
+    if (ppool_->availablePages() < 2)
+        return false;
+    const std::vector<int32_t> &prompt = a.replay;
+    const int64_t plen = static_cast<int64_t>(prompt.size());
+    const uint64_t pkey = kPreemptKeyBit | a.id;
+
+    // Pre-gate before touching the pool: the post-restore admission
+    // gate reduces to debt + worst <= available + checkpoint-resident
+    // pages (restored pages shrink both sides of the real gate in
+    // lockstep), so a doomed resume can be rejected here *without*
+    // restoring the spill — otherwise each retry would drag the
+    // checkpoint into RAM, starve the very actives whose debt blocks
+    // it, and ping-pong the pages back out every step.
+    {
+        int64_t debt = 0;
+        for (const auto &o : active_)
+            debt += std::max<int64_t>(
+                0, o->worst_pages -
+                       static_cast<int64_t>(o->pseq.pages.size()));
+        if (debt + a.worst_pages >
+            ppool_->availablePages() + smgr_->residentPages(pkey))
+            return false;
+    }
+
+    // The checkout protocol mirrors session resume in
+    // admitPagedOneLocked: the replay strictly extends the checkpoint
+    // history, so a live checkpoint restores its rows (RAM or disk)
+    // and a dead one falls through to a fresh chunked prefill —
+    // either way the tokens replayed are the tokens checkpointed.
+    PagedSeq ps;
+    bool checked_out = false;
+    SpillManager::Resume r = smgr_->resume(pkey, prompt);
+    if (r.retry)
+        return false; // pool can't hold the restore yet
+    if (r.source == SessionKVSource::kResident ||
+        r.source == SessionKVSource::kRestoredFromSpill) {
+        ps = std::move(r.seq);
+        checked_out = true;
+    }
+    const auto unwind = [&] {
+        if (checked_out)
+            smgr_->abortResume(pkey, std::move(ps));
+        else
+            ppool_->releaseSeq(ps);
+    };
+
+    if (!checked_out) {
+        const PagedKVPool::PrefixMatch m =
+            ppool_->matchPrefix(prompt, plen - 1);
+        const int64_t len0 =
+            m.rows + (m.partial_page >= 0 ? m.partial_rows : 0);
+        const int64_t chunk_end = std::min(plen, len0 + cfg_.prefill_chunk);
+        const int64_t need =
+            PagedKVPool::pagesFor(chunk_end, cfg_.page_size) -
+            static_cast<int64_t>(m.pages.size());
+        if (ppool_->availablePages() < need + 1)
+            return false;
+        ppool_->adoptPrefix(ps, m);
+    }
+    if (!ppool_->ensureTail(
+            ps, std::min(plen, ps.len + cfg_.prefill_chunk))) {
+        unwind();
+        return false;
+    }
+    // Same worst-case demand gate as first admission; worst_pages is
+    // unchanged because the stream's final length is the same whether
+    // or not it was interrupted.
+    int64_t debt = 0;
+    for (const auto &o : active_)
+        debt += std::max<int64_t>(
+            0, o->worst_pages -
+                   static_cast<int64_t>(o->pseq.pages.size()));
+    if (debt + std::max<int64_t>(
+                   0, a.worst_pages -
+                          static_cast<int64_t>(ps.pages.size())) >
+        ppool_->availablePages()) {
+        unwind();
+        return false;
+    }
+    if (checked_out)
+        smgr_->commitResume(pkey); // entry consumed
+
+    a.pseq = std::move(ps);
+    a.pos = a.prefill_pos = a.pseq.len;
+    a.slot = acquireVSlotLocked();
+    a.min_victim_step = step_idx_ + 2;
+    return true;
+}
+
 int
 ServeEngine::admitPagedLocked()
 {
     int admitted = 0;
-    for (;;) {
-        if (cfg_.max_active > 0 &&
-            static_cast<int64_t>(active_.size()) >= cfg_.max_active)
-            break;
+    const double now = nowMs();
+    const auto capReached = [this] {
+        return cfg_.max_active > 0 &&
+               static_cast<int64_t>(active_.size()) >= cfg_.max_active;
+    };
+    std::array<bool, kNumClasses> blocked{};
+
+    // Phase A, per class in priority order: resume preempted victims,
+    // then retry the parked head. A class whose head is blocked stops
+    // admitting (FIFO within the class) without blocking the others
+    // (work conservation across classes).
+    for (size_t c = 0; c < kNumClasses && !capReached(); ++c) {
+        for (size_t i = 0; i < preempted_.size() && !capReached();) {
+            Active &a = *preempted_[i];
+            if (static_cast<size_t>(a.req.priority_class) != c) {
+                ++i;
+                continue;
+            }
+            if (!admitPreemptedOneLocked(a)) {
+                blocked[c] = true;
+                break;
+            }
+            active_.push_back(std::move(preempted_[i]));
+            active_n_.store(active_.size());
+            preempted_.erase(preempted_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            ++metrics_.preempt_resumes;
+            ++admitted;
+        }
+        if (blocked[c])
+            continue;
+        auto &park = parked_[c];
+        if (park.has_value() && !capReached()) {
+            if (admitPagedWithPressureLocked(*park)) {
+                park.reset();
+                ++admitted;
+            } else {
+                blocked[c] = true;
+            }
+        }
+    }
+    syncParkedCountLocked();
+
+    // Phase B: fresh pops under the fair-share schedule (or global
+    // FIFO), skipping classes whose head is already parked.
+    while (!capReached()) {
         if (cfg_.fault != nullptr && cfg_.fault->onAcquire())
             break; // injected allocation failure: retry next step
         PendingRequest p;
-        if (parked_.has_value()) {
-            p = std::move(*parked_);
-            parked_.reset();
-            parked_n_.store(0);
-        } else if (!queue_.tryPop(p)) {
+        if (!queue_.tryPopScheduled(now, blocked, p))
             break;
+        if (admitPagedWithPressureLocked(p)) {
+            ++admitted;
+            continue;
         }
-        if (!admitPagedOneLocked(p)) {
-            // Hard memory pressure: idle sessions are the one page
-            // consumer the scheduler can shed. Spill (or drop) LRU
-            // idle sessions one at a time until the head admits or no
-            // candidate remains. Bounded by the resident count at
-            // entry, because an aborted resume re-parks as resident —
-            // without the bound a restore/abort/spill cycle could spin.
-            bool ok = false;
-            int64_t budget =
-                smgr_ != nullptr ? smgr_->residentSessions() : 0;
-            while (!ok && budget-- > 0 && smgr_->spillOne())
-                ok = admitPagedOneLocked(p);
-            if (!ok) {
-                // Does not fit right now: park it and stop admitting,
-                // so backpressure never reorders the FIFO.
-                parked_ = std::move(p);
-                parked_n_.store(1);
-                break;
-            }
-        }
-        ++admitted;
+        // Does not fit right now: park as this class's head so
+        // backpressure never reorders requests within the class.
+        const size_t c = static_cast<size_t>(p.request.priority_class);
+        parked_[c] = std::move(p);
+        blocked[c] = true;
+        syncParkedCountLocked();
     }
     return admitted;
 }
@@ -956,6 +1323,13 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
     const double t0 = nowMs();
     processCancelsLocked(t0, done);
     expireDeadlinesLocked(t0, done);
+    // Injected forced preemption: interrupt a victim with no memory
+    // pressure at all, exercising the checkpoint-resume identity path
+    // at arbitrary points of the decode (chaos tests).
+    if (cfg_.fault != nullptr && cfg_.sched.preemption &&
+        smgr_ != nullptr && clm_ != nullptr && !active_.empty() &&
+        cfg_.fault->onPreempt())
+        preemptLowestLocked(-1);
     // Soft memory pressure: below the low watermark, write LRU idle
     // sessions out to the disk tier before admission competes for the
     // remaining pages (DESIGN.md §15).
@@ -1052,7 +1426,12 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
 
     for (size_t i = 0; i < n_active; ++i) {
         Active &a = *active_[i];
-        const int64_t plen = static_cast<int64_t>(a.req.prompt.size());
+        // After a preempt-resume round trip the effective prompt is
+        // the original prompt plus the tokens generated before the
+        // interrupt (the replay); sampling resumes when the replay is
+        // fully prefilled.
+        const std::vector<int32_t> &eprompt = a.effPrompt();
+        const int64_t plen = static_cast<int64_t>(eprompt.size());
 
         if (clm_ != nullptr && a.prefill_pos < plen) {
             const int64_t chunk_end =
@@ -1068,7 +1447,7 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
             }
             planned_end[i] = chunk_end;
             for (int64_t t = a.prefill_pos; t < chunk_end; ++t) {
-                ids.push_back(a.req.prompt[static_cast<size_t>(t)]);
+                ids.push_back(eprompt[static_cast<size_t>(t)]);
                 positions.push_back(t);
                 self_rows.push_back(PagedRowRef{
                     a.pseq.pages.data(),
@@ -1125,13 +1504,29 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
     if (ids.empty()) {
         if (!stalled.empty()) {
             // Every buildable request is out of pages and nothing else
-            // can run: preempt the newest stalled request (most recent
-            // admission keeps FIFO fairness) so its pages unblock the
-            // rest. Typed truncation, partial output kept. The
-            // admission-time worst-case gate makes this a last resort:
-            // only requests whose lone demand exceeds the whole arena
-            // (clamped best-effort admissions) or injected
-            // page-acquire faults can stall here.
+            // can run. Escalate before giving anything up: idle
+            // resident sessions (retained turn KV, or pages stranded
+            // when a restored session's re-admission failed its gate)
+            // are pure caches — spill one and retry the step. Next,
+            // under the fair-share policy, preempt-spill a whole
+            // in-flight request: its checkpoint resumes bit-identical
+            // later, so no output is lost. Only then truncate the
+            // newest stalled request (most recent admission keeps
+            // FIFO fairness) as a typed kCapacityExceeded with its
+            // partial output — reachable only when a lone demand
+            // exceeds the whole arena (clamped best-effort admission)
+            // or injected page-acquire faults pin the pool.
+            if (smgr_ != nullptr && smgr_->residentSessions() > 0 &&
+                smgr_->spillOne()) {
+                syncPoolCounters();
+                return true; // freed pages: real progress
+            }
+            if (cfg_.sched.preemption && smgr_ != nullptr &&
+                clm_ != nullptr && active_.size() > 1 &&
+                preemptLowestLocked(-1)) {
+                syncPoolCounters();
+                return true;
+            }
             retireLocked(stalled.back(),
                          RequestStatus::kCapacityExceeded, nowMs(), done);
             ++metrics_.preempted;
@@ -1204,7 +1599,8 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
     // whether or not their request survives pass 2.
     for (size_t i = 0; i < n_active; ++i) {
         Active &a = *active_[i];
-        const int64_t plen = static_cast<int64_t>(a.req.prompt.size());
+        const std::vector<int32_t> &eprompt = a.effPrompt();
+        const int64_t plen = static_cast<int64_t>(eprompt.size());
         if (planned_end[i] < 0)
             continue; // stalled: nothing was written
         if (clm_ != nullptr && a.prefill_pos < plen) {
@@ -1214,12 +1610,12 @@ ServeEngine::stepPagedLocked(std::vector<Resolution> &done)
             a.prefill_pos = ce;
             a.pos = ce;
             if (ce == plen) {
-                a.prompt_next = a.req.prompt.size();
+                a.prompt_next = eprompt.size();
                 // Donate the now-complete prompt pages so followers
                 // sharing this prefix skip the prefill work — unless a
                 // fault touched any of them.
                 if (!a.kv_poisoned)
-                    ppool_->insertPrefix(a.req.prompt, plen, a.pseq);
+                    ppool_->insertPrefix(eprompt, plen, a.pseq);
             }
         } else {
             a.pseq.len = a.pos + 1;
@@ -1337,7 +1733,15 @@ ServeEngine::threadMain()
                 break; // drain complete
             continue;  // spurious wakeup
         }
-        step();
+        if (!step()) {
+            // Work exists but the step had nothing to run (rate-held
+            // queue heads, stalled admissions waiting on pages): sleep
+            // briefly instead of spinning the scheduler thread hot.
+            std::unique_lock<std::mutex> lk(wake_mu_);
+            wake_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+                return stop_request_.load() == 2;
+            });
+        }
     }
     if (stop_request_.load() == 2)
         abortAll();
@@ -1355,14 +1759,20 @@ ServeEngine::abortAll()
         for (PendingRequest &p : drained)
             resolveUnadmittedLocked(std::move(p),
                                     RequestStatus::kEngineStopped, done);
-        if (parked_.has_value()) {
-            PendingRequest p = std::move(*parked_);
-            parked_.reset();
-            parked_n_.store(0);
-            resolveUnadmittedLocked(std::move(p),
-                                    RequestStatus::kEngineStopped, done);
+        for (auto &park : parked_) {
+            if (park.has_value()) {
+                PendingRequest p = std::move(*park);
+                park.reset();
+                resolveUnadmittedLocked(std::move(p),
+                                        RequestStatus::kEngineStopped,
+                                        done);
+            }
         }
         const double now = nowMs();
+        for (size_t i = preempted_.size(); i-- > 0;)
+            resolvePreemptedLocked(i, RequestStatus::kEngineStopped, now,
+                                   done);
+        syncParkedCountLocked();
         for (size_t i = active_.size(); i-- > 0;)
             retireLocked(i, RequestStatus::kEngineStopped, now, done);
     }

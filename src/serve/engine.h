@@ -81,6 +81,13 @@ struct EngineConfig
                                 ///< (0 = slot_capacity).
     size_t max_queue_depth = 0; ///< Pending-queue bound (0 = unbounded).
 
+    /// Multi-tenant scheduling (DESIGN.md §16): per-class weights and
+    /// SLO targets, per-tenant token-rate limits, drain policy, and
+    /// preemption. The default — fair share over a single implicit
+    /// kStandard class, no limits — behaves exactly like the
+    /// historical FIFO queue.
+    SchedulerConfig sched;
+
     /// Scan every step's logits rows for non-finite values and retire
     /// poisoned requests with kNumericFault instead of sampling
     /// garbage. O(n_active * vocab) per step — noise next to the
@@ -292,14 +299,34 @@ class ServeEngine
     /// Admit queued requests into free slots; returns the number admitted.
     int admitLocked(std::vector<Resolution> &done);
     bool admitOneLocked(PendingRequest &&p, std::vector<Resolution> &done);
-    /// Paged admission: FIFO from parked_ then the queue, gated on
-    /// page availability; a request that does not fit is parked (not
-    /// reordered) and admission stops.
+    /// Paged admission (DESIGN.md §16): per class in priority order,
+    /// resume preempted victims and retry the parked head; then pop
+    /// fresh requests under the fair-share schedule, skipping classes
+    /// whose head is parked (FIFO within a class, work conservation
+    /// across classes).
     int admitPagedLocked();
     /// Returns false — leaving @p p intact for parking — when the pool
     /// cannot take the request right now (first chunk unobtainable, or
     /// the worst-case page-demand gate would overcommit the arena).
     bool admitPagedOneLocked(PendingRequest &p);
+    /// Escalating admission: plain gate, then idle-session spill, then
+    /// preemption of strictly-lower-class in-flight decodes.
+    bool admitPagedWithPressureLocked(PendingRequest &p);
+    /// Re-admit a preempted victim by resuming its checkpoint session
+    /// (resident / restored / recomputed); false = still blocked.
+    bool admitPreemptedOneLocked(Active &a);
+    /// Checkpoint active_[idx]'s rows through the session tier
+    /// (spill-or-drop, pages freed now) and move it to preempted_.
+    void preemptActiveLocked(size_t idx);
+    /// Preempt the best victim whose class value is strictly greater
+    /// than @p below_class (-1 = any active); false = no candidate.
+    bool preemptLowestLocked(int below_class);
+    /// Resolve preempted_[idx] with a terminal status (cancel,
+    /// deadline, abort), dropping its checkpoint session.
+    void resolvePreemptedLocked(size_t idx, RequestStatus status,
+                                double now_ms,
+                                std::vector<Resolution> &done);
+    void syncParkedCountLocked();
     int32_t acquireVSlotLocked();
     void retireLocked(size_t idx, RequestStatus status, double now_ms,
                       std::vector<Resolution> &done);
@@ -325,10 +352,15 @@ class ServeEngine
     /// Paged CausalLM: tiered KV sessions (declared after ppool_ so it
     /// releases its pages into a still-live pool on destruction).
     std::unique_ptr<SpillManager> smgr_;
-    /// Paged: the admission-order head that did not fit the pool last
-    /// step — retried before the queue so backpressure stays FIFO.
-    std::optional<PendingRequest> parked_;
-    std::atomic<size_t> parked_n_{0}; ///< Lock-free parked_ mirror.
+    /// Paged: per-class admission-order heads that did not fit the
+    /// pool last step — retried before fresh pops so backpressure
+    /// stays FIFO within each class while the others keep admitting.
+    std::array<std::optional<PendingRequest>, kNumClasses> parked_;
+    /// Paged CausalLM: preempted in-flight requests awaiting
+    /// re-admission; their KV rows live in the session tier under
+    /// kPreemptKeyBit | id (or were dropped, to be recomputed).
+    std::vector<std::unique_ptr<Active>> preempted_;
+    std::atomic<size_t> parked_n_{0}; ///< parked_ + preempted_ mirror.
     std::vector<int32_t> vslot_free_; ///< Paged: recycled virtual slots.
     int32_t vslot_next_ = 0;          ///< Paged: next fresh virtual slot.
     std::vector<std::unique_ptr<Active>> active_;

@@ -185,6 +185,17 @@ FaultInjector::onKvPages(int64_t /*step*/,
 }
 
 bool
+FaultInjector::onPreempt()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cfg_.preempt_rate <= 0.0 ||
+        rng_.uniform() >= cfg_.preempt_rate)
+        return false;
+    ++stats_.forced_preempts;
+    return true;
+}
+
+bool
 FaultInjector::onSpillOpen()
 {
     std::lock_guard<std::mutex> lock(mu_);

@@ -86,6 +86,13 @@ struct FaultConfig
     double delay_rate = 0.0;
     double delay_ms = 0.0;
 
+    /// Per-step probability of a *forced scheduler preemption*: the
+    /// engine preempts its lowest-class in-flight decode even without
+    /// memory pressure (spill-and-requeue through the session tier,
+    /// DESIGN.md §16). Stresses the preempt-resume identity path; it
+    /// never touches numerics, so tokens must never change.
+    double preempt_rate = 0.0;
+
     // --- IO fault family (KV spill store, DESIGN.md §15) -------------
 
     /// Per-open probability that a spill-file open fails (spill side:
@@ -133,6 +140,7 @@ class FaultInjector
         int64_t spill_torn_writes = 0;
         int64_t spill_corruptions = 0;
         int64_t spill_short_reads = 0;
+        int64_t forced_preempts = 0;
     };
 
     explicit FaultInjector(FaultConfig cfg);
@@ -170,6 +178,9 @@ class FaultInjector
     int32_t onKvPages(int64_t step, const std::vector<PagedSeqView> &seqs,
                       std::vector<KVPagePanels> &self_layers,
                       int64_t page_size);
+
+    /// True = force a scheduler preemption this step (preempt_rate).
+    bool onPreempt();
 
     // --- IO hooks, called by the KV spill store ----------------------
 

@@ -595,6 +595,16 @@ SpillManager::spillOne()
     return evictResident(sid, sessions_[sid], /*drop_on_failure=*/true);
 }
 
+bool
+SpillManager::spillSession(uint64_t sid)
+{
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end() ||
+        it->second.state != Session::State::kResident)
+        return false;
+    return evictResident(sid, it->second, /*drop_on_failure=*/true);
+}
+
 void
 SpillManager::releaseAll()
 {
@@ -619,6 +629,16 @@ SpillManager::spilledSessions() const
     for (const auto &[sid, s] : sessions_)
         n += s.state == Session::State::kSpilled ? 1 : 0;
     return n;
+}
+
+int64_t
+SpillManager::residentPages(uint64_t sid) const
+{
+    const auto it = sessions_.find(sid);
+    if (it == sessions_.end() ||
+        it->second.state != Session::State::kResident)
+        return 0;
+    return static_cast<int64_t>(it->second.seq.pages.size());
 }
 
 SpillManager::Stats

@@ -229,12 +229,27 @@ class SpillManager
      */
     bool spillOne();
 
+    /**
+     * Preemptive checkout (scheduler preemption, DESIGN.md §16): free
+     * the pages of the *specific* resident session @p sid right now —
+     * spilling it if the disk tier accepts the bytes, dropping it
+     * outright otherwise (the preempted request recomputes on
+     * resume). Returns true when pages were freed; false when @p sid
+     * is unknown, already spilled, or checked out.
+     */
+    bool spillSession(uint64_t sid);
+
     /// Drop every session (pages released, files deleted). Engine
     /// abort/shutdown, or tests asserting pool quiescence.
     void releaseAll();
 
     int64_t residentSessions() const;
     int64_t spilledSessions() const;
+    /// Pages @p sid holds in the pool right now (0 when unknown,
+    /// spilled, or checked out). Lets the engine pre-gate a preempt
+    /// resume *before* restoring from disk: restoring a checkpoint the
+    /// admission gate is bound to reject would thrash pool pages.
+    int64_t residentPages(uint64_t sid) const;
     /// Counters above, with byte totals pulled from the store.
     Stats stats() const;
     const KVSpillStore &store() const { return store_; }

@@ -47,6 +47,20 @@ toString(SessionKVSource s)
     return "?";
 }
 
+const char *
+toString(PriorityClass c)
+{
+    switch (c) {
+    case PriorityClass::kInteractive:
+        return "interactive";
+    case PriorityClass::kStandard:
+        return "standard";
+    case PriorityClass::kBatch:
+        return "batch";
+    }
+    return "?";
+}
+
 double
 LatencyHistogram::percentile(double p) const
 {
@@ -103,6 +117,21 @@ ServeMetrics::recordRetirement(const RequestRecord &r)
         break;
     }
     ++completed;
+
+    ClassMetrics &cm =
+        per_class[static_cast<size_t>(r.priority_class)];
+    ++cm.completed;
+    cm.generated_tokens += r.generated_tokens;
+    cm.preemptions += r.preemptions;
+    cm.ttft_ms.record(r.ttft_ms);
+    cm.latency_ms.record(r.latency_ms);
+    if (r.status == RequestStatus::kOk) {
+        ++cm.ok;
+        if (r.slo_met) {
+            ++cm.slo_met;
+            cm.goodput_tokens += r.generated_tokens;
+        }
+    }
 }
 
 double
@@ -183,6 +212,42 @@ ServeMetrics::dump() const
             static_cast<long long>(sessions_resident),
             static_cast<long long>(sessions_on_disk));
         out += buf;
+    }
+    // Per-class rows only when more than one class actually retired
+    // something (single-class workloads keep the old dump byte-shape).
+    int active_classes = 0;
+    for (const auto &cm : per_class)
+        active_classes += cm.completed > 0 ? 1 : 0;
+    if (active_classes > 1 || sched_preemptions > 0) {
+        for (size_t c = 0; c < per_class.size(); ++c) {
+            const ClassMetrics &cm = per_class[c];
+            if (cm.completed == 0 && cm.rejected == 0)
+                continue;
+            std::snprintf(
+                buf, sizeof(buf),
+                "class %-11s %lld done (%lld ok, %lld slo-met, %lld "
+                "rejected), %lld tok (%lld goodput), %lld preempts, "
+                "ttft p95 %.1f ms, latency p95 %.1f ms\n",
+                toString(static_cast<PriorityClass>(c)),
+                static_cast<long long>(cm.completed),
+                static_cast<long long>(cm.ok),
+                static_cast<long long>(cm.slo_met),
+                static_cast<long long>(cm.rejected),
+                static_cast<long long>(cm.generated_tokens),
+                static_cast<long long>(cm.goodput_tokens),
+                static_cast<long long>(cm.preemptions),
+                cm.ttft_ms.percentile(95.0),
+                cm.latency_ms.percentile(95.0));
+            out += buf;
+        }
+        if (sched_preemptions > 0) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "sched: %lld preemptions (%lld resumed)\n",
+                static_cast<long long>(sched_preemptions),
+                static_cast<long long>(preempt_resumes));
+            out += buf;
+        }
     }
     const struct
     {

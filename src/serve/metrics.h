@@ -10,6 +10,7 @@
 #ifndef QT8_SERVE_METRICS_H
 #define QT8_SERVE_METRICS_H
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -44,6 +45,28 @@ struct RequestRecord
     double ttft_ms = 0.0;
     double latency_ms = 0.0;
     double tokens_per_sec = 0.0; ///< generated / (latency - ttft)-ish.
+    PriorityClass priority_class = PriorityClass::kStandard;
+    uint64_t tenant_id = 0;
+    /// kOk and inside the class SLO targets (a class with no SLO meets
+    /// it trivially) — the goodput criterion.
+    bool slo_met = false;
+    int64_t preemptions = 0; ///< Scheduler preempt-resume round trips.
+};
+
+/// Per-priority-class slice of the serve metrics (fair-share and SLO
+/// accounting, DESIGN.md §16).
+struct ClassMetrics
+{
+    int64_t submitted = 0; ///< Accepted submissions (post-validation).
+    int64_t completed = 0; ///< Retirements of any terminal status.
+    int64_t ok = 0;
+    int64_t slo_met = 0;
+    int64_t rejected = 0; ///< kRejectedQueueFull for this class.
+    int64_t preemptions = 0;
+    int64_t generated_tokens = 0;
+    int64_t goodput_tokens = 0; ///< Generated tokens of SLO-met requests.
+    LatencyHistogram ttft_ms;
+    LatencyHistogram latency_ms;
 };
 
 /// Aggregated engine metrics; filled by the scheduler as requests
@@ -80,6 +103,14 @@ struct ServeMetrics
     int64_t prefix_evictions = 0;     ///< LRU cache pages reclaimed.
     int64_t pages_resident_peak = 0;  ///< Max referenced pages seen.
     int64_t preempted = 0; ///< Out-of-pages forced retirements.
+
+    // Multi-tenant scheduling (DESIGN.md §16).
+    std::array<ClassMetrics, kNumClasses> per_class;
+    int64_t sched_preemptions = 0; ///< Spill-and-requeue preemptions
+                                   ///< (the victim resumes later —
+                                   ///< distinct from `preempted`,
+                                   ///< which destroys the request).
+    int64_t preempt_resumes = 0;   ///< Preempted victims re-admitted.
 
     // Tiered KV session storage (zero without sessions; DESIGN.md §15).
     int64_t sessions_spilled = 0;   ///< Idle sessions written to disk.

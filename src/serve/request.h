@@ -19,6 +19,23 @@
 
 namespace qt8::serve {
 
+/// Scheduling class of a request (DESIGN.md §16). Classes order by
+/// urgency: an interactive chat turn outranks a standard request,
+/// which outranks offline batch work. The scheduler drains per-class
+/// queues by weighted fair share and — when memory pressure or an
+/// SLO-threatened interactive arrival demands it — preempts the
+/// lowest-class in-flight decode first.
+enum class PriorityClass : int {
+    kInteractive = 0,
+    kStandard = 1,
+    kBatch = 2,
+};
+
+/// Number of priority classes (array extent for per-class state).
+inline constexpr int kNumClasses = 3;
+
+const char *toString(PriorityClass c);
+
 /// Token-sampling policy for the cached decode path. temperature == 0
 /// is greedy (argmax, the default); otherwise logits are divided by the
 /// temperature and sampled from the softmax, optionally restricted to
@@ -131,6 +148,15 @@ struct Request
      * Ignored by slab and Seq2Seq engines.
      */
     uint64_t session_id = 0;
+    /// Tenant owning this request (0 = the anonymous default tenant).
+    /// Tenants with a configured token-rate limit (SchedulerConfig)
+    /// are held in their class queue while over budget; unknown
+    /// tenants are never rate-limited.
+    uint64_t tenant_id = 0;
+    /// Scheduling class (weight, SLO targets, preemption rank). The
+    /// default kStandard keeps single-class workloads byte-identical
+    /// to the historical FIFO behaviour.
+    PriorityClass priority_class = PriorityClass::kStandard;
     SamplingParams sampling;
     /// Optional completion hook, invoked from the scheduler thread
     /// right after the result future is fulfilled (never with an

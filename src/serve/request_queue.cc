@@ -1,6 +1,36 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace qt8::serve {
+
+namespace {
+
+/// Weights are configuration input; clamp so a zero/negative weight
+/// degrades to "very small share" instead of starving the DRR loop.
+double
+clampedWeight(double w)
+{
+    return std::max(w, 1e-6);
+}
+
+} // namespace
+
+double
+SchedulerConfig::burstFor(uint64_t tenant_id) const
+{
+    const auto it = tenants.find(tenant_id);
+    if (it == tenants.end() || it->second.tokens_per_sec <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return it->second.burst_tokens > 0.0 ? it->second.burst_tokens
+                                         : it->second.tokens_per_sec;
+}
+
+RequestQueue::RequestQueue(size_t max_depth, SchedulerConfig sched)
+    : max_depth_(max_depth), sched_(std::move(sched))
+{
+}
 
 RequestQueue::PushResult
 RequestQueue::tryPush(PendingRequest &&p)
@@ -8,32 +38,208 @@ RequestQueue::tryPush(PendingRequest &&p)
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_)
         return PushResult::kClosed;
-    if (max_depth_ != 0 && q_.size() >= max_depth_)
+    if (max_depth_ != 0) {
+        size_t total = 0;
+        for (const auto &q : q_)
+            total += q.size();
+        if (total >= max_depth_)
+            return PushResult::kFull;
+    }
+    const size_t c = static_cast<size_t>(p.request.priority_class);
+    const ClassPolicy &pol = sched_.classes[c];
+    if (pol.max_queue_depth != 0 && q_[c].size() >= pol.max_queue_depth)
         return PushResult::kFull;
-    q_.push_back(std::move(p));
+    q_[c].push_back(Item{next_seq_++, std::move(p)});
     return PushResult::kOk;
 }
 
 bool
-RequestQueue::tryPop(PendingRequest &out)
+RequestQueue::tenantEligible(uint64_t tenant, double cost, double now_ms)
+{
+    const auto it = sched_.tenants.find(tenant);
+    if (it == sched_.tenants.end() || it->second.tokens_per_sec <= 0.0)
+        return true;
+    const double rate = it->second.tokens_per_sec;
+    const double burst = sched_.burstFor(tenant);
+    Bucket &b = buckets_[tenant];
+    if (!b.primed) {
+        b.balance = burst;
+        b.last_ms = now_ms;
+        b.primed = true;
+    } else if (now_ms > b.last_ms) {
+        b.balance = std::min(
+            burst, b.balance + rate * (now_ms - b.last_ms) / 1000.0);
+        b.last_ms = now_ms;
+    }
+    return b.balance + 1e-9 >= cost;
+}
+
+void
+RequestQueue::tenantCharge(uint64_t tenant, double cost)
+{
+    const auto it = sched_.tenants.find(tenant);
+    if (it == sched_.tenants.end() || it->second.tokens_per_sec <= 0.0)
+        return;
+    buckets_[tenant].balance -= cost;
+}
+
+int64_t
+RequestQueue::firstEligible(size_t c, double now_ms)
+{
+    for (size_t i = 0; i < q_[c].size(); ++i) {
+        const Request &r = q_[c][i].p.request;
+        if (tenantEligible(r.tenant_id, tokenCost(r), now_ms))
+            return static_cast<int64_t>(i);
+    }
+    return -1;
+}
+
+bool
+RequestQueue::popFifo(double now_ms,
+                      const std::array<bool, kNumClasses> &blocked,
+                      PendingRequest &out)
+{
+    // Global arrival order among the bucket-eligible heads: within a
+    // class firstEligible() already yields the lowest sequence number,
+    // so the overall winner is the min across classes.
+    int64_t best_c = -1, best_i = -1;
+    uint64_t best_seq = 0;
+    for (size_t c = 0; c < kNumClasses; ++c) {
+        if (blocked[c])
+            continue;
+        const int64_t i = firstEligible(c, now_ms);
+        if (i < 0)
+            continue;
+        const uint64_t seq = q_[c][static_cast<size_t>(i)].seq;
+        if (best_c < 0 || seq < best_seq) {
+            best_c = static_cast<int64_t>(c);
+            best_i = i;
+            best_seq = seq;
+        }
+    }
+    if (best_c < 0)
+        return false;
+    auto &dq = q_[static_cast<size_t>(best_c)];
+    auto it = dq.begin() + best_i;
+    tenantCharge(it->p.request.tenant_id, tokenCost(it->p.request));
+    out = std::move(it->p);
+    dq.erase(it);
+    return true;
+}
+
+bool
+RequestQueue::tryPopScheduled(double now_ms,
+                              const std::array<bool, kNumClasses> &blocked,
+                              PendingRequest &out)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (q_.empty())
+    if (sched_.policy == SchedulerConfig::Policy::kFifo)
+        return popFifo(now_ms, blocked, out);
+
+    // SLO-threat bypass, highest class first: a head whose wait has
+    // eaten slo_threat_frac of its class TTFT budget jumps the round.
+    // Its cost is still charged against the class deficit (which may
+    // go negative), so the bypass borrows from — not escapes — the
+    // long-run fair share.
+    std::array<int64_t, kNumClasses> elig;
+    for (size_t c = 0; c < kNumClasses; ++c)
+        elig[c] = (blocked[c] || q_[c].empty())
+                      ? -1
+                      : firstEligible(c, now_ms);
+    if (sched_.slo_threat_frac > 0.0) {
+        for (size_t c = 0; c < kNumClasses; ++c) {
+            const ClassPolicy &pol = sched_.classes[c];
+            if (elig[c] < 0 || pol.ttft_slo_ms <= 0.0)
+                continue;
+            auto it = q_[c].begin() + elig[c];
+            const double wait = now_ms - it->p.submit_ms;
+            if (wait < sched_.slo_threat_frac * pol.ttft_slo_ms)
+                continue;
+            const double cost = tokenCost(it->p.request);
+            deficit_[c] -= cost;
+            tenantCharge(it->p.request.tenant_id, cost);
+            out = std::move(it->p);
+            q_[c].erase(it);
+            return true;
+        }
+    }
+
+    bool any = false;
+    for (size_t c = 0; c < kNumClasses; ++c)
+        any = any || elig[c] >= 0;
+    if (!any)
         return false;
-    out = std::move(q_.front());
-    q_.pop_front();
+
+    // Deficit round robin: a class is granted quantum x weight credit
+    // once per *visit* — when the rotation advances onto it — and the
+    // rotation stays parked on a class across calls until its credit
+    // no longer covers its head, so a heavy class drains several
+    // requests per visit while a light one drains few: under backlog
+    // the served token mix converges to the weight ratios. (Granting
+    // per lap instead would let every class serve once per rotation —
+    // plain round robin, weights ignored.) Guaranteed to terminate
+    // (some eligible class gains credit every lap), but bounded anyway
+    // against pathological configs — the fallback serves the
+    // most-credited class.
+    const double quantum = std::max(sched_.quantum_tokens, 1e-3);
+    if (!drr_primed_) {
+        deficit_[rr_] +=
+            quantum * clampedWeight(sched_.classes[rr_].weight);
+        drr_primed_ = true;
+    }
+    for (int spins = 0; spins < 1000000; ++spins) {
+        const size_t c = rr_;
+        if (elig[c] >= 0) {
+            auto it = q_[c].begin() + elig[c];
+            const double cost = tokenCost(it->p.request);
+            if (deficit_[c] + 1e-9 >= cost) {
+                deficit_[c] -= cost;
+                tenantCharge(it->p.request.tenant_id, cost);
+                out = std::move(it->p);
+                q_[c].erase(it);
+                return true; // rr_ stays: the visit continues next call
+            }
+        } else if (q_[c].empty()) {
+            // Classic DRR: an emptied class forfeits leftover credit
+            // so idle classes cannot hoard and burst later.
+            deficit_[c] = 0.0;
+        }
+        rr_ = (rr_ + 1) % kNumClasses;
+        deficit_[rr_] +=
+            quantum * clampedWeight(sched_.classes[rr_].weight);
+    }
+    size_t best = 0;
+    for (size_t c = 1; c < kNumClasses; ++c)
+        if (elig[c] >= 0 && (elig[best] < 0 || deficit_[c] > deficit_[best]))
+            best = c;
+    if (elig[best] < 0)
+        return false;
+    auto it = q_[best].begin() + elig[best];
+    deficit_[best] -= tokenCost(it->p.request);
+    tenantCharge(it->p.request.tenant_id, tokenCost(it->p.request));
+    out = std::move(it->p);
+    q_[best].erase(it);
     return true;
+}
+
+bool
+RequestQueue::tryPop(double now_ms, PendingRequest &out)
+{
+    return tryPopScheduled(now_ms, std::array<bool, kNumClasses>{},
+                           out);
 }
 
 bool
 RequestQueue::extract(uint64_t id, PendingRequest &out)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = q_.begin(); it != q_.end(); ++it) {
-        if (it->id == id) {
-            out = std::move(*it);
-            q_.erase(it);
-            return true;
+    for (auto &dq : q_) {
+        for (auto it = dq.begin(); it != dq.end(); ++it) {
+            if (it->p.id == id) {
+                out = std::move(it->p);
+                dq.erase(it);
+                return true;
+            }
         }
     }
     return false;
@@ -44,15 +250,23 @@ RequestQueue::extractIf(
     const std::function<bool(const PendingRequest &)> &pred)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    std::vector<PendingRequest> out;
-    std::deque<PendingRequest> keep;
-    for (auto &p : q_) {
-        if (pred(p))
-            out.push_back(std::move(p));
-        else
-            keep.push_back(std::move(p));
+    std::vector<Item> hits;
+    for (auto &dq : q_) {
+        std::deque<Item> keep;
+        for (auto &item : dq) {
+            if (pred(item.p))
+                hits.push_back(std::move(item));
+            else
+                keep.push_back(std::move(item));
+        }
+        dq = std::move(keep);
     }
-    q_ = std::move(keep);
+    std::sort(hits.begin(), hits.end(),
+              [](const Item &a, const Item &b) { return a.seq < b.seq; });
+    std::vector<PendingRequest> out;
+    out.reserve(hits.size());
+    for (auto &h : hits)
+        out.push_back(std::move(h.p));
     return out;
 }
 
@@ -61,11 +275,18 @@ RequestQueue::closeAndDrain()
 {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
+    std::vector<Item> all;
+    for (auto &dq : q_) {
+        for (auto &item : dq)
+            all.push_back(std::move(item));
+        dq.clear();
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Item &a, const Item &b) { return a.seq < b.seq; });
     std::vector<PendingRequest> out;
-    out.reserve(q_.size());
-    for (auto &p : q_)
-        out.push_back(std::move(p));
-    q_.clear();
+    out.reserve(all.size());
+    for (auto &item : all)
+        out.push_back(std::move(item.p));
     return out;
 }
 
@@ -74,13 +295,35 @@ RequestQueue::reopen()
 {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = false;
+    deficit_.fill(0.0);
+    drr_primed_ = false;
 }
 
 size_t
 RequestQueue::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return q_.size();
+    size_t total = 0;
+    for (const auto &dq : q_)
+        total += dq.size();
+    return total;
+}
+
+size_t
+RequestQueue::sizeClass(PriorityClass c) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_[static_cast<size_t>(c)].size();
+}
+
+double
+RequestQueue::headWaitMs(PriorityClass c, double now_ms) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto &dq = q_[static_cast<size_t>(c)];
+    if (dq.empty())
+        return -1.0;
+    return now_ms - dq.front().p.submit_ms;
 }
 
 } // namespace qt8::serve

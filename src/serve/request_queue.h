@@ -1,9 +1,22 @@
 /**
  * @file
- * FIFO admission queue for the serving engine, with an optional maximum
- * depth: past it, submissions are rejected immediately (typed
- * kRejectedQueueFull) instead of growing an unbounded backlog. Mutexed
- * so producers on other threads can submit while the scheduler drains.
+ * Class-aware admission queue for the serving engine (DESIGN.md §16).
+ *
+ * Requests land in one bounded FIFO deque per PriorityClass and are
+ * drained by deficit-round-robin weighted fair share: each class
+ * accumulates credit in proportion to its configured weight and pays
+ * for a request with its token cost (prompt + decode budget), so under
+ * sustained backlog the served token mix converges to the weight
+ * ratios while an idle class costs nothing (work conservation).
+ * Per-tenant token buckets hold a rate-limited tenant's requests in
+ * queue — FIFO among the still-eligible survivors of the same class —
+ * and an SLO-threatened interactive head may bypass a round entirely.
+ * A single configured class degenerates to the historical global FIFO.
+ *
+ * Depth limits are enforced globally and per class: past either,
+ * submissions are rejected immediately (typed kRejectedQueueFull)
+ * instead of growing an unbounded backlog. Mutexed so producers on
+ * other threads can submit while the scheduler drains.
  *
  * The queue can also be *closed* (engine abort): a closed queue refuses
  * every push with PushResult::kClosed under the same lock that guards
@@ -14,16 +27,79 @@
 #ifndef QT8_SERVE_REQUEST_QUEUE_H
 #define QT8_SERVE_REQUEST_QUEUE_H
 
+#include <array>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <vector>
 
 #include "serve/request.h"
 
 namespace qt8::serve {
+
+/// Scheduling knobs for one priority class.
+struct ClassPolicy
+{
+    double weight = 1.0;         ///< Fair-share weight (> 0).
+    double ttft_slo_ms = 0.0;    ///< TTFT target; 0 = no SLO.
+    double latency_slo_ms = 0.0; ///< End-to-end target; 0 = no SLO.
+    size_t max_queue_depth = 0;  ///< Per-class depth cap; 0 = none.
+};
+
+/// Token-rate limit for one tenant. A tenant's bucket refills at
+/// tokens_per_sec up to burst_tokens (0 = one second's worth); a
+/// request is eligible for admission only when the bucket covers its
+/// token cost, which is deducted exactly once at pop.
+struct TenantPolicy
+{
+    double tokens_per_sec = 0.0; ///< 0 = unlimited.
+    double burst_tokens = 0.0;   ///< Bucket capacity; 0 = 1 s worth.
+};
+
+/// Scheduler configuration: drain policy, per-class weights/SLOs, and
+/// per-tenant rate limits. Defaults give interactive : standard :
+/// batch a 4 : 2 : 1 token share under contention and no SLOs/limits,
+/// which keeps a single-class workload byte-identical to the old FIFO.
+struct SchedulerConfig
+{
+    enum class Policy {
+        kFifo,      ///< Global arrival order (the PR-3 behaviour).
+        kFairShare, ///< Deficit-round-robin weighted fair share.
+    };
+
+    Policy policy = Policy::kFairShare;
+    std::array<ClassPolicy, kNumClasses> classes{
+        ClassPolicy{4.0, 0.0, 0.0, 0},
+        ClassPolicy{2.0, 0.0, 0.0, 0},
+        ClassPolicy{1.0, 0.0, 0.0, 0},
+    };
+    std::map<uint64_t, TenantPolicy> tenants;
+
+    /// Allow the engine to preempt a lower-class in-flight decode when
+    /// admission is blocked (spilling its session; DESIGN.md §16).
+    bool preemption = true;
+
+    /// A waiting request whose age exceeds this fraction of its class
+    /// TTFT SLO bypasses the fair-share round (and, for a class that
+    /// outranks an in-flight decode, justifies preemption). <= 0
+    /// disables the bypass.
+    double slo_threat_frac = 0.5;
+
+    /// DRR credit granted per visit, scaled by the class weight.
+    double quantum_tokens = 16.0;
+
+    const ClassPolicy &policyFor(PriorityClass c) const
+    {
+        return classes[static_cast<size_t>(c)];
+    }
+
+    /// Effective bucket capacity for @p tenant_id; infinity when the
+    /// tenant has no (or an unlimited) policy.
+    double burstFor(uint64_t tenant_id) const;
+};
 
 /// A queued request with its pre-created result promise.
 struct PendingRequest
@@ -40,6 +116,16 @@ struct PendingRequest
     SessionKVSource session_kv_hint = SessionKVSource::kNone;
 };
 
+/// Admission token cost of a request: every prompt row it must prefill
+/// plus every token it may decode (the unit fair share is paid in).
+inline double
+tokenCost(const Request &r)
+{
+    return static_cast<double>(r.prompt.size()) +
+           static_cast<double>(r.max_new_tokens > 0 ? r.max_new_tokens
+                                                    : 0);
+}
+
 class RequestQueue
 {
   public:
@@ -49,14 +135,28 @@ class RequestQueue
         kClosed, ///< Engine stopped accepting -> kEngineStopped.
     };
 
-    /// @param max_depth 0 = unbounded.
-    explicit RequestQueue(size_t max_depth = 0) : max_depth_(max_depth) {}
+    /// @param max_depth global depth cap across classes; 0 = unbounded.
+    explicit RequestQueue(size_t max_depth = 0,
+                          SchedulerConfig sched = SchedulerConfig{});
 
-    /// FIFO push; leaves @p p untouched unless it returns kOk.
+    /// FIFO push into the request's class queue; leaves @p p untouched
+    /// unless it returns kOk.
     PushResult tryPush(PendingRequest &&p);
 
-    /// Pop the oldest pending request into @p out; false when empty.
-    bool tryPop(PendingRequest &out);
+    /**
+     * Pop the next request the schedule selects into @p out; false when
+     * nothing is eligible (empty, every class blocked, or every head
+     * rate-held). @p now_ms drives token-bucket refill and SLO-threat
+     * ages; @p blocked marks classes the engine cannot admit right now
+     * (a parked head — skipping them preserves FIFO within the class
+     * while the others stay work-conserving).
+     */
+    bool tryPopScheduled(double now_ms,
+                         const std::array<bool, kNumClasses> &blocked,
+                         PendingRequest &out);
+
+    /// tryPopScheduled with no blocked classes.
+    bool tryPop(double now_ms, PendingRequest &out);
 
     /// Remove the pending request with @p id (cancellation of a request
     /// that was never admitted); false when not queued.
@@ -67,21 +167,58 @@ class RequestQueue
     std::vector<PendingRequest>
     extractIf(const std::function<bool(const PendingRequest &)> &pred);
 
-    /// Refuse all future pushes (kClosed) and return everything queued,
-    /// atomically — nothing can slip in between drain and close.
+    /// Refuse all future pushes (kClosed) and return everything queued
+    /// in global arrival order, atomically — nothing can slip in
+    /// between drain and close.
     std::vector<PendingRequest> closeAndDrain();
 
-    /// Accept pushes again (engine restart after a stop).
+    /// Accept pushes again (engine restart after a stop). Fair-share
+    /// deficits reset; tenant buckets persist (a restart is not a
+    /// rate-limit amnesty).
     void reopen();
 
     size_t size() const;
     bool empty() const { return size() == 0; }
+    size_t sizeClass(PriorityClass c) const;
     size_t maxDepth() const { return max_depth_; }
+    const SchedulerConfig &sched() const { return sched_; }
+
+    /// Oldest eligible wait age (ms) in @p c at @p now_ms, or -1 when
+    /// the class has no pending request (SLO-threat probes).
+    double headWaitMs(PriorityClass c, double now_ms) const;
 
   private:
+    struct Item
+    {
+        uint64_t seq = 0; ///< Global arrival order.
+        PendingRequest p;
+    };
+    struct Bucket
+    {
+        double balance = 0.0;
+        double last_ms = 0.0;
+        bool primed = false; ///< First refill starts the clock full.
+    };
+
+    /// Refill-and-test: can @p tenant pay @p cost at @p now_ms?
+    bool tenantEligible(uint64_t tenant, double cost, double now_ms);
+    void tenantCharge(uint64_t tenant, double cost);
+    /// Index of the first bucket-eligible item in class @p c; -1 when
+    /// none (rate-held heads are skipped, FIFO among the eligible).
+    int64_t firstEligible(size_t c, double now_ms);
+    bool popFifo(double now_ms,
+                 const std::array<bool, kNumClasses> &blocked,
+                 PendingRequest &out);
+
     mutable std::mutex mu_;
-    std::deque<PendingRequest> q_;
+    std::array<std::deque<Item>, kNumClasses> q_;
+    std::array<double, kNumClasses> deficit_{};
+    std::map<uint64_t, Bucket> buckets_;
     size_t max_depth_;
+    SchedulerConfig sched_;
+    size_t rr_ = 0; ///< Class the DRR rotation is parked on.
+    bool drr_primed_ = false; ///< rr_'s first visit credit granted?
+    uint64_t next_seq_ = 0;
     bool closed_ = false;
 };
 

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Preempt-spill-resume contract tests (DESIGN.md §16).
+ *
+ * The invariant under test: preemption may change *when* a request's
+ * tokens are computed, never *which* tokens. A victim's decode state
+ * is checkpointed through the session tier (endTurn + spill), its
+ * pages freed, and the later resume — restored from disk, served
+ * resident, or fully recomputed when the checkpoint died — must emit
+ * the exact token stream of an uninterrupted solo decode, for packed
+ * uint8 and fp32 KV panels alike.
+ *
+ * Also covered: injected spill IO faults during the preemptive
+ * checkpoint degrade to typed recompute with identical tokens;
+ * cancelled and deadline-expired preempted requests resolve with their
+ * typed status without leaking pool pages or spill files; and forced
+ * preemption churn (FaultConfig::preempt_rate) across a whole batch
+ * keeps every request bit-identical.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/tasks.h"
+#include "nn/model.h"
+#include "serve/engine.h"
+#include "serve/fault.h"
+#include "serve/sampler.h"
+
+namespace fs = std::filesystem;
+
+namespace qt8 {
+namespace {
+
+using serve::EngineConfig;
+using serve::FaultConfig;
+using serve::FaultInjector;
+using serve::PriorityClass;
+using serve::Request;
+using serve::RequestResult;
+using serve::RequestStatus;
+using serve::SamplingParams;
+using serve::ServeEngine;
+
+struct ScopedDir
+{
+    explicit ScopedDir(std::string p) : path(std::move(p))
+    {
+        fs::remove_all(path);
+    }
+    ~ScopedDir() { fs::remove_all(path); }
+    std::string path;
+};
+
+size_t
+fileCount(const std::string &dir)
+{
+    if (!fs::exists(dir))
+        return 0;
+    size_t n = 0;
+    for (const auto &e : fs::directory_iterator(dir))
+        n += e.is_regular_file();
+    return n;
+}
+
+ModelConfig
+tinyLmConfig()
+{
+    ModelConfig cfg;
+    cfg.name = "preempt-test-lm";
+    cfg.vocab = 48;
+    cfg.d_model = 32;
+    cfg.d_ff = 64;
+    cfg.n_heads = 2;
+    cfg.n_layers = 2;
+    return cfg;
+}
+
+std::vector<int32_t>
+makePrompt(Rng &rng, int64_t vocab, int64_t len)
+{
+    std::vector<int32_t> p(static_cast<size_t>(len));
+    for (auto &t : p) {
+        t = static_cast<int32_t>(
+            Vocab::kFirstContent +
+            rng.randint(vocab - Vocab::kFirstContent));
+    }
+    return p;
+}
+
+/// Solo cached decode — the uninterrupted ground truth.
+std::vector<int32_t>
+soloCausal(CausalLM &model, QuantSession &qs,
+           const std::vector<int32_t> &prompt, int64_t max_new)
+{
+    const int64_t cap = std::min(
+        model.body.config().max_seq,
+        static_cast<int64_t>(prompt.size()) + max_new + 1);
+    DecodeState st = model.beginDecode(1, cap);
+    const SamplingParams sp;
+    Rng rng(sp.seed);
+    Tensor logits;
+    for (const int32_t tok : prompt) {
+        const std::vector<int32_t> step{tok};
+        logits = model.forwardIncremental(qs, step, st);
+    }
+    std::vector<int32_t> out;
+    while (static_cast<int64_t>(out.size()) < max_new) {
+        const int32_t tok = serve::sampleToken(logits, 0, sp, rng);
+        out.push_back(tok);
+        if (static_cast<int64_t>(out.size()) >= max_new)
+            break;
+        const std::vector<int32_t> step{tok};
+        logits = model.forwardIncremental(qs, step, st);
+    }
+    return out;
+}
+
+/// A 6-page arena two requests cannot share at worst case: the batch
+/// victim admits alone, and the later interactive arrival's admission
+/// pressure forces the scheduler to preempt it.
+EngineConfig
+pressureConfig(const std::string &spill_dir)
+{
+    EngineConfig ec;
+    ec.n_slots = 2;
+    ec.slot_capacity = 32;
+    ec.paged = true;
+    ec.page_size = 4;
+    ec.n_pages = 6;
+    ec.prefix_cache = false;
+    ec.spill_dir = spill_dir;
+    return ec;
+}
+
+/// What to do with the victim once it has been preempted.
+enum class VictimAction { kResume, kCancel, kDeadline };
+
+struct SurgicalOutcome
+{
+    RequestResult victim;
+    RequestResult interactive;
+    serve::ServeMetrics metrics;
+    int64_t free_pages_after = 0;
+    size_t spill_files_after = 0;
+};
+
+/// Drive the deterministic preemption scenario: admit a batch request,
+/// let it prefill a few steps, then submit an interactive request
+/// whose worst-case demand cannot fit — the engine must preempt the
+/// batch victim. Then resume / cancel / expire it per @p action.
+SurgicalOutcome
+runSurgical(CausalLM &model, bool packed, const std::string &spill_dir,
+            VictimAction action, FaultInjector *fault = nullptr,
+            double victim_timeout_ms = 0.0)
+{
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = packed;
+    QuantSession qs(qc);
+    EngineConfig ec = pressureConfig(spill_dir);
+    ec.fault = fault;
+    ServeEngine eng(model, qs, ec);
+
+    Rng rng(77);
+    Request victim;
+    victim.prompt = makePrompt(rng, 48, 10);
+    victim.max_new_tokens = 10;
+    victim.eos = -1;
+    victim.priority_class = PriorityClass::kBatch;
+    victim.timeout_ms = victim_timeout_ms;
+    uint64_t victim_id = 0;
+    auto vfut = eng.submit(victim, &victim_id);
+    eng.step();
+    eng.step(); // victim mid-prefill, holding pages
+
+    Request inter;
+    inter.prompt = makePrompt(rng, 48, 12);
+    inter.max_new_tokens = 8;
+    inter.eos = -1;
+    inter.priority_class = PriorityClass::kInteractive;
+    auto ifut = eng.submit(inter);
+
+    // The interactive admission preempts the victim within a step or
+    // two (worst-case gate: 5 + 5 pages into a 6-page arena).
+    int64_t preempts = 0;
+    for (int i = 0; i < 50 && preempts == 0; ++i) {
+        eng.step();
+        preempts = eng.metrics().sched_preemptions;
+    }
+    EXPECT_GE(preempts, 1) << "pressure never preempted the victim";
+
+    if (action == VictimAction::kCancel) {
+        EXPECT_TRUE(eng.cancel(victim_id));
+    } else if (action == VictimAction::kDeadline) {
+        // Let the victim's deadline lapse while it sits preempted.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<int64_t>(victim_timeout_ms) + 20));
+    }
+    eng.runUntilIdle();
+    eng.releaseSessions();
+
+    SurgicalOutcome o;
+    o.victim = vfut.get();
+    o.interactive = ifut.get();
+    o.metrics = eng.metricsSnapshot();
+    o.free_pages_after = eng.freeSlots();
+    o.spill_files_after = fileCount(spill_dir);
+    return o;
+}
+
+TEST(PreemptTest, PreemptSpillResumeBitIdenticalPackedAndFp32)
+{
+    CausalLM model(tinyLmConfig(), 1234);
+    for (const bool packed : {true, false}) {
+        SCOPED_TRACE(packed ? "packed" : "fp32");
+        ScopedDir dir("preempt_test_spill");
+        const SurgicalOutcome o = runSurgical(
+            model, packed, dir.path, VictimAction::kResume);
+
+        ASSERT_EQ(o.victim.status, RequestStatus::kOk);
+        ASSERT_EQ(o.interactive.status, RequestStatus::kOk);
+        // The oracle: solo decodes of the exact same prompts.
+        QuantConfig qc = QuantConfig::posit8();
+        qc.kv_packed = packed;
+        QuantSession qs(qc);
+        Rng rng(77);
+        const auto vprompt = makePrompt(rng, 48, 10);
+        const auto iprompt = makePrompt(rng, 48, 12);
+        EXPECT_EQ(o.victim.tokens, soloCausal(model, qs, vprompt, 10));
+        EXPECT_EQ(o.interactive.tokens,
+                  soloCausal(model, qs, iprompt, 8));
+
+        EXPECT_GE(o.metrics.sched_preemptions, 1);
+        EXPECT_GE(o.metrics.preempt_resumes, 1);
+        bool victim_seen = false;
+        for (const auto &r : o.metrics.requests) {
+            if (r.priority_class == PriorityClass::kBatch) {
+                EXPECT_GE(r.preemptions, 1);
+                victim_seen = true;
+            }
+        }
+        EXPECT_TRUE(victim_seen);
+        // Quiesce: every page back, no checkpoint file left behind.
+        EXPECT_EQ(o.free_pages_after, 6);
+        EXPECT_EQ(o.spill_files_after, 0u);
+    }
+}
+
+TEST(PreemptTest, RamOnlyPreemptDropsCheckpointAndRecomputes)
+{
+    CausalLM model(tinyLmConfig(), 1234);
+    // No disk tier: the preemptive checkpoint is dropped outright and
+    // the resume recomputes the replay — tokens must not change.
+    const SurgicalOutcome o = runSurgical(
+        model, /*packed=*/true, /*spill_dir=*/"", VictimAction::kResume);
+
+    ASSERT_EQ(o.victim.status, RequestStatus::kOk);
+    ASSERT_EQ(o.interactive.status, RequestStatus::kOk);
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+    QuantSession qs(qc);
+    Rng rng(77);
+    const auto vprompt = makePrompt(rng, 48, 10);
+    const auto iprompt = makePrompt(rng, 48, 12);
+    EXPECT_EQ(o.victim.tokens, soloCausal(model, qs, vprompt, 10));
+    EXPECT_EQ(o.interactive.tokens, soloCausal(model, qs, iprompt, 8));
+    EXPECT_GE(o.metrics.sched_preemptions, 1);
+    EXPECT_GE(o.metrics.sessions_dropped, 1);
+    EXPECT_EQ(o.free_pages_after, 6);
+}
+
+TEST(PreemptTest, SpillIoFaultDuringPreemptDegradesToRecompute)
+{
+    CausalLM model(tinyLmConfig(), 1234);
+    FaultConfig fc;
+    fc.seed = 9;
+    fc.spill_open_fail_rate = 1.0; // every checkpoint write fails
+    FaultInjector fault(fc);
+    ScopedDir dir("preempt_test_iofault");
+    const SurgicalOutcome o =
+        runSurgical(model, /*packed=*/true, dir.path,
+                    VictimAction::kResume, &fault);
+
+    // The checkpoint never reached disk, so the resume is a full
+    // recompute — typed, counted, and bit-identical.
+    ASSERT_EQ(o.victim.status, RequestStatus::kOk);
+    ASSERT_EQ(o.interactive.status, RequestStatus::kOk);
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+    QuantSession qs(qc);
+    Rng rng(77);
+    const auto vprompt = makePrompt(rng, 48, 10);
+    const auto iprompt = makePrompt(rng, 48, 12);
+    EXPECT_EQ(o.victim.tokens, soloCausal(model, qs, vprompt, 10));
+    EXPECT_EQ(o.interactive.tokens, soloCausal(model, qs, iprompt, 8));
+    EXPECT_GE(o.metrics.sched_preemptions, 1);
+    EXPECT_GE(fault.stats().spill_open_fails, 1);
+    EXPECT_EQ(o.free_pages_after, 6);
+    EXPECT_EQ(o.spill_files_after, 0u);
+}
+
+TEST(PreemptTest, CancelledWhilePreemptedResolvesTypedAndLeaksNothing)
+{
+    CausalLM model(tinyLmConfig(), 1234);
+    ScopedDir dir("preempt_test_cancel");
+    const SurgicalOutcome o = runSurgical(
+        model, /*packed=*/true, dir.path, VictimAction::kCancel);
+
+    EXPECT_EQ(o.victim.status, RequestStatus::kCancelled);
+    ASSERT_EQ(o.interactive.status, RequestStatus::kOk);
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+    QuantSession qs(qc);
+    Rng rng(77);
+    (void)makePrompt(rng, 48, 10); // skip the victim's draw
+    const auto iprompt = makePrompt(rng, 48, 12);
+    EXPECT_EQ(o.interactive.tokens, soloCausal(model, qs, iprompt, 8));
+    // The dropped checkpoint must not leak pages or spill files.
+    EXPECT_EQ(o.free_pages_after, 6);
+    EXPECT_EQ(o.spill_files_after, 0u);
+    EXPECT_EQ(o.metrics.cancelled, 1);
+}
+
+TEST(PreemptTest, DeadlineExpiryWhilePreemptedResolvesTyped)
+{
+    CausalLM model(tinyLmConfig(), 1234);
+    ScopedDir dir("preempt_test_deadline");
+    const SurgicalOutcome o =
+        runSurgical(model, /*packed=*/true, dir.path,
+                    VictimAction::kDeadline, nullptr,
+                    /*victim_timeout_ms=*/150.0);
+
+    EXPECT_EQ(o.victim.status, RequestStatus::kDeadlineExceeded);
+    ASSERT_EQ(o.interactive.status, RequestStatus::kOk);
+    EXPECT_EQ(o.free_pages_after, 6);
+    EXPECT_EQ(o.spill_files_after, 0u);
+    EXPECT_EQ(o.metrics.expired, 1);
+}
+
+TEST(PreemptTest, ForcedPreemptionChurnStaysBitIdentical)
+{
+    CausalLM model(tinyLmConfig(), 4321);
+    QuantConfig qc = QuantConfig::posit8();
+    qc.kv_packed = true;
+    QuantSession qs(qc);
+    FaultConfig fc;
+    fc.seed = 3;
+    fc.preempt_rate = 0.35; // interrupt someone most steps
+    FaultInjector fault(fc);
+    ScopedDir dir("preempt_test_churn");
+    EngineConfig ec;
+    ec.n_slots = 3;
+    ec.slot_capacity = 32;
+    ec.paged = true;
+    ec.page_size = 4;
+    ec.n_pages = 24; // no memory pressure: every preempt is injected
+    ec.prefix_cache = false;
+    ec.spill_dir = dir.path;
+    ec.fault = &fault;
+    ServeEngine eng(model, qs, ec);
+
+    Rng rng(55);
+    std::vector<std::vector<int32_t>> prompts;
+    std::vector<int64_t> budgets;
+    std::vector<std::shared_future<RequestResult>> futs;
+    for (int i = 0; i < 8; ++i) {
+        Request req;
+        req.prompt = makePrompt(rng, 48, 6 + (i % 5));
+        req.max_new_tokens = 5 + (i % 4);
+        req.eos = -1;
+        req.priority_class =
+            static_cast<PriorityClass>(i % serve::kNumClasses);
+        prompts.push_back(req.prompt);
+        budgets.push_back(req.max_new_tokens);
+        futs.push_back(eng.submit(req));
+    }
+    eng.runUntilIdle();
+    eng.releaseSessions();
+
+    EXPECT_GE(fault.stats().forced_preempts, 1);
+    EXPECT_GE(eng.metricsSnapshot().preempt_resumes, 1);
+    for (size_t i = 0; i < futs.size(); ++i) {
+        const RequestResult r = futs[i].get();
+        ASSERT_EQ(r.status, RequestStatus::kOk) << "request " << i;
+        EXPECT_EQ(r.tokens,
+                  soloCausal(model, qs, prompts[i], budgets[i]))
+            << "request " << i;
+    }
+    EXPECT_EQ(eng.freeSlots(), 24);
+    EXPECT_EQ(fileCount(dir.path), 0u);
+}
+
+} // namespace
+} // namespace qt8

@@ -19,6 +19,7 @@
  * The whole schedule is seeded; runs shrink under ThreadSanitizer
  * (which also makes this the data-race gate for the engine).
  */
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -547,6 +548,142 @@ TEST(ServeSoak, SpillIoChaosKeepsSessionsTypedAndBitIdentical)
     ASSERT_NE(nullptr, pool);
     EXPECT_EQ(pool->pageCount(),
               pool->freePages() + pool->cachedPages());
+    std::filesystem::remove_all(spill_dir);
+}
+
+TEST(ServeSoak, MultiTenantPreemptionChaosKeepsEveryClassTypedAndClean)
+{
+#ifdef QT8_TSAN
+    const int per_class = 4;
+    const double delay_ms = 0.2;
+#else
+    const int per_class = 10;
+    const double delay_ms = 0.4;
+#endif
+
+    const ModelConfig cfg = tinyLmConfig();
+    CausalLM model(cfg, 20260809);
+    QuantSession qs(QuantConfig::posit8());
+
+    // Three fault families at once: forced scheduler preemptions (the
+    // checkpoint-spill-resume path under churn), IO faults on every
+    // spill edge (checkpoints degrade to recompute), and NaN logits
+    // (typed numeric retirement) — while three class producers race
+    // the fair-share scheduler.
+    FaultConfig fc;
+    fc.seed = 43;
+    fc.preempt_rate = 0.10;
+    fc.nan_logit_rate = 0.02;
+    fc.spill_open_fail_rate = 0.15;
+    fc.spill_corrupt_rate = 0.15;
+    fc.delay_rate = 0.10;
+    fc.delay_ms = delay_ms;
+    FaultInjector fault(fc);
+
+    const std::string spill_dir = "serve_soak_mt_chaos";
+    std::filesystem::remove_all(spill_dir);
+
+    EngineConfig ec{/*n_slots=*/3, /*slot_capacity=*/32};
+    ec.paged = true;
+    ec.page_size = 4;
+    ec.n_pages = 14; // tight enough for organic pressure preemptions
+    ec.spill_dir = spill_dir;
+    ec.fault = &fault; // sched defaults: fair share, preemption on
+    ServeEngine engine(model, qs, ec);
+    engine.start();
+
+    const std::array<serve::PriorityClass, 3> classes{
+        serve::PriorityClass::kInteractive,
+        serve::PriorityClass::kStandard,
+        serve::PriorityClass::kBatch,
+    };
+    std::vector<std::vector<Submitted>> by_class(classes.size());
+    std::vector<std::thread> producers;
+    for (size_t t = 0; t < classes.size(); ++t) {
+        producers.emplace_back([&, t] {
+            Rng rng(7000u + static_cast<uint64_t>(t));
+            auto &mine = by_class[t];
+            for (int r = 0; r < per_class; ++r) {
+                Submitted s;
+                s.req.prompt =
+                    makePrompt(rng, cfg.vocab, 3 + rng.randint(6));
+                s.req.max_new_tokens = 3 + rng.randint(7);
+                s.req.eos = Vocab::kEos;
+                s.req.priority_class = classes[t];
+                s.req.tenant_id = static_cast<uint64_t>(t) + 1u;
+                s.req.sampling.seed =
+                    static_cast<uint64_t>(t) * 900u +
+                    static_cast<uint64_t>(r);
+                s.fut = engine.submit(s.req, &s.id);
+                mine.push_back(std::move(s));
+                if (rng.randint(3) == 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+            }
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+    engine.stop(StopMode::kDrain);
+
+    // Liveness: every class's every request resolved typed; the
+    // engine quiesced.
+    EXPECT_EQ(0u, engine.activeCount());
+    EXPECT_EQ(0u, engine.pendingCount());
+
+    int64_t resolved = 0, healthy_ok = 0;
+    for (const auto &mine : by_class) {
+        for (const auto &s : mine) {
+            ASSERT_EQ(std::future_status::ready,
+                      s.fut.wait_for(std::chrono::seconds(0)))
+                << "request " << s.id << " never resolved";
+            const RequestResult res = s.fut.get();
+            ++resolved;
+            ASSERT_TRUE(res.status == RequestStatus::kOk ||
+                        res.status == RequestStatus::kCapacityExceeded ||
+                        res.status == RequestStatus::kNumericFault)
+                << "request " << s.id << ": "
+                << serve::toString(res.status);
+            // Preemption (forced or organic) must be bit-invisible:
+            // any kOk request the *numeric* chaos never touched is
+            // identical to a solo decode, however many times its KV
+            // was checkpointed, spilled, restored, or recomputed.
+            if (res.status == RequestStatus::kOk &&
+                !fault.wasFaulted(s.id)) {
+                ++healthy_ok;
+                EXPECT_EQ(soloCausal(model, qs, s.req.prompt,
+                                     s.req.max_new_tokens, s.req.eos,
+                                     s.req.sampling),
+                          res.tokens)
+                    << "request " << s.id;
+            }
+        }
+    }
+    EXPECT_EQ(static_cast<int64_t>(classes.size()) * per_class,
+              resolved);
+    EXPECT_GT(healthy_ok, 0);
+
+    // The chaos fired: forced preemptions happened (the per-class
+    // metrics must agree), and at least one spill edge faulted.
+    const auto fs = fault.stats();
+    const auto m = engine.metricsSnapshot();
+    EXPECT_GT(fs.forced_preempts, 0) << "preempt chaos never fired";
+    EXPECT_GE(m.sched_preemptions, fs.forced_preempts);
+    EXPECT_LE(m.preempt_resumes, m.sched_preemptions);
+
+    // Quiesce: no page leaked through any preempt/spill/fault edge,
+    // and no orphaned checkpoint file survives the drain.
+    engine.releaseSessions();
+    const auto *pool = engine.pagedPool();
+    ASSERT_NE(nullptr, pool);
+    EXPECT_EQ(pool->pageCount(),
+              pool->freePages() + pool->cachedPages());
+    int64_t files = 0;
+    if (std::filesystem::exists(spill_dir))
+        for (const auto &e :
+             std::filesystem::directory_iterator(spill_dir))
+            files += e.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(0, files) << "orphaned spill files after drain";
     std::filesystem::remove_all(spill_dir);
 }
 
